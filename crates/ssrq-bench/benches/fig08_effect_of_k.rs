@@ -1,0 +1,46 @@
+//! Criterion bench for Figure 8: query run-time of every SSRQ method as the
+//! result size `k` grows (gowalla-like dataset, alpha = 0.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssrq_bench::{BenchDataset, Scale};
+use ssrq_core::{Algorithm, QueryParams};
+use std::time::Duration;
+
+fn bench_effect_of_k(c: &mut Criterion) {
+    let bench = BenchDataset::gowalla(Scale::quick());
+    let mut group = c.benchmark_group("fig08_effect_of_k/gowalla-like");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let algorithms = [
+        Algorithm::Sfa,
+        Algorithm::Spa,
+        Algorithm::Tsa,
+        Algorithm::TsaQc,
+        Algorithm::Ais,
+    ];
+    for k in [10usize, 30, 50] {
+        for algorithm in algorithms {
+            group.bench_with_input(
+                BenchmarkId::new(algorithm.name(), k),
+                &k,
+                |b, &k| {
+                    let mut next = 0usize;
+                    b.iter(|| {
+                        let user = bench.workload.users[next % bench.workload.users.len()];
+                        next += 1;
+                        bench
+                            .engine
+                            .query(algorithm, &QueryParams::new(user, k, 0.3))
+                            .expect("query succeeds")
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_effect_of_k);
+criterion_main!(benches);

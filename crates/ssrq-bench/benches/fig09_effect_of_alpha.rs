@@ -1,0 +1,46 @@
+//! Criterion bench for Figure 9: query run-time versus the preference
+//! parameter `alpha` (gowalla-like dataset, k = 30).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssrq_bench::{BenchDataset, Scale};
+use ssrq_core::{Algorithm, QueryParams};
+use std::time::Duration;
+
+fn bench_effect_of_alpha(c: &mut Criterion) {
+    let bench = BenchDataset::gowalla(Scale::quick());
+    let mut group = c.benchmark_group("fig09_effect_of_alpha/gowalla-like");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let algorithms = [
+        Algorithm::Sfa,
+        Algorithm::Spa,
+        Algorithm::Tsa,
+        Algorithm::TsaQc,
+        Algorithm::Ais,
+    ];
+    for alpha in [0.1f64, 0.5, 0.9] {
+        for algorithm in algorithms {
+            group.bench_with_input(
+                BenchmarkId::new(algorithm.name(), format!("{alpha}")),
+                &alpha,
+                |b, &alpha| {
+                    let mut next = 0usize;
+                    b.iter(|| {
+                        let user = bench.workload.users[next % bench.workload.users.len()];
+                        next += 1;
+                        bench
+                            .engine
+                            .query(algorithm, &QueryParams::new(user, 30, alpha))
+                            .expect("query succeeds")
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_effect_of_alpha);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench for Figure 10: the three AIS flavours (AIS-BID without
+//! computation sharing, AIS⁻ with sharing, AIS with sharing + delayed
+//! evaluation) as `k` grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssrq_bench::{BenchDataset, Scale};
+use ssrq_core::{Algorithm, QueryParams};
+use std::time::Duration;
+
+fn bench_ais_versions(c: &mut Criterion) {
+    let bench = BenchDataset::gowalla(Scale::quick());
+    let mut group = c.benchmark_group("fig10_ais_versions/gowalla-like");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for k in [10usize, 30, 50] {
+        for algorithm in [Algorithm::AisBid, Algorithm::AisMinus, Algorithm::Ais] {
+            group.bench_with_input(
+                BenchmarkId::new(algorithm.name(), k),
+                &k,
+                |b, &k| {
+                    let mut next = 0usize;
+                    b.iter(|| {
+                        let user = bench.workload.users[next % bench.workload.users.len()];
+                        next += 1;
+                        bench
+                            .engine
+                            .query(algorithm, &QueryParams::new(user, k, 0.3))
+                            .expect("query succeeds")
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ais_versions);
+criterion_main!(benches);

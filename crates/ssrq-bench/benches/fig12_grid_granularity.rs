@@ -1,0 +1,43 @@
+//! Criterion bench for Figure 12: the effect of the grid granularity `s` on
+//! the grid-based methods (SPA and the AIS flavours).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssrq_bench::{BenchDataset, Scale};
+use ssrq_core::{Algorithm, EngineConfig, QueryParams};
+use ssrq_data::DatasetConfig;
+use std::time::Duration;
+
+fn bench_grid_granularity(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let dataset = DatasetConfig::gowalla_like(scale.gowalla_users).generate();
+    let mut group = c.benchmark_group("fig12_grid_granularity/gowalla-like");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for s in [5u32, 10, 25] {
+        let config = EngineConfig {
+            granularity: s,
+            ..EngineConfig::default()
+        };
+        let bench =
+            BenchDataset::from_dataset("gowalla-like", dataset.clone(), scale.queries, config);
+        for algorithm in [Algorithm::Spa, Algorithm::AisBid, Algorithm::Ais] {
+            group.bench_with_input(BenchmarkId::new(algorithm.name(), s), &s, |b, _| {
+                let mut next = 0usize;
+                b.iter(|| {
+                    let user = bench.workload.users[next % bench.workload.users.len()];
+                    next += 1;
+                    bench
+                        .engine
+                        .query(algorithm, &QueryParams::new(user, 30, 0.3))
+                        .expect("query succeeds")
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grid_granularity);
+criterion_main!(benches);

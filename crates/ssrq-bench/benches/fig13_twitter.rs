@@ -1,0 +1,63 @@
+//! Criterion bench for Figure 13: the high-average-degree (Twitter-like)
+//! dataset, varying `k` and `alpha`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssrq_bench::{BenchDataset, Scale};
+use ssrq_core::{Algorithm, QueryParams};
+use std::time::Duration;
+
+fn bench_twitter(c: &mut Criterion) {
+    let bench = BenchDataset::twitter(Scale::quick());
+    let algorithms = [Algorithm::Sfa, Algorithm::Spa, Algorithm::Tsa, Algorithm::Ais];
+
+    let mut group = c.benchmark_group("fig13_twitter/effect_of_k");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for k in [10usize, 50] {
+        for algorithm in algorithms {
+            group.bench_with_input(BenchmarkId::new(algorithm.name(), k), &k, |b, &k| {
+                let mut next = 0usize;
+                b.iter(|| {
+                    let user = bench.workload.users[next % bench.workload.users.len()];
+                    next += 1;
+                    bench
+                        .engine
+                        .query(algorithm, &QueryParams::new(user, k, 0.3))
+                        .expect("query succeeds")
+                });
+            });
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig13_twitter/effect_of_alpha");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for alpha in [0.1f64, 0.9] {
+        for algorithm in algorithms {
+            group.bench_with_input(
+                BenchmarkId::new(algorithm.name(), format!("{alpha}")),
+                &alpha,
+                |b, &alpha| {
+                    let mut next = 0usize;
+                    b.iter(|| {
+                        let user = bench.workload.users[next % bench.workload.users.len()];
+                        next += 1;
+                        bench
+                            .engine
+                            .query(algorithm, &QueryParams::new(user, 30, alpha))
+                            .expect("query succeeds")
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_twitter);
+criterion_main!(benches);

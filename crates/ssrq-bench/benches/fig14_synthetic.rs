@@ -1,0 +1,81 @@
+//! Criterion bench for Figure 14: (a) correlation-controlled synthetic
+//! locations and (b) scalability over forest-fire samples.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssrq_bench::{BenchDataset, Scale};
+use ssrq_core::{Algorithm, EngineConfig, GeoSocialDataset, GeoSocialEngine, QueryParams};
+use ssrq_data::{correlated_locations, forest_fire_sample, Correlation, DatasetConfig, QueryWorkload};
+use std::time::Duration;
+
+fn bench_correlation(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let base = DatasetConfig::foursquare_like(scale.gowalla_users).generate();
+    let anchor = QueryWorkload::generate(&base, 1, 0xFA14).users[0];
+    let mut group = c.benchmark_group("fig14a_correlation");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for correlation in Correlation::ALL {
+        let locations = correlated_locations(base.graph(), anchor, correlation, 0xC0FE);
+        let dataset = GeoSocialDataset::new(base.graph().clone(), locations).expect("valid dataset");
+        let engine = GeoSocialEngine::build(dataset, EngineConfig::default()).expect("engine builds");
+        for algorithm in [Algorithm::Sfa, Algorithm::Tsa, Algorithm::Ais] {
+            group.bench_with_input(
+                BenchmarkId::new(algorithm.name(), correlation.name()),
+                &correlation,
+                |b, _| {
+                    b.iter(|| {
+                        engine
+                            .query(algorithm, &QueryParams::new(anchor, 30, 0.5))
+                            .expect("query succeeds")
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_data_size(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let base = DatasetConfig::foursquare_like(scale.foursquare_users).generate();
+    let mut group = c.benchmark_group("fig14b_data_size");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for fraction in [0.33f64, 1.0] {
+        let target = ((base.user_count() as f64) * fraction) as usize;
+        let (graph, mapping) = forest_fire_sample(base.graph(), target, 0.7, 0x14B);
+        let locations: Vec<_> = mapping.iter().map(|&old| base.location(old)).collect();
+        let dataset = GeoSocialDataset::new(graph, locations).expect("valid dataset");
+        let bench = BenchDataset::from_dataset(
+            format!("sample-{target}"),
+            dataset,
+            scale.queries,
+            EngineConfig::default(),
+        );
+        for algorithm in [Algorithm::Sfa, Algorithm::Ais] {
+            group.bench_with_input(
+                BenchmarkId::new(algorithm.name(), target),
+                &target,
+                |b, _| {
+                    let mut next = 0usize;
+                    b.iter(|| {
+                        let user = bench.workload.users[next % bench.workload.users.len()];
+                        next += 1;
+                        bench
+                            .engine
+                            .query(algorithm, &QueryParams::new(user, 30, 0.3))
+                            .expect("query succeeds")
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_correlation, bench_data_size);
+criterion_main!(benches);

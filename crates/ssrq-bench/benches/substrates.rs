@@ -1,0 +1,153 @@
+//! Micro-benchmarks of the substrates the SSRQ system is built on: graph
+//! searches, landmark bounds, spatial NN search, index construction and
+//! maintenance.  These are not paper figures; they support performance work
+//! on the building blocks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssrq_core::{EngineConfig, GeoSocialEngine};
+use ssrq_data::DatasetConfig;
+use ssrq_graph::{
+    dijkstra_all, ContractionHierarchy, GraphDistanceEngine, IncrementalDijkstra,
+    LandmarkSelection, LandmarkSet, SharingMode,
+};
+use ssrq_spatial::{Point, Rect, UniformGrid};
+use std::time::Duration;
+
+fn bench_graph_substrate(c: &mut Criterion) {
+    let dataset = DatasetConfig::gowalla_like(10_000).generate();
+    let graph = dataset.graph();
+    let landmarks = LandmarkSet::build(graph, 8, LandmarkSelection::FarthestFirst, 7).unwrap();
+
+    let mut group = c.benchmark_group("substrate/graph");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    group.bench_function("dijkstra_full_sssp", |b| {
+        let mut source = 0u32;
+        b.iter(|| {
+            source = (source + 13) % graph.node_count() as u32;
+            dijkstra_all(graph, source)
+        });
+    });
+
+    group.bench_function("incremental_dijkstra_100_settles", |b| {
+        let mut source = 0u32;
+        b.iter(|| {
+            source = (source + 17) % graph.node_count() as u32;
+            let mut search = IncrementalDijkstra::new(graph, source);
+            for _ in 0..100 {
+                if search.next_settled(graph).is_none() {
+                    break;
+                }
+            }
+            search.settled_count()
+        });
+    });
+
+    group.bench_function("landmark_lower_bound", |b| {
+        let mut pair = 0u32;
+        b.iter(|| {
+            pair = (pair + 31) % (graph.node_count() as u32 - 1);
+            landmarks.lower_bound(pair, pair + 1)
+        });
+    });
+
+    group.bench_function("shared_distance_engine_30_targets", |b| {
+        let mut source = 0u32;
+        b.iter(|| {
+            source = (source + 11) % graph.node_count() as u32;
+            let mut engine =
+                GraphDistanceEngine::new(graph, &landmarks, source, SharingMode::Shared);
+            let mut total = 0.0;
+            for offset in 1..=30u32 {
+                let target = (source + offset * 97) % graph.node_count() as u32;
+                let d = engine.distance(target);
+                if d.is_finite() {
+                    total += d;
+                }
+            }
+            total
+        });
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("substrate/contraction_hierarchies");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    let small = DatasetConfig::gowalla_like(2_000).generate();
+    let ch = ContractionHierarchy::new(small.graph());
+    group.bench_function("ch_point_to_point", |b| {
+        let mut pair = 0u32;
+        let n = small.graph().node_count() as u32;
+        b.iter(|| {
+            pair = (pair + 7) % (n - 1);
+            ch.distance(pair, (pair * 31 + 5) % n)
+        });
+    });
+    group.finish();
+}
+
+fn bench_spatial_substrate(c: &mut Criterion) {
+    let dataset = DatasetConfig::gowalla_like(20_000).generate();
+    let grid = UniformGrid::bulk_load(
+        Rect::new(Point::new(-0.01, -0.01), Point::new(1.01, 1.01)),
+        32,
+        dataset.located_users(),
+    )
+    .unwrap();
+
+    let mut group = c.benchmark_group("substrate/spatial");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    for k in [10usize, 100] {
+        group.bench_with_input(BenchmarkId::new("grid_k_nearest", k), &k, |b, &k| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                let q = Point::new((i as f64 * 0.137) % 1.0, (i as f64 * 0.311) % 1.0);
+                grid.k_nearest(q, k)
+            });
+        });
+    }
+
+    group.bench_function("grid_location_update", |b| {
+        let mut grid = grid.clone();
+        let ids: Vec<u32> = dataset.located_users().map(|(id, _)| id).collect();
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            let id = ids[i % ids.len()];
+            let p = Point::new((i as f64 * 0.173) % 1.0, (i as f64 * 0.037) % 1.0);
+            grid.update(id, p).unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_index_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/index_build");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let dataset = DatasetConfig::gowalla_like(10_000).generate();
+    group.bench_function("engine_build_10k_users", |b| {
+        b.iter(|| GeoSocialEngine::build(dataset.clone(), EngineConfig::default()).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_graph_substrate,
+    bench_spatial_substrate,
+    bench_index_construction
+);
+criterion_main!(benches);

@@ -1,0 +1,691 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation (§6) on the synthetic stand-in datasets.
+//!
+//! ```sh
+//! cargo run --release -p ssrq-bench --bin experiments -- all --quick
+//! cargo run --release -p ssrq-bench --bin experiments -- fig8 --with-ch
+//! cargo run --release -p ssrq-bench --bin experiments -- fig11 --queries 50
+//! ```
+//!
+//! Experiments: `table2 table3 fig7a fig7b fig8 fig9 fig10 fig11 fig12
+//! fig13 fig14a fig14b ablation all`.
+//!
+//! Flags: `--quick` (small datasets), `--full` (paper-scale datasets),
+//! `--scale <factor>`, `--queries <n>`, `--with-ch` (include the expensive
+//! Contraction Hierarchies baselines in fig8).
+
+use ssrq_bench::report::FigureReport;
+use ssrq_bench::{max_result_hops, measure_algorithm, BenchDataset, Scale};
+use ssrq_core::{Algorithm, EngineConfig, GeoSocialDataset, GeoSocialEngine, QueryParams};
+use ssrq_data::{
+    correlated_locations, forest_fire_sample, jaccard, Correlation, DataStatistics, DatasetConfig,
+    QueryWorkload,
+};
+use ssrq_graph::LandmarkSelection;
+use std::time::Instant;
+
+/// The k values of Table 3.
+const K_VALUES: [usize; 5] = [10, 20, 30, 40, 50];
+/// The alpha values of Table 3.
+const ALPHA_VALUES: [f64; 5] = [0.1, 0.3, 0.5, 0.7, 0.9];
+/// The grid granularity values of Table 3.
+const S_VALUES: [u32; 5] = [5, 10, 15, 20, 25];
+/// Default k (Table 3).
+const DEFAULT_K: usize = 30;
+/// Default alpha (Table 3).
+const DEFAULT_ALPHA: f64 = 0.3;
+
+/// The algorithm line-up of Figures 8, 9, 13, 14.
+const MAIN_ALGORITHMS: [Algorithm; 5] = [
+    Algorithm::Sfa,
+    Algorithm::Spa,
+    Algorithm::Tsa,
+    Algorithm::TsaQc,
+    Algorithm::Ais,
+];
+/// The AIS variants of Figure 10 / 12.
+const AIS_VARIANTS: [Algorithm; 3] = [Algorithm::AisBid, Algorithm::AisMinus, Algorithm::Ais];
+
+struct Options {
+    scale: Scale,
+    with_ch: bool,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiment = "all".to_string();
+    let mut scale = Scale::default();
+    let mut with_ch = false;
+    let mut factor: Option<f64> = None;
+    let mut queries: Option<usize> = None;
+
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => scale = Scale::quick(),
+            "--full" => scale = Scale::full(),
+            "--with-ch" => with_ch = true,
+            "--scale" => {
+                factor = iter.next().and_then(|v| v.parse().ok());
+            }
+            "--queries" => {
+                queries = iter.next().and_then(|v| v.parse().ok());
+            }
+            name if !name.starts_with("--") => experiment = name.to_string(),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(f) = factor {
+        scale = scale.scaled_by(f);
+    }
+    if let Some(q) = queries {
+        scale.queries = q;
+    }
+    let options = Options { scale, with_ch };
+
+    let started = Instant::now();
+    println!(
+        "SSRQ experiment harness — experiment `{experiment}`, scale: gowalla={} foursquare={} twitter={} queries={}",
+        options.scale.gowalla_users,
+        options.scale.foursquare_users,
+        options.scale.twitter_users,
+        options.scale.queries
+    );
+
+    match experiment.as_str() {
+        "table2" => table2(&options),
+        "table3" => table3(),
+        "fig7a" => fig7a(&options),
+        "fig7b" => fig7b(&options),
+        "fig8" => fig8(&options),
+        "fig9" => fig9(&options),
+        "fig10" => fig10(&options),
+        "fig11" => fig11(&options),
+        "fig12" => fig12(&options),
+        "fig13" => fig13(&options),
+        "fig14a" => fig14a(&options),
+        "fig14b" => fig14b(&options),
+        "ablation" => ablation(&options),
+        "all" => {
+            table2(&options);
+            table3();
+            fig7a(&options);
+            fig7b(&options);
+            fig8(&options);
+            fig9(&options);
+            fig10(&options);
+            fig11(&options);
+            fig12(&options);
+            fig13(&options);
+            fig14a(&options);
+            fig14b(&options);
+            ablation(&options);
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`");
+            std::process::exit(2);
+        }
+    }
+    println!("\ntotal harness time: {:?}", started.elapsed());
+}
+
+// ---------------------------------------------------------------------------
+// Table 2 / Table 3
+// ---------------------------------------------------------------------------
+
+fn table2(options: &Options) {
+    println!("\n## Table 2 — data statistics (synthetic stand-ins)\n");
+    println!("{}", DataStatistics::table_header());
+    for (name, dataset) in [
+        (
+            "gowalla-like",
+            DatasetConfig::gowalla_like(options.scale.gowalla_users).generate(),
+        ),
+        (
+            "foursquare-like",
+            DatasetConfig::foursquare_like(options.scale.foursquare_users).generate(),
+        ),
+        (
+            "twitter-like",
+            DatasetConfig::twitter_like(options.scale.twitter_users).generate(),
+        ),
+    ] {
+        println!("{}", DataStatistics::compute(name, &dataset).table_row());
+    }
+}
+
+fn table3() {
+    println!("\n## Table 3 — query and system parameters\n");
+    println!("{:<28} {:>10} {:<28}", "Parameter", "Default", "Range");
+    println!(
+        "{:<28} {:>10} {:<28}",
+        "size of result k", DEFAULT_K, "10, 20, 30, 40, 50"
+    );
+    println!(
+        "{:<28} {:>10} {:<28}",
+        "preference parameter alpha", DEFAULT_ALPHA, "0.1, 0.3, 0.5, 0.7, 0.9"
+    );
+    println!(
+        "{:<28} {:>10} {:<28}",
+        "grid granularity s", 10, "5, 10, 15, 20, 25"
+    );
+    println!("{:<28} {:>10} {:<28}", "number of landmarks M", 8, "(fine-tuned)");
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7 — nature of the SSRQ query
+// ---------------------------------------------------------------------------
+
+fn fig7a(options: &Options) {
+    let mut report = FigureReport::new(
+        "Figure 7(a) — hops to the farthest SSRQ result vs k",
+        "k",
+    );
+    let datasets = [
+        BenchDataset::gowalla(options.scale),
+        BenchDataset::foursquare(options.scale),
+    ];
+    for k in K_VALUES {
+        report.push_x(k);
+        for bench in &datasets {
+            let prefix = if bench.name.starts_with("gowalla") { "G." } else { "F." };
+            let mut hops = Vec::new();
+            for &user in &bench.workload.users {
+                if let Some(h) = max_result_hops(
+                    &bench.engine,
+                    Algorithm::Ais,
+                    &QueryParams::new(user, k, DEFAULT_ALPHA),
+                ) {
+                    hops.push(h);
+                }
+            }
+            let avg = hops.iter().sum::<usize>() as f64 / hops.len().max(1) as f64;
+            let max = hops.iter().copied().max().unwrap_or(0);
+            report.push_cell(&format!("{prefix} Avg. hop"), format!("{avg:.2}"));
+            report.push_cell(&format!("{prefix} Max. hop"), max);
+        }
+    }
+    print!("{}", report.render());
+}
+
+fn fig7b(options: &Options) {
+    let mut report = FigureReport::new(
+        "Figure 7(b) — Jaccard ratio of SSRQ vs single-domain top-k (foursquare-like)",
+        "alpha",
+    );
+    let bench = BenchDataset::foursquare(options.scale);
+    let k = DEFAULT_K;
+    for alpha in ALPHA_VALUES {
+        report.push_x(alpha);
+        let mut vs_social = 0.0;
+        let mut vs_spatial = 0.0;
+        let mut counted = 0usize;
+        for &user in &bench.workload.users {
+            let params = QueryParams::new(user, k, alpha);
+            let Ok(ssrq) = bench.engine.query(Algorithm::Ais, &params) else {
+                continue;
+            };
+            let ssrq_users = ssrq.users();
+            let social_topk = social_top_k(&bench.engine, user, k);
+            let spatial_topk = spatial_top_k(&bench.engine, user, k);
+            vs_social += jaccard(&ssrq_users, &social_topk);
+            vs_spatial += jaccard(&ssrq_users, &spatial_topk);
+            counted += 1;
+        }
+        let counted = counted.max(1) as f64;
+        report.push_cell("vs. social", format!("{:.4}", vs_social / counted));
+        report.push_cell("vs. spatial", format!("{:.4}", vs_spatial / counted));
+    }
+    print!("{}", report.render());
+}
+
+fn social_top_k(engine: &GeoSocialEngine, user: u32, k: usize) -> Vec<u32> {
+    let graph = engine.dataset().graph();
+    let mut search = ssrq_graph::IncrementalDijkstra::new(graph, user);
+    let mut out = Vec::with_capacity(k);
+    while out.len() < k {
+        match search.next_settled(graph) {
+            Some((v, _)) if v != user => out.push(v),
+            Some(_) => {}
+            None => break,
+        }
+    }
+    out
+}
+
+fn spatial_top_k(engine: &GeoSocialEngine, user: u32, k: usize) -> Vec<u32> {
+    let Some(location) = engine.dataset().location(user) else {
+        return Vec::new();
+    };
+    engine
+        .grid()
+        .k_nearest(location, k + 1)
+        .into_iter()
+        .map(|n| n.id)
+        .filter(|&u| u != user)
+        .take(k)
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8 / 9 — effect of k and alpha on all methods
+// ---------------------------------------------------------------------------
+
+fn fig8(options: &Options) {
+    let mut datasets = vec![
+        BenchDataset::gowalla(options.scale),
+        BenchDataset::foursquare(options.scale),
+    ];
+    if options.with_ch {
+        println!("\nbuilding Contraction Hierarchies indexes for the *-CH baselines ...");
+        for bench in &mut datasets {
+            bench.engine.build_contraction_hierarchy();
+        }
+    }
+    for bench in &datasets {
+        let mut runtime = FigureReport::new(
+            format!("Figure 8 — run-time (ms) vs k ({})", bench.name),
+            "k",
+        );
+        let mut pops = FigureReport::new(
+            format!("Figure 8 — pop ratio vs k ({})", bench.name),
+            "k",
+        );
+        for k in K_VALUES {
+            runtime.push_x(k);
+            pops.push_x(k);
+            for algorithm in MAIN_ALGORITHMS {
+                let m = measure_algorithm(
+                    &bench.engine,
+                    algorithm,
+                    &bench.workload.users,
+                    k,
+                    DEFAULT_ALPHA,
+                );
+                runtime.push_runtime(algorithm.name(), &m);
+                pops.push_pop_ratio(algorithm.name(), &m);
+            }
+            if options.with_ch {
+                // The CH baselines repeat expensive point-to-point work; a
+                // smaller query sample keeps the harness responsive.
+                let sample: Vec<u32> = bench
+                    .workload
+                    .users
+                    .iter()
+                    .copied()
+                    .take((options.scale.queries / 5).max(5))
+                    .collect();
+                for algorithm in [Algorithm::SfaCh, Algorithm::SpaCh, Algorithm::TsaCh] {
+                    let m =
+                        measure_algorithm(&bench.engine, algorithm, &sample, k, DEFAULT_ALPHA);
+                    runtime.push_runtime(algorithm.name(), &m);
+                }
+            }
+        }
+        print!("{}", runtime.render());
+        print!("{}", pops.render());
+    }
+    if !options.with_ch {
+        println!(
+            "(the SFA-CH / SPA-CH / TSA-CH series are skipped by default — pass --with-ch to include them)"
+        );
+    }
+}
+
+fn fig9(options: &Options) {
+    for bench in [
+        BenchDataset::gowalla(options.scale),
+        BenchDataset::foursquare(options.scale),
+    ] {
+        let mut runtime = FigureReport::new(
+            format!("Figure 9 — run-time (ms) vs alpha ({})", bench.name),
+            "alpha",
+        );
+        for alpha in ALPHA_VALUES {
+            runtime.push_x(alpha);
+            for algorithm in MAIN_ALGORITHMS {
+                let m = measure_algorithm(
+                    &bench.engine,
+                    algorithm,
+                    &bench.workload.users,
+                    DEFAULT_K,
+                    alpha,
+                );
+                runtime.push_runtime(algorithm.name(), &m);
+            }
+        }
+        print!("{}", runtime.render());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 10 — AIS versions
+// ---------------------------------------------------------------------------
+
+fn fig10(options: &Options) {
+    for bench in [
+        BenchDataset::gowalla(options.scale),
+        BenchDataset::foursquare(options.scale),
+    ] {
+        let mut runtime = FigureReport::new(
+            format!("Figure 10 — AIS versions, run-time (ms) vs k ({})", bench.name),
+            "k",
+        );
+        let mut pops = FigureReport::new(
+            format!("Figure 10 — AIS versions, pop ratio vs k ({})", bench.name),
+            "k",
+        );
+        for k in K_VALUES {
+            runtime.push_x(k);
+            pops.push_x(k);
+            for algorithm in AIS_VARIANTS {
+                let m = measure_algorithm(
+                    &bench.engine,
+                    algorithm,
+                    &bench.workload.users,
+                    k,
+                    DEFAULT_ALPHA,
+                );
+                runtime.push_runtime(algorithm.name(), &m);
+                pops.push_pop_ratio(algorithm.name(), &m);
+            }
+        }
+        print!("{}", runtime.render());
+        print!("{}", pops.render());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 11 — pre-computation
+// ---------------------------------------------------------------------------
+
+fn fig11(options: &Options) {
+    for mut bench in [
+        BenchDataset::gowalla(options.scale),
+        BenchDataset::foursquare(options.scale),
+    ] {
+        let mut report = FigureReport::new(
+            format!(
+                "Figure 11 — pre-computation: run-time (ms) vs cached list length t ({})",
+                bench.name
+            ),
+            "t",
+        );
+        // The cached-neighbour list length, scaled to the dataset (the paper
+        // sweeps 1K..10K on 196K/1.88M users).
+        let n = bench.engine.dataset().user_count();
+        let t_values: Vec<usize> = [0.01, 0.02, 0.05, 0.10, 0.20]
+            .iter()
+            .map(|f| ((n as f64 * f) as usize).max(50))
+            .collect();
+        let ais = measure_algorithm(
+            &bench.engine,
+            Algorithm::Ais,
+            &bench.workload.users,
+            DEFAULT_K,
+            DEFAULT_ALPHA,
+        );
+        let users = bench.workload.users.clone();
+        for &t in &t_values {
+            report.push_x(t);
+            report.push_runtime("AIS", &ais);
+            bench.engine.build_social_cache(&users, t);
+            let m = measure_algorithm(
+                &bench.engine,
+                Algorithm::SfaCached,
+                &users,
+                DEFAULT_K,
+                DEFAULT_ALPHA,
+            );
+            report.push_runtime("AIS-Cache", &m);
+        }
+        print!("{}", report.render());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 12 — grid granularity
+// ---------------------------------------------------------------------------
+
+fn fig12(options: &Options) {
+    for (name, config) in [
+        (
+            "gowalla-like",
+            DatasetConfig::gowalla_like(options.scale.gowalla_users),
+        ),
+        (
+            "foursquare-like",
+            DatasetConfig::foursquare_like(options.scale.foursquare_users),
+        ),
+    ] {
+        let dataset = config.generate();
+        let mut report = FigureReport::new(
+            format!("Figure 12 — run-time (ms) vs grid granularity s ({name})"),
+            "s",
+        );
+        for s in S_VALUES {
+            report.push_x(s);
+            let engine_config = EngineConfig {
+                granularity: s,
+                ..EngineConfig::default()
+            };
+            let bench = BenchDataset::from_dataset(
+                name,
+                dataset.clone(),
+                options.scale.queries,
+                engine_config,
+            );
+            for algorithm in [
+                Algorithm::Spa,
+                Algorithm::AisBid,
+                Algorithm::AisMinus,
+                Algorithm::Ais,
+            ] {
+                let m = measure_algorithm(
+                    &bench.engine,
+                    algorithm,
+                    &bench.workload.users,
+                    DEFAULT_K,
+                    DEFAULT_ALPHA,
+                );
+                report.push_runtime(algorithm.name(), &m);
+            }
+        }
+        print!("{}", report.render());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 13 — high-degree (Twitter-like) dataset
+// ---------------------------------------------------------------------------
+
+fn fig13(options: &Options) {
+    let bench = BenchDataset::twitter(options.scale);
+    let mut by_k = FigureReport::new(
+        format!("Figure 13(a) — run-time (ms) vs k ({})", bench.name),
+        "k",
+    );
+    for k in K_VALUES {
+        by_k.push_x(k);
+        for algorithm in MAIN_ALGORITHMS {
+            let m = measure_algorithm(
+                &bench.engine,
+                algorithm,
+                &bench.workload.users,
+                k,
+                DEFAULT_ALPHA,
+            );
+            by_k.push_runtime(algorithm.name(), &m);
+        }
+    }
+    print!("{}", by_k.render());
+
+    let mut by_alpha = FigureReport::new(
+        format!("Figure 13(b) — run-time (ms) vs alpha ({})", bench.name),
+        "alpha",
+    );
+    for alpha in ALPHA_VALUES {
+        by_alpha.push_x(alpha);
+        for algorithm in MAIN_ALGORITHMS {
+            let m = measure_algorithm(
+                &bench.engine,
+                algorithm,
+                &bench.workload.users,
+                DEFAULT_K,
+                alpha,
+            );
+            by_alpha.push_runtime(algorithm.name(), &m);
+        }
+    }
+    print!("{}", by_alpha.render());
+}
+
+// ---------------------------------------------------------------------------
+// Figure 14 — synthetic correlation and scalability
+// ---------------------------------------------------------------------------
+
+fn fig14a(options: &Options) {
+    let mut report = FigureReport::new(
+        "Figure 14(a) — run-time (ms) vs social/spatial correlation",
+        "correlation",
+    );
+    // Keep the social distances of a foursquare-like graph (as the paper
+    // does) but assign correlation-controlled locations around a handful of
+    // anchor users; each anchor issues the query.
+    let base = DatasetConfig::foursquare_like(options.scale.gowalla_users).generate();
+    let anchors = QueryWorkload::generate(&base, 5, 0xFA14).users;
+    for correlation in Correlation::ALL {
+        report.push_x(correlation.name());
+        let mut totals = vec![0.0f64; MAIN_ALGORITHMS.len()];
+        let mut counted = 0usize;
+        for &anchor in &anchors {
+            let locations = correlated_locations(base.graph(), anchor, correlation, 0xC0FE);
+            let Ok(dataset) = GeoSocialDataset::new(base.graph().clone(), locations) else {
+                continue;
+            };
+            let Ok(engine) = GeoSocialEngine::build(dataset, EngineConfig::default()) else {
+                continue;
+            };
+            counted += 1;
+            for (i, algorithm) in MAIN_ALGORITHMS.iter().enumerate() {
+                let m = measure_algorithm(&engine, *algorithm, &[anchor], DEFAULT_K, 0.5);
+                totals[i] += m.avg_millis();
+            }
+        }
+        for (i, algorithm) in MAIN_ALGORITHMS.iter().enumerate() {
+            report.push_cell(
+                algorithm.name(),
+                format!("{:.3}", totals[i] / counted.max(1) as f64),
+            );
+        }
+    }
+    print!("{}", report.render());
+}
+
+fn fig14b(options: &Options) {
+    let mut report = FigureReport::new(
+        "Figure 14(b) — run-time (ms) vs data size (forest-fire samples)",
+        "users",
+    );
+    let base = DatasetConfig::foursquare_like(options.scale.foursquare_users).generate();
+    let full = base.user_count();
+    for fraction in [1.0 / 3.0, 2.0 / 3.0, 1.0] {
+        let target = ((full as f64) * fraction) as usize;
+        report.push_x(target);
+        let (graph, mapping) = forest_fire_sample(base.graph(), target, 0.7, 0x14B);
+        let locations: Vec<_> = mapping.iter().map(|&old| base.location(old)).collect();
+        let Ok(dataset) = GeoSocialDataset::new(graph, locations) else {
+            continue;
+        };
+        let bench = BenchDataset::from_dataset(
+            format!("sample-{target}"),
+            dataset,
+            options.scale.queries,
+            EngineConfig::default(),
+        );
+        for algorithm in MAIN_ALGORITHMS {
+            let m = measure_algorithm(
+                &bench.engine,
+                algorithm,
+                &bench.workload.users,
+                DEFAULT_K,
+                DEFAULT_ALPHA,
+            );
+            report.push_runtime(algorithm.name(), &m);
+        }
+    }
+    print!("{}", report.render());
+}
+
+// ---------------------------------------------------------------------------
+// Ablations beyond the paper's figures
+// ---------------------------------------------------------------------------
+
+fn ablation(options: &Options) {
+    let dataset = DatasetConfig::gowalla_like(options.scale.gowalla_users).generate();
+
+    let mut landmarks_report = FigureReport::new(
+        "Ablation — run-time (ms) vs number of landmarks M (gowalla-like)",
+        "M",
+    );
+    for m_landmarks in [2usize, 4, 8, 16, 32] {
+        landmarks_report.push_x(m_landmarks);
+        let config = EngineConfig {
+            num_landmarks: m_landmarks,
+            ..EngineConfig::default()
+        };
+        let bench = BenchDataset::from_dataset(
+            "gowalla-like",
+            dataset.clone(),
+            options.scale.queries,
+            config,
+        );
+        for algorithm in [Algorithm::Tsa, Algorithm::Ais] {
+            let m = measure_algorithm(
+                &bench.engine,
+                algorithm,
+                &bench.workload.users,
+                DEFAULT_K,
+                DEFAULT_ALPHA,
+            );
+            landmarks_report.push_runtime(algorithm.name(), &m);
+        }
+    }
+    print!("{}", landmarks_report.render());
+
+    let mut selection_report = FigureReport::new(
+        "Ablation — run-time (ms) vs landmark selection strategy (gowalla-like)",
+        "strategy",
+    );
+    for (label, selection) in [
+        ("random", LandmarkSelection::Random),
+        ("farthest", LandmarkSelection::FarthestFirst),
+        ("high-degree", LandmarkSelection::HighestDegree),
+    ] {
+        selection_report.push_x(label);
+        let config = EngineConfig {
+            landmark_selection: selection,
+            ..EngineConfig::default()
+        };
+        let bench = BenchDataset::from_dataset(
+            "gowalla-like",
+            dataset.clone(),
+            options.scale.queries,
+            config,
+        );
+        for algorithm in [Algorithm::Tsa, Algorithm::Ais] {
+            let m = measure_algorithm(
+                &bench.engine,
+                algorithm,
+                &bench.workload.users,
+                DEFAULT_K,
+                DEFAULT_ALPHA,
+            );
+            selection_report.push_runtime(algorithm.name(), &m);
+        }
+    }
+    print!("{}", selection_report.render());
+}

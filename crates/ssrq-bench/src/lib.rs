@@ -1,0 +1,18 @@
+//! Shared harness for the SSRQ experiment suite.
+//!
+//! The `experiments` binary and the Criterion benches both build on the
+//! helpers here: dataset presets at benchmark scale, workload execution,
+//! aggregation of run-time / pop-ratio measurements, and plain-text table
+//! rendering that mirrors the rows and series of the paper's tables and
+//! figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod measure;
+pub mod report;
+pub mod suite;
+
+pub use measure::{max_result_hops, measure_algorithm, AggregateMeasurement};
+pub use report::FigureReport;
+pub use suite::{BenchDataset, Scale};

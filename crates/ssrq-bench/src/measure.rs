@@ -1,0 +1,128 @@
+//! Workload execution and measurement aggregation.
+
+use ssrq_core::{Algorithm, GeoSocialEngine, QueryParams, UserId};
+use std::time::Duration;
+
+/// Aggregated measurements of one algorithm over one workload — the
+/// quantities the paper plots: average run-time per query and the pop ratio
+/// `|V_pop| / |V|`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AggregateMeasurement {
+    /// Number of queries executed.
+    pub queries: usize,
+    /// Average wall-clock time per query.
+    pub avg_runtime: Duration,
+    /// Average pop ratio (settled graph vertices / graph size).
+    pub pop_ratio: f64,
+    /// Average number of users whose exact score was computed.
+    pub avg_evaluated: f64,
+    /// Average number of exact graph-distance computations.
+    pub avg_distance_calls: f64,
+}
+
+impl AggregateMeasurement {
+    /// Average run-time in milliseconds (the unit of the paper's plots).
+    pub fn avg_millis(&self) -> f64 {
+        self.avg_runtime.as_secs_f64() * 1e3
+    }
+}
+
+/// Runs `algorithm` for every `(user, k, alpha)` combination of the given
+/// users and parameters, returning the aggregate measurement.
+pub fn measure_algorithm(
+    engine: &GeoSocialEngine,
+    algorithm: Algorithm,
+    users: &[UserId],
+    k: usize,
+    alpha: f64,
+) -> AggregateMeasurement {
+    let mut total_runtime = Duration::ZERO;
+    let mut total_pops = 0usize;
+    let mut total_evaluated = 0usize;
+    let mut total_distance_calls = 0usize;
+    let graph_size = engine.dataset().user_count().max(1);
+    let mut executed = 0usize;
+
+    for &user in users {
+        let params = QueryParams::new(user, k, alpha);
+        let result = match engine.query(algorithm, &params) {
+            Ok(result) => result,
+            Err(_) => continue,
+        };
+        executed += 1;
+        total_runtime += result.stats.runtime;
+        total_pops += result.stats.social_pops;
+        total_evaluated += result.stats.evaluated_users;
+        total_distance_calls += result.stats.distance_calls;
+    }
+    let executed_f = executed.max(1) as f64;
+    AggregateMeasurement {
+        queries: executed,
+        avg_runtime: total_runtime / executed.max(1) as u32,
+        pop_ratio: total_pops as f64 / executed_f / graph_size as f64,
+        avg_evaluated: total_evaluated as f64 / executed_f,
+        avg_distance_calls: total_distance_calls as f64 / executed_f,
+    }
+}
+
+/// Number of hops (edges on the weighted shortest path) between the query
+/// user and the farthest member of the SSRQ result — the quantity of
+/// Figure 7(a).  Returns `None` when the result is empty or a result user is
+/// unreachable.
+pub fn max_result_hops(
+    engine: &GeoSocialEngine,
+    algorithm: Algorithm,
+    params: &QueryParams,
+) -> Option<usize> {
+    let result = engine.query(algorithm, params).ok()?;
+    if result.ranked.is_empty() {
+        return None;
+    }
+    let graph = engine.dataset().graph();
+    let mut search = ssrq_graph::IncrementalDijkstra::new(graph, params.user);
+    let mut max_hops = 0usize;
+    for entry in &result.ranked {
+        search.run_until_settled(graph, entry.user);
+        let hops = search.path_to(entry.user)?.len().saturating_sub(1);
+        max_hops = max_hops.max(hops);
+    }
+    Some(max_hops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssrq_core::EngineConfig;
+    use ssrq_data::{DatasetConfig, QueryWorkload};
+
+    #[test]
+    fn measurement_aggregates_over_the_workload() {
+        let dataset = DatasetConfig::gowalla_like(600).generate();
+        let engine = GeoSocialEngine::build(dataset, EngineConfig::default()).unwrap();
+        let workload = QueryWorkload::generate(engine.dataset(), 5, 1);
+        let m = measure_algorithm(&engine, Algorithm::Ais, &workload.users, 10, 0.3);
+        assert_eq!(m.queries, 5);
+        assert!(m.avg_runtime > Duration::ZERO);
+        assert!(m.pop_ratio >= 0.0 && m.pop_ratio <= 2.0);
+        assert!(m.avg_millis() > 0.0);
+        assert!(m.avg_evaluated >= 1.0);
+    }
+
+    #[test]
+    fn max_result_hops_reports_a_positive_hop_count() {
+        let dataset = DatasetConfig::gowalla_like(400).generate();
+        let engine = GeoSocialEngine::build(dataset, EngineConfig::default()).unwrap();
+        let user = QueryWorkload::generate(engine.dataset(), 1, 2).users[0];
+        let hops = max_result_hops(&engine, Algorithm::Ais, &QueryParams::new(user, 10, 0.3));
+        assert!(hops.unwrap_or(0) >= 1);
+    }
+
+    #[test]
+    fn failed_queries_are_skipped() {
+        let dataset = DatasetConfig::gowalla_like(300).generate();
+        let engine = GeoSocialEngine::build(dataset, EngineConfig::default()).unwrap();
+        // SfaCh requires a CH index that was never built: every query fails.
+        let m = measure_algorithm(&engine, Algorithm::SfaCh, &[0, 1, 2], 5, 0.5);
+        assert_eq!(m.queries, 0);
+    }
+}

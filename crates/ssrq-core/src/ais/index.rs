@@ -1,0 +1,401 @@
+use crate::{CoreError, GeoSocialDataset, UserId};
+use ssrq_graph::LandmarkSet;
+use ssrq_spatial::{MultiLevelGrid, NodeId, NodeKind, Point, Rect};
+
+/// The social summary of an index node: for each landmark `j`, the minimum
+/// (`m̌[j]`) and maximum (`m̂[j]`) graph distance between any user below the
+/// node and that landmark (§5.1).
+///
+/// An empty node keeps `m̌ = +∞` and `m̂ = −∞`, which makes its social lower
+/// bound infinite — empty cells are pruned automatically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SocialSummary {
+    min: Vec<f64>,
+    max: Vec<f64>,
+}
+
+impl SocialSummary {
+    /// Creates the summary of an empty node for `m` landmarks.
+    pub fn empty(m: usize) -> Self {
+        SocialSummary {
+            min: vec![f64::INFINITY; m],
+            max: vec![f64::NEG_INFINITY; m],
+        }
+    }
+
+    /// Folds one user's landmark-distance vector into the summary.
+    pub fn absorb_vector(&mut self, vector: &[f64]) {
+        for (j, &d) in vector.iter().enumerate() {
+            if d < self.min[j] {
+                self.min[j] = d;
+            }
+            if d > self.max[j] {
+                self.max[j] = d;
+            }
+        }
+    }
+
+    /// Folds another summary (e.g. of a child node) into this one.
+    pub fn absorb_summary(&mut self, other: &SocialSummary) {
+        for j in 0..self.min.len() {
+            if other.min[j] < self.min[j] {
+                self.min[j] = other.min[j];
+            }
+            if other.max[j] > self.max[j] {
+                self.max[j] = other.max[j];
+            }
+        }
+    }
+
+    /// `m̌[j]`.
+    pub fn min_distance(&self, j: usize) -> f64 {
+        self.min[j]
+    }
+
+    /// `m̂[j]`.
+    pub fn max_distance(&self, j: usize) -> f64 {
+        self.max[j]
+    }
+
+    /// Returns `true` when no user has been folded in.
+    pub fn is_empty(&self) -> bool {
+        self.min.iter().all(|d| d.is_infinite() && *d > 0.0)
+    }
+
+    /// The social lower bound `p̌(v_q, C)` of Lemma 2, given the query
+    /// user's landmark-distance vector.
+    ///
+    /// For each landmark `j`:
+    /// * if `m_qj < m̌[j]` the bound `m̌[j] − m_qj` applies,
+    /// * if `m_qj > m̂[j]` the bound `m_qj − m̂[j]` applies,
+    /// * otherwise the landmark yields no information.
+    ///
+    /// The tightest (largest) bound over all landmarks is returned.
+    pub fn lower_bound(&self, query_vector: &[f64]) -> f64 {
+        debug_assert_eq!(query_vector.len(), self.min.len());
+        let mut best = 0.0_f64;
+        for j in 0..self.min.len() {
+            let mqj = query_vector[j];
+            let bound = if mqj < self.min[j] {
+                self.min[j] - mqj
+            } else if mqj > self.max[j] {
+                mqj - self.max[j]
+            } else {
+                0.0
+            };
+            if bound > best {
+                best = bound;
+            }
+        }
+        best
+    }
+}
+
+/// The AIS aggregate index: a multi-level regular grid over user locations
+/// with a [`SocialSummary`] attached to every node.
+#[derive(Debug, Clone)]
+pub struct AisIndex {
+    grid: MultiLevelGrid,
+    summaries: Vec<SocialSummary>,
+    num_landmarks: usize,
+}
+
+impl AisIndex {
+    /// Builds the index over every located user of `dataset`.
+    ///
+    /// * `branch` — the partitioning granularity `s` (each node has `s × s`
+    ///   children).
+    /// * `levels` — retained grid levels (the paper's default keeps two).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from the spatial substrate.
+    pub fn build(
+        dataset: &GeoSocialDataset,
+        landmarks: &LandmarkSet,
+        branch: u32,
+        levels: u32,
+    ) -> Result<Self, CoreError> {
+        // Expand the bounds marginally so boundary points stay strictly
+        // inside and the index tolerates small location drifts.
+        let bounds = expanded_bounds(dataset.bounds());
+        let grid = MultiLevelGrid::bulk_load(bounds, branch, levels, dataset.located_users())?;
+        let num_landmarks = landmarks.len();
+        let summaries = vec![SocialSummary::empty(num_landmarks); grid.node_count() as usize];
+        let mut index = AisIndex {
+            grid,
+            summaries,
+            num_landmarks,
+        };
+        for top in index.grid.top_nodes().collect::<Vec<_>>() {
+            let summary = index.compute_summary(top, landmarks);
+            index.summaries[top.0 as usize] = summary;
+        }
+        Ok(index)
+    }
+
+    fn compute_summary(&mut self, node: NodeId, landmarks: &LandmarkSet) -> SocialSummary {
+        let mut summary = SocialSummary::empty(self.num_landmarks);
+        match self.grid.node_kind(node) {
+            NodeKind::Leaf => {
+                for &user in self.grid.leaf_items(node) {
+                    summary.absorb_vector(landmarks.vector(user));
+                }
+            }
+            NodeKind::Internal => {
+                for child in self.grid.children(node) {
+                    let child_summary = self.compute_summary(child, landmarks);
+                    summary.absorb_summary(&child_summary);
+                    self.summaries[child.0 as usize] = child_summary;
+                }
+            }
+        }
+        summary
+    }
+
+    /// The underlying multi-level grid.
+    pub fn grid(&self) -> &MultiLevelGrid {
+        &self.grid
+    }
+
+    /// Number of landmarks per summary.
+    pub fn num_landmarks(&self) -> usize {
+        self.num_landmarks
+    }
+
+    /// The social summary of a node.
+    pub fn summary(&self, node: NodeId) -> &SocialSummary {
+        &self.summaries[node.0 as usize]
+    }
+
+    /// The raw (unnormalized) social lower bound `p̌(v_q, C)` for a node.
+    pub fn social_lower_bound(&self, node: NodeId, query_vector: &[f64]) -> f64 {
+        self.summaries[node.0 as usize].lower_bound(query_vector)
+    }
+
+    /// The raw spatial lower bound `ď(u_q, C)` for a node.
+    pub fn spatial_lower_bound(&self, node: NodeId, query_location: Point) -> f64 {
+        self.grid.node_rect(node).min_distance(query_location)
+    }
+
+    /// Moves a user to a new location, maintaining leaf membership and the
+    /// social summaries along the affected paths (the update procedure of
+    /// §5.1: a move is a deletion from the old cell plus an insertion into
+    /// the new one; summaries are recomputed and propagated upward).
+    pub fn update_location(
+        &mut self,
+        user: UserId,
+        location: Point,
+        landmarks: &LandmarkSet,
+    ) -> Result<(), CoreError> {
+        if self.grid.position(user).is_some() {
+            let (old_leaf, new_leaf) = self.grid.update(user, location)?;
+            if old_leaf != new_leaf {
+                self.rebuild_path(old_leaf, landmarks);
+                self.rebuild_path(new_leaf, landmarks);
+            }
+        } else {
+            let leaf = self.grid.insert(user, location);
+            self.rebuild_path(leaf, landmarks);
+        }
+        Ok(())
+    }
+
+    /// Removes a user (e.g. one whose location became unknown), updating the
+    /// summaries along its former path.
+    pub fn remove_user(&mut self, user: UserId, landmarks: &LandmarkSet) -> Result<(), CoreError> {
+        let leaf = self.grid.remove(user)?;
+        self.rebuild_path(leaf, landmarks);
+        Ok(())
+    }
+
+    /// Recomputes the summary of a leaf from its users, then refreshes every
+    /// ancestor from its children.
+    fn rebuild_path(&mut self, leaf: NodeId, landmarks: &LandmarkSet) {
+        let mut summary = SocialSummary::empty(self.num_landmarks);
+        for &user in self.grid.leaf_items(leaf) {
+            summary.absorb_vector(landmarks.vector(user));
+        }
+        self.summaries[leaf.0 as usize] = summary;
+        let ancestors = self.grid.ancestors(leaf);
+        for node in ancestors.into_iter().skip(1) {
+            let mut summary = SocialSummary::empty(self.num_landmarks);
+            for child in self.grid.children(node) {
+                summary.absorb_summary(&self.summaries[child.0 as usize]);
+            }
+            self.summaries[node.0 as usize] = summary;
+        }
+    }
+}
+
+fn expanded_bounds(bounds: Rect) -> Rect {
+    let margin = (bounds.width().max(bounds.height()) * 1e-6).max(1e-9);
+    bounds.expanded(margin)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssrq_graph::{dijkstra_all, GraphBuilder, LandmarkSelection, SocialGraph};
+
+    fn small_dataset() -> (GeoSocialDataset, LandmarkSet) {
+        // A ring of 8 users with unit weights, located on a 3x3-ish layout.
+        let graph: SocialGraph = GraphBuilder::from_edges(
+            8,
+            (0..8).map(|i| (i as u32, ((i + 1) % 8) as u32, 1.0)),
+        )
+        .unwrap();
+        let locations = vec![
+            Some(Point::new(0.1, 0.1)),
+            Some(Point::new(0.9, 0.1)),
+            Some(Point::new(0.5, 0.5)),
+            Some(Point::new(0.1, 0.9)),
+            Some(Point::new(0.9, 0.9)),
+            Some(Point::new(0.3, 0.7)),
+            Some(Point::new(0.7, 0.3)),
+            None,
+        ];
+        let landmarks =
+            LandmarkSet::build(&graph, 2, LandmarkSelection::FarthestFirst, 7).unwrap();
+        let dataset = GeoSocialDataset::new(graph, locations).unwrap();
+        (dataset, landmarks)
+    }
+
+    #[test]
+    fn summary_lower_bound_is_valid_for_every_cell() {
+        let (dataset, landmarks) = small_dataset();
+        let index = AisIndex::build(&dataset, &landmarks, 3, 2).unwrap();
+        // For every query user and every node, the social lower bound must
+        // not exceed the true distance to any user stored below the node.
+        for q in 0..8u32 {
+            let truth = dijkstra_all(dataset.graph(), q);
+            let qvec: Vec<f64> = landmarks.vector(q).to_vec();
+            for node_id in 0..index.grid().node_count() {
+                let node = NodeId(node_id);
+                let bound = index.social_lower_bound(node, &qvec);
+                let mut users: Vec<UserId> = Vec::new();
+                collect_users(&index, node, &mut users);
+                for u in users {
+                    assert!(
+                        bound <= truth[u as usize] + 1e-9,
+                        "node {node_id}: bound {bound} exceeds d({q},{u}) = {}",
+                        truth[u as usize]
+                    );
+                }
+            }
+        }
+    }
+
+    fn collect_users(index: &AisIndex, node: NodeId, out: &mut Vec<UserId>) {
+        match index.grid().node_kind(node) {
+            NodeKind::Leaf => out.extend_from_slice(index.grid().leaf_items(node)),
+            NodeKind::Internal => {
+                for child in index.grid().children(node) {
+                    collect_users(index, child, out);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_cells_get_infinite_bound() {
+        let (dataset, landmarks) = small_dataset();
+        let index = AisIndex::build(&dataset, &landmarks, 4, 2).unwrap();
+        let qvec: Vec<f64> = landmarks.vector(0).to_vec();
+        let mut found_empty = false;
+        for node_id in 0..index.grid().node_count() {
+            let node = NodeId(node_id);
+            if index.grid().node_kind(node) == NodeKind::Leaf
+                && index.grid().leaf_items(node).is_empty()
+            {
+                found_empty = true;
+                assert!(index.social_lower_bound(node, &qvec).is_infinite());
+                assert!(index.summary(node).is_empty());
+            }
+        }
+        assert!(found_empty, "expected at least one empty leaf cell");
+    }
+
+    #[test]
+    fn internal_summaries_cover_children() {
+        let (dataset, landmarks) = small_dataset();
+        let index = AisIndex::build(&dataset, &landmarks, 3, 2).unwrap();
+        for top in index.grid().top_nodes() {
+            let parent = index.summary(top);
+            for child in index.grid().children(top) {
+                let child_summary = index.summary(child);
+                for j in 0..index.num_landmarks() {
+                    if !child_summary.is_empty() {
+                        assert!(parent.min_distance(j) <= child_summary.min_distance(j));
+                        assert!(parent.max_distance(j) >= child_summary.max_distance(j));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_figure4_example_bound() {
+        // Figure 4 of the paper: cell containing v3, v4, v5 with distances
+        // 4, 3, 1 to the single landmark; the query vertex v1 is at distance
+        // 0 from the landmark... the paper derives p̌ = 1 for a query at
+        // landmark distance 0.  Reproduce with a hand-built summary.
+        let mut summary = SocialSummary::empty(1);
+        summary.absorb_vector(&[4.0]);
+        summary.absorb_vector(&[3.0]);
+        summary.absorb_vector(&[1.0]);
+        assert_eq!(summary.min_distance(0), 1.0);
+        assert_eq!(summary.max_distance(0), 4.0);
+        assert_eq!(summary.lower_bound(&[0.0]), 1.0);
+        // A query vertex between min and max yields no bound.
+        assert_eq!(summary.lower_bound(&[2.0]), 0.0);
+        // A query vertex beyond the max yields mqj - max.
+        assert_eq!(summary.lower_bound(&[6.0]), 2.0);
+    }
+
+    #[test]
+    fn location_update_maintains_summaries() {
+        let (dataset, landmarks) = small_dataset();
+        let mut index = AisIndex::build(&dataset, &landmarks, 3, 2).unwrap();
+        // Move user 0 to the opposite corner and verify the summaries match
+        // a freshly built index over the updated dataset.
+        let mut moved = dataset.clone();
+        moved.set_location(0, Some(Point::new(0.85, 0.85))).unwrap();
+        index
+            .update_location(0, Point::new(0.85, 0.85), &landmarks)
+            .unwrap();
+        let fresh = AisIndex::build(&moved, &landmarks, 3, 2).unwrap();
+        for node_id in 0..index.grid().node_count() {
+            let node = NodeId(node_id);
+            assert_eq!(
+                index.summary(node),
+                fresh.summary(node),
+                "summary mismatch at node {node_id}"
+            );
+        }
+    }
+
+    #[test]
+    fn inserting_a_previously_unlocated_user_works() {
+        let (dataset, landmarks) = small_dataset();
+        let mut index = AisIndex::build(&dataset, &landmarks, 3, 2).unwrap();
+        assert_eq!(index.grid().len(), 7);
+        index
+            .update_location(7, Point::new(0.2, 0.2), &landmarks)
+            .unwrap();
+        assert_eq!(index.grid().len(), 8);
+        let leaf = index.grid().leaf_of(Point::new(0.2, 0.2));
+        assert!(index.grid().leaf_items(leaf).contains(&7));
+        index.remove_user(7, &landmarks).unwrap();
+        assert_eq!(index.grid().len(), 7);
+    }
+
+    #[test]
+    fn spatial_lower_bound_is_zero_inside_the_cell() {
+        let (dataset, landmarks) = small_dataset();
+        let index = AisIndex::build(&dataset, &landmarks, 3, 2).unwrap();
+        let q = Point::new(0.5, 0.5);
+        let leaf = index.grid().leaf_of(q);
+        assert_eq!(index.spatial_lower_bound(leaf, q), 0.0);
+    }
+}

@@ -1,0 +1,346 @@
+use crate::ais::AisIndex;
+use crate::{
+    CoreError, GeoSocialDataset, QueryParams, QueryResult, QueryStats, RankedUser,
+    RankingContext, TopK, UserId,
+};
+use ssrq_graph::{GraphDistanceEngine, LandmarkSet, SharingMode};
+use ssrq_spatial::{NodeId, NodeKind};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+/// Which optimizations the AIS search applies — the three flavours evaluated
+/// in Figure 10 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AisVariant {
+    /// Sharing mode of the graph-distance submodule (§5.2).
+    pub sharing: SharingMode,
+    /// Whether the delayed-evaluation strategy (§5.3) is applied.
+    pub delayed_evaluation: bool,
+}
+
+impl AisVariant {
+    /// AIS-BID: plain bidirectional distance computations, no sharing, no
+    /// delayed evaluation.
+    pub fn bid() -> Self {
+        AisVariant {
+            sharing: SharingMode::None,
+            delayed_evaluation: false,
+        }
+    }
+
+    /// AIS⁻: computation sharing but no delayed evaluation.
+    pub fn minus() -> Self {
+        AisVariant {
+            sharing: SharingMode::Shared,
+            delayed_evaluation: false,
+        }
+    }
+
+    /// AIS: all optimizations.
+    pub fn full() -> Self {
+        AisVariant {
+            sharing: SharingMode::Shared,
+            delayed_evaluation: true,
+        }
+    }
+}
+
+/// An entry of the AIS search heap (Algorithm 2): an index node, or a user
+/// awaiting exact evaluation.
+#[derive(Debug, Clone, Copy)]
+enum Item {
+    Node(NodeId),
+    /// A user together with its normalized spatial distance from the query
+    /// user (computed when the leaf cell was expanded).
+    User(UserId, f64),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    key: f64,
+    item: Item,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .key
+            .partial_cmp(&self.key)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Runs the AIS branch-and-bound search (Algorithm 2 of the paper) with the
+/// chosen variant.
+pub fn ais_query(
+    dataset: &GeoSocialDataset,
+    index: &AisIndex,
+    landmarks: &LandmarkSet,
+    params: &QueryParams,
+    variant: AisVariant,
+) -> Result<QueryResult, CoreError> {
+    params.validate()?;
+    dataset.check_user(params.user)?;
+    let start = Instant::now();
+    let mut stats = QueryStats::default();
+    let ctx = RankingContext::new(dataset, params);
+
+    let Some(query_location) = dataset.location(params.user) else {
+        // A query user without a location sees every candidate at infinite
+        // spatial distance; with α < 1 no candidate has a finite score.
+        stats.runtime = start.elapsed();
+        return Ok(QueryResult {
+            ranked: Vec::new(),
+            stats,
+        });
+    };
+    let query_vector: Vec<f64> = landmarks.vector(params.user).to_vec();
+
+    let mut distance_engine =
+        GraphDistanceEngine::new(dataset.graph(), landmarks, params.user, variant.sharing);
+    let mut topk = TopK::new(params.k);
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
+
+    for node in index.grid().top_nodes() {
+        let key = node_lower_bound(index, &ctx, node, query_location, &query_vector);
+        if key.is_finite() {
+            heap.push(Entry {
+                key,
+                item: Item::Node(node),
+            });
+        }
+    }
+
+    while let Some(Entry { key, item }) = heap.pop() {
+        stats.index_pops += 1;
+        if key >= topk.fk() {
+            break;
+        }
+        match item {
+            Item::Node(node) => match index.grid().node_kind(node) {
+                NodeKind::Internal => {
+                    for child in index.grid().children(node) {
+                        let child_key =
+                            node_lower_bound(index, &ctx, child, query_location, &query_vector);
+                        if child_key.is_finite() && child_key < topk.fk() {
+                            heap.push(Entry {
+                                key: child_key,
+                                item: Item::Node(child),
+                            });
+                        }
+                    }
+                }
+                NodeKind::Leaf => {
+                    for &user in index.grid().leaf_items(node) {
+                        if user == params.user {
+                            continue;
+                        }
+                        let spatial = ctx.spatial(user);
+                        let social_lb =
+                            ctx.normalize_social(landmarks.lower_bound(params.user, user));
+                        let user_key = ctx.score_lower_bound(social_lb, spatial);
+                        if user_key.is_finite() && user_key < topk.fk() {
+                            heap.push(Entry {
+                                key: user_key,
+                                item: Item::User(user, spatial),
+                            });
+                        }
+                    }
+                }
+            },
+            Item::User(user, spatial) => {
+                // Delayed evaluation (§5.3): if the shared forward search has
+                // progressed beyond this user's landmark bound, re-insert it
+                // with the tighter β-based key instead of evaluating it now.
+                if variant.delayed_evaluation {
+                    let beta_bound = ctx.normalize_social(distance_engine.beta());
+                    let delayed_key = ctx.score_lower_bound(beta_bound, spatial);
+                    if key < delayed_key - 1e-12
+                        && distance_engine.known_distance(user).is_none()
+                    {
+                        stats.delayed_reinsertions += 1;
+                        heap.push(Entry {
+                            key: delayed_key,
+                            item: Item::User(user, spatial),
+                        });
+                        continue;
+                    }
+                }
+                // Evaluate or disqualify: the exact social distance is only
+                // needed up to the budget beyond which the user cannot beat
+                // the current threshold f_k.
+                let fk = topk.fk();
+                let budget = if fk.is_finite() {
+                    let social_budget = (fk - (1.0 - params.alpha) * spatial) / params.alpha;
+                    dataset.social_norm() * social_budget
+                } else {
+                    f64::INFINITY
+                };
+                let raw_social = distance_engine.distance_within(user, budget);
+                stats.distance_calls += 1;
+                stats.evaluated_users += 1;
+                let social = ctx.normalize_social(raw_social);
+                let score = ctx.score(social, spatial);
+                topk.consider(RankedUser {
+                    user,
+                    score,
+                    social,
+                    spatial,
+                });
+            }
+        }
+    }
+
+    let engine_stats = distance_engine.stats();
+    stats.social_pops += engine_stats.forward_settles + engine_stats.reverse_settles;
+    stats.cache_hits += engine_stats.cache_hits;
+    // |V_pop| for AIS is the number of entries popped from its own search
+    // heap H (Algorithm 2), not the internal work of the distance submodule.
+    stats.vertex_pops = stats.index_pops;
+    stats.runtime = start.elapsed();
+    Ok(QueryResult {
+        ranked: topk.into_sorted_vec(),
+        stats,
+    })
+}
+
+/// `MINF(u_q, C)` of Theorem 1, in normalized/ranking units.
+fn node_lower_bound(
+    index: &AisIndex,
+    ctx: &RankingContext<'_>,
+    node: NodeId,
+    query_location: ssrq_spatial::Point,
+    query_vector: &[f64],
+) -> f64 {
+    let spatial_lb = ctx.normalize_spatial(index.spatial_lower_bound(node, query_location));
+    let social_lb = ctx.normalize_social(index.social_lower_bound(node, query_vector));
+    ctx.score_lower_bound(social_lb, spatial_lb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::exhaustive;
+    use ssrq_graph::{GraphBuilder, LandmarkSelection};
+    use ssrq_spatial::Point;
+
+    /// A deterministic 30-user dataset mixing two spatial clusters and a
+    /// ring-with-chords social topology.
+    fn dataset() -> (GeoSocialDataset, LandmarkSet) {
+        let n = 30u32;
+        let mut builder = GraphBuilder::new(n as usize);
+        for i in 0..n {
+            builder.add_edge(i, (i + 1) % n, 0.5 + (i % 5) as f64 * 0.3).unwrap();
+        }
+        for i in (0..n).step_by(3) {
+            builder.add_edge(i, (i + 7) % n, 1.0 + (i % 4) as f64 * 0.5).unwrap();
+        }
+        let graph = builder.build();
+        let locations: Vec<Option<Point>> = (0..n)
+            .map(|i| {
+                if i % 7 == 6 {
+                    None
+                } else if i % 2 == 0 {
+                    Some(Point::new(0.1 + (i as f64) * 0.01, 0.2 + (i as f64 % 5.0) * 0.05))
+                } else {
+                    Some(Point::new(0.8 - (i as f64) * 0.005, 0.7 + (i as f64 % 3.0) * 0.08))
+                }
+            })
+            .collect();
+        let landmarks =
+            LandmarkSet::build(&graph, 3, LandmarkSelection::FarthestFirst, 11).unwrap();
+        let dataset = GeoSocialDataset::new(graph, locations).unwrap();
+        (dataset, landmarks)
+    }
+
+    fn check_variant(variant: AisVariant) {
+        let (dataset, landmarks) = dataset();
+        let index = AisIndex::build(&dataset, &landmarks, 4, 2).unwrap();
+        for &alpha in &[0.1, 0.3, 0.5, 0.7, 0.9] {
+            for &k in &[1usize, 3, 5, 10] {
+                for user in [0u32, 5, 13, 22] {
+                    let params = QueryParams::new(user, k, alpha);
+                    let expected = exhaustive::exhaustive_query(&dataset, &params).unwrap();
+                    let got =
+                        ais_query(&dataset, &index, &landmarks, &params, variant).unwrap();
+                    assert!(
+                        got.same_users_and_scores(&expected, 1e-9),
+                        "variant {variant:?}, alpha {alpha}, k {k}, user {user}:\n  got {:?}\n  expected {:?}",
+                        got.users(),
+                        expected.users()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ais_bid_matches_exhaustive() {
+        check_variant(AisVariant::bid());
+    }
+
+    #[test]
+    fn ais_minus_matches_exhaustive() {
+        check_variant(AisVariant::minus());
+    }
+
+    #[test]
+    fn ais_full_matches_exhaustive() {
+        check_variant(AisVariant::full());
+    }
+
+    #[test]
+    fn query_user_without_location_gets_empty_result() {
+        let (dataset, landmarks) = dataset();
+        let index = AisIndex::build(&dataset, &landmarks, 4, 2).unwrap();
+        // User 6 has no location (6 % 7 == 6).
+        let params = QueryParams::new(6, 5, 0.5);
+        let result = ais_query(&dataset, &index, &landmarks, &params, AisVariant::full()).unwrap();
+        assert!(result.ranked.is_empty());
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        let (dataset, landmarks) = dataset();
+        let index = AisIndex::build(&dataset, &landmarks, 4, 2).unwrap();
+        let bad_alpha = QueryParams::new(0, 5, 1.0);
+        assert!(ais_query(&dataset, &index, &landmarks, &bad_alpha, AisVariant::full()).is_err());
+        let bad_user = QueryParams::new(999, 5, 0.5);
+        assert!(ais_query(&dataset, &index, &landmarks, &bad_user, AisVariant::full()).is_err());
+    }
+
+    #[test]
+    fn stats_report_search_effort() {
+        let (dataset, landmarks) = dataset();
+        let index = AisIndex::build(&dataset, &landmarks, 4, 2).unwrap();
+        let params = QueryParams::new(0, 5, 0.3);
+        let result = ais_query(&dataset, &index, &landmarks, &params, AisVariant::full()).unwrap();
+        assert!(result.stats.index_pops > 0);
+        assert!(result.stats.evaluated_users >= result.ranked.len());
+        assert!(result.stats.runtime.as_nanos() > 0);
+    }
+
+    #[test]
+    fn full_variant_evaluates_no_more_users_than_bid() {
+        let (dataset, landmarks) = dataset();
+        let index = AisIndex::build(&dataset, &landmarks, 4, 2).unwrap();
+        let params = QueryParams::new(3, 5, 0.5);
+        let bid = ais_query(&dataset, &index, &landmarks, &params, AisVariant::bid()).unwrap();
+        let full = ais_query(&dataset, &index, &landmarks, &params, AisVariant::full()).unwrap();
+        // The optimizations must never *increase* the number of exact
+        // distance evaluations.
+        assert!(full.stats.evaluated_users <= bid.stats.evaluated_users + 1);
+    }
+}

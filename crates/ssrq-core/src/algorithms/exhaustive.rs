@@ -1,0 +1,129 @@
+use crate::{
+    CoreError, GeoSocialDataset, QueryParams, QueryResult, QueryStats, RankedUser, RankingContext,
+    TopK,
+};
+use ssrq_graph::dijkstra_all;
+use std::time::Instant;
+
+/// Brute-force SSRQ evaluation: one full single-source Dijkstra from the
+/// query vertex, then a linear scan over all users.
+///
+/// This is the correctness oracle used throughout the test suite and the
+/// baseline "no index, no pruning" reference point; it is not part of the
+/// paper's evaluated methods.
+pub fn exhaustive_query(
+    dataset: &GeoSocialDataset,
+    params: &QueryParams,
+) -> Result<QueryResult, CoreError> {
+    params.validate()?;
+    dataset.check_user(params.user)?;
+    let start = Instant::now();
+    let ctx = RankingContext::new(dataset, params);
+    let mut stats = QueryStats::default();
+
+    let social = dijkstra_all(dataset.graph(), params.user);
+    stats.social_pops = social.iter().filter(|d| d.is_finite()).count();
+    stats.vertex_pops = dataset.user_count();
+
+    let mut topk = TopK::new(params.k);
+    for user in dataset.graph().nodes() {
+        if user == params.user {
+            continue;
+        }
+        let (score, social_norm, spatial_norm) =
+            ctx.score_from_raw_social(user, social[user as usize]);
+        stats.evaluated_users += 1;
+        topk.consider(RankedUser {
+            user,
+            score,
+            social: social_norm,
+            spatial: spatial_norm,
+        });
+    }
+    stats.runtime = start.elapsed();
+    Ok(QueryResult {
+        ranked: topk.into_sorted_vec(),
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssrq_graph::GraphBuilder;
+    use ssrq_spatial::Point;
+
+    fn tiny_dataset() -> GeoSocialDataset {
+        // Figure 1 of the paper, roughly: u1 is the query user; u5 is the
+        // spatially closest, u2 the socially closest, u4 a good compromise.
+        let graph = GraphBuilder::from_edges(
+            5,
+            vec![
+                (0, 1, 0.2), // u1 - u2: strong friendship
+                (1, 2, 0.5),
+                (2, 3, 0.5),
+                (0, 3, 0.9),
+                (3, 4, 0.5),
+            ],
+        )
+        .unwrap();
+        let locations = vec![
+            Some(Point::new(0.5, 0.5)),  // u1 (query)
+            Some(Point::new(0.95, 0.9)), // u2: far away spatially
+            Some(Point::new(0.1, 0.9)),
+            Some(Point::new(0.56, 0.55)), // u4: slightly farther than u5
+            Some(Point::new(0.53, 0.52)), // u5: closest spatially
+        ];
+        GeoSocialDataset::new(graph, locations).unwrap()
+    }
+
+    #[test]
+    fn balances_social_and_spatial_proximity() {
+        let dataset = tiny_dataset();
+        // With a balanced alpha the compromise user u4 (index 3) should beat
+        // both the purely-social (u2) and purely-spatial (u5) favourites.
+        let result = exhaustive_query(&dataset, &QueryParams::new(0, 1, 0.5)).unwrap();
+        assert_eq!(result.ranked[0].user, 3);
+        // With alpha -> social, the strong friend u2 (index 1) wins.
+        let result = exhaustive_query(&dataset, &QueryParams::new(0, 1, 0.9)).unwrap();
+        assert_eq!(result.ranked[0].user, 1);
+        // With alpha -> spatial, the nearest user u5 (index 4) wins.
+        let result = exhaustive_query(&dataset, &QueryParams::new(0, 1, 0.1)).unwrap();
+        assert_eq!(result.ranked[0].user, 4);
+    }
+
+    #[test]
+    fn excludes_the_query_user_and_respects_k() {
+        let dataset = tiny_dataset();
+        let result = exhaustive_query(&dataset, &QueryParams::new(0, 10, 0.5)).unwrap();
+        assert_eq!(result.ranked.len(), 4);
+        assert!(result.users().iter().all(|&u| u != 0));
+        let result = exhaustive_query(&dataset, &QueryParams::new(0, 2, 0.5)).unwrap();
+        assert_eq!(result.ranked.len(), 2);
+        // Scores are ascending.
+        assert!(result.ranked[0].score <= result.ranked[1].score);
+    }
+
+    #[test]
+    fn users_without_finite_score_are_excluded() {
+        let graph = GraphBuilder::from_edges(4, vec![(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
+        let locations = vec![
+            Some(Point::new(0.0, 0.0)),
+            Some(Point::new(1.0, 1.0)),
+            Some(Point::new(0.2, 0.2)),
+            None,
+        ];
+        let dataset = GeoSocialDataset::new(graph, locations).unwrap();
+        let result = exhaustive_query(&dataset, &QueryParams::new(0, 4, 0.5)).unwrap();
+        // User 2 is socially unreachable, user 3 additionally lacks a
+        // location: both have infinite scores and are excluded.
+        assert_eq!(result.users(), vec![1]);
+    }
+
+    #[test]
+    fn rejects_invalid_input() {
+        let dataset = tiny_dataset();
+        assert!(exhaustive_query(&dataset, &QueryParams::new(0, 0, 0.5)).is_err());
+        assert!(exhaustive_query(&dataset, &QueryParams::new(99, 1, 0.5)).is_err());
+    }
+}

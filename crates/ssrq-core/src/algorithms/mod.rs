@@ -1,0 +1,21 @@
+//! SSRQ processing algorithms other than AIS (which lives in
+//! [`crate::ais`]): the exhaustive oracle, the one-domain baselines SFA and
+//! SPA (§4.1), the twofold search TSA and its variants (§4.2), and the
+//! pre-computation method of §5.4.
+
+/// Brute-force oracle (full Dijkstra + linear scan).
+pub mod exhaustive;
+/// Pre-computed socially-closest lists with AIS fallback (§5.4).
+pub mod precompute;
+/// Social First Approach and its CH variant (§4.1).
+pub mod sfa;
+/// Spatial First Approach and its CH variant (§4.1).
+pub mod spa;
+/// Twofold Search Approach: round-robin, Quick Combine, landmarks, CH (§4.2).
+pub mod tsa;
+
+pub use exhaustive::exhaustive_query;
+pub use precompute::{cached_query, SocialNeighborCache};
+pub use sfa::{sfa_ch_query, sfa_query};
+pub use spa::{spa_query, SpaOptions};
+pub use tsa::{tsa_query, TsaOptions};

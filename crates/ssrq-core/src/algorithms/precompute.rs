@@ -1,0 +1,244 @@
+use crate::{
+    CoreError, GeoSocialDataset, QueryParams, QueryResult, QueryStats, RankedUser, RankingContext,
+    TopK, UserId,
+};
+use ssrq_graph::{IncrementalDijkstra, SocialGraph};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Pre-computed lists of the `t` socially closest vertices per user (§5.4 of
+/// the paper).
+///
+/// Materializing the lists for *every* user costs `Θ(t · |V|)` memory (the
+/// paper notes that even the full all-pairs matrix would need ~16 TB for
+/// Foursquare); since only query users ever read their list, the cache is
+/// built for an explicit set of users — typically the query workload.
+#[derive(Debug, Clone)]
+pub struct SocialNeighborCache {
+    t: usize,
+    lists: HashMap<UserId, Vec<(UserId, f64)>>,
+}
+
+impl SocialNeighborCache {
+    /// Pre-computes, for each user in `users`, its `t` socially closest
+    /// vertices (excluding itself) in ascending distance order.
+    pub fn build(graph: &SocialGraph, users: &[UserId], t: usize) -> Self {
+        let mut lists = HashMap::with_capacity(users.len());
+        for &user in users {
+            if !graph.contains(user) {
+                continue;
+            }
+            let mut search = IncrementalDijkstra::new(graph, user);
+            let mut list = Vec::with_capacity(t);
+            while list.len() < t {
+                match search.next_settled(graph) {
+                    Some((v, d)) if v != user => list.push((v, d)),
+                    Some(_) => {}
+                    None => break,
+                }
+            }
+            lists.insert(user, list);
+        }
+        SocialNeighborCache { t, lists }
+    }
+
+    /// The configured list length `t`.
+    pub fn t(&self) -> usize {
+        self.t
+    }
+
+    /// Number of users the cache covers.
+    pub fn covered_users(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// The pre-computed list of `user`, if it was built.
+    pub fn neighbors(&self, user: UserId) -> Option<&[(UserId, f64)]> {
+        self.lists.get(&user).map(|v| v.as_slice())
+    }
+
+    /// Approximate memory footprint of the cache in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.lists
+            .values()
+            .map(|v| v.len() * std::mem::size_of::<(UserId, f64)>())
+            .sum()
+    }
+}
+
+/// SSRQ processing with the pre-computed lists ("AIS-Cache" in Figure 11):
+/// run the SFA loop over the cached, already-sorted social neighbour list of
+/// the query user; if the list is exhausted before the termination condition
+/// holds, fall back to the supplied AIS query.
+///
+/// `fallback` is invoked lazily, only when the cache proves insufficient; it
+/// receives the original parameters and must produce a complete result.
+pub fn cached_query<F>(
+    dataset: &GeoSocialDataset,
+    cache: &SocialNeighborCache,
+    params: &QueryParams,
+    fallback: F,
+) -> Result<QueryResult, CoreError>
+where
+    F: FnOnce(&QueryParams) -> Result<QueryResult, CoreError>,
+{
+    params.validate()?;
+    dataset.check_user(params.user)?;
+    let start = Instant::now();
+    let ctx = RankingContext::new(dataset, params);
+    let mut stats = QueryStats::default();
+    let mut topk = TopK::new(params.k);
+
+    let Some(list) = cache.neighbors(params.user) else {
+        // No list for this user: defer to the fallback entirely.
+        let mut result = fallback(params)?;
+        result.stats.runtime = start.elapsed();
+        return Ok(result);
+    };
+
+    let mut terminated = false;
+    for &(user, raw_social) in list {
+        stats.cache_hits += 1;
+        stats.vertex_pops += 1;
+        let (score, social_norm, spatial_norm) = ctx.score_from_raw_social(user, raw_social);
+        stats.evaluated_users += 1;
+        topk.consider(RankedUser {
+            user,
+            score,
+            social: social_norm,
+            spatial: spatial_norm,
+        });
+        let theta = params.alpha * ctx.normalize_social(raw_social);
+        if theta >= topk.fk() {
+            terminated = true;
+            break;
+        }
+    }
+    // A list shorter than `t` means the whole component was materialized —
+    // the remaining users are socially unreachable and cannot qualify.
+    if !terminated && list.len() >= cache.t() {
+        // The cache is exhausted but the termination condition never held:
+        // the correct answer may involve users beyond the cached horizon.
+        let mut result = fallback(params)?;
+        stats.absorb(&result.stats);
+        stats.runtime = start.elapsed();
+        result.stats = stats;
+        return Ok(result);
+    }
+
+    stats.runtime = start.elapsed();
+    Ok(QueryResult {
+        ranked: topk.into_sorted_vec(),
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::exhaustive::exhaustive_query;
+    use ssrq_graph::GraphBuilder;
+    use ssrq_spatial::Point;
+
+    fn dataset() -> GeoSocialDataset {
+        let n = 30u32;
+        let mut builder = GraphBuilder::new(n as usize);
+        for i in 0..n {
+            builder
+                .add_edge(i, (i + 1) % n, 0.5 + (i % 4) as f64 * 0.25)
+                .unwrap();
+        }
+        for i in (0..n).step_by(5) {
+            builder.add_edge(i, (i + 9) % n, 1.1).unwrap();
+        }
+        let graph = builder.build();
+        let locations: Vec<Option<Point>> = (0..n)
+            .map(|i| {
+                Some(Point::new(
+                    ((i as f64) * 0.55) % 1.0,
+                    ((i as f64) * 0.31) % 1.0,
+                ))
+            })
+            .collect();
+        GeoSocialDataset::new(graph, locations).unwrap()
+    }
+
+    #[test]
+    fn cache_lists_are_sorted_and_bounded() {
+        let dataset = dataset();
+        let cache = SocialNeighborCache::build(dataset.graph(), &[0, 5, 10], 7);
+        assert_eq!(cache.t(), 7);
+        assert_eq!(cache.covered_users(), 3);
+        assert!(cache.memory_bytes() > 0);
+        for user in [0u32, 5, 10] {
+            let list = cache.neighbors(user).unwrap();
+            assert!(list.len() <= 7);
+            for w in list.windows(2) {
+                assert!(w[0].1 <= w[1].1);
+            }
+            assert!(list.iter().all(|&(v, _)| v != user));
+        }
+        assert!(cache.neighbors(3).is_none());
+    }
+
+    #[test]
+    fn large_cache_answers_without_fallback() {
+        let dataset = dataset();
+        // t as large as the graph: the cache can always terminate on its own.
+        let cache = SocialNeighborCache::build(dataset.graph(), &[0, 12], 30);
+        for user in [0u32, 12] {
+            for &alpha in &[0.3, 0.7] {
+                let params = QueryParams::new(user, 5, alpha);
+                let expected = exhaustive_query(&dataset, &params).unwrap();
+                let got = cached_query(&dataset, &cache, &params, |_| {
+                    panic!("fallback must not be used when the cache suffices")
+                })
+                .unwrap();
+                assert!(got.same_users_and_scores(&expected, 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn small_cache_falls_back_and_stays_correct() {
+        let dataset = dataset();
+        let cache = SocialNeighborCache::build(dataset.graph(), &[0], 2);
+        let params = QueryParams::new(0, 8, 0.2);
+        let expected = exhaustive_query(&dataset, &params).unwrap();
+        let got = cached_query(&dataset, &cache, &params, |p| exhaustive_query(&dataset, p))
+            .unwrap();
+        assert!(got.same_users_and_scores(&expected, 1e-9));
+    }
+
+    #[test]
+    fn uncovered_user_goes_straight_to_fallback() {
+        let dataset = dataset();
+        let cache = SocialNeighborCache::build(dataset.graph(), &[1], 5);
+        let params = QueryParams::new(2, 3, 0.5);
+        let expected = exhaustive_query(&dataset, &params).unwrap();
+        let got = cached_query(&dataset, &cache, &params, |p| exhaustive_query(&dataset, p))
+            .unwrap();
+        assert!(got.same_users_and_scores(&expected, 1e-9));
+    }
+
+    #[test]
+    fn exhausted_component_needs_no_fallback() {
+        // Two components; the query user's component is smaller than t, so
+        // the cached list covers it completely and no fallback is needed.
+        let graph = GraphBuilder::from_edges(
+            6,
+            vec![(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0), (4, 5, 1.0)],
+        )
+        .unwrap();
+        let locations = vec![Some(Point::new(0.1, 0.1)); 6];
+        let dataset = GeoSocialDataset::new(graph, locations).unwrap();
+        let cache = SocialNeighborCache::build(dataset.graph(), &[0], 10);
+        let params = QueryParams::new(0, 5, 0.5);
+        let expected = exhaustive_query(&dataset, &params).unwrap();
+        let got = cached_query(&dataset, &cache, &params, |_| {
+            panic!("fallback must not run when the component is exhausted")
+        })
+        .unwrap();
+        assert!(got.same_users_and_scores(&expected, 1e-9));
+    }
+}

@@ -1,0 +1,201 @@
+use crate::{
+    CoreError, GeoSocialDataset, QueryParams, QueryResult, QueryStats, RankedUser, RankingContext,
+    TopK,
+};
+use ssrq_graph::{ContractionHierarchy, IncrementalDijkstra};
+use std::time::Instant;
+
+/// The Social First Approach (SFA, §4.1).
+///
+/// Users are processed in increasing social distance from the query user by
+/// expanding the social graph with Dijkstra's algorithm.  For every settled
+/// vertex the Euclidean distance (and hence the ranking value) is computed
+/// directly.  The search stops when the social-only lower bound
+/// `θ = α · p(v_q, v_last)` reaches the current threshold `f_k`.
+pub fn sfa_query(dataset: &GeoSocialDataset, params: &QueryParams) -> Result<QueryResult, CoreError> {
+    params.validate()?;
+    dataset.check_user(params.user)?;
+    let start = Instant::now();
+    let ctx = RankingContext::new(dataset, params);
+    let mut stats = QueryStats::default();
+    let mut topk = TopK::new(params.k);
+
+    let mut social = IncrementalDijkstra::new(dataset.graph(), params.user);
+    while let Some((vertex, raw_social)) = social.next_settled(dataset.graph()) {
+        stats.social_pops += 1;
+        stats.vertex_pops += 1;
+        if vertex != params.user {
+            let (score, social_norm, spatial_norm) = ctx.score_from_raw_social(vertex, raw_social);
+            stats.evaluated_users += 1;
+            topk.consider(RankedUser {
+                user: vertex,
+                score,
+                social: social_norm,
+                spatial: spatial_norm,
+            });
+        }
+        // Termination: every unseen user is at least as far socially as the
+        // last settled vertex.
+        let theta = params.alpha * ctx.normalize_social(raw_social);
+        if theta >= topk.fk() {
+            break;
+        }
+    }
+    // If the expansion exhausted the component without reaching the
+    // threshold, the remaining users are socially unreachable and therefore
+    // have infinite ranking values (α > 0): the interim result is final.
+
+    stats.runtime = start.elapsed();
+    Ok(QueryResult {
+        ranked: topk.into_sorted_vec(),
+        stats,
+    })
+}
+
+/// The SFA-CH baseline of the evaluation (§6, Figure 8): the Dijkstra-based
+/// social module is replaced by Contraction Hierarchies point-to-point
+/// queries.
+///
+/// CH provides no incremental "next socially-closest user" primitive, so the
+/// method must compute the CH distance of every user and sort — exactly the
+/// kind of repeated, non-shared work that makes the `*-CH` variants slower
+/// than the vanilla algorithms on social networks (the paper's observation).
+pub fn sfa_ch_query(
+    dataset: &GeoSocialDataset,
+    ch: &ContractionHierarchy,
+    params: &QueryParams,
+) -> Result<QueryResult, CoreError> {
+    params.validate()?;
+    dataset.check_user(params.user)?;
+    let start = Instant::now();
+    let ctx = RankingContext::new(dataset, params);
+    let mut stats = QueryStats::default();
+
+    // Compute all social distances through the CH index.
+    let mut order: Vec<(u32, f64)> = Vec::with_capacity(dataset.user_count().saturating_sub(1));
+    for user in dataset.graph().nodes() {
+        if user == params.user {
+            continue;
+        }
+        let d = ch.distance(params.user, user);
+        stats.distance_calls += 1;
+        if d.is_finite() {
+            order.push((user, d));
+        }
+    }
+    order.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut topk = TopK::new(params.k);
+    for (user, raw_social) in order {
+        stats.social_pops += 1;
+        stats.vertex_pops += 1;
+        let (score, social_norm, spatial_norm) = ctx.score_from_raw_social(user, raw_social);
+        stats.evaluated_users += 1;
+        topk.consider(RankedUser {
+            user,
+            score,
+            social: social_norm,
+            spatial: spatial_norm,
+        });
+        let theta = params.alpha * ctx.normalize_social(raw_social);
+        if theta >= topk.fk() {
+            break;
+        }
+    }
+    stats.runtime = start.elapsed();
+    Ok(QueryResult {
+        ranked: topk.into_sorted_vec(),
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::exhaustive::exhaustive_query;
+    use ssrq_graph::GraphBuilder;
+    use ssrq_spatial::Point;
+
+    fn dataset() -> GeoSocialDataset {
+        let n = 40u32;
+        let mut builder = GraphBuilder::new(n as usize);
+        for i in 0..n {
+            builder
+                .add_edge(i, (i + 1) % n, 0.4 + (i % 7) as f64 * 0.2)
+                .unwrap();
+        }
+        for i in (0..n).step_by(4) {
+            builder
+                .add_edge(i, (i + 11) % n, 0.8 + (i % 3) as f64 * 0.4)
+                .unwrap();
+        }
+        let graph = builder.build();
+        let locations: Vec<Option<Point>> = (0..n)
+            .map(|i| {
+                if i % 9 == 8 {
+                    None
+                } else {
+                    Some(Point::new(
+                        ((i as f64) * 0.618_033_9) % 1.0,
+                        ((i as f64) * 0.414_213_5) % 1.0,
+                    ))
+                }
+            })
+            .collect();
+        GeoSocialDataset::new(graph, locations).unwrap()
+    }
+
+    #[test]
+    fn matches_exhaustive_on_a_grid_of_parameters() {
+        let dataset = dataset();
+        for &alpha in &[0.1, 0.5, 0.9] {
+            for &k in &[1usize, 4, 12] {
+                for user in [0u32, 7, 21, 33] {
+                    let params = QueryParams::new(user, k, alpha);
+                    let expected = exhaustive_query(&dataset, &params).unwrap();
+                    let got = sfa_query(&dataset, &params).unwrap();
+                    assert!(
+                        got.same_users_and_scores(&expected, 1e-9),
+                        "alpha {alpha}, k {k}, user {user}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ch_variant_matches_exhaustive() {
+        let dataset = dataset();
+        let ch = ContractionHierarchy::new(dataset.graph());
+        for &alpha in &[0.3, 0.7] {
+            for user in [2u32, 19] {
+                let params = QueryParams::new(user, 6, alpha);
+                let expected = exhaustive_query(&dataset, &params).unwrap();
+                let got = sfa_ch_query(&dataset, &ch, &params).unwrap();
+                assert!(
+                    got.same_users_and_scores(&expected, 1e-9),
+                    "alpha {alpha}, user {user}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn terminates_before_scanning_everything_for_social_heavy_queries() {
+        let dataset = dataset();
+        // With a very social-heavy alpha the first few settled vertices
+        // already dominate; SFA must not expand the whole graph.
+        let params = QueryParams::new(0, 2, 0.9);
+        let result = sfa_query(&dataset, &params).unwrap();
+        assert!(result.stats.social_pops < dataset.user_count());
+    }
+
+    #[test]
+    fn disconnected_query_user_yields_results_only_from_its_component() {
+        let graph = GraphBuilder::from_edges(5, vec![(0, 1, 1.0), (2, 3, 1.0), (3, 4, 1.0)]).unwrap();
+        let locations = vec![Some(Point::new(0.1, 0.1)); 5];
+        let dataset = GeoSocialDataset::new(graph, locations).unwrap();
+        let result = sfa_query(&dataset, &QueryParams::new(0, 4, 0.5)).unwrap();
+        assert_eq!(result.users(), vec![1]);
+    }
+}

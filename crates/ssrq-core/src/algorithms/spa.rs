@@ -1,0 +1,207 @@
+use crate::{
+    CoreError, GeoSocialDataset, QueryParams, QueryResult, QueryStats, RankedUser, RankingContext,
+    TopK,
+};
+use ssrq_graph::{ContractionHierarchy, IncrementalDijkstra};
+use ssrq_spatial::UniformGrid;
+use std::time::Instant;
+
+/// How SPA computes the social distance of a spatially-encountered user.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpaOptions<'a> {
+    /// When set, social distances come from Contraction Hierarchies
+    /// point-to-point queries (the SPA-CH baseline of Figure 8); otherwise a
+    /// single incremental Dijkstra expansion rooted at the query vertex is
+    /// reused across all evaluations.
+    pub ch: Option<&'a ContractionHierarchy>,
+}
+
+/// The Spatial First Approach (SPA, §4.1).
+///
+/// Users are processed in increasing Euclidean distance from the query user
+/// through an incremental nearest-neighbour search over the regular grid.
+/// Every encountered user is fully evaluated (its social distance is
+/// computed immediately).  The search stops when the spatial-only lower
+/// bound `θ = (1 − α) · d(u_q, u_last)` reaches the threshold `f_k`.
+pub fn spa_query(
+    dataset: &GeoSocialDataset,
+    grid: &UniformGrid,
+    params: &QueryParams,
+    options: SpaOptions<'_>,
+) -> Result<QueryResult, CoreError> {
+    params.validate()?;
+    dataset.check_user(params.user)?;
+    let start = Instant::now();
+    let ctx = RankingContext::new(dataset, params);
+    let mut stats = QueryStats::default();
+    let mut topk = TopK::new(params.k);
+
+    let Some(query_location) = dataset.location(params.user) else {
+        // Without a query location every spatial distance is infinite and no
+        // candidate can achieve a finite score (α < 1).
+        stats.runtime = start.elapsed();
+        return Ok(QueryResult {
+            ranked: Vec::new(),
+            stats,
+        });
+    };
+
+    // Shared social expansion: all evaluations have the query vertex as the
+    // source, so one resumable Dijkstra serves every candidate (this is the
+    // computation reuse the paper credits the vanilla methods with).
+    let mut social = IncrementalDijkstra::new(dataset.graph(), params.user);
+
+    let mut nn = grid.nearest_neighbors(query_location);
+    while let Some(neighbor) = nn.next() {
+        if neighbor.id == params.user {
+            continue;
+        }
+        stats.vertex_pops += 1;
+        stats.spatial_pops = nn.pops();
+        let spatial_norm = ctx.normalize_spatial(neighbor.distance);
+        let raw_social = match options.ch {
+            Some(ch) => {
+                stats.distance_calls += 1;
+                ch.distance(params.user, neighbor.id)
+            }
+            None => {
+                let before = social.settled_count();
+                let d = social.run_until_settled(dataset.graph(), neighbor.id);
+                stats.social_pops += social.settled_count() - before;
+                stats.distance_calls += 1;
+                d
+            }
+        };
+        let social_norm = ctx.normalize_social(raw_social);
+        let score = ctx.score(social_norm, spatial_norm);
+        stats.evaluated_users += 1;
+        topk.consider(RankedUser {
+            user: neighbor.id,
+            score,
+            social: social_norm,
+            spatial: spatial_norm,
+        });
+        let theta = (1.0 - params.alpha) * spatial_norm;
+        if theta >= topk.fk() {
+            break;
+        }
+    }
+    // Users never produced by the spatial stream have no location, hence an
+    // infinite spatial distance and (for α < 1) an infinite score: the
+    // interim result is final.
+
+    stats.runtime = start.elapsed();
+    Ok(QueryResult {
+        ranked: topk.into_sorted_vec(),
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::exhaustive::exhaustive_query;
+    use ssrq_graph::GraphBuilder;
+    use ssrq_spatial::{Point, Rect};
+
+    fn dataset() -> GeoSocialDataset {
+        let n = 36u32;
+        let mut builder = GraphBuilder::new(n as usize);
+        for i in 0..n {
+            builder
+                .add_edge(i, (i + 1) % n, 0.3 + (i % 5) as f64 * 0.25)
+                .unwrap();
+        }
+        for i in (1..n).step_by(5) {
+            builder
+                .add_edge(i, (i + 13) % n, 0.9 + (i % 2) as f64 * 0.6)
+                .unwrap();
+        }
+        let graph = builder.build();
+        let locations: Vec<Option<Point>> = (0..n)
+            .map(|i| {
+                if i % 11 == 10 {
+                    None
+                } else {
+                    Some(Point::new(
+                        ((i as f64) * 0.381_966) % 1.0,
+                        ((i as f64 + 3.0) * 0.272_19) % 1.0,
+                    ))
+                }
+            })
+            .collect();
+        GeoSocialDataset::new(graph, locations).unwrap()
+    }
+
+    fn grid_for(dataset: &GeoSocialDataset) -> UniformGrid {
+        UniformGrid::bulk_load(
+            Rect::unit(),
+            8,
+            dataset.located_users(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn matches_exhaustive_on_a_grid_of_parameters() {
+        let dataset = dataset();
+        let grid = grid_for(&dataset);
+        for &alpha in &[0.1, 0.5, 0.9] {
+            for &k in &[1usize, 5, 9] {
+                for user in [0u32, 8, 17, 29] {
+                    let params = QueryParams::new(user, k, alpha);
+                    let expected = exhaustive_query(&dataset, &params).unwrap();
+                    let got = spa_query(&dataset, &grid, &params, SpaOptions::default()).unwrap();
+                    assert!(
+                        got.same_users_and_scores(&expected, 1e-9),
+                        "alpha {alpha}, k {k}, user {user}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ch_variant_matches_exhaustive() {
+        let dataset = dataset();
+        let grid = grid_for(&dataset);
+        let ch = ContractionHierarchy::new(dataset.graph());
+        for user in [3u32, 24] {
+            let params = QueryParams::new(user, 5, 0.3);
+            let expected = exhaustive_query(&dataset, &params).unwrap();
+            let got = spa_query(&dataset, &grid, &params, SpaOptions { ch: Some(&ch) }).unwrap();
+            assert!(got.same_users_and_scores(&expected, 1e-9), "user {user}");
+        }
+    }
+
+    #[test]
+    fn unlocated_query_user_gets_empty_result() {
+        let dataset = dataset();
+        let grid = grid_for(&dataset);
+        // User 10 has no location (10 % 11 == 10).
+        let params = QueryParams::new(10, 5, 0.5);
+        let result = spa_query(&dataset, &grid, &params, SpaOptions::default()).unwrap();
+        assert!(result.ranked.is_empty());
+    }
+
+    #[test]
+    fn spatially_led_queries_terminate_early() {
+        let dataset = dataset();
+        let grid = grid_for(&dataset);
+        // Spatial-heavy alpha: the first few NNs dominate.
+        let params = QueryParams::new(0, 1, 0.1);
+        let result = spa_query(&dataset, &grid, &params, SpaOptions::default()).unwrap();
+        assert!(result.stats.evaluated_users < dataset.located_user_count());
+    }
+
+    #[test]
+    fn stats_count_spatial_and_social_work() {
+        let dataset = dataset();
+        let grid = grid_for(&dataset);
+        let params = QueryParams::new(5, 3, 0.5);
+        let result = spa_query(&dataset, &grid, &params, SpaOptions::default()).unwrap();
+        assert!(result.stats.spatial_pops > 0);
+        assert!(result.stats.social_pops > 0);
+        assert!(result.stats.distance_calls >= result.stats.evaluated_users);
+    }
+}

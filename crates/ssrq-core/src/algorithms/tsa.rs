@@ -1,0 +1,387 @@
+use crate::{
+    CoreError, GeoSocialDataset, QueryParams, QueryResult, QueryStats, RankedUser, RankingContext,
+    TopK, UserId,
+};
+use ssrq_graph::{ContractionHierarchy, IncrementalDijkstra, LandmarkSet};
+use ssrq_spatial::UniformGrid;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Configuration of the Twofold Search Approach (TSA, §4.2).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TsaOptions<'a> {
+    /// Probe the two searches with the Quick Combine heuristic instead of
+    /// round-robin (the TSA-QC variant).
+    pub quick_combine: bool,
+    /// Landmark set used to prune candidates before the second phase (the
+    /// "TSA with landmarks" enhancement); `None` disables pruning.
+    pub landmarks: Option<&'a LandmarkSet>,
+    /// When set, the second phase evaluates the surviving candidates with
+    /// Contraction Hierarchies point-to-point queries instead of continuing
+    /// the social expansion (the TSA-CH baseline of Figure 8).
+    pub ch_phase2: Option<&'a ContractionHierarchy>,
+}
+
+/// The Twofold Search Approach (TSA): a concurrent social and spatial search
+/// that maintains lower bounds in *both* domains (Algorithm 1 of the paper).
+///
+/// **Phase 1** alternates between the social expansion (Dijkstra around
+/// `v_q`) and the incremental spatial NN search around `u_q`.  Socially
+/// encountered users are fully evaluated on the spot (their Euclidean
+/// distance is cheap); spatially encountered users that the social search
+/// has not yet reached are parked in the candidate set `Q`.  The phase ends
+/// when `θ = α·t_p + (1−α)·t_d ≥ f_k`.
+///
+/// **Phase 2** evaluates (or disqualifies) the candidates in `Q`; only the
+/// social search continues, because further spatial progress cannot tighten
+/// the bound `θ' = α·t_p + (1−α)·t'_d` (Lemma 1 of the paper).
+pub fn tsa_query(
+    dataset: &GeoSocialDataset,
+    grid: &UniformGrid,
+    params: &QueryParams,
+    options: TsaOptions<'_>,
+) -> Result<QueryResult, CoreError> {
+    params.validate()?;
+    dataset.check_user(params.user)?;
+    let start = Instant::now();
+    let ctx = RankingContext::new(dataset, params);
+    let alpha = params.alpha;
+    let mut stats = QueryStats::default();
+    let mut topk = TopK::new(params.k);
+
+    let query_location = dataset.location(params.user);
+
+    let mut social = IncrementalDijkstra::new(dataset.graph(), params.user);
+    let mut spatial = query_location.map(|loc| grid.nearest_neighbors(loc));
+
+    // Candidate set Q: user -> normalized spatial distance.
+    let mut candidates: HashMap<UserId, f64> = HashMap::new();
+
+    // Lower bounds on the next result from each domain (normalized).
+    let mut tp = 0.0_f64; // last social distance seen
+    let mut td = 0.0_f64; // last spatial distance seen
+    let mut social_exhausted = false;
+    let mut spatial_exhausted = spatial.is_none();
+
+    // Quick Combine bookkeeping: probes made and distance reached per
+    // domain, to estimate how fast each repository's distances increase.
+    let mut social_probes = 0usize;
+    let mut spatial_probes = 0usize;
+    let mut probe_social_next = true;
+
+    // ---- Phase 1: concurrent social + spatial search -------------------
+    while !(social_exhausted && spatial_exhausted) {
+        let probe_social = if social_exhausted {
+            false
+        } else if spatial_exhausted {
+            true
+        } else if options.quick_combine {
+            // Quick Combine: probe the repository whose weighted distance
+            // grows fastest *per probe*, because it raises the termination
+            // threshold θ the quickest.  The rate is estimated from the
+            // average increase so far; until both repositories have been
+            // probed a few times, alternate.
+            if social_probes < 2 || spatial_probes < 2 {
+                probe_social_next
+            } else {
+                let social_gain = alpha * tp / social_probes as f64;
+                let spatial_gain = (1.0 - alpha) * td / spatial_probes as f64;
+                if (social_gain - spatial_gain).abs() < f64::EPSILON {
+                    probe_social_next
+                } else {
+                    social_gain > spatial_gain
+                }
+            }
+        } else {
+            probe_social_next
+        };
+        probe_social_next = !probe_social;
+
+        if probe_social {
+            match social.next_settled(dataset.graph()) {
+                Some((vertex, raw_social)) => {
+                    stats.social_pops += 1;
+                    stats.vertex_pops += 1;
+                    social_probes += 1;
+                    let social_norm = ctx.normalize_social(raw_social);
+                    tp = social_norm;
+                    if vertex != params.user {
+                        let spatial_norm = ctx.spatial(vertex);
+                        let score = ctx.score(social_norm, spatial_norm);
+                        stats.evaluated_users += 1;
+                        topk.consider(RankedUser {
+                            user: vertex,
+                            score,
+                            social: social_norm,
+                            spatial: spatial_norm,
+                        });
+                        // A candidate reached by the social search is now
+                        // fully evaluated and must leave Q (lines 7–8).
+                        candidates.remove(&vertex);
+                    }
+                }
+                None => {
+                    social_exhausted = true;
+                    tp = f64::INFINITY;
+                }
+            }
+        } else if let Some(nn) = spatial.as_mut() {
+            match nn.next() {
+                Some(neighbor) => {
+                    stats.spatial_pops = nn.pops();
+                    stats.vertex_pops += 1;
+                    spatial_probes += 1;
+                    let spatial_norm = ctx.normalize_spatial(neighbor.distance);
+                    td = spatial_norm;
+                    if neighbor.id != params.user && !social.is_settled(neighbor.id) {
+                        candidates.insert(neighbor.id, spatial_norm);
+                    }
+                }
+                None => {
+                    spatial_exhausted = true;
+                    td = f64::INFINITY;
+                }
+            }
+        }
+
+        let theta = alpha * tp + (1.0 - alpha) * td;
+        if theta >= topk.fk() {
+            break;
+        }
+    }
+
+    // ---- Landmark pruning of candidates (TSA with landmarks) -----------
+    if let Some(landmarks) = options.landmarks {
+        let fk = topk.fk();
+        candidates.retain(|&user, &mut spatial_norm| {
+            let social_lb = ctx.normalize_social(landmarks.lower_bound(params.user, user));
+            ctx.score_lower_bound(social_lb, spatial_norm) < fk
+        });
+    }
+
+    // ---- Phase 2: evaluate or disqualify the candidates ----------------
+    if let Some(ch) = options.ch_phase2 {
+        // CH-based evaluation: compute the exact social distance of every
+        // surviving candidate with a point-to-point CH query, cheapest
+        // spatial distance first so that f_k tightens early.
+        let mut order: Vec<(UserId, f64)> = candidates.into_iter().collect();
+        order.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        for (user, spatial_norm) in order {
+            // θ' with this candidate's spatial distance as t'_d.
+            if alpha * tp + (1.0 - alpha) * spatial_norm >= topk.fk() {
+                break;
+            }
+            let raw_social = ch.distance(params.user, user);
+            stats.distance_calls += 1;
+            stats.evaluated_users += 1;
+            let social_norm = ctx.normalize_social(raw_social);
+            let score = ctx.score(social_norm, spatial_norm);
+            topk.consider(RankedUser {
+                user,
+                score,
+                social: social_norm,
+                spatial: spatial_norm,
+            });
+        }
+    } else {
+        // Continue the social expansion until every candidate is either
+        // found (evaluated exactly) or provably disqualified by θ'.
+        let mut t_d_prime = min_value(&candidates);
+        while !candidates.is_empty() {
+            let theta_prime = alpha * tp + (1.0 - alpha) * t_d_prime;
+            if theta_prime >= topk.fk() {
+                break;
+            }
+            match social.next_settled(dataset.graph()) {
+                Some((vertex, raw_social)) => {
+                    stats.social_pops += 1;
+                    stats.vertex_pops += 1;
+                    let social_norm = ctx.normalize_social(raw_social);
+                    tp = social_norm;
+                    if let Some(spatial_norm) = candidates.remove(&vertex) {
+                        let score = ctx.score(social_norm, spatial_norm);
+                        stats.evaluated_users += 1;
+                        topk.consider(RankedUser {
+                            user: vertex,
+                            score,
+                            social: social_norm,
+                            spatial: spatial_norm,
+                        });
+                        t_d_prime = min_value(&candidates);
+                    }
+                }
+                None => break, // remaining candidates are socially unreachable
+            }
+        }
+    }
+
+    stats.runtime = start.elapsed();
+    Ok(QueryResult {
+        ranked: topk.into_sorted_vec(),
+        stats,
+    })
+}
+
+fn min_value(candidates: &HashMap<UserId, f64>) -> f64 {
+    candidates
+        .values()
+        .copied()
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::exhaustive::exhaustive_query;
+    use ssrq_graph::{GraphBuilder, LandmarkSelection};
+    use ssrq_spatial::{Point, Rect};
+
+    fn dataset() -> GeoSocialDataset {
+        let n = 42u32;
+        let mut builder = GraphBuilder::new(n as usize);
+        for i in 0..n {
+            builder
+                .add_edge(i, (i + 1) % n, 0.2 + (i % 6) as f64 * 0.3)
+                .unwrap();
+        }
+        for i in (0..n).step_by(3) {
+            builder
+                .add_edge(i, (i + 17) % n, 0.7 + (i % 5) as f64 * 0.35)
+                .unwrap();
+        }
+        let graph = builder.build();
+        let locations: Vec<Option<Point>> = (0..n)
+            .map(|i| {
+                if i % 13 == 12 {
+                    None
+                } else {
+                    Some(Point::new(
+                        ((i as f64) * 0.709_803) % 1.0,
+                        ((i as f64 + 1.0) * 0.367_879) % 1.0,
+                    ))
+                }
+            })
+            .collect();
+        GeoSocialDataset::new(graph, locations).unwrap()
+    }
+
+    fn grid_for(dataset: &GeoSocialDataset) -> UniformGrid {
+        UniformGrid::bulk_load(Rect::unit(), 8, dataset.located_users()).unwrap()
+    }
+
+    #[test]
+    fn plain_tsa_matches_exhaustive() {
+        let dataset = dataset();
+        let grid = grid_for(&dataset);
+        for &alpha in &[0.1, 0.5, 0.9] {
+            for &k in &[1usize, 5, 10] {
+                for user in [0u32, 9, 20, 37] {
+                    let params = QueryParams::new(user, k, alpha);
+                    let expected = exhaustive_query(&dataset, &params).unwrap();
+                    let got = tsa_query(&dataset, &grid, &params, TsaOptions::default()).unwrap();
+                    assert!(
+                        got.same_users_and_scores(&expected, 1e-9),
+                        "alpha {alpha}, k {k}, user {user}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quick_combine_matches_exhaustive() {
+        let dataset = dataset();
+        let grid = grid_for(&dataset);
+        for &alpha in &[0.2, 0.8] {
+            for user in [1u32, 14, 30] {
+                let params = QueryParams::new(user, 6, alpha);
+                let expected = exhaustive_query(&dataset, &params).unwrap();
+                let got = tsa_query(
+                    &dataset,
+                    &grid,
+                    &params,
+                    TsaOptions {
+                        quick_combine: true,
+                        ..TsaOptions::default()
+                    },
+                )
+                .unwrap();
+                assert!(got.same_users_and_scores(&expected, 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn landmark_pruning_preserves_correctness() {
+        let dataset = dataset();
+        let grid = grid_for(&dataset);
+        let landmarks =
+            LandmarkSet::build(dataset.graph(), 4, LandmarkSelection::FarthestFirst, 5).unwrap();
+        for &alpha in &[0.3, 0.6] {
+            for user in [4u32, 26] {
+                let params = QueryParams::new(user, 8, alpha);
+                let expected = exhaustive_query(&dataset, &params).unwrap();
+                let got = tsa_query(
+                    &dataset,
+                    &grid,
+                    &params,
+                    TsaOptions {
+                        landmarks: Some(&landmarks),
+                        ..TsaOptions::default()
+                    },
+                )
+                .unwrap();
+                assert!(got.same_users_and_scores(&expected, 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn ch_phase2_matches_exhaustive() {
+        let dataset = dataset();
+        let grid = grid_for(&dataset);
+        let ch = ContractionHierarchy::new(dataset.graph());
+        let landmarks =
+            LandmarkSet::build(dataset.graph(), 4, LandmarkSelection::FarthestFirst, 5).unwrap();
+        for user in [0u32, 11, 33] {
+            let params = QueryParams::new(user, 5, 0.4);
+            let expected = exhaustive_query(&dataset, &params).unwrap();
+            let got = tsa_query(
+                &dataset,
+                &grid,
+                &params,
+                TsaOptions {
+                    landmarks: Some(&landmarks),
+                    ch_phase2: Some(&ch),
+                    ..TsaOptions::default()
+                },
+            )
+            .unwrap();
+            assert!(got.same_users_and_scores(&expected, 1e-9), "user {user}");
+        }
+    }
+
+    #[test]
+    fn unlocated_query_user_falls_back_to_social_only_stream() {
+        let dataset = dataset();
+        let grid = grid_for(&dataset);
+        // User 12 has no location: every candidate's spatial distance is
+        // infinite, so only the social stream contributes and no finite
+        // score exists (alpha < 1).
+        let params = QueryParams::new(12, 5, 0.5);
+        let expected = exhaustive_query(&dataset, &params).unwrap();
+        let got = tsa_query(&dataset, &grid, &params, TsaOptions::default()).unwrap();
+        assert!(got.same_users_and_scores(&expected, 1e-9));
+        assert!(got.ranked.is_empty());
+    }
+
+    #[test]
+    fn stats_reflect_twofold_search() {
+        let dataset = dataset();
+        let grid = grid_for(&dataset);
+        let params = QueryParams::new(0, 5, 0.5);
+        let result = tsa_query(&dataset, &grid, &params, TsaOptions::default()).unwrap();
+        assert!(result.stats.social_pops > 0);
+        assert!(result.stats.spatial_pops > 0);
+    }
+}

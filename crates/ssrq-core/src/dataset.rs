@@ -1,0 +1,322 @@
+use crate::CoreError;
+use ssrq_graph::{dijkstra_all, NodeId, SocialGraph};
+use ssrq_spatial::{Point, Rect};
+
+/// Identifier of a user.  User `i` is vertex `i` of the social graph and
+/// item `i` of the spatial indexes (the paper's `u_i` / `v_i` convention).
+pub type UserId = u32;
+
+/// A geo-social dataset: the social graph plus the current location of every
+/// user (§3 of the paper).
+///
+/// * Users may lack a location (the paper's real datasets cover only 54–60 %
+///   of users); such users are treated as **infinitely far away** in the
+///   spatial domain, exactly as footnote 3 of the paper prescribes.
+/// * Both proximities are normalized before being combined: spatial
+///   distances are divided by the diagonal of the bounding rectangle of all
+///   locations, social distances by an estimate of the weighted graph
+///   diameter (computed by a double Dijkstra sweep at construction time).
+#[derive(Debug, Clone)]
+pub struct GeoSocialDataset {
+    graph: SocialGraph,
+    locations: Vec<Option<Point>>,
+    bounds: Rect,
+    spatial_norm: f64,
+    social_norm: f64,
+}
+
+impl GeoSocialDataset {
+    /// Creates a dataset from a social graph and per-user locations.
+    ///
+    /// `locations[i]` is the current location of user `i` (or `None`).  The
+    /// vector must have exactly one entry per graph vertex.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidDataset`] when the location list length
+    /// does not match the vertex count, when no user has a location, or when
+    /// a location is not finite.
+    pub fn new(graph: SocialGraph, locations: Vec<Option<Point>>) -> Result<Self, CoreError> {
+        if locations.len() != graph.node_count() {
+            return Err(CoreError::InvalidDataset(format!(
+                "{} locations provided for {} users",
+                locations.len(),
+                graph.node_count()
+            )));
+        }
+        if let Some(bad) = locations
+            .iter()
+            .flatten()
+            .find(|p| !p.is_finite())
+        {
+            return Err(CoreError::InvalidDataset(format!(
+                "non-finite location {bad}"
+            )));
+        }
+        let bounds = Rect::bounding(locations.iter().flatten().copied()).ok_or_else(|| {
+            CoreError::InvalidDataset("at least one user must have a location".into())
+        })?;
+        let spatial_norm = if bounds.diagonal() > 0.0 {
+            bounds.diagonal()
+        } else {
+            1.0
+        };
+        let social_norm = estimate_graph_diameter(&graph).max(f64::MIN_POSITIVE);
+        Ok(GeoSocialDataset {
+            graph,
+            locations,
+            bounds,
+            spatial_norm,
+            social_norm,
+        })
+    }
+
+    /// The underlying social graph.
+    pub fn graph(&self) -> &SocialGraph {
+        &self.graph
+    }
+
+    /// Number of users.
+    pub fn user_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of users that currently report a location.
+    pub fn located_user_count(&self) -> usize {
+        self.locations.iter().flatten().count()
+    }
+
+    /// The current location of `user`, if known.
+    pub fn location(&self, user: UserId) -> Option<Point> {
+        self.locations.get(user as usize).copied().flatten()
+    }
+
+    /// All `(user, location)` pairs for users with a known location.
+    pub fn located_users(&self) -> impl Iterator<Item = (UserId, Point)> + '_ {
+        self.locations
+            .iter()
+            .enumerate()
+            .filter_map(|(u, p)| p.map(|p| (u as UserId, p)))
+    }
+
+    /// Bounding rectangle of all user locations.
+    pub fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    /// The spatial normalization constant (maximum possible pairwise
+    /// Euclidean distance).
+    pub fn spatial_norm(&self) -> f64 {
+        self.spatial_norm
+    }
+
+    /// The social normalization constant (estimated maximum pairwise graph
+    /// distance).
+    pub fn social_norm(&self) -> f64 {
+        self.social_norm
+    }
+
+    /// Returns `true` when `user` is a valid user id.
+    pub fn contains(&self, user: UserId) -> bool {
+        (user as usize) < self.user_count()
+    }
+
+    /// Validates a user id.
+    pub fn check_user(&self, user: UserId) -> Result<(), CoreError> {
+        if self.contains(user) {
+            Ok(())
+        } else {
+            Err(CoreError::UnknownUser(user))
+        }
+    }
+
+    /// Normalized Euclidean distance between two users
+    /// (`f64::INFINITY` when either lacks a location).
+    pub fn spatial_distance(&self, a: UserId, b: UserId) -> f64 {
+        match (self.location(a), self.location(b)) {
+            (Some(pa), Some(pb)) => pa.distance(pb) / self.spatial_norm,
+            _ => f64::INFINITY,
+        }
+    }
+
+    /// Normalized Euclidean distance between a user and an arbitrary point.
+    pub fn spatial_distance_to_point(&self, a: UserId, p: Point) -> f64 {
+        match self.location(a) {
+            Some(pa) => pa.distance(p) / self.spatial_norm,
+            None => f64::INFINITY,
+        }
+    }
+
+    /// Normalizes a raw spatial distance.
+    #[inline]
+    pub fn normalize_spatial(&self, d: f64) -> f64 {
+        d / self.spatial_norm
+    }
+
+    /// Normalizes a raw social (graph) distance.
+    #[inline]
+    pub fn normalize_social(&self, p: f64) -> f64 {
+        p / self.social_norm
+    }
+
+    /// Replaces the location of `user` (the "last reported location" of the
+    /// problem setting).  Passing `None` removes the location.
+    ///
+    /// Note: this mutates only the dataset; engines built from a clone of
+    /// the dataset maintain their own indexes via
+    /// [`GeoSocialEngine::update_location`](crate::GeoSocialEngine::update_location).
+    pub fn set_location(&mut self, user: UserId, location: Option<Point>) -> Result<(), CoreError> {
+        self.check_user(user)?;
+        if let Some(p) = location {
+            if !p.is_finite() {
+                return Err(CoreError::InvalidDataset(format!(
+                    "non-finite location {p}"
+                )));
+            }
+        }
+        self.locations[user as usize] = location;
+        Ok(())
+    }
+}
+
+/// Estimates the weighted diameter of the graph with a double sweep: run
+/// Dijkstra from an arbitrary vertex, take the farthest reachable vertex,
+/// run Dijkstra again from there and return the largest finite distance
+/// found.  This is the standard pseudo-diameter lower bound, adequate as a
+/// normalization constant.
+fn estimate_graph_diameter(graph: &SocialGraph) -> f64 {
+    if graph.node_count() == 0 {
+        return 1.0;
+    }
+    // Prefer a vertex with at least one edge as the sweep start.
+    let start = graph
+        .nodes()
+        .find(|&v| graph.degree(v) > 0)
+        .unwrap_or(0 as NodeId);
+    let first = dijkstra_all(graph, start);
+    let (far, far_dist) = farthest_finite(&first);
+    if far_dist <= 0.0 {
+        return 1.0;
+    }
+    let second = dijkstra_all(graph, far);
+    let (_, diameter) = farthest_finite(&second);
+    if diameter > 0.0 {
+        diameter
+    } else {
+        1.0
+    }
+}
+
+fn farthest_finite(dist: &[f64]) -> (NodeId, f64) {
+    let mut best = (0 as NodeId, 0.0);
+    for (v, &d) in dist.iter().enumerate() {
+        if d.is_finite() && d > best.1 {
+            best = (v as NodeId, d);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssrq_graph::GraphBuilder;
+
+    fn line_graph(n: usize) -> SocialGraph {
+        GraphBuilder::from_edges(n, (0..n - 1).map(|i| (i as u32, i as u32 + 1, 1.0))).unwrap()
+    }
+
+    fn sample_dataset() -> GeoSocialDataset {
+        let graph = line_graph(4);
+        let locations = vec![
+            Some(Point::new(0.0, 0.0)),
+            Some(Point::new(3.0, 4.0)),
+            None,
+            Some(Point::new(6.0, 8.0)),
+        ];
+        GeoSocialDataset::new(graph, locations).unwrap()
+    }
+
+    #[test]
+    fn rejects_mismatched_lengths() {
+        let graph = line_graph(3);
+        let err = GeoSocialDataset::new(graph, vec![Some(Point::ORIGIN)]);
+        assert!(matches!(err, Err(CoreError::InvalidDataset(_))));
+    }
+
+    #[test]
+    fn rejects_all_missing_locations() {
+        let graph = line_graph(3);
+        let err = GeoSocialDataset::new(graph, vec![None, None, None]);
+        assert!(matches!(err, Err(CoreError::InvalidDataset(_))));
+    }
+
+    #[test]
+    fn rejects_non_finite_locations() {
+        let graph = line_graph(2);
+        let err = GeoSocialDataset::new(graph, vec![Some(Point::new(f64::NAN, 0.0)), None]);
+        assert!(matches!(err, Err(CoreError::InvalidDataset(_))));
+    }
+
+    #[test]
+    fn normalization_constants_are_positive() {
+        let ds = sample_dataset();
+        assert!(ds.spatial_norm() > 0.0);
+        assert!(ds.social_norm() > 0.0);
+        // Line graph of 4 vertices with unit weights has diameter 3.
+        assert_eq!(ds.social_norm(), 3.0);
+        // Spatial diagonal of bounding box (0,0)-(6,8) is 10.
+        assert_eq!(ds.spatial_norm(), 10.0);
+    }
+
+    #[test]
+    fn spatial_distance_is_normalized_and_handles_missing() {
+        let ds = sample_dataset();
+        assert!((ds.spatial_distance(0, 1) - 0.5).abs() < 1e-12);
+        assert!(ds.spatial_distance(0, 2).is_infinite());
+        assert!(ds.spatial_distance(2, 0).is_infinite());
+        assert_eq!(ds.spatial_distance(0, 0), 0.0);
+    }
+
+    #[test]
+    fn accessors_work() {
+        let ds = sample_dataset();
+        assert_eq!(ds.user_count(), 4);
+        assert_eq!(ds.located_user_count(), 3);
+        assert!(ds.contains(3));
+        assert!(!ds.contains(4));
+        assert!(ds.check_user(4).is_err());
+        assert_eq!(ds.location(2), None);
+        assert_eq!(ds.located_users().count(), 3);
+        assert!(ds.bounds().contains(Point::new(3.0, 4.0)));
+    }
+
+    #[test]
+    fn set_location_updates_and_validates() {
+        let mut ds = sample_dataset();
+        ds.set_location(2, Some(Point::new(1.0, 1.0))).unwrap();
+        assert_eq!(ds.location(2), Some(Point::new(1.0, 1.0)));
+        ds.set_location(2, None).unwrap();
+        assert_eq!(ds.location(2), None);
+        assert!(ds.set_location(9, None).is_err());
+        assert!(ds
+            .set_location(1, Some(Point::new(f64::INFINITY, 0.0)))
+            .is_err());
+    }
+
+    #[test]
+    fn diameter_of_disconnected_graph_ignores_infinities() {
+        let graph = GraphBuilder::from_edges(5, vec![(0, 1, 2.0), (2, 3, 5.0)]).unwrap();
+        let locations = vec![Some(Point::ORIGIN); 5];
+        let ds = GeoSocialDataset::new(graph, locations).unwrap();
+        assert!(ds.social_norm().is_finite());
+        assert!(ds.social_norm() >= 2.0);
+    }
+
+    #[test]
+    fn normalize_helpers_divide_by_constants() {
+        let ds = sample_dataset();
+        assert!((ds.normalize_spatial(5.0) - 0.5).abs() < 1e-12);
+        assert!((ds.normalize_social(1.5) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,575 @@
+use crate::ais::{ais_query, AisIndex, AisVariant};
+use crate::algorithms::{
+    cached_query, exhaustive_query, sfa_ch_query, sfa_query, spa_query, tsa_query,
+    SocialNeighborCache, SpaOptions, TsaOptions,
+};
+use crate::{CoreError, GeoSocialDataset, QueryParams, QueryResult, UserId};
+use ssrq_graph::{
+    ChParams, ContractionHierarchy, LandmarkSelection, LandmarkSet,
+};
+use ssrq_spatial::{Point, Rect, UniformGrid};
+
+/// The SSRQ processing algorithm to run for a query.
+///
+/// All algorithms return the same (exact) result set; they differ only in
+/// how much work they perform — which is precisely what the paper's
+/// evaluation measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Brute-force oracle: full Dijkstra plus a linear scan.
+    Exhaustive,
+    /// Social First Approach (§4.1).
+    Sfa,
+    /// Spatial First Approach (§4.1).
+    Spa,
+    /// Twofold Search Approach with round-robin probing and landmark-based
+    /// candidate pruning (the "TSA" configuration of the evaluation).
+    Tsa,
+    /// TSA probing with the Quick Combine heuristic.
+    TsaQc,
+    /// Aggregate Index Search without computation sharing (Figure 10's
+    /// AIS-BID).
+    AisBid,
+    /// AIS with computation sharing but without delayed evaluation (AIS⁻).
+    AisMinus,
+    /// AIS with all optimizations — the paper's best method.
+    Ais,
+    /// SFA with a Contraction Hierarchies distance module (Figure 8).
+    SfaCh,
+    /// SPA with a Contraction Hierarchies distance module (Figure 8).
+    SpaCh,
+    /// TSA with a Contraction Hierarchies distance module (Figure 8).
+    TsaCh,
+    /// SFA over pre-computed social neighbour lists with AIS fallback
+    /// (§5.4, "AIS-Cache" in Figure 11).
+    SfaCached,
+}
+
+impl Algorithm {
+    /// Every algorithm variant, in the order they appear in the paper.
+    pub const ALL: [Algorithm; 12] = [
+        Algorithm::Exhaustive,
+        Algorithm::Sfa,
+        Algorithm::Spa,
+        Algorithm::Tsa,
+        Algorithm::TsaQc,
+        Algorithm::AisBid,
+        Algorithm::AisMinus,
+        Algorithm::Ais,
+        Algorithm::SfaCh,
+        Algorithm::SpaCh,
+        Algorithm::TsaCh,
+        Algorithm::SfaCached,
+    ];
+
+    /// Short display name (matches the labels used in the paper's figures).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Exhaustive => "EXH",
+            Algorithm::Sfa => "SFA",
+            Algorithm::Spa => "SPA",
+            Algorithm::Tsa => "TSA",
+            Algorithm::TsaQc => "TSA-QC",
+            Algorithm::AisBid => "AIS-BID",
+            Algorithm::AisMinus => "AIS-",
+            Algorithm::Ais => "AIS",
+            Algorithm::SfaCh => "SFA-CH",
+            Algorithm::SpaCh => "SPA-CH",
+            Algorithm::TsaCh => "TSA-CH",
+            Algorithm::SfaCached => "AIS-Cache",
+        }
+    }
+
+    /// Returns `true` when the algorithm needs a Contraction Hierarchies
+    /// index (see [`EngineConfig::build_ch`]).
+    pub fn needs_ch(&self) -> bool {
+        matches!(
+            self,
+            Algorithm::SfaCh | Algorithm::SpaCh | Algorithm::TsaCh
+        )
+    }
+
+    /// Returns `true` when the algorithm needs a pre-computed social
+    /// neighbour cache (see [`GeoSocialEngine::build_social_cache`]).
+    pub fn needs_social_cache(&self) -> bool {
+        matches!(self, Algorithm::SfaCached)
+    }
+}
+
+/// Index-construction parameters of a [`GeoSocialEngine`] (the system
+/// parameters of Table 3 in the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Partitioning granularity `s`: every AIS index node has `s × s`
+    /// children, and the single-level grid used by SPA/TSA has
+    /// `s^levels × s^levels` cells (capped at 256 per axis).
+    pub granularity: u32,
+    /// Number of retained AIS grid levels (the paper keeps 2).
+    pub ais_levels: u32,
+    /// Number of landmarks `M` (the paper fine-tunes M = 8).
+    pub num_landmarks: usize,
+    /// Landmark selection strategy.
+    pub landmark_selection: LandmarkSelection,
+    /// Seed for randomized landmark selection.
+    pub landmark_seed: u64,
+    /// Whether to build the Contraction Hierarchies index needed by the
+    /// `*-CH` baselines (expensive; off by default).
+    pub build_ch: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            granularity: 10,
+            ais_levels: 2,
+            num_landmarks: 8,
+            landmark_selection: LandmarkSelection::FarthestFirst,
+            landmark_seed: 0x5537_2301,
+            build_ch: false,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.granularity == 0 {
+            return Err(CoreError::InvalidParameter(
+                "granularity s must be at least 1".into(),
+            ));
+        }
+        if self.ais_levels == 0 {
+            return Err(CoreError::InvalidParameter(
+                "the AIS index needs at least one level".into(),
+            ));
+        }
+        if self.num_landmarks == 0 {
+            return Err(CoreError::InvalidParameter(
+                "at least one landmark is required".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The side length (cells per axis) of the single-level grid used by the
+    /// SPA/TSA spatial search.
+    pub fn spa_grid_side(&self) -> u32 {
+        let side = (self.granularity as u64).pow(self.ais_levels).min(256);
+        side.max(1) as u32
+    }
+}
+
+/// The SSRQ query engine: owns the dataset, the spatial indexes, the
+/// landmark tables and the optional auxiliary indexes, and dispatches
+/// queries to any of the processing [`Algorithm`]s.
+#[derive(Debug, Clone)]
+pub struct GeoSocialEngine {
+    dataset: GeoSocialDataset,
+    config: EngineConfig,
+    landmarks: LandmarkSet,
+    grid: UniformGrid,
+    ais: AisIndex,
+    ch: Option<ContractionHierarchy>,
+    social_cache: Option<SocialNeighborCache>,
+}
+
+impl GeoSocialEngine {
+    /// Builds all indexes for `dataset` (landmark distance tables, the
+    /// SPA/TSA grid, the AIS aggregate index, and optionally Contraction
+    /// Hierarchies).
+    pub fn build(dataset: GeoSocialDataset, config: EngineConfig) -> Result<Self, CoreError> {
+        config.validate()?;
+        if dataset.user_count() == 0 {
+            return Err(CoreError::InvalidDataset("the dataset has no users".into()));
+        }
+        let landmarks = LandmarkSet::build(
+            dataset.graph(),
+            config.num_landmarks,
+            config.landmark_selection,
+            config.landmark_seed,
+        )?;
+        let bounds = expanded(dataset.bounds());
+        let grid = UniformGrid::bulk_load(bounds, config.spa_grid_side(), dataset.located_users())?;
+        let ais = AisIndex::build(&dataset, &landmarks, config.granularity, config.ais_levels)?;
+        let ch = if config.build_ch {
+            Some(ContractionHierarchy::build(
+                dataset.graph(),
+                ChParams::default(),
+            ))
+        } else {
+            None
+        };
+        Ok(GeoSocialEngine {
+            dataset,
+            config,
+            landmarks,
+            grid,
+            ais,
+            ch,
+            social_cache: None,
+        })
+    }
+
+    /// The dataset the engine operates on.
+    pub fn dataset(&self) -> &GeoSocialDataset {
+        &self.dataset
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The landmark set shared by TSA and AIS.
+    pub fn landmarks(&self) -> &LandmarkSet {
+        &self.landmarks
+    }
+
+    /// The AIS aggregate index.
+    pub fn ais_index(&self) -> &AisIndex {
+        &self.ais
+    }
+
+    /// The single-level grid used by the SPA/TSA spatial search.
+    pub fn grid(&self) -> &UniformGrid {
+        &self.grid
+    }
+
+    /// The Contraction Hierarchies index, when built.
+    pub fn contraction_hierarchy(&self) -> Option<&ContractionHierarchy> {
+        self.ch.as_ref()
+    }
+
+    /// Builds (or replaces) the Contraction Hierarchies index needed by the
+    /// `*-CH` baselines.
+    pub fn build_contraction_hierarchy(&mut self) {
+        self.ch = Some(ContractionHierarchy::build(
+            self.dataset.graph(),
+            ChParams::default(),
+        ));
+    }
+
+    /// Pre-computes the `t` socially closest vertices for each user in
+    /// `users` (§5.4); required by [`Algorithm::SfaCached`].
+    pub fn build_social_cache(&mut self, users: &[UserId], t: usize) {
+        self.social_cache = Some(SocialNeighborCache::build(self.dataset.graph(), users, t));
+    }
+
+    /// The pre-computed social neighbour cache, when built.
+    pub fn social_cache(&self) -> Option<&SocialNeighborCache> {
+        self.social_cache.as_ref()
+    }
+
+    /// Processes one SSRQ query with the chosen algorithm.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidParameter`] for invalid `k`/`α`, or when the
+    ///   algorithm requires an auxiliary index that has not been built.
+    /// * [`CoreError::UnknownUser`] when the query user does not exist.
+    pub fn query(&self, algorithm: Algorithm, params: &QueryParams) -> Result<QueryResult, CoreError> {
+        match algorithm {
+            Algorithm::Exhaustive => exhaustive_query(&self.dataset, params),
+            Algorithm::Sfa => sfa_query(&self.dataset, params),
+            Algorithm::Spa => spa_query(&self.dataset, &self.grid, params, SpaOptions::default()),
+            Algorithm::Tsa => tsa_query(
+                &self.dataset,
+                &self.grid,
+                params,
+                TsaOptions {
+                    quick_combine: false,
+                    landmarks: Some(&self.landmarks),
+                    ch_phase2: None,
+                },
+            ),
+            Algorithm::TsaQc => tsa_query(
+                &self.dataset,
+                &self.grid,
+                params,
+                TsaOptions {
+                    quick_combine: true,
+                    landmarks: Some(&self.landmarks),
+                    ch_phase2: None,
+                },
+            ),
+            Algorithm::AisBid => ais_query(
+                &self.dataset,
+                &self.ais,
+                &self.landmarks,
+                params,
+                AisVariant::bid(),
+            ),
+            Algorithm::AisMinus => ais_query(
+                &self.dataset,
+                &self.ais,
+                &self.landmarks,
+                params,
+                AisVariant::minus(),
+            ),
+            Algorithm::Ais => ais_query(
+                &self.dataset,
+                &self.ais,
+                &self.landmarks,
+                params,
+                AisVariant::full(),
+            ),
+            Algorithm::SfaCh => {
+                let ch = self.require_ch()?;
+                sfa_ch_query(&self.dataset, ch, params)
+            }
+            Algorithm::SpaCh => {
+                let ch = self.require_ch()?;
+                spa_query(&self.dataset, &self.grid, params, SpaOptions { ch: Some(ch) })
+            }
+            Algorithm::TsaCh => {
+                let ch = self.require_ch()?;
+                tsa_query(
+                    &self.dataset,
+                    &self.grid,
+                    params,
+                    TsaOptions {
+                        quick_combine: false,
+                        landmarks: Some(&self.landmarks),
+                        ch_phase2: Some(ch),
+                    },
+                )
+            }
+            Algorithm::SfaCached => {
+                let cache = self.social_cache.as_ref().ok_or_else(|| {
+                    CoreError::InvalidParameter(
+                        "Algorithm::SfaCached requires build_social_cache() first".into(),
+                    )
+                })?;
+                cached_query(&self.dataset, cache, params, |p| {
+                    ais_query(&self.dataset, &self.ais, &self.landmarks, p, AisVariant::full())
+                })
+            }
+        }
+    }
+
+    /// Processes the same query with every algorithm in `algorithms`,
+    /// returning `(algorithm, result)` pairs.  Used by the experiment
+    /// harness.
+    pub fn query_all(
+        &self,
+        algorithms: &[Algorithm],
+        params: &QueryParams,
+    ) -> Result<Vec<(Algorithm, QueryResult)>, CoreError> {
+        algorithms
+            .iter()
+            .map(|&a| self.query(a, params).map(|r| (a, r)))
+            .collect()
+    }
+
+    /// Reports a new location for `user`, updating the dataset, the SPA/TSA
+    /// grid and the AIS index (including its social summaries) — the
+    /// location-update path of §5.1.
+    pub fn update_location(&mut self, user: UserId, location: Point) -> Result<(), CoreError> {
+        self.dataset.check_user(user)?;
+        if !location.is_finite() {
+            return Err(CoreError::InvalidParameter(format!(
+                "non-finite location {location}"
+            )));
+        }
+        self.dataset.set_location(user, Some(location))?;
+        // The grids clamp points into their bounds, so a location slightly
+        // outside the original bounding box is still handled.
+        self.grid.insert(user, location);
+        self.ais.update_location(user, location, &self.landmarks)?;
+        Ok(())
+    }
+
+    /// Removes the location of `user` (the user becomes "infinitely far" in
+    /// the spatial domain).
+    pub fn remove_location(&mut self, user: UserId) -> Result<(), CoreError> {
+        self.dataset.check_user(user)?;
+        if self.dataset.location(user).is_some() {
+            self.dataset.set_location(user, None)?;
+            self.grid.remove(user)?;
+            self.ais.remove_user(user, &self.landmarks)?;
+        }
+        Ok(())
+    }
+
+    fn require_ch(&self) -> Result<&ContractionHierarchy, CoreError> {
+        self.ch.as_ref().ok_or_else(|| {
+            CoreError::InvalidParameter(
+                "this algorithm needs a Contraction Hierarchies index; set \
+                 EngineConfig::build_ch or call build_contraction_hierarchy()"
+                    .into(),
+            )
+        })
+    }
+}
+
+fn expanded(bounds: Rect) -> Rect {
+    let margin = (bounds.width().max(bounds.height()) * 1e-6).max(1e-9);
+    bounds.expanded(margin)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssrq_graph::GraphBuilder;
+
+    fn dataset() -> GeoSocialDataset {
+        let n = 50u32;
+        let mut builder = GraphBuilder::new(n as usize);
+        for i in 0..n {
+            builder
+                .add_edge(i, (i + 1) % n, 0.3 + (i % 6) as f64 * 0.2)
+                .unwrap();
+        }
+        for i in (0..n).step_by(4) {
+            builder
+                .add_edge(i, (i + 13) % n, 0.9 + (i % 3) as f64 * 0.4)
+                .unwrap();
+        }
+        let graph = builder.build();
+        let locations: Vec<Option<Point>> = (0..n)
+            .map(|i| {
+                if i % 10 == 9 {
+                    None
+                } else {
+                    Some(Point::new(
+                        ((i as f64) * 0.618) % 1.0,
+                        ((i as f64) * 0.382) % 1.0,
+                    ))
+                }
+            })
+            .collect();
+        GeoSocialDataset::new(graph, locations).unwrap()
+    }
+
+    fn engine() -> GeoSocialEngine {
+        let config = EngineConfig {
+            granularity: 4,
+            ..EngineConfig::default()
+        };
+        GeoSocialEngine::build(dataset(), config).unwrap()
+    }
+
+    #[test]
+    fn every_algorithm_agrees_with_the_oracle() {
+        let mut engine = engine();
+        engine.build_contraction_hierarchy();
+        let query_users = [0u32, 7, 23, 41];
+        engine.build_social_cache(&query_users, 60);
+        for &user in &query_users {
+            for &alpha in &[0.3, 0.7] {
+                let params = QueryParams::new(user, 6, alpha);
+                let expected = engine.query(Algorithm::Exhaustive, &params).unwrap();
+                for algorithm in Algorithm::ALL {
+                    let got = engine.query(algorithm, &params).unwrap();
+                    assert!(
+                        got.same_users_and_scores(&expected, 1e-9),
+                        "{} disagrees with the oracle for user {user}, alpha {alpha}:\n  got {:?}\n  expected {:?}",
+                        algorithm.name(),
+                        got.users(),
+                        expected.users()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ch_algorithms_require_the_index() {
+        let engine = engine();
+        let params = QueryParams::new(0, 5, 0.5);
+        for algorithm in [Algorithm::SfaCh, Algorithm::SpaCh, Algorithm::TsaCh] {
+            assert!(algorithm.needs_ch());
+            assert!(matches!(
+                engine.query(algorithm, &params),
+                Err(CoreError::InvalidParameter(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn cached_algorithm_requires_the_cache() {
+        let engine = engine();
+        assert!(Algorithm::SfaCached.needs_social_cache());
+        let params = QueryParams::new(0, 5, 0.5);
+        assert!(matches!(
+            engine.query(Algorithm::SfaCached, &params),
+            Err(CoreError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn config_validation_and_derived_grid_side() {
+        assert!(EngineConfig::default().validate().is_ok());
+        let bad = EngineConfig {
+            granularity: 0,
+            ..EngineConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = EngineConfig {
+            num_landmarks: 0,
+            ..EngineConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let cfg = EngineConfig {
+            granularity: 20,
+            ais_levels: 2,
+            ..EngineConfig::default()
+        };
+        assert_eq!(cfg.spa_grid_side(), 256); // capped
+        let cfg = EngineConfig {
+            granularity: 5,
+            ais_levels: 2,
+            ..EngineConfig::default()
+        };
+        assert_eq!(cfg.spa_grid_side(), 25);
+    }
+
+    #[test]
+    fn location_updates_keep_all_algorithms_consistent() {
+        let mut engine = engine();
+        let params = QueryParams::new(0, 5, 0.5);
+        // Move a handful of users around, including one that previously had
+        // no location, then re-verify agreement between AIS and the oracle.
+        engine.update_location(9, Point::new(0.42, 0.13)).unwrap();
+        engine.update_location(3, Point::new(0.91, 0.88)).unwrap();
+        engine.update_location(0, Point::new(0.05, 0.95)).unwrap();
+        engine.remove_location(17).unwrap();
+        for algorithm in [Algorithm::Sfa, Algorithm::Spa, Algorithm::Tsa, Algorithm::Ais] {
+            let expected = engine.query(Algorithm::Exhaustive, &params).unwrap();
+            let got = engine.query(algorithm, &params).unwrap();
+            assert!(
+                got.same_users_and_scores(&expected, 1e-9),
+                "{} inconsistent after location updates",
+                algorithm.name()
+            );
+        }
+    }
+
+    #[test]
+    fn query_all_returns_one_result_per_algorithm() {
+        let engine = engine();
+        let params = QueryParams::new(5, 4, 0.4);
+        let results = engine
+            .query_all(&[Algorithm::Sfa, Algorithm::Ais], &params)
+            .unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].0, Algorithm::Sfa);
+        assert!(results[0].1.same_users_and_scores(&results[1].1, 1e-9));
+    }
+
+    #[test]
+    fn algorithm_names_are_unique() {
+        let mut names: Vec<&str> = Algorithm::ALL.iter().map(|a| a.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Algorithm::ALL.len());
+    }
+
+    #[test]
+    fn empty_dataset_is_rejected() {
+        let graph = GraphBuilder::new(0).build();
+        let err = GeoSocialDataset::new(graph, vec![]);
+        // An empty dataset cannot even be constructed (no located user).
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,74 @@
+//! The Social and Spatial Ranking Query (SSRQ) — core algorithms.
+//!
+//! This crate implements the primary contribution of *"Joint Search by
+//! Social and Spatial Proximity"* (Mouratidis, Li, Tang, Mamoulis): given a
+//! query user `u_q`, a preference parameter `α` and a result size `k`, the
+//! SSRQ returns the `k` users minimizing
+//!
+//! ```text
+//! f(u_q, u_i) = α · p(v_q, v_i) + (1 − α) · d(u_q, u_i)
+//! ```
+//!
+//! where `p` is the normalized shortest-path distance in the social graph
+//! and `d` the normalized Euclidean distance between current locations.
+//!
+//! # Processing algorithms
+//!
+//! | [`Algorithm`] | Paper section | Idea |
+//! |---|---|---|
+//! | [`Algorithm::Exhaustive`] | — | brute-force oracle used for testing |
+//! | [`Algorithm::Sfa`] | §4.1 | expand the social graph around `v_q` (Dijkstra) |
+//! | [`Algorithm::Spa`] | §4.1 | incremental spatial NN search around `u_q` |
+//! | [`Algorithm::Tsa`] | §4.2 | twofold (social + spatial) search, round-robin |
+//! | [`Algorithm::TsaQc`] | §4.2 | TSA probing with the Quick Combine heuristic |
+//! | [`Algorithm::AisBid`] | §5 / §6 | aggregate index search, plain bidirectional distances |
+//! | [`Algorithm::AisMinus`] | §5.2 | AIS + computation sharing (no delayed evaluation) |
+//! | [`Algorithm::Ais`] | §5.3 | AIS + computation sharing + delayed evaluation |
+//! | [`Algorithm::SfaCh`], [`Algorithm::SpaCh`], [`Algorithm::TsaCh`] | §6 | the `*-CH` baselines (Contraction Hierarchies distance module) |
+//! | [`Algorithm::SfaCached`] | §5.4 | pre-computed socially-closest lists with AIS fallback |
+//!
+//! The entry point is [`GeoSocialEngine`]: build it once from a
+//! [`GeoSocialDataset`] and an [`EngineConfig`], then issue any number of
+//! queries with any algorithm.
+//!
+//! ```
+//! use ssrq_core::{Algorithm, EngineConfig, GeoSocialDataset, GeoSocialEngine, QueryParams};
+//! use ssrq_graph::GraphBuilder;
+//! use ssrq_spatial::Point;
+//!
+//! // Four users on a line, chained as friends.
+//! let graph = GraphBuilder::from_edges(4, vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
+//! let locations = vec![
+//!     Some(Point::new(0.1, 0.5)),
+//!     Some(Point::new(0.9, 0.5)),
+//!     Some(Point::new(0.2, 0.5)),
+//!     Some(Point::new(0.8, 0.5)),
+//! ];
+//! let dataset = GeoSocialDataset::new(graph, locations).unwrap();
+//! let engine = GeoSocialEngine::build(dataset, EngineConfig::default()).unwrap();
+//! let result = engine
+//!     .query(Algorithm::Ais, &QueryParams::new(0, 2, 0.5))
+//!     .unwrap();
+//! assert_eq!(result.ranked.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ais;
+pub mod algorithms;
+mod dataset;
+mod engine;
+mod error;
+mod query;
+mod ranking;
+mod result;
+mod stats;
+
+pub use dataset::{GeoSocialDataset, UserId};
+pub use engine::{Algorithm, EngineConfig, GeoSocialEngine};
+pub use error::CoreError;
+pub use query::{QueryParams, QueryResult, RankedUser};
+pub use ranking::{combine, RankingContext};
+pub use result::TopK;
+pub use stats::QueryStats;

@@ -1,0 +1,162 @@
+use crate::{CoreError, QueryStats, UserId};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one SSRQ query (Definition 1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueryParams {
+    /// The query user `u_q`.
+    pub user: UserId,
+    /// Number of users to report (`k`).
+    pub k: usize,
+    /// Preference parameter `α ∈ (0, 1)`: the weight of *social* proximity
+    /// (`1 − α` weighs spatial proximity).
+    pub alpha: f64,
+}
+
+impl QueryParams {
+    /// Creates query parameters.
+    pub fn new(user: UserId, k: usize, alpha: f64) -> Self {
+        QueryParams { user, k, alpha }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// `α` must lie strictly between 0 and 1: at the boundaries one of the
+    /// domains carries zero weight and the single-domain algorithms of the
+    /// paper lose their termination conditions (the evaluation uses
+    /// `α ∈ [0.1, 0.9]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for `k = 0` or `α` outside
+    /// `(0, 1)`.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.k == 0 {
+            return Err(CoreError::InvalidParameter("k must be at least 1".into()));
+        }
+        if !(self.alpha > 0.0 && self.alpha < 1.0) {
+            return Err(CoreError::InvalidParameter(format!(
+                "alpha must lie strictly between 0 and 1, got {}",
+                self.alpha
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// One entry of an SSRQ result: a user together with its ranking value and
+/// the two normalized distances it was derived from.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RankedUser {
+    /// The reported user.
+    pub user: UserId,
+    /// The ranking value `f(u_q, user)` (smaller is better).
+    pub score: f64,
+    /// Normalized social (shortest-path) distance `p`.
+    pub social: f64,
+    /// Normalized spatial (Euclidean) distance `d`.
+    pub spatial: f64,
+}
+
+/// The answer to one SSRQ query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryResult {
+    /// The top-k users in ascending order of ranking value.  May contain
+    /// fewer than `k` entries when fewer than `k` users have a finite
+    /// ranking value.
+    pub ranked: Vec<RankedUser>,
+    /// Work counters and timing for the query.
+    pub stats: QueryStats,
+}
+
+impl QueryResult {
+    /// The user ids of the result, in rank order.
+    pub fn users(&self) -> Vec<UserId> {
+        self.ranked.iter().map(|r| r.user).collect()
+    }
+
+    /// The worst (largest) reported ranking value — the paper's `f_k`.
+    /// `None` for an empty result.
+    pub fn fk(&self) -> Option<f64> {
+        self.ranked.last().map(|r| r.score)
+    }
+
+    /// Returns `true` when the two results contain the same users with the
+    /// same scores up to `tolerance` (rank order of equal-score users may
+    /// legitimately differ between algorithms).
+    pub fn same_users_and_scores(&self, other: &QueryResult, tolerance: f64) -> bool {
+        if self.ranked.len() != other.ranked.len() {
+            return false;
+        }
+        // Scores must match position-wise.
+        for (a, b) in self.ranked.iter().zip(other.ranked.iter()) {
+            if (a.score - b.score).abs() > tolerance {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranked(user: UserId, score: f64) -> RankedUser {
+        RankedUser {
+            user,
+            score,
+            social: score / 2.0,
+            spatial: score / 2.0,
+        }
+    }
+
+    #[test]
+    fn validation_accepts_paper_ranges() {
+        for alpha in [0.1, 0.3, 0.5, 0.7, 0.9] {
+            assert!(QueryParams::new(0, 30, alpha).validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_parameters() {
+        assert!(QueryParams::new(0, 0, 0.5).validate().is_err());
+        assert!(QueryParams::new(0, 10, 0.0).validate().is_err());
+        assert!(QueryParams::new(0, 10, 1.0).validate().is_err());
+        assert!(QueryParams::new(0, 10, -0.3).validate().is_err());
+        assert!(QueryParams::new(0, 10, f64::NAN).validate().is_err());
+    }
+
+    #[test]
+    fn result_accessors() {
+        let result = QueryResult {
+            ranked: vec![ranked(4, 0.1), ranked(2, 0.2), ranked(7, 0.35)],
+            stats: QueryStats::default(),
+        };
+        assert_eq!(result.users(), vec![4, 2, 7]);
+        assert_eq!(result.fk(), Some(0.35));
+        let empty = QueryResult {
+            ranked: vec![],
+            stats: QueryStats::default(),
+        };
+        assert_eq!(empty.fk(), None);
+    }
+
+    #[test]
+    fn result_comparison_tolerates_score_ties() {
+        let a = QueryResult {
+            ranked: vec![ranked(1, 0.1), ranked(2, 0.2)],
+            stats: QueryStats::default(),
+        };
+        let mut b = a.clone();
+        b.ranked[0].user = 9; // different user with identical score
+        assert!(a.same_users_and_scores(&b, 1e-9));
+        b.ranked[1].score = 0.4;
+        assert!(!a.same_users_and_scores(&b, 1e-9));
+        let shorter = QueryResult {
+            ranked: vec![ranked(1, 0.1)],
+            stats: QueryStats::default(),
+        };
+        assert!(!a.same_users_and_scores(&shorter, 1e-9));
+    }
+}

@@ -1,0 +1,158 @@
+use crate::{GeoSocialDataset, QueryParams, UserId};
+
+/// Combines a normalized social distance and a normalized spatial distance
+/// into the SSRQ ranking value `f = α · p + (1 − α) · d` (Equation 1 of the
+/// paper).
+///
+/// Either input may be `f64::INFINITY` (socially unreachable user or missing
+/// location); since both coefficients are positive for the supported `α`
+/// range, the result is then infinite as well and the user can never enter a
+/// top-k result.
+#[inline]
+pub fn combine(alpha: f64, social_norm: f64, spatial_norm: f64) -> f64 {
+    alpha * social_norm + (1.0 - alpha) * spatial_norm
+}
+
+/// Per-query helper bundling the dataset, the query user and `α`, and
+/// exposing the normalized distance/ranking computations every algorithm
+/// needs.
+///
+/// All algorithm implementations go through this type so that normalization
+/// and the handling of missing locations stay consistent.
+#[derive(Debug, Clone, Copy)]
+pub struct RankingContext<'a> {
+    dataset: &'a GeoSocialDataset,
+    query_user: UserId,
+    alpha: f64,
+}
+
+impl<'a> RankingContext<'a> {
+    /// Creates a ranking context for one query.
+    pub fn new(dataset: &'a GeoSocialDataset, params: &QueryParams) -> Self {
+        RankingContext {
+            dataset,
+            query_user: params.user,
+            alpha: params.alpha,
+        }
+    }
+
+    /// The dataset the context refers to.
+    pub fn dataset(&self) -> &'a GeoSocialDataset {
+        self.dataset
+    }
+
+    /// The query user `u_q`.
+    pub fn query_user(&self) -> UserId {
+        self.query_user
+    }
+
+    /// The preference parameter `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Normalized spatial distance between the query user and `other`
+    /// (`INFINITY` when either location is missing).
+    #[inline]
+    pub fn spatial(&self, other: UserId) -> f64 {
+        self.dataset.spatial_distance(self.query_user, other)
+    }
+
+    /// Normalizes a raw social distance.
+    #[inline]
+    pub fn normalize_social(&self, raw: f64) -> f64 {
+        self.dataset.normalize_social(raw)
+    }
+
+    /// Normalizes a raw spatial distance.
+    #[inline]
+    pub fn normalize_spatial(&self, raw: f64) -> f64 {
+        self.dataset.normalize_spatial(raw)
+    }
+
+    /// Ranking value from a *raw* social distance and the stored locations.
+    #[inline]
+    pub fn score_from_raw_social(&self, other: UserId, raw_social: f64) -> (f64, f64, f64) {
+        let social = self.normalize_social(raw_social);
+        let spatial = self.spatial(other);
+        (combine(self.alpha, social, spatial), social, spatial)
+    }
+
+    /// Ranking value from already-normalized distances.
+    #[inline]
+    pub fn score(&self, social_norm: f64, spatial_norm: f64) -> f64 {
+        combine(self.alpha, social_norm, spatial_norm)
+    }
+
+    /// Lower bound on `f` given lower bounds on the two normalized
+    /// distances.
+    #[inline]
+    pub fn score_lower_bound(&self, social_lb: f64, spatial_lb: f64) -> f64 {
+        combine(self.alpha, social_lb, spatial_lb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssrq_graph::GraphBuilder;
+    use ssrq_spatial::Point;
+
+    fn dataset() -> GeoSocialDataset {
+        let graph =
+            GraphBuilder::from_edges(3, vec![(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        let locations = vec![
+            Some(Point::new(0.0, 0.0)),
+            Some(Point::new(1.0, 0.0)),
+            None,
+        ];
+        GeoSocialDataset::new(graph, locations).unwrap()
+    }
+
+    #[test]
+    fn combine_is_a_convex_combination() {
+        assert_eq!(combine(0.0, 5.0, 3.0), 3.0);
+        assert_eq!(combine(1.0, 5.0, 3.0), 5.0);
+        assert_eq!(combine(0.5, 4.0, 2.0), 3.0);
+    }
+
+    #[test]
+    fn combine_propagates_infinity() {
+        assert!(combine(0.3, f64::INFINITY, 0.2).is_infinite());
+        assert!(combine(0.3, 0.2, f64::INFINITY).is_infinite());
+    }
+
+    #[test]
+    fn context_normalizes_both_domains() {
+        let ds = dataset();
+        let params = QueryParams::new(0, 1, 0.5);
+        let ctx = RankingContext::new(&ds, &params);
+        assert_eq!(ctx.query_user(), 0);
+        assert_eq!(ctx.alpha(), 0.5);
+        // User 1: raw social 1.0 of diameter 2.0 -> 0.5; raw spatial 1.0 of
+        // diagonal 1.0 -> 1.0.
+        let (f, social, spatial) = ctx.score_from_raw_social(1, 1.0);
+        assert!((social - 0.5).abs() < 1e-12);
+        assert!((spatial - 1.0).abs() < 1e-12);
+        assert!((f - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_location_gives_infinite_score() {
+        let ds = dataset();
+        let params = QueryParams::new(0, 1, 0.5);
+        let ctx = RankingContext::new(&ds, &params);
+        let (f, _, spatial) = ctx.score_from_raw_social(2, 2.0);
+        assert!(spatial.is_infinite());
+        assert!(f.is_infinite());
+    }
+
+    #[test]
+    fn score_lower_bound_matches_score_for_exact_inputs() {
+        let ds = dataset();
+        let params = QueryParams::new(0, 1, 0.3);
+        let ctx = RankingContext::new(&ds, &params);
+        assert_eq!(ctx.score(0.4, 0.6), ctx.score_lower_bound(0.4, 0.6));
+        assert!(ctx.score_lower_bound(0.0, 0.0) <= ctx.score(0.4, 0.6));
+    }
+}

@@ -1,0 +1,195 @@
+use crate::{RankedUser, UserId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// The interim result `R` of an SSRQ query: the best `k` users seen so far
+/// together with the threshold `f_k` (the worst score in `R`).
+///
+/// Every processing algorithm maintains one of these.  `f_k` is
+/// `f64::INFINITY` while the result holds fewer than `k` users, so that any
+/// user with a finite score is admitted.
+#[derive(Debug, Clone)]
+pub struct TopK {
+    k: usize,
+    // Max-heap on score, so the worst entry is at the top and can be evicted
+    // in O(log k).
+    heap: BinaryHeap<HeapEntry>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry(RankedUser);
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.score == other.0.score && self.0.user == other.0.user
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0
+            .score
+            .partial_cmp(&other.0.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.0.user.cmp(&other.0.user))
+    }
+}
+
+impl TopK {
+    /// Creates an empty interim result of capacity `k`.
+    pub fn new(k: usize) -> Self {
+        TopK {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// The capacity `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of users currently held.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` when no user has been admitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The threshold `f_k`: the worst score in the interim result, or
+    /// `INFINITY` while fewer than `k` users are held.
+    pub fn fk(&self) -> f64 {
+        if self.heap.len() < self.k {
+            f64::INFINITY
+        } else {
+            self.heap.peek().map(|e| e.0.score).unwrap_or(f64::INFINITY)
+        }
+    }
+
+    /// Returns `true` when `user` is currently part of the interim result.
+    pub fn contains(&self, user: UserId) -> bool {
+        self.heap.iter().any(|e| e.0.user == user)
+    }
+
+    /// Offers a candidate.  The candidate is admitted when its score beats
+    /// the current threshold (infinite scores are never admitted); the
+    /// previously worst user is evicted if the result was full.
+    ///
+    /// Returns `true` when the candidate entered the result.
+    pub fn consider(&mut self, candidate: RankedUser) -> bool {
+        if !candidate.score.is_finite() {
+            return false;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(HeapEntry(candidate));
+            return true;
+        }
+        if candidate.score < self.fk() {
+            self.heap.pop();
+            self.heap.push(HeapEntry(candidate));
+            return true;
+        }
+        false
+    }
+
+    /// Consumes the result and returns the users sorted by ascending score.
+    pub fn into_sorted_vec(self) -> Vec<RankedUser> {
+        let mut v: Vec<RankedUser> = self.heap.into_iter().map(|e| e.0).collect();
+        v.sort_by(|a, b| {
+            a.score
+                .partial_cmp(&b.score)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| a.user.cmp(&b.user))
+        });
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(user: UserId, score: f64) -> RankedUser {
+        RankedUser {
+            user,
+            score,
+            social: 0.0,
+            spatial: score,
+        }
+    }
+
+    #[test]
+    fn fk_is_infinite_until_full() {
+        let mut topk = TopK::new(3);
+        assert!(topk.fk().is_infinite());
+        assert!(topk.is_empty());
+        topk.consider(entry(1, 0.5));
+        topk.consider(entry(2, 0.2));
+        assert!(topk.fk().is_infinite());
+        topk.consider(entry(3, 0.9));
+        assert_eq!(topk.fk(), 0.9);
+        assert_eq!(topk.len(), 3);
+        assert_eq!(topk.k(), 3);
+    }
+
+    #[test]
+    fn better_candidates_evict_the_worst() {
+        let mut topk = TopK::new(2);
+        assert!(topk.consider(entry(1, 0.8)));
+        assert!(topk.consider(entry(2, 0.6)));
+        assert!(topk.consider(entry(3, 0.1)));
+        assert!(!topk.consider(entry(4, 0.9)));
+        let result = topk.into_sorted_vec();
+        assert_eq!(result.len(), 2);
+        assert_eq!(result[0].user, 3);
+        assert_eq!(result[1].user, 2);
+    }
+
+    #[test]
+    fn infinite_scores_are_rejected() {
+        let mut topk = TopK::new(2);
+        assert!(!topk.consider(entry(1, f64::INFINITY)));
+        assert!(topk.is_empty());
+    }
+
+    #[test]
+    fn contains_reflects_membership() {
+        let mut topk = TopK::new(2);
+        topk.consider(entry(5, 0.3));
+        assert!(topk.contains(5));
+        assert!(!topk.contains(6));
+        topk.consider(entry(6, 0.2));
+        topk.consider(entry(7, 0.1));
+        assert!(!topk.contains(5)); // evicted
+        assert!(topk.contains(7));
+    }
+
+    #[test]
+    fn sorted_output_is_ascending_and_ties_break_on_user() {
+        let mut topk = TopK::new(4);
+        for (u, s) in [(4, 0.5), (2, 0.5), (9, 0.1), (7, 0.3)] {
+            topk.consider(entry(u, s));
+        }
+        let out = topk.into_sorted_vec();
+        let scores: Vec<f64> = out.iter().map(|r| r.score).collect();
+        assert_eq!(scores, vec![0.1, 0.3, 0.5, 0.5]);
+        assert_eq!(out[2].user, 2);
+        assert_eq!(out[3].user, 4);
+    }
+
+    #[test]
+    fn equal_score_does_not_evict() {
+        let mut topk = TopK::new(1);
+        topk.consider(entry(1, 0.5));
+        assert!(!topk.consider(entry(2, 0.5)));
+        assert!(topk.contains(1));
+    }
+}

@@ -1,0 +1,132 @@
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Work counters collected while processing one SSRQ query.
+///
+/// The paper's evaluation reports run-time and the *pop ratio*
+/// `|V_pop| / |V|`, where `V_pop` are the vertices popped from the search
+/// heaps; both are derivable from this structure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct QueryStats {
+    /// Users/vertices popped from the algorithm's *own* search heap(s) —
+    /// the Dijkstra heap for SFA, the NN stream for SPA, both for TSA, and
+    /// the aggregate-index heap `H` for AIS.  This matches the paper's
+    /// `|V_pop|` definition and is the numerator of the pop ratio.
+    pub vertex_pops: usize,
+    /// Vertices popped (settled) by social-graph searches: the query-rooted
+    /// Dijkstra expansions, forward searches and reverse A* searches
+    /// (including the work done inside the AIS graph-distance submodule).
+    pub social_pops: usize,
+    /// Entries (cells and users) popped from spatial search heaps.
+    pub spatial_pops: usize,
+    /// Entries popped from the AIS aggregate-index heap.
+    pub index_pops: usize,
+    /// Users whose exact ranking value was computed.
+    pub evaluated_users: usize,
+    /// Exact point-to-point graph-distance computations requested.
+    pub distance_calls: usize,
+    /// Distance computations answered from a cache (distance caching /
+    /// pre-computed lists).
+    pub cache_hits: usize,
+    /// Users re-inserted into the AIS heap by the delayed-evaluation
+    /// strategy.
+    pub delayed_reinsertions: usize,
+    /// Wall-clock processing time.
+    #[serde(with = "duration_serde")]
+    pub runtime: Duration,
+}
+
+impl QueryStats {
+    /// Total number of vertices popped from the algorithm's search heaps,
+    /// the `|V_pop|` of the paper's pop-ratio metric.
+    pub fn popped_vertices(&self) -> usize {
+        self.vertex_pops
+    }
+
+    /// The paper's pop ratio: popped vertices divided by `|V|`.
+    pub fn pop_ratio(&self, graph_vertices: usize) -> f64 {
+        if graph_vertices == 0 {
+            return 0.0;
+        }
+        self.vertex_pops as f64 / graph_vertices as f64
+    }
+
+    /// Merges the counters of another query into this one (used when an
+    /// algorithm falls back to another, e.g. the pre-computation method
+    /// falling back to AIS).
+    pub fn absorb(&mut self, other: &QueryStats) {
+        self.vertex_pops += other.vertex_pops;
+        self.social_pops += other.social_pops;
+        self.spatial_pops += other.spatial_pops;
+        self.index_pops += other.index_pops;
+        self.evaluated_users += other.evaluated_users;
+        self.distance_calls += other.distance_calls;
+        self.cache_hits += other.cache_hits;
+        self.delayed_reinsertions += other.delayed_reinsertions;
+        self.runtime += other.runtime;
+    }
+}
+
+mod duration_serde {
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use std::time::Duration;
+
+    pub fn serialize<S: Serializer>(d: &Duration, s: S) -> Result<S::Ok, S::Error> {
+        d.as_secs_f64().serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Duration, D::Error> {
+        let secs = f64::deserialize(d)?;
+        Ok(Duration::from_secs_f64(secs.max(0.0)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pop_ratio_divides_by_graph_size() {
+        let stats = QueryStats {
+            vertex_pops: 25,
+            ..QueryStats::default()
+        };
+        assert!((stats.pop_ratio(100) - 0.25).abs() < 1e-12);
+        assert_eq!(stats.pop_ratio(0), 0.0);
+        assert_eq!(stats.popped_vertices(), 25);
+    }
+
+    #[test]
+    fn absorb_sums_counters() {
+        let mut a = QueryStats {
+            vertex_pops: 9,
+            social_pops: 1,
+            spatial_pops: 2,
+            index_pops: 3,
+            evaluated_users: 4,
+            distance_calls: 5,
+            cache_hits: 6,
+            delayed_reinsertions: 7,
+            runtime: Duration::from_millis(10),
+        };
+        let b = a;
+        a.absorb(&b);
+        assert_eq!(a.vertex_pops, 18);
+        assert_eq!(a.social_pops, 2);
+        assert_eq!(a.spatial_pops, 4);
+        assert_eq!(a.index_pops, 6);
+        assert_eq!(a.evaluated_users, 8);
+        assert_eq!(a.distance_calls, 10);
+        assert_eq!(a.cache_hits, 12);
+        assert_eq!(a.delayed_reinsertions, 14);
+        assert_eq!(a.runtime, Duration::from_millis(20));
+    }
+
+    #[test]
+    fn default_stats_are_zeroed() {
+        let stats = QueryStats::default();
+        assert_eq!(stats.social_pops, 0);
+        assert_eq!(stats.evaluated_users, 0);
+        assert_eq!(stats.runtime, Duration::ZERO);
+    }
+}

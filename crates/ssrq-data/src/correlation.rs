@@ -1,0 +1,225 @@
+//! Correlation-controlled location assignment (Figure 14(a) of the paper).
+//!
+//! To study how the correlation between social and spatial proximity affects
+//! the algorithms, the paper keeps the social distances of a real graph but
+//! assigns artificial locations: the spatial distance of user `u` from an
+//! anchor vertex is `d̄ = ρ · p(v_anchor, v_u) + ε` with `ρ = +1`
+//! (positively correlated), `ρ = −1` (negatively correlated, implemented as
+//! `1 − p + ε`), or an independent permutation of the positive assignment.
+//! Each user is then placed on a random point of the circle of radius `d̄`
+//! around the anchor.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use ssrq_graph::{dijkstra_all, NodeId, SocialGraph};
+use ssrq_spatial::Point;
+
+/// The type of correlation between social and spatial distance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Correlation {
+    /// Socially close users are also spatially close.
+    Positive,
+    /// Locations of the positive assignment, randomly permuted.
+    Independent,
+    /// Socially close users are spatially far (and vice versa).
+    Negative,
+}
+
+impl Correlation {
+    /// All three correlation regimes, in the order Figure 14(a) plots them.
+    pub const ALL: [Correlation; 3] = [
+        Correlation::Positive,
+        Correlation::Independent,
+        Correlation::Negative,
+    ];
+
+    /// Display label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Correlation::Positive => "positive",
+            Correlation::Independent => "independent",
+            Correlation::Negative => "negative",
+        }
+    }
+}
+
+/// Amplitude of the uniform noise `ε` added to the generated distances
+/// (±0.15 in the paper).
+pub const NOISE: f64 = 0.15;
+
+/// Generates one location per user such that the spatial distance from the
+/// `anchor` user correlates with the social distance as requested.
+///
+/// Users socially unreachable from the anchor receive `None` (they would
+/// need an infinite radius); the anchor itself is placed at the centre of
+/// the unit square.
+pub fn correlated_locations(
+    graph: &SocialGraph,
+    anchor: NodeId,
+    correlation: Correlation,
+    seed: u64,
+) -> Vec<Option<Point>> {
+    let center = Point::new(0.5, 0.5);
+    let social = dijkstra_all(graph, anchor);
+    let max_social = social
+        .iter()
+        .copied()
+        .filter(|d| d.is_finite())
+        .fold(0.0_f64, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut locations: Vec<Option<Point>> = social
+        .iter()
+        .enumerate()
+        .map(|(u, &p)| {
+            if u as NodeId == anchor {
+                return Some(center);
+            }
+            if !p.is_finite() {
+                return None;
+            }
+            let p_norm = p / max_social;
+            let noise = rng.gen_range(-NOISE..=NOISE);
+            let base = match correlation {
+                Correlation::Positive | Correlation::Independent => p_norm + noise,
+                Correlation::Negative => (1.0 - p_norm) + noise,
+            };
+            // Normalize into [0, 0.5] so the circle stays inside the unit
+            // square around the central anchor.
+            let radius = (base.clamp(0.0, 1.0 + NOISE) / (1.0 + NOISE)) * 0.5;
+            let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+            Some(Point::new(
+                (center.x + radius * angle.cos()).clamp(0.0, 1.0),
+                (center.y + radius * angle.sin()).clamp(0.0, 1.0),
+            ))
+        })
+        .collect();
+
+    if correlation == Correlation::Independent {
+        // Permute the generated locations among the located users (keeping
+        // the anchor fixed), destroying the correlation while preserving the
+        // spatial distribution.
+        let mut indices: Vec<usize> = locations
+            .iter()
+            .enumerate()
+            .filter(|&(u, p)| p.is_some() && u as NodeId != anchor)
+            .map(|(u, _)| u)
+            .collect();
+        let mut points: Vec<Point> = indices.iter().map(|&u| locations[u].unwrap()).collect();
+        points.shuffle(&mut rng);
+        indices.sort_unstable();
+        for (slot, point) in indices.into_iter().zip(points) {
+            locations[slot] = Some(point);
+        }
+    }
+    locations
+}
+
+/// Pearson correlation coefficient between social and spatial distances from
+/// `anchor`, over users with both values finite.  Used by tests and the
+/// experiment harness to verify the generated regimes.
+pub fn measure_correlation(
+    graph: &SocialGraph,
+    anchor: NodeId,
+    locations: &[Option<Point>],
+) -> f64 {
+    let social = dijkstra_all(graph, anchor);
+    let anchor_loc = match locations.get(anchor as usize).copied().flatten() {
+        Some(p) => p,
+        None => return 0.0,
+    };
+    let pairs: Vec<(f64, f64)> = locations
+        .iter()
+        .enumerate()
+        .filter(|&(u, _)| u as NodeId != anchor)
+        .filter_map(|(u, loc)| {
+            let loc = (*loc)?;
+            let p = social[u];
+            if p.is_finite() {
+                Some((p, loc.distance(anchor_loc)))
+            } else {
+                None
+            }
+        })
+        .collect();
+    if pairs.len() < 2 {
+        return 0.0;
+    }
+    let n = pairs.len() as f64;
+    let mean_x = pairs.iter().map(|p| p.0).sum::<f64>() / n;
+    let mean_y = pairs.iter().map(|p| p.1).sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    for (x, y) in pairs {
+        cov += (x - mean_x) * (y - mean_y);
+        var_x += (x - mean_x).powi(2);
+        var_y += (y - mean_y).powi(2);
+    }
+    if var_x <= 0.0 || var_y <= 0.0 {
+        return 0.0;
+    }
+    cov / (var_x.sqrt() * var_y.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::preferential_attachment;
+    use crate::weights::degree_weights;
+
+    fn graph() -> SocialGraph {
+        degree_weights(&preferential_attachment(800, 4, 21))
+    }
+
+    #[test]
+    fn positive_correlation_is_strongly_positive() {
+        let g = graph();
+        let locs = correlated_locations(&g, 0, Correlation::Positive, 5);
+        let r = measure_correlation(&g, 0, &locs);
+        assert!(r > 0.6, "expected strong positive correlation, got {r}");
+    }
+
+    #[test]
+    fn negative_correlation_is_strongly_negative() {
+        let g = graph();
+        let locs = correlated_locations(&g, 0, Correlation::Negative, 5);
+        let r = measure_correlation(&g, 0, &locs);
+        assert!(r < -0.6, "expected strong negative correlation, got {r}");
+    }
+
+    #[test]
+    fn independent_correlation_is_near_zero() {
+        let g = graph();
+        let locs = correlated_locations(&g, 0, Correlation::Independent, 5);
+        let r = measure_correlation(&g, 0, &locs);
+        assert!(r.abs() < 0.2, "expected weak correlation, got {r}");
+    }
+
+    #[test]
+    fn anchor_sits_at_the_centre_and_unreachable_users_are_unlocated() {
+        let g = ssrq_graph::GraphBuilder::from_edges(4, vec![(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        let locs = correlated_locations(&g, 0, Correlation::Positive, 1);
+        assert_eq!(locs[0], Some(Point::new(0.5, 0.5)));
+        assert!(locs[1].is_some());
+        assert!(locs[2].is_some());
+        assert!(locs[3].is_none()); // vertex 3 is isolated
+    }
+
+    #[test]
+    fn all_locations_stay_inside_the_unit_square() {
+        let g = graph();
+        for c in Correlation::ALL {
+            for p in correlated_locations(&g, 3, c, 8).into_iter().flatten() {
+                assert!((0.0..=1.0).contains(&p.x) && (0.0..=1.0).contains(&p.y));
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: Vec<&str> = Correlation::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(names, vec!["positive", "independent", "negative"]);
+    }
+}

@@ -1,0 +1,173 @@
+//! Synthetic social-graph topology generators.
+//!
+//! The SSRQ algorithms are sensitive to the degree distribution (hubs make
+//! Dijkstra frontiers explode) and to the hop diameter (how many hops a
+//! top-k result may be away, Figure 7(a)).  Real location-based social
+//! networks are scale-free with small diameter, which the preferential
+//! attachment model reproduces; a Watts–Strogatz small-world generator is
+//! provided for ablations on graphs without hubs.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use ssrq_graph::{GraphBuilder, NodeId, SocialGraph};
+
+/// Generates a scale-free graph with `n` vertices by preferential attachment
+/// (Barabási–Albert): every new vertex attaches to `edges_per_node` distinct
+/// existing vertices chosen with probability proportional to their degree.
+///
+/// The resulting average degree approaches `2 · edges_per_node`.  All edge
+/// weights are 1.0; use [`crate::weights::degree_weights`] to assign the
+/// paper's degree-derived weights afterwards.
+pub fn preferential_attachment(n: usize, edges_per_node: usize, seed: u64) -> SocialGraph {
+    let m = edges_per_node.max(1);
+    if n <= 1 {
+        return GraphBuilder::new(n).build();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(n);
+    // Endpoint multiset: each vertex appears once per incident edge, so a
+    // uniform draw from it is a degree-proportional draw.
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * n * m);
+
+    // Seed clique/ring over the first `m0 = m + 1` vertices (or all of them
+    // for tiny graphs).
+    let m0 = (m + 1).min(n);
+    for i in 0..m0 {
+        let j = (i + 1) % m0;
+        if i as NodeId != j as NodeId {
+            let _ = builder.add_edge(i as NodeId, j as NodeId, 1.0);
+            endpoints.push(i as NodeId);
+            endpoints.push(j as NodeId);
+        }
+    }
+
+    for v in m0..n {
+        let v = v as NodeId;
+        let mut targets: Vec<NodeId> = Vec::with_capacity(m);
+        let mut guard = 0;
+        while targets.len() < m.min(v as usize) && guard < 50 * m {
+            guard += 1;
+            let candidate = if endpoints.is_empty() || rng.gen_bool(0.05) {
+                // Small uniform component keeps early vertices reachable and
+                // avoids pathological star graphs for tiny seeds.
+                rng.gen_range(0..v)
+            } else {
+                endpoints[rng.gen_range(0..endpoints.len())]
+            };
+            if candidate != v && !targets.contains(&candidate) {
+                targets.push(candidate);
+            }
+        }
+        for t in targets {
+            let _ = builder.add_edge(v, t, 1.0);
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    builder.build()
+}
+
+/// Generates a Watts–Strogatz small-world graph: a ring lattice where every
+/// vertex connects to its `k_nearest` nearest ring neighbours, with each
+/// edge rewired to a random endpoint with probability `rewire_prob`.
+pub fn small_world(n: usize, k_nearest: usize, rewire_prob: f64, seed: u64) -> SocialGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(n);
+    if n <= 1 {
+        return builder.build();
+    }
+    let half = (k_nearest / 2).max(1);
+    for i in 0..n {
+        for offset in 1..=half {
+            let mut j = (i + offset) % n;
+            if rng.gen_bool(rewire_prob.clamp(0.0, 1.0)) {
+                // Rewire to a random endpoint distinct from i.
+                let mut attempts = 0;
+                loop {
+                    let candidate = rng.gen_range(0..n);
+                    attempts += 1;
+                    if candidate != i || attempts > 20 {
+                        j = candidate;
+                        break;
+                    }
+                }
+            }
+            if i != j {
+                let _ = builder.add_edge(i as NodeId, j as NodeId, 1.0);
+            }
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preferential_attachment_reaches_target_degree() {
+        let g = preferential_attachment(2_000, 5, 42);
+        assert_eq!(g.node_count(), 2_000);
+        let avg = g.average_degree();
+        assert!(
+            (avg - 10.0).abs() < 1.5,
+            "average degree {avg} not close to 10"
+        );
+    }
+
+    #[test]
+    fn preferential_attachment_produces_hubs() {
+        let g = preferential_attachment(3_000, 4, 7);
+        // Scale-free graphs have hubs far above the average degree.
+        assert!(g.max_degree() > 5 * g.average_degree() as usize);
+    }
+
+    #[test]
+    fn preferential_attachment_is_mostly_connected() {
+        let g = preferential_attachment(1_000, 3, 9);
+        let dist = ssrq_graph::dijkstra_all(&g, 0);
+        let reachable = dist.iter().filter(|d| d.is_finite()).count();
+        assert!(
+            reachable as f64 > 0.99 * g.node_count() as f64,
+            "only {reachable} vertices reachable"
+        );
+    }
+
+    #[test]
+    fn preferential_attachment_is_deterministic_per_seed() {
+        let a = preferential_attachment(500, 4, 11);
+        let b = preferential_attachment(500, 4, 11);
+        assert_eq!(a.edge_count(), b.edge_count());
+        let c = preferential_attachment(500, 4, 12);
+        // Different seed virtually always gives a different topology.
+        assert!(a.edge_count() != c.edge_count() || a.max_degree() != c.max_degree());
+    }
+
+    #[test]
+    fn tiny_graphs_do_not_panic() {
+        assert_eq!(preferential_attachment(0, 3, 1).node_count(), 0);
+        assert_eq!(preferential_attachment(1, 3, 1).node_count(), 1);
+        let g = preferential_attachment(2, 3, 1);
+        assert_eq!(g.node_count(), 2);
+        assert!(g.edge_count() <= 1);
+        assert_eq!(small_world(1, 4, 0.1, 1).node_count(), 1);
+    }
+
+    #[test]
+    fn small_world_has_uniform_degrees_without_rewiring() {
+        let g = small_world(200, 6, 0.0, 3);
+        assert_eq!(g.node_count(), 200);
+        // Ring lattice with k/2 = 3 neighbours on each side -> degree 6.
+        assert!((g.average_degree() - 6.0).abs() < 0.5);
+        assert!(g.max_degree() <= 7);
+    }
+
+    #[test]
+    fn small_world_rewiring_keeps_edge_count_stable() {
+        let regular = small_world(300, 8, 0.0, 5);
+        let rewired = small_world(300, 8, 0.3, 5);
+        let diff = (regular.edge_count() as i64 - rewired.edge_count() as i64).abs();
+        // Rewiring may merge a few duplicate edges but not many.
+        assert!(diff < regular.edge_count() as i64 / 10);
+    }
+}

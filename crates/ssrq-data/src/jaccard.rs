@@ -1,0 +1,55 @@
+//! Jaccard set similarity, used by Figure 7(b) to compare the SSRQ result
+//! against the purely-social and purely-spatial top-k sets.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// Jaccard similarity of two sets given as slices: `|A ∩ B| / |A ∪ B|`.
+///
+/// Duplicates within a slice are ignored.  Two empty sets have similarity 1
+/// (they are identical).
+pub fn jaccard<T: Eq + Hash + Copy>(a: &[T], b: &[T]) -> f64 {
+    let sa: HashSet<T> = a.iter().copied().collect();
+    let sb: HashSet<T> = b.iter().copied().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let intersection = sa.intersection(&sb).count();
+    let union = sa.union(&sb).count();
+    intersection as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sets_have_similarity_one() {
+        assert_eq!(jaccard(&[1, 2, 3], &[3, 2, 1]), 1.0);
+        assert_eq!(jaccard::<u32>(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets_have_similarity_zero() {
+        assert_eq!(jaccard(&[1, 2], &[3, 4]), 0.0);
+        assert_eq!(jaccard(&[1, 2], &[]), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        // {1,2,3} vs {2,3,4}: intersection 2, union 4.
+        assert!((jaccard(&[1, 2, 3], &[2, 3, 4]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicates_are_ignored() {
+        assert_eq!(jaccard(&[1, 1, 2, 2], &[1, 2]), 1.0);
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = [5u32, 9, 11, 2];
+        let b = [9u32, 7, 2];
+        assert_eq!(jaccard(&a, &b), jaccard(&b, &a));
+    }
+}

@@ -1,0 +1,97 @@
+//! Dataset statistics (Table 2 of the paper).
+
+use serde::{Deserialize, Serialize};
+use ssrq_core::GeoSocialDataset;
+
+/// The per-dataset statistics the paper reports in Table 2: vertex count,
+/// edge count, number of available locations and average vertex degree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataStatistics {
+    /// Dataset label (e.g. "gowalla-like").
+    pub name: String,
+    /// `|V|`.
+    pub vertices: usize,
+    /// `|E|`.
+    pub edges: usize,
+    /// Number of users with a known location.
+    pub locations: usize,
+    /// Average vertex degree `2|E| / |V|`.
+    pub average_degree: f64,
+    /// Fraction of users with a known location.
+    pub location_coverage: f64,
+}
+
+impl DataStatistics {
+    /// Computes the statistics of a dataset.
+    pub fn compute(name: impl Into<String>, dataset: &GeoSocialDataset) -> Self {
+        let vertices = dataset.user_count();
+        let located = dataset.located_user_count();
+        DataStatistics {
+            name: name.into(),
+            vertices,
+            edges: dataset.graph().edge_count(),
+            locations: located,
+            average_degree: dataset.graph().average_degree(),
+            location_coverage: if vertices == 0 {
+                0.0
+            } else {
+                located as f64 / vertices as f64
+            },
+        }
+    }
+
+    /// Formats the statistics as one row of the paper's Table 2.
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:<18} {:>10} {:>12} {:>12} {:>8.1}",
+            self.name, self.vertices, self.edges, self.locations, self.average_degree
+        )
+    }
+
+    /// The header matching [`DataStatistics::table_row`].
+    pub fn table_header() -> String {
+        format!(
+            "{:<18} {:>10} {:>12} {:>12} {:>8}",
+            "Name", "|V|", "|E|", "#locations", "Deg."
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssrq_graph::GraphBuilder;
+    use ssrq_spatial::Point;
+
+    #[test]
+    fn statistics_match_the_dataset() {
+        let graph = GraphBuilder::from_edges(4, vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
+        let locations = vec![
+            Some(Point::new(0.1, 0.1)),
+            Some(Point::new(0.2, 0.2)),
+            None,
+            Some(Point::new(0.3, 0.3)),
+        ];
+        let dataset = GeoSocialDataset::new(graph, locations).unwrap();
+        let stats = DataStatistics::compute("toy", &dataset);
+        assert_eq!(stats.vertices, 4);
+        assert_eq!(stats.edges, 3);
+        assert_eq!(stats.locations, 3);
+        assert!((stats.average_degree - 1.5).abs() < 1e-12);
+        assert!((stats.location_coverage - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_rows_align_with_the_header() {
+        let graph = GraphBuilder::from_edges(2, vec![(0, 1, 1.0)]).unwrap();
+        let dataset =
+            GeoSocialDataset::new(graph, vec![Some(Point::ORIGIN), Some(Point::new(1.0, 1.0))])
+                .unwrap();
+        let stats = DataStatistics::compute("tiny", &dataset);
+        let header = DataStatistics::table_header();
+        let row = stats.table_row();
+        assert_eq!(header.split_whitespace().count(), 5);
+        assert!(row.contains("tiny"));
+        assert!(row.contains('2'));
+    }
+}

@@ -1,0 +1,128 @@
+//! Query-workload generation.
+//!
+//! The paper averages every measurement over 1,000 random SSRQ queries; this
+//! module draws the corresponding random query users (users that have both a
+//! location and at least one friend, so that every algorithm has meaningful
+//! work to do).
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use ssrq_core::{GeoSocialDataset, QueryParams, UserId};
+
+/// A reproducible set of query users together with default query
+/// parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryWorkload {
+    /// The selected query users.
+    pub users: Vec<UserId>,
+    /// Result size `k` applied to every query.
+    pub k: usize,
+    /// Preference parameter `α` applied to every query.
+    pub alpha: f64,
+}
+
+impl QueryWorkload {
+    /// Draws `count` distinct query users uniformly at random among users
+    /// that have a location and at least one social connection.  If fewer
+    /// eligible users exist, all of them are returned.
+    pub fn generate(dataset: &GeoSocialDataset, count: usize, seed: u64) -> Self {
+        let mut eligible: Vec<UserId> = dataset
+            .graph()
+            .nodes()
+            .filter(|&u| dataset.location(u).is_some() && dataset.graph().degree(u) > 0)
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        eligible.shuffle(&mut rng);
+        eligible.truncate(count);
+        QueryWorkload {
+            users: eligible,
+            k: 30,
+            alpha: 0.3,
+        }
+    }
+
+    /// Sets the result size `k` (builder style).
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Sets the preference parameter `α` (builder style).
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Number of queries in the workload.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Returns `true` when the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// The query parameters for each query user.
+    pub fn params(&self) -> impl Iterator<Item = QueryParams> + '_ {
+        self.users
+            .iter()
+            .map(move |&u| QueryParams::new(u, self.k, self.alpha))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DatasetConfig;
+
+    fn dataset() -> GeoSocialDataset {
+        DatasetConfig::gowalla_like(1_500).with_seed(5).generate()
+    }
+
+    #[test]
+    fn all_query_users_are_eligible() {
+        let ds = dataset();
+        let workload = QueryWorkload::generate(&ds, 200, 1);
+        assert_eq!(workload.len(), 200);
+        for &u in &workload.users {
+            assert!(ds.location(u).is_some());
+            assert!(ds.graph().degree(u) > 0);
+        }
+    }
+
+    #[test]
+    fn users_are_distinct_and_reproducible() {
+        let ds = dataset();
+        let a = QueryWorkload::generate(&ds, 100, 9);
+        let b = QueryWorkload::generate(&ds, 100, 9);
+        assert_eq!(a, b);
+        let mut sorted = a.users.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), a.users.len());
+        let c = QueryWorkload::generate(&ds, 100, 10);
+        assert_ne!(a.users, c.users);
+    }
+
+    #[test]
+    fn builder_setters_apply() {
+        let ds = dataset();
+        let workload = QueryWorkload::generate(&ds, 10, 2).with_k(50).with_alpha(0.7);
+        assert_eq!(workload.k, 50);
+        assert_eq!(workload.alpha, 0.7);
+        let params: Vec<QueryParams> = workload.params().collect();
+        assert_eq!(params.len(), 10);
+        assert!(params.iter().all(|p| p.k == 50 && p.alpha == 0.7));
+        assert!(!workload.is_empty());
+    }
+
+    #[test]
+    fn requesting_more_queries_than_eligible_users_returns_all() {
+        let ds = DatasetConfig::gowalla_like(120).with_seed(3).generate();
+        let workload = QueryWorkload::generate(&ds, 100_000, 4);
+        assert!(workload.len() <= 120);
+        assert!(!workload.is_empty());
+    }
+}

@@ -1,0 +1,355 @@
+use crate::{Distance, NodeId, SocialGraph};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A min-heap entry (distance key + vertex) used by all graph searches.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct HeapItem {
+    pub key: f64,
+    pub node: NodeId,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.node == other.node
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering on the key: BinaryHeap is a max-heap, searches
+        // need a min-heap.  Ties broken on node id for determinism.
+        other
+            .key
+            .partial_cmp(&self.key)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// A resumable Dijkstra expansion from a fixed source vertex.
+///
+/// The expansion yields settled vertices one at a time in non-decreasing
+/// distance order, which is exactly the "sorted access" on the social
+/// repository that SFA and TSA require (§4).  The AIS graph-distance module
+/// keeps one instance alive for the whole query and resumes it between
+/// point-to-point computations (*forward heap caching*, §5.2) — possible
+/// precisely because Dijkstra keys do not depend on the target vertex.
+#[derive(Debug, Clone)]
+pub struct IncrementalDijkstra {
+    source: NodeId,
+    dist: Vec<Distance>,
+    settled: Vec<bool>,
+    parent: Vec<NodeId>,
+    heap: BinaryHeap<HeapItem>,
+    last_settled: Distance,
+    settled_count: usize,
+    pops: usize,
+}
+
+impl IncrementalDijkstra {
+    /// Starts a new expansion around `source`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is not a vertex of `graph`.
+    pub fn new(graph: &SocialGraph, source: NodeId) -> Self {
+        assert!(
+            graph.contains(source),
+            "source vertex {source} out of range"
+        );
+        let n = graph.node_count();
+        let mut dist = vec![f64::INFINITY; n];
+        dist[source as usize] = 0.0;
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapItem {
+            key: 0.0,
+            node: source,
+        });
+        IncrementalDijkstra {
+            source,
+            dist,
+            settled: vec![false; n],
+            parent: (0..n as NodeId).collect(),
+            heap,
+            last_settled: 0.0,
+            settled_count: 0,
+            pops: 0,
+        }
+    }
+
+    /// The source vertex of the expansion.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Settles and returns the next closest vertex, or `None` when every
+    /// reachable vertex has been settled.
+    pub fn next_settled(&mut self, graph: &SocialGraph) -> Option<(NodeId, Distance)> {
+        while let Some(HeapItem { key, node }) = self.heap.pop() {
+            self.pops += 1;
+            if self.settled[node as usize] {
+                continue; // stale heap entry (lazy deletion)
+            }
+            self.settled[node as usize] = true;
+            self.settled_count += 1;
+            self.last_settled = key;
+            for edge in graph.neighbors(node) {
+                let cand = key + edge.weight;
+                let slot = edge.to as usize;
+                if cand < self.dist[slot] {
+                    self.dist[slot] = cand;
+                    self.parent[slot] = node;
+                    self.heap.push(HeapItem {
+                        key: cand,
+                        node: edge.to,
+                    });
+                }
+            }
+            return Some((node, key));
+        }
+        None
+    }
+
+    /// Runs the expansion until `target` is settled and returns its exact
+    /// distance (`f64::INFINITY` if unreachable).
+    pub fn run_until_settled(&mut self, graph: &SocialGraph, target: NodeId) -> Distance {
+        if self.is_settled(target) {
+            return self.dist[target as usize];
+        }
+        while let Some((node, d)) = self.next_settled(graph) {
+            if node == target {
+                return d;
+            }
+        }
+        f64::INFINITY
+    }
+
+    /// Exact distance of a vertex if it has already been settled.
+    #[inline]
+    pub fn settled_distance(&self, v: NodeId) -> Option<Distance> {
+        if self.settled[v as usize] {
+            Some(self.dist[v as usize])
+        } else {
+            None
+        }
+    }
+
+    /// Tentative (upper-bound) distance of a vertex; `INFINITY` if it has
+    /// not been touched yet.
+    #[inline]
+    pub fn tentative_distance(&self, v: NodeId) -> Distance {
+        self.dist[v as usize]
+    }
+
+    /// Returns `true` when `v` has been settled (its distance is exact).
+    #[inline]
+    pub fn is_settled(&self, v: NodeId) -> bool {
+        self.settled[v as usize]
+    }
+
+    /// Distance of the most recently settled vertex — a lower bound on the
+    /// distance of every unsettled vertex (the `t_p` / `β` bound used by the
+    /// algorithms).
+    #[inline]
+    pub fn frontier_bound(&self) -> Distance {
+        self.last_settled
+    }
+
+    /// Returns `true` when the expansion has settled every vertex it can
+    /// reach.
+    pub fn exhausted(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Number of vertices settled so far.
+    pub fn settled_count(&self) -> usize {
+        self.settled_count
+    }
+
+    /// Number of heap pops performed (including stale entries).
+    pub fn pops(&self) -> usize {
+        self.pops
+    }
+
+    /// Parent of `v` in the shortest-path tree (only meaningful for settled
+    /// vertices; the source is its own parent).
+    pub fn parent(&self, v: NodeId) -> NodeId {
+        self.parent[v as usize]
+    }
+
+    /// Reconstructs the shortest path from the source to `v` (inclusive of
+    /// both endpoints).  Returns `None` if `v` has not been settled.
+    pub fn path_to(&self, v: NodeId) -> Option<Vec<NodeId>> {
+        if !self.is_settled(v) {
+            return None;
+        }
+        let mut path = vec![v];
+        let mut cur = v;
+        while cur != self.source {
+            cur = self.parent[cur as usize];
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// Computes the distances from `source` to every vertex (single-source
+/// shortest paths).  Unreachable vertices get `f64::INFINITY`.
+pub fn dijkstra_all(graph: &SocialGraph, source: NodeId) -> Vec<Distance> {
+    let mut search = IncrementalDijkstra::new(graph, source);
+    while search.next_settled(graph).is_some() {}
+    search.dist
+}
+
+/// Computes the point-to-point distance between `source` and `target` with
+/// plain Dijkstra, stopping as soon as the target is settled.
+pub fn dijkstra_distance(graph: &SocialGraph, source: NodeId, target: NodeId) -> Distance {
+    let mut search = IncrementalDijkstra::new(graph, source);
+    search.run_until_settled(graph, target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    /// The small example graph of Figure 5 in the paper.
+    fn example_graph() -> SocialGraph {
+        // vq=0, v1..v11 = 1..11
+        GraphBuilder::from_edges(
+            12,
+            vec![
+                (0, 1, 1.0),
+                (0, 2, 2.0),
+                (0, 3, 1.0),
+                (2, 4, 1.0),
+                (3, 4, 2.0),
+                (4, 5, 1.0),
+                (4, 6, 2.0),
+                (5, 7, 1.0),
+                (6, 8, 1.0),
+                (7, 9, 5.0),
+                (8, 9, 3.0),
+                (9, 10, 1.0),
+                (10, 11, 2.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn distances_match_hand_computation() {
+        let g = example_graph();
+        let d = dijkstra_all(&g, 0);
+        assert_eq!(d[0], 0.0);
+        assert_eq!(d[1], 1.0);
+        assert_eq!(d[2], 2.0);
+        assert_eq!(d[3], 1.0);
+        assert_eq!(d[4], 3.0);
+        assert_eq!(d[5], 4.0);
+        assert_eq!(d[6], 5.0);
+        assert_eq!(d[7], 5.0);
+        assert_eq!(d[8], 6.0);
+        assert_eq!(d[9], 9.0);
+        assert_eq!(d[10], 10.0);
+        assert_eq!(d[11], 12.0);
+    }
+
+    #[test]
+    fn settled_order_is_nondecreasing() {
+        let g = example_graph();
+        let mut search = IncrementalDijkstra::new(&g, 0);
+        let mut prev = 0.0;
+        while let Some((_, d)) = search.next_settled(&g) {
+            assert!(d >= prev);
+            prev = d;
+        }
+        assert_eq!(search.settled_count(), 12);
+        assert!(search.exhausted());
+    }
+
+    #[test]
+    fn point_to_point_early_termination() {
+        let g = example_graph();
+        assert_eq!(dijkstra_distance(&g, 0, 5), 4.0);
+        assert_eq!(dijkstra_distance(&g, 11, 0), 12.0);
+        assert_eq!(dijkstra_distance(&g, 3, 3), 0.0);
+    }
+
+    #[test]
+    fn unreachable_vertices_are_infinite() {
+        let g = GraphBuilder::from_edges(4, vec![(0, 1, 1.0)]).unwrap();
+        let d = dijkstra_all(&g, 0);
+        assert_eq!(d[1], 1.0);
+        assert!(d[2].is_infinite());
+        assert!(d[3].is_infinite());
+        assert!(dijkstra_distance(&g, 0, 3).is_infinite());
+    }
+
+    #[test]
+    fn resumable_expansion_can_be_interleaved() {
+        let g = example_graph();
+        let mut search = IncrementalDijkstra::new(&g, 0);
+        // Settle a few vertices, query the state, then continue.
+        let first = search.next_settled(&g).unwrap();
+        assert_eq!(first, (0, 0.0));
+        let _ = search.next_settled(&g).unwrap();
+        assert!(search.is_settled(0));
+        assert!(!search.is_settled(11));
+        assert!(search.tentative_distance(11).is_infinite());
+        let d5 = search.run_until_settled(&g, 5);
+        assert_eq!(d5, 4.0);
+        // Frontier bound equals distance of last settled vertex.
+        assert_eq!(search.frontier_bound(), 4.0);
+        // Continue to the end without issues.
+        let d11 = search.run_until_settled(&g, 11);
+        assert_eq!(d11, 12.0);
+    }
+
+    #[test]
+    fn path_reconstruction_follows_shortest_path() {
+        let g = example_graph();
+        let mut search = IncrementalDijkstra::new(&g, 0);
+        search.run_until_settled(&g, 9);
+        let path = search.path_to(9).unwrap();
+        assert_eq!(path.first(), Some(&0));
+        assert_eq!(path.last(), Some(&9));
+        // Path length equals the computed distance.
+        let mut total = 0.0;
+        for w in path.windows(2) {
+            total += g.edge_weight(w[0], w[1]).unwrap();
+        }
+        assert_eq!(total, 9.0);
+        assert!(search.path_to(11).is_none());
+    }
+
+    #[test]
+    fn frontier_bound_lower_bounds_unsettled_vertices() {
+        let g = example_graph();
+        let full = dijkstra_all(&g, 0);
+        let mut search = IncrementalDijkstra::new(&g, 0);
+        for _ in 0..6 {
+            search.next_settled(&g);
+        }
+        let bound = search.frontier_bound();
+        for v in g.nodes() {
+            if !search.is_settled(v) {
+                assert!(full[v as usize] >= bound);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_source_panics() {
+        let g = example_graph();
+        IncrementalDijkstra::new(&g, 99);
+    }
+}

@@ -1,0 +1,41 @@
+use std::fmt;
+
+/// Errors raised by the social-graph substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A vertex id is out of range for the graph it was used with.
+    UnknownNode(u32),
+    /// An edge definition is invalid (self loop with zero weight, negative
+    /// or non-finite weight, ...).
+    InvalidEdge(String),
+    /// A requested configuration is invalid (e.g. zero landmarks).
+    InvalidConfiguration(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode(id) => write!(f, "unknown graph node {id}"),
+            GraphError::InvalidEdge(msg) => write!(f, "invalid edge: {msg}"),
+            GraphError::InvalidConfiguration(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_contain_details() {
+        assert!(GraphError::UnknownNode(9).to_string().contains('9'));
+        assert!(GraphError::InvalidEdge("negative weight".into())
+            .to_string()
+            .contains("negative weight"));
+        assert!(GraphError::InvalidConfiguration("M must be > 0".into())
+            .to_string()
+            .contains("M must be > 0"));
+    }
+}

@@ -1,0 +1,213 @@
+use crate::{EdgeWeight, GraphError};
+
+/// Identifier of a vertex in the social graph.
+///
+/// Vertex `i` corresponds to user `u_i` of the SSRQ problem setting; the
+/// mapping between spatial items and graph vertices is by identity of the
+/// numeric id.
+pub type NodeId = u32;
+
+/// A directed half-edge stored in the CSR adjacency: the neighbour vertex
+/// and the edge weight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// Neighbour vertex.
+    pub to: NodeId,
+    /// Edge weight (strictly positive; smaller = stronger friendship).
+    pub weight: EdgeWeight,
+}
+
+/// A weighted, undirected social graph in CSR (compressed sparse row) form.
+///
+/// The representation is immutable after construction (social-network
+/// topology changes far less frequently than user locations — §5.1), keeps
+/// both directions of every undirected edge, and stores adjacency in two
+/// flat vectors for cache-friendly traversal:
+///
+/// * `offsets[v] .. offsets[v + 1]` — the slice of `edges` holding the
+///   neighbours of `v`.
+///
+/// Use [`GraphBuilder`](crate::GraphBuilder) to construct one.
+#[derive(Debug, Clone)]
+pub struct SocialGraph {
+    offsets: Vec<u32>,
+    edges: Vec<Edge>,
+    /// Number of undirected edges (half of the stored half-edges).
+    undirected_edges: usize,
+}
+
+impl SocialGraph {
+    pub(crate) fn from_csr(offsets: Vec<u32>, edges: Vec<Edge>, undirected_edges: usize) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().unwrap() as usize, edges.len());
+        SocialGraph {
+            offsets,
+            edges,
+            undirected_edges,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.undirected_edges
+    }
+
+    /// Returns `true` when the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.node_count() == 0
+    }
+
+    /// Iterates over all vertex ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        0..self.node_count() as NodeId
+    }
+
+    /// Neighbours of `v` together with edge weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range; use [`SocialGraph::contains`] to guard
+    /// untrusted input.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[Edge] {
+        let start = self.offsets[v as usize] as usize;
+        let end = self.offsets[v as usize + 1] as usize;
+        &self.edges[start..end]
+    }
+
+    /// Degree (number of incident edges) of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Maximum vertex degree in the graph; 0 for an empty graph.
+    pub fn max_degree(&self) -> usize {
+        self.nodes().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Average vertex degree.
+    pub fn average_degree(&self) -> f64 {
+        if self.node_count() == 0 {
+            return 0.0;
+        }
+        2.0 * self.undirected_edges as f64 / self.node_count() as f64
+    }
+
+    /// Returns `true` when `v` is a valid vertex id.
+    #[inline]
+    pub fn contains(&self, v: NodeId) -> bool {
+        (v as usize) < self.node_count()
+    }
+
+    /// Weight of the edge between `u` and `v`, if one exists.
+    pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<EdgeWeight> {
+        if !self.contains(u) || !self.contains(v) {
+            return None;
+        }
+        self.neighbors(u)
+            .iter()
+            .find(|e| e.to == v)
+            .map(|e| e.weight)
+    }
+
+    /// Validates that a vertex id is in range.
+    pub fn check_node(&self, v: NodeId) -> Result<(), GraphError> {
+        if self.contains(v) {
+            Ok(())
+        } else {
+            Err(GraphError::UnknownNode(v))
+        }
+    }
+
+    /// Total weight of all undirected edges.
+    pub fn total_edge_weight(&self) -> f64 {
+        self.edges.iter().map(|e| e.weight).sum::<f64>() / 2.0
+    }
+
+    /// Iterates over every undirected edge exactly once as `(u, v, weight)`
+    /// with `u < v` (self-loops are reported once).
+    pub fn undirected_edges(&self) -> impl Iterator<Item = (NodeId, NodeId, EdgeWeight)> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .filter(move |e| u <= e.to)
+                .map(move |e| (u, e.to, e.weight))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn triangle() -> SocialGraph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0).unwrap();
+        b.add_edge(1, 2, 2.0).unwrap();
+        b.add_edge(0, 2, 4.0).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn csr_counts() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert!(!g.is_empty());
+        assert_eq!(g.nodes().count(), 3);
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let g = triangle();
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.degree(2), 2);
+        assert_eq!(g.edge_weight(0, 1), Some(1.0));
+        assert_eq!(g.edge_weight(1, 0), Some(1.0));
+        assert_eq!(g.edge_weight(0, 2), Some(4.0));
+        assert_eq!(g.edge_weight(2, 2), None);
+    }
+
+    #[test]
+    fn degree_statistics() {
+        let g = triangle();
+        assert_eq!(g.max_degree(), 2);
+        assert!((g.average_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn check_node_detects_out_of_range() {
+        let g = triangle();
+        assert!(g.check_node(2).is_ok());
+        assert_eq!(g.check_node(3), Err(GraphError::UnknownNode(3)));
+        assert_eq!(g.edge_weight(0, 99), None);
+    }
+
+    #[test]
+    fn undirected_edge_iteration_visits_each_edge_once() {
+        let g = triangle();
+        let mut edges: Vec<_> = g.undirected_edges().collect();
+        edges.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        assert_eq!(edges, vec![(0, 1, 1.0), (0, 2, 4.0), (1, 2, 2.0)]);
+        assert!((g.total_edge_weight() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolated_vertices_have_zero_degree() {
+        let b = GraphBuilder::new(4);
+        let g = b.build();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.average_degree(), 0.0);
+        assert_eq!(g.max_degree(), 0);
+    }
+}

@@ -1,0 +1,331 @@
+use crate::{dijkstra_all, Distance, GraphError, NodeId, SocialGraph};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Landmark selection strategy (pre-processing of §2.3 / §4.2).
+///
+/// The paper uses the selection technique of Goldberg & Harrelson
+/// ("A* search meets graph theory"), which is the farthest-first sweep; the
+/// other strategies are provided for the ablation benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LandmarkSelection {
+    /// Farthest-first traversal: each new landmark is the vertex farthest
+    /// from all previously chosen landmarks (the strategy of [25]).
+    FarthestFirst,
+    /// Uniformly random vertices.
+    Random,
+    /// The vertices with the highest degree (hubs).
+    HighestDegree,
+}
+
+/// A set of `M` landmarks together with the pre-computed distance from every
+/// vertex to every landmark.
+///
+/// Landmark distances serve three purposes in the SSRQ system:
+///
+/// 1. triangle-inequality lower bounds on pairwise graph distances
+///    ([`LandmarkSet::lower_bound`]), used to prune TSA candidates;
+/// 2. the ALT heuristic of the reverse A* search inside the bidirectional
+///    graph-distance module (§5.2);
+/// 3. the per-cell social summaries (`m̂`, `m̌`) of the AIS index (§5.1),
+///    which aggregate the per-vertex vectors stored here.
+#[derive(Debug, Clone)]
+pub struct LandmarkSet {
+    landmarks: Vec<NodeId>,
+    /// Distance from vertex `v` to landmark `j`, stored vertex-major:
+    /// `dist[v * M + j]`.  Unreachable pairs hold `f64::INFINITY`.
+    dist: Vec<Distance>,
+    node_count: usize,
+}
+
+impl LandmarkSet {
+    /// Selects `m` landmarks with the given strategy and pre-computes the
+    /// distance vectors (one single-source Dijkstra per landmark).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidConfiguration`] when `m` is zero or the
+    /// graph has no vertices.
+    pub fn build(
+        graph: &SocialGraph,
+        m: usize,
+        strategy: LandmarkSelection,
+        seed: u64,
+    ) -> Result<Self, GraphError> {
+        if m == 0 {
+            return Err(GraphError::InvalidConfiguration(
+                "at least one landmark is required".into(),
+            ));
+        }
+        if graph.node_count() == 0 {
+            return Err(GraphError::InvalidConfiguration(
+                "cannot select landmarks on an empty graph".into(),
+            ));
+        }
+        let m = m.min(graph.node_count());
+        let landmarks = match strategy {
+            LandmarkSelection::Random => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut ids: Vec<NodeId> = graph.nodes().collect();
+                ids.shuffle(&mut rng);
+                ids.truncate(m);
+                ids
+            }
+            LandmarkSelection::HighestDegree => {
+                let mut ids: Vec<NodeId> = graph.nodes().collect();
+                ids.sort_by_key(|&v| std::cmp::Reverse(graph.degree(v)));
+                ids.truncate(m);
+                ids
+            }
+            LandmarkSelection::FarthestFirst => farthest_first(graph, m, seed),
+        };
+
+        let node_count = graph.node_count();
+        let mut dist = vec![f64::INFINITY; node_count * landmarks.len()];
+        for (j, &lm) in landmarks.iter().enumerate() {
+            let d = dijkstra_all(graph, lm);
+            for v in 0..node_count {
+                dist[v * landmarks.len() + j] = d[v];
+            }
+        }
+        Ok(LandmarkSet {
+            landmarks,
+            dist,
+            node_count,
+        })
+    }
+
+    /// Number of landmarks `M`.
+    pub fn len(&self) -> usize {
+        self.landmarks.len()
+    }
+
+    /// Returns `true` when the set holds no landmarks (never the case for a
+    /// successfully built set).
+    pub fn is_empty(&self) -> bool {
+        self.landmarks.is_empty()
+    }
+
+    /// The selected landmark vertices.
+    pub fn landmarks(&self) -> &[NodeId] {
+        &self.landmarks
+    }
+
+    /// Distance from vertex `v` to landmark `j` (`m_{vj}` in the paper).
+    #[inline]
+    pub fn distance_to_landmark(&self, v: NodeId, j: usize) -> Distance {
+        self.dist[v as usize * self.landmarks.len() + j]
+    }
+
+    /// The full landmark-distance vector of vertex `v`.
+    #[inline]
+    pub fn vector(&self, v: NodeId) -> &[Distance] {
+        let m = self.landmarks.len();
+        &self.dist[v as usize * m..(v as usize + 1) * m]
+    }
+
+    /// Triangle-inequality lower bound on the graph distance between `u` and
+    /// `v`: `max_j |m_uj - m_vj|`.
+    ///
+    /// Pairs involving a vertex that cannot reach a landmark contribute no
+    /// bound from that landmark (their difference would be `inf - inf`).
+    pub fn lower_bound(&self, u: NodeId, v: NodeId) -> Distance {
+        let m = self.landmarks.len();
+        let ua = &self.dist[u as usize * m..u as usize * m + m];
+        let va = &self.dist[v as usize * m..v as usize * m + m];
+        let mut best = 0.0_f64;
+        for j in 0..m {
+            let (a, b) = (ua[j], va[j]);
+            if a.is_finite() && b.is_finite() {
+                let diff = (a - b).abs();
+                if diff > best {
+                    best = diff;
+                }
+            } else if a.is_finite() != b.is_finite() {
+                // One side reaches the landmark, the other does not: the two
+                // vertices are in different components.
+                return f64::INFINITY;
+            }
+        }
+        best
+    }
+
+    /// Number of vertices covered by the distance table.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+}
+
+/// Farthest-first landmark sweep: start from a random vertex, repeatedly add
+/// the vertex maximizing the distance to the closest already-chosen
+/// landmark.  Vertices in unreachable components are skipped (they would
+/// produce infinite, useless bounds for the main component).
+fn farthest_first(graph: &SocialGraph, m: usize, seed: u64) -> Vec<NodeId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = graph.node_count();
+    let first = rng.gen_range(0..n) as NodeId;
+
+    // Distance to the closest chosen landmark so far.
+    let mut closest = dijkstra_all(graph, first);
+    // Replace the random seed vertex by the farthest reachable vertex from
+    // it; this avoids a poor (central) first landmark.
+    let start = closest
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| d.is_finite())
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(v, _)| v as NodeId)
+        .unwrap_or(first);
+
+    let mut landmarks = vec![start];
+    closest = dijkstra_all(graph, start);
+    while landmarks.len() < m {
+        let next = closest
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.is_finite())
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(v, _)| v as NodeId);
+        let Some(next) = next else { break };
+        if landmarks.contains(&next) {
+            break; // graph smaller than m reachable vertices
+        }
+        landmarks.push(next);
+        let d = dijkstra_all(graph, next);
+        for v in 0..n {
+            if d[v] < closest[v] {
+                closest[v] = d[v];
+            }
+        }
+    }
+    landmarks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{dijkstra_distance, GraphBuilder};
+
+    fn path_graph(n: usize) -> SocialGraph {
+        GraphBuilder::from_edges(
+            n,
+            (0..n - 1).map(|i| (i as NodeId, i as NodeId + 1, 1.0)),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_invalid_configurations() {
+        let g = path_graph(5);
+        assert!(LandmarkSet::build(&g, 0, LandmarkSelection::Random, 1).is_err());
+        let empty = GraphBuilder::new(0).build();
+        assert!(LandmarkSet::build(&empty, 2, LandmarkSelection::Random, 1).is_err());
+    }
+
+    #[test]
+    fn farthest_first_on_a_path_picks_the_endpoints() {
+        let g = path_graph(10);
+        let lms = LandmarkSet::build(&g, 2, LandmarkSelection::FarthestFirst, 7).unwrap();
+        let mut picked: Vec<NodeId> = lms.landmarks().to_vec();
+        picked.sort_unstable();
+        assert_eq!(picked, vec![0, 9]);
+    }
+
+    #[test]
+    fn highest_degree_picks_the_hub() {
+        // Star graph: vertex 0 is the hub.
+        let g = GraphBuilder::from_edges(6, (1..6).map(|i| (0, i as NodeId, 1.0))).unwrap();
+        let lms = LandmarkSet::build(&g, 1, LandmarkSelection::HighestDegree, 1).unwrap();
+        assert_eq!(lms.landmarks(), &[0]);
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_true_distance() {
+        let g = path_graph(12);
+        for strategy in [
+            LandmarkSelection::Random,
+            LandmarkSelection::FarthestFirst,
+            LandmarkSelection::HighestDegree,
+        ] {
+            let lms = LandmarkSet::build(&g, 3, strategy, 42).unwrap();
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    let lb = lms.lower_bound(u, v);
+                    let d = dijkstra_distance(&g, u, v);
+                    assert!(
+                        lb <= d + 1e-9,
+                        "lb {lb} exceeds distance {d} for ({u}, {v}) with {strategy:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lower_bound_is_exact_on_a_path_with_endpoint_landmark() {
+        let g = path_graph(8);
+        let lms = LandmarkSet::build(&g, 2, LandmarkSelection::FarthestFirst, 3).unwrap();
+        // On a path with a landmark at an endpoint the triangle bound is
+        // exact for every pair.
+        for u in g.nodes() {
+            for v in g.nodes() {
+                let lb = lms.lower_bound(u, v);
+                let d = dijkstra_distance(&g, u, v);
+                assert!((lb - d).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_vertices_get_infinite_bound() {
+        let g = GraphBuilder::from_edges(5, vec![(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
+        let lms = LandmarkSet::build(&g, 2, LandmarkSelection::FarthestFirst, 9).unwrap();
+        // Both landmarks end up in a single component (they are chosen as
+        // the vertices farthest from each other among reachable ones).  A
+        // pair where exactly one vertex can reach a landmark is provably
+        // disconnected, so its bound must be infinite.
+        let lm_component: Vec<NodeId> = if lms.landmarks().iter().all(|&l| l <= 1) {
+            vec![0, 1]
+        } else {
+            vec![2, 3]
+        };
+        let other: NodeId = if lm_component[0] == 0 { 2 } else { 0 };
+        assert!(lms.lower_bound(lm_component[0], other).is_infinite());
+        assert!(lms.lower_bound(lm_component[0], 4).is_infinite());
+        // Same-component bounds stay finite.
+        assert!(lms.lower_bound(lm_component[0], lm_component[1]).is_finite());
+    }
+
+    #[test]
+    fn vector_returns_m_entries_per_vertex() {
+        let g = path_graph(6);
+        let lms = LandmarkSet::build(&g, 3, LandmarkSelection::Random, 5).unwrap();
+        assert_eq!(lms.len(), 3);
+        assert_eq!(lms.node_count(), 6);
+        for v in g.nodes() {
+            assert_eq!(lms.vector(v).len(), 3);
+        }
+    }
+
+    #[test]
+    fn m_larger_than_graph_is_clamped() {
+        let g = path_graph(3);
+        let lms = LandmarkSet::build(&g, 10, LandmarkSelection::FarthestFirst, 1).unwrap();
+        assert!(lms.len() <= 3);
+        assert!(!lms.is_empty());
+    }
+
+    #[test]
+    fn distance_to_landmark_matches_dijkstra() {
+        let g = path_graph(7);
+        let lms = LandmarkSet::build(&g, 2, LandmarkSelection::FarthestFirst, 11).unwrap();
+        for (j, &lm) in lms.landmarks().iter().enumerate() {
+            for v in g.nodes() {
+                assert_eq!(
+                    lms.distance_to_landmark(v, j),
+                    dijkstra_distance(&g, v, lm)
+                );
+            }
+        }
+    }
+}

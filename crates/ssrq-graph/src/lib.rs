@@ -1,0 +1,53 @@
+//! Social-graph substrate for the SSRQ (Social and Spatial Ranking Query)
+//! system.
+//!
+//! The paper ("Joint Search by Social and Spatial Proximity", Mouratidis et
+//! al.) measures social proximity as the weighted shortest-path distance
+//! between users in an undirected social graph.  Every SSRQ processing
+//! algorithm (SFA, SPA, TSA, AIS) therefore needs fast graph primitives;
+//! this crate provides them from scratch:
+//!
+//! * [`SocialGraph`] — a compact CSR (compressed sparse row) adjacency
+//!   representation of the weighted, undirected social network, built via
+//!   [`GraphBuilder`].
+//! * [`IncrementalDijkstra`] — a resumable Dijkstra expansion that yields
+//!   one settled vertex at a time.  SFA and the social repository of TSA use
+//!   it directly; AIS shares one instance across all of its point-to-point
+//!   computations (the *forward heap caching* of §5.2).
+//! * [`astar`] — point-to-point A* search with pluggable heuristics,
+//!   including the landmark (ALT) heuristic.
+//! * [`LandmarkSet`] — landmark selection and per-vertex distance vectors,
+//!   the basis of both the ALT heuristic and the AIS social summaries.
+//! * [`GraphDistanceEngine`] — the bidirectional point-to-point module of
+//!   §5.2 (Algorithm 3 *GraphDist*): plain-Dijkstra forward search, ALT A*
+//!   reverse search, distance caching and forward-heap caching.
+//! * [`ContractionHierarchy`] — a Contraction Hierarchies implementation
+//!   used by the `*-CH` baselines of the evaluation (Figure 8).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod astar;
+mod builder;
+mod ch;
+mod dijkstra;
+mod distance_engine;
+mod error;
+mod graph;
+mod landmarks;
+
+pub use builder::GraphBuilder;
+pub use ch::{ChParams, ContractionHierarchy};
+pub use dijkstra::{dijkstra_all, dijkstra_distance, IncrementalDijkstra};
+pub use distance_engine::{DistanceEngineStats, GraphDistanceEngine, SharingMode};
+pub use error::GraphError;
+pub use graph::{Edge, NodeId, SocialGraph};
+pub use landmarks::{LandmarkSelection, LandmarkSet};
+
+/// Weight of a social edge; smaller weights denote stronger friendships
+/// (§3 of the paper).
+pub type EdgeWeight = f64;
+
+/// Distance value used throughout the graph substrate.  Unreachable vertices
+/// have distance [`f64::INFINITY`].
+pub type Distance = f64;

@@ -1,0 +1,49 @@
+use std::fmt;
+
+/// Errors raised by the spatial substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpatialError {
+    /// The requested grid configuration is invalid (zero cells, empty or
+    /// degenerate bounding rectangle, too many cells, ...).
+    InvalidConfiguration(String),
+    /// An item id was used that is not present in the index.
+    UnknownItem(u32),
+    /// A point lies outside the bounding rectangle of the index.
+    OutOfBounds {
+        /// The offending x coordinate.
+        x: f64,
+        /// The offending y coordinate.
+        y: f64,
+    },
+}
+
+impl fmt::Display for SpatialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpatialError::InvalidConfiguration(msg) => {
+                write!(f, "invalid spatial index configuration: {msg}")
+            }
+            SpatialError::UnknownItem(id) => write!(f, "unknown item id {id}"),
+            SpatialError::OutOfBounds { x, y } => {
+                write!(f, "point ({x}, {y}) lies outside the index bounds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpatialError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SpatialError::InvalidConfiguration("side must be > 0".into());
+        assert!(e.to_string().contains("side must be > 0"));
+        let e = SpatialError::UnknownItem(42);
+        assert!(e.to_string().contains("42"));
+        let e = SpatialError::OutOfBounds { x: 1.0, y: 2.0 };
+        assert!(e.to_string().contains("(1, 2)"));
+    }
+}

@@ -1,0 +1,381 @@
+use crate::{ItemId, Point, Rect, SpatialError};
+
+/// Coordinates of a grid cell (column, row), both zero-based.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CellCoord {
+    /// Column index (along x).
+    pub cx: u32,
+    /// Row index (along y).
+    pub cy: u32,
+}
+
+impl CellCoord {
+    /// Creates a new cell coordinate.
+    pub const fn new(cx: u32, cy: u32) -> Self {
+        CellCoord { cx, cy }
+    }
+}
+
+/// A single-level regular grid over a bounding rectangle.
+///
+/// This is the index used by the Spatial First Approach (SPA) and the
+/// spatial search of TSA (§4.1): the paper picks a regular grid with
+/// branch-and-bound NN retrieval as "the most suitable [combination] for
+/// dynamic spatial data kept in main memory".  Location updates are O(1)
+/// amortized: remove the item from its old cell, append it to the new one.
+///
+/// Item identifiers are dense `u32`s; positions are stored in a parallel
+/// vector so lookups never hash.
+#[derive(Debug, Clone)]
+pub struct UniformGrid {
+    bounds: Rect,
+    side: u32,
+    cell_w: f64,
+    cell_h: f64,
+    cells: Vec<Vec<ItemId>>,
+    positions: Vec<Option<Point>>,
+    len: usize,
+}
+
+impl UniformGrid {
+    /// Creates an empty grid with `side × side` cells covering `bounds`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpatialError::InvalidConfiguration`] if `side` is zero, the
+    /// bounds are degenerate (zero width or height) or not finite.
+    pub fn new(bounds: Rect, side: u32) -> Result<Self, SpatialError> {
+        if side == 0 {
+            return Err(SpatialError::InvalidConfiguration(
+                "grid side must be at least 1".into(),
+            ));
+        }
+        if !(bounds.min.is_finite() && bounds.max.is_finite()) {
+            return Err(SpatialError::InvalidConfiguration(
+                "grid bounds must be finite".into(),
+            ));
+        }
+        if bounds.width() <= 0.0 || bounds.height() <= 0.0 {
+            return Err(SpatialError::InvalidConfiguration(
+                "grid bounds must have positive width and height".into(),
+            ));
+        }
+        let cells = vec![Vec::new(); (side as usize) * (side as usize)];
+        Ok(UniformGrid {
+            bounds,
+            side,
+            cell_w: bounds.width() / side as f64,
+            cell_h: bounds.height() / side as f64,
+            cells,
+            positions: Vec::new(),
+            len: 0,
+        })
+    }
+
+    /// Builds a grid from an iterator of `(id, point)` pairs.
+    ///
+    /// Points outside `bounds` are clamped onto the boundary (the SSRQ
+    /// datasets normalize all locations into the unit square first, so this
+    /// only matters for numerical edge cases).
+    pub fn bulk_load(
+        bounds: Rect,
+        side: u32,
+        items: impl IntoIterator<Item = (ItemId, Point)>,
+    ) -> Result<Self, SpatialError> {
+        let mut grid = UniformGrid::new(bounds, side)?;
+        for (id, p) in items {
+            grid.insert(id, p);
+        }
+        Ok(grid)
+    }
+
+    /// Bounding rectangle covered by the grid.
+    pub fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    /// Number of cells per axis.
+    pub fn side(&self) -> u32 {
+        self.side
+    }
+
+    /// Number of items currently stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when no item is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current position of `id`, if it is stored in the grid.
+    pub fn position(&self, id: ItemId) -> Option<Point> {
+        self.positions.get(id as usize).copied().flatten()
+    }
+
+    /// Inserts `id` at `point`, or moves it there if it is already stored.
+    ///
+    /// The point is clamped into the grid bounds.
+    pub fn insert(&mut self, id: ItemId, point: Point) {
+        let point = self.clamp(point);
+        if self.position(id).is_some() {
+            // Re-insertion acts as an update.
+            self.update(id, point).expect("item verified present");
+            return;
+        }
+        let idx = self.cell_index(self.cell_of(point));
+        self.cells[idx].push(id);
+        let slot = id as usize;
+        if slot >= self.positions.len() {
+            self.positions.resize(slot + 1, None);
+        }
+        self.positions[slot] = Some(point);
+        self.len += 1;
+    }
+
+    /// Removes `id` from the grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpatialError::UnknownItem`] if the item is not stored.
+    pub fn remove(&mut self, id: ItemId) -> Result<Point, SpatialError> {
+        let point = self.position(id).ok_or(SpatialError::UnknownItem(id))?;
+        let idx = self.cell_index(self.cell_of(point));
+        let cell = &mut self.cells[idx];
+        if let Some(pos) = cell.iter().position(|&x| x == id) {
+            cell.swap_remove(pos);
+        }
+        self.positions[id as usize] = None;
+        self.len -= 1;
+        Ok(point)
+    }
+
+    /// Moves `id` to `point`, updating cell membership only when the item
+    /// crosses a cell boundary (as the paper notes, an intra-cell move needs
+    /// no index maintenance).
+    ///
+    /// Returns the pair `(old_cell, new_cell)` so callers (such as the AIS
+    /// index) can maintain per-cell aggregates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpatialError::UnknownItem`] if the item is not stored.
+    pub fn update(&mut self, id: ItemId, point: Point) -> Result<(CellCoord, CellCoord), SpatialError> {
+        let point = self.clamp(point);
+        let old = self.position(id).ok_or(SpatialError::UnknownItem(id))?;
+        let old_cell = self.cell_of(old);
+        let new_cell = self.cell_of(point);
+        if old_cell != new_cell {
+            let old_idx = self.cell_index(old_cell);
+            if let Some(pos) = self.cells[old_idx].iter().position(|&x| x == id) {
+                self.cells[old_idx].swap_remove(pos);
+            }
+            let new_idx = self.cell_index(new_cell);
+            self.cells[new_idx].push(id);
+        }
+        self.positions[id as usize] = Some(point);
+        Ok((old_cell, new_cell))
+    }
+
+    /// The cell containing `point` (clamped into bounds).
+    pub fn cell_of(&self, point: Point) -> CellCoord {
+        let p = self.clamp(point);
+        let cx = ((p.x - self.bounds.min.x) / self.cell_w) as u32;
+        let cy = ((p.y - self.bounds.min.y) / self.cell_h) as u32;
+        CellCoord::new(cx.min(self.side - 1), cy.min(self.side - 1))
+    }
+
+    /// Spatial extent of a cell.
+    pub fn cell_rect(&self, cell: CellCoord) -> Rect {
+        let x0 = self.bounds.min.x + cell.cx as f64 * self.cell_w;
+        let y0 = self.bounds.min.y + cell.cy as f64 * self.cell_h;
+        Rect::new(
+            Point::new(x0, y0),
+            Point::new(x0 + self.cell_w, y0 + self.cell_h),
+        )
+    }
+
+    /// Items stored in a cell.
+    pub fn cell_items(&self, cell: CellCoord) -> &[ItemId] {
+        &self.cells[self.cell_index(cell)]
+    }
+
+    /// Iterates over all cell coordinates of the grid.
+    pub fn cell_coords(&self) -> impl Iterator<Item = CellCoord> + '_ {
+        let side = self.side;
+        (0..side).flat_map(move |cy| (0..side).map(move |cx| CellCoord::new(cx, cy)))
+    }
+
+    /// Iterates over all `(id, point)` pairs stored in the grid.
+    pub fn iter(&self) -> impl Iterator<Item = (ItemId, Point)> + '_ {
+        self.positions
+            .iter()
+            .enumerate()
+            .filter_map(|(id, p)| p.map(|p| (id as ItemId, p)))
+    }
+
+    /// All items whose position lies inside `range` (boundary inclusive).
+    pub fn range_query(&self, range: Rect) -> Vec<ItemId> {
+        let mut out = Vec::new();
+        let lo = self.cell_of(range.min);
+        let hi = self.cell_of(range.max);
+        for cy in lo.cy..=hi.cy {
+            for cx in lo.cx..=hi.cx {
+                for &id in self.cell_items(CellCoord::new(cx, cy)) {
+                    let p = self.positions[id as usize].expect("stored item has a position");
+                    if range.contains(p) {
+                        out.push(id);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    pub(crate) fn cell_index(&self, cell: CellCoord) -> usize {
+        cell.cy as usize * self.side as usize + cell.cx as usize
+    }
+
+    fn clamp(&self, p: Point) -> Point {
+        Point::new(
+            p.x.clamp(self.bounds.min.x, self.bounds.max.x),
+            p.y.clamp(self.bounds.min.y, self.bounds.max.y),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_grid(side: u32) -> UniformGrid {
+        UniformGrid::new(Rect::unit(), side).unwrap()
+    }
+
+    #[test]
+    fn rejects_invalid_configuration() {
+        assert!(matches!(
+            UniformGrid::new(Rect::unit(), 0),
+            Err(SpatialError::InvalidConfiguration(_))
+        ));
+        let degenerate = Rect::new(Point::new(0.0, 0.0), Point::new(0.0, 1.0));
+        assert!(UniformGrid::new(degenerate, 4).is_err());
+        let nan = Rect::new(Point::new(f64::NAN, 0.0), Point::new(1.0, 1.0));
+        assert!(UniformGrid::new(nan, 4).is_err());
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut g = unit_grid(4);
+        g.insert(7, Point::new(0.1, 0.9));
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.position(7), Some(Point::new(0.1, 0.9)));
+        assert_eq!(g.position(8), None);
+        let cell = g.cell_of(Point::new(0.1, 0.9));
+        assert_eq!(g.cell_items(cell), &[7]);
+    }
+
+    #[test]
+    fn reinsert_moves_item() {
+        let mut g = unit_grid(4);
+        g.insert(1, Point::new(0.1, 0.1));
+        g.insert(1, Point::new(0.9, 0.9));
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.position(1), Some(Point::new(0.9, 0.9)));
+        let old_cell = g.cell_of(Point::new(0.1, 0.1));
+        assert!(g.cell_items(old_cell).is_empty());
+    }
+
+    #[test]
+    fn remove_clears_cell_and_position() {
+        let mut g = unit_grid(4);
+        g.insert(1, Point::new(0.5, 0.5));
+        let p = g.remove(1).unwrap();
+        assert_eq!(p, Point::new(0.5, 0.5));
+        assert!(g.is_empty());
+        assert!(matches!(g.remove(1), Err(SpatialError::UnknownItem(1))));
+    }
+
+    #[test]
+    fn update_within_cell_keeps_membership() {
+        let mut g = unit_grid(2);
+        g.insert(3, Point::new(0.1, 0.1));
+        let (old, new) = g.update(3, Point::new(0.2, 0.2)).unwrap();
+        assert_eq!(old, new);
+        assert_eq!(g.position(3), Some(Point::new(0.2, 0.2)));
+    }
+
+    #[test]
+    fn update_across_cells_moves_membership() {
+        let mut g = unit_grid(2);
+        g.insert(3, Point::new(0.1, 0.1));
+        let (old, new) = g.update(3, Point::new(0.9, 0.9)).unwrap();
+        assert_ne!(old, new);
+        assert!(g.cell_items(old).is_empty());
+        assert_eq!(g.cell_items(new), &[3]);
+    }
+
+    #[test]
+    fn update_unknown_item_errors() {
+        let mut g = unit_grid(2);
+        assert!(g.update(10, Point::new(0.5, 0.5)).is_err());
+    }
+
+    #[test]
+    fn points_on_max_boundary_fall_in_last_cell() {
+        let g = unit_grid(5);
+        let cell = g.cell_of(Point::new(1.0, 1.0));
+        assert_eq!(cell, CellCoord::new(4, 4));
+    }
+
+    #[test]
+    fn out_of_bounds_points_are_clamped() {
+        let mut g = unit_grid(5);
+        g.insert(1, Point::new(2.0, -1.0));
+        assert_eq!(g.position(1), Some(Point::new(1.0, 0.0)));
+    }
+
+    #[test]
+    fn cell_rects_tile_the_bounds() {
+        let g = unit_grid(3);
+        let total_area: f64 = g.cell_coords().map(|c| g.cell_rect(c).area()).sum();
+        assert!((total_area - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bulk_load_and_iter() {
+        let pts = vec![
+            (0, Point::new(0.1, 0.1)),
+            (1, Point::new(0.9, 0.2)),
+            (2, Point::new(0.5, 0.8)),
+        ];
+        let g = UniformGrid::bulk_load(Rect::unit(), 4, pts.clone()).unwrap();
+        assert_eq!(g.len(), 3);
+        let mut collected: Vec<_> = g.iter().collect();
+        collected.sort_by_key(|(id, _)| *id);
+        assert_eq!(collected, pts);
+    }
+
+    #[test]
+    fn range_query_finds_exactly_contained_points() {
+        let pts = (0..100).map(|i| {
+            let x = (i % 10) as f64 / 10.0 + 0.05;
+            let y = (i / 10) as f64 / 10.0 + 0.05;
+            (i as ItemId, Point::new(x, y))
+        });
+        let g = UniformGrid::bulk_load(Rect::unit(), 7, pts).unwrap();
+        let range = Rect::new(Point::new(0.0, 0.0), Point::new(0.5, 0.5));
+        let mut found = g.range_query(range);
+        found.sort_unstable();
+        let expected: Vec<ItemId> = (0..100)
+            .filter(|i| {
+                let x = (i % 10) as f64 / 10.0 + 0.05;
+                let y = (i / 10) as f64 / 10.0 + 0.05;
+                x <= 0.5 && y <= 0.5
+            })
+            .map(|i| i as ItemId)
+            .collect();
+        assert_eq!(found, expected);
+    }
+}

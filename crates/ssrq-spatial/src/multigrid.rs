@@ -1,0 +1,509 @@
+use crate::{ItemId, Point, Rect, SpatialError};
+
+/// Identifier of a node (internal node or leaf cell) of a
+/// [`MultiLevelGrid`].  Node ids are dense and can be used to index parallel
+/// per-node arrays (the AIS index keeps its social summaries this way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// The kind of a multi-level grid node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An internal node: parent to `s × s` nodes of the next lower level.
+    Internal,
+    /// A leaf cell: holds the actual items.
+    Leaf,
+}
+
+/// A multi-level regular grid, the spatial skeleton of the AIS index
+/// (§5.1 of the paper).
+///
+/// Every node of level `l` is parent to `s × s` nodes of level `l + 1`
+/// (`s` is the *partitioning granularity*).  The top level has `s × s`
+/// nodes, so level `l` has `s^(l+1)` cells per axis.  Only the lowest level
+/// stores items; the structure "does not necessarily have a root" — the
+/// search starts from all top-level nodes (the paper keeps the lowest two
+/// levels of a three-level hierarchy, which is the default here:
+/// `levels = 2`).
+#[derive(Debug, Clone)]
+pub struct MultiLevelGrid {
+    bounds: Rect,
+    branch: u32,
+    levels: u32,
+    /// Cells per axis for each level (index 0 = top level).
+    level_sides: Vec<u32>,
+    /// First flat node id of each level.
+    level_offsets: Vec<u32>,
+    total_nodes: u32,
+    leaf_items: Vec<Vec<ItemId>>,
+    positions: Vec<Option<Point>>,
+    len: usize,
+}
+
+/// Hard cap on the total number of nodes, to protect against accidental
+/// `branch`/`levels` combinations that would exhaust memory.
+const MAX_NODES: u64 = 8_000_000;
+
+impl MultiLevelGrid {
+    /// Creates an empty multi-level grid.
+    ///
+    /// * `branch` — the partitioning granularity `s` (children per axis).
+    /// * `levels` — number of retained levels (≥ 1); the paper's default
+    ///   configuration corresponds to `levels = 2`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpatialError::InvalidConfiguration`] for zero `branch` or
+    /// `levels`, degenerate bounds, or a configuration that would exceed the
+    /// internal node cap.
+    pub fn new(bounds: Rect, branch: u32, levels: u32) -> Result<Self, SpatialError> {
+        if branch == 0 {
+            return Err(SpatialError::InvalidConfiguration(
+                "branch factor s must be at least 1".into(),
+            ));
+        }
+        if levels == 0 {
+            return Err(SpatialError::InvalidConfiguration(
+                "a multi-level grid needs at least one level".into(),
+            ));
+        }
+        if !(bounds.min.is_finite() && bounds.max.is_finite())
+            || bounds.width() <= 0.0
+            || bounds.height() <= 0.0
+        {
+            return Err(SpatialError::InvalidConfiguration(
+                "grid bounds must be finite with positive extent".into(),
+            ));
+        }
+        let mut level_sides = Vec::with_capacity(levels as usize);
+        let mut level_offsets = Vec::with_capacity(levels as usize);
+        let mut total: u64 = 0;
+        let mut side: u64 = 1;
+        for _ in 0..levels {
+            side = side.saturating_mul(branch as u64);
+            level_offsets.push(total as u32);
+            level_sides.push(side as u32);
+            total += side * side;
+            if total > MAX_NODES || side > u32::MAX as u64 {
+                return Err(SpatialError::InvalidConfiguration(format!(
+                    "branch={branch}, levels={levels} would create more than {MAX_NODES} nodes"
+                )));
+            }
+        }
+        let leaf_side = *level_sides.last().expect("levels >= 1") as usize;
+        Ok(MultiLevelGrid {
+            bounds,
+            branch,
+            levels,
+            level_sides,
+            level_offsets,
+            total_nodes: total as u32,
+            leaf_items: vec![Vec::new(); leaf_side * leaf_side],
+            positions: Vec::new(),
+            len: 0,
+        })
+    }
+
+    /// Builds a multi-level grid from `(id, point)` pairs.
+    pub fn bulk_load(
+        bounds: Rect,
+        branch: u32,
+        levels: u32,
+        items: impl IntoIterator<Item = (ItemId, Point)>,
+    ) -> Result<Self, SpatialError> {
+        let mut grid = MultiLevelGrid::new(bounds, branch, levels)?;
+        for (id, p) in items {
+            grid.insert(id, p);
+        }
+        Ok(grid)
+    }
+
+    /// Bounding rectangle covered by the grid.
+    pub fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    /// Partitioning granularity `s`.
+    pub fn branch(&self) -> u32 {
+        self.branch
+    }
+
+    /// Number of levels.
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Total number of nodes across all levels.
+    pub fn node_count(&self) -> u32 {
+        self.total_nodes
+    }
+
+    /// Number of stored items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when no item is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current position of an item.
+    pub fn position(&self, id: ItemId) -> Option<Point> {
+        self.positions.get(id as usize).copied().flatten()
+    }
+
+    /// The level (0 = top) a node belongs to.
+    pub fn node_level(&self, node: NodeId) -> u32 {
+        debug_assert!(node.0 < self.total_nodes);
+        let mut level = self.levels - 1;
+        for (l, &off) in self.level_offsets.iter().enumerate().skip(1) {
+            if node.0 < off {
+                level = l as u32 - 1;
+                break;
+            }
+        }
+        level
+    }
+
+    /// Whether a node is internal or a leaf cell.
+    pub fn node_kind(&self, node: NodeId) -> NodeKind {
+        if self.node_level(node) == self.levels - 1 {
+            NodeKind::Leaf
+        } else {
+            NodeKind::Internal
+        }
+    }
+
+    /// Spatial extent of a node.
+    pub fn node_rect(&self, node: NodeId) -> Rect {
+        let level = self.node_level(node);
+        let side = self.level_sides[level as usize];
+        let local = node.0 - self.level_offsets[level as usize];
+        let cx = local % side;
+        let cy = local / side;
+        let w = self.bounds.width() / side as f64;
+        let h = self.bounds.height() / side as f64;
+        let x0 = self.bounds.min.x + cx as f64 * w;
+        let y0 = self.bounds.min.y + cy as f64 * h;
+        Rect::new(Point::new(x0, y0), Point::new(x0 + w, y0 + h))
+    }
+
+    /// Iterates over the nodes of the top (coarsest) level — the entry point
+    /// of the AIS branch-and-bound search.
+    pub fn top_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        let side = self.level_sides[0] as u64;
+        (0..side * side).map(|i| NodeId(i as u32))
+    }
+
+    /// Iterates over the children of an internal node (its `s × s` cells of
+    /// the next lower level).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `node` is a leaf.
+    pub fn children(&self, node: NodeId) -> Vec<NodeId> {
+        let level = self.node_level(node);
+        debug_assert!(
+            level + 1 < self.levels,
+            "leaf nodes have no children (node {node:?})"
+        );
+        let side = self.level_sides[level as usize];
+        let child_level = level + 1;
+        let child_side = self.level_sides[child_level as usize];
+        let child_offset = self.level_offsets[child_level as usize];
+        let local = node.0 - self.level_offsets[level as usize];
+        let cx = local % side;
+        let cy = local / side;
+        let mut out = Vec::with_capacity((self.branch * self.branch) as usize);
+        for dy in 0..self.branch {
+            for dx in 0..self.branch {
+                let ccx = cx * self.branch + dx;
+                let ccy = cy * self.branch + dy;
+                out.push(NodeId(child_offset + ccy * child_side + ccx));
+            }
+        }
+        out
+    }
+
+    /// Parent node of `node`; `None` for top-level nodes.
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        let level = self.node_level(node);
+        if level == 0 {
+            return None;
+        }
+        let side = self.level_sides[level as usize];
+        let local = node.0 - self.level_offsets[level as usize];
+        let cx = (local % side) / self.branch;
+        let cy = (local / side) / self.branch;
+        let parent_side = self.level_sides[(level - 1) as usize];
+        Some(NodeId(
+            self.level_offsets[(level - 1) as usize] + cy * parent_side + cx,
+        ))
+    }
+
+    /// Items stored in a leaf cell.
+    ///
+    /// Returns an empty slice for internal nodes.
+    pub fn leaf_items(&self, node: NodeId) -> &[ItemId] {
+        match self.node_kind(node) {
+            NodeKind::Leaf => {
+                let leaf_offset = *self.level_offsets.last().expect("levels >= 1");
+                &self.leaf_items[(node.0 - leaf_offset) as usize]
+            }
+            NodeKind::Internal => &[],
+        }
+    }
+
+    /// The leaf cell containing `point` (clamped into bounds).
+    pub fn leaf_of(&self, point: Point) -> NodeId {
+        let p = self.clamp(point);
+        let side = *self.level_sides.last().expect("levels >= 1");
+        let w = self.bounds.width() / side as f64;
+        let h = self.bounds.height() / side as f64;
+        let cx = (((p.x - self.bounds.min.x) / w) as u32).min(side - 1);
+        let cy = (((p.y - self.bounds.min.y) / h) as u32).min(side - 1);
+        NodeId(*self.level_offsets.last().expect("levels >= 1") + cy * side + cx)
+    }
+
+    /// Inserts `id` at `point` (or moves it there if already present).
+    /// Returns the leaf cell the item now belongs to.
+    pub fn insert(&mut self, id: ItemId, point: Point) -> NodeId {
+        let point = self.clamp(point);
+        if self.position(id).is_some() {
+            let (_, new) = self.update(id, point).expect("item verified present");
+            return new;
+        }
+        let leaf = self.leaf_of(point);
+        let leaf_offset = *self.level_offsets.last().expect("levels >= 1");
+        self.leaf_items[(leaf.0 - leaf_offset) as usize].push(id);
+        let slot = id as usize;
+        if slot >= self.positions.len() {
+            self.positions.resize(slot + 1, None);
+        }
+        self.positions[slot] = Some(point);
+        self.len += 1;
+        leaf
+    }
+
+    /// Removes `id`, returning the leaf cell it was stored in.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpatialError::UnknownItem`] if the item is not stored.
+    pub fn remove(&mut self, id: ItemId) -> Result<NodeId, SpatialError> {
+        let point = self.position(id).ok_or(SpatialError::UnknownItem(id))?;
+        let leaf = self.leaf_of(point);
+        let leaf_offset = *self.level_offsets.last().expect("levels >= 1");
+        let cell = &mut self.leaf_items[(leaf.0 - leaf_offset) as usize];
+        if let Some(pos) = cell.iter().position(|&x| x == id) {
+            cell.swap_remove(pos);
+        }
+        self.positions[id as usize] = None;
+        self.len -= 1;
+        Ok(leaf)
+    }
+
+    /// Moves `id` to `point`; returns `(old_leaf, new_leaf)` so callers can
+    /// maintain per-node aggregates (the AIS index recomputes social
+    /// summaries only when these differ).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpatialError::UnknownItem`] if the item is not stored.
+    pub fn update(&mut self, id: ItemId, point: Point) -> Result<(NodeId, NodeId), SpatialError> {
+        let point = self.clamp(point);
+        let old = self.position(id).ok_or(SpatialError::UnknownItem(id))?;
+        let old_leaf = self.leaf_of(old);
+        let new_leaf = self.leaf_of(point);
+        if old_leaf != new_leaf {
+            let leaf_offset = *self.level_offsets.last().expect("levels >= 1");
+            let old_cell = &mut self.leaf_items[(old_leaf.0 - leaf_offset) as usize];
+            if let Some(pos) = old_cell.iter().position(|&x| x == id) {
+                old_cell.swap_remove(pos);
+            }
+            self.leaf_items[(new_leaf.0 - leaf_offset) as usize].push(id);
+        }
+        self.positions[id as usize] = Some(point);
+        Ok((old_leaf, new_leaf))
+    }
+
+    /// Iterates over all stored `(id, point)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ItemId, Point)> + '_ {
+        self.positions
+            .iter()
+            .enumerate()
+            .filter_map(|(id, p)| p.map(|p| (id as ItemId, p)))
+    }
+
+    /// Walks from a leaf cell up to its top-level ancestor, yielding every
+    /// node on the way (leaf first).  Used for upward propagation of
+    /// aggregate updates.
+    pub fn ancestors(&self, node: NodeId) -> Vec<NodeId> {
+        let mut out = vec![node];
+        let mut cur = node;
+        while let Some(p) = self.parent(cur) {
+            out.push(p);
+            cur = p;
+        }
+        out
+    }
+
+    fn clamp(&self, p: Point) -> Point {
+        Point::new(
+            p.x.clamp(self.bounds.min.x, self.bounds.max.x),
+            p.y.clamp(self.bounds.min.y, self.bounds.max.y),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(branch: u32, levels: u32) -> MultiLevelGrid {
+        MultiLevelGrid::new(Rect::unit(), branch, levels).unwrap()
+    }
+
+    #[test]
+    fn rejects_invalid_configurations() {
+        assert!(MultiLevelGrid::new(Rect::unit(), 0, 2).is_err());
+        assert!(MultiLevelGrid::new(Rect::unit(), 4, 0).is_err());
+        assert!(MultiLevelGrid::new(Rect::unit(), 100, 4).is_err());
+        let degenerate = Rect::new(Point::new(0.0, 0.0), Point::new(0.0, 1.0));
+        assert!(MultiLevelGrid::new(degenerate, 4, 2).is_err());
+    }
+
+    #[test]
+    fn node_counts_follow_geometry() {
+        let g = grid(3, 2);
+        // level 0: 3x3 = 9, level 1: 9x9 = 81.
+        assert_eq!(g.node_count(), 90);
+        assert_eq!(g.top_nodes().count(), 9);
+    }
+
+    #[test]
+    fn levels_and_kinds() {
+        let g = grid(2, 3);
+        // sides: 2, 4, 8 -> offsets 0, 4, 20 -> total 84
+        assert_eq!(g.node_count(), 4 + 16 + 64);
+        assert_eq!(g.node_level(NodeId(0)), 0);
+        assert_eq!(g.node_level(NodeId(3)), 0);
+        assert_eq!(g.node_level(NodeId(4)), 1);
+        assert_eq!(g.node_level(NodeId(19)), 1);
+        assert_eq!(g.node_level(NodeId(20)), 2);
+        assert_eq!(g.node_kind(NodeId(0)), NodeKind::Internal);
+        assert_eq!(g.node_kind(NodeId(25)), NodeKind::Leaf);
+    }
+
+    #[test]
+    fn children_tile_the_parent() {
+        let g = grid(3, 2);
+        for top in g.top_nodes() {
+            let parent_rect = g.node_rect(top);
+            let children = g.children(top);
+            assert_eq!(children.len(), 9);
+            let area: f64 = children.iter().map(|&c| g.node_rect(c).area()).sum();
+            assert!((area - parent_rect.area()).abs() < 1e-9);
+            for c in children {
+                let r = g.node_rect(c);
+                assert!(parent_rect.contains(r.center()));
+                assert_eq!(g.parent(c), Some(top));
+            }
+        }
+    }
+
+    #[test]
+    fn parent_of_top_is_none() {
+        let g = grid(4, 2);
+        assert_eq!(g.parent(NodeId(0)), None);
+    }
+
+    #[test]
+    fn leaf_of_agrees_with_rect_containment() {
+        let g = grid(5, 2);
+        for &p in &[
+            Point::new(0.01, 0.01),
+            Point::new(0.99, 0.99),
+            Point::new(0.5, 0.25),
+            Point::new(1.0, 1.0),
+        ] {
+            let leaf = g.leaf_of(p);
+            assert_eq!(g.node_kind(leaf), NodeKind::Leaf);
+            assert!(g.node_rect(leaf).contains(p));
+        }
+    }
+
+    #[test]
+    fn insert_remove_update_cycle() {
+        let mut g = grid(4, 2);
+        let leaf_a = g.insert(7, Point::new(0.1, 0.1));
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.leaf_items(leaf_a), &[7]);
+
+        let (old, new) = g.update(7, Point::new(0.9, 0.9)).unwrap();
+        assert_eq!(old, leaf_a);
+        assert_ne!(old, new);
+        assert!(g.leaf_items(old).is_empty());
+        assert_eq!(g.leaf_items(new), &[7]);
+
+        let removed_from = g.remove(7).unwrap();
+        assert_eq!(removed_from, new);
+        assert!(g.is_empty());
+        assert!(matches!(g.remove(7), Err(SpatialError::UnknownItem(7))));
+    }
+
+    #[test]
+    fn reinsert_acts_as_update() {
+        let mut g = grid(4, 2);
+        g.insert(1, Point::new(0.1, 0.1));
+        let leaf = g.insert(1, Point::new(0.8, 0.8));
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.leaf_items(leaf), &[1]);
+    }
+
+    #[test]
+    fn ancestors_chain_reaches_top() {
+        let g = grid(3, 3);
+        let leaf = g.leaf_of(Point::new(0.4, 0.6));
+        let chain = g.ancestors(leaf);
+        assert_eq!(chain.len(), 3);
+        assert_eq!(g.node_level(chain[0]), 2);
+        assert_eq!(g.node_level(chain[1]), 1);
+        assert_eq!(g.node_level(chain[2]), 0);
+        // Every ancestor's rect contains the leaf's centre.
+        let c = g.node_rect(leaf).center();
+        for n in chain {
+            assert!(g.node_rect(n).contains(c));
+        }
+    }
+
+    #[test]
+    fn bulk_load_distributes_items() {
+        let pts: Vec<(ItemId, Point)> = (0..100)
+            .map(|i| {
+                (
+                    i,
+                    Point::new((i % 10) as f64 / 10.0 + 0.05, (i / 10) as f64 / 10.0 + 0.05),
+                )
+            })
+            .collect();
+        let g = MultiLevelGrid::bulk_load(Rect::unit(), 5, 2, pts).unwrap();
+        assert_eq!(g.len(), 100);
+        let total: usize = g
+            .top_nodes()
+            .flat_map(|n| g.children(n))
+            .map(|c| g.leaf_items(c).len())
+            .sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn single_level_grid_is_all_leaves() {
+        let g = grid(4, 1);
+        assert_eq!(g.node_count(), 16);
+        for n in g.top_nodes() {
+            assert_eq!(g.node_kind(n), NodeKind::Leaf);
+        }
+    }
+}

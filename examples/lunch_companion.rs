@@ -1,0 +1,86 @@
+//! Companion recommendation — the motivating scenario of the paper's
+//! introduction.
+//!
+//! A user looking for company for lunch browses nearby users.  A plain
+//! k-nearest-neighbour search returns the geographically closest people, but
+//! ignores how well the user actually knows them.  The SSRQ blends both
+//! criteria; this example contrasts the two result sets and shows how the
+//! preference parameter `alpha` moves the answer between the purely spatial
+//! and the purely social extremes.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example lunch_companion
+//! ```
+
+use geosocial_ssrq::data::jaccard;
+use geosocial_ssrq::prelude::*;
+
+fn main() {
+    // A dense, city-scale network: everyone has a location (think of an
+    // app that only recommends users who are currently sharing theirs).
+    let dataset = DatasetConfig::twitter_like(5_000).generate();
+    let engine =
+        GeoSocialEngine::build(dataset, EngineConfig::default()).expect("engine builds");
+
+    let query_user = engine
+        .dataset()
+        .graph()
+        .nodes()
+        .max_by_key(|&u| engine.dataset().graph().degree(u))
+        .expect("non-empty dataset");
+    let k = 10;
+
+    // Purely spatial recommendation: the k nearest users by Euclidean
+    // distance (what existing systems do).
+    let location = engine
+        .dataset()
+        .location(query_user)
+        .expect("twitter-like preset locates every user");
+    let spatial_only: Vec<u32> = engine
+        .grid()
+        .k_nearest(location, k + 1)
+        .into_iter()
+        .map(|n| n.id)
+        .filter(|&u| u != query_user)
+        .take(k)
+        .collect();
+    println!("user {query_user} is looking for {k} lunch companions");
+    println!("\nplain spatial k-NN recommendation: {spatial_only:?}");
+
+    // SSRQ recommendations for increasingly social-minded preferences.
+    println!(
+        "\n{:>6}  {:<60}  {:>24}",
+        "alpha", "SSRQ top-k (social+spatial)", "Jaccard vs spatial k-NN"
+    );
+    for alpha in [0.1, 0.3, 0.5, 0.7, 0.9] {
+        let result = engine
+            .query(Algorithm::Ais, &QueryParams::new(query_user, k, alpha))
+            .expect("valid query");
+        let users = result.users();
+        let similarity = jaccard(&users, &spatial_only);
+        println!("{alpha:>6.1}  {:<60}  {similarity:>24.3}", format!("{users:?}"));
+    }
+
+    // Inspect the balanced recommendation in detail: how far away and how
+    // socially close is each suggested companion?
+    let balanced = engine
+        .query(Algorithm::Ais, &QueryParams::new(query_user, k, 0.5))
+        .expect("valid query");
+    println!("\nbalanced recommendation (alpha = 0.5):");
+    println!(
+        "{:>8}  {:>10}  {:>16}  {:>16}",
+        "user", "f-score", "social distance", "spatial distance"
+    );
+    for entry in &balanced.ranked {
+        println!(
+            "{:>8}  {:>10.4}  {:>16.4}  {:>16.4}",
+            entry.user, entry.score, entry.social, entry.spatial
+        );
+    }
+    println!(
+        "\nThe low Jaccard overlap with the spatial-only list shows that the \
+         joint query surfaces genuinely different companions — the same \
+         observation as Figure 7(b) of the paper."
+    );
+}

@@ -1,0 +1,168 @@
+//! Cross-crate integration test: every SSRQ processing algorithm must return
+//! exactly the same result as the brute-force oracle on realistic generated
+//! datasets, across the paper's parameter ranges.
+
+use geosocial_ssrq::core::{Algorithm, EngineConfig, GeoSocialEngine, QueryParams};
+use geosocial_ssrq::data::{DatasetConfig, QueryWorkload};
+
+fn build_engine(users: usize, config: EngineConfig) -> GeoSocialEngine {
+    let dataset = DatasetConfig::gowalla_like(users).with_seed(77).generate();
+    GeoSocialEngine::build(dataset, config).expect("engine builds")
+}
+
+#[test]
+fn indexed_algorithms_agree_with_the_oracle_across_k_and_alpha() {
+    let engine = build_engine(1_200, EngineConfig::default());
+    let workload = QueryWorkload::generate(engine.dataset(), 4, 11);
+    let algorithms = [
+        Algorithm::Sfa,
+        Algorithm::Spa,
+        Algorithm::Tsa,
+        Algorithm::TsaQc,
+        Algorithm::AisBid,
+        Algorithm::AisMinus,
+        Algorithm::Ais,
+    ];
+    for &user in &workload.users {
+        for k in [1usize, 30] {
+            for alpha in [0.1, 0.5, 0.9] {
+                let params = QueryParams::new(user, k, alpha);
+                let oracle = engine.query(Algorithm::Exhaustive, &params).unwrap();
+                for algorithm in algorithms {
+                    let result = engine.query(algorithm, &params).unwrap();
+                    assert!(
+                        result.same_users_and_scores(&oracle, 1e-9),
+                        "{} disagrees with the oracle (user {user}, k {k}, alpha {alpha}):\n  got      {:?}\n  expected {:?}",
+                        algorithm.name(),
+                        result.users(),
+                        oracle.users()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn ch_and_cached_variants_agree_with_the_oracle() {
+    let mut engine = build_engine(500, EngineConfig::default());
+    engine.build_contraction_hierarchy();
+    let workload = QueryWorkload::generate(engine.dataset(), 3, 23);
+    engine.build_social_cache(&workload.users, 200);
+    for &user in &workload.users {
+        for alpha in [0.3, 0.7] {
+            let params = QueryParams::new(user, 20, alpha);
+            let oracle = engine.query(Algorithm::Exhaustive, &params).unwrap();
+            for algorithm in [
+                Algorithm::SfaCh,
+                Algorithm::SpaCh,
+                Algorithm::TsaCh,
+                Algorithm::SfaCached,
+            ] {
+                let result = engine.query(algorithm, &params).unwrap();
+                assert!(
+                    result.same_users_and_scores(&oracle, 1e-9),
+                    "{} disagrees with the oracle (user {user}, alpha {alpha})",
+                    algorithm.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn different_index_granularities_do_not_change_results() {
+    for granularity in [3u32, 6, 12] {
+        let config = EngineConfig {
+            granularity,
+            ..EngineConfig::default()
+        };
+        let engine = build_engine(700, config);
+        let workload = QueryWorkload::generate(engine.dataset(), 3, 5);
+        for &user in &workload.users {
+            let params = QueryParams::new(user, 15, 0.3);
+            let oracle = engine.query(Algorithm::Exhaustive, &params).unwrap();
+            for algorithm in [Algorithm::Spa, Algorithm::Ais] {
+                let result = engine.query(algorithm, &params).unwrap();
+                assert!(
+                    result.same_users_and_scores(&oracle, 1e-9),
+                    "{} disagrees at granularity {granularity}",
+                    algorithm.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn different_landmark_configurations_do_not_change_results() {
+    use geosocial_ssrq::graph::LandmarkSelection;
+    for (m, selection) in [
+        (1usize, LandmarkSelection::Random),
+        (4, LandmarkSelection::HighestDegree),
+        (12, LandmarkSelection::FarthestFirst),
+    ] {
+        let config = EngineConfig {
+            num_landmarks: m,
+            landmark_selection: selection,
+            ..EngineConfig::default()
+        };
+        let engine = build_engine(700, config);
+        let workload = QueryWorkload::generate(engine.dataset(), 3, 9);
+        for &user in &workload.users {
+            let params = QueryParams::new(user, 10, 0.5);
+            let oracle = engine.query(Algorithm::Exhaustive, &params).unwrap();
+            for algorithm in [Algorithm::Tsa, Algorithm::Ais] {
+                let result = engine.query(algorithm, &params).unwrap();
+                assert!(
+                    result.same_users_and_scores(&oracle, 1e-9),
+                    "{} disagrees with M = {m}, selection {selection:?}",
+                    algorithm.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn high_degree_network_results_stay_exact() {
+    let dataset = DatasetConfig::twitter_like(900).with_seed(3).generate();
+    let engine = GeoSocialEngine::build(dataset, EngineConfig::default()).unwrap();
+    let workload = QueryWorkload::generate(engine.dataset(), 3, 31);
+    for &user in &workload.users {
+        let params = QueryParams::new(user, 30, 0.3);
+        let oracle = engine.query(Algorithm::Exhaustive, &params).unwrap();
+        for algorithm in [Algorithm::Sfa, Algorithm::Tsa, Algorithm::Ais] {
+            let result = engine.query(algorithm, &params).unwrap();
+            assert!(result.same_users_and_scores(&oracle, 1e-9));
+        }
+    }
+}
+
+#[test]
+fn stats_show_ais_settles_fewer_vertices_than_single_domain_baselines() {
+    // The AIS advantage comes from locality: on larger graphs the one-domain
+    // approaches expand most of the network while AIS touches a small
+    // neighbourhood (Figure 8(c)/(d) of the paper).  Use a graph that is
+    // large enough for the effect to be visible but still quick to query.
+    let engine = build_engine(12_000, EngineConfig::default());
+    let workload = QueryWorkload::generate(engine.dataset(), 3, 13);
+    let mut sfa_pops = 0usize;
+    let mut spa_pops = 0usize;
+    let mut ais_pops = 0usize;
+    for params in workload.params() {
+        sfa_pops += engine.query(Algorithm::Sfa, &params).unwrap().stats.vertex_pops;
+        spa_pops += engine.query(Algorithm::Spa, &params).unwrap().stats.vertex_pops;
+        ais_pops += engine.query(Algorithm::Ais, &params).unwrap().stats.vertex_pops;
+    }
+    // The headline claim of the paper: the aggregate index search expands
+    // fewer vertices than the one-domain approaches.
+    assert!(
+        ais_pops < sfa_pops,
+        "AIS settled {ais_pops} vs SFA {sfa_pops}"
+    );
+    assert!(
+        ais_pops < spa_pops,
+        "AIS settled {ais_pops} vs SPA {spa_pops}"
+    );
+}

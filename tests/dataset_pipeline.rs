@@ -1,0 +1,124 @@
+//! Integration test of the dataset-generation pipeline used by the
+//! experiment harness: presets, forest-fire sampling, correlation-controlled
+//! locations and workloads must all compose with the query engine.
+
+use geosocial_ssrq::core::{Algorithm, EngineConfig, GeoSocialDataset, GeoSocialEngine, QueryParams};
+use geosocial_ssrq::data::{
+    correlated_locations, forest_fire_sample, jaccard, Correlation, DataStatistics, DatasetConfig,
+    QueryWorkload,
+};
+use geosocial_ssrq::data::correlation::measure_correlation;
+
+#[test]
+fn table2_statistics_reflect_the_presets() {
+    let gowalla = DatasetConfig::gowalla_like(2_000).generate();
+    let foursquare = DatasetConfig::foursquare_like(4_000).generate();
+    let g_stats = DataStatistics::compute("gowalla-like", &gowalla);
+    let f_stats = DataStatistics::compute("foursquare-like", &foursquare);
+    assert_eq!(g_stats.vertices, 2_000);
+    assert_eq!(f_stats.vertices, 4_000);
+    assert!((g_stats.average_degree - 9.7).abs() < 2.0);
+    assert!((f_stats.average_degree - 9.5).abs() < 2.0);
+    assert!((g_stats.location_coverage - 0.544).abs() < 0.06);
+    assert!((f_stats.location_coverage - 0.603).abs() < 0.06);
+    // Rows render without panicking and carry the dataset names.
+    assert!(g_stats.table_row().contains("gowalla-like"));
+    assert!(DataStatistics::table_header().contains("|V|"));
+}
+
+#[test]
+fn forest_fire_samples_compose_with_the_engine() {
+    let base = DatasetConfig::foursquare_like(3_000).generate();
+    let (sampled_graph, mapping) = forest_fire_sample(base.graph(), 1_000, 0.7, 5);
+    // Carry the original locations over to the sampled vertices.
+    let locations = mapping
+        .iter()
+        .map(|&old| base.location(old))
+        .collect::<Vec<_>>();
+    let dataset = GeoSocialDataset::new(sampled_graph, locations).unwrap();
+    assert_eq!(dataset.user_count(), 1_000);
+    let engine = GeoSocialEngine::build(dataset, EngineConfig::default()).unwrap();
+    let workload = QueryWorkload::generate(engine.dataset(), 3, 7);
+    for params in workload.params() {
+        let oracle = engine.query(Algorithm::Exhaustive, &params).unwrap();
+        let ais = engine.query(Algorithm::Ais, &params).unwrap();
+        assert!(ais.same_users_and_scores(&oracle, 1e-9));
+    }
+}
+
+#[test]
+fn correlated_datasets_behave_as_figure_14a_expects() {
+    let base = DatasetConfig::foursquare_like(2_000).generate();
+    let anchor = QueryWorkload::generate(&base, 1, 3).users[0];
+    let mut effort = Vec::new();
+    for correlation in Correlation::ALL {
+        let locations = correlated_locations(base.graph(), anchor, correlation, 13);
+        let r = measure_correlation(base.graph(), anchor, &locations);
+        match correlation {
+            Correlation::Positive => assert!(r > 0.5, "positive correlation measured {r}"),
+            Correlation::Negative => assert!(r < -0.5, "negative correlation measured {r}"),
+            Correlation::Independent => assert!(r.abs() < 0.25, "independent correlation {r}"),
+        }
+        let dataset = GeoSocialDataset::new(base.graph().clone(), locations).unwrap();
+        let engine = GeoSocialEngine::build(dataset, EngineConfig::default()).unwrap();
+        let params = QueryParams::new(anchor, 20, 0.5);
+        let oracle = engine.query(Algorithm::Exhaustive, &params).unwrap();
+        let result = engine.query(Algorithm::Ais, &params).unwrap();
+        assert!(result.same_users_and_scores(&oracle, 1e-9));
+        effort.push((correlation, result.stats.evaluated_users.max(1)));
+    }
+    // Positively correlated data is the easiest case: the search needs to
+    // evaluate no more users than under negative correlation (paper,
+    // Figure 14(a)).
+    let positive = effort[0].1;
+    let negative = effort[2].1;
+    assert!(
+        positive <= negative,
+        "positive correlation required {positive} evaluations, negative {negative}"
+    );
+}
+
+#[test]
+fn ssrq_results_differ_from_single_domain_topk() {
+    // The Figure 7(b) insight: the SSRQ answer overlaps little with either
+    // the purely social or the purely spatial top-k.
+    let dataset = DatasetConfig::foursquare_like(2_500).generate();
+    let engine = GeoSocialEngine::build(dataset, EngineConfig::default()).unwrap();
+    let workload = QueryWorkload::generate(engine.dataset(), 10, 19);
+    let k = 20;
+    let mut avg_vs_spatial = 0.0;
+    for &user in &workload.users {
+        let ssrq = engine
+            .query(Algorithm::Ais, &QueryParams::new(user, k, 0.5))
+            .unwrap()
+            .users();
+        let location = engine.dataset().location(user).unwrap();
+        let spatial: Vec<u32> = engine
+            .grid()
+            .k_nearest(location, k + 1)
+            .into_iter()
+            .map(|n| n.id)
+            .filter(|&u| u != user)
+            .take(k)
+            .collect();
+        avg_vs_spatial += jaccard(&ssrq, &spatial);
+    }
+    avg_vs_spatial /= workload.len() as f64;
+    assert!(
+        avg_vs_spatial < 0.55,
+        "SSRQ should differ substantially from spatial top-k (Jaccard {avg_vs_spatial})"
+    );
+}
+
+#[test]
+fn workload_parameters_round_trip_through_queries() {
+    let dataset = DatasetConfig::gowalla_like(800).generate();
+    let engine = GeoSocialEngine::build(dataset, EngineConfig::default()).unwrap();
+    let workload = QueryWorkload::generate(engine.dataset(), 6, 29)
+        .with_k(7)
+        .with_alpha(0.9);
+    for params in workload.params() {
+        let result = engine.query(Algorithm::Ais, &params).unwrap();
+        assert!(result.ranked.len() <= 7);
+    }
+}

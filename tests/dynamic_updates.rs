@@ -1,0 +1,121 @@
+//! Integration test of the dynamic-location path: the engine's indexes must
+//! stay exact while users move, appear and disappear.
+
+use geosocial_ssrq::core::{Algorithm, EngineConfig, GeoSocialEngine, QueryParams};
+use geosocial_ssrq::data::{DatasetConfig, QueryWorkload};
+use geosocial_ssrq::spatial::Point;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+#[test]
+fn indexes_stay_exact_under_random_location_churn() {
+    let dataset = DatasetConfig::gowalla_like(1_500).with_seed(41).generate();
+    let mut engine = GeoSocialEngine::build(dataset, EngineConfig::default()).unwrap();
+    let workload = QueryWorkload::generate(engine.dataset(), 5, 3);
+    let mut rng = StdRng::seed_from_u64(99);
+
+    for round in 0..8 {
+        // Random churn: moves, fresh appearances, disappearances.
+        for _ in 0..200 {
+            let user = rng.gen_range(0..engine.dataset().user_count()) as u32;
+            match rng.gen_range(0..10) {
+                0 => engine.remove_location(user).unwrap(),
+                _ => engine
+                    .update_location(user, Point::new(rng.gen(), rng.gen()))
+                    .unwrap(),
+            }
+        }
+        for &user in &workload.users {
+            // A query user may itself have lost its location; both the
+            // oracle and the indexed algorithms must then agree on the
+            // (possibly empty) answer.
+            let params = QueryParams::new(user, 12, 0.3);
+            let oracle = engine.query(Algorithm::Exhaustive, &params).unwrap();
+            for algorithm in [Algorithm::Spa, Algorithm::Tsa, Algorithm::Ais] {
+                let result = engine.query(algorithm, &params).unwrap();
+                assert!(
+                    result.same_users_and_scores(&oracle, 1e-9),
+                    "{} diverged in round {round} for user {user}",
+                    algorithm.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn moving_a_result_user_far_away_changes_the_answer() {
+    let dataset = DatasetConfig::gowalla_like(1_000).with_seed(8).generate();
+    let mut engine = GeoSocialEngine::build(dataset, EngineConfig::default()).unwrap();
+    let query_user = QueryWorkload::generate(engine.dataset(), 1, 17).users[0];
+    let params = QueryParams::new(query_user, 5, 0.2);
+
+    let before = engine.query(Algorithm::Ais, &params).unwrap();
+    assert!(!before.ranked.is_empty());
+    let top = before.ranked[0].user;
+
+    // Push the current best companion to the opposite corner of the map.
+    let query_loc = engine.dataset().location(query_user).unwrap();
+    let far_corner = Point::new(
+        if query_loc.x < 0.5 { 1.0 } else { 0.0 },
+        if query_loc.y < 0.5 { 1.0 } else { 0.0 },
+    );
+    engine.update_location(top, far_corner).unwrap();
+
+    let after = engine.query(Algorithm::Ais, &params).unwrap();
+    let oracle = engine.query(Algorithm::Exhaustive, &params).unwrap();
+    assert!(after.same_users_and_scores(&oracle, 1e-9));
+    // The moved user's spatial distance grew, so its score must be worse (or
+    // it dropped out of the top-k entirely).
+    let old_score = before.ranked[0].score;
+    match after.ranked.iter().find(|r| r.user == top) {
+        Some(entry) => assert!(entry.score > old_score),
+        None => {} // dropped out — also acceptable
+    }
+}
+
+#[test]
+fn removing_every_location_yields_empty_results() {
+    let dataset = DatasetConfig::gowalla_like(300).with_seed(4).generate();
+    let mut engine = GeoSocialEngine::build(dataset, EngineConfig::default()).unwrap();
+    let query_user = QueryWorkload::generate(engine.dataset(), 1, 2).users[0];
+    let users: Vec<u32> = engine.dataset().graph().nodes().collect();
+    for user in users {
+        engine.remove_location(user).unwrap();
+    }
+    let params = QueryParams::new(query_user, 10, 0.5);
+    for algorithm in [Algorithm::Exhaustive, Algorithm::Spa, Algorithm::Ais] {
+        let result = engine.query(algorithm, &params).unwrap();
+        assert!(
+            result.ranked.is_empty(),
+            "{} returned results without any located user",
+            algorithm.name()
+        );
+    }
+}
+
+#[test]
+fn repeated_updates_of_the_same_user_are_idempotent_for_queries() {
+    let dataset = DatasetConfig::gowalla_like(500).with_seed(21).generate();
+    let mut engine = GeoSocialEngine::build(dataset, EngineConfig::default()).unwrap();
+    let query_user = QueryWorkload::generate(engine.dataset(), 1, 6).users[0];
+    let params = QueryParams::new(query_user, 8, 0.4);
+
+    // Thrash one user's location and finally park it at a fixed point; a
+    // freshly built engine over the same final state must agree.
+    let victim = (query_user + 1) % engine.dataset().user_count() as u32;
+    for i in 0..50 {
+        let p = Point::new((i as f64 * 0.019) % 1.0, (i as f64 * 0.037) % 1.0);
+        engine.update_location(victim, p).unwrap();
+    }
+    let final_location = Point::new(0.123, 0.456);
+    engine.update_location(victim, final_location).unwrap();
+
+    let mut fresh_dataset = engine.dataset().clone();
+    fresh_dataset.set_location(victim, Some(final_location)).unwrap();
+    let fresh_engine = GeoSocialEngine::build(fresh_dataset, EngineConfig::default()).unwrap();
+
+    let incremental = engine.query(Algorithm::Ais, &params).unwrap();
+    let rebuilt = fresh_engine.query(Algorithm::Ais, &params).unwrap();
+    assert!(incremental.same_users_and_scores(&rebuilt, 1e-9));
+}

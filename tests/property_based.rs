@@ -1,0 +1,175 @@
+//! Property-based tests over randomly generated geo-social datasets.
+//!
+//! These cover the core invariants of the system:
+//! * every processing algorithm returns the oracle answer on arbitrary
+//!   (connected or disconnected) weighted graphs with arbitrary partial
+//!   location assignments;
+//! * landmark and AIS lower bounds never exceed true distances;
+//! * the incremental spatial NN stream is sorted and complete.
+
+use geosocial_ssrq::core::{
+    Algorithm, EngineConfig, GeoSocialDataset, GeoSocialEngine, QueryParams,
+};
+use geosocial_ssrq::graph::{
+    dijkstra_all, GraphBuilder, LandmarkSelection, LandmarkSet, SocialGraph,
+};
+use geosocial_ssrq::spatial::{Point, Rect, UniformGrid};
+use proptest::prelude::*;
+
+/// Strategy: a random undirected weighted graph of 2..=40 vertices.
+fn arb_graph() -> impl Strategy<Value = SocialGraph> {
+    (2usize..40).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32, 0.05f64..2.0);
+        proptest::collection::vec(edge, 0..(n * 3)).prop_map(move |edges| {
+            let mut builder = GraphBuilder::new(n);
+            for (u, v, w) in edges {
+                if u != v {
+                    let _ = builder.add_edge(u, v, w);
+                }
+            }
+            builder.build()
+        })
+    })
+}
+
+/// Strategy: a dataset pairing a random graph with partially-known
+/// locations (at least one located user).
+fn arb_dataset() -> impl Strategy<Value = GeoSocialDataset> {
+    arb_graph().prop_flat_map(|graph| {
+        let n = graph.node_count();
+        let locations = proptest::collection::vec(
+            proptest::option::weighted(0.8, (0.0f64..1.0, 0.0f64..1.0)),
+            n,
+        );
+        (Just(graph), locations).prop_filter_map(
+            "needs at least one located user",
+            |(graph, locations)| {
+                let locations: Vec<Option<Point>> = locations
+                    .into_iter()
+                    .map(|opt| opt.map(|(x, y)| Point::new(x, y)))
+                    .collect();
+                if locations.iter().all(Option::is_none) {
+                    return None;
+                }
+                GeoSocialDataset::new(graph, locations).ok()
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_algorithms_match_the_oracle_on_arbitrary_datasets(
+        dataset in arb_dataset(),
+        user_pick in 0usize..40,
+        k in 1usize..8,
+        alpha in 0.05f64..0.95,
+    ) {
+        let user = (user_pick % dataset.user_count()) as u32;
+        let config = EngineConfig { granularity: 3, num_landmarks: 3, ..EngineConfig::default() };
+        let engine = GeoSocialEngine::build(dataset, config).unwrap();
+        let params = QueryParams::new(user, k, alpha);
+        let oracle = engine.query(Algorithm::Exhaustive, &params).unwrap();
+        for algorithm in [
+            Algorithm::Sfa,
+            Algorithm::Spa,
+            Algorithm::Tsa,
+            Algorithm::TsaQc,
+            Algorithm::AisBid,
+            Algorithm::AisMinus,
+            Algorithm::Ais,
+        ] {
+            let result = engine.query(algorithm, &params).unwrap();
+            prop_assert!(
+                result.same_users_and_scores(&oracle, 1e-9),
+                "{} disagreed: got {:?}, expected {:?}",
+                algorithm.name(),
+                result.users(),
+                oracle.users()
+            );
+        }
+    }
+
+    #[test]
+    fn ranked_results_are_sorted_and_within_k(
+        dataset in arb_dataset(),
+        k in 1usize..10,
+        alpha in 0.05f64..0.95,
+    ) {
+        let user = 0u32;
+        let config = EngineConfig { granularity: 3, num_landmarks: 2, ..EngineConfig::default() };
+        let engine = GeoSocialEngine::build(dataset, config).unwrap();
+        let result = engine.query(Algorithm::Ais, &QueryParams::new(user, k, alpha)).unwrap();
+        prop_assert!(result.ranked.len() <= k);
+        for pair in result.ranked.windows(2) {
+            prop_assert!(pair[0].score <= pair[1].score + 1e-12);
+        }
+        for entry in &result.ranked {
+            prop_assert!(entry.user != user);
+            prop_assert!(entry.score.is_finite());
+            let expected = alpha * entry.social + (1.0 - alpha) * entry.spatial;
+            prop_assert!((entry.score - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn landmark_lower_bounds_never_exceed_true_distances(
+        graph in arb_graph(),
+        m in 1usize..5,
+        seed in 0u64..1_000,
+    ) {
+        let landmarks = LandmarkSet::build(&graph, m, LandmarkSelection::FarthestFirst, seed);
+        prop_assume!(landmarks.is_ok());
+        let landmarks = landmarks.unwrap();
+        let source = 0u32;
+        let truth = dijkstra_all(&graph, source);
+        for v in graph.nodes() {
+            let lb = landmarks.lower_bound(source, v);
+            if truth[v as usize].is_finite() {
+                prop_assert!(lb <= truth[v as usize] + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_nn_is_sorted_and_complete(
+        points in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..120),
+        qx in 0.0f64..1.0,
+        qy in 0.0f64..1.0,
+        side in 1u32..12,
+    ) {
+        let items: Vec<(u32, Point)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| (i as u32, Point::new(x, y)))
+            .collect();
+        let grid = UniformGrid::bulk_load(Rect::unit(), side, items.clone()).unwrap();
+        let query = Point::new(qx, qy);
+        let stream: Vec<_> = grid.nearest_neighbors(query).collect();
+        prop_assert_eq!(stream.len(), items.len());
+        for pair in stream.windows(2) {
+            prop_assert!(pair[0].distance <= pair[1].distance + 1e-12);
+        }
+        // The first reported neighbour is a true nearest neighbour.
+        let best = items
+            .iter()
+            .map(|(_, p)| p.distance(query))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((stream[0].distance - best).abs() < 1e-12);
+    }
+
+    #[test]
+    fn query_results_are_deterministic(
+        dataset in arb_dataset(),
+        alpha in 0.05f64..0.95,
+    ) {
+        let config = EngineConfig { granularity: 4, num_landmarks: 2, ..EngineConfig::default() };
+        let engine = GeoSocialEngine::build(dataset, config).unwrap();
+        let params = QueryParams::new(0, 5, alpha);
+        let a = engine.query(Algorithm::Ais, &params).unwrap();
+        let b = engine.query(Algorithm::Ais, &params).unwrap();
+        prop_assert_eq!(a.ranked, b.ranked);
+    }
+}
