@@ -1,8 +1,7 @@
 use crate::{CoreError, QueryStats, UserId};
-use serde::{Deserialize, Serialize};
 
 /// Parameters of one SSRQ query (Definition 1 of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QueryParams {
     /// The query user `u_q`.
     pub user: UserId,
@@ -46,7 +45,7 @@ impl QueryParams {
 
 /// One entry of an SSRQ result: a user together with its ranking value and
 /// the two normalized distances it was derived from.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RankedUser {
     /// The reported user.
     pub user: UserId,
@@ -59,7 +58,7 @@ pub struct RankedUser {
 }
 
 /// The answer to one SSRQ query.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QueryResult {
     /// The top-k users in ascending order of ranking value.  May contain
     /// fewer than `k` entries when fewer than `k` users have a finite

@@ -1,4 +1,3 @@
-use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// Work counters collected while processing one SSRQ query.
@@ -6,7 +5,7 @@ use std::time::Duration;
 /// The paper's evaluation reports run-time and the *pop ratio*
 /// `|V_pop| / |V|`, where `V_pop` are the vertices popped from the search
 /// heaps; both are derivable from this structure.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct QueryStats {
     /// Users/vertices popped from the algorithm's *own* search heap(s) —
     /// the Dijkstra heap for SFA, the NN stream for SPA, both for TSA, and
@@ -32,7 +31,6 @@ pub struct QueryStats {
     /// strategy.
     pub delayed_reinsertions: usize,
     /// Wall-clock processing time.
-    #[serde(with = "duration_serde")]
     pub runtime: Duration,
 }
 
@@ -64,20 +62,6 @@ impl QueryStats {
         self.cache_hits += other.cache_hits;
         self.delayed_reinsertions += other.delayed_reinsertions;
         self.runtime += other.runtime;
-    }
-}
-
-mod duration_serde {
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-    use std::time::Duration;
-
-    pub fn serialize<S: Serializer>(d: &Duration, s: S) -> Result<S::Ok, S::Error> {
-        d.as_secs_f64().serialize(s)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Duration, D::Error> {
-        let secs = f64::deserialize(d)?;
-        Ok(Duration::from_secs_f64(secs.max(0.0)))
     }
 }
 

@@ -4,7 +4,6 @@
 use crate::generators::preferential_attachment;
 use crate::locations::{generate_locations, LocationModel};
 use crate::weights::degree_weights;
-use serde::{Deserialize, Serialize};
 use ssrq_core::GeoSocialDataset;
 use ssrq_graph::SocialGraph;
 use ssrq_spatial::Point;
@@ -19,7 +18,7 @@ use ssrq_spatial::Point;
 /// | [`DatasetConfig::gowalla_like`] | Gowalla (196K users) | ≈ 9.7 | 54.4 % |
 /// | [`DatasetConfig::foursquare_like`] | Foursquare (1.88M users) | ≈ 9.5 | 60.3 % |
 /// | [`DatasetConfig::twitter_like`] | Twitter-Singapore (124K users) | ≈ 57.7 | 100 % |
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DatasetConfig {
     /// Label used in reports (e.g. "gowalla-like").
     pub name: String,

@@ -1,11 +1,10 @@
 //! Dataset statistics (Table 2 of the paper).
 
-use serde::{Deserialize, Serialize};
 use ssrq_core::GeoSocialDataset;
 
 /// The per-dataset statistics the paper reports in Table 2: vertex count,
 /// edge count, number of available locations and average vertex degree.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DataStatistics {
     /// Dataset label (e.g. "gowalla-like").
     pub name: String,

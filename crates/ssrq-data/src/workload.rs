@@ -7,12 +7,11 @@
 
 use rand::prelude::*;
 use rand::rngs::StdRng;
-use serde::{Deserialize, Serialize};
 use ssrq_core::{GeoSocialDataset, QueryParams, UserId};
 
 /// A reproducible set of query users together with default query
 /// parameters.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QueryWorkload {
     /// The selected query users.
     pub users: Vec<UserId>,

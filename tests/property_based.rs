@@ -1,11 +1,16 @@
-//! Property-based tests over randomly generated geo-social datasets.
+//! Randomized property tests over generated geo-social datasets.
 //!
 //! These cover the core invariants of the system:
 //! * every processing algorithm returns the oracle answer on arbitrary
 //!   (connected or disconnected) weighted graphs with arbitrary partial
 //!   location assignments;
-//! * landmark and AIS lower bounds never exceed true distances;
+//! * landmark lower bounds never exceed true distances;
 //! * the incremental spatial NN stream is sorted and complete.
+//!
+//! The cases are drawn from a seeded RNG (no external property-testing
+//! framework is available offline), so failures are reproducible: every
+//! assertion message carries the case number, and the generator for case
+//! `i` is fully determined by `BASE_SEED + i`.
 
 use geosocial_ssrq::core::{
     Algorithm, EngineConfig, GeoSocialDataset, GeoSocialEngine, QueryParams,
@@ -14,61 +19,66 @@ use geosocial_ssrq::graph::{
     dijkstra_all, GraphBuilder, LandmarkSelection, LandmarkSet, SocialGraph,
 };
 use geosocial_ssrq::spatial::{Point, Rect, UniformGrid};
-use proptest::prelude::*;
+use rand::prelude::*;
+use rand::rngs::StdRng;
 
-/// Strategy: a random undirected weighted graph of 2..=40 vertices.
-fn arb_graph() -> impl Strategy<Value = SocialGraph> {
-    (2usize..40).prop_flat_map(|n| {
-        let edge = (0..n as u32, 0..n as u32, 0.05f64..2.0);
-        proptest::collection::vec(edge, 0..(n * 3)).prop_map(move |edges| {
-            let mut builder = GraphBuilder::new(n);
-            for (u, v, w) in edges {
-                if u != v {
-                    let _ = builder.add_edge(u, v, w);
-                }
-            }
-            builder.build()
-        })
-    })
+const BASE_SEED: u64 = 0x5542_0001;
+const CASES: u64 = 24;
+
+/// A random undirected weighted graph of 2..=40 vertices, possibly
+/// disconnected, possibly with parallel-edge attempts and isolated vertices.
+fn arb_graph(rng: &mut StdRng) -> SocialGraph {
+    let n = rng.gen_range(2usize..40);
+    let edge_count = rng.gen_range(0..n * 3);
+    let mut builder = GraphBuilder::new(n);
+    for _ in 0..edge_count {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u != v {
+            let _ = builder.add_edge(u, v, rng.gen_range(0.05f64..2.0));
+        }
+    }
+    builder.build()
 }
 
-/// Strategy: a dataset pairing a random graph with partially-known
-/// locations (at least one located user).
-fn arb_dataset() -> impl Strategy<Value = GeoSocialDataset> {
-    arb_graph().prop_flat_map(|graph| {
+/// A dataset pairing a random graph with partially-known locations (at least
+/// one located user, ~80 % coverage).
+fn arb_dataset(rng: &mut StdRng) -> GeoSocialDataset {
+    loop {
+        let graph = arb_graph(rng);
         let n = graph.node_count();
-        let locations = proptest::collection::vec(
-            proptest::option::weighted(0.8, (0.0f64..1.0, 0.0f64..1.0)),
-            n,
-        );
-        (Just(graph), locations).prop_filter_map(
-            "needs at least one located user",
-            |(graph, locations)| {
-                let locations: Vec<Option<Point>> = locations
-                    .into_iter()
-                    .map(|opt| opt.map(|(x, y)| Point::new(x, y)))
-                    .collect();
-                if locations.iter().all(Option::is_none) {
-                    return None;
+        let locations: Vec<Option<Point>> = (0..n)
+            .map(|_| {
+                if rng.gen_bool(0.8) {
+                    Some(Point::new(rng.gen(), rng.gen()))
+                } else {
+                    None
                 }
-                GeoSocialDataset::new(graph, locations).ok()
-            },
-        )
-    })
+            })
+            .collect();
+        if locations.iter().all(Option::is_none) {
+            continue;
+        }
+        match GeoSocialDataset::new(graph, locations) {
+            Ok(dataset) => return dataset,
+            Err(_) => continue,
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn all_algorithms_match_the_oracle_on_arbitrary_datasets(
-        dataset in arb_dataset(),
-        user_pick in 0usize..40,
-        k in 1usize..8,
-        alpha in 0.05f64..0.95,
-    ) {
-        let user = (user_pick % dataset.user_count()) as u32;
-        let config = EngineConfig { granularity: 3, num_landmarks: 3, ..EngineConfig::default() };
+#[test]
+fn all_algorithms_match_the_oracle_on_arbitrary_datasets() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(BASE_SEED + case);
+        let dataset = arb_dataset(&mut rng);
+        let user = rng.gen_range(0..dataset.user_count()) as u32;
+        let k = rng.gen_range(1usize..8);
+        let alpha = rng.gen_range(0.05f64..0.95);
+        let config = EngineConfig {
+            granularity: 3,
+            num_landmarks: 3,
+            ..EngineConfig::default()
+        };
         let engine = GeoSocialEngine::build(dataset, config).unwrap();
         let params = QueryParams::new(user, k, alpha);
         let oracle = engine.query(Algorithm::Exhaustive, &params).unwrap();
@@ -82,94 +92,113 @@ proptest! {
             Algorithm::Ais,
         ] {
             let result = engine.query(algorithm, &params).unwrap();
-            prop_assert!(
+            assert!(
                 result.same_users_and_scores(&oracle, 1e-9),
-                "{} disagreed: got {:?}, expected {:?}",
+                "case {case}: {} disagreed (user {user}, k {k}, alpha {alpha}): got {:?}, expected {:?}",
                 algorithm.name(),
                 result.users(),
                 oracle.users()
             );
         }
     }
+}
 
-    #[test]
-    fn ranked_results_are_sorted_and_within_k(
-        dataset in arb_dataset(),
-        k in 1usize..10,
-        alpha in 0.05f64..0.95,
-    ) {
+#[test]
+fn ranked_results_are_sorted_and_within_k() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64((BASE_SEED ^ 0xA5A5) + case);
+        let dataset = arb_dataset(&mut rng);
+        let k = rng.gen_range(1usize..10);
+        let alpha = rng.gen_range(0.05f64..0.95);
         let user = 0u32;
-        let config = EngineConfig { granularity: 3, num_landmarks: 2, ..EngineConfig::default() };
+        let config = EngineConfig {
+            granularity: 3,
+            num_landmarks: 2,
+            ..EngineConfig::default()
+        };
         let engine = GeoSocialEngine::build(dataset, config).unwrap();
-        let result = engine.query(Algorithm::Ais, &QueryParams::new(user, k, alpha)).unwrap();
-        prop_assert!(result.ranked.len() <= k);
+        let result = engine
+            .query(Algorithm::Ais, &QueryParams::new(user, k, alpha))
+            .unwrap();
+        assert!(result.ranked.len() <= k, "case {case}");
         for pair in result.ranked.windows(2) {
-            prop_assert!(pair[0].score <= pair[1].score + 1e-12);
+            assert!(pair[0].score <= pair[1].score + 1e-12, "case {case}");
         }
         for entry in &result.ranked {
-            prop_assert!(entry.user != user);
-            prop_assert!(entry.score.is_finite());
+            assert!(entry.user != user, "case {case}");
+            assert!(entry.score.is_finite(), "case {case}");
             let expected = alpha * entry.social + (1.0 - alpha) * entry.spatial;
-            prop_assert!((entry.score - expected).abs() < 1e-9);
+            assert!((entry.score - expected).abs() < 1e-9, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn landmark_lower_bounds_never_exceed_true_distances(
-        graph in arb_graph(),
-        m in 1usize..5,
-        seed in 0u64..1_000,
-    ) {
-        let landmarks = LandmarkSet::build(&graph, m, LandmarkSelection::FarthestFirst, seed);
-        prop_assume!(landmarks.is_ok());
-        let landmarks = landmarks.unwrap();
+#[test]
+fn landmark_lower_bounds_never_exceed_true_distances() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64((BASE_SEED ^ 0x1B1B) + case);
+        let graph = arb_graph(&mut rng);
+        let m = rng.gen_range(1usize..5);
+        let seed = rng.gen_range(0u64..1_000);
+        let Ok(landmarks) = LandmarkSet::build(&graph, m, LandmarkSelection::FarthestFirst, seed)
+        else {
+            continue;
+        };
         let source = 0u32;
         let truth = dijkstra_all(&graph, source);
         for v in graph.nodes() {
             let lb = landmarks.lower_bound(source, v);
             if truth[v as usize].is_finite() {
-                prop_assert!(lb <= truth[v as usize] + 1e-9);
+                assert!(
+                    lb <= truth[v as usize] + 1e-9,
+                    "case {case}: lb {lb} exceeds d(0,{v}) = {}",
+                    truth[v as usize]
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn incremental_nn_is_sorted_and_complete(
-        points in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..120),
-        qx in 0.0f64..1.0,
-        qy in 0.0f64..1.0,
-        side in 1u32..12,
-    ) {
-        let items: Vec<(u32, Point)> = points
-            .iter()
-            .enumerate()
-            .map(|(i, &(x, y))| (i as u32, Point::new(x, y)))
+#[test]
+fn incremental_nn_is_sorted_and_complete() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64((BASE_SEED ^ 0x33CC) + case);
+        let count = rng.gen_range(1usize..120);
+        let items: Vec<(u32, Point)> = (0..count)
+            .map(|i| (i as u32, Point::new(rng.gen(), rng.gen())))
             .collect();
+        let side = rng.gen_range(1u32..12);
         let grid = UniformGrid::bulk_load(Rect::unit(), side, items.clone()).unwrap();
-        let query = Point::new(qx, qy);
+        let query = Point::new(rng.gen(), rng.gen());
         let stream: Vec<_> = grid.nearest_neighbors(query).collect();
-        prop_assert_eq!(stream.len(), items.len());
+        assert_eq!(stream.len(), items.len(), "case {case}");
         for pair in stream.windows(2) {
-            prop_assert!(pair[0].distance <= pair[1].distance + 1e-12);
+            assert!(pair[0].distance <= pair[1].distance + 1e-12, "case {case}");
         }
         // The first reported neighbour is a true nearest neighbour.
         let best = items
             .iter()
             .map(|(_, p)| p.distance(query))
             .fold(f64::INFINITY, f64::min);
-        prop_assert!((stream[0].distance - best).abs() < 1e-12);
+        assert!((stream[0].distance - best).abs() < 1e-12, "case {case}");
     }
+}
 
-    #[test]
-    fn query_results_are_deterministic(
-        dataset in arb_dataset(),
-        alpha in 0.05f64..0.95,
-    ) {
-        let config = EngineConfig { granularity: 4, num_landmarks: 2, ..EngineConfig::default() };
+#[test]
+fn query_results_are_deterministic() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64((BASE_SEED ^ 0x77EE) + case);
+        let dataset = arb_dataset(&mut rng);
+        let alpha = rng.gen_range(0.05f64..0.95);
+        let config = EngineConfig {
+            granularity: 4,
+            num_landmarks: 2,
+            ..EngineConfig::default()
+        };
         let engine = GeoSocialEngine::build(dataset, config).unwrap();
         let params = QueryParams::new(0, 5, alpha);
         let a = engine.query(Algorithm::Ais, &params).unwrap();
         let b = engine.query(Algorithm::Ais, &params).unwrap();
-        prop_assert_eq!(a.ranked, b.ranked);
+        assert_eq!(a.ranked, b.ranked, "case {case}");
     }
 }
