@@ -22,21 +22,17 @@ fn bench_effect_of_k(c: &mut Criterion) {
     ];
     for k in [10usize, 30, 50] {
         for algorithm in algorithms {
-            group.bench_with_input(
-                BenchmarkId::new(algorithm.name(), k),
-                &k,
-                |b, &k| {
-                    let mut next = 0usize;
-                    b.iter(|| {
-                        let user = bench.workload.users[next % bench.workload.users.len()];
-                        next += 1;
-                        bench
-                            .engine
-                            .query(algorithm, &QueryParams::new(user, k, 0.3))
-                            .expect("query succeeds")
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(algorithm.name(), k), &k, |b, &k| {
+                let mut next = 0usize;
+                b.iter(|| {
+                    let user = bench.workload.users[next % bench.workload.users.len()];
+                    next += 1;
+                    bench
+                        .engine
+                        .query(algorithm, &QueryParams::new(user, k, 0.3))
+                        .expect("query succeeds")
+                });
+            });
         }
     }
     group.finish();

@@ -16,21 +16,17 @@ fn bench_ais_versions(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(1));
     for k in [10usize, 30, 50] {
         for algorithm in [Algorithm::AisBid, Algorithm::AisMinus, Algorithm::Ais] {
-            group.bench_with_input(
-                BenchmarkId::new(algorithm.name(), k),
-                &k,
-                |b, &k| {
-                    let mut next = 0usize;
-                    b.iter(|| {
-                        let user = bench.workload.users[next % bench.workload.users.len()];
-                        next += 1;
-                        bench
-                            .engine
-                            .query(algorithm, &QueryParams::new(user, k, 0.3))
-                            .expect("query succeeds")
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(algorithm.name(), k), &k, |b, &k| {
+                let mut next = 0usize;
+                b.iter(|| {
+                    let user = bench.workload.users[next % bench.workload.users.len()];
+                    next += 1;
+                    bench
+                        .engine
+                        .query(algorithm, &QueryParams::new(user, k, 0.3))
+                        .expect("query succeeds")
+                });
+            });
         }
     }
     group.finish();

@@ -8,7 +8,12 @@ use std::time::Duration;
 
 fn bench_twitter(c: &mut Criterion) {
     let bench = BenchDataset::twitter(Scale::quick());
-    let algorithms = [Algorithm::Sfa, Algorithm::Spa, Algorithm::Tsa, Algorithm::Ais];
+    let algorithms = [
+        Algorithm::Sfa,
+        Algorithm::Spa,
+        Algorithm::Tsa,
+        Algorithm::Ais,
+    ];
 
     let mut group = c.benchmark_group("fig13_twitter/effect_of_k");
     group

@@ -4,7 +4,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ssrq_bench::{BenchDataset, Scale};
 use ssrq_core::{Algorithm, EngineConfig, GeoSocialDataset, GeoSocialEngine, QueryParams};
-use ssrq_data::{correlated_locations, forest_fire_sample, Correlation, DatasetConfig, QueryWorkload};
+use ssrq_data::{
+    correlated_locations, forest_fire_sample, Correlation, DatasetConfig, QueryWorkload,
+};
 use std::time::Duration;
 
 fn bench_correlation(c: &mut Criterion) {
@@ -18,8 +20,10 @@ fn bench_correlation(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(1));
     for correlation in Correlation::ALL {
         let locations = correlated_locations(base.graph(), anchor, correlation, 0xC0FE);
-        let dataset = GeoSocialDataset::new(base.graph().clone(), locations).expect("valid dataset");
-        let engine = GeoSocialEngine::build(dataset, EngineConfig::default()).expect("engine builds");
+        let dataset =
+            GeoSocialDataset::new(base.graph().clone(), locations).expect("valid dataset");
+        let engine =
+            GeoSocialEngine::build(dataset, EngineConfig::default()).expect("engine builds");
         for algorithm in [Algorithm::Sfa, Algorithm::Tsa, Algorithm::Ais] {
             group.bench_with_input(
                 BenchmarkId::new(algorithm.name(), correlation.name()),

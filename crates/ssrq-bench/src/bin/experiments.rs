@@ -8,14 +8,17 @@
 //! ```
 //!
 //! Experiments: `table2 table3 fig7a fig7b fig8 fig9 fig10 fig11 fig12
-//! fig13 fig14a fig14b ablation all`.
+//! fig13 fig14a fig14b ablation throughput all`.
 //!
 //! Flags: `--quick` (small datasets), `--full` (paper-scale datasets),
 //! `--scale <factor>`, `--queries <n>`, `--with-ch` (include the expensive
 //! Contraction Hierarchies baselines in fig8).
 
 use ssrq_bench::report::FigureReport;
-use ssrq_bench::{max_result_hops, measure_algorithm, BenchDataset, Scale};
+use ssrq_bench::{
+    max_result_hops, measure_algorithm, measure_batch_qps, measure_sequential_qps, BenchDataset,
+    Scale,
+};
 use ssrq_core::{Algorithm, EngineConfig, GeoSocialDataset, GeoSocialEngine, QueryParams};
 use ssrq_data::{
     correlated_locations, forest_fire_sample, jaccard, Correlation, DataStatistics, DatasetConfig,
@@ -109,6 +112,7 @@ fn main() {
         "fig14a" => fig14a(&options),
         "fig14b" => fig14b(&options),
         "ablation" => ablation(&options),
+        "throughput" => throughput(&options),
         "all" => {
             table2(&options);
             table3();
@@ -123,6 +127,7 @@ fn main() {
             fig14a(&options);
             fig14b(&options);
             ablation(&options);
+            throughput(&options);
         }
         other => {
             eprintln!("unknown experiment `{other}`");
@@ -172,7 +177,10 @@ fn table3() {
         "{:<28} {:>10} {:<28}",
         "grid granularity s", 10, "5, 10, 15, 20, 25"
     );
-    println!("{:<28} {:>10} {:<28}", "number of landmarks M", 8, "(fine-tuned)");
+    println!(
+        "{:<28} {:>10} {:<28}",
+        "number of landmarks M", 8, "(fine-tuned)"
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -180,10 +188,7 @@ fn table3() {
 // ---------------------------------------------------------------------------
 
 fn fig7a(options: &Options) {
-    let mut report = FigureReport::new(
-        "Figure 7(a) — hops to the farthest SSRQ result vs k",
-        "k",
-    );
+    let mut report = FigureReport::new("Figure 7(a) — hops to the farthest SSRQ result vs k", "k");
     let datasets = [
         BenchDataset::gowalla(options.scale),
         BenchDataset::foursquare(options.scale),
@@ -191,13 +196,19 @@ fn fig7a(options: &Options) {
     for k in K_VALUES {
         report.push_x(k);
         for bench in &datasets {
-            let prefix = if bench.name.starts_with("gowalla") { "G." } else { "F." };
+            let prefix = if bench.name.starts_with("gowalla") {
+                "G."
+            } else {
+                "F."
+            };
+            let mut ctx = bench.engine.make_context();
             let mut hops = Vec::new();
             for &user in &bench.workload.users {
                 if let Some(h) = max_result_hops(
                     &bench.engine,
                     Algorithm::Ais,
                     &QueryParams::new(user, k, DEFAULT_ALPHA),
+                    &mut ctx,
                 ) {
                     hops.push(h);
                 }
@@ -218,6 +229,7 @@ fn fig7b(options: &Options) {
     );
     let bench = BenchDataset::foursquare(options.scale);
     let k = DEFAULT_K;
+    let mut ctx = bench.engine.make_context();
     for alpha in ALPHA_VALUES {
         report.push_x(alpha);
         let mut vs_social = 0.0;
@@ -225,11 +237,11 @@ fn fig7b(options: &Options) {
         let mut counted = 0usize;
         for &user in &bench.workload.users {
             let params = QueryParams::new(user, k, alpha);
-            let Ok(ssrq) = bench.engine.query(Algorithm::Ais, &params) else {
+            let Ok(ssrq) = bench.engine.query_with(Algorithm::Ais, &params, &mut ctx) else {
                 continue;
             };
             let ssrq_users = ssrq.users();
-            let social_topk = social_top_k(&bench.engine, user, k);
+            let social_topk = social_top_k(&bench.engine, user, k, &mut ctx);
             let spatial_topk = spatial_top_k(&bench.engine, user, k);
             vs_social += jaccard(&ssrq_users, &social_topk);
             vs_spatial += jaccard(&ssrq_users, &spatial_topk);
@@ -242,9 +254,14 @@ fn fig7b(options: &Options) {
     print!("{}", report.render());
 }
 
-fn social_top_k(engine: &GeoSocialEngine, user: u32, k: usize) -> Vec<u32> {
+fn social_top_k(
+    engine: &GeoSocialEngine,
+    user: u32,
+    k: usize,
+    ctx: &mut ssrq_core::QueryContext,
+) -> Vec<u32> {
     let graph = engine.dataset().graph();
-    let mut search = ssrq_graph::IncrementalDijkstra::new(graph, user);
+    let mut search = ssrq_graph::IncrementalDijkstra::new(graph, user, ctx.social_scratch());
     let mut out = Vec::with_capacity(k);
     while out.len() < k {
         match search.next_settled(graph) {
@@ -290,10 +307,8 @@ fn fig8(options: &Options) {
             format!("Figure 8 — run-time (ms) vs k ({})", bench.name),
             "k",
         );
-        let mut pops = FigureReport::new(
-            format!("Figure 8 — pop ratio vs k ({})", bench.name),
-            "k",
-        );
+        let mut pops =
+            FigureReport::new(format!("Figure 8 — pop ratio vs k ({})", bench.name), "k");
         for k in K_VALUES {
             runtime.push_x(k);
             pops.push_x(k);
@@ -319,8 +334,7 @@ fn fig8(options: &Options) {
                     .take((options.scale.queries / 5).max(5))
                     .collect();
                 for algorithm in [Algorithm::SfaCh, Algorithm::SpaCh, Algorithm::TsaCh] {
-                    let m =
-                        measure_algorithm(&bench.engine, algorithm, &sample, k, DEFAULT_ALPHA);
+                    let m = measure_algorithm(&bench.engine, algorithm, &sample, k, DEFAULT_ALPHA);
                     runtime.push_runtime(algorithm.name(), &m);
                 }
             }
@@ -371,7 +385,10 @@ fn fig10(options: &Options) {
         BenchDataset::foursquare(options.scale),
     ] {
         let mut runtime = FigureReport::new(
-            format!("Figure 10 — AIS versions, run-time (ms) vs k ({})", bench.name),
+            format!(
+                "Figure 10 — AIS versions, run-time (ms) vs k ({})",
+                bench.name
+            ),
             "k",
         );
         let mut pops = FigureReport::new(
@@ -615,6 +632,59 @@ fn fig14b(options: &Options) {
                 DEFAULT_ALPHA,
             );
             report.push_runtime(algorithm.name(), &m);
+        }
+    }
+    print!("{}", report.render());
+}
+
+// ---------------------------------------------------------------------------
+// Throughput — sequential vs parallel batch execution
+// ---------------------------------------------------------------------------
+
+/// Beyond the paper: queries/second of the main algorithms, sequential
+/// (one thread, reused context) vs `query_batch` at increasing worker
+/// counts.  This is the serving-throughput trajectory future scaling work
+/// measures itself against.
+fn throughput(options: &Options) {
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // Always measure at least one batch configuration: on a single-core
+    // machine "batch x2" still exercises the parallel path (timeshared).
+    let thread_counts: Vec<usize> = [2usize, 4, 8, 16]
+        .into_iter()
+        .filter(|&t| t <= available.max(2))
+        .collect();
+    let bench = BenchDataset::gowalla(options.scale);
+    let mut report = FigureReport::new(
+        format!(
+            "Throughput — queries/sec, sequential vs batch ({}, {} queries, {} cores available)",
+            bench.name,
+            bench.workload.len(),
+            available
+        ),
+        "algorithm",
+    );
+    for algorithm in MAIN_ALGORITHMS {
+        report.push_x(algorithm.name());
+        let (_, sequential_qps) = measure_sequential_qps(
+            &bench.engine,
+            algorithm,
+            &bench.workload.users,
+            DEFAULT_K,
+            DEFAULT_ALPHA,
+        );
+        report.push_cell("sequential", format!("{sequential_qps:.0}"));
+        for &threads in &thread_counts {
+            let (_, batch_qps) = measure_batch_qps(
+                &bench.engine,
+                algorithm,
+                &bench.workload.users,
+                DEFAULT_K,
+                DEFAULT_ALPHA,
+                threads,
+            );
+            report.push_cell(&format!("batch x{threads}"), format!("{batch_qps:.0}"));
         }
     }
     print!("{}", report.render());

@@ -13,6 +13,9 @@ pub mod measure;
 pub mod report;
 pub mod suite;
 
-pub use measure::{max_result_hops, measure_algorithm, AggregateMeasurement};
+pub use measure::{
+    max_result_hops, measure_algorithm, measure_batch_qps, measure_sequential_qps,
+    measure_throughput, AggregateMeasurement, ThroughputMeasurement,
+};
 pub use report::FigureReport;
 pub use suite::{BenchDataset, Scale};

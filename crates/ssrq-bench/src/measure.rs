@@ -1,7 +1,7 @@
 //! Workload execution and measurement aggregation.
 
 use ssrq_core::{Algorithm, GeoSocialEngine, QueryParams, UserId};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Aggregated measurements of one algorithm over one workload — the
 /// quantities the paper plots: average run-time per query and the pop ratio
@@ -43,9 +43,12 @@ pub fn measure_algorithm(
     let graph_size = engine.dataset().user_count().max(1);
     let mut executed = 0usize;
 
+    // One reused context for the whole workload: measurements reflect the
+    // per-query work of the algorithm, not repeated scratch allocation.
+    let mut ctx = engine.make_context();
     for &user in users {
         let params = QueryParams::new(user, k, alpha);
-        let result = match engine.query(algorithm, &params) {
+        let result = match engine.query_with(algorithm, &params, &mut ctx) {
             Ok(result) => result,
             Err(_) => continue,
         };
@@ -65,6 +68,136 @@ pub fn measure_algorithm(
     }
 }
 
+/// Throughput of one algorithm over one workload: sequential (one thread,
+/// one reused context) versus batch execution across worker threads.
+///
+/// The figure future PRs have to beat: queries/second at a given thread
+/// count, measured over identical query sets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputMeasurement {
+    /// Number of queries each mode executed.
+    pub queries: usize,
+    /// Worker threads used by the batch mode.
+    pub threads: usize,
+    /// Queries per second, sequential execution with a reused context.
+    pub sequential_qps: f64,
+    /// Queries per second through `query_batch_with_threads`.
+    pub batch_qps: f64,
+}
+
+impl ThroughputMeasurement {
+    /// Batch speed-up over sequential execution.
+    pub fn speedup(&self) -> f64 {
+        if self.sequential_qps > 0.0 {
+            self.batch_qps / self.sequential_qps
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Measures sequential vs batch throughput of `algorithm` over the workload
+/// `(users, k, alpha)` with the given worker-thread count.
+///
+/// Both modes run the identical query list.  Failed queries (e.g. a
+/// missing auxiliary index) are excluded from the success counts, but
+/// their (typically tiny) validation time is part of each mode's clock —
+/// qps figures are only meaningful for workloads that mostly succeed.
+///
+/// To compare several thread counts without re-timing the sequential pass
+/// each time, use [`measure_sequential_qps`] + [`measure_batch_qps`]
+/// directly.
+pub fn measure_throughput(
+    engine: &GeoSocialEngine,
+    algorithm: Algorithm,
+    users: &[UserId],
+    k: usize,
+    alpha: f64,
+    threads: usize,
+) -> ThroughputMeasurement {
+    let batch = params_for(users, k, alpha);
+    let (executed, sequential_qps) = time_sequential(engine, algorithm, &batch);
+    let (batch_ok, batch_qps) = time_batch(engine, algorithm, &batch, threads);
+    // Queries are deterministic, so the two modes must succeed on exactly
+    // the same subset; a mismatch would mean the parallel path changed
+    // outcomes, which should fail loudly rather than skew the figures.
+    assert_eq!(
+        executed, batch_ok,
+        "sequential and batch execution disagreed on query outcomes"
+    );
+    ThroughputMeasurement {
+        queries: executed,
+        threads,
+        sequential_qps,
+        batch_qps,
+    }
+}
+
+/// Queries/second of one-thread execution with a reused context, returned
+/// with the number of successful queries.
+pub fn measure_sequential_qps(
+    engine: &GeoSocialEngine,
+    algorithm: Algorithm,
+    users: &[UserId],
+    k: usize,
+    alpha: f64,
+) -> (usize, f64) {
+    time_sequential(engine, algorithm, &params_for(users, k, alpha))
+}
+
+/// Queries/second of `query_batch_with_threads`, returned with the number
+/// of successful queries.
+pub fn measure_batch_qps(
+    engine: &GeoSocialEngine,
+    algorithm: Algorithm,
+    users: &[UserId],
+    k: usize,
+    alpha: f64,
+    threads: usize,
+) -> (usize, f64) {
+    time_batch(engine, algorithm, &params_for(users, k, alpha), threads)
+}
+
+fn params_for(users: &[UserId], k: usize, alpha: f64) -> Vec<QueryParams> {
+    users
+        .iter()
+        .map(|&user| QueryParams::new(user, k, alpha))
+        .collect()
+}
+
+fn time_sequential(
+    engine: &GeoSocialEngine,
+    algorithm: Algorithm,
+    batch: &[QueryParams],
+) -> (usize, f64) {
+    // Context construction stays inside the clock: the batch mode pays its
+    // per-worker contexts (and thread spawns) inside its clock too, so both
+    // figures cover a cold start for the workload.
+    let start = Instant::now();
+    let mut ctx = engine.make_context();
+    let mut executed = 0usize;
+    for params in batch {
+        if engine.query_with(algorithm, params, &mut ctx).is_ok() {
+            executed += 1;
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    (executed, executed as f64 / secs.max(1e-9))
+}
+
+fn time_batch(
+    engine: &GeoSocialEngine,
+    algorithm: Algorithm,
+    batch: &[QueryParams],
+    threads: usize,
+) -> (usize, f64) {
+    let start = Instant::now();
+    let results = engine.query_batch_with_threads(algorithm, batch, threads);
+    let secs = start.elapsed().as_secs_f64();
+    let ok = results.iter().filter(|r| r.is_ok()).count();
+    (ok, ok as f64 / secs.max(1e-9))
+}
+
 /// Number of hops (edges on the weighted shortest path) between the query
 /// user and the farthest member of the SSRQ result — the quantity of
 /// Figure 7(a).  Returns `None` when the result is empty or a result user is
@@ -73,13 +206,14 @@ pub fn max_result_hops(
     engine: &GeoSocialEngine,
     algorithm: Algorithm,
     params: &QueryParams,
+    ctx: &mut ssrq_core::QueryContext,
 ) -> Option<usize> {
-    let result = engine.query(algorithm, params).ok()?;
+    let result = engine.query_with(algorithm, params, ctx).ok()?;
     if result.ranked.is_empty() {
         return None;
     }
     let graph = engine.dataset().graph();
-    let mut search = ssrq_graph::IncrementalDijkstra::new(graph, params.user);
+    let mut search = ssrq_graph::IncrementalDijkstra::new(graph, params.user, ctx.social_scratch());
     let mut max_hops = 0usize;
     for entry in &result.ranked {
         search.run_until_settled(graph, entry.user);
@@ -113,8 +247,27 @@ mod tests {
         let dataset = DatasetConfig::gowalla_like(400).generate();
         let engine = GeoSocialEngine::build(dataset, EngineConfig::default()).unwrap();
         let user = QueryWorkload::generate(engine.dataset(), 1, 2).users[0];
-        let hops = max_result_hops(&engine, Algorithm::Ais, &QueryParams::new(user, 10, 0.3));
+        let mut ctx = engine.make_context();
+        let hops = max_result_hops(
+            &engine,
+            Algorithm::Ais,
+            &QueryParams::new(user, 10, 0.3),
+            &mut ctx,
+        );
         assert!(hops.unwrap_or(0) >= 1);
+    }
+
+    #[test]
+    fn throughput_measures_both_modes_over_the_same_workload() {
+        let dataset = DatasetConfig::gowalla_like(500).generate();
+        let engine = GeoSocialEngine::build(dataset, EngineConfig::default()).unwrap();
+        let workload = QueryWorkload::generate(engine.dataset(), 8, 5);
+        let t = measure_throughput(&engine, Algorithm::Ais, &workload.users, 10, 0.3, 2);
+        assert_eq!(t.queries, 8);
+        assert_eq!(t.threads, 2);
+        assert!(t.sequential_qps > 0.0);
+        assert!(t.batch_qps > 0.0);
+        assert!(t.speedup() > 0.0);
     }
 
     #[test]

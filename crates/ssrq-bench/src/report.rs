@@ -38,7 +38,8 @@ impl FigureReport {
         if let Some((_, cells)) = self.series.iter_mut().find(|(name, _)| name == series) {
             cells.push(value.to_string());
         } else {
-            self.series.push((series.to_string(), vec![value.to_string()]));
+            self.series
+                .push((series.to_string(), vec![value.to_string()]));
         }
     }
 
@@ -105,7 +106,7 @@ mod tests {
         assert!(text.contains("AIS"));
         assert!(text.contains("1.500"));
         assert!(text.contains("0.0421"));
-        assert_eq!(text.matches('\n').count() >= 5, true);
+        assert!(text.matches('\n').count() >= 5);
     }
 
     #[test]

@@ -74,8 +74,7 @@ impl SocialSummary {
     pub fn lower_bound(&self, query_vector: &[f64]) -> f64 {
         debug_assert_eq!(query_vector.len(), self.min.len());
         let mut best = 0.0_f64;
-        for j in 0..self.min.len() {
-            let mqj = query_vector[j];
+        for (j, &mqj) in query_vector.iter().enumerate() {
             let bound = if mqj < self.min[j] {
                 self.min[j] - mqj
             } else if mqj > self.max[j] {
@@ -240,11 +239,9 @@ mod tests {
 
     fn small_dataset() -> (GeoSocialDataset, LandmarkSet) {
         // A ring of 8 users with unit weights, located on a 3x3-ish layout.
-        let graph: SocialGraph = GraphBuilder::from_edges(
-            8,
-            (0..8).map(|i| (i as u32, ((i + 1) % 8) as u32, 1.0)),
-        )
-        .unwrap();
+        let graph: SocialGraph =
+            GraphBuilder::from_edges(8, (0..8).map(|i| (i as u32, ((i + 1) % 8) as u32, 1.0)))
+                .unwrap();
         let locations = vec![
             Some(Point::new(0.1, 0.1)),
             Some(Point::new(0.9, 0.1)),
@@ -255,8 +252,7 @@ mod tests {
             Some(Point::new(0.7, 0.3)),
             None,
         ];
-        let landmarks =
-            LandmarkSet::build(&graph, 2, LandmarkSelection::FarthestFirst, 7).unwrap();
+        let landmarks = LandmarkSet::build(&graph, 2, LandmarkSelection::FarthestFirst, 7).unwrap();
         let dataset = GeoSocialDataset::new(graph, locations).unwrap();
         (dataset, landmarks)
     }

@@ -1,6 +1,6 @@
 use crate::ais::AisIndex;
 use crate::{
-    CoreError, GeoSocialDataset, QueryParams, QueryResult, QueryStats, RankedUser,
+    CoreError, GeoSocialDataset, QueryContext, QueryParams, QueryResult, QueryStats, RankedUser,
     RankingContext, TopK, UserId,
 };
 use ssrq_graph::{GraphDistanceEngine, LandmarkSet, SharingMode};
@@ -75,10 +75,7 @@ impl PartialOrd for Entry {
 }
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .key
-            .partial_cmp(&self.key)
-            .unwrap_or(Ordering::Equal)
+        other.key.partial_cmp(&self.key).unwrap_or(Ordering::Equal)
     }
 }
 
@@ -90,6 +87,7 @@ pub fn ais_query(
     landmarks: &LandmarkSet,
     params: &QueryParams,
     variant: AisVariant,
+    qctx: &mut QueryContext,
 ) -> Result<QueryResult, CoreError> {
     params.validate()?;
     dataset.check_user(params.user)?;
@@ -108,8 +106,13 @@ pub fn ais_query(
     };
     let query_vector: Vec<f64> = landmarks.vector(params.user).to_vec();
 
-    let mut distance_engine =
-        GraphDistanceEngine::new(dataset.graph(), landmarks, params.user, variant.sharing);
+    let mut distance_engine = GraphDistanceEngine::new(
+        dataset.graph(),
+        landmarks,
+        params.user,
+        variant.sharing,
+        &mut qctx.social,
+    );
     let mut topk = TopK::new(params.k);
     let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
 
@@ -167,9 +170,7 @@ pub fn ais_query(
                 if variant.delayed_evaluation {
                     let beta_bound = ctx.normalize_social(distance_engine.beta());
                     let delayed_key = ctx.score_lower_bound(beta_bound, spatial);
-                    if key < delayed_key - 1e-12
-                        && distance_engine.known_distance(user).is_none()
-                    {
+                    if key < delayed_key - 1e-12 && distance_engine.known_distance(user).is_none() {
                         stats.delayed_reinsertions += 1;
                         heap.push(Entry {
                             key: delayed_key,
@@ -242,10 +243,14 @@ mod tests {
         let n = 30u32;
         let mut builder = GraphBuilder::new(n as usize);
         for i in 0..n {
-            builder.add_edge(i, (i + 1) % n, 0.5 + (i % 5) as f64 * 0.3).unwrap();
+            builder
+                .add_edge(i, (i + 1) % n, 0.5 + (i % 5) as f64 * 0.3)
+                .unwrap();
         }
         for i in (0..n).step_by(3) {
-            builder.add_edge(i, (i + 7) % n, 1.0 + (i % 4) as f64 * 0.5).unwrap();
+            builder
+                .add_edge(i, (i + 7) % n, 1.0 + (i % 4) as f64 * 0.5)
+                .unwrap();
         }
         let graph = builder.build();
         let locations: Vec<Option<Point>> = (0..n)
@@ -253,9 +258,15 @@ mod tests {
                 if i % 7 == 6 {
                     None
                 } else if i % 2 == 0 {
-                    Some(Point::new(0.1 + (i as f64) * 0.01, 0.2 + (i as f64 % 5.0) * 0.05))
+                    Some(Point::new(
+                        0.1 + (i as f64) * 0.01,
+                        0.2 + (i as f64 % 5.0) * 0.05,
+                    ))
                 } else {
-                    Some(Point::new(0.8 - (i as f64) * 0.005, 0.7 + (i as f64 % 3.0) * 0.08))
+                    Some(Point::new(
+                        0.8 - (i as f64) * 0.005,
+                        0.7 + (i as f64 % 3.0) * 0.08,
+                    ))
                 }
             })
             .collect();
@@ -272,9 +283,18 @@ mod tests {
             for &k in &[1usize, 3, 5, 10] {
                 for user in [0u32, 5, 13, 22] {
                     let params = QueryParams::new(user, k, alpha);
-                    let expected = exhaustive::exhaustive_query(&dataset, &params).unwrap();
-                    let got =
-                        ais_query(&dataset, &index, &landmarks, &params, variant).unwrap();
+                    let expected =
+                        exhaustive::exhaustive_query(&dataset, &params, &mut QueryContext::new())
+                            .unwrap();
+                    let got = ais_query(
+                        &dataset,
+                        &index,
+                        &landmarks,
+                        &params,
+                        variant,
+                        &mut QueryContext::new(),
+                    )
+                    .unwrap();
                     assert!(
                         got.same_users_and_scores(&expected, 1e-9),
                         "variant {variant:?}, alpha {alpha}, k {k}, user {user}:\n  got {:?}\n  expected {:?}",
@@ -307,7 +327,15 @@ mod tests {
         let index = AisIndex::build(&dataset, &landmarks, 4, 2).unwrap();
         // User 6 has no location (6 % 7 == 6).
         let params = QueryParams::new(6, 5, 0.5);
-        let result = ais_query(&dataset, &index, &landmarks, &params, AisVariant::full()).unwrap();
+        let result = ais_query(
+            &dataset,
+            &index,
+            &landmarks,
+            &params,
+            AisVariant::full(),
+            &mut QueryContext::new(),
+        )
+        .unwrap();
         assert!(result.ranked.is_empty());
     }
 
@@ -316,9 +344,25 @@ mod tests {
         let (dataset, landmarks) = dataset();
         let index = AisIndex::build(&dataset, &landmarks, 4, 2).unwrap();
         let bad_alpha = QueryParams::new(0, 5, 1.0);
-        assert!(ais_query(&dataset, &index, &landmarks, &bad_alpha, AisVariant::full()).is_err());
+        assert!(ais_query(
+            &dataset,
+            &index,
+            &landmarks,
+            &bad_alpha,
+            AisVariant::full(),
+            &mut QueryContext::new()
+        )
+        .is_err());
         let bad_user = QueryParams::new(999, 5, 0.5);
-        assert!(ais_query(&dataset, &index, &landmarks, &bad_user, AisVariant::full()).is_err());
+        assert!(ais_query(
+            &dataset,
+            &index,
+            &landmarks,
+            &bad_user,
+            AisVariant::full(),
+            &mut QueryContext::new()
+        )
+        .is_err());
     }
 
     #[test]
@@ -326,7 +370,15 @@ mod tests {
         let (dataset, landmarks) = dataset();
         let index = AisIndex::build(&dataset, &landmarks, 4, 2).unwrap();
         let params = QueryParams::new(0, 5, 0.3);
-        let result = ais_query(&dataset, &index, &landmarks, &params, AisVariant::full()).unwrap();
+        let result = ais_query(
+            &dataset,
+            &index,
+            &landmarks,
+            &params,
+            AisVariant::full(),
+            &mut QueryContext::new(),
+        )
+        .unwrap();
         assert!(result.stats.index_pops > 0);
         assert!(result.stats.evaluated_users >= result.ranked.len());
         assert!(result.stats.runtime.as_nanos() > 0);
@@ -337,8 +389,24 @@ mod tests {
         let (dataset, landmarks) = dataset();
         let index = AisIndex::build(&dataset, &landmarks, 4, 2).unwrap();
         let params = QueryParams::new(3, 5, 0.5);
-        let bid = ais_query(&dataset, &index, &landmarks, &params, AisVariant::bid()).unwrap();
-        let full = ais_query(&dataset, &index, &landmarks, &params, AisVariant::full()).unwrap();
+        let bid = ais_query(
+            &dataset,
+            &index,
+            &landmarks,
+            &params,
+            AisVariant::bid(),
+            &mut QueryContext::new(),
+        )
+        .unwrap();
+        let full = ais_query(
+            &dataset,
+            &index,
+            &landmarks,
+            &params,
+            AisVariant::full(),
+            &mut QueryContext::new(),
+        )
+        .unwrap();
         // The optimizations must never *increase* the number of exact
         // distance evaluations.
         assert!(full.stats.evaluated_users <= bid.stats.evaluated_users + 1);

@@ -1,8 +1,8 @@
 use crate::{
-    CoreError, GeoSocialDataset, QueryParams, QueryResult, QueryStats, RankedUser, RankingContext,
-    TopK,
+    CoreError, GeoSocialDataset, QueryContext, QueryParams, QueryResult, QueryStats, RankedUser,
+    RankingContext, TopK,
 };
-use ssrq_graph::dijkstra_all;
+use ssrq_graph::dijkstra_all_with;
 use std::time::Instant;
 
 /// Brute-force SSRQ evaluation: one full single-source Dijkstra from the
@@ -14,6 +14,7 @@ use std::time::Instant;
 pub fn exhaustive_query(
     dataset: &GeoSocialDataset,
     params: &QueryParams,
+    qctx: &mut QueryContext,
 ) -> Result<QueryResult, CoreError> {
     params.validate()?;
     dataset.check_user(params.user)?;
@@ -21,7 +22,7 @@ pub fn exhaustive_query(
     let ctx = RankingContext::new(dataset, params);
     let mut stats = QueryStats::default();
 
-    let social = dijkstra_all(dataset.graph(), params.user);
+    let social = dijkstra_all_with(dataset.graph(), params.user, &mut qctx.social);
     stats.social_pops = social.iter().filter(|d| d.is_finite()).count();
     stats.vertex_pops = dataset.user_count();
 
@@ -82,23 +83,48 @@ mod tests {
         let dataset = tiny_dataset();
         // With a balanced alpha the compromise user u4 (index 3) should beat
         // both the purely-social (u2) and purely-spatial (u5) favourites.
-        let result = exhaustive_query(&dataset, &QueryParams::new(0, 1, 0.5)).unwrap();
+        let result = exhaustive_query(
+            &dataset,
+            &QueryParams::new(0, 1, 0.5),
+            &mut QueryContext::new(),
+        )
+        .unwrap();
         assert_eq!(result.ranked[0].user, 3);
         // With alpha -> social, the strong friend u2 (index 1) wins.
-        let result = exhaustive_query(&dataset, &QueryParams::new(0, 1, 0.9)).unwrap();
+        let result = exhaustive_query(
+            &dataset,
+            &QueryParams::new(0, 1, 0.9),
+            &mut QueryContext::new(),
+        )
+        .unwrap();
         assert_eq!(result.ranked[0].user, 1);
         // With alpha -> spatial, the nearest user u5 (index 4) wins.
-        let result = exhaustive_query(&dataset, &QueryParams::new(0, 1, 0.1)).unwrap();
+        let result = exhaustive_query(
+            &dataset,
+            &QueryParams::new(0, 1, 0.1),
+            &mut QueryContext::new(),
+        )
+        .unwrap();
         assert_eq!(result.ranked[0].user, 4);
     }
 
     #[test]
     fn excludes_the_query_user_and_respects_k() {
         let dataset = tiny_dataset();
-        let result = exhaustive_query(&dataset, &QueryParams::new(0, 10, 0.5)).unwrap();
+        let result = exhaustive_query(
+            &dataset,
+            &QueryParams::new(0, 10, 0.5),
+            &mut QueryContext::new(),
+        )
+        .unwrap();
         assert_eq!(result.ranked.len(), 4);
         assert!(result.users().iter().all(|&u| u != 0));
-        let result = exhaustive_query(&dataset, &QueryParams::new(0, 2, 0.5)).unwrap();
+        let result = exhaustive_query(
+            &dataset,
+            &QueryParams::new(0, 2, 0.5),
+            &mut QueryContext::new(),
+        )
+        .unwrap();
         assert_eq!(result.ranked.len(), 2);
         // Scores are ascending.
         assert!(result.ranked[0].score <= result.ranked[1].score);
@@ -114,7 +140,12 @@ mod tests {
             None,
         ];
         let dataset = GeoSocialDataset::new(graph, locations).unwrap();
-        let result = exhaustive_query(&dataset, &QueryParams::new(0, 4, 0.5)).unwrap();
+        let result = exhaustive_query(
+            &dataset,
+            &QueryParams::new(0, 4, 0.5),
+            &mut QueryContext::new(),
+        )
+        .unwrap();
         // User 2 is socially unreachable, user 3 additionally lacks a
         // location: both have infinite scores and are excluded.
         assert_eq!(result.users(), vec![1]);
@@ -123,7 +154,17 @@ mod tests {
     #[test]
     fn rejects_invalid_input() {
         let dataset = tiny_dataset();
-        assert!(exhaustive_query(&dataset, &QueryParams::new(0, 0, 0.5)).is_err());
-        assert!(exhaustive_query(&dataset, &QueryParams::new(99, 1, 0.5)).is_err());
+        assert!(exhaustive_query(
+            &dataset,
+            &QueryParams::new(0, 0, 0.5),
+            &mut QueryContext::new()
+        )
+        .is_err());
+        assert!(exhaustive_query(
+            &dataset,
+            &QueryParams::new(99, 1, 0.5),
+            &mut QueryContext::new()
+        )
+        .is_err());
     }
 }

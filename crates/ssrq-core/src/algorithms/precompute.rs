@@ -2,7 +2,7 @@ use crate::{
     CoreError, GeoSocialDataset, QueryParams, QueryResult, QueryStats, RankedUser, RankingContext,
     TopK, UserId,
 };
-use ssrq_graph::{IncrementalDijkstra, SocialGraph};
+use ssrq_graph::{IncrementalDijkstra, SearchScratch, SocialGraph};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -24,11 +24,13 @@ impl SocialNeighborCache {
     /// vertices (excluding itself) in ascending distance order.
     pub fn build(graph: &SocialGraph, users: &[UserId], t: usize) -> Self {
         let mut lists = HashMap::with_capacity(users.len());
+        // One scratch backs the expansion of every pre-computed user.
+        let mut scratch = SearchScratch::with_capacity(graph.node_count());
         for &user in users {
             if !graph.contains(user) {
                 continue;
             }
-            let mut search = IncrementalDijkstra::new(graph, user);
+            let mut search = IncrementalDijkstra::new(graph, user, &mut scratch);
             let mut list = Vec::with_capacity(t);
             while list.len() < t {
                 match search.next_settled(graph) {
@@ -137,6 +139,7 @@ where
 mod tests {
     use super::*;
     use crate::algorithms::exhaustive::exhaustive_query;
+    use crate::QueryContext;
     use ssrq_graph::GraphBuilder;
     use ssrq_spatial::Point;
 
@@ -189,7 +192,8 @@ mod tests {
         for user in [0u32, 12] {
             for &alpha in &[0.3, 0.7] {
                 let params = QueryParams::new(user, 5, alpha);
-                let expected = exhaustive_query(&dataset, &params).unwrap();
+                let expected =
+                    exhaustive_query(&dataset, &params, &mut QueryContext::new()).unwrap();
                 let got = cached_query(&dataset, &cache, &params, |_| {
                     panic!("fallback must not be used when the cache suffices")
                 })
@@ -204,9 +208,11 @@ mod tests {
         let dataset = dataset();
         let cache = SocialNeighborCache::build(dataset.graph(), &[0], 2);
         let params = QueryParams::new(0, 8, 0.2);
-        let expected = exhaustive_query(&dataset, &params).unwrap();
-        let got = cached_query(&dataset, &cache, &params, |p| exhaustive_query(&dataset, p))
-            .unwrap();
+        let expected = exhaustive_query(&dataset, &params, &mut QueryContext::new()).unwrap();
+        let got = cached_query(&dataset, &cache, &params, |p| {
+            exhaustive_query(&dataset, p, &mut QueryContext::new())
+        })
+        .unwrap();
         assert!(got.same_users_and_scores(&expected, 1e-9));
     }
 
@@ -215,9 +221,11 @@ mod tests {
         let dataset = dataset();
         let cache = SocialNeighborCache::build(dataset.graph(), &[1], 5);
         let params = QueryParams::new(2, 3, 0.5);
-        let expected = exhaustive_query(&dataset, &params).unwrap();
-        let got = cached_query(&dataset, &cache, &params, |p| exhaustive_query(&dataset, p))
-            .unwrap();
+        let expected = exhaustive_query(&dataset, &params, &mut QueryContext::new()).unwrap();
+        let got = cached_query(&dataset, &cache, &params, |p| {
+            exhaustive_query(&dataset, p, &mut QueryContext::new())
+        })
+        .unwrap();
         assert!(got.same_users_and_scores(&expected, 1e-9));
     }
 
@@ -225,16 +233,14 @@ mod tests {
     fn exhausted_component_needs_no_fallback() {
         // Two components; the query user's component is smaller than t, so
         // the cached list covers it completely and no fallback is needed.
-        let graph = GraphBuilder::from_edges(
-            6,
-            vec![(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0), (4, 5, 1.0)],
-        )
-        .unwrap();
+        let graph =
+            GraphBuilder::from_edges(6, vec![(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0), (4, 5, 1.0)])
+                .unwrap();
         let locations = vec![Some(Point::new(0.1, 0.1)); 6];
         let dataset = GeoSocialDataset::new(graph, locations).unwrap();
         let cache = SocialNeighborCache::build(dataset.graph(), &[0], 10);
         let params = QueryParams::new(0, 5, 0.5);
-        let expected = exhaustive_query(&dataset, &params).unwrap();
+        let expected = exhaustive_query(&dataset, &params, &mut QueryContext::new()).unwrap();
         let got = cached_query(&dataset, &cache, &params, |_| {
             panic!("fallback must not run when the component is exhausted")
         })

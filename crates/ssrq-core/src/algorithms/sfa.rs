@@ -1,6 +1,6 @@
 use crate::{
-    CoreError, GeoSocialDataset, QueryParams, QueryResult, QueryStats, RankedUser, RankingContext,
-    TopK,
+    CoreError, GeoSocialDataset, QueryContext, QueryParams, QueryResult, QueryStats, RankedUser,
+    RankingContext, TopK,
 };
 use ssrq_graph::{ContractionHierarchy, IncrementalDijkstra};
 use std::time::Instant;
@@ -12,7 +12,11 @@ use std::time::Instant;
 /// vertex the Euclidean distance (and hence the ranking value) is computed
 /// directly.  The search stops when the social-only lower bound
 /// `θ = α · p(v_q, v_last)` reaches the current threshold `f_k`.
-pub fn sfa_query(dataset: &GeoSocialDataset, params: &QueryParams) -> Result<QueryResult, CoreError> {
+pub fn sfa_query(
+    dataset: &GeoSocialDataset,
+    params: &QueryParams,
+    qctx: &mut QueryContext,
+) -> Result<QueryResult, CoreError> {
     params.validate()?;
     dataset.check_user(params.user)?;
     let start = Instant::now();
@@ -20,7 +24,7 @@ pub fn sfa_query(dataset: &GeoSocialDataset, params: &QueryParams) -> Result<Que
     let mut stats = QueryStats::default();
     let mut topk = TopK::new(params.k);
 
-    let mut social = IncrementalDijkstra::new(dataset.graph(), params.user);
+    let mut social = IncrementalDijkstra::new(dataset.graph(), params.user, &mut qctx.social);
     while let Some((vertex, raw_social)) = social.next_settled(dataset.graph()) {
         stats.social_pops += 1;
         stats.vertex_pops += 1;
@@ -64,6 +68,7 @@ pub fn sfa_ch_query(
     dataset: &GeoSocialDataset,
     ch: &ContractionHierarchy,
     params: &QueryParams,
+    qctx: &mut QueryContext,
 ) -> Result<QueryResult, CoreError> {
     params.validate()?;
     dataset.check_user(params.user)?;
@@ -77,7 +82,7 @@ pub fn sfa_ch_query(
         if user == params.user {
             continue;
         }
-        let d = ch.distance(params.user, user);
+        let d = ch.distance_with(params.user, user, &mut qctx.ch);
         stats.distance_calls += 1;
         if d.is_finite() {
             order.push((user, d));
@@ -152,8 +157,9 @@ mod tests {
             for &k in &[1usize, 4, 12] {
                 for user in [0u32, 7, 21, 33] {
                     let params = QueryParams::new(user, k, alpha);
-                    let expected = exhaustive_query(&dataset, &params).unwrap();
-                    let got = sfa_query(&dataset, &params).unwrap();
+                    let expected =
+                        exhaustive_query(&dataset, &params, &mut QueryContext::new()).unwrap();
+                    let got = sfa_query(&dataset, &params, &mut QueryContext::new()).unwrap();
                     assert!(
                         got.same_users_and_scores(&expected, 1e-9),
                         "alpha {alpha}, k {k}, user {user}"
@@ -170,8 +176,9 @@ mod tests {
         for &alpha in &[0.3, 0.7] {
             for user in [2u32, 19] {
                 let params = QueryParams::new(user, 6, alpha);
-                let expected = exhaustive_query(&dataset, &params).unwrap();
-                let got = sfa_ch_query(&dataset, &ch, &params).unwrap();
+                let expected =
+                    exhaustive_query(&dataset, &params, &mut QueryContext::new()).unwrap();
+                let got = sfa_ch_query(&dataset, &ch, &params, &mut QueryContext::new()).unwrap();
                 assert!(
                     got.same_users_and_scores(&expected, 1e-9),
                     "alpha {alpha}, user {user}"
@@ -186,16 +193,22 @@ mod tests {
         // With a very social-heavy alpha the first few settled vertices
         // already dominate; SFA must not expand the whole graph.
         let params = QueryParams::new(0, 2, 0.9);
-        let result = sfa_query(&dataset, &params).unwrap();
+        let result = sfa_query(&dataset, &params, &mut QueryContext::new()).unwrap();
         assert!(result.stats.social_pops < dataset.user_count());
     }
 
     #[test]
     fn disconnected_query_user_yields_results_only_from_its_component() {
-        let graph = GraphBuilder::from_edges(5, vec![(0, 1, 1.0), (2, 3, 1.0), (3, 4, 1.0)]).unwrap();
+        let graph =
+            GraphBuilder::from_edges(5, vec![(0, 1, 1.0), (2, 3, 1.0), (3, 4, 1.0)]).unwrap();
         let locations = vec![Some(Point::new(0.1, 0.1)); 5];
         let dataset = GeoSocialDataset::new(graph, locations).unwrap();
-        let result = sfa_query(&dataset, &QueryParams::new(0, 4, 0.5)).unwrap();
+        let result = sfa_query(
+            &dataset,
+            &QueryParams::new(0, 4, 0.5),
+            &mut QueryContext::new(),
+        )
+        .unwrap();
         assert_eq!(result.users(), vec![1]);
     }
 }

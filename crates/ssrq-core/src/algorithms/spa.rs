@@ -1,6 +1,6 @@
 use crate::{
-    CoreError, GeoSocialDataset, QueryParams, QueryResult, QueryStats, RankedUser, RankingContext,
-    TopK,
+    CoreError, GeoSocialDataset, QueryContext, QueryParams, QueryResult, QueryStats, RankedUser,
+    RankingContext, TopK,
 };
 use ssrq_graph::{ContractionHierarchy, IncrementalDijkstra};
 use ssrq_spatial::UniformGrid;
@@ -28,6 +28,7 @@ pub fn spa_query(
     grid: &UniformGrid,
     params: &QueryParams,
     options: SpaOptions<'_>,
+    qctx: &mut QueryContext,
 ) -> Result<QueryResult, CoreError> {
     params.validate()?;
     dataset.check_user(params.user)?;
@@ -49,7 +50,7 @@ pub fn spa_query(
     // Shared social expansion: all evaluations have the query vertex as the
     // source, so one resumable Dijkstra serves every candidate (this is the
     // computation reuse the paper credits the vanilla methods with).
-    let mut social = IncrementalDijkstra::new(dataset.graph(), params.user);
+    let mut social = IncrementalDijkstra::new(dataset.graph(), params.user, &mut qctx.social);
 
     let mut nn = grid.nearest_neighbors(query_location);
     while let Some(neighbor) = nn.next() {
@@ -62,7 +63,7 @@ pub fn spa_query(
         let raw_social = match options.ch {
             Some(ch) => {
                 stats.distance_calls += 1;
-                ch.distance(params.user, neighbor.id)
+                ch.distance_with(params.user, neighbor.id, &mut qctx.ch)
             }
             None => {
                 let before = social.settled_count();
@@ -134,12 +135,7 @@ mod tests {
     }
 
     fn grid_for(dataset: &GeoSocialDataset) -> UniformGrid {
-        UniformGrid::bulk_load(
-            Rect::unit(),
-            8,
-            dataset.located_users(),
-        )
-        .unwrap()
+        UniformGrid::bulk_load(Rect::unit(), 8, dataset.located_users()).unwrap()
     }
 
     #[test]
@@ -150,8 +146,16 @@ mod tests {
             for &k in &[1usize, 5, 9] {
                 for user in [0u32, 8, 17, 29] {
                     let params = QueryParams::new(user, k, alpha);
-                    let expected = exhaustive_query(&dataset, &params).unwrap();
-                    let got = spa_query(&dataset, &grid, &params, SpaOptions::default()).unwrap();
+                    let expected =
+                        exhaustive_query(&dataset, &params, &mut QueryContext::new()).unwrap();
+                    let got = spa_query(
+                        &dataset,
+                        &grid,
+                        &params,
+                        SpaOptions::default(),
+                        &mut QueryContext::new(),
+                    )
+                    .unwrap();
                     assert!(
                         got.same_users_and_scores(&expected, 1e-9),
                         "alpha {alpha}, k {k}, user {user}"
@@ -168,8 +172,15 @@ mod tests {
         let ch = ContractionHierarchy::new(dataset.graph());
         for user in [3u32, 24] {
             let params = QueryParams::new(user, 5, 0.3);
-            let expected = exhaustive_query(&dataset, &params).unwrap();
-            let got = spa_query(&dataset, &grid, &params, SpaOptions { ch: Some(&ch) }).unwrap();
+            let expected = exhaustive_query(&dataset, &params, &mut QueryContext::new()).unwrap();
+            let got = spa_query(
+                &dataset,
+                &grid,
+                &params,
+                SpaOptions { ch: Some(&ch) },
+                &mut QueryContext::new(),
+            )
+            .unwrap();
             assert!(got.same_users_and_scores(&expected, 1e-9), "user {user}");
         }
     }
@@ -180,7 +191,14 @@ mod tests {
         let grid = grid_for(&dataset);
         // User 10 has no location (10 % 11 == 10).
         let params = QueryParams::new(10, 5, 0.5);
-        let result = spa_query(&dataset, &grid, &params, SpaOptions::default()).unwrap();
+        let result = spa_query(
+            &dataset,
+            &grid,
+            &params,
+            SpaOptions::default(),
+            &mut QueryContext::new(),
+        )
+        .unwrap();
         assert!(result.ranked.is_empty());
     }
 
@@ -190,7 +208,14 @@ mod tests {
         let grid = grid_for(&dataset);
         // Spatial-heavy alpha: the first few NNs dominate.
         let params = QueryParams::new(0, 1, 0.1);
-        let result = spa_query(&dataset, &grid, &params, SpaOptions::default()).unwrap();
+        let result = spa_query(
+            &dataset,
+            &grid,
+            &params,
+            SpaOptions::default(),
+            &mut QueryContext::new(),
+        )
+        .unwrap();
         assert!(result.stats.evaluated_users < dataset.located_user_count());
     }
 
@@ -199,7 +224,14 @@ mod tests {
         let dataset = dataset();
         let grid = grid_for(&dataset);
         let params = QueryParams::new(5, 3, 0.5);
-        let result = spa_query(&dataset, &grid, &params, SpaOptions::default()).unwrap();
+        let result = spa_query(
+            &dataset,
+            &grid,
+            &params,
+            SpaOptions::default(),
+            &mut QueryContext::new(),
+        )
+        .unwrap();
         assert!(result.stats.spatial_pops > 0);
         assert!(result.stats.social_pops > 0);
         assert!(result.stats.distance_calls >= result.stats.evaluated_users);

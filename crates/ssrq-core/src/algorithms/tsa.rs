@@ -1,6 +1,6 @@
 use crate::{
-    CoreError, GeoSocialDataset, QueryParams, QueryResult, QueryStats, RankedUser, RankingContext,
-    TopK, UserId,
+    CoreError, GeoSocialDataset, QueryContext, QueryParams, QueryResult, QueryStats, RankedUser,
+    RankingContext, TopK, UserId,
 };
 use ssrq_graph::{ContractionHierarchy, IncrementalDijkstra, LandmarkSet};
 use ssrq_spatial::UniformGrid;
@@ -40,6 +40,7 @@ pub fn tsa_query(
     grid: &UniformGrid,
     params: &QueryParams,
     options: TsaOptions<'_>,
+    qctx: &mut QueryContext,
 ) -> Result<QueryResult, CoreError> {
     params.validate()?;
     dataset.check_user(params.user)?;
@@ -51,7 +52,7 @@ pub fn tsa_query(
 
     let query_location = dataset.location(params.user);
 
-    let mut social = IncrementalDijkstra::new(dataset.graph(), params.user);
+    let mut social = IncrementalDijkstra::new(dataset.graph(), params.user, &mut qctx.social);
     let mut spatial = query_location.map(|loc| grid.nearest_neighbors(loc));
 
     // Candidate set Q: user -> normalized spatial distance.
@@ -171,7 +172,7 @@ pub fn tsa_query(
             if alpha * tp + (1.0 - alpha) * spatial_norm >= topk.fk() {
                 break;
             }
-            let raw_social = ch.distance(params.user, user);
+            let raw_social = ch.distance_with(params.user, user, &mut qctx.ch);
             stats.distance_calls += 1;
             stats.evaluated_users += 1;
             let social_norm = ctx.normalize_social(raw_social);
@@ -223,10 +224,7 @@ pub fn tsa_query(
 }
 
 fn min_value(candidates: &HashMap<UserId, f64>) -> f64 {
-    candidates
-        .values()
-        .copied()
-        .fold(f64::INFINITY, f64::min)
+    candidates.values().copied().fold(f64::INFINITY, f64::min)
 }
 
 #[cfg(test)]
@@ -277,8 +275,16 @@ mod tests {
             for &k in &[1usize, 5, 10] {
                 for user in [0u32, 9, 20, 37] {
                     let params = QueryParams::new(user, k, alpha);
-                    let expected = exhaustive_query(&dataset, &params).unwrap();
-                    let got = tsa_query(&dataset, &grid, &params, TsaOptions::default()).unwrap();
+                    let expected =
+                        exhaustive_query(&dataset, &params, &mut QueryContext::new()).unwrap();
+                    let got = tsa_query(
+                        &dataset,
+                        &grid,
+                        &params,
+                        TsaOptions::default(),
+                        &mut QueryContext::new(),
+                    )
+                    .unwrap();
                     assert!(
                         got.same_users_and_scores(&expected, 1e-9),
                         "alpha {alpha}, k {k}, user {user}"
@@ -295,7 +301,8 @@ mod tests {
         for &alpha in &[0.2, 0.8] {
             for user in [1u32, 14, 30] {
                 let params = QueryParams::new(user, 6, alpha);
-                let expected = exhaustive_query(&dataset, &params).unwrap();
+                let expected =
+                    exhaustive_query(&dataset, &params, &mut QueryContext::new()).unwrap();
                 let got = tsa_query(
                     &dataset,
                     &grid,
@@ -304,6 +311,7 @@ mod tests {
                         quick_combine: true,
                         ..TsaOptions::default()
                     },
+                    &mut QueryContext::new(),
                 )
                 .unwrap();
                 assert!(got.same_users_and_scores(&expected, 1e-9));
@@ -320,7 +328,8 @@ mod tests {
         for &alpha in &[0.3, 0.6] {
             for user in [4u32, 26] {
                 let params = QueryParams::new(user, 8, alpha);
-                let expected = exhaustive_query(&dataset, &params).unwrap();
+                let expected =
+                    exhaustive_query(&dataset, &params, &mut QueryContext::new()).unwrap();
                 let got = tsa_query(
                     &dataset,
                     &grid,
@@ -329,6 +338,7 @@ mod tests {
                         landmarks: Some(&landmarks),
                         ..TsaOptions::default()
                     },
+                    &mut QueryContext::new(),
                 )
                 .unwrap();
                 assert!(got.same_users_and_scores(&expected, 1e-9));
@@ -345,7 +355,7 @@ mod tests {
             LandmarkSet::build(dataset.graph(), 4, LandmarkSelection::FarthestFirst, 5).unwrap();
         for user in [0u32, 11, 33] {
             let params = QueryParams::new(user, 5, 0.4);
-            let expected = exhaustive_query(&dataset, &params).unwrap();
+            let expected = exhaustive_query(&dataset, &params, &mut QueryContext::new()).unwrap();
             let got = tsa_query(
                 &dataset,
                 &grid,
@@ -355,6 +365,7 @@ mod tests {
                     ch_phase2: Some(&ch),
                     ..TsaOptions::default()
                 },
+                &mut QueryContext::new(),
             )
             .unwrap();
             assert!(got.same_users_and_scores(&expected, 1e-9), "user {user}");
@@ -369,8 +380,15 @@ mod tests {
         // infinite, so only the social stream contributes and no finite
         // score exists (alpha < 1).
         let params = QueryParams::new(12, 5, 0.5);
-        let expected = exhaustive_query(&dataset, &params).unwrap();
-        let got = tsa_query(&dataset, &grid, &params, TsaOptions::default()).unwrap();
+        let expected = exhaustive_query(&dataset, &params, &mut QueryContext::new()).unwrap();
+        let got = tsa_query(
+            &dataset,
+            &grid,
+            &params,
+            TsaOptions::default(),
+            &mut QueryContext::new(),
+        )
+        .unwrap();
         assert!(got.same_users_and_scores(&expected, 1e-9));
         assert!(got.ranked.is_empty());
     }
@@ -380,7 +398,14 @@ mod tests {
         let dataset = dataset();
         let grid = grid_for(&dataset);
         let params = QueryParams::new(0, 5, 0.5);
-        let result = tsa_query(&dataset, &grid, &params, TsaOptions::default()).unwrap();
+        let result = tsa_query(
+            &dataset,
+            &grid,
+            &params,
+            TsaOptions::default(),
+            &mut QueryContext::new(),
+        )
+        .unwrap();
         assert!(result.stats.social_pops > 0);
         assert!(result.stats.spatial_pops > 0);
     }

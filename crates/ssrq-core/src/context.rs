@@ -1,0 +1,77 @@
+//! Per-worker reusable query state.
+//!
+//! Every SSRQ algorithm runs at least one graph search; [`QueryContext`]
+//! owns the scratch buffers those searches draw from, so a worker that
+//! processes many queries allocates the dense `O(|V|)` state once instead of
+//! per query.  See [`SearchScratch`](ssrq_graph::SearchScratch) for the
+//! epoch-versioning mechanics.
+
+use ssrq_graph::{ChQueryScratch, SearchScratch};
+
+/// Reusable per-worker state for query processing.
+///
+/// Create one per worker thread (or one for a single-threaded query loop)
+/// and pass it to
+/// [`GeoSocialEngine::query_with`](crate::GeoSocialEngine::query_with); the
+/// batch API ([`GeoSocialEngine::query_batch`](crate::GeoSocialEngine::query_batch))
+/// maintains one context per worker internally.
+///
+/// A context carries no query *results* — only working storage — and every
+/// search resets its scratch before use, so reusing a context can never
+/// change the answer of a query (the test-suite asserts this).
+#[derive(Debug, Clone, Default)]
+pub struct QueryContext {
+    /// Scratch for the query-rooted social expansion (Dijkstra / shared
+    /// forward search) every algorithm performs.
+    pub(crate) social: SearchScratch,
+    /// Scratch for Contraction Hierarchies point-to-point queries (the
+    /// `*-CH` baselines).
+    pub(crate) ch: ChQueryScratch,
+}
+
+impl QueryContext {
+    /// An empty context; buffers grow on first use.
+    pub fn new() -> Self {
+        QueryContext::default()
+    }
+
+    /// A context pre-sized for graphs of up to `n` vertices, avoiding the
+    /// one-time growth on the first query.
+    pub fn with_capacity(n: usize) -> Self {
+        QueryContext {
+            social: SearchScratch::with_capacity(n),
+            ch: ChQueryScratch::default(),
+        }
+    }
+
+    /// Number of vertices the social scratch currently covers.
+    pub fn capacity(&self) -> usize {
+        self.social.capacity()
+    }
+
+    /// The social-expansion scratch, for callers that run their own graph
+    /// searches (e.g. path reconstruction after a query) and want to share
+    /// this context's storage.
+    pub fn social_scratch(&mut self) -> &mut SearchScratch {
+        &mut self.social
+    }
+
+    /// How many graph searches have reused this context so far.
+    pub fn searches(&self) -> u64 {
+        self.social.resets()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contexts_start_empty_and_grow() {
+        let ctx = QueryContext::new();
+        assert_eq!(ctx.capacity(), 0);
+        assert_eq!(ctx.searches(), 0);
+        let sized = QueryContext::with_capacity(64);
+        assert_eq!(sized.capacity(), 64);
+    }
+}

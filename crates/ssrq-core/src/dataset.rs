@@ -44,11 +44,7 @@ impl GeoSocialDataset {
                 graph.node_count()
             )));
         }
-        if let Some(bad) = locations
-            .iter()
-            .flatten()
-            .find(|p| !p.is_finite())
-        {
+        if let Some(bad) = locations.iter().flatten().find(|p| !p.is_finite()) {
             return Err(CoreError::InvalidDataset(format!(
                 "non-finite location {bad}"
             )));

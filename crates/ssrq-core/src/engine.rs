@@ -3,11 +3,10 @@ use crate::algorithms::{
     cached_query, exhaustive_query, sfa_ch_query, sfa_query, spa_query, tsa_query,
     SocialNeighborCache, SpaOptions, TsaOptions,
 };
-use crate::{CoreError, GeoSocialDataset, QueryParams, QueryResult, UserId};
-use ssrq_graph::{
-    ChParams, ContractionHierarchy, LandmarkSelection, LandmarkSet,
-};
+use crate::{CoreError, GeoSocialDataset, QueryContext, QueryParams, QueryResult, UserId};
+use ssrq_graph::{ChParams, ContractionHierarchy, LandmarkSelection, LandmarkSet};
 use ssrq_spatial::{Point, Rect, UniformGrid};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The SSRQ processing algorithm to run for a query.
 ///
@@ -83,10 +82,7 @@ impl Algorithm {
     /// Returns `true` when the algorithm needs a Contraction Hierarchies
     /// index (see [`EngineConfig::build_ch`]).
     pub fn needs_ch(&self) -> bool {
-        matches!(
-            self,
-            Algorithm::SfaCh | Algorithm::SpaCh | Algorithm::TsaCh
-        )
+        matches!(self, Algorithm::SfaCh | Algorithm::SpaCh | Algorithm::TsaCh)
     }
 
     /// Returns `true` when the algorithm needs a pre-computed social
@@ -172,6 +168,17 @@ pub struct GeoSocialEngine {
     ch: Option<ContractionHierarchy>,
     social_cache: Option<SocialNeighborCache>,
 }
+
+// The engine holds no interior mutability: queries take `&self` and draw
+// their mutable scratch from a caller-owned `QueryContext`, while location
+// updates go through the explicit `&mut self` API.  That makes `&engine`
+// safely shareable across the batch-query worker threads; this assertion
+// turns any future regression (e.g. an `Rc` or `RefCell` slipping into an
+// index) into a compile error.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<GeoSocialEngine>();
+};
 
 impl GeoSocialEngine {
     /// Builds all indexes for `dataset` (landmark distance tables, the
@@ -260,18 +267,55 @@ impl GeoSocialEngine {
         self.social_cache.as_ref()
     }
 
+    /// A query context pre-sized for this engine's graph.
+    ///
+    /// Reuse it across queries via [`GeoSocialEngine::query_with`] to avoid
+    /// the per-query `O(|V|)` scratch allocation.
+    pub fn make_context(&self) -> QueryContext {
+        QueryContext::with_capacity(self.dataset.user_count())
+    }
+
     /// Processes one SSRQ query with the chosen algorithm.
+    ///
+    /// This convenience entry point allocates a fresh [`QueryContext`] per
+    /// call; query loops should prefer [`GeoSocialEngine::query_with`] (one
+    /// reused context) or [`GeoSocialEngine::query_batch`] (one context per
+    /// worker thread).
     ///
     /// # Errors
     ///
     /// * [`CoreError::InvalidParameter`] for invalid `k`/`α`, or when the
     ///   algorithm requires an auxiliary index that has not been built.
     /// * [`CoreError::UnknownUser`] when the query user does not exist.
-    pub fn query(&self, algorithm: Algorithm, params: &QueryParams) -> Result<QueryResult, CoreError> {
+    pub fn query(
+        &self,
+        algorithm: Algorithm,
+        params: &QueryParams,
+    ) -> Result<QueryResult, CoreError> {
+        self.query_with(algorithm, params, &mut QueryContext::new())
+    }
+
+    /// Processes one SSRQ query, drawing all search scratch from `ctx`.
+    ///
+    /// The context is reset before use, so reusing one across queries (of
+    /// any algorithm, in any order) never changes results — it only removes
+    /// the `O(|V|)` allocation from the per-query hot path.
+    pub fn query_with(
+        &self,
+        algorithm: Algorithm,
+        params: &QueryParams,
+        ctx: &mut QueryContext,
+    ) -> Result<QueryResult, CoreError> {
         match algorithm {
-            Algorithm::Exhaustive => exhaustive_query(&self.dataset, params),
-            Algorithm::Sfa => sfa_query(&self.dataset, params),
-            Algorithm::Spa => spa_query(&self.dataset, &self.grid, params, SpaOptions::default()),
+            Algorithm::Exhaustive => exhaustive_query(&self.dataset, params, ctx),
+            Algorithm::Sfa => sfa_query(&self.dataset, params, ctx),
+            Algorithm::Spa => spa_query(
+                &self.dataset,
+                &self.grid,
+                params,
+                SpaOptions::default(),
+                ctx,
+            ),
             Algorithm::Tsa => tsa_query(
                 &self.dataset,
                 &self.grid,
@@ -281,6 +325,7 @@ impl GeoSocialEngine {
                     landmarks: Some(&self.landmarks),
                     ch_phase2: None,
                 },
+                ctx,
             ),
             Algorithm::TsaQc => tsa_query(
                 &self.dataset,
@@ -291,6 +336,7 @@ impl GeoSocialEngine {
                     landmarks: Some(&self.landmarks),
                     ch_phase2: None,
                 },
+                ctx,
             ),
             Algorithm::AisBid => ais_query(
                 &self.dataset,
@@ -298,6 +344,7 @@ impl GeoSocialEngine {
                 &self.landmarks,
                 params,
                 AisVariant::bid(),
+                ctx,
             ),
             Algorithm::AisMinus => ais_query(
                 &self.dataset,
@@ -305,6 +352,7 @@ impl GeoSocialEngine {
                 &self.landmarks,
                 params,
                 AisVariant::minus(),
+                ctx,
             ),
             Algorithm::Ais => ais_query(
                 &self.dataset,
@@ -312,14 +360,21 @@ impl GeoSocialEngine {
                 &self.landmarks,
                 params,
                 AisVariant::full(),
+                ctx,
             ),
             Algorithm::SfaCh => {
                 let ch = self.require_ch()?;
-                sfa_ch_query(&self.dataset, ch, params)
+                sfa_ch_query(&self.dataset, ch, params, ctx)
             }
             Algorithm::SpaCh => {
                 let ch = self.require_ch()?;
-                spa_query(&self.dataset, &self.grid, params, SpaOptions { ch: Some(ch) })
+                spa_query(
+                    &self.dataset,
+                    &self.grid,
+                    params,
+                    SpaOptions { ch: Some(ch) },
+                    ctx,
+                )
             }
             Algorithm::TsaCh => {
                 let ch = self.require_ch()?;
@@ -332,6 +387,7 @@ impl GeoSocialEngine {
                         landmarks: Some(&self.landmarks),
                         ch_phase2: Some(ch),
                     },
+                    ctx,
                 )
             }
             Algorithm::SfaCached => {
@@ -341,7 +397,14 @@ impl GeoSocialEngine {
                     )
                 })?;
                 cached_query(&self.dataset, cache, params, |p| {
-                    ais_query(&self.dataset, &self.ais, &self.landmarks, p, AisVariant::full())
+                    ais_query(
+                        &self.dataset,
+                        &self.ais,
+                        &self.landmarks,
+                        p,
+                        AisVariant::full(),
+                        ctx,
+                    )
                 })
             }
         }
@@ -355,10 +418,83 @@ impl GeoSocialEngine {
         algorithms: &[Algorithm],
         params: &QueryParams,
     ) -> Result<Vec<(Algorithm, QueryResult)>, CoreError> {
+        let mut ctx = self.make_context();
         algorithms
             .iter()
-            .map(|&a| self.query(a, params).map(|r| (a, r)))
+            .map(|&a| self.query_with(a, params, &mut ctx).map(|r| (a, r)))
             .collect()
+    }
+
+    /// Processes a batch of queries in parallel across worker threads, one
+    /// [`QueryContext`] per worker.
+    ///
+    /// Results arrive in input order and are identical to running
+    /// [`GeoSocialEngine::query`] sequentially on each element — every query
+    /// is computed independently from shared read-only indexes, so thread
+    /// count and scheduling cannot affect answers (the test-suite asserts
+    /// this).  Per-element errors (e.g. an unknown user in the middle of a
+    /// batch) are reported in place without failing the whole batch.
+    ///
+    /// Uses all available CPU parallelism; see
+    /// [`GeoSocialEngine::query_batch_with_threads`] to pin the worker
+    /// count.
+    pub fn query_batch(
+        &self,
+        algorithm: Algorithm,
+        batch: &[QueryParams],
+    ) -> Vec<Result<QueryResult, CoreError>> {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.query_batch_with_threads(algorithm, batch, threads)
+    }
+
+    /// [`GeoSocialEngine::query_batch`] with an explicit worker count
+    /// (clamped to the batch size; `0` and `1` run inline on the calling
+    /// thread).
+    pub fn query_batch_with_threads(
+        &self,
+        algorithm: Algorithm,
+        batch: &[QueryParams],
+        threads: usize,
+    ) -> Vec<Result<QueryResult, CoreError>> {
+        let threads = threads.min(batch.len());
+        if threads <= 1 {
+            let mut ctx = self.make_context();
+            return batch
+                .iter()
+                .map(|params| self.query_with(algorithm, params, &mut ctx))
+                .collect();
+        }
+
+        // Workers pull indices from a shared atomic counter (dynamic load
+        // balancing: query cost varies wildly with the query user's
+        // neighbourhood), collect `(index, result)` pairs locally, and the
+        // batch is stitched back into input order at the end.
+        let next = AtomicUsize::new(0);
+        let mut results: Vec<(usize, Result<QueryResult, CoreError>)> =
+            Vec::with_capacity(batch.len());
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut ctx = self.make_context();
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(params) = batch.get(i) else { break };
+                            local.push((i, self.query_with(algorithm, params, &mut ctx)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for worker in workers {
+                results.extend(worker.join().expect("batch worker panicked"));
+            }
+        });
+        results.sort_unstable_by_key(|&(i, _)| i);
+        results.into_iter().map(|(_, result)| result).collect()
     }
 
     /// Reports a new location for `user`, updating the dataset, the SPA/TSA
@@ -534,7 +670,12 @@ mod tests {
         engine.update_location(3, Point::new(0.91, 0.88)).unwrap();
         engine.update_location(0, Point::new(0.05, 0.95)).unwrap();
         engine.remove_location(17).unwrap();
-        for algorithm in [Algorithm::Sfa, Algorithm::Spa, Algorithm::Tsa, Algorithm::Ais] {
+        for algorithm in [
+            Algorithm::Sfa,
+            Algorithm::Spa,
+            Algorithm::Tsa,
+            Algorithm::Ais,
+        ] {
             let expected = engine.query(Algorithm::Exhaustive, &params).unwrap();
             let got = engine.query(algorithm, &params).unwrap();
             assert!(

@@ -57,6 +57,7 @@
 
 pub mod ais;
 pub mod algorithms;
+mod context;
 mod dataset;
 mod engine;
 mod error;
@@ -65,6 +66,7 @@ mod ranking;
 mod result;
 mod stats;
 
+pub use context::QueryContext;
 pub use dataset::{GeoSocialDataset, UserId};
 pub use engine::{Algorithm, EngineConfig, GeoSocialEngine};
 pub use error::CoreError;

@@ -99,13 +99,8 @@ mod tests {
     use ssrq_spatial::Point;
 
     fn dataset() -> GeoSocialDataset {
-        let graph =
-            GraphBuilder::from_edges(3, vec![(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
-        let locations = vec![
-            Some(Point::new(0.0, 0.0)),
-            Some(Point::new(1.0, 0.0)),
-            None,
-        ];
+        let graph = GraphBuilder::from_edges(3, vec![(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        let locations = vec![Some(Point::new(0.0, 0.0)), Some(Point::new(1.0, 0.0)), None];
         GeoSocialDataset::new(graph, locations).unwrap()
     }
 

@@ -36,8 +36,8 @@ pub mod workload;
 
 pub use config::DatasetConfig;
 pub use correlation::{correlated_locations, Correlation};
-pub use locations::{generate_locations, social_cluster_locations, LocationModel};
 pub use jaccard::jaccard;
+pub use locations::{generate_locations, social_cluster_locations, LocationModel};
 pub use sampling::forest_fire_sample;
 pub use stats::DataStatistics;
 pub use workload::QueryWorkload;

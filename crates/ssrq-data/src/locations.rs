@@ -220,7 +220,10 @@ mod tests {
                 spread: 0.3,
             },
         ] {
-            for p in generate_locations(2_000, model, 1.0, 3).into_iter().flatten() {
+            for p in generate_locations(2_000, model, 1.0, 3)
+                .into_iter()
+                .flatten()
+            {
                 assert!((0.0..=1.0).contains(&p.x));
                 assert!((0.0..=1.0).contains(&p.y));
                 assert!(p.is_finite());

@@ -64,7 +64,8 @@ mod tests {
 
     #[test]
     fn statistics_match_the_dataset() {
-        let graph = GraphBuilder::from_edges(4, vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
+        let graph =
+            GraphBuilder::from_edges(4, vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
         let locations = vec![
             Some(Point::new(0.1, 0.1)),
             Some(Point::new(0.2, 0.2)),

@@ -48,7 +48,13 @@ mod tests {
         // Hub 0 with 4 leaves, plus an edge between two leaves.
         GraphBuilder::from_edges(
             5,
-            vec![(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0), (0, 4, 1.0), (1, 2, 1.0)],
+            vec![
+                (0, 1, 1.0),
+                (0, 2, 1.0),
+                (0, 3, 1.0),
+                (0, 4, 1.0),
+                (1, 2, 1.0),
+            ],
         )
         .unwrap()
     }

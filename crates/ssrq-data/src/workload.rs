@@ -108,7 +108,9 @@ mod tests {
     #[test]
     fn builder_setters_apply() {
         let ds = dataset();
-        let workload = QueryWorkload::generate(&ds, 10, 2).with_k(50).with_alpha(0.7);
+        let workload = QueryWorkload::generate(&ds, 10, 2)
+            .with_k(50)
+            .with_alpha(0.7);
         assert_eq!(workload.k, 50);
         assert_eq!(workload.alpha, 0.7);
         let params: Vec<QueryParams> = workload.params().collect();

@@ -7,8 +7,7 @@
 //! the shared forward Dijkstra expansion.
 
 use crate::dijkstra::HeapItem;
-use crate::{Distance, LandmarkSet, NodeId, SocialGraph};
-use std::collections::BinaryHeap;
+use crate::{Distance, LandmarkSet, NodeId, SearchScratch, SocialGraph};
 
 /// A lower-bound estimator of the distance from a vertex to a fixed goal.
 ///
@@ -66,39 +65,45 @@ impl Heuristic for LandmarkHeuristic<'_> {
 ///
 /// Because the heuristics used here are consistent, a vertex's `g` value is
 /// exact when it is settled, just like in Dijkstra.
+///
+/// The search borrows its dense state from a [`SearchScratch`], so starting
+/// one is `O(1)`; reuse the same scratch across consecutive searches.
 #[derive(Debug)]
-pub struct AStar<H> {
+pub struct AStar<'s, H> {
     source: NodeId,
     heuristic: H,
-    g: Vec<Distance>,
-    settled: Vec<bool>,
-    heap: BinaryHeap<HeapItem>,
+    scratch: &'s mut SearchScratch,
     pops: usize,
     settled_count: usize,
 }
 
-impl<H: Heuristic> AStar<H> {
-    /// Starts an A* expansion at `source`.
+impl<'s, H: Heuristic> AStar<'s, H> {
+    /// Starts an A* expansion at `source`, drawing state from `scratch`
+    /// (which is reset first).
     ///
     /// # Panics
     ///
     /// Panics if `source` is not a vertex of `graph`.
-    pub fn new(graph: &SocialGraph, source: NodeId, heuristic: H) -> Self {
-        assert!(graph.contains(source), "source vertex {source} out of range");
-        let n = graph.node_count();
-        let mut g = vec![f64::INFINITY; n];
-        g[source as usize] = 0.0;
-        let mut heap = BinaryHeap::new();
-        heap.push(HeapItem {
+    pub fn new(
+        graph: &SocialGraph,
+        source: NodeId,
+        heuristic: H,
+        scratch: &'s mut SearchScratch,
+    ) -> Self {
+        assert!(
+            graph.contains(source),
+            "source vertex {source} out of range"
+        );
+        scratch.begin(graph.node_count());
+        scratch.set_tentative(source, 0.0, source);
+        scratch.heap.push(HeapItem {
             key: heuristic.estimate(source),
             node: source,
         });
         AStar {
             source,
             heuristic,
-            g,
-            settled: vec![false; n],
-            heap,
+            scratch,
             pops: 0,
             settled_count: 0,
         }
@@ -112,20 +117,19 @@ impl<H: Heuristic> AStar<H> {
     /// Settles and returns the next vertex (with its exact distance from the
     /// source), or `None` when no reachable vertex remains.
     pub fn next_settled(&mut self, graph: &SocialGraph) -> Option<(NodeId, Distance)> {
-        while let Some(HeapItem { node, .. }) = self.heap.pop() {
+        while let Some(HeapItem { node, .. }) = self.scratch.heap.pop() {
             self.pops += 1;
-            if self.settled[node as usize] {
+            if self.scratch.is_settled(node) {
                 continue;
             }
-            self.settled[node as usize] = true;
+            self.scratch.mark_settled(node);
             self.settled_count += 1;
-            let g_node = self.g[node as usize];
+            let g_node = self.scratch.tentative(node);
             for edge in graph.neighbors(node) {
                 let cand = g_node + edge.weight;
-                let slot = edge.to as usize;
-                if cand < self.g[slot] {
-                    self.g[slot] = cand;
-                    self.heap.push(HeapItem {
+                if cand < self.scratch.tentative(edge.to) {
+                    self.scratch.set_tentative(edge.to, cand, node);
+                    self.scratch.heap.push(HeapItem {
                         key: cand + self.heuristic.estimate(edge.to),
                         node: edge.to,
                     });
@@ -139,8 +143,8 @@ impl<H: Heuristic> AStar<H> {
     /// Runs until `target` is settled; returns its exact distance
     /// (`INFINITY` when unreachable).
     pub fn run_until_settled(&mut self, graph: &SocialGraph, target: NodeId) -> Distance {
-        if self.settled[target as usize] {
-            return self.g[target as usize];
+        if self.scratch.is_settled(target) {
+            return self.scratch.tentative(target);
         }
         while let Some((node, d)) = self.next_settled(graph) {
             if node == target {
@@ -153,8 +157,8 @@ impl<H: Heuristic> AStar<H> {
     /// Exact distance of `v` from the source, if `v` has been settled.
     #[inline]
     pub fn settled_distance(&self, v: NodeId) -> Option<Distance> {
-        if self.settled[v as usize] {
-            Some(self.g[v as usize])
+        if self.scratch.is_settled(v) {
+            Some(self.scratch.tentative(v))
         } else {
             None
         }
@@ -163,27 +167,31 @@ impl<H: Heuristic> AStar<H> {
     /// Returns `true` when `v` has been settled.
     #[inline]
     pub fn is_settled(&self, v: NodeId) -> bool {
-        self.settled[v as usize]
+        self.scratch.is_settled(v)
     }
 
     /// The smallest key (`g + h`) in the open heap — a lower bound on the
     /// `f`-value of every vertex that is yet to be settled.  `None` when the
     /// search is exhausted.
     pub fn min_key(&self) -> Option<Distance> {
-        self.heap.iter().map(|e| e.key).fold(None, |acc, k| {
-            Some(match acc {
-                None => k,
-                Some(a) if k < a => k,
-                Some(a) => a,
+        self.scratch
+            .heap
+            .iter()
+            .map(|e| e.key)
+            .fold(None, |acc, k| {
+                Some(match acc {
+                    None => k,
+                    Some(a) if k < a => k,
+                    Some(a) => a,
+                })
             })
-        })
     }
 
     /// The key of the head of the heap (cheapest unexpanded entry), without
     /// scanning; may correspond to an already-settled (stale) vertex but is
     /// still a valid lower bound.
     pub fn peek_key(&self) -> Option<Distance> {
-        self.heap.peek().map(|e| e.key)
+        self.scratch.heap.peek().map(|e| e.key)
     }
 
     /// Number of settled vertices.
@@ -198,7 +206,7 @@ impl<H: Heuristic> AStar<H> {
 
     /// Returns `true` when the open heap is empty.
     pub fn exhausted(&self) -> bool {
-        self.heap.is_empty()
+        self.scratch.heap.is_empty()
     }
 }
 
@@ -210,7 +218,8 @@ pub fn alt_distance(
     target: NodeId,
 ) -> Distance {
     let heuristic = LandmarkHeuristic::new(landmarks, target);
-    let mut search = AStar::new(graph, source, heuristic);
+    let mut scratch = SearchScratch::new();
+    let mut search = AStar::new(graph, source, heuristic, &mut scratch);
     search.run_until_settled(graph, target)
 }
 
@@ -227,13 +236,15 @@ mod tests {
         // Random spanning tree first so the graph is connected.
         for v in 1..n {
             let u = rng.gen_range(0..v);
-            b.add_edge(u as NodeId, v as NodeId, rng.gen_range(0.1..2.0)).unwrap();
+            b.add_edge(u as NodeId, v as NodeId, rng.gen_range(0.1..2.0))
+                .unwrap();
         }
         for _ in 0..extra_edges {
             let u = rng.gen_range(0..n);
             let v = rng.gen_range(0..n);
             if u != v {
-                b.add_edge(u as NodeId, v as NodeId, rng.gen_range(0.1..2.0)).unwrap();
+                b.add_edge(u as NodeId, v as NodeId, rng.gen_range(0.1..2.0))
+                    .unwrap();
             }
         }
         b.build()
@@ -242,8 +253,9 @@ mod tests {
     #[test]
     fn zero_heuristic_equals_dijkstra() {
         let g = random_graph(60, 120, 1);
+        let mut scratch = SearchScratch::new();
         for &(s, t) in &[(0u32, 59u32), (5, 42), (17, 17), (30, 2)] {
-            let mut a = AStar::new(&g, s, ZeroHeuristic);
+            let mut a = AStar::new(&g, s, ZeroHeuristic, &mut scratch);
             assert!((a.run_until_settled(&g, t) - dijkstra_distance(&g, s, t)).abs() < 1e-9);
         }
     }
@@ -274,13 +286,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(99);
         let mut alt_pops = 0usize;
         let mut dij_pops = 0usize;
+        let mut scratch = SearchScratch::new();
         for _ in 0..30 {
             let s = rng.gen_range(0..200) as NodeId;
             let t = rng.gen_range(0..200) as NodeId;
-            let mut a = AStar::new(&g, s, LandmarkHeuristic::new(&lms, t));
+            let mut a = AStar::new(&g, s, LandmarkHeuristic::new(&lms, t), &mut scratch);
             a.run_until_settled(&g, t);
             alt_pops += a.settled_count();
-            let mut d = AStar::new(&g, s, ZeroHeuristic);
+            let mut d = AStar::new(&g, s, ZeroHeuristic, &mut scratch);
             d.run_until_settled(&g, t);
             dij_pops += d.settled_count();
         }
@@ -301,7 +314,8 @@ mod tests {
     fn incremental_interface_reports_state() {
         let g = random_graph(30, 40, 3);
         let lms = LandmarkSet::build(&g, 3, LandmarkSelection::FarthestFirst, 3).unwrap();
-        let mut a = AStar::new(&g, 0, LandmarkHeuristic::new(&lms, 25));
+        let mut scratch = SearchScratch::new();
+        let mut a = AStar::new(&g, 0, LandmarkHeuristic::new(&lms, 25), &mut scratch);
         assert_eq!(a.source(), 0);
         assert!(!a.exhausted());
         let (first, d0) = a.next_settled(&g).unwrap();
@@ -318,6 +332,7 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn invalid_source_panics() {
         let g = random_graph(5, 0, 1);
-        AStar::new(&g, 100, ZeroHeuristic);
+        let mut scratch = SearchScratch::new();
+        AStar::new(&g, 100, ZeroHeuristic, &mut scratch);
     }
 }

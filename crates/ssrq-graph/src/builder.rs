@@ -91,7 +91,11 @@ impl GraphBuilder {
             .into_iter()
             .map(|(u, v, w)| if u < v { (u, v, w) } else { (v, u, w) })
             .collect();
-        canon.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)).then(a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal)));
+        canon.sort_by(|a, b| {
+            (a.0, a.1)
+                .cmp(&(b.0, b.1))
+                .then(a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal))
+        });
         canon.dedup_by(|next, prev| {
             if next.0 == prev.0 && next.1 == prev.1 {
                 // keep the smaller weight, which sorts first
@@ -112,13 +116,7 @@ impl GraphBuilder {
             offsets[i + 1] = offsets[i] + degrees[i];
         }
         let total = offsets[n] as usize;
-        let mut edges = vec![
-            Edge {
-                to: 0,
-                weight: 0.0
-            };
-            total
-        ];
+        let mut edges = vec![Edge { to: 0, weight: 0.0 }; total];
         let mut cursor: Vec<u32> = offsets[..n].to_vec();
         for &(u, v, w) in &canon {
             edges[cursor[u as usize] as usize] = Edge { to: v, weight: w };
@@ -146,9 +144,18 @@ mod tests {
         let mut b = GraphBuilder::new(3);
         assert_eq!(b.add_edge(0, 3, 1.0), Err(GraphError::UnknownNode(3)));
         assert_eq!(b.add_edge(5, 0, 1.0), Err(GraphError::UnknownNode(5)));
-        assert!(matches!(b.add_edge(1, 1, 1.0), Err(GraphError::InvalidEdge(_))));
-        assert!(matches!(b.add_edge(0, 1, 0.0), Err(GraphError::InvalidEdge(_))));
-        assert!(matches!(b.add_edge(0, 1, -2.0), Err(GraphError::InvalidEdge(_))));
+        assert!(matches!(
+            b.add_edge(1, 1, 1.0),
+            Err(GraphError::InvalidEdge(_))
+        ));
+        assert!(matches!(
+            b.add_edge(0, 1, 0.0),
+            Err(GraphError::InvalidEdge(_))
+        ));
+        assert!(matches!(
+            b.add_edge(0, 1, -2.0),
+            Err(GraphError::InvalidEdge(_))
+        ));
         assert!(matches!(
             b.add_edge(0, 1, f64::NAN),
             Err(GraphError::InvalidEdge(_))

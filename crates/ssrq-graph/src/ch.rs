@@ -25,6 +25,18 @@ impl Default for ChParams {
     }
 }
 
+/// Reusable working storage for [`ContractionHierarchy::distance_with`]:
+/// the two upward-search result maps, the shared tentative-distance map and
+/// the heap.  Clearing hash maps keeps their capacity, so a scratch that
+/// has served one query serves the next without allocating.
+#[derive(Debug, Clone, Default)]
+pub struct ChQueryScratch {
+    forward: HashMap<NodeId, Distance>,
+    backward: HashMap<NodeId, Distance>,
+    dist: HashMap<NodeId, Distance>,
+    heap: BinaryHeap<HeapItem>,
+}
+
 /// A Contraction Hierarchies (CH) index over a [`SocialGraph`].
 ///
 /// The SSRQ paper compares its incremental-Dijkstra-based methods against
@@ -66,8 +78,7 @@ impl ContractionHierarchy {
         let mut contracted = vec![false; n];
         let mut deleted_neighbors = vec![0u32; n];
         let mut rank = vec![0u32; n];
-        let mut all_edges: Vec<(NodeId, NodeId, EdgeWeight)> =
-            graph.undirected_edges().collect();
+        let mut all_edges: Vec<(NodeId, NodeId, EdgeWeight)> = graph.undirected_edges().collect();
         let mut shortcut_count = 0usize;
 
         // Lazy priority queue of (priority, node).
@@ -87,10 +98,7 @@ impl ContractionHierarchy {
             let fresh = Self::priority(node, &adj, &contracted, &deleted_neighbors, &params);
             if let Some(next) = queue.peek() {
                 if fresh > key + 1e-12 && fresh > next.key + 1e-12 {
-                    queue.push(HeapItem {
-                        key: fresh,
-                        node,
-                    });
+                    queue.push(HeapItem { key: fresh, node });
                     continue;
                 }
             }
@@ -181,18 +189,37 @@ impl ContractionHierarchy {
 
     /// Exact shortest-path distance between `s` and `t`
     /// (`f64::INFINITY` when disconnected).
+    ///
+    /// Allocates fresh search state per call; use
+    /// [`ContractionHierarchy::distance_with`] in query loops that can
+    /// reuse a [`ChQueryScratch`].
     pub fn distance(&self, s: NodeId, t: NodeId) -> Distance {
+        let mut scratch = ChQueryScratch::default();
+        self.distance_with(s, t, &mut scratch)
+    }
+
+    /// [`ContractionHierarchy::distance`] drawing its hash maps and heap
+    /// from a caller-provided scratch, so repeated point-to-point queries
+    /// (the `*-CH` SSRQ baselines issue hundreds per SSRQ query) reuse
+    /// their allocations.
+    pub fn distance_with(&self, s: NodeId, t: NodeId, scratch: &mut ChQueryScratch) -> Distance {
         if s == t {
             return 0.0;
         }
-        let forward = self.upward_search(s);
-        let backward = self.upward_search(t);
+        let ChQueryScratch {
+            forward,
+            backward,
+            dist,
+            heap,
+        } = scratch;
+        self.upward_search_into(s, forward, dist, heap);
+        self.upward_search_into(t, backward, dist, heap);
         let mut best = f64::INFINITY;
         // The meeting vertex of the two upward searches gives the distance.
         let (small, large) = if forward.len() <= backward.len() {
-            (&forward, &backward)
+            (&*forward, &*backward)
         } else {
-            (&backward, &forward)
+            (&*backward, &*forward)
         };
         for (&v, &df) in small {
             if let Some(&db) = large.get(&v) {
@@ -204,12 +231,19 @@ impl ContractionHierarchy {
         best
     }
 
-    /// Dijkstra restricted to upward edges, returning all settled vertices
-    /// with their distances.
-    fn upward_search(&self, source: NodeId) -> HashMap<NodeId, Distance> {
-        let mut dist: HashMap<NodeId, Distance> = HashMap::new();
-        let mut settled: HashMap<NodeId, Distance> = HashMap::new();
-        let mut heap = BinaryHeap::new();
+    /// Dijkstra restricted to upward edges; fills `settled` with every
+    /// settled vertex and its distance.  `dist` and `heap` are working
+    /// storage, cleared on entry.
+    fn upward_search_into(
+        &self,
+        source: NodeId,
+        settled: &mut HashMap<NodeId, Distance>,
+        dist: &mut HashMap<NodeId, Distance>,
+        heap: &mut BinaryHeap<HeapItem>,
+    ) {
+        settled.clear();
+        dist.clear();
+        heap.clear();
         dist.insert(source, 0.0);
         heap.push(HeapItem {
             key: 0.0,
@@ -225,11 +259,13 @@ impl ContractionHierarchy {
                 let better = dist.get(&to).map(|&d| cand < d).unwrap_or(true);
                 if better && !settled.contains_key(&to) {
                     dist.insert(to, cand);
-                    heap.push(HeapItem { key: cand, node: to });
+                    heap.push(HeapItem {
+                        key: cand,
+                        node: to,
+                    });
                 }
             }
         }
-        settled
     }
 
     /// Limited Dijkstra in the overlay graph (skipping `skip` and contracted
@@ -281,7 +317,10 @@ impl ContractionHierarchy {
                 }
             }
         }
-        settled.get(&w).map(|&d| d <= max_len + 1e-12).unwrap_or(false)
+        settled
+            .get(&w)
+            .map(|&d| d <= max_len + 1e-12)
+            .unwrap_or(false)
     }
 
     /// Contraction priority of a vertex: edge difference plus the number of

@@ -1,6 +1,5 @@
-use crate::{Distance, NodeId, SocialGraph};
+use crate::{Distance, NodeId, SearchScratch, SocialGraph};
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// A min-heap entry (distance key + vertex) used by all graph searches.
 #[derive(Debug, Clone, Copy)]
@@ -40,43 +39,41 @@ impl Ord for HeapItem {
 /// keeps one instance alive for the whole query and resumes it between
 /// point-to-point computations (*forward heap caching*, §5.2) — possible
 /// precisely because Dijkstra keys do not depend on the target vertex.
-#[derive(Debug, Clone)]
-pub struct IncrementalDijkstra {
+///
+/// The search borrows its dense state from a [`SearchScratch`], so starting
+/// one costs `O(1)` instead of `O(|V|)`: the scratch is reset by epoch bump,
+/// not by reallocation.  Create the scratch once per worker and reuse it for
+/// every query.
+#[derive(Debug)]
+pub struct IncrementalDijkstra<'s> {
     source: NodeId,
-    dist: Vec<Distance>,
-    settled: Vec<bool>,
-    parent: Vec<NodeId>,
-    heap: BinaryHeap<HeapItem>,
+    scratch: &'s mut SearchScratch,
     last_settled: Distance,
     settled_count: usize,
     pops: usize,
 }
 
-impl IncrementalDijkstra {
-    /// Starts a new expansion around `source`.
+impl<'s> IncrementalDijkstra<'s> {
+    /// Starts a new expansion around `source`, drawing state from
+    /// `scratch` (which is reset first).
     ///
     /// # Panics
     ///
     /// Panics if `source` is not a vertex of `graph`.
-    pub fn new(graph: &SocialGraph, source: NodeId) -> Self {
+    pub fn new(graph: &SocialGraph, source: NodeId, scratch: &'s mut SearchScratch) -> Self {
         assert!(
             graph.contains(source),
             "source vertex {source} out of range"
         );
-        let n = graph.node_count();
-        let mut dist = vec![f64::INFINITY; n];
-        dist[source as usize] = 0.0;
-        let mut heap = BinaryHeap::new();
-        heap.push(HeapItem {
+        scratch.begin(graph.node_count());
+        scratch.set_tentative(source, 0.0, source);
+        scratch.heap.push(HeapItem {
             key: 0.0,
             node: source,
         });
         IncrementalDijkstra {
             source,
-            dist,
-            settled: vec![false; n],
-            parent: (0..n as NodeId).collect(),
-            heap,
+            scratch,
             last_settled: 0.0,
             settled_count: 0,
             pops: 0,
@@ -91,21 +88,19 @@ impl IncrementalDijkstra {
     /// Settles and returns the next closest vertex, or `None` when every
     /// reachable vertex has been settled.
     pub fn next_settled(&mut self, graph: &SocialGraph) -> Option<(NodeId, Distance)> {
-        while let Some(HeapItem { key, node }) = self.heap.pop() {
+        while let Some(HeapItem { key, node }) = self.scratch.heap.pop() {
             self.pops += 1;
-            if self.settled[node as usize] {
+            if self.scratch.is_settled(node) {
                 continue; // stale heap entry (lazy deletion)
             }
-            self.settled[node as usize] = true;
+            self.scratch.mark_settled(node);
             self.settled_count += 1;
             self.last_settled = key;
             for edge in graph.neighbors(node) {
                 let cand = key + edge.weight;
-                let slot = edge.to as usize;
-                if cand < self.dist[slot] {
-                    self.dist[slot] = cand;
-                    self.parent[slot] = node;
-                    self.heap.push(HeapItem {
+                if cand < self.scratch.tentative(edge.to) {
+                    self.scratch.set_tentative(edge.to, cand, node);
+                    self.scratch.heap.push(HeapItem {
                         key: cand,
                         node: edge.to,
                     });
@@ -120,7 +115,7 @@ impl IncrementalDijkstra {
     /// distance (`f64::INFINITY` if unreachable).
     pub fn run_until_settled(&mut self, graph: &SocialGraph, target: NodeId) -> Distance {
         if self.is_settled(target) {
-            return self.dist[target as usize];
+            return self.scratch.tentative(target);
         }
         while let Some((node, d)) = self.next_settled(graph) {
             if node == target {
@@ -133,8 +128,8 @@ impl IncrementalDijkstra {
     /// Exact distance of a vertex if it has already been settled.
     #[inline]
     pub fn settled_distance(&self, v: NodeId) -> Option<Distance> {
-        if self.settled[v as usize] {
-            Some(self.dist[v as usize])
+        if self.scratch.is_settled(v) {
+            Some(self.scratch.tentative(v))
         } else {
             None
         }
@@ -144,13 +139,13 @@ impl IncrementalDijkstra {
     /// not been touched yet.
     #[inline]
     pub fn tentative_distance(&self, v: NodeId) -> Distance {
-        self.dist[v as usize]
+        self.scratch.tentative(v)
     }
 
     /// Returns `true` when `v` has been settled (its distance is exact).
     #[inline]
     pub fn is_settled(&self, v: NodeId) -> bool {
-        self.settled[v as usize]
+        self.scratch.is_settled(v)
     }
 
     /// Distance of the most recently settled vertex — a lower bound on the
@@ -164,7 +159,7 @@ impl IncrementalDijkstra {
     /// Returns `true` when the expansion has settled every vertex it can
     /// reach.
     pub fn exhausted(&self) -> bool {
-        self.heap.is_empty()
+        self.scratch.heap.is_empty()
     }
 
     /// Number of vertices settled so far.
@@ -180,7 +175,7 @@ impl IncrementalDijkstra {
     /// Parent of `v` in the shortest-path tree (only meaningful for settled
     /// vertices; the source is its own parent).
     pub fn parent(&self, v: NodeId) -> NodeId {
-        self.parent[v as usize]
+        self.scratch.parent(v)
     }
 
     /// Reconstructs the shortest path from the source to `v` (inclusive of
@@ -192,26 +187,57 @@ impl IncrementalDijkstra {
         let mut path = vec![v];
         let mut cur = v;
         while cur != self.source {
-            cur = self.parent[cur as usize];
+            cur = self.scratch.parent(cur);
             path.push(cur);
         }
         path.reverse();
         Some(path)
     }
+
+    /// The exact distances of every vertex settled so far, materialized as a
+    /// dense vector (`INFINITY` for unsettled vertices).
+    pub fn distances(&self, graph: &SocialGraph) -> Vec<Distance> {
+        graph
+            .nodes()
+            .map(|v| {
+                if self.scratch.is_settled(v) {
+                    self.scratch.tentative(v)
+                } else {
+                    f64::INFINITY
+                }
+            })
+            .collect()
+    }
 }
 
 /// Computes the distances from `source` to every vertex (single-source
 /// shortest paths).  Unreachable vertices get `f64::INFINITY`.
+///
+/// Allocates a fresh [`SearchScratch`] per call; use
+/// [`dijkstra_all_with`] in loops that can reuse one.
 pub fn dijkstra_all(graph: &SocialGraph, source: NodeId) -> Vec<Distance> {
-    let mut search = IncrementalDijkstra::new(graph, source);
+    let mut scratch = SearchScratch::new();
+    dijkstra_all_with(graph, source, &mut scratch)
+}
+
+/// [`dijkstra_all`] drawing state from a caller-provided scratch, for reuse
+/// across many single-source computations (landmark construction, oracle
+/// sweeps).
+pub fn dijkstra_all_with(
+    graph: &SocialGraph,
+    source: NodeId,
+    scratch: &mut SearchScratch,
+) -> Vec<Distance> {
+    let mut search = IncrementalDijkstra::new(graph, source, scratch);
     while search.next_settled(graph).is_some() {}
-    search.dist
+    search.distances(graph)
 }
 
 /// Computes the point-to-point distance between `source` and `target` with
 /// plain Dijkstra, stopping as soon as the target is settled.
 pub fn dijkstra_distance(graph: &SocialGraph, source: NodeId, target: NodeId) -> Distance {
-    let mut search = IncrementalDijkstra::new(graph, source);
+    let mut scratch = SearchScratch::new();
+    let mut search = IncrementalDijkstra::new(graph, source, &mut scratch);
     search.run_until_settled(graph, target)
 }
 
@@ -265,7 +291,8 @@ mod tests {
     #[test]
     fn settled_order_is_nondecreasing() {
         let g = example_graph();
-        let mut search = IncrementalDijkstra::new(&g, 0);
+        let mut scratch = SearchScratch::new();
+        let mut search = IncrementalDijkstra::new(&g, 0, &mut scratch);
         let mut prev = 0.0;
         while let Some((_, d)) = search.next_settled(&g) {
             assert!(d >= prev);
@@ -296,7 +323,8 @@ mod tests {
     #[test]
     fn resumable_expansion_can_be_interleaved() {
         let g = example_graph();
-        let mut search = IncrementalDijkstra::new(&g, 0);
+        let mut scratch = SearchScratch::new();
+        let mut search = IncrementalDijkstra::new(&g, 0, &mut scratch);
         // Settle a few vertices, query the state, then continue.
         let first = search.next_settled(&g).unwrap();
         assert_eq!(first, (0, 0.0));
@@ -316,7 +344,8 @@ mod tests {
     #[test]
     fn path_reconstruction_follows_shortest_path() {
         let g = example_graph();
-        let mut search = IncrementalDijkstra::new(&g, 0);
+        let mut scratch = SearchScratch::new();
+        let mut search = IncrementalDijkstra::new(&g, 0, &mut scratch);
         search.run_until_settled(&g, 9);
         let path = search.path_to(9).unwrap();
         assert_eq!(path.first(), Some(&0));
@@ -334,7 +363,8 @@ mod tests {
     fn frontier_bound_lower_bounds_unsettled_vertices() {
         let g = example_graph();
         let full = dijkstra_all(&g, 0);
-        let mut search = IncrementalDijkstra::new(&g, 0);
+        let mut scratch = SearchScratch::new();
+        let mut search = IncrementalDijkstra::new(&g, 0, &mut scratch);
         for _ in 0..6 {
             search.next_settled(&g);
         }
@@ -347,9 +377,37 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reuse_across_searches_gives_identical_results() {
+        let g = example_graph();
+        let mut scratch = SearchScratch::new();
+        // Run a partial search to deliberately dirty the scratch.
+        {
+            let mut partial = IncrementalDijkstra::new(&g, 11, &mut scratch);
+            partial.run_until_settled(&g, 9);
+        }
+        // A full search over the dirty scratch must match a fresh one.
+        let reused = dijkstra_all_with(&g, 0, &mut scratch);
+        let fresh = dijkstra_all(&g, 0);
+        assert_eq!(reused, fresh);
+        assert!(scratch.resets() >= 2);
+    }
+
+    #[test]
+    fn one_scratch_serves_many_sources_without_reallocating() {
+        let g = example_graph();
+        let mut scratch = SearchScratch::with_capacity(g.node_count());
+        for source in g.nodes() {
+            let with_scratch = dijkstra_all_with(&g, source, &mut scratch);
+            assert_eq!(with_scratch, dijkstra_all(&g, source), "source {source}");
+        }
+        assert_eq!(scratch.capacity(), g.node_count());
+    }
+
+    #[test]
     #[should_panic(expected = "out of range")]
     fn invalid_source_panics() {
         let g = example_graph();
-        IncrementalDijkstra::new(&g, 99);
+        let mut scratch = SearchScratch::new();
+        IncrementalDijkstra::new(&g, 99, &mut scratch);
     }
 }

@@ -1,5 +1,5 @@
 use crate::dijkstra::HeapItem;
-use crate::{Distance, IncrementalDijkstra, LandmarkSet, NodeId, SocialGraph};
+use crate::{Distance, IncrementalDijkstra, LandmarkSet, NodeId, SearchScratch, SocialGraph};
 use std::collections::{BinaryHeap, HashMap};
 
 /// How much work the engine may reuse across point-to-point computations
@@ -161,20 +161,22 @@ fn finite_or_large(x: Distance) -> Distance {
 ///   therefore leans entirely on the forward expansion — this is the
 ///   forward-heap-caching idea of the paper taken to its limit (the
 ///   trade-off is documented in `DESIGN.md`).
-pub struct GraphDistanceEngine<'g> {
+pub struct GraphDistanceEngine<'g, 's> {
     graph: &'g SocialGraph,
     landmarks: &'g LandmarkSet,
     source: NodeId,
     mode: SharingMode,
-    forward: IncrementalDijkstra,
+    forward: IncrementalDijkstra<'s>,
     /// The `T` table: exact distance from the source for vertices on
     /// previously computed shortest paths.
     path_dist: HashMap<NodeId, Distance>,
     stats: DistanceEngineStats,
 }
 
-impl<'g> GraphDistanceEngine<'g> {
-    /// Creates an engine rooted at `source`.
+impl<'g, 's> GraphDistanceEngine<'g, 's> {
+    /// Creates an engine rooted at `source`, drawing the forward-search
+    /// state from `scratch` (reset on construction, so the scratch may be
+    /// reused across queries).
     ///
     /// # Panics
     ///
@@ -184,13 +186,14 @@ impl<'g> GraphDistanceEngine<'g> {
         landmarks: &'g LandmarkSet,
         source: NodeId,
         mode: SharingMode,
+        scratch: &'s mut SearchScratch,
     ) -> Self {
         GraphDistanceEngine {
             graph,
             landmarks,
             source,
             mode,
-            forward: IncrementalDijkstra::new(graph, source),
+            forward: IncrementalDijkstra::new(graph, source, scratch),
             path_dist: HashMap::new(),
             stats: DistanceEngineStats::default(),
         }
@@ -331,7 +334,11 @@ impl<'g> GraphDistanceEngine<'g> {
     /// expansion never drains the whole component just to prove
     /// unreachability.
     fn shared_forward(&mut self, target: NodeId) -> Distance {
-        if self.landmarks.lower_bound(self.source, target).is_infinite() {
+        if self
+            .landmarks
+            .lower_bound(self.source, target)
+            .is_infinite()
+        {
             return f64::INFINITY;
         }
         let before = self.forward.settled_count();
@@ -435,10 +442,11 @@ mod tests {
         let g = random_graph(120, 260, seed);
         let lms = LandmarkSet::build(&g, 4, LandmarkSelection::FarthestFirst, seed).unwrap();
         let mut rng = StdRng::seed_from_u64(seed + 77);
+        let mut scratch = SearchScratch::new();
         for _ in 0..10 {
             let source = rng.gen_range(0..120) as NodeId;
             let truth = dijkstra_all(&g, source);
-            let mut engine = GraphDistanceEngine::new(&g, &lms, source, mode);
+            let mut engine = GraphDistanceEngine::new(&g, &lms, source, mode, &mut scratch);
             // Ask for a mix of random targets, including repeats, in random
             // order, to stress the caches.
             for _ in 0..40 {
@@ -471,7 +479,8 @@ mod tests {
     fn source_distance_is_zero() {
         let g = random_graph(20, 30, 1);
         let lms = LandmarkSet::build(&g, 2, LandmarkSelection::FarthestFirst, 1).unwrap();
-        let mut e = GraphDistanceEngine::new(&g, &lms, 5, SharingMode::Shared);
+        let mut scratch = SearchScratch::new();
+        let mut e = GraphDistanceEngine::new(&g, &lms, 5, SharingMode::Shared, &mut scratch);
         assert_eq!(e.distance(5), 0.0);
         assert_eq!(e.known_distance(5), Some(0.0));
     }
@@ -480,8 +489,9 @@ mod tests {
     fn disconnected_targets_are_infinite() {
         let g = GraphBuilder::from_edges(6, vec![(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0)]).unwrap();
         let lms = LandmarkSet::build(&g, 2, LandmarkSelection::FarthestFirst, 1).unwrap();
+        let mut scratch = SearchScratch::new();
         for mode in [SharingMode::Shared, SharingMode::None] {
-            let mut e = GraphDistanceEngine::new(&g, &lms, 0, mode);
+            let mut e = GraphDistanceEngine::new(&g, &lms, 0, mode, &mut scratch);
             assert!(e.distance(4).is_infinite(), "mode {mode:?}");
             assert!(e.distance(5).is_infinite(), "mode {mode:?}");
             assert_eq!(e.distance(2), 2.0, "mode {mode:?}");
@@ -492,7 +502,8 @@ mod tests {
     fn shared_mode_hits_cache_on_repeat_queries() {
         let g = random_graph(80, 200, 3);
         let lms = LandmarkSet::build(&g, 4, LandmarkSelection::FarthestFirst, 3).unwrap();
-        let mut e = GraphDistanceEngine::new(&g, &lms, 0, SharingMode::Shared);
+        let mut scratch = SearchScratch::new();
+        let mut e = GraphDistanceEngine::new(&g, &lms, 0, SharingMode::Shared, &mut scratch);
         let d1 = e.distance(42);
         let calls_before = e.stats().cache_hits;
         let d2 = e.distance(42);
@@ -505,7 +516,8 @@ mod tests {
         let g = random_graph(100, 250, 5);
         let lms = LandmarkSet::build(&g, 4, LandmarkSelection::FarthestFirst, 5).unwrap();
         let truth = dijkstra_all(&g, 7);
-        let mut e = GraphDistanceEngine::new(&g, &lms, 7, SharingMode::Shared);
+        let mut scratch = SearchScratch::new();
+        let mut e = GraphDistanceEngine::new(&g, &lms, 7, SharingMode::Shared, &mut scratch);
         let mut prev_beta = 0.0;
         let mut rng = StdRng::seed_from_u64(11);
         for _ in 0..25 {
@@ -530,7 +542,8 @@ mod tests {
     fn stats_track_work() {
         let g = random_graph(60, 120, 9);
         let lms = LandmarkSet::build(&g, 3, LandmarkSelection::FarthestFirst, 9).unwrap();
-        let mut e = GraphDistanceEngine::new(&g, &lms, 0, SharingMode::Shared);
+        let mut scratch = SearchScratch::new();
+        let mut e = GraphDistanceEngine::new(&g, &lms, 0, SharingMode::Shared, &mut scratch);
         assert_eq!(e.stats(), DistanceEngineStats::default());
         e.distance(30);
         e.distance(31);
@@ -546,8 +559,9 @@ mod tests {
         let g = random_graph(100, 220, 21);
         let lms = LandmarkSet::build(&g, 4, LandmarkSelection::FarthestFirst, 21).unwrap();
         let truth = dijkstra_all(&g, 3);
+        let mut scratch = SearchScratch::new();
         for mode in [SharingMode::Shared, SharingMode::None] {
-            let mut e = GraphDistanceEngine::new(&g, &lms, 3, mode);
+            let mut e = GraphDistanceEngine::new(&g, &lms, 3, mode, &mut scratch);
             let mut rng = StdRng::seed_from_u64(5);
             for _ in 0..60 {
                 let t = rng.gen_range(0..100) as NodeId;
@@ -573,14 +587,19 @@ mod tests {
     fn distance_within_does_not_expand_past_the_budget() {
         let g = random_graph(200, 400, 33);
         let lms = LandmarkSet::build(&g, 4, LandmarkSelection::FarthestFirst, 33).unwrap();
-        let mut e = GraphDistanceEngine::new(&g, &lms, 0, SharingMode::Shared);
+        let mut scratch = SearchScratch::new();
+        let mut e = GraphDistanceEngine::new(&g, &lms, 0, SharingMode::Shared, &mut scratch);
         let budget = 0.5;
         for t in [150u32, 160, 170, 180, 190] {
             let _ = e.distance_within(t, budget);
         }
         // The shared frontier never grows meaningfully past the budget: at
         // most one settle beyond it per call.
-        assert!(e.beta() <= budget + 2.0, "beta {} grew past budget", e.beta());
+        assert!(
+            e.beta() <= budget + 2.0,
+            "beta {} grew past budget",
+            e.beta()
+        );
     }
 
     #[test]
@@ -588,7 +607,8 @@ mod tests {
         let g = random_graph(50, 100, 13);
         let lms = LandmarkSet::build(&g, 3, LandmarkSelection::FarthestFirst, 13).unwrap();
         let truth = dijkstra_all(&g, 2);
-        let mut e = GraphDistanceEngine::new(&g, &lms, 2, SharingMode::Shared);
+        let mut scratch = SearchScratch::new();
+        let mut e = GraphDistanceEngine::new(&g, &lms, 2, SharingMode::Shared, &mut scratch);
         // Force plenty of forward progress.
         for t in [49, 48, 47, 46] {
             e.distance(t);

@@ -195,7 +195,7 @@ mod tests {
     fn undirected_edge_iteration_visits_each_edge_once() {
         let g = triangle();
         let mut edges: Vec<_> = g.undirected_edges().collect();
-        edges.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        edges.sort_by_key(|e| (e.0, e.1));
         assert_eq!(edges, vec![(0, 1, 1.0), (0, 2, 4.0), (1, 2, 2.0)]);
         assert!((g.total_edge_weight() - 7.0).abs() < 1e-12);
     }

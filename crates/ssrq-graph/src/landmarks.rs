@@ -1,4 +1,4 @@
-use crate::{dijkstra_all, Distance, GraphError, NodeId, SocialGraph};
+use crate::{dijkstra_all_with, Distance, GraphError, NodeId, SearchScratch, SocialGraph};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
@@ -82,8 +82,10 @@ impl LandmarkSet {
 
         let node_count = graph.node_count();
         let mut dist = vec![f64::INFINITY; node_count * landmarks.len()];
+        // One scratch backs all M single-source sweeps.
+        let mut scratch = SearchScratch::with_capacity(node_count);
         for (j, &lm) in landmarks.iter().enumerate() {
-            let d = dijkstra_all(graph, lm);
+            let d = dijkstra_all_with(graph, lm, &mut scratch);
             for v in 0..node_count {
                 dist[v * landmarks.len() + j] = d[v];
             }
@@ -164,9 +166,10 @@ fn farthest_first(graph: &SocialGraph, m: usize, seed: u64) -> Vec<NodeId> {
     let mut rng = StdRng::seed_from_u64(seed);
     let n = graph.node_count();
     let first = rng.gen_range(0..n) as NodeId;
+    let mut scratch = SearchScratch::with_capacity(n);
 
     // Distance to the closest chosen landmark so far.
-    let mut closest = dijkstra_all(graph, first);
+    let mut closest = dijkstra_all_with(graph, first, &mut scratch);
     // Replace the random seed vertex by the farthest reachable vertex from
     // it; this avoids a poor (central) first landmark.
     let start = closest
@@ -178,7 +181,7 @@ fn farthest_first(graph: &SocialGraph, m: usize, seed: u64) -> Vec<NodeId> {
         .unwrap_or(first);
 
     let mut landmarks = vec![start];
-    closest = dijkstra_all(graph, start);
+    closest = dijkstra_all_with(graph, start, &mut scratch);
     while landmarks.len() < m {
         let next = closest
             .iter()
@@ -191,7 +194,7 @@ fn farthest_first(graph: &SocialGraph, m: usize, seed: u64) -> Vec<NodeId> {
             break; // graph smaller than m reachable vertices
         }
         landmarks.push(next);
-        let d = dijkstra_all(graph, next);
+        let d = dijkstra_all_with(graph, next, &mut scratch);
         for v in 0..n {
             if d[v] < closest[v] {
                 closest[v] = d[v];
@@ -207,11 +210,8 @@ mod tests {
     use crate::{dijkstra_distance, GraphBuilder};
 
     fn path_graph(n: usize) -> SocialGraph {
-        GraphBuilder::from_edges(
-            n,
-            (0..n - 1).map(|i| (i as NodeId, i as NodeId + 1, 1.0)),
-        )
-        .unwrap()
+        GraphBuilder::from_edges(n, (0..n - 1).map(|i| (i as NodeId, i as NodeId + 1, 1.0)))
+            .unwrap()
     }
 
     #[test]
@@ -293,7 +293,9 @@ mod tests {
         assert!(lms.lower_bound(lm_component[0], other).is_infinite());
         assert!(lms.lower_bound(lm_component[0], 4).is_infinite());
         // Same-component bounds stay finite.
-        assert!(lms.lower_bound(lm_component[0], lm_component[1]).is_finite());
+        assert!(lms
+            .lower_bound(lm_component[0], lm_component[1])
+            .is_finite());
     }
 
     #[test]
@@ -321,10 +323,7 @@ mod tests {
         let lms = LandmarkSet::build(&g, 2, LandmarkSelection::FarthestFirst, 11).unwrap();
         for (j, &lm) in lms.landmarks().iter().enumerate() {
             for v in g.nodes() {
-                assert_eq!(
-                    lms.distance_to_landmark(v, j),
-                    dijkstra_distance(&g, v, lm)
-                );
+                assert_eq!(lms.distance_to_landmark(v, j), dijkstra_distance(&g, v, lm));
             }
         }
     }

@@ -35,14 +35,16 @@ mod distance_engine;
 mod error;
 mod graph;
 mod landmarks;
+mod scratch;
 
 pub use builder::GraphBuilder;
-pub use ch::{ChParams, ContractionHierarchy};
-pub use dijkstra::{dijkstra_all, dijkstra_distance, IncrementalDijkstra};
+pub use ch::{ChParams, ChQueryScratch, ContractionHierarchy};
+pub use dijkstra::{dijkstra_all, dijkstra_all_with, dijkstra_distance, IncrementalDijkstra};
 pub use distance_engine::{DistanceEngineStats, GraphDistanceEngine, SharingMode};
 pub use error::GraphError;
 pub use graph::{Edge, NodeId, SocialGraph};
 pub use landmarks::{LandmarkSelection, LandmarkSet};
+pub use scratch::SearchScratch;
 
 /// Weight of a social edge; smaller weights denote stronger friendships
 /// (§3 of the paper).

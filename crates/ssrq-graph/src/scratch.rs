@@ -1,0 +1,186 @@
+//! Reusable search state for the graph searches.
+//!
+//! Every SSRQ query runs at least one graph expansion (Dijkstra, A*, or the
+//! shared forward search of the AIS distance module).  Allocating the dense
+//! `dist` / `settled` / `parent` arrays per query costs `O(|V|)` work and
+//! memory traffic *before the search settles a single vertex* — on large
+//! graphs that dwarfs the work of a selective algorithm like AIS, whose
+//! whole point is to touch a small neighbourhood.
+//!
+//! [`SearchScratch`] fixes this with epoch versioning: the arrays are
+//! allocated once (per worker) and "cleared" by bumping a generation
+//! counter.  An entry is valid only when its stored epoch matches the
+//! current one, so [`SearchScratch::begin`] is `O(1)` (amortized — the
+//! arrays still grow when a larger graph is seen, and the epoch counter
+//! wrap-around forces a full refresh every `u32::MAX` searches).
+
+use crate::dijkstra::HeapItem;
+use crate::{Distance, NodeId};
+use std::collections::BinaryHeap;
+
+/// Reusable storage for one graph search: tentative distances, settled
+/// marks, shortest-path-tree parents and the priority queue.
+///
+/// Create one per worker (typically inside a per-query context bundle) and
+/// pass it to [`IncrementalDijkstra::new`](crate::IncrementalDijkstra::new) or
+/// [`AStar::new`](crate::astar::AStar::new); each search calls
+/// [`SearchScratch::begin`] itself, so the same scratch can back any number
+/// of consecutive searches without reallocating.
+///
+/// A scratch is exclusively borrowed by the search using it, so stale state
+/// can never leak between two searches — the epoch check makes entries from
+/// previous searches invisible.
+#[derive(Debug, Clone, Default)]
+pub struct SearchScratch {
+    /// Current generation; entries are valid iff their epoch matches.
+    epoch: u32,
+    /// Generation in which `dist[v]` / `parent[v]` were last written.
+    dist_epoch: Vec<u32>,
+    /// Tentative distance of each touched vertex.
+    dist: Vec<Distance>,
+    /// Generation in which vertex `v` was settled.
+    settled_epoch: Vec<u32>,
+    /// Shortest-path-tree parent of each touched vertex.
+    parent: Vec<NodeId>,
+    /// Priority queue storage, shared across searches.
+    pub(crate) heap: BinaryHeap<HeapItem>,
+    /// Number of searches that have used this scratch (diagnostics).
+    resets: u64,
+}
+
+impl SearchScratch {
+    /// An empty scratch; arrays grow on first use.
+    pub fn new() -> Self {
+        SearchScratch::default()
+    }
+
+    /// A scratch pre-sized for graphs of up to `n` vertices.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut scratch = SearchScratch::new();
+        scratch.grow(n);
+        scratch
+    }
+
+    /// Number of vertices the arrays currently cover.
+    pub fn capacity(&self) -> usize {
+        self.dist.len()
+    }
+
+    /// How many searches have reused this scratch so far.
+    pub fn resets(&self) -> u64 {
+        self.resets
+    }
+
+    /// Starts a new search over a graph of `n` vertices: invalidates every
+    /// entry (O(1) via the epoch bump) and empties the heap.
+    pub fn begin(&mut self, n: usize) {
+        self.grow(n);
+        self.heap.clear();
+        self.resets += 1;
+        if self.epoch == u32::MAX {
+            // Wrap-around: restart the generation sequence.  Epoch 0 must
+            // not collide with old entries, so force-refresh the arrays.
+            self.dist_epoch.fill(0);
+            self.settled_epoch.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+    }
+
+    fn grow(&mut self, n: usize) {
+        if n > self.dist.len() {
+            self.dist.resize(n, f64::INFINITY);
+            self.dist_epoch.resize(n, 0);
+            self.settled_epoch.resize(n, 0);
+            self.parent.resize(n, 0);
+        }
+    }
+
+    /// Tentative distance of `v` in the current search (`INFINITY` when the
+    /// search has not touched `v`).
+    #[inline]
+    pub(crate) fn tentative(&self, v: NodeId) -> Distance {
+        if self.dist_epoch[v as usize] == self.epoch {
+            self.dist[v as usize]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Records a (tighter) tentative distance and tree parent for `v`.
+    #[inline]
+    pub(crate) fn set_tentative(&mut self, v: NodeId, d: Distance, parent: NodeId) {
+        let slot = v as usize;
+        self.dist[slot] = d;
+        self.parent[slot] = parent;
+        self.dist_epoch[slot] = self.epoch;
+    }
+
+    /// Whether `v` has been settled by the current search.
+    #[inline]
+    pub(crate) fn is_settled(&self, v: NodeId) -> bool {
+        self.settled_epoch[v as usize] == self.epoch
+    }
+
+    /// Marks `v` as settled in the current search.
+    #[inline]
+    pub(crate) fn mark_settled(&mut self, v: NodeId) {
+        self.settled_epoch[v as usize] = self.epoch;
+    }
+
+    /// Shortest-path-tree parent of `v` (meaningful only for vertices
+    /// touched by the current search).
+    #[inline]
+    pub(crate) fn parent(&self, v: NodeId) -> NodeId {
+        self.parent[v as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn begin_invalidates_previous_entries_without_reallocating() {
+        let mut s = SearchScratch::with_capacity(8);
+        s.begin(8);
+        s.set_tentative(3, 1.5, 0);
+        s.mark_settled(3);
+        assert_eq!(s.tentative(3), 1.5);
+        assert!(s.is_settled(3));
+
+        s.begin(8);
+        assert!(s.tentative(3).is_infinite(), "stale distance leaked");
+        assert!(!s.is_settled(3), "stale settled mark leaked");
+        assert_eq!(s.capacity(), 8);
+        assert_eq!(s.resets(), 2);
+    }
+
+    #[test]
+    fn scratch_grows_to_the_largest_graph_seen() {
+        let mut s = SearchScratch::new();
+        assert_eq!(s.capacity(), 0);
+        s.begin(4);
+        assert_eq!(s.capacity(), 4);
+        s.begin(2);
+        assert_eq!(s.capacity(), 4, "capacity must not shrink");
+        s.begin(100);
+        assert_eq!(s.capacity(), 100);
+        assert!(s.tentative(99).is_infinite());
+    }
+
+    #[test]
+    fn epoch_wraparound_refreshes_cleanly() {
+        let mut s = SearchScratch::with_capacity(4);
+        s.epoch = u32::MAX - 1;
+        s.begin(4); // -> MAX
+        s.set_tentative(1, 0.5, 1);
+        s.mark_settled(1);
+        s.begin(4); // wraps to 1
+        assert!(s.tentative(1).is_infinite());
+        assert!(!s.is_settled(1));
+        s.set_tentative(2, 0.25, 2);
+        assert_eq!(s.tentative(2), 0.25);
+    }
+}

@@ -161,7 +161,11 @@ impl UniformGrid {
     /// # Errors
     ///
     /// Returns [`SpatialError::UnknownItem`] if the item is not stored.
-    pub fn update(&mut self, id: ItemId, point: Point) -> Result<(CellCoord, CellCoord), SpatialError> {
+    pub fn update(
+        &mut self,
+        id: ItemId,
+        point: Point,
+    ) -> Result<(CellCoord, CellCoord), SpatialError> {
         let point = self.clamp(point);
         let old = self.position(id).ok_or(SpatialError::UnknownItem(id))?;
         let old_cell = self.cell_of(old);

@@ -39,10 +39,7 @@ impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse ordering: BinaryHeap is a max-heap, we need a min-heap on
         // the distance key.  Keys are finite by construction.
-        other
-            .key
-            .partial_cmp(&self.key)
-            .unwrap_or(Ordering::Equal)
+        other.key.partial_cmp(&self.key).unwrap_or(Ordering::Equal)
     }
 }
 
@@ -191,14 +188,20 @@ mod tests {
         // Deterministic pseudo-random points (no rand dependency needed).
         let mut state = 0x1234_5678_u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         let pts: Vec<(ItemId, Point)> = (0..500)
             .map(|i| (i as ItemId, Point::new(next(), next())))
             .collect();
         let g = grid_with(&pts, 10);
-        for &q in &[Point::new(0.5, 0.5), Point::new(0.02, 0.97), Point::new(1.0, 0.0)] {
+        for &q in &[
+            Point::new(0.5, 0.5),
+            Point::new(0.02, 0.97),
+            Point::new(1.0, 0.0),
+        ] {
             let expected = brute_force(&pts, q);
             let got: Vec<Neighbor> = g.nearest_neighbors(q).collect();
             assert_eq!(got.len(), expected.len());
@@ -225,7 +228,12 @@ mod tests {
     #[test]
     fn lower_bound_never_exceeds_next_result() {
         let pts: Vec<(ItemId, Point)> = (0..50)
-            .map(|i| (i, Point::new((i as f64 * 0.37) % 1.0, (i as f64 * 0.61) % 1.0)))
+            .map(|i| {
+                (
+                    i,
+                    Point::new((i as f64 * 0.37) % 1.0, (i as f64 * 0.61) % 1.0),
+                )
+            })
             .collect();
         let g = grid_with(&pts, 6);
         let q = Point::new(0.3, 0.7);

@@ -20,7 +20,9 @@ fn main() {
     let mut engine =
         GeoSocialEngine::build(dataset, EngineConfig::default()).expect("engine builds");
 
-    let workload = QueryWorkload::generate(engine.dataset(), 30, 7).with_k(30).with_alpha(0.3);
+    let workload = QueryWorkload::generate(engine.dataset(), 30, 7)
+        .with_k(30)
+        .with_alpha(0.3);
     println!(
         "running {} queries (k = {}, alpha = {}) with every algorithm\n",
         workload.len(),

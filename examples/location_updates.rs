@@ -64,7 +64,9 @@ fn main() {
 
         // Query the live index and cross-check against the oracle.
         let started = Instant::now();
-        let indexed = engine.query(Algorithm::Ais, &params).expect("query succeeds");
+        let indexed = engine
+            .query(Algorithm::Ais, &params)
+            .expect("query succeeds");
         total_query_time += started.elapsed();
         let oracle = engine
             .query(Algorithm::Exhaustive, &params)

@@ -20,8 +20,7 @@ fn main() {
     // A dense, city-scale network: everyone has a location (think of an
     // app that only recommends users who are currently sharing theirs).
     let dataset = DatasetConfig::twitter_like(5_000).generate();
-    let engine =
-        GeoSocialEngine::build(dataset, EngineConfig::default()).expect("engine builds");
+    let engine = GeoSocialEngine::build(dataset, EngineConfig::default()).expect("engine builds");
 
     let query_user = engine
         .dataset()
@@ -59,7 +58,10 @@ fn main() {
             .expect("valid query");
         let users = result.users();
         let similarity = jaccard(&users, &spatial_only);
-        println!("{alpha:>6.1}  {:<60}  {similarity:>24.3}", format!("{users:?}"));
+        println!(
+            "{alpha:>6.1}  {:<60}  {similarity:>24.3}",
+            format!("{users:?}")
+        );
     }
 
     // Inspect the balanced recommendation in detail: how far away and how

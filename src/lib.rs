@@ -22,9 +22,10 @@ pub use ssrq_spatial as spatial;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use ssrq_core::{
-        Algorithm, EngineConfig, GeoSocialEngine, QueryParams, QueryResult, RankedUser,
+        Algorithm, EngineConfig, GeoSocialEngine, QueryContext, QueryParams, QueryResult,
+        RankedUser,
     };
     pub use ssrq_data::{DatasetConfig, GeoSocialDataset};
-    pub use ssrq_graph::{EdgeWeight, NodeId as GraphNodeId, SocialGraph};
+    pub use ssrq_graph::{EdgeWeight, NodeId as GraphNodeId, SearchScratch, SocialGraph};
     pub use ssrq_spatial::{Point, Rect};
 }

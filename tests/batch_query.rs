@@ -1,0 +1,193 @@
+//! Integration tests of the parallel batch-query path and the reusable
+//! search-scratch substrate:
+//!
+//! * `query_batch` must return exactly the results of sequential `query`
+//!   execution, for every algorithm, at any thread count;
+//! * reusing one `QueryContext` across queries must never change an answer
+//!   (the stale-scratch regression guard).
+//!
+//! Contraction Hierarchies construction is expensive on the hub-heavy
+//! synthetic graphs (the paper makes the same observation about CH on
+//! social networks), so the fully-indexed engine is built once and shared
+//! across tests — which `GeoSocialEngine: Send + Sync` makes trivially
+//! safe.
+
+use geosocial_ssrq::core::{Algorithm, EngineConfig, GeoSocialEngine, QueryContext, QueryParams};
+use geosocial_ssrq::data::{DatasetConfig, QueryWorkload};
+use std::sync::OnceLock;
+
+const USERS: usize = 150;
+const SEED: u64 = 7;
+
+/// An engine with every auxiliary index built, so all `Algorithm::ALL`
+/// variants are runnable.
+fn full_engine() -> (GeoSocialEngine, Vec<u32>) {
+    let dataset = DatasetConfig::gowalla_like(USERS)
+        .with_seed(SEED)
+        .generate();
+    let mut engine = GeoSocialEngine::build(dataset, EngineConfig::default()).unwrap();
+    engine.build_contraction_hierarchy();
+    let workload = QueryWorkload::generate(engine.dataset(), 6, SEED ^ 0xBA7C).users;
+    engine.build_social_cache(&workload, 60);
+    (engine, workload)
+}
+
+fn shared_engine() -> &'static (GeoSocialEngine, Vec<u32>) {
+    static ENGINE: OnceLock<(GeoSocialEngine, Vec<u32>)> = OnceLock::new();
+    ENGINE.get_or_init(full_engine)
+}
+
+fn mixed_batch(users: &[u32]) -> Vec<QueryParams> {
+    users
+        .iter()
+        .enumerate()
+        .map(|(i, &user)| QueryParams::new(user, 3 + i % 5, [0.2, 0.5, 0.8][i % 3]))
+        .collect()
+}
+
+#[test]
+fn batch_results_are_identical_to_sequential_for_every_algorithm() {
+    let (engine, users) = shared_engine();
+    let batch = mixed_batch(users);
+
+    for algorithm in Algorithm::ALL {
+        let sequential: Vec<_> = batch
+            .iter()
+            .map(|params| engine.query(algorithm, params).unwrap())
+            .collect();
+        for threads in [1usize, 2, 4] {
+            let parallel = engine.query_batch_with_threads(algorithm, &batch, threads);
+            assert_eq!(parallel.len(), batch.len());
+            for (i, (seq, par)) in sequential.iter().zip(parallel.iter()).enumerate() {
+                let par = par.as_ref().unwrap_or_else(|e| {
+                    panic!("{} query {i} failed in batch mode: {e:?}", algorithm.name())
+                });
+                // Bit-exact: each query computes the same floating-point
+                // operations in the same order regardless of which worker
+                // runs it.
+                assert_eq!(
+                    seq.ranked,
+                    par.ranked,
+                    "{} query {i} differs between sequential and {threads}-thread batch",
+                    algorithm.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn query_batch_uses_default_parallelism_and_matches_sequential() {
+    let (engine, users) = shared_engine();
+    let batch = mixed_batch(users);
+    let results = engine.query_batch(Algorithm::Ais, &batch);
+    assert_eq!(results.len(), batch.len());
+    for (params, result) in batch.iter().zip(&results) {
+        let expected = engine.query(Algorithm::Ais, params).unwrap();
+        assert_eq!(expected.ranked, result.as_ref().unwrap().ranked);
+    }
+}
+
+#[test]
+fn batch_reports_per_query_errors_in_place() {
+    let (engine, users) = shared_engine();
+    let unknown_user = engine.dataset().user_count() as u32 + 50;
+    let batch = vec![
+        QueryParams::new(users[0], 5, 0.5),
+        QueryParams::new(unknown_user, 5, 0.5), // unknown user
+        QueryParams::new(users[1], 0, 0.5),     // invalid k
+        QueryParams::new(users[2], 5, 0.5),
+    ];
+    let results = engine.query_batch_with_threads(Algorithm::Ais, &batch, 2);
+    assert_eq!(results.len(), 4);
+    assert!(results[0].is_ok());
+    assert!(results[1].is_err());
+    assert!(results[2].is_err());
+    assert!(results[3].is_ok());
+}
+
+#[test]
+fn empty_batch_is_a_no_op() {
+    let (engine, _) = shared_engine();
+    assert!(engine.query_batch(Algorithm::Ais, &[]).is_empty());
+    assert!(engine
+        .query_batch_with_threads(Algorithm::Sfa, &[], 8)
+        .is_empty());
+}
+
+/// The stale-scratch regression guard: run queries back-to-back through one
+/// engine and one reused context, and require every answer to match a
+/// freshly built engine queried with a fresh context.  Catches state
+/// leaking between queries via the epoch-versioned scratch (distances,
+/// settled marks, heap entries) for every algorithm, including algorithm
+/// interleavings.
+#[test]
+fn reused_scratch_matches_fresh_engine_query_by_query() {
+    let (engine, users) = shared_engine();
+    // Same configuration and seed build an identical, independent engine.
+    let (fresh_engine, _) = full_engine();
+    let mut ctx = engine.make_context();
+
+    // Query sequence chosen to stress reuse: same user twice, different
+    // users, different alpha/k, and algorithm switches in between.
+    let mut plan: Vec<(Algorithm, QueryParams)> = Vec::new();
+    for (i, &user) in users.iter().enumerate() {
+        let alpha = [0.2, 0.5, 0.8][i % 3];
+        for algorithm in Algorithm::ALL {
+            plan.push((algorithm, QueryParams::new(user, 4 + i % 5, alpha)));
+        }
+        // Back-to-back repeat of the same query through the dirty context.
+        plan.push((Algorithm::Ais, QueryParams::new(user, 4 + i % 5, alpha)));
+    }
+
+    for (step, (algorithm, params)) in plan.iter().enumerate() {
+        let reused = engine.query_with(*algorithm, params, &mut ctx).unwrap();
+        let fresh = fresh_engine
+            .query_with(*algorithm, params, &mut fresh_engine.make_context())
+            .unwrap();
+        assert_eq!(
+            reused.ranked,
+            fresh.ranked,
+            "step {step}: {} with a reused context diverged from a fresh engine \
+             (user {}, k {}, alpha {})",
+            algorithm.name(),
+            params.user,
+            params.k,
+            params.alpha
+        );
+    }
+    assert!(
+        ctx.searches() > plan.len() as u64 / 2,
+        "the reused context should have backed most searches"
+    );
+}
+
+#[test]
+fn one_context_serves_queries_across_engines_of_different_sizes() {
+    // A worker context outliving an engine (e.g. on re-shard) must keep
+    // giving correct answers when the graph size changes under it.  No CH
+    // indexes here — only scratch-backed algorithms are exercised.
+    let small_dataset = DatasetConfig::gowalla_like(120).with_seed(31).generate();
+    let small = GeoSocialEngine::build(small_dataset, EngineConfig::default()).unwrap();
+    let small_user = QueryWorkload::generate(small.dataset(), 1, 1).users[0];
+    let large_dataset = DatasetConfig::gowalla_like(600).with_seed(37).generate();
+    let large = GeoSocialEngine::build(large_dataset, EngineConfig::default()).unwrap();
+    let large_user = QueryWorkload::generate(large.dataset(), 1, 1).users[0];
+    let mut ctx = QueryContext::new();
+
+    let params_small = QueryParams::new(small_user, 5, 0.4);
+    let params_large = QueryParams::new(large_user, 5, 0.4);
+    for _ in 0..3 {
+        let a = small
+            .query_with(Algorithm::Ais, &params_small, &mut ctx)
+            .unwrap();
+        let b = small.query(Algorithm::Ais, &params_small).unwrap();
+        assert_eq!(a.ranked, b.ranked);
+        let a = large
+            .query_with(Algorithm::Tsa, &params_large, &mut ctx)
+            .unwrap();
+        let b = large.query(Algorithm::Tsa, &params_large).unwrap();
+        assert_eq!(a.ranked, b.ranked);
+    }
+    assert!(ctx.capacity() >= 600);
+}

@@ -2,12 +2,14 @@
 //! experiment harness: presets, forest-fire sampling, correlation-controlled
 //! locations and workloads must all compose with the query engine.
 
-use geosocial_ssrq::core::{Algorithm, EngineConfig, GeoSocialDataset, GeoSocialEngine, QueryParams};
+use geosocial_ssrq::core::{
+    Algorithm, EngineConfig, GeoSocialDataset, GeoSocialEngine, QueryParams,
+};
+use geosocial_ssrq::data::correlation::measure_correlation;
 use geosocial_ssrq::data::{
     correlated_locations, forest_fire_sample, jaccard, Correlation, DataStatistics, DatasetConfig,
     QueryWorkload,
 };
-use geosocial_ssrq::data::correlation::measure_correlation;
 
 #[test]
 fn table2_statistics_reflect_the_presets() {
