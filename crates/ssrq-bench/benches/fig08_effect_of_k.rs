@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ssrq_bench::{BenchDataset, Scale};
-use ssrq_core::{Algorithm, QueryParams};
+use ssrq_core::{Algorithm, QueryRequest};
 use std::time::Duration;
 
 fn bench_effect_of_k(c: &mut Criterion) {
@@ -29,7 +29,14 @@ fn bench_effect_of_k(c: &mut Criterion) {
                     next += 1;
                     bench
                         .engine
-                        .query(algorithm, &QueryParams::new(user, k, 0.3))
+                        .run(
+                            &QueryRequest::for_user(user)
+                                .k(k)
+                                .alpha(0.3)
+                                .algorithm(algorithm)
+                                .build()
+                                .expect("valid request"),
+                        )
                         .expect("query succeeds")
                 });
             });

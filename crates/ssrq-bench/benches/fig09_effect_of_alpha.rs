@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ssrq_bench::{BenchDataset, Scale};
-use ssrq_core::{Algorithm, QueryParams};
+use ssrq_core::{Algorithm, QueryRequest};
 use std::time::Duration;
 
 fn bench_effect_of_alpha(c: &mut Criterion) {
@@ -32,7 +32,14 @@ fn bench_effect_of_alpha(c: &mut Criterion) {
                         next += 1;
                         bench
                             .engine
-                            .query(algorithm, &QueryParams::new(user, 30, alpha))
+                            .run(
+                                &QueryRequest::for_user(user)
+                                    .k(30)
+                                    .alpha(alpha)
+                                    .algorithm(algorithm)
+                                    .build()
+                                    .expect("valid request"),
+                            )
                             .expect("query succeeds")
                     });
                 },

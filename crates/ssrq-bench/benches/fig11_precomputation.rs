@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ssrq_bench::{BenchDataset, Scale};
-use ssrq_core::{Algorithm, QueryParams};
+use ssrq_core::{Algorithm, QueryRequest};
 use std::time::Duration;
 
 fn bench_precomputation(c: &mut Criterion) {
@@ -23,14 +23,28 @@ fn bench_precomputation(c: &mut Criterion) {
             next += 1;
             bench
                 .engine
-                .query(Algorithm::Ais, &QueryParams::new(user, 30, 0.3))
+                .run(
+                    &QueryRequest::for_user(user)
+                        .k(30)
+                        .alpha(0.3)
+                        .algorithm(Algorithm::Ais)
+                        .build()
+                        .expect("valid request"),
+                )
                 .expect("query succeeds")
         });
     });
 
     for fraction in [0.01f64, 0.05, 0.2] {
         let t = ((n as f64 * fraction) as usize).max(50);
-        bench.engine.build_social_cache(&users, t);
+        // Swap only the cache per list length; the base indexes are reused.
+        bench
+            .engine
+            .install_social_cache(ssrq_core::SocialNeighborCache::build(
+                bench.engine.dataset().graph(),
+                &users,
+                t,
+            ));
         group.bench_with_input(BenchmarkId::new("AIS-Cache", t), &t, |b, _| {
             let mut next = 0usize;
             b.iter(|| {
@@ -38,7 +52,14 @@ fn bench_precomputation(c: &mut Criterion) {
                 next += 1;
                 bench
                     .engine
-                    .query(Algorithm::SfaCached, &QueryParams::new(user, 30, 0.3))
+                    .run(
+                        &QueryRequest::for_user(user)
+                            .k(30)
+                            .alpha(0.3)
+                            .algorithm(Algorithm::SfaCached)
+                            .build()
+                            .expect("valid request"),
+                    )
                     .expect("query succeeds")
             });
         });

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ssrq_bench::{BenchDataset, Scale};
-use ssrq_core::{Algorithm, EngineConfig, QueryParams};
+use ssrq_core::{Algorithm, QueryRequest};
 use ssrq_data::DatasetConfig;
 use std::time::Duration;
 
@@ -16,12 +16,10 @@ fn bench_grid_granularity(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(1));
     for s in [5u32, 10, 25] {
-        let config = EngineConfig {
-            granularity: s,
-            ..EngineConfig::default()
-        };
         let bench =
-            BenchDataset::from_dataset("gowalla-like", dataset.clone(), scale.queries, config);
+            BenchDataset::from_dataset("gowalla-like", dataset.clone(), scale.queries, |b| {
+                b.granularity(s)
+            });
         for algorithm in [Algorithm::Spa, Algorithm::AisBid, Algorithm::Ais] {
             group.bench_with_input(BenchmarkId::new(algorithm.name(), s), &s, |b, _| {
                 let mut next = 0usize;
@@ -30,7 +28,14 @@ fn bench_grid_granularity(c: &mut Criterion) {
                     next += 1;
                     bench
                         .engine
-                        .query(algorithm, &QueryParams::new(user, 30, 0.3))
+                        .run(
+                            &QueryRequest::for_user(user)
+                                .k(30)
+                                .alpha(0.3)
+                                .algorithm(algorithm)
+                                .build()
+                                .expect("valid request"),
+                        )
                         .expect("query succeeds")
                 });
             });

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ssrq_bench::{BenchDataset, Scale};
-use ssrq_core::{Algorithm, QueryParams};
+use ssrq_core::{Algorithm, QueryRequest};
 use std::time::Duration;
 
 fn bench_twitter(c: &mut Criterion) {
@@ -29,7 +29,14 @@ fn bench_twitter(c: &mut Criterion) {
                     next += 1;
                     bench
                         .engine
-                        .query(algorithm, &QueryParams::new(user, k, 0.3))
+                        .run(
+                            &QueryRequest::for_user(user)
+                                .k(k)
+                                .alpha(0.3)
+                                .algorithm(algorithm)
+                                .build()
+                                .expect("valid request"),
+                        )
                         .expect("query succeeds")
                 });
             });
@@ -54,7 +61,14 @@ fn bench_twitter(c: &mut Criterion) {
                         next += 1;
                         bench
                             .engine
-                            .query(algorithm, &QueryParams::new(user, 30, alpha))
+                            .run(
+                                &QueryRequest::for_user(user)
+                                    .k(30)
+                                    .alpha(alpha)
+                                    .algorithm(algorithm)
+                                    .build()
+                                    .expect("valid request"),
+                            )
                             .expect("query succeeds")
                     });
                 },

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ssrq_bench::{BenchDataset, Scale};
-use ssrq_core::{Algorithm, EngineConfig, GeoSocialDataset, GeoSocialEngine, QueryParams};
+use ssrq_core::{Algorithm, GeoSocialDataset, GeoSocialEngine, QueryRequest};
 use ssrq_data::{
     correlated_locations, forest_fire_sample, Correlation, DatasetConfig, QueryWorkload,
 };
@@ -22,8 +22,9 @@ fn bench_correlation(c: &mut Criterion) {
         let locations = correlated_locations(base.graph(), anchor, correlation, 0xC0FE);
         let dataset =
             GeoSocialDataset::new(base.graph().clone(), locations).expect("valid dataset");
-        let engine =
-            GeoSocialEngine::build(dataset, EngineConfig::default()).expect("engine builds");
+        let engine = GeoSocialEngine::builder(dataset)
+            .build()
+            .expect("engine builds");
         for algorithm in [Algorithm::Sfa, Algorithm::Tsa, Algorithm::Ais] {
             group.bench_with_input(
                 BenchmarkId::new(algorithm.name(), correlation.name()),
@@ -31,7 +32,14 @@ fn bench_correlation(c: &mut Criterion) {
                 |b, _| {
                     b.iter(|| {
                         engine
-                            .query(algorithm, &QueryParams::new(anchor, 30, 0.5))
+                            .run(
+                                &QueryRequest::for_user(anchor)
+                                    .k(30)
+                                    .alpha(0.5)
+                                    .algorithm(algorithm)
+                                    .build()
+                                    .expect("valid request"),
+                            )
                             .expect("query succeeds")
                     });
                 },
@@ -54,12 +62,8 @@ fn bench_data_size(c: &mut Criterion) {
         let (graph, mapping) = forest_fire_sample(base.graph(), target, 0.7, 0x14B);
         let locations: Vec<_> = mapping.iter().map(|&old| base.location(old)).collect();
         let dataset = GeoSocialDataset::new(graph, locations).expect("valid dataset");
-        let bench = BenchDataset::from_dataset(
-            format!("sample-{target}"),
-            dataset,
-            scale.queries,
-            EngineConfig::default(),
-        );
+        let bench =
+            BenchDataset::from_dataset(format!("sample-{target}"), dataset, scale.queries, |b| b);
         for algorithm in [Algorithm::Sfa, Algorithm::Ais] {
             group.bench_with_input(
                 BenchmarkId::new(algorithm.name(), target),
@@ -71,7 +75,14 @@ fn bench_data_size(c: &mut Criterion) {
                         next += 1;
                         bench
                             .engine
-                            .query(algorithm, &QueryParams::new(user, 30, 0.3))
+                            .run(
+                                &QueryRequest::for_user(user)
+                                    .k(30)
+                                    .alpha(0.3)
+                                    .algorithm(algorithm)
+                                    .build()
+                                    .expect("valid request"),
+                            )
                             .expect("query succeeds")
                     });
                 },

@@ -4,7 +4,7 @@
 //! on the building blocks.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ssrq_core::{EngineConfig, GeoSocialEngine};
+use ssrq_core::GeoSocialEngine;
 use ssrq_data::DatasetConfig;
 use ssrq_graph::{
     dijkstra_all, ChQueryScratch, ContractionHierarchy, GraphDistanceEngine, IncrementalDijkstra,
@@ -179,7 +179,7 @@ fn bench_index_construction(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2));
     let dataset = DatasetConfig::gowalla_like(10_000).generate();
     group.bench_function("engine_build_10k_users", |b| {
-        b.iter(|| GeoSocialEngine::build(dataset.clone(), EngineConfig::default()).unwrap());
+        b.iter(|| GeoSocialEngine::builder(dataset.clone()).build().unwrap());
     });
     group.finish();
 }

@@ -19,7 +19,9 @@ use ssrq_bench::{
     max_result_hops, measure_algorithm, measure_batch_qps, measure_sequential_qps, BenchDataset,
     Scale,
 };
-use ssrq_core::{Algorithm, EngineConfig, GeoSocialDataset, GeoSocialEngine, QueryParams};
+use ssrq_core::{
+    Algorithm, ChBuild, GeoSocialDataset, GeoSocialEngine, QueryRequest, SocialNeighborCache,
+};
 use ssrq_data::{
     correlated_locations, forest_fire_sample, jaccard, Correlation, DataStatistics, DatasetConfig,
     QueryWorkload,
@@ -204,12 +206,13 @@ fn fig7a(options: &Options) {
             let mut ctx = bench.engine.make_context();
             let mut hops = Vec::new();
             for &user in &bench.workload.users {
-                if let Some(h) = max_result_hops(
-                    &bench.engine,
-                    Algorithm::Ais,
-                    &QueryParams::new(user, k, DEFAULT_ALPHA),
-                    &mut ctx,
-                ) {
+                let request = QueryRequest::for_user(user)
+                    .k(k)
+                    .alpha(DEFAULT_ALPHA)
+                    .algorithm(Algorithm::Ais)
+                    .build()
+                    .expect("valid harness parameters");
+                if let Some(h) = max_result_hops(&bench.engine, &request, &mut ctx) {
                     hops.push(h);
                 }
             }
@@ -236,8 +239,13 @@ fn fig7b(options: &Options) {
         let mut vs_spatial = 0.0;
         let mut counted = 0usize;
         for &user in &bench.workload.users {
-            let params = QueryParams::new(user, k, alpha);
-            let Ok(ssrq) = bench.engine.query_with(Algorithm::Ais, &params, &mut ctx) else {
+            let request = QueryRequest::for_user(user)
+                .k(k)
+                .alpha(alpha)
+                .algorithm(Algorithm::Ais)
+                .build()
+                .expect("valid harness parameters");
+            let Ok(ssrq) = bench.engine.run_with(&request, &mut ctx) else {
                 continue;
             };
             let ssrq_users = ssrq.users();
@@ -292,16 +300,21 @@ fn spatial_top_k(engine: &GeoSocialEngine, user: u32, k: usize) -> Vec<u32> {
 // ---------------------------------------------------------------------------
 
 fn fig8(options: &Options) {
-    let mut datasets = vec![
-        BenchDataset::gowalla(options.scale),
-        BenchDataset::foursquare(options.scale),
+    // Declare the CH index lazily: it is only built (on first *-CH query)
+    // when --with-ch asks for those baselines.
+    let with_lazy_ch = |scale: Scale, config: DatasetConfig| {
+        BenchDataset::from_config(config, scale.queries, |b| b.with_ch(ChBuild::Lazy))
+    };
+    let datasets = vec![
+        with_lazy_ch(
+            options.scale,
+            DatasetConfig::gowalla_like(options.scale.gowalla_users),
+        ),
+        with_lazy_ch(
+            options.scale,
+            DatasetConfig::foursquare_like(options.scale.foursquare_users),
+        ),
     ];
-    if options.with_ch {
-        println!("\nbuilding Contraction Hierarchies indexes for the *-CH baselines ...");
-        for bench in &mut datasets {
-            bench.engine.build_contraction_hierarchy();
-        }
-    }
     for bench in &datasets {
         let mut runtime = FigureReport::new(
             format!("Figure 8 — run-time (ms) vs k ({})", bench.name),
@@ -449,7 +462,15 @@ fn fig11(options: &Options) {
         for &t in &t_values {
             report.push_x(t);
             report.push_runtime("AIS", &ais);
-            bench.engine.build_social_cache(&users, t);
+            // Swap only the cache per list length t; the base indexes
+            // (landmarks, grid, AIS) are built once per dataset.
+            bench
+                .engine
+                .install_social_cache(SocialNeighborCache::build(
+                    bench.engine.dataset().graph(),
+                    &users,
+                    t,
+                ));
             let m = measure_algorithm(
                 &bench.engine,
                 Algorithm::SfaCached,
@@ -485,16 +506,10 @@ fn fig12(options: &Options) {
         );
         for s in S_VALUES {
             report.push_x(s);
-            let engine_config = EngineConfig {
-                granularity: s,
-                ..EngineConfig::default()
-            };
-            let bench = BenchDataset::from_dataset(
-                name,
-                dataset.clone(),
-                options.scale.queries,
-                engine_config,
-            );
+            let bench =
+                BenchDataset::from_dataset(name, dataset.clone(), options.scale.queries, |b| {
+                    b.granularity(s)
+                });
             for algorithm in [
                 Algorithm::Spa,
                 Algorithm::AisBid,
@@ -583,7 +598,7 @@ fn fig14a(options: &Options) {
             let Ok(dataset) = GeoSocialDataset::new(base.graph().clone(), locations) else {
                 continue;
             };
-            let Ok(engine) = GeoSocialEngine::build(dataset, EngineConfig::default()) else {
+            let Ok(engine) = GeoSocialEngine::builder(dataset).build() else {
                 continue;
             };
             counted += 1;
@@ -621,7 +636,7 @@ fn fig14b(options: &Options) {
             format!("sample-{target}"),
             dataset,
             options.scale.queries,
-            EngineConfig::default(),
+            |b| b,
         );
         for algorithm in MAIN_ALGORITHMS {
             let m = measure_algorithm(
@@ -642,7 +657,7 @@ fn fig14b(options: &Options) {
 // ---------------------------------------------------------------------------
 
 /// Beyond the paper: queries/second of the main algorithms, sequential
-/// (one thread, reused context) vs `query_batch` at increasing worker
+/// (one thread, reused context) vs `run_batch` at increasing worker
 /// counts.  This is the serving-throughput trajectory future scaling work
 /// measures itself against.
 fn throughput(options: &Options) {
@@ -703,15 +718,11 @@ fn ablation(options: &Options) {
     );
     for m_landmarks in [2usize, 4, 8, 16, 32] {
         landmarks_report.push_x(m_landmarks);
-        let config = EngineConfig {
-            num_landmarks: m_landmarks,
-            ..EngineConfig::default()
-        };
         let bench = BenchDataset::from_dataset(
             "gowalla-like",
             dataset.clone(),
             options.scale.queries,
-            config,
+            |b| b.landmarks(m_landmarks),
         );
         for algorithm in [Algorithm::Tsa, Algorithm::Ais] {
             let m = measure_algorithm(
@@ -736,15 +747,11 @@ fn ablation(options: &Options) {
         ("high-degree", LandmarkSelection::HighestDegree),
     ] {
         selection_report.push_x(label);
-        let config = EngineConfig {
-            landmark_selection: selection,
-            ..EngineConfig::default()
-        };
         let bench = BenchDataset::from_dataset(
             "gowalla-like",
             dataset.clone(),
             options.scale.queries,
-            config,
+            |b| b.landmark_selection(selection),
         );
         for algorithm in [Algorithm::Tsa, Algorithm::Ais] {
             let m = measure_algorithm(

@@ -1,6 +1,6 @@
 //! Workload execution and measurement aggregation.
 
-use ssrq_core::{Algorithm, GeoSocialEngine, QueryParams, UserId};
+use ssrq_core::{Algorithm, GeoSocialEngine, QueryRequest, UserId};
 use std::time::{Duration, Instant};
 
 /// Aggregated measurements of one algorithm over one workload — the
@@ -46,9 +46,8 @@ pub fn measure_algorithm(
     // One reused context for the whole workload: measurements reflect the
     // per-query work of the algorithm, not repeated scratch allocation.
     let mut ctx = engine.make_context();
-    for &user in users {
-        let params = QueryParams::new(user, k, alpha);
-        let result = match engine.query_with(algorithm, &params, &mut ctx) {
+    for request in requests_for(users, k, alpha, algorithm) {
+        let result = match engine.run_with(&request, &mut ctx) {
             Ok(result) => result,
             Err(_) => continue,
         };
@@ -115,9 +114,9 @@ pub fn measure_throughput(
     alpha: f64,
     threads: usize,
 ) -> ThroughputMeasurement {
-    let batch = params_for(users, k, alpha);
-    let (executed, sequential_qps) = time_sequential(engine, algorithm, &batch);
-    let (batch_ok, batch_qps) = time_batch(engine, algorithm, &batch, threads);
+    let batch = requests_for(users, k, alpha, algorithm);
+    let (executed, sequential_qps) = time_sequential(engine, &batch);
+    let (batch_ok, batch_qps) = time_batch(engine, &batch, threads);
     // Queries are deterministic, so the two modes must succeed on exactly
     // the same subset; a mismatch would mean the parallel path changed
     // outcomes, which should fail loudly rather than skew the figures.
@@ -142,7 +141,7 @@ pub fn measure_sequential_qps(
     k: usize,
     alpha: f64,
 ) -> (usize, f64) {
-    time_sequential(engine, algorithm, &params_for(users, k, alpha))
+    time_sequential(engine, &requests_for(users, k, alpha, algorithm))
 }
 
 /// Queries/second of `query_batch_with_threads`, returned with the number
@@ -155,29 +154,32 @@ pub fn measure_batch_qps(
     alpha: f64,
     threads: usize,
 ) -> (usize, f64) {
-    time_batch(engine, algorithm, &params_for(users, k, alpha), threads)
+    time_batch(engine, &requests_for(users, k, alpha, algorithm), threads)
 }
 
-fn params_for(users: &[UserId], k: usize, alpha: f64) -> Vec<QueryParams> {
+fn requests_for(users: &[UserId], k: usize, alpha: f64, algorithm: Algorithm) -> Vec<QueryRequest> {
     users
         .iter()
-        .map(|&user| QueryParams::new(user, k, alpha))
+        .map(|&user| {
+            QueryRequest::for_user(user)
+                .k(k)
+                .alpha(alpha)
+                .algorithm(algorithm)
+                .build()
+                .expect("measurement parameters are valid")
+        })
         .collect()
 }
 
-fn time_sequential(
-    engine: &GeoSocialEngine,
-    algorithm: Algorithm,
-    batch: &[QueryParams],
-) -> (usize, f64) {
+fn time_sequential(engine: &GeoSocialEngine, batch: &[QueryRequest]) -> (usize, f64) {
     // Context construction stays inside the clock: the batch mode pays its
     // per-worker contexts (and thread spawns) inside its clock too, so both
     // figures cover a cold start for the workload.
     let start = Instant::now();
     let mut ctx = engine.make_context();
     let mut executed = 0usize;
-    for params in batch {
-        if engine.query_with(algorithm, params, &mut ctx).is_ok() {
+    for request in batch {
+        if engine.run_with(request, &mut ctx).is_ok() {
             executed += 1;
         }
     }
@@ -185,14 +187,9 @@ fn time_sequential(
     (executed, executed as f64 / secs.max(1e-9))
 }
 
-fn time_batch(
-    engine: &GeoSocialEngine,
-    algorithm: Algorithm,
-    batch: &[QueryParams],
-    threads: usize,
-) -> (usize, f64) {
+fn time_batch(engine: &GeoSocialEngine, batch: &[QueryRequest], threads: usize) -> (usize, f64) {
     let start = Instant::now();
-    let results = engine.query_batch_with_threads(algorithm, batch, threads);
+    let results = engine.run_batch_with_threads(batch, threads);
     let secs = start.elapsed().as_secs_f64();
     let ok = results.iter().filter(|r| r.is_ok()).count();
     (ok, ok as f64 / secs.max(1e-9))
@@ -204,16 +201,16 @@ fn time_batch(
 /// unreachable.
 pub fn max_result_hops(
     engine: &GeoSocialEngine,
-    algorithm: Algorithm,
-    params: &QueryParams,
+    request: &QueryRequest,
     ctx: &mut ssrq_core::QueryContext,
 ) -> Option<usize> {
-    let result = engine.query_with(algorithm, params, ctx).ok()?;
+    let result = engine.run_with(request, ctx).ok()?;
     if result.ranked.is_empty() {
         return None;
     }
     let graph = engine.dataset().graph();
-    let mut search = ssrq_graph::IncrementalDijkstra::new(graph, params.user, ctx.social_scratch());
+    let mut search =
+        ssrq_graph::IncrementalDijkstra::new(graph, request.user(), ctx.social_scratch());
     let mut max_hops = 0usize;
     for entry in &result.ranked {
         search.run_until_settled(graph, entry.user);
@@ -226,13 +223,16 @@ pub fn max_result_hops(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ssrq_core::EngineConfig;
     use ssrq_data::{DatasetConfig, QueryWorkload};
+
+    fn engine_for(users: usize) -> GeoSocialEngine {
+        let dataset = DatasetConfig::gowalla_like(users).generate();
+        GeoSocialEngine::builder(dataset).build().unwrap()
+    }
 
     #[test]
     fn measurement_aggregates_over_the_workload() {
-        let dataset = DatasetConfig::gowalla_like(600).generate();
-        let engine = GeoSocialEngine::build(dataset, EngineConfig::default()).unwrap();
+        let engine = engine_for(600);
         let workload = QueryWorkload::generate(engine.dataset(), 5, 1);
         let m = measure_algorithm(&engine, Algorithm::Ais, &workload.users, 10, 0.3);
         assert_eq!(m.queries, 5);
@@ -244,23 +244,22 @@ mod tests {
 
     #[test]
     fn max_result_hops_reports_a_positive_hop_count() {
-        let dataset = DatasetConfig::gowalla_like(400).generate();
-        let engine = GeoSocialEngine::build(dataset, EngineConfig::default()).unwrap();
+        let engine = engine_for(400);
         let user = QueryWorkload::generate(engine.dataset(), 1, 2).users[0];
         let mut ctx = engine.make_context();
-        let hops = max_result_hops(
-            &engine,
-            Algorithm::Ais,
-            &QueryParams::new(user, 10, 0.3),
-            &mut ctx,
-        );
+        let request = QueryRequest::for_user(user)
+            .k(10)
+            .alpha(0.3)
+            .algorithm(Algorithm::Ais)
+            .build()
+            .unwrap();
+        let hops = max_result_hops(&engine, &request, &mut ctx);
         assert!(hops.unwrap_or(0) >= 1);
     }
 
     #[test]
     fn throughput_measures_both_modes_over_the_same_workload() {
-        let dataset = DatasetConfig::gowalla_like(500).generate();
-        let engine = GeoSocialEngine::build(dataset, EngineConfig::default()).unwrap();
+        let engine = engine_for(500);
         let workload = QueryWorkload::generate(engine.dataset(), 8, 5);
         let t = measure_throughput(&engine, Algorithm::Ais, &workload.users, 10, 0.3, 2);
         assert_eq!(t.queries, 8);
@@ -272,8 +271,7 @@ mod tests {
 
     #[test]
     fn failed_queries_are_skipped() {
-        let dataset = DatasetConfig::gowalla_like(300).generate();
-        let engine = GeoSocialEngine::build(dataset, EngineConfig::default()).unwrap();
+        let engine = engine_for(300);
         // SfaCh requires a CH index that was never built: every query fails.
         let m = measure_algorithm(&engine, Algorithm::SfaCh, &[0, 1, 2], 5, 0.5);
         assert_eq!(m.queries, 0);

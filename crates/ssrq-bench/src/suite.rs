@@ -1,6 +1,6 @@
 //! Benchmark-scale dataset construction.
 
-use ssrq_core::{EngineConfig, GeoSocialDataset, GeoSocialEngine};
+use ssrq_core::{EngineBuilder, GeoSocialDataset, GeoSocialEngine};
 use ssrq_data::{DatasetConfig, QueryWorkload};
 
 /// Experiment scale: how large the synthetic stand-ins for the paper's
@@ -77,20 +77,30 @@ pub struct BenchDataset {
 
 impl BenchDataset {
     /// Builds a benchmark dataset from a generator configuration.
-    pub fn from_config(config: DatasetConfig, queries: usize, engine_config: EngineConfig) -> Self {
+    /// `configure` customizes the [`EngineBuilder`] (pass the identity
+    /// closure `|b| b` for defaults).
+    pub fn from_config(
+        config: DatasetConfig,
+        queries: usize,
+        configure: impl FnOnce(EngineBuilder) -> EngineBuilder,
+    ) -> Self {
         let name = config.name.clone();
         let dataset = config.generate();
-        Self::from_dataset(name, dataset, queries, engine_config)
+        Self::from_dataset(name, dataset, queries, configure)
     }
 
     /// Builds a benchmark dataset from an already-generated dataset.
+    /// `configure` customizes the [`EngineBuilder`] (pass the identity
+    /// closure `|b| b` for defaults).
     pub fn from_dataset(
         name: impl Into<String>,
         dataset: GeoSocialDataset,
         queries: usize,
-        engine_config: EngineConfig,
+        configure: impl FnOnce(EngineBuilder) -> EngineBuilder,
     ) -> Self {
-        let engine = GeoSocialEngine::build(dataset, engine_config).expect("engine builds");
+        let engine = configure(GeoSocialEngine::builder(dataset))
+            .build()
+            .expect("engine builds");
         let workload = QueryWorkload::generate(engine.dataset(), queries, 0xBEEF);
         BenchDataset {
             name: name.into(),
@@ -104,7 +114,7 @@ impl BenchDataset {
         Self::from_config(
             DatasetConfig::gowalla_like(scale.gowalla_users),
             scale.queries,
-            EngineConfig::default(),
+            |b| b,
         )
     }
 
@@ -113,7 +123,7 @@ impl BenchDataset {
         Self::from_config(
             DatasetConfig::foursquare_like(scale.foursquare_users),
             scale.queries,
-            EngineConfig::default(),
+            |b| b,
         )
     }
 
@@ -122,7 +132,7 @@ impl BenchDataset {
         Self::from_config(
             DatasetConfig::twitter_like(scale.twitter_users),
             scale.queries,
-            EngineConfig::default(),
+            |b| b,
         )
     }
 }

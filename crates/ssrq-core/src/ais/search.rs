@@ -1,6 +1,6 @@
 use crate::ais::AisIndex;
 use crate::{
-    CoreError, GeoSocialDataset, QueryContext, QueryParams, QueryResult, QueryStats, RankedUser,
+    CoreError, GeoSocialDataset, QueryContext, QueryRequest, QueryResult, QueryStats, RankedUser,
     RankingContext, TopK, UserId,
 };
 use ssrq_graph::{GraphDistanceEngine, LandmarkSet, SharingMode};
@@ -85,35 +85,36 @@ pub fn ais_query(
     dataset: &GeoSocialDataset,
     index: &AisIndex,
     landmarks: &LandmarkSet,
-    params: &QueryParams,
+    request: &QueryRequest,
     variant: AisVariant,
     qctx: &mut QueryContext,
 ) -> Result<QueryResult, CoreError> {
-    params.validate()?;
-    dataset.check_user(params.user)?;
+    request.validate()?;
+    dataset.check_user(request.user())?;
     let start = Instant::now();
     let mut stats = QueryStats::default();
-    let ctx = RankingContext::new(dataset, params);
+    let ctx = RankingContext::new(dataset, request);
 
-    let Some(query_location) = dataset.location(params.user) else {
+    let Some(query_location) = dataset.location(request.user()) else {
         // A query user without a location sees every candidate at infinite
         // spatial distance; with α < 1 no candidate has a finite score.
         stats.runtime = start.elapsed();
         return Ok(QueryResult {
             ranked: Vec::new(),
+            k: request.k(),
             stats,
         });
     };
-    let query_vector: Vec<f64> = landmarks.vector(params.user).to_vec();
+    let query_vector: Vec<f64> = landmarks.vector(request.user()).to_vec();
 
     let mut distance_engine = GraphDistanceEngine::new(
         dataset.graph(),
         landmarks,
-        params.user,
+        request.user(),
         variant.sharing,
         &mut qctx.social,
     );
-    let mut topk = TopK::new(params.k);
+    let mut topk = TopK::for_request(request);
     let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
 
     for node in index.grid().top_nodes() {
@@ -126,8 +127,19 @@ pub fn ais_query(
         }
     }
 
-    while let Some(Entry { key, item }) = heap.pop() {
+    loop {
+        let Some(Entry { key, item }) = heap.pop() else {
+            // The search heap drained: every remaining user was pruned with
+            // a key at or above `f_k`, so no held entry can be displaced —
+            // the interim result is final.
+            topk.raise_threshold(f64::INFINITY);
+            break;
+        };
         stats.index_pops += 1;
+        // Every candidate still in the heap (and everything reachable from
+        // it) scores at least `key`: pops arrive in non-decreasing key
+        // order, so `key` is a finalization bound for the entries held.
+        topk.raise_threshold(key);
         if key >= topk.fk() {
             break;
         }
@@ -147,12 +159,12 @@ pub fn ais_query(
                 }
                 NodeKind::Leaf => {
                     for &user in index.grid().leaf_items(node) {
-                        if user == params.user {
+                        if !request.admits(dataset, user) {
                             continue;
                         }
                         let spatial = ctx.spatial(user);
                         let social_lb =
-                            ctx.normalize_social(landmarks.lower_bound(params.user, user));
+                            ctx.normalize_social(landmarks.lower_bound(request.user(), user));
                         let user_key = ctx.score_lower_bound(social_lb, spatial);
                         if user_key.is_finite() && user_key < topk.fk() {
                             heap.push(Entry {
@@ -184,7 +196,7 @@ pub fn ais_query(
                 // the current threshold f_k.
                 let fk = topk.fk();
                 let budget = if fk.is_finite() {
-                    let social_budget = (fk - (1.0 - params.alpha) * spatial) / params.alpha;
+                    let social_budget = (fk - (1.0 - request.alpha()) * spatial) / request.alpha();
                     dataset.social_norm() * social_budget
                 } else {
                     f64::INFINITY
@@ -210,9 +222,11 @@ pub fn ais_query(
     // |V_pop| for AIS is the number of entries popped from its own search
     // heap H (Algorithm 2), not the internal work of the distance submodule.
     stats.vertex_pops = stats.index_pops;
+    stats.streamable_results = topk.finalized();
     stats.runtime = start.elapsed();
     Ok(QueryResult {
         ranked: topk.into_sorted_vec(),
+        k: request.k(),
         stats,
     })
 }
@@ -236,6 +250,14 @@ mod tests {
     use crate::algorithms::exhaustive;
     use ssrq_graph::{GraphBuilder, LandmarkSelection};
     use ssrq_spatial::Point;
+
+    fn req(user: u32, k: usize, alpha: f64) -> QueryRequest {
+        QueryRequest::for_user(user)
+            .k(k)
+            .alpha(alpha)
+            .build()
+            .unwrap()
+    }
 
     /// A deterministic 30-user dataset mixing two spatial clusters and a
     /// ring-with-chords social topology.
@@ -282,15 +304,15 @@ mod tests {
         for &alpha in &[0.1, 0.3, 0.5, 0.7, 0.9] {
             for &k in &[1usize, 3, 5, 10] {
                 for user in [0u32, 5, 13, 22] {
-                    let params = QueryParams::new(user, k, alpha);
+                    let request = req(user, k, alpha);
                     let expected =
-                        exhaustive::exhaustive_query(&dataset, &params, &mut QueryContext::new())
+                        exhaustive::exhaustive_query(&dataset, &request, &mut QueryContext::new())
                             .unwrap();
                     let got = ais_query(
                         &dataset,
                         &index,
                         &landmarks,
-                        &params,
+                        &request,
                         variant,
                         &mut QueryContext::new(),
                     )
@@ -326,12 +348,12 @@ mod tests {
         let (dataset, landmarks) = dataset();
         let index = AisIndex::build(&dataset, &landmarks, 4, 2).unwrap();
         // User 6 has no location (6 % 7 == 6).
-        let params = QueryParams::new(6, 5, 0.5);
+        let request = req(6, 5, 0.5);
         let result = ais_query(
             &dataset,
             &index,
             &landmarks,
-            &params,
+            &request,
             AisVariant::full(),
             &mut QueryContext::new(),
         )
@@ -343,7 +365,8 @@ mod tests {
     fn invalid_parameters_are_rejected() {
         let (dataset, landmarks) = dataset();
         let index = AisIndex::build(&dataset, &landmarks, 4, 2).unwrap();
-        let bad_alpha = QueryParams::new(0, 5, 1.0);
+        #[allow(deprecated)]
+        let bad_alpha: QueryRequest = crate::QueryParams::new(0, 5, 1.0).into();
         assert!(ais_query(
             &dataset,
             &index,
@@ -353,7 +376,7 @@ mod tests {
             &mut QueryContext::new()
         )
         .is_err());
-        let bad_user = QueryParams::new(999, 5, 0.5);
+        let bad_user = req(999, 5, 0.5);
         assert!(ais_query(
             &dataset,
             &index,
@@ -369,12 +392,12 @@ mod tests {
     fn stats_report_search_effort() {
         let (dataset, landmarks) = dataset();
         let index = AisIndex::build(&dataset, &landmarks, 4, 2).unwrap();
-        let params = QueryParams::new(0, 5, 0.3);
+        let request = req(0, 5, 0.3);
         let result = ais_query(
             &dataset,
             &index,
             &landmarks,
-            &params,
+            &request,
             AisVariant::full(),
             &mut QueryContext::new(),
         )
@@ -388,12 +411,12 @@ mod tests {
     fn full_variant_evaluates_no_more_users_than_bid() {
         let (dataset, landmarks) = dataset();
         let index = AisIndex::build(&dataset, &landmarks, 4, 2).unwrap();
-        let params = QueryParams::new(3, 5, 0.5);
+        let request = req(3, 5, 0.5);
         let bid = ais_query(
             &dataset,
             &index,
             &landmarks,
-            &params,
+            &request,
             AisVariant::bid(),
             &mut QueryContext::new(),
         )
@@ -402,7 +425,7 @@ mod tests {
             &dataset,
             &index,
             &landmarks,
-            &params,
+            &request,
             AisVariant::full(),
             &mut QueryContext::new(),
         )

@@ -1,5 +1,5 @@
 use crate::{
-    CoreError, GeoSocialDataset, QueryContext, QueryParams, QueryResult, QueryStats, RankedUser,
+    CoreError, GeoSocialDataset, QueryContext, QueryRequest, QueryResult, QueryStats, RankedUser,
     RankingContext, TopK,
 };
 use ssrq_graph::dijkstra_all_with;
@@ -10,25 +10,27 @@ use std::time::Instant;
 ///
 /// This is the correctness oracle used throughout the test suite and the
 /// baseline "no index, no pruning" reference point; it is not part of the
-/// paper's evaluated methods.
+/// paper's evaluated methods.  Being the oracle, its admission loop *defines*
+/// the semantics of the request filters (spatial window, exclusions, score
+/// cutoff) that every other algorithm must reproduce.
 pub fn exhaustive_query(
     dataset: &GeoSocialDataset,
-    params: &QueryParams,
+    request: &QueryRequest,
     qctx: &mut QueryContext,
 ) -> Result<QueryResult, CoreError> {
-    params.validate()?;
-    dataset.check_user(params.user)?;
+    request.validate()?;
+    dataset.check_user(request.user())?;
     let start = Instant::now();
-    let ctx = RankingContext::new(dataset, params);
+    let ctx = RankingContext::new(dataset, request);
     let mut stats = QueryStats::default();
 
-    let social = dijkstra_all_with(dataset.graph(), params.user, &mut qctx.social);
+    let social = dijkstra_all_with(dataset.graph(), request.user(), &mut qctx.social);
     stats.social_pops = social.iter().filter(|d| d.is_finite()).count();
     stats.vertex_pops = dataset.user_count();
 
-    let mut topk = TopK::new(params.k);
+    let mut topk = TopK::for_request(request);
     for user in dataset.graph().nodes() {
-        if user == params.user {
+        if !request.admits(dataset, user) {
             continue;
         }
         let (score, social_norm, spatial_norm) =
@@ -41,9 +43,12 @@ pub fn exhaustive_query(
             spatial: spatial_norm,
         });
     }
+    // Drain-after-complete: the scan order carries no distance bound, so no
+    // entry is final before the scan ends (`streamable_results` stays 0).
     stats.runtime = start.elapsed();
     Ok(QueryResult {
         ranked: topk.into_sorted_vec(),
+        k: request.k(),
         stats,
     })
 }
@@ -52,7 +57,15 @@ pub fn exhaustive_query(
 mod tests {
     use super::*;
     use ssrq_graph::GraphBuilder;
-    use ssrq_spatial::Point;
+    use ssrq_spatial::{Point, Rect};
+
+    fn req(user: u32, k: usize, alpha: f64) -> QueryRequest {
+        QueryRequest::for_user(user)
+            .k(k)
+            .alpha(alpha)
+            .build()
+            .unwrap()
+    }
 
     fn tiny_dataset() -> GeoSocialDataset {
         // Figure 1 of the paper, roughly: u1 is the query user; u5 is the
@@ -83,48 +96,25 @@ mod tests {
         let dataset = tiny_dataset();
         // With a balanced alpha the compromise user u4 (index 3) should beat
         // both the purely-social (u2) and purely-spatial (u5) favourites.
-        let result = exhaustive_query(
-            &dataset,
-            &QueryParams::new(0, 1, 0.5),
-            &mut QueryContext::new(),
-        )
-        .unwrap();
+        let result = exhaustive_query(&dataset, &req(0, 1, 0.5), &mut QueryContext::new()).unwrap();
         assert_eq!(result.ranked[0].user, 3);
         // With alpha -> social, the strong friend u2 (index 1) wins.
-        let result = exhaustive_query(
-            &dataset,
-            &QueryParams::new(0, 1, 0.9),
-            &mut QueryContext::new(),
-        )
-        .unwrap();
+        let result = exhaustive_query(&dataset, &req(0, 1, 0.9), &mut QueryContext::new()).unwrap();
         assert_eq!(result.ranked[0].user, 1);
         // With alpha -> spatial, the nearest user u5 (index 4) wins.
-        let result = exhaustive_query(
-            &dataset,
-            &QueryParams::new(0, 1, 0.1),
-            &mut QueryContext::new(),
-        )
-        .unwrap();
+        let result = exhaustive_query(&dataset, &req(0, 1, 0.1), &mut QueryContext::new()).unwrap();
         assert_eq!(result.ranked[0].user, 4);
     }
 
     #[test]
     fn excludes_the_query_user_and_respects_k() {
         let dataset = tiny_dataset();
-        let result = exhaustive_query(
-            &dataset,
-            &QueryParams::new(0, 10, 0.5),
-            &mut QueryContext::new(),
-        )
-        .unwrap();
+        let result =
+            exhaustive_query(&dataset, &req(0, 10, 0.5), &mut QueryContext::new()).unwrap();
         assert_eq!(result.ranked.len(), 4);
+        assert!(result.is_complete());
         assert!(result.users().iter().all(|&u| u != 0));
-        let result = exhaustive_query(
-            &dataset,
-            &QueryParams::new(0, 2, 0.5),
-            &mut QueryContext::new(),
-        )
-        .unwrap();
+        let result = exhaustive_query(&dataset, &req(0, 2, 0.5), &mut QueryContext::new()).unwrap();
         assert_eq!(result.ranked.len(), 2);
         // Scores are ascending.
         assert!(result.ranked[0].score <= result.ranked[1].score);
@@ -140,31 +130,54 @@ mod tests {
             None,
         ];
         let dataset = GeoSocialDataset::new(graph, locations).unwrap();
-        let result = exhaustive_query(
-            &dataset,
-            &QueryParams::new(0, 4, 0.5),
-            &mut QueryContext::new(),
-        )
-        .unwrap();
+        let result = exhaustive_query(&dataset, &req(0, 4, 0.5), &mut QueryContext::new()).unwrap();
         // User 2 is socially unreachable, user 3 additionally lacks a
         // location: both have infinite scores and are excluded.
         assert_eq!(result.users(), vec![1]);
     }
 
     #[test]
+    fn request_filters_restrict_the_result() {
+        let dataset = tiny_dataset();
+        // Exclusion set: drop the balanced winner u4 (index 3).
+        let request = QueryRequest::for_user(0)
+            .k(10)
+            .alpha(0.5)
+            .exclude([3])
+            .build()
+            .unwrap();
+        let result = exhaustive_query(&dataset, &request, &mut QueryContext::new()).unwrap();
+        assert!(!result.users().contains(&3));
+        // Spatial window: only users in the lower-left quadrant qualify.
+        let request = QueryRequest::for_user(0)
+            .k(10)
+            .alpha(0.5)
+            .within(Rect::new(Point::new(0.0, 0.0), Point::new(0.6, 0.6)))
+            .build()
+            .unwrap();
+        let result = exhaustive_query(&dataset, &request, &mut QueryContext::new()).unwrap();
+        let mut users = result.users();
+        users.sort_unstable();
+        assert_eq!(users, vec![3, 4]);
+        // Score cutoff below every ranking value: empty result.
+        let request = QueryRequest::for_user(0)
+            .k(10)
+            .alpha(0.5)
+            .max_score(1e-12)
+            .build()
+            .unwrap();
+        let result = exhaustive_query(&dataset, &request, &mut QueryContext::new()).unwrap();
+        assert!(result.ranked.is_empty());
+    }
+
+    #[test]
+    #[allow(deprecated)]
     fn rejects_invalid_input() {
         let dataset = tiny_dataset();
-        assert!(exhaustive_query(
-            &dataset,
-            &QueryParams::new(0, 0, 0.5),
-            &mut QueryContext::new()
-        )
-        .is_err());
-        assert!(exhaustive_query(
-            &dataset,
-            &QueryParams::new(99, 1, 0.5),
-            &mut QueryContext::new()
-        )
-        .is_err());
+        // `From<QueryParams>` deliberately skips validation, so the
+        // execution-time validation path is reachable.
+        let invalid: QueryRequest = crate::QueryParams::new(0, 0, 0.5).into();
+        assert!(exhaustive_query(&dataset, &invalid, &mut QueryContext::new()).is_err());
+        assert!(exhaustive_query(&dataset, &req(99, 1, 0.5), &mut QueryContext::new()).is_err());
     }
 }

@@ -1,5 +1,5 @@
 use crate::{
-    CoreError, GeoSocialDataset, QueryParams, QueryResult, QueryStats, RankedUser, RankingContext,
+    CoreError, GeoSocialDataset, QueryRequest, QueryResult, QueryStats, RankedUser, RankingContext,
     TopK, UserId,
 };
 use ssrq_graph::{IncrementalDijkstra, SearchScratch, SocialGraph};
@@ -78,22 +78,22 @@ impl SocialNeighborCache {
 pub fn cached_query<F>(
     dataset: &GeoSocialDataset,
     cache: &SocialNeighborCache,
-    params: &QueryParams,
+    request: &QueryRequest,
     fallback: F,
 ) -> Result<QueryResult, CoreError>
 where
-    F: FnOnce(&QueryParams) -> Result<QueryResult, CoreError>,
+    F: FnOnce(&QueryRequest) -> Result<QueryResult, CoreError>,
 {
-    params.validate()?;
-    dataset.check_user(params.user)?;
+    request.validate()?;
+    dataset.check_user(request.user())?;
     let start = Instant::now();
-    let ctx = RankingContext::new(dataset, params);
+    let ctx = RankingContext::new(dataset, request);
     let mut stats = QueryStats::default();
-    let mut topk = TopK::new(params.k);
+    let mut topk = TopK::for_request(request);
 
-    let Some(list) = cache.neighbors(params.user) else {
+    let Some(list) = cache.neighbors(request.user()) else {
         // No list for this user: defer to the fallback entirely.
-        let mut result = fallback(params)?;
+        let mut result = fallback(request)?;
         result.stats.runtime = start.elapsed();
         return Ok(result);
     };
@@ -102,15 +102,18 @@ where
     for &(user, raw_social) in list {
         stats.cache_hits += 1;
         stats.vertex_pops += 1;
-        let (score, social_norm, spatial_norm) = ctx.score_from_raw_social(user, raw_social);
-        stats.evaluated_users += 1;
-        topk.consider(RankedUser {
-            user,
-            score,
-            social: social_norm,
-            spatial: spatial_norm,
-        });
-        let theta = params.alpha * ctx.normalize_social(raw_social);
+        if request.admits(dataset, user) {
+            let (score, social_norm, spatial_norm) = ctx.score_from_raw_social(user, raw_social);
+            stats.evaluated_users += 1;
+            topk.consider(RankedUser {
+                user,
+                score,
+                social: social_norm,
+                spatial: spatial_norm,
+            });
+        }
+        let theta = request.alpha() * ctx.normalize_social(raw_social);
+        topk.raise_threshold(theta);
         if theta >= topk.fk() {
             terminated = true;
             break;
@@ -121,16 +124,23 @@ where
     if !terminated && list.len() >= cache.t() {
         // The cache is exhausted but the termination condition never held:
         // the correct answer may involve users beyond the cached horizon.
-        let mut result = fallback(params)?;
+        let mut result = fallback(request)?;
         stats.absorb(&result.stats);
         stats.runtime = start.elapsed();
         result.stats = stats;
         return Ok(result);
     }
+    if !terminated {
+        // Whole component scanned: the remaining users are socially
+        // unreachable (infinite score for α > 0), so the result is final.
+        topk.raise_threshold(f64::INFINITY);
+    }
 
+    stats.streamable_results = topk.finalized();
     stats.runtime = start.elapsed();
     Ok(QueryResult {
         ranked: topk.into_sorted_vec(),
+        k: request.k(),
         stats,
     })
 }
@@ -142,6 +152,14 @@ mod tests {
     use crate::QueryContext;
     use ssrq_graph::GraphBuilder;
     use ssrq_spatial::Point;
+
+    fn req(user: u32, k: usize, alpha: f64) -> QueryRequest {
+        QueryRequest::for_user(user)
+            .k(k)
+            .alpha(alpha)
+            .build()
+            .unwrap()
+    }
 
     fn dataset() -> GeoSocialDataset {
         let n = 30u32;
@@ -191,10 +209,10 @@ mod tests {
         let cache = SocialNeighborCache::build(dataset.graph(), &[0, 12], 30);
         for user in [0u32, 12] {
             for &alpha in &[0.3, 0.7] {
-                let params = QueryParams::new(user, 5, alpha);
+                let request = req(user, 5, alpha);
                 let expected =
-                    exhaustive_query(&dataset, &params, &mut QueryContext::new()).unwrap();
-                let got = cached_query(&dataset, &cache, &params, |_| {
+                    exhaustive_query(&dataset, &request, &mut QueryContext::new()).unwrap();
+                let got = cached_query(&dataset, &cache, &request, |_| {
                     panic!("fallback must not be used when the cache suffices")
                 })
                 .unwrap();
@@ -207,9 +225,9 @@ mod tests {
     fn small_cache_falls_back_and_stays_correct() {
         let dataset = dataset();
         let cache = SocialNeighborCache::build(dataset.graph(), &[0], 2);
-        let params = QueryParams::new(0, 8, 0.2);
-        let expected = exhaustive_query(&dataset, &params, &mut QueryContext::new()).unwrap();
-        let got = cached_query(&dataset, &cache, &params, |p| {
+        let request = req(0, 8, 0.2);
+        let expected = exhaustive_query(&dataset, &request, &mut QueryContext::new()).unwrap();
+        let got = cached_query(&dataset, &cache, &request, |p| {
             exhaustive_query(&dataset, p, &mut QueryContext::new())
         })
         .unwrap();
@@ -220,9 +238,9 @@ mod tests {
     fn uncovered_user_goes_straight_to_fallback() {
         let dataset = dataset();
         let cache = SocialNeighborCache::build(dataset.graph(), &[1], 5);
-        let params = QueryParams::new(2, 3, 0.5);
-        let expected = exhaustive_query(&dataset, &params, &mut QueryContext::new()).unwrap();
-        let got = cached_query(&dataset, &cache, &params, |p| {
+        let request = req(2, 3, 0.5);
+        let expected = exhaustive_query(&dataset, &request, &mut QueryContext::new()).unwrap();
+        let got = cached_query(&dataset, &cache, &request, |p| {
             exhaustive_query(&dataset, p, &mut QueryContext::new())
         })
         .unwrap();
@@ -239,9 +257,9 @@ mod tests {
         let locations = vec![Some(Point::new(0.1, 0.1)); 6];
         let dataset = GeoSocialDataset::new(graph, locations).unwrap();
         let cache = SocialNeighborCache::build(dataset.graph(), &[0], 10);
-        let params = QueryParams::new(0, 5, 0.5);
-        let expected = exhaustive_query(&dataset, &params, &mut QueryContext::new()).unwrap();
-        let got = cached_query(&dataset, &cache, &params, |_| {
+        let request = req(0, 5, 0.5);
+        let expected = exhaustive_query(&dataset, &request, &mut QueryContext::new()).unwrap();
+        let got = cached_query(&dataset, &cache, &request, |_| {
             panic!("fallback must not run when the component is exhausted")
         })
         .unwrap();

@@ -1,5 +1,5 @@
 use crate::{
-    CoreError, GeoSocialDataset, QueryContext, QueryParams, QueryResult, QueryStats, RankedUser,
+    CoreError, GeoSocialDataset, QueryContext, QueryRequest, QueryResult, QueryStats, RankedUser,
     RankingContext, TopK,
 };
 use ssrq_graph::{ContractionHierarchy, IncrementalDijkstra};
@@ -14,21 +14,29 @@ use std::time::Instant;
 /// `θ = α · p(v_q, v_last)` reaches the current threshold `f_k`.
 pub fn sfa_query(
     dataset: &GeoSocialDataset,
-    params: &QueryParams,
+    request: &QueryRequest,
     qctx: &mut QueryContext,
 ) -> Result<QueryResult, CoreError> {
-    params.validate()?;
-    dataset.check_user(params.user)?;
+    request.validate()?;
+    dataset.check_user(request.user())?;
     let start = Instant::now();
-    let ctx = RankingContext::new(dataset, params);
+    let ctx = RankingContext::new(dataset, request);
     let mut stats = QueryStats::default();
-    let mut topk = TopK::new(params.k);
+    let mut topk = TopK::for_request(request);
 
-    let mut social = IncrementalDijkstra::new(dataset.graph(), params.user, &mut qctx.social);
-    while let Some((vertex, raw_social)) = social.next_settled(dataset.graph()) {
+    let mut social = IncrementalDijkstra::new(dataset.graph(), request.user(), &mut qctx.social);
+    loop {
+        let Some((vertex, raw_social)) = social.next_settled(dataset.graph()) else {
+            // The expansion exhausted the component without reaching the
+            // threshold: the remaining users are socially unreachable and
+            // therefore have infinite ranking values (α > 0), so the
+            // interim result is final — raise the bound accordingly.
+            topk.raise_threshold(f64::INFINITY);
+            break;
+        };
         stats.social_pops += 1;
         stats.vertex_pops += 1;
-        if vertex != params.user {
+        if request.admits(dataset, vertex) {
             let (score, social_norm, spatial_norm) = ctx.score_from_raw_social(vertex, raw_social);
             stats.evaluated_users += 1;
             topk.consider(RankedUser {
@@ -39,19 +47,20 @@ pub fn sfa_query(
             });
         }
         // Termination: every unseen user is at least as far socially as the
-        // last settled vertex.
-        let theta = params.alpha * ctx.normalize_social(raw_social);
+        // last settled vertex — which also makes θ a finalization bound for
+        // the entries already held.
+        let theta = request.alpha() * ctx.normalize_social(raw_social);
+        topk.raise_threshold(theta);
         if theta >= topk.fk() {
             break;
         }
     }
-    // If the expansion exhausted the component without reaching the
-    // threshold, the remaining users are socially unreachable and therefore
-    // have infinite ranking values (α > 0): the interim result is final.
 
+    stats.streamable_results = topk.finalized();
     stats.runtime = start.elapsed();
     Ok(QueryResult {
         ranked: topk.into_sorted_vec(),
+        k: request.k(),
         stats,
     })
 }
@@ -67,22 +76,22 @@ pub fn sfa_query(
 pub fn sfa_ch_query(
     dataset: &GeoSocialDataset,
     ch: &ContractionHierarchy,
-    params: &QueryParams,
+    request: &QueryRequest,
     qctx: &mut QueryContext,
 ) -> Result<QueryResult, CoreError> {
-    params.validate()?;
-    dataset.check_user(params.user)?;
+    request.validate()?;
+    dataset.check_user(request.user())?;
     let start = Instant::now();
-    let ctx = RankingContext::new(dataset, params);
+    let ctx = RankingContext::new(dataset, request);
     let mut stats = QueryStats::default();
 
     // Compute all social distances through the CH index.
     let mut order: Vec<(u32, f64)> = Vec::with_capacity(dataset.user_count().saturating_sub(1));
     for user in dataset.graph().nodes() {
-        if user == params.user {
+        if user == request.user() {
             continue;
         }
-        let d = ch.distance_with(params.user, user, &mut qctx.ch);
+        let d = ch.distance_with(request.user(), user, &mut qctx.ch);
         stats.distance_calls += 1;
         if d.is_finite() {
             order.push((user, d));
@@ -90,26 +99,38 @@ pub fn sfa_ch_query(
     }
     order.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
 
-    let mut topk = TopK::new(params.k);
+    let mut topk = TopK::for_request(request);
+    let mut terminated = false;
     for (user, raw_social) in order {
         stats.social_pops += 1;
         stats.vertex_pops += 1;
-        let (score, social_norm, spatial_norm) = ctx.score_from_raw_social(user, raw_social);
-        stats.evaluated_users += 1;
-        topk.consider(RankedUser {
-            user,
-            score,
-            social: social_norm,
-            spatial: spatial_norm,
-        });
-        let theta = params.alpha * ctx.normalize_social(raw_social);
+        if request.admits(dataset, user) {
+            let (score, social_norm, spatial_norm) = ctx.score_from_raw_social(user, raw_social);
+            stats.evaluated_users += 1;
+            topk.consider(RankedUser {
+                user,
+                score,
+                social: social_norm,
+                spatial: spatial_norm,
+            });
+        }
+        let theta = request.alpha() * ctx.normalize_social(raw_social);
+        topk.raise_threshold(theta);
         if theta >= topk.fk() {
+            terminated = true;
             break;
         }
     }
+    if !terminated {
+        // Every finite-distance user was scanned; the rest are socially
+        // unreachable (infinite score for α > 0), so the result is final.
+        topk.raise_threshold(f64::INFINITY);
+    }
+    stats.streamable_results = topk.finalized();
     stats.runtime = start.elapsed();
     Ok(QueryResult {
         ranked: topk.into_sorted_vec(),
+        k: request.k(),
         stats,
     })
 }
@@ -119,7 +140,15 @@ mod tests {
     use super::*;
     use crate::algorithms::exhaustive::exhaustive_query;
     use ssrq_graph::GraphBuilder;
-    use ssrq_spatial::Point;
+    use ssrq_spatial::{Point, Rect};
+
+    fn req(user: u32, k: usize, alpha: f64) -> QueryRequest {
+        QueryRequest::for_user(user)
+            .k(k)
+            .alpha(alpha)
+            .build()
+            .unwrap()
+    }
 
     fn dataset() -> GeoSocialDataset {
         let n = 40u32;
@@ -156,10 +185,10 @@ mod tests {
         for &alpha in &[0.1, 0.5, 0.9] {
             for &k in &[1usize, 4, 12] {
                 for user in [0u32, 7, 21, 33] {
-                    let params = QueryParams::new(user, k, alpha);
+                    let request = req(user, k, alpha);
                     let expected =
-                        exhaustive_query(&dataset, &params, &mut QueryContext::new()).unwrap();
-                    let got = sfa_query(&dataset, &params, &mut QueryContext::new()).unwrap();
+                        exhaustive_query(&dataset, &request, &mut QueryContext::new()).unwrap();
+                    let got = sfa_query(&dataset, &request, &mut QueryContext::new()).unwrap();
                     assert!(
                         got.same_users_and_scores(&expected, 1e-9),
                         "alpha {alpha}, k {k}, user {user}"
@@ -170,15 +199,34 @@ mod tests {
     }
 
     #[test]
+    fn matches_exhaustive_under_request_filters() {
+        let dataset = dataset();
+        let window = Rect::new(Point::new(0.1, 0.1), Point::new(0.8, 0.9));
+        for user in [0u32, 21] {
+            let request = QueryRequest::for_user(user)
+                .k(6)
+                .alpha(0.4)
+                .within(window)
+                .exclude([1, 2, 3])
+                .max_score(0.6)
+                .build()
+                .unwrap();
+            let expected = exhaustive_query(&dataset, &request, &mut QueryContext::new()).unwrap();
+            let got = sfa_query(&dataset, &request, &mut QueryContext::new()).unwrap();
+            assert!(got.same_users_and_scores(&expected, 1e-9), "user {user}");
+        }
+    }
+
+    #[test]
     fn ch_variant_matches_exhaustive() {
         let dataset = dataset();
         let ch = ContractionHierarchy::new(dataset.graph());
         for &alpha in &[0.3, 0.7] {
             for user in [2u32, 19] {
-                let params = QueryParams::new(user, 6, alpha);
+                let request = req(user, 6, alpha);
                 let expected =
-                    exhaustive_query(&dataset, &params, &mut QueryContext::new()).unwrap();
-                let got = sfa_ch_query(&dataset, &ch, &params, &mut QueryContext::new()).unwrap();
+                    exhaustive_query(&dataset, &request, &mut QueryContext::new()).unwrap();
+                let got = sfa_ch_query(&dataset, &ch, &request, &mut QueryContext::new()).unwrap();
                 assert!(
                     got.same_users_and_scores(&expected, 1e-9),
                     "alpha {alpha}, user {user}"
@@ -192,9 +240,10 @@ mod tests {
         let dataset = dataset();
         // With a very social-heavy alpha the first few settled vertices
         // already dominate; SFA must not expand the whole graph.
-        let params = QueryParams::new(0, 2, 0.9);
-        let result = sfa_query(&dataset, &params, &mut QueryContext::new()).unwrap();
+        let result = sfa_query(&dataset, &req(0, 2, 0.9), &mut QueryContext::new()).unwrap();
         assert!(result.stats.social_pops < dataset.user_count());
+        // The incremental threshold finalizes the result before completion.
+        assert_eq!(result.stats.streamable_results, result.ranked.len());
     }
 
     #[test]
@@ -203,12 +252,7 @@ mod tests {
             GraphBuilder::from_edges(5, vec![(0, 1, 1.0), (2, 3, 1.0), (3, 4, 1.0)]).unwrap();
         let locations = vec![Some(Point::new(0.1, 0.1)); 5];
         let dataset = GeoSocialDataset::new(graph, locations).unwrap();
-        let result = sfa_query(
-            &dataset,
-            &QueryParams::new(0, 4, 0.5),
-            &mut QueryContext::new(),
-        )
-        .unwrap();
+        let result = sfa_query(&dataset, &req(0, 4, 0.5), &mut QueryContext::new()).unwrap();
         assert_eq!(result.users(), vec![1]);
     }
 }

@@ -1,5 +1,5 @@
 use crate::{
-    CoreError, GeoSocialDataset, QueryContext, QueryParams, QueryResult, QueryStats, RankedUser,
+    CoreError, GeoSocialDataset, QueryContext, QueryRequest, QueryResult, QueryStats, RankedUser,
     RankingContext, TopK,
 };
 use ssrq_graph::{ContractionHierarchy, IncrementalDijkstra};
@@ -26,23 +26,24 @@ pub struct SpaOptions<'a> {
 pub fn spa_query(
     dataset: &GeoSocialDataset,
     grid: &UniformGrid,
-    params: &QueryParams,
+    request: &QueryRequest,
     options: SpaOptions<'_>,
     qctx: &mut QueryContext,
 ) -> Result<QueryResult, CoreError> {
-    params.validate()?;
-    dataset.check_user(params.user)?;
+    request.validate()?;
+    dataset.check_user(request.user())?;
     let start = Instant::now();
-    let ctx = RankingContext::new(dataset, params);
+    let ctx = RankingContext::new(dataset, request);
     let mut stats = QueryStats::default();
-    let mut topk = TopK::new(params.k);
+    let mut topk = TopK::for_request(request);
 
-    let Some(query_location) = dataset.location(params.user) else {
+    let Some(query_location) = dataset.location(request.user()) else {
         // Without a query location every spatial distance is infinite and no
         // candidate can achieve a finite score (α < 1).
         stats.runtime = start.elapsed();
         return Ok(QueryResult {
             ranked: Vec::new(),
+            k: request.k(),
             stats,
         });
     };
@@ -50,50 +51,59 @@ pub fn spa_query(
     // Shared social expansion: all evaluations have the query vertex as the
     // source, so one resumable Dijkstra serves every candidate (this is the
     // computation reuse the paper credits the vanilla methods with).
-    let mut social = IncrementalDijkstra::new(dataset.graph(), params.user, &mut qctx.social);
+    let mut social = IncrementalDijkstra::new(dataset.graph(), request.user(), &mut qctx.social);
 
     let mut nn = grid.nearest_neighbors(query_location);
-    while let Some(neighbor) = nn.next() {
-        if neighbor.id == params.user {
+    loop {
+        let Some(neighbor) = nn.next() else {
+            // The spatial stream is exhausted: users it never produced have
+            // no location, hence an infinite spatial distance and (for
+            // α < 1) an infinite score — the interim result is final.
+            topk.raise_threshold(f64::INFINITY);
+            break;
+        };
+        if neighbor.id == request.user() {
             continue;
         }
         stats.vertex_pops += 1;
         stats.spatial_pops = nn.pops();
         let spatial_norm = ctx.normalize_spatial(neighbor.distance);
-        let raw_social = match options.ch {
-            Some(ch) => {
-                stats.distance_calls += 1;
-                ch.distance_with(params.user, neighbor.id, &mut qctx.ch)
-            }
-            None => {
-                let before = social.settled_count();
-                let d = social.run_until_settled(dataset.graph(), neighbor.id);
-                stats.social_pops += social.settled_count() - before;
-                stats.distance_calls += 1;
-                d
-            }
-        };
-        let social_norm = ctx.normalize_social(raw_social);
-        let score = ctx.score(social_norm, spatial_norm);
-        stats.evaluated_users += 1;
-        topk.consider(RankedUser {
-            user: neighbor.id,
-            score,
-            social: social_norm,
-            spatial: spatial_norm,
-        });
-        let theta = (1.0 - params.alpha) * spatial_norm;
+        if request.admits(dataset, neighbor.id) {
+            let raw_social = match options.ch {
+                Some(ch) => {
+                    stats.distance_calls += 1;
+                    ch.distance_with(request.user(), neighbor.id, &mut qctx.ch)
+                }
+                None => {
+                    let before = social.settled_count();
+                    let d = social.run_until_settled(dataset.graph(), neighbor.id);
+                    stats.social_pops += social.settled_count() - before;
+                    stats.distance_calls += 1;
+                    d
+                }
+            };
+            let social_norm = ctx.normalize_social(raw_social);
+            let score = ctx.score(social_norm, spatial_norm);
+            stats.evaluated_users += 1;
+            topk.consider(RankedUser {
+                user: neighbor.id,
+                score,
+                social: social_norm,
+                spatial: spatial_norm,
+            });
+        }
+        let theta = (1.0 - request.alpha()) * spatial_norm;
+        topk.raise_threshold(theta);
         if theta >= topk.fk() {
             break;
         }
     }
-    // Users never produced by the spatial stream have no location, hence an
-    // infinite spatial distance and (for α < 1) an infinite score: the
-    // interim result is final.
 
+    stats.streamable_results = topk.finalized();
     stats.runtime = start.elapsed();
     Ok(QueryResult {
         ranked: topk.into_sorted_vec(),
+        k: request.k(),
         stats,
     })
 }
@@ -104,6 +114,14 @@ mod tests {
     use crate::algorithms::exhaustive::exhaustive_query;
     use ssrq_graph::GraphBuilder;
     use ssrq_spatial::{Point, Rect};
+
+    fn req(user: u32, k: usize, alpha: f64) -> QueryRequest {
+        QueryRequest::for_user(user)
+            .k(k)
+            .alpha(alpha)
+            .build()
+            .unwrap()
+    }
 
     fn dataset() -> GeoSocialDataset {
         let n = 36u32;
@@ -145,13 +163,13 @@ mod tests {
         for &alpha in &[0.1, 0.5, 0.9] {
             for &k in &[1usize, 5, 9] {
                 for user in [0u32, 8, 17, 29] {
-                    let params = QueryParams::new(user, k, alpha);
+                    let request = req(user, k, alpha);
                     let expected =
-                        exhaustive_query(&dataset, &params, &mut QueryContext::new()).unwrap();
+                        exhaustive_query(&dataset, &request, &mut QueryContext::new()).unwrap();
                     let got = spa_query(
                         &dataset,
                         &grid,
-                        &params,
+                        &request,
                         SpaOptions::default(),
                         &mut QueryContext::new(),
                     )
@@ -166,17 +184,43 @@ mod tests {
     }
 
     #[test]
+    fn matches_exhaustive_under_request_filters() {
+        let dataset = dataset();
+        let grid = grid_for(&dataset);
+        for user in [0u32, 17] {
+            let request = QueryRequest::for_user(user)
+                .k(5)
+                .alpha(0.5)
+                .within(Rect::new(Point::new(0.0, 0.0), Point::new(0.7, 0.7)))
+                .exclude([4, 9])
+                .max_score(0.7)
+                .build()
+                .unwrap();
+            let expected = exhaustive_query(&dataset, &request, &mut QueryContext::new()).unwrap();
+            let got = spa_query(
+                &dataset,
+                &grid,
+                &request,
+                SpaOptions::default(),
+                &mut QueryContext::new(),
+            )
+            .unwrap();
+            assert!(got.same_users_and_scores(&expected, 1e-9), "user {user}");
+        }
+    }
+
+    #[test]
     fn ch_variant_matches_exhaustive() {
         let dataset = dataset();
         let grid = grid_for(&dataset);
         let ch = ContractionHierarchy::new(dataset.graph());
         for user in [3u32, 24] {
-            let params = QueryParams::new(user, 5, 0.3);
-            let expected = exhaustive_query(&dataset, &params, &mut QueryContext::new()).unwrap();
+            let request = req(user, 5, 0.3);
+            let expected = exhaustive_query(&dataset, &request, &mut QueryContext::new()).unwrap();
             let got = spa_query(
                 &dataset,
                 &grid,
-                &params,
+                &request,
                 SpaOptions { ch: Some(&ch) },
                 &mut QueryContext::new(),
             )
@@ -190,11 +234,10 @@ mod tests {
         let dataset = dataset();
         let grid = grid_for(&dataset);
         // User 10 has no location (10 % 11 == 10).
-        let params = QueryParams::new(10, 5, 0.5);
         let result = spa_query(
             &dataset,
             &grid,
-            &params,
+            &req(10, 5, 0.5),
             SpaOptions::default(),
             &mut QueryContext::new(),
         )
@@ -207,11 +250,10 @@ mod tests {
         let dataset = dataset();
         let grid = grid_for(&dataset);
         // Spatial-heavy alpha: the first few NNs dominate.
-        let params = QueryParams::new(0, 1, 0.1);
         let result = spa_query(
             &dataset,
             &grid,
-            &params,
+            &req(0, 1, 0.1),
             SpaOptions::default(),
             &mut QueryContext::new(),
         )
@@ -223,11 +265,10 @@ mod tests {
     fn stats_count_spatial_and_social_work() {
         let dataset = dataset();
         let grid = grid_for(&dataset);
-        let params = QueryParams::new(5, 3, 0.5);
         let result = spa_query(
             &dataset,
             &grid,
-            &params,
+            &req(5, 3, 0.5),
             SpaOptions::default(),
             &mut QueryContext::new(),
         )

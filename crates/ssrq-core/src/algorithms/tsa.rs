@@ -1,5 +1,5 @@
 use crate::{
-    CoreError, GeoSocialDataset, QueryContext, QueryParams, QueryResult, QueryStats, RankedUser,
+    CoreError, GeoSocialDataset, QueryContext, QueryRequest, QueryResult, QueryStats, RankedUser,
     RankingContext, TopK, UserId,
 };
 use ssrq_graph::{ContractionHierarchy, IncrementalDijkstra, LandmarkSet};
@@ -38,21 +38,21 @@ pub struct TsaOptions<'a> {
 pub fn tsa_query(
     dataset: &GeoSocialDataset,
     grid: &UniformGrid,
-    params: &QueryParams,
+    request: &QueryRequest,
     options: TsaOptions<'_>,
     qctx: &mut QueryContext,
 ) -> Result<QueryResult, CoreError> {
-    params.validate()?;
-    dataset.check_user(params.user)?;
+    request.validate()?;
+    dataset.check_user(request.user())?;
     let start = Instant::now();
-    let ctx = RankingContext::new(dataset, params);
-    let alpha = params.alpha;
+    let ctx = RankingContext::new(dataset, request);
+    let alpha = request.alpha();
     let mut stats = QueryStats::default();
-    let mut topk = TopK::new(params.k);
+    let mut topk = TopK::for_request(request);
 
-    let query_location = dataset.location(params.user);
+    let query_location = dataset.location(request.user());
 
-    let mut social = IncrementalDijkstra::new(dataset.graph(), params.user, &mut qctx.social);
+    let mut social = IncrementalDijkstra::new(dataset.graph(), request.user(), &mut qctx.social);
     let mut spatial = query_location.map(|loc| grid.nearest_neighbors(loc));
 
     // Candidate set Q: user -> normalized spatial distance.
@@ -63,6 +63,13 @@ pub fn tsa_query(
     let mut td = 0.0_f64; // last spatial distance seen
     let mut social_exhausted = false;
     let mut spatial_exhausted = spatial.is_none();
+
+    // A conservative lower bound on the spatial distance of every candidate
+    // ever parked in Q (the spatial stream delivers increasing distances, so
+    // this is the distance of the first parked candidate).  It feeds the
+    // finalization bound: a pending candidate scores at least
+    // `α·t_p + (1−α)·min_pending_d`.
+    let mut min_pending_d = f64::INFINITY;
 
     // Quick Combine bookkeeping: probes made and distance reached per
     // domain, to estimate how fast each repository's distances increase.
@@ -106,7 +113,7 @@ pub fn tsa_query(
                     social_probes += 1;
                     let social_norm = ctx.normalize_social(raw_social);
                     tp = social_norm;
-                    if vertex != params.user {
+                    if request.admits(dataset, vertex) {
                         let spatial_norm = ctx.spatial(vertex);
                         let score = ctx.score(social_norm, spatial_norm);
                         stats.evaluated_users += 1;
@@ -116,10 +123,11 @@ pub fn tsa_query(
                             social: social_norm,
                             spatial: spatial_norm,
                         });
-                        // A candidate reached by the social search is now
-                        // fully evaluated and must leave Q (lines 7–8).
-                        candidates.remove(&vertex);
                     }
+                    // A candidate reached by the social search is now fully
+                    // evaluated (or inadmissible) and must leave Q
+                    // (lines 7–8).
+                    candidates.remove(&vertex);
                 }
                 None => {
                     social_exhausted = true;
@@ -134,8 +142,9 @@ pub fn tsa_query(
                     spatial_probes += 1;
                     let spatial_norm = ctx.normalize_spatial(neighbor.distance);
                     td = spatial_norm;
-                    if neighbor.id != params.user && !social.is_settled(neighbor.id) {
+                    if request.admits(dataset, neighbor.id) && !social.is_settled(neighbor.id) {
                         candidates.insert(neighbor.id, spatial_norm);
+                        min_pending_d = min_pending_d.min(spatial_norm);
                     }
                 }
                 None => {
@@ -146,6 +155,10 @@ pub fn tsa_query(
         }
 
         let theta = alpha * tp + (1.0 - alpha) * td;
+        // Entries below the *pending-aware* bound are final: future stream
+        // deliveries score at least θ, parked candidates at least
+        // `α·t_p + (1−α)·min_pending_d`.
+        topk.raise_threshold(alpha * tp + (1.0 - alpha) * td.min(min_pending_d));
         if theta >= topk.fk() {
             break;
         }
@@ -155,7 +168,7 @@ pub fn tsa_query(
     if let Some(landmarks) = options.landmarks {
         let fk = topk.fk();
         candidates.retain(|&user, &mut spatial_norm| {
-            let social_lb = ctx.normalize_social(landmarks.lower_bound(params.user, user));
+            let social_lb = ctx.normalize_social(landmarks.lower_bound(request.user(), user));
             ctx.score_lower_bound(social_lb, spatial_norm) < fk
         });
     }
@@ -168,11 +181,14 @@ pub fn tsa_query(
         let mut order: Vec<(UserId, f64)> = candidates.into_iter().collect();
         order.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
         for (user, spatial_norm) in order {
-            // θ' with this candidate's spatial distance as t'_d.
-            if alpha * tp + (1.0 - alpha) * spatial_norm >= topk.fk() {
+            // θ' with this candidate's spatial distance as t'_d — a bound on
+            // this and every later candidate (the order is ascending).
+            let theta_prime = alpha * tp + (1.0 - alpha) * spatial_norm;
+            topk.raise_threshold(theta_prime);
+            if theta_prime >= topk.fk() {
                 break;
             }
-            let raw_social = ch.distance_with(params.user, user, &mut qctx.ch);
+            let raw_social = ch.distance_with(request.user(), user, &mut qctx.ch);
             stats.distance_calls += 1;
             stats.evaluated_users += 1;
             let social_norm = ctx.normalize_social(raw_social);
@@ -190,6 +206,7 @@ pub fn tsa_query(
         let mut t_d_prime = min_value(&candidates);
         while !candidates.is_empty() {
             let theta_prime = alpha * tp + (1.0 - alpha) * t_d_prime;
+            topk.raise_threshold(theta_prime);
             if theta_prime >= topk.fk() {
                 break;
             }
@@ -211,14 +228,27 @@ pub fn tsa_query(
                         t_d_prime = min_value(&candidates);
                     }
                 }
-                None => break, // remaining candidates are socially unreachable
+                None => {
+                    // Remaining candidates are socially unreachable: the
+                    // interim result is final.
+                    topk.raise_threshold(f64::INFINITY);
+                    break;
+                }
             }
+        }
+        if candidates.is_empty() {
+            // Every candidate was resolved; only users beyond both streams
+            // remain, and they score at least θ'.
+            let theta_prime = alpha * tp + (1.0 - alpha) * t_d_prime;
+            topk.raise_threshold(theta_prime);
         }
     }
 
+    stats.streamable_results = topk.finalized();
     stats.runtime = start.elapsed();
     Ok(QueryResult {
         ranked: topk.into_sorted_vec(),
+        k: request.k(),
         stats,
     })
 }
@@ -233,6 +263,14 @@ mod tests {
     use crate::algorithms::exhaustive::exhaustive_query;
     use ssrq_graph::{GraphBuilder, LandmarkSelection};
     use ssrq_spatial::{Point, Rect};
+
+    fn req(user: u32, k: usize, alpha: f64) -> QueryRequest {
+        QueryRequest::for_user(user)
+            .k(k)
+            .alpha(alpha)
+            .build()
+            .unwrap()
+    }
 
     fn dataset() -> GeoSocialDataset {
         let n = 42u32;
@@ -274,13 +312,13 @@ mod tests {
         for &alpha in &[0.1, 0.5, 0.9] {
             for &k in &[1usize, 5, 10] {
                 for user in [0u32, 9, 20, 37] {
-                    let params = QueryParams::new(user, k, alpha);
+                    let request = req(user, k, alpha);
                     let expected =
-                        exhaustive_query(&dataset, &params, &mut QueryContext::new()).unwrap();
+                        exhaustive_query(&dataset, &request, &mut QueryContext::new()).unwrap();
                     let got = tsa_query(
                         &dataset,
                         &grid,
-                        &params,
+                        &request,
                         TsaOptions::default(),
                         &mut QueryContext::new(),
                     )
@@ -295,18 +333,44 @@ mod tests {
     }
 
     #[test]
+    fn matches_exhaustive_under_request_filters() {
+        let dataset = dataset();
+        let grid = grid_for(&dataset);
+        for user in [0u32, 20] {
+            let request = QueryRequest::for_user(user)
+                .k(6)
+                .alpha(0.5)
+                .within(Rect::new(Point::new(0.05, 0.05), Point::new(0.85, 0.9)))
+                .exclude([2, 7, 11])
+                .max_score(0.65)
+                .build()
+                .unwrap();
+            let expected = exhaustive_query(&dataset, &request, &mut QueryContext::new()).unwrap();
+            let got = tsa_query(
+                &dataset,
+                &grid,
+                &request,
+                TsaOptions::default(),
+                &mut QueryContext::new(),
+            )
+            .unwrap();
+            assert!(got.same_users_and_scores(&expected, 1e-9), "user {user}");
+        }
+    }
+
+    #[test]
     fn quick_combine_matches_exhaustive() {
         let dataset = dataset();
         let grid = grid_for(&dataset);
         for &alpha in &[0.2, 0.8] {
             for user in [1u32, 14, 30] {
-                let params = QueryParams::new(user, 6, alpha);
+                let request = req(user, 6, alpha);
                 let expected =
-                    exhaustive_query(&dataset, &params, &mut QueryContext::new()).unwrap();
+                    exhaustive_query(&dataset, &request, &mut QueryContext::new()).unwrap();
                 let got = tsa_query(
                     &dataset,
                     &grid,
-                    &params,
+                    &request,
                     TsaOptions {
                         quick_combine: true,
                         ..TsaOptions::default()
@@ -327,13 +391,13 @@ mod tests {
             LandmarkSet::build(dataset.graph(), 4, LandmarkSelection::FarthestFirst, 5).unwrap();
         for &alpha in &[0.3, 0.6] {
             for user in [4u32, 26] {
-                let params = QueryParams::new(user, 8, alpha);
+                let request = req(user, 8, alpha);
                 let expected =
-                    exhaustive_query(&dataset, &params, &mut QueryContext::new()).unwrap();
+                    exhaustive_query(&dataset, &request, &mut QueryContext::new()).unwrap();
                 let got = tsa_query(
                     &dataset,
                     &grid,
-                    &params,
+                    &request,
                     TsaOptions {
                         landmarks: Some(&landmarks),
                         ..TsaOptions::default()
@@ -354,12 +418,12 @@ mod tests {
         let landmarks =
             LandmarkSet::build(dataset.graph(), 4, LandmarkSelection::FarthestFirst, 5).unwrap();
         for user in [0u32, 11, 33] {
-            let params = QueryParams::new(user, 5, 0.4);
-            let expected = exhaustive_query(&dataset, &params, &mut QueryContext::new()).unwrap();
+            let request = req(user, 5, 0.4);
+            let expected = exhaustive_query(&dataset, &request, &mut QueryContext::new()).unwrap();
             let got = tsa_query(
                 &dataset,
                 &grid,
-                &params,
+                &request,
                 TsaOptions {
                     landmarks: Some(&landmarks),
                     ch_phase2: Some(&ch),
@@ -379,12 +443,12 @@ mod tests {
         // User 12 has no location: every candidate's spatial distance is
         // infinite, so only the social stream contributes and no finite
         // score exists (alpha < 1).
-        let params = QueryParams::new(12, 5, 0.5);
-        let expected = exhaustive_query(&dataset, &params, &mut QueryContext::new()).unwrap();
+        let request = req(12, 5, 0.5);
+        let expected = exhaustive_query(&dataset, &request, &mut QueryContext::new()).unwrap();
         let got = tsa_query(
             &dataset,
             &grid,
-            &params,
+            &request,
             TsaOptions::default(),
             &mut QueryContext::new(),
         )
@@ -397,11 +461,10 @@ mod tests {
     fn stats_reflect_twofold_search() {
         let dataset = dataset();
         let grid = grid_for(&dataset);
-        let params = QueryParams::new(0, 5, 0.5);
         let result = tsa_query(
             &dataset,
             &grid,
-            &params,
+            &req(0, 5, 0.5),
             TsaOptions::default(),
             &mut QueryContext::new(),
         )

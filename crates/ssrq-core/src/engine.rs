@@ -1,18 +1,25 @@
-use crate::ais::{ais_query, AisIndex, AisVariant};
-use crate::algorithms::{
-    cached_query, exhaustive_query, sfa_ch_query, sfa_query, spa_query, tsa_query,
-    SocialNeighborCache, SpaOptions, TsaOptions,
+use crate::ais::AisIndex;
+use crate::algorithms::SocialNeighborCache;
+use crate::strategy::AlgorithmStrategy;
+use crate::{
+    CoreError, GeoSocialDataset, QueryContext, QueryRequest, QueryResult, QuerySession,
+    StrategyRegistry, UserId,
 };
-use crate::{CoreError, GeoSocialDataset, QueryContext, QueryParams, QueryResult, UserId};
 use ssrq_graph::{ChParams, ContractionHierarchy, LandmarkSelection, LandmarkSet};
 use ssrq_spatial::{Point, Rect, UniformGrid};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// The SSRQ processing algorithm to run for a query.
 ///
 /// All algorithms return the same (exact) result set; they differ only in
 /// how much work they perform — which is precisely what the paper's
 /// evaluation measures.
+///
+/// Each variant corresponds to a built-in
+/// [`AlgorithmStrategy`](crate::AlgorithmStrategy) registered under
+/// [`Algorithm::name`]; custom strategies live alongside them in the
+/// engine's [`StrategyRegistry`] and are requested by name.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Algorithm {
     /// Brute-force oracle: full Dijkstra plus a linear scan.
@@ -61,7 +68,8 @@ impl Algorithm {
         Algorithm::SfaCached,
     ];
 
-    /// Short display name (matches the labels used in the paper's figures).
+    /// Short display name (matches the labels used in the paper's figures)
+    /// and the key the built-in strategy is registered under.
     pub fn name(&self) -> &'static str {
         match self {
             Algorithm::Exhaustive => "EXH",
@@ -80,22 +88,23 @@ impl Algorithm {
     }
 
     /// Returns `true` when the algorithm needs a Contraction Hierarchies
-    /// index (see [`EngineConfig::build_ch`]).
+    /// index (see [`ChBuild`]).
     pub fn needs_ch(&self) -> bool {
         matches!(self, Algorithm::SfaCh | Algorithm::SpaCh | Algorithm::TsaCh)
     }
 
     /// Returns `true` when the algorithm needs a pre-computed social
-    /// neighbour cache (see [`GeoSocialEngine::build_social_cache`]).
+    /// neighbour cache (see [`SocialCachePlan`]).
     pub fn needs_social_cache(&self) -> bool {
         matches!(self, Algorithm::SfaCached)
     }
 }
 
 /// Index-construction parameters of a [`GeoSocialEngine`] (the system
-/// parameters of Table 3 in the paper).
+/// parameters of Table 3 in the paper), as configured through
+/// [`EngineBuilder`].
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct EngineConfig {
+pub struct IndexParams {
     /// Partitioning granularity `s`: every AIS index node has `s × s`
     /// children, and the single-level grid used by SPA/TSA has
     /// `s^levels × s^levels` cells (capped at 256 per axis).
@@ -108,26 +117,22 @@ pub struct EngineConfig {
     pub landmark_selection: LandmarkSelection,
     /// Seed for randomized landmark selection.
     pub landmark_seed: u64,
-    /// Whether to build the Contraction Hierarchies index needed by the
-    /// `*-CH` baselines (expensive; off by default).
-    pub build_ch: bool,
 }
 
-impl Default for EngineConfig {
+impl Default for IndexParams {
     fn default() -> Self {
-        EngineConfig {
+        IndexParams {
             granularity: 10,
             ais_levels: 2,
             num_landmarks: 8,
             landmark_selection: LandmarkSelection::FarthestFirst,
             landmark_seed: 0x5537_2301,
-            build_ch: false,
         }
     }
 }
 
-impl EngineConfig {
-    /// Validates the configuration.
+impl IndexParams {
+    /// Validates the parameters.
     pub fn validate(&self) -> Result<(), CoreError> {
         if self.granularity == 0 {
             return Err(CoreError::InvalidParameter(
@@ -155,66 +160,332 @@ impl EngineConfig {
     }
 }
 
+/// How (and whether) the engine provides the Contraction Hierarchies index
+/// required by the `*-CH` baselines.
+///
+/// CH preprocessing is by far the most expensive index build (and, per the
+/// paper, of little use on social networks), so it defaults to
+/// [`ChBuild::Disabled`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ChBuild {
+    /// No CH index: a CH-requiring strategy fails with
+    /// [`CoreError::MissingIndex`].
+    #[default]
+    Disabled,
+    /// Build the index on first use.  The build runs behind a `OnceLock`,
+    /// so concurrent batch workers trigger exactly one build and the engine
+    /// stays `Send + Sync`.
+    Lazy,
+    /// Build the index during [`EngineBuilder::build`].
+    Eager,
+}
+
+/// How (and whether) the engine provides the pre-computed social neighbour
+/// lists of §5.4 (required by [`Algorithm::SfaCached`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum SocialCachePlan {
+    /// No cache: [`Algorithm::SfaCached`] fails with
+    /// [`CoreError::MissingIndex`].
+    #[default]
+    Disabled,
+    /// Pre-compute the `t` socially closest vertices for each user in
+    /// `users` on first use (behind a `OnceLock`, like [`ChBuild::Lazy`]).
+    Lazy {
+        /// The users to materialize lists for (typically the query
+        /// workload).
+        users: Vec<UserId>,
+        /// List length `t`.
+        t: usize,
+    },
+    /// Pre-compute the lists during [`EngineBuilder::build`].
+    Eager {
+        /// The users to materialize lists for.
+        users: Vec<UserId>,
+        /// List length `t`.
+        t: usize,
+    },
+}
+
+/// Fluent construction of a [`GeoSocialEngine`].
+///
+/// ```
+/// use ssrq_core::{ChBuild, GeoSocialDataset, GeoSocialEngine};
+/// use ssrq_graph::GraphBuilder;
+/// use ssrq_spatial::Point;
+///
+/// let graph = GraphBuilder::from_edges(3, vec![(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+/// let locations = vec![
+///     Some(Point::new(0.1, 0.5)),
+///     Some(Point::new(0.9, 0.5)),
+///     Some(Point::new(0.2, 0.5)),
+/// ];
+/// let dataset = GeoSocialDataset::new(graph, locations).unwrap();
+/// let engine = GeoSocialEngine::builder(dataset)
+///     .granularity(10)
+///     .landmarks(4)
+///     .with_ch(ChBuild::Lazy)
+///     .build()
+///     .unwrap();
+/// assert!(engine.contraction_hierarchy().is_none()); // not built yet
+/// ```
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    dataset: GeoSocialDataset,
+    params: IndexParams,
+    ch: ChBuild,
+    social_cache: SocialCachePlan,
+}
+
+impl EngineBuilder {
+    /// Starts a builder over `dataset` with [`IndexParams::default`], no CH
+    /// index and no social cache.
+    pub fn new(dataset: GeoSocialDataset) -> Self {
+        EngineBuilder {
+            dataset,
+            params: IndexParams::default(),
+            ch: ChBuild::Disabled,
+            social_cache: SocialCachePlan::Disabled,
+        }
+    }
+
+    /// Sets the partitioning granularity `s`.
+    pub fn granularity(mut self, s: u32) -> Self {
+        self.params.granularity = s;
+        self
+    }
+
+    /// Sets the number of retained AIS grid levels.
+    pub fn ais_levels(mut self, levels: u32) -> Self {
+        self.params.ais_levels = levels;
+        self
+    }
+
+    /// Sets the number of landmarks `M`.
+    pub fn landmarks(mut self, m: usize) -> Self {
+        self.params.num_landmarks = m;
+        self
+    }
+
+    /// Sets the landmark selection strategy.
+    pub fn landmark_selection(mut self, selection: LandmarkSelection) -> Self {
+        self.params.landmark_selection = selection;
+        self
+    }
+
+    /// Sets the seed for randomized landmark selection.
+    pub fn landmark_seed(mut self, seed: u64) -> Self {
+        self.params.landmark_seed = seed;
+        self
+    }
+
+    /// Replaces the full parameter record.
+    pub fn index_params(mut self, params: IndexParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Declares the Contraction Hierarchies index ([`ChBuild::Disabled`] by
+    /// default).
+    pub fn with_ch(mut self, mode: ChBuild) -> Self {
+        self.ch = mode;
+        self
+    }
+
+    /// Declares the social neighbour cache ([`SocialCachePlan::Disabled`]
+    /// by default).
+    pub fn with_social_cache(mut self, plan: SocialCachePlan) -> Self {
+        self.social_cache = plan;
+        self
+    }
+
+    /// Convenience for [`EngineBuilder::with_social_cache`]: lazily
+    /// materialize the `t` socially closest vertices of each user in
+    /// `users` on first [`Algorithm::SfaCached`] query.
+    pub fn cache_social_neighbors(self, users: impl Into<Vec<UserId>>, t: usize) -> Self {
+        self.with_social_cache(SocialCachePlan::Lazy {
+            users: users.into(),
+            t,
+        })
+    }
+
+    /// Builds the landmark tables, the SPA/TSA grid and the AIS aggregate
+    /// index, plus any eagerly declared auxiliary index, and returns the
+    /// engine.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] for invalid index parameters,
+    /// [`CoreError::InvalidDataset`] for an empty dataset.
+    pub fn build(self) -> Result<GeoSocialEngine, CoreError> {
+        let EngineBuilder {
+            dataset,
+            params,
+            ch: ch_mode,
+            social_cache: cache_plan,
+        } = self;
+        params.validate()?;
+        if let SocialCachePlan::Lazy { t, .. } | SocialCachePlan::Eager { t, .. } = &cache_plan {
+            if *t == 0 {
+                return Err(CoreError::InvalidParameter(
+                    "the social cache list length t must be at least 1".into(),
+                ));
+            }
+        }
+        if dataset.user_count() == 0 {
+            return Err(CoreError::InvalidDataset("the dataset has no users".into()));
+        }
+        let landmarks = LandmarkSet::build(
+            dataset.graph(),
+            params.num_landmarks,
+            params.landmark_selection,
+            params.landmark_seed,
+        )?;
+        let bounds = expanded(dataset.bounds());
+        let grid = UniformGrid::bulk_load(bounds, params.spa_grid_side(), dataset.located_users())?;
+        let ais = AisIndex::build(&dataset, &landmarks, params.granularity, params.ais_levels)?;
+        let engine = GeoSocialEngine {
+            dataset,
+            params,
+            landmarks,
+            grid,
+            ais,
+            ch_mode,
+            ch: OnceLock::new(),
+            cache_plan,
+            social_cache: OnceLock::new(),
+            strategies: StrategyRegistry::with_builtins(),
+        };
+        if engine.ch_mode == ChBuild::Eager {
+            engine.require_contraction_hierarchy()?;
+        }
+        if matches!(engine.cache_plan, SocialCachePlan::Eager { .. }) {
+            engine.require_social_cache()?;
+        }
+        Ok(engine)
+    }
+}
+
+/// Index-construction parameters of a [`GeoSocialEngine`].
+///
+/// # Deprecated
+///
+/// `EngineConfig` is the legacy struct-literal configuration.  New code
+/// should use the fluent [`EngineBuilder`]
+/// (`GeoSocialEngine::builder(dataset).granularity(10).landmarks(8).build()?`),
+/// which additionally supports *lazy* auxiliary indexes
+/// ([`ChBuild::Lazy`] / [`SocialCachePlan::Lazy`]) instead of the eager
+/// `build_ch` flag.
+#[deprecated(
+    since = "0.2.0",
+    note = "use GeoSocialEngine::builder(dataset) and the fluent EngineBuilder instead"
+)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Partitioning granularity `s` (see [`IndexParams::granularity`]).
+    pub granularity: u32,
+    /// Number of retained AIS grid levels.
+    pub ais_levels: u32,
+    /// Number of landmarks `M`.
+    pub num_landmarks: usize,
+    /// Landmark selection strategy.
+    pub landmark_selection: LandmarkSelection,
+    /// Seed for randomized landmark selection.
+    pub landmark_seed: u64,
+    /// Whether to eagerly build the Contraction Hierarchies index needed by
+    /// the `*-CH` baselines (expensive; off by default).
+    pub build_ch: bool,
+}
+
+#[allow(deprecated)]
+impl Default for EngineConfig {
+    fn default() -> Self {
+        let params = IndexParams::default();
+        EngineConfig {
+            granularity: params.granularity,
+            ais_levels: params.ais_levels,
+            num_landmarks: params.num_landmarks,
+            landmark_selection: params.landmark_selection,
+            landmark_seed: params.landmark_seed,
+            build_ch: false,
+        }
+    }
+}
+
+#[allow(deprecated)]
+impl EngineConfig {
+    /// The equivalent [`IndexParams`] record.
+    pub fn index_params(&self) -> IndexParams {
+        IndexParams {
+            granularity: self.granularity,
+            ais_levels: self.ais_levels,
+            num_landmarks: self.num_landmarks,
+            landmark_selection: self.landmark_selection,
+            landmark_seed: self.landmark_seed,
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        self.index_params().validate()
+    }
+
+    /// The side length (cells per axis) of the single-level grid used by the
+    /// SPA/TSA spatial search.
+    pub fn spa_grid_side(&self) -> u32 {
+        self.index_params().spa_grid_side()
+    }
+}
+
 /// The SSRQ query engine: owns the dataset, the spatial indexes, the
-/// landmark tables and the optional auxiliary indexes, and dispatches
-/// queries to any of the processing [`Algorithm`]s.
+/// landmark tables and the (lazily built) auxiliary indexes, and dispatches
+/// [`QueryRequest`]s through its [`StrategyRegistry`].
 #[derive(Debug, Clone)]
 pub struct GeoSocialEngine {
     dataset: GeoSocialDataset,
-    config: EngineConfig,
+    params: IndexParams,
     landmarks: LandmarkSet,
     grid: UniformGrid,
     ais: AisIndex,
-    ch: Option<ContractionHierarchy>,
-    social_cache: Option<SocialNeighborCache>,
+    ch_mode: ChBuild,
+    ch: OnceLock<ContractionHierarchy>,
+    cache_plan: SocialCachePlan,
+    social_cache: OnceLock<SocialNeighborCache>,
+    strategies: StrategyRegistry,
 }
 
-// The engine holds no interior mutability: queries take `&self` and draw
-// their mutable scratch from a caller-owned `QueryContext`, while location
-// updates go through the explicit `&mut self` API.  That makes `&engine`
-// safely shareable across the batch-query worker threads; this assertion
-// turns any future regression (e.g. an `Rc` or `RefCell` slipping into an
-// index) into a compile error.
+// The engine holds no interior mutability beyond `OnceLock` (write-once
+// lazy index initialization, which is `Sync`): queries take `&self` and
+// draw their mutable scratch from a caller-owned `QueryContext`, while
+// location updates go through the explicit `&mut self` API.  That makes
+// `&engine` safely shareable across the batch-query worker threads; this
+// assertion turns any future regression (e.g. an `Rc` or `RefCell`
+// slipping into an index) into a compile error.
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<GeoSocialEngine>();
 };
 
 impl GeoSocialEngine {
-    /// Builds all indexes for `dataset` (landmark distance tables, the
-    /// SPA/TSA grid, the AIS aggregate index, and optionally Contraction
-    /// Hierarchies).
+    /// Starts fluent engine construction; see [`EngineBuilder`].
+    pub fn builder(dataset: GeoSocialDataset) -> EngineBuilder {
+        EngineBuilder::new(dataset)
+    }
+
+    /// Builds all indexes for `dataset` from a legacy [`EngineConfig`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use GeoSocialEngine::builder(dataset)...build() instead"
+    )]
+    #[allow(deprecated)]
     pub fn build(dataset: GeoSocialDataset, config: EngineConfig) -> Result<Self, CoreError> {
-        config.validate()?;
-        if dataset.user_count() == 0 {
-            return Err(CoreError::InvalidDataset("the dataset has no users".into()));
-        }
-        let landmarks = LandmarkSet::build(
-            dataset.graph(),
-            config.num_landmarks,
-            config.landmark_selection,
-            config.landmark_seed,
-        )?;
-        let bounds = expanded(dataset.bounds());
-        let grid = UniformGrid::bulk_load(bounds, config.spa_grid_side(), dataset.located_users())?;
-        let ais = AisIndex::build(&dataset, &landmarks, config.granularity, config.ais_levels)?;
-        let ch = if config.build_ch {
-            Some(ContractionHierarchy::build(
-                dataset.graph(),
-                ChParams::default(),
-            ))
-        } else {
-            None
-        };
-        Ok(GeoSocialEngine {
-            dataset,
-            config,
-            landmarks,
-            grid,
-            ais,
-            ch,
-            social_cache: None,
-        })
+        GeoSocialEngine::builder(dataset)
+            .index_params(config.index_params())
+            .with_ch(if config.build_ch {
+                ChBuild::Eager
+            } else {
+                ChBuild::Disabled
+            })
+            .build()
     }
 
     /// The dataset the engine operates on.
@@ -222,9 +493,23 @@ impl GeoSocialEngine {
         &self.dataset
     }
 
-    /// The engine configuration.
-    pub fn config(&self) -> &EngineConfig {
-        &self.config
+    /// The index-construction parameters.
+    pub fn index_params(&self) -> &IndexParams {
+        &self.params
+    }
+
+    /// The engine configuration as a legacy [`EngineConfig`] value.
+    #[deprecated(since = "0.2.0", note = "use GeoSocialEngine::index_params instead")]
+    #[allow(deprecated)]
+    pub fn config(&self) -> EngineConfig {
+        EngineConfig {
+            granularity: self.params.granularity,
+            ais_levels: self.params.ais_levels,
+            num_landmarks: self.params.num_landmarks,
+            landmark_selection: self.params.landmark_selection,
+            landmark_seed: self.params.landmark_seed,
+            build_ch: self.ch.get().is_some(),
+        }
     }
 
     /// The landmark set shared by TSA and AIS.
@@ -242,220 +527,228 @@ impl GeoSocialEngine {
         &self.grid
     }
 
-    /// The Contraction Hierarchies index, when built.
+    /// The Contraction Hierarchies index, when already built.
+    ///
+    /// Under [`ChBuild::Lazy`] the index only exists after the first query
+    /// that needed it; use
+    /// [`GeoSocialEngine::require_contraction_hierarchy`] to force it.
     pub fn contraction_hierarchy(&self) -> Option<&ContractionHierarchy> {
-        self.ch.as_ref()
+        self.ch.get()
     }
 
-    /// Builds (or replaces) the Contraction Hierarchies index needed by the
-    /// `*-CH` baselines.
+    /// Returns the Contraction Hierarchies index, building it on the spot
+    /// when the engine was configured with [`ChBuild::Lazy`] or
+    /// [`ChBuild::Eager`].
+    ///
+    /// Concurrent callers (e.g. parallel batch workers) trigger exactly one
+    /// build; the rest block until it is ready.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::MissingIndex`] under [`ChBuild::Disabled`] (unless an
+    /// index was installed through the deprecated
+    /// `build_contraction_hierarchy`).
+    pub fn require_contraction_hierarchy(&self) -> Result<&ContractionHierarchy, CoreError> {
+        match self.ch_mode {
+            ChBuild::Disabled => self.ch.get().ok_or_else(|| {
+                CoreError::MissingIndex(
+                    "this algorithm needs a Contraction Hierarchies index; declare it \
+                     with EngineBuilder::with_ch(ChBuild::Lazy) or ChBuild::Eager"
+                        .into(),
+                )
+            }),
+            ChBuild::Lazy | ChBuild::Eager => Ok(self.ch.get_or_init(|| {
+                ContractionHierarchy::build(self.dataset.graph(), ChParams::default())
+            })),
+        }
+    }
+
+    /// Builds (or replaces) the Contraction Hierarchies index.
+    #[deprecated(
+        since = "0.2.0",
+        note = "declare the index at construction time with EngineBuilder::with_ch(ChBuild::Lazy | ChBuild::Eager)"
+    )]
     pub fn build_contraction_hierarchy(&mut self) {
-        self.ch = Some(ContractionHierarchy::build(
+        self.ch = OnceLock::new();
+        let _ = self.ch.set(ContractionHierarchy::build(
             self.dataset.graph(),
             ChParams::default(),
         ));
     }
 
-    /// Pre-computes the `t` socially closest vertices for each user in
-    /// `users` (§5.4); required by [`Algorithm::SfaCached`].
-    pub fn build_social_cache(&mut self, users: &[UserId], t: usize) {
-        self.social_cache = Some(SocialNeighborCache::build(self.dataset.graph(), users, t));
+    /// The pre-computed social neighbour cache, when already built.
+    ///
+    /// Under [`SocialCachePlan::Lazy`] the cache only exists after the
+    /// first query that needed it; use
+    /// [`GeoSocialEngine::require_social_cache`] to force it.
+    pub fn social_cache(&self) -> Option<&SocialNeighborCache> {
+        self.social_cache.get()
     }
 
-    /// The pre-computed social neighbour cache, when built.
-    pub fn social_cache(&self) -> Option<&SocialNeighborCache> {
-        self.social_cache.as_ref()
+    /// Returns the social neighbour cache, building it on the spot when the
+    /// engine was configured with a [`SocialCachePlan`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::MissingIndex`] under [`SocialCachePlan::Disabled`]
+    /// (unless a cache was installed through the deprecated
+    /// `build_social_cache`).
+    pub fn require_social_cache(&self) -> Result<&SocialNeighborCache, CoreError> {
+        match &self.cache_plan {
+            SocialCachePlan::Disabled => self.social_cache.get().ok_or_else(|| {
+                CoreError::MissingIndex(
+                    "Algorithm::SfaCached needs the pre-computed social neighbour lists; \
+                     declare them with EngineBuilder::cache_social_neighbors(users, t)"
+                        .into(),
+                )
+            }),
+            SocialCachePlan::Lazy { users, t } | SocialCachePlan::Eager { users, t } => Ok(self
+                .social_cache
+                .get_or_init(|| SocialNeighborCache::build(self.dataset.graph(), users, *t))),
+        }
+    }
+
+    /// Pre-computes the `t` socially closest vertices for each user in
+    /// `users` (§5.4).
+    #[deprecated(
+        since = "0.2.0",
+        note = "declare the cache at construction time with EngineBuilder::cache_social_neighbors(users, t)"
+    )]
+    pub fn build_social_cache(&mut self, users: &[UserId], t: usize) {
+        self.install_social_cache(SocialNeighborCache::build(self.dataset.graph(), users, t));
+    }
+
+    /// Installs (or replaces) a pre-built social neighbour cache — e.g. one
+    /// deserialized from disk, shared between engines, or swapped while
+    /// sweeping the list length `t` without rebuilding the base indexes
+    /// (the Figure 11 experiment).
+    ///
+    /// For caches derived from this engine's own graph, prefer declaring a
+    /// [`SocialCachePlan`] at construction time.
+    pub fn install_social_cache(&mut self, cache: SocialNeighborCache) {
+        self.social_cache = OnceLock::new();
+        let _ = self.social_cache.set(cache);
+    }
+
+    /// The strategy registry the engine dispatches through.
+    pub fn strategies(&self) -> &StrategyRegistry {
+        &self.strategies
+    }
+
+    /// Registers a custom [`AlgorithmStrategy`] (or replaces a built-in
+    /// registered under the same name).  Requests select it with
+    /// [`QueryRequestBuilder::algorithm`](crate::QueryRequestBuilder::algorithm)
+    /// by name.
+    ///
+    /// Returns the strategy previously registered under that name, so
+    /// wrappers can delegate to the original.
+    pub fn register_strategy(
+        &mut self,
+        strategy: Arc<dyn AlgorithmStrategy>,
+    ) -> Option<Arc<dyn AlgorithmStrategy>> {
+        self.strategies.register(strategy)
     }
 
     /// A query context pre-sized for this engine's graph.
     ///
-    /// Reuse it across queries via [`GeoSocialEngine::query_with`] to avoid
-    /// the per-query `O(|V|)` scratch allocation.
+    /// Reuse it across queries via [`GeoSocialEngine::run_with`] (or hold a
+    /// [`QuerySession`], which does so for you) to avoid the per-query
+    /// `O(|V|)` scratch allocation.
     pub fn make_context(&self) -> QueryContext {
         QueryContext::with_capacity(self.dataset.user_count())
     }
 
-    /// Processes one SSRQ query with the chosen algorithm.
+    /// A [`QuerySession`] over this engine: the recommended per-worker
+    /// query handle (owned reusable context, streaming support).
+    pub fn session(&self) -> QuerySession<'_> {
+        QuerySession::new(self)
+    }
+
+    /// Processes one request.
     ///
     /// This convenience entry point allocates a fresh [`QueryContext`] per
-    /// call; query loops should prefer [`GeoSocialEngine::query_with`] (one
-    /// reused context) or [`GeoSocialEngine::query_batch`] (one context per
-    /// worker thread).
+    /// call; query loops should prefer [`GeoSocialEngine::run_with`] / a
+    /// [`QuerySession`] (one reused context) or
+    /// [`GeoSocialEngine::run_batch`] (one context per worker thread).
     ///
     /// # Errors
     ///
-    /// * [`CoreError::InvalidParameter`] for invalid `k`/`α`, or when the
-    ///   algorithm requires an auxiliary index that has not been built.
-    /// * [`CoreError::UnknownUser`] when the query user does not exist.
-    pub fn query(
-        &self,
-        algorithm: Algorithm,
-        params: &QueryParams,
-    ) -> Result<QueryResult, CoreError> {
-        self.query_with(algorithm, params, &mut QueryContext::new())
+    /// * [`CoreError::UnknownAlgorithm`] when the request names an
+    ///   unregistered strategy.
+    /// * [`CoreError::MissingIndex`] when the strategy requires an index
+    ///   the engine was not configured to provide.
+    /// * [`CoreError::InvalidParameter`] / [`CoreError::UnknownUser`] for
+    ///   invalid request fields.
+    pub fn run(&self, request: &QueryRequest) -> Result<QueryResult, CoreError> {
+        self.run_with(request, &mut QueryContext::new())
     }
 
-    /// Processes one SSRQ query, drawing all search scratch from `ctx`.
+    /// Processes one request, drawing all search scratch from `ctx`.
     ///
     /// The context is reset before use, so reusing one across queries (of
     /// any algorithm, in any order) never changes results — it only removes
     /// the `O(|V|)` allocation from the per-query hot path.
-    pub fn query_with(
+    pub fn run_with(
         &self,
-        algorithm: Algorithm,
-        params: &QueryParams,
+        request: &QueryRequest,
         ctx: &mut QueryContext,
     ) -> Result<QueryResult, CoreError> {
-        match algorithm {
-            Algorithm::Exhaustive => exhaustive_query(&self.dataset, params, ctx),
-            Algorithm::Sfa => sfa_query(&self.dataset, params, ctx),
-            Algorithm::Spa => spa_query(
-                &self.dataset,
-                &self.grid,
-                params,
-                SpaOptions::default(),
-                ctx,
-            ),
-            Algorithm::Tsa => tsa_query(
-                &self.dataset,
-                &self.grid,
-                params,
-                TsaOptions {
-                    quick_combine: false,
-                    landmarks: Some(&self.landmarks),
-                    ch_phase2: None,
-                },
-                ctx,
-            ),
-            Algorithm::TsaQc => tsa_query(
-                &self.dataset,
-                &self.grid,
-                params,
-                TsaOptions {
-                    quick_combine: true,
-                    landmarks: Some(&self.landmarks),
-                    ch_phase2: None,
-                },
-                ctx,
-            ),
-            Algorithm::AisBid => ais_query(
-                &self.dataset,
-                &self.ais,
-                &self.landmarks,
-                params,
-                AisVariant::bid(),
-                ctx,
-            ),
-            Algorithm::AisMinus => ais_query(
-                &self.dataset,
-                &self.ais,
-                &self.landmarks,
-                params,
-                AisVariant::minus(),
-                ctx,
-            ),
-            Algorithm::Ais => ais_query(
-                &self.dataset,
-                &self.ais,
-                &self.landmarks,
-                params,
-                AisVariant::full(),
-                ctx,
-            ),
-            Algorithm::SfaCh => {
-                let ch = self.require_ch()?;
-                sfa_ch_query(&self.dataset, ch, params, ctx)
-            }
-            Algorithm::SpaCh => {
-                let ch = self.require_ch()?;
-                spa_query(
-                    &self.dataset,
-                    &self.grid,
-                    params,
-                    SpaOptions { ch: Some(ch) },
-                    ctx,
-                )
-            }
-            Algorithm::TsaCh => {
-                let ch = self.require_ch()?;
-                tsa_query(
-                    &self.dataset,
-                    &self.grid,
-                    params,
-                    TsaOptions {
-                        quick_combine: false,
-                        landmarks: Some(&self.landmarks),
-                        ch_phase2: Some(ch),
-                    },
-                    ctx,
-                )
-            }
-            Algorithm::SfaCached => {
-                let cache = self.social_cache.as_ref().ok_or_else(|| {
-                    CoreError::InvalidParameter(
-                        "Algorithm::SfaCached requires build_social_cache() first".into(),
-                    )
-                })?;
-                cached_query(&self.dataset, cache, params, |p| {
-                    ais_query(
-                        &self.dataset,
-                        &self.ais,
-                        &self.landmarks,
-                        p,
-                        AisVariant::full(),
-                        ctx,
-                    )
-                })
-            }
+        let strategy = self.strategies.resolve(request.algorithm().key())?;
+        let requires = strategy.requires();
+        if requires.contraction_hierarchy {
+            self.require_contraction_hierarchy()?;
         }
+        if requires.social_cache {
+            self.require_social_cache()?;
+        }
+        strategy.execute(self, request, ctx)
     }
 
-    /// Processes the same query with every algorithm in `algorithms`,
-    /// returning `(algorithm, result)` pairs.  Used by the experiment
-    /// harness.
-    pub fn query_all(
+    /// Processes `request` once per algorithm in `algorithms`, returning
+    /// `(algorithm, result)` pairs.  Used by the experiment harness to
+    /// compare methods on identical queries (the request's own algorithm
+    /// field is overridden).
+    pub fn run_each(
         &self,
         algorithms: &[Algorithm],
-        params: &QueryParams,
+        request: &QueryRequest,
     ) -> Result<Vec<(Algorithm, QueryResult)>, CoreError> {
         let mut ctx = self.make_context();
         algorithms
             .iter()
-            .map(|&a| self.query_with(a, params, &mut ctx).map(|r| (a, r)))
+            .map(|&a| {
+                let req = request.clone().with_algorithm(a);
+                self.run_with(&req, &mut ctx).map(|r| (a, r))
+            })
             .collect()
     }
 
-    /// Processes a batch of queries in parallel across worker threads, one
+    /// Processes a batch of requests in parallel across worker threads, one
     /// [`QueryContext`] per worker.
     ///
     /// Results arrive in input order and are identical to running
-    /// [`GeoSocialEngine::query`] sequentially on each element — every query
+    /// [`GeoSocialEngine::run`] sequentially on each element — every query
     /// is computed independently from shared read-only indexes, so thread
     /// count and scheduling cannot affect answers (the test-suite asserts
-    /// this).  Per-element errors (e.g. an unknown user in the middle of a
-    /// batch) are reported in place without failing the whole batch.
+    /// this, including under concurrent lazy index initialization).
+    /// Per-element errors (e.g. an unknown user in the middle of a batch)
+    /// are reported in place without failing the whole batch.
     ///
     /// Uses all available CPU parallelism; see
-    /// [`GeoSocialEngine::query_batch_with_threads`] to pin the worker
-    /// count.
-    pub fn query_batch(
-        &self,
-        algorithm: Algorithm,
-        batch: &[QueryParams],
-    ) -> Vec<Result<QueryResult, CoreError>> {
+    /// [`GeoSocialEngine::run_batch_with_threads`] to pin the worker count.
+    pub fn run_batch(&self, batch: &[QueryRequest]) -> Vec<Result<QueryResult, CoreError>> {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        self.query_batch_with_threads(algorithm, batch, threads)
+        self.run_batch_with_threads(batch, threads)
     }
 
-    /// [`GeoSocialEngine::query_batch`] with an explicit worker count
+    /// [`GeoSocialEngine::run_batch`] with an explicit worker count
     /// (clamped to the batch size; `0` and `1` run inline on the calling
     /// thread).
-    pub fn query_batch_with_threads(
+    pub fn run_batch_with_threads(
         &self,
-        algorithm: Algorithm,
-        batch: &[QueryParams],
+        batch: &[QueryRequest],
         threads: usize,
     ) -> Vec<Result<QueryResult, CoreError>> {
         let threads = threads.min(batch.len());
@@ -463,7 +756,7 @@ impl GeoSocialEngine {
             let mut ctx = self.make_context();
             return batch
                 .iter()
-                .map(|params| self.query_with(algorithm, params, &mut ctx))
+                .map(|request| self.run_with(request, &mut ctx))
                 .collect();
         }
 
@@ -482,8 +775,8 @@ impl GeoSocialEngine {
                         let mut local = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(params) = batch.get(i) else { break };
-                            local.push((i, self.query_with(algorithm, params, &mut ctx)));
+                            let Some(request) = batch.get(i) else { break };
+                            local.push((i, self.run_with(request, &mut ctx)));
                         }
                         local
                     })
@@ -495,6 +788,87 @@ impl GeoSocialEngine {
         });
         results.sort_unstable_by_key(|&(i, _)| i);
         results.into_iter().map(|(_, result)| result).collect()
+    }
+
+    /// Processes one SSRQ query with the chosen algorithm.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a QueryRequest and use GeoSocialEngine::run instead"
+    )]
+    #[allow(deprecated)]
+    pub fn query(
+        &self,
+        algorithm: Algorithm,
+        params: &crate::QueryParams,
+    ) -> Result<QueryResult, CoreError> {
+        self.run(&QueryRequest::from(*params).with_algorithm(algorithm))
+    }
+
+    /// Processes one SSRQ query with the chosen algorithm, drawing all
+    /// search scratch from `ctx`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a QueryRequest and use GeoSocialEngine::run_with instead"
+    )]
+    #[allow(deprecated)]
+    pub fn query_with(
+        &self,
+        algorithm: Algorithm,
+        params: &crate::QueryParams,
+        ctx: &mut QueryContext,
+    ) -> Result<QueryResult, CoreError> {
+        self.run_with(&QueryRequest::from(*params).with_algorithm(algorithm), ctx)
+    }
+
+    /// Processes the same query with every algorithm in `algorithms`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a QueryRequest and use GeoSocialEngine::run_each instead"
+    )]
+    #[allow(deprecated)]
+    pub fn query_all(
+        &self,
+        algorithms: &[Algorithm],
+        params: &crate::QueryParams,
+    ) -> Result<Vec<(Algorithm, QueryResult)>, CoreError> {
+        self.run_each(algorithms, &QueryRequest::from(*params))
+    }
+
+    /// Processes a batch of legacy parameter triples in parallel.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build QueryRequests and use GeoSocialEngine::run_batch instead"
+    )]
+    #[allow(deprecated)]
+    pub fn query_batch(
+        &self,
+        algorithm: Algorithm,
+        batch: &[crate::QueryParams],
+    ) -> Vec<Result<QueryResult, CoreError>> {
+        let requests: Vec<QueryRequest> = batch
+            .iter()
+            .map(|&p| QueryRequest::from(p).with_algorithm(algorithm))
+            .collect();
+        self.run_batch(&requests)
+    }
+
+    /// [`GeoSocialEngine::query_batch`] with an explicit worker count.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build QueryRequests and use GeoSocialEngine::run_batch_with_threads instead"
+    )]
+    #[allow(deprecated)]
+    pub fn query_batch_with_threads(
+        &self,
+        algorithm: Algorithm,
+        batch: &[crate::QueryParams],
+        threads: usize,
+    ) -> Vec<Result<QueryResult, CoreError>> {
+        let requests: Vec<QueryRequest> = batch
+            .iter()
+            .map(|&p| QueryRequest::from(p).with_algorithm(algorithm))
+            .collect();
+        self.run_batch_with_threads(&requests, threads)
     }
 
     /// Reports a new location for `user`, updating the dataset, the SPA/TSA
@@ -526,16 +900,6 @@ impl GeoSocialEngine {
         }
         Ok(())
     }
-
-    fn require_ch(&self) -> Result<&ContractionHierarchy, CoreError> {
-        self.ch.as_ref().ok_or_else(|| {
-            CoreError::InvalidParameter(
-                "this algorithm needs a Contraction Hierarchies index; set \
-                 EngineConfig::build_ch or call build_contraction_hierarchy()"
-                    .into(),
-            )
-        })
-    }
 }
 
 fn expanded(bounds: Rect) -> Rect {
@@ -547,6 +911,15 @@ fn expanded(bounds: Rect) -> Rect {
 mod tests {
     use super::*;
     use ssrq_graph::GraphBuilder;
+
+    fn request(user: UserId, k: usize, alpha: f64, algorithm: Algorithm) -> QueryRequest {
+        QueryRequest::for_user(user)
+            .k(k)
+            .alpha(alpha)
+            .algorithm(algorithm)
+            .build()
+            .unwrap()
+    }
 
     fn dataset() -> GeoSocialDataset {
         let n = 50u32;
@@ -578,25 +951,32 @@ mod tests {
     }
 
     fn engine() -> GeoSocialEngine {
-        let config = EngineConfig {
-            granularity: 4,
-            ..EngineConfig::default()
-        };
-        GeoSocialEngine::build(dataset(), config).unwrap()
+        GeoSocialEngine::builder(dataset())
+            .granularity(4)
+            .build()
+            .unwrap()
+    }
+
+    fn full_engine(query_users: &[UserId]) -> GeoSocialEngine {
+        GeoSocialEngine::builder(dataset())
+            .granularity(4)
+            .with_ch(ChBuild::Lazy)
+            .cache_social_neighbors(query_users.to_vec(), 60)
+            .build()
+            .unwrap()
     }
 
     #[test]
     fn every_algorithm_agrees_with_the_oracle() {
-        let mut engine = engine();
-        engine.build_contraction_hierarchy();
         let query_users = [0u32, 7, 23, 41];
-        engine.build_social_cache(&query_users, 60);
+        let engine = full_engine(&query_users);
         for &user in &query_users {
             for &alpha in &[0.3, 0.7] {
-                let params = QueryParams::new(user, 6, alpha);
-                let expected = engine.query(Algorithm::Exhaustive, &params).unwrap();
+                let expected = engine
+                    .run(&request(user, 6, alpha, Algorithm::Exhaustive))
+                    .unwrap();
                 for algorithm in Algorithm::ALL {
-                    let got = engine.query(algorithm, &params).unwrap();
+                    let got = engine.run(&request(user, 6, alpha, algorithm)).unwrap();
                     assert!(
                         got.same_users_and_scores(&expected, 1e-9),
                         "{} disagrees with the oracle for user {user}, alpha {alpha}:\n  got {:?}\n  expected {:?}",
@@ -607,55 +987,123 @@ mod tests {
                 }
             }
         }
+        // Both lazy indexes were built on demand.
+        assert!(engine.contraction_hierarchy().is_some());
+        assert!(engine.social_cache().is_some());
     }
 
     #[test]
-    fn ch_algorithms_require_the_index() {
+    fn disabled_ch_yields_a_typed_missing_index_error() {
         let engine = engine();
-        let params = QueryParams::new(0, 5, 0.5);
         for algorithm in [Algorithm::SfaCh, Algorithm::SpaCh, Algorithm::TsaCh] {
             assert!(algorithm.needs_ch());
             assert!(matches!(
-                engine.query(algorithm, &params),
-                Err(CoreError::InvalidParameter(_))
+                engine.run(&request(0, 5, 0.5, algorithm)),
+                Err(CoreError::MissingIndex(_))
             ));
         }
+        assert!(engine.contraction_hierarchy().is_none());
     }
 
     #[test]
-    fn cached_algorithm_requires_the_cache() {
+    fn lazy_ch_is_built_on_first_use_only() {
+        let engine = GeoSocialEngine::builder(dataset())
+            .granularity(4)
+            .with_ch(ChBuild::Lazy)
+            .build()
+            .unwrap();
+        assert!(engine.contraction_hierarchy().is_none());
+        let oracle = engine
+            .run(&request(0, 5, 0.5, Algorithm::Exhaustive))
+            .unwrap();
+        // Non-CH queries must not trigger the build.
+        assert!(engine.contraction_hierarchy().is_none());
+        let got = engine.run(&request(0, 5, 0.5, Algorithm::SfaCh)).unwrap();
+        assert!(engine.contraction_hierarchy().is_some());
+        assert!(got.same_users_and_scores(&oracle, 1e-9));
+    }
+
+    #[test]
+    fn disabled_social_cache_yields_a_typed_missing_index_error() {
         let engine = engine();
         assert!(Algorithm::SfaCached.needs_social_cache());
-        let params = QueryParams::new(0, 5, 0.5);
         assert!(matches!(
-            engine.query(Algorithm::SfaCached, &params),
-            Err(CoreError::InvalidParameter(_))
+            engine.run(&request(0, 5, 0.5, Algorithm::SfaCached)),
+            Err(CoreError::MissingIndex(_))
         ));
     }
 
     #[test]
-    fn config_validation_and_derived_grid_side() {
-        assert!(EngineConfig::default().validate().is_ok());
-        let bad = EngineConfig {
+    fn unknown_algorithm_names_are_rejected() {
+        let engine = engine();
+        let req = QueryRequest::for_user(0)
+            .algorithm("NOT-REGISTERED")
+            .build()
+            .unwrap();
+        assert!(matches!(
+            engine.run(&req),
+            Err(CoreError::UnknownAlgorithm(_))
+        ));
+    }
+
+    #[test]
+    fn custom_strategies_can_be_registered_and_dispatched() {
+        struct Oracle2;
+        impl crate::AlgorithmStrategy for Oracle2 {
+            fn name(&self) -> &str {
+                "ORACLE-2"
+            }
+            fn execute(
+                &self,
+                engine: &GeoSocialEngine,
+                request: &QueryRequest,
+                ctx: &mut QueryContext,
+            ) -> Result<QueryResult, CoreError> {
+                crate::algorithms::exhaustive_query(engine.dataset(), request, ctx)
+            }
+        }
+        let mut engine = engine();
+        assert!(engine.register_strategy(Arc::new(Oracle2)).is_none());
+        assert!(engine.strategies().names().contains(&"ORACLE-2"));
+        let via_custom = engine
+            .run(
+                &QueryRequest::for_user(3)
+                    .k(5)
+                    .alpha(0.4)
+                    .algorithm("ORACLE-2")
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        let via_builtin = engine
+            .run(&request(3, 5, 0.4, Algorithm::Exhaustive))
+            .unwrap();
+        assert_eq!(via_custom.ranked, via_builtin.ranked);
+    }
+
+    #[test]
+    fn index_params_validation_and_derived_grid_side() {
+        assert!(IndexParams::default().validate().is_ok());
+        let bad = IndexParams {
             granularity: 0,
-            ..EngineConfig::default()
+            ..IndexParams::default()
         };
         assert!(bad.validate().is_err());
-        let bad = EngineConfig {
+        let bad = IndexParams {
             num_landmarks: 0,
-            ..EngineConfig::default()
+            ..IndexParams::default()
         };
         assert!(bad.validate().is_err());
-        let cfg = EngineConfig {
+        let cfg = IndexParams {
             granularity: 20,
             ais_levels: 2,
-            ..EngineConfig::default()
+            ..IndexParams::default()
         };
         assert_eq!(cfg.spa_grid_side(), 256); // capped
-        let cfg = EngineConfig {
+        let cfg = IndexParams {
             granularity: 5,
             ais_levels: 2,
-            ..EngineConfig::default()
+            ..IndexParams::default()
         };
         assert_eq!(cfg.spa_grid_side(), 25);
     }
@@ -663,7 +1111,6 @@ mod tests {
     #[test]
     fn location_updates_keep_all_algorithms_consistent() {
         let mut engine = engine();
-        let params = QueryParams::new(0, 5, 0.5);
         // Move a handful of users around, including one that previously had
         // no location, then re-verify agreement between AIS and the oracle.
         engine.update_location(9, Point::new(0.42, 0.13)).unwrap();
@@ -676,8 +1123,10 @@ mod tests {
             Algorithm::Tsa,
             Algorithm::Ais,
         ] {
-            let expected = engine.query(Algorithm::Exhaustive, &params).unwrap();
-            let got = engine.query(algorithm, &params).unwrap();
+            let expected = engine
+                .run(&request(0, 5, 0.5, Algorithm::Exhaustive))
+                .unwrap();
+            let got = engine.run(&request(0, 5, 0.5, algorithm)).unwrap();
             assert!(
                 got.same_users_and_scores(&expected, 1e-9),
                 "{} inconsistent after location updates",
@@ -687,11 +1136,13 @@ mod tests {
     }
 
     #[test]
-    fn query_all_returns_one_result_per_algorithm() {
+    fn run_each_returns_one_result_per_algorithm() {
         let engine = engine();
-        let params = QueryParams::new(5, 4, 0.4);
         let results = engine
-            .query_all(&[Algorithm::Sfa, Algorithm::Ais], &params)
+            .run_each(
+                &[Algorithm::Sfa, Algorithm::Ais],
+                &QueryRequest::for_user(5).k(4).alpha(0.4).build().unwrap(),
+            )
             .unwrap();
         assert_eq!(results.len(), 2);
         assert_eq!(results[0].0, Algorithm::Sfa);
@@ -712,5 +1163,44 @@ mod tests {
         let err = GeoSocialDataset::new(graph, vec![]);
         // An empty dataset cannot even be constructed (no located user).
         assert!(err.is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_return_bit_identical_results() {
+        let query_users = [0u32, 7, 23];
+        let mut legacy = GeoSocialEngine::build(
+            dataset(),
+            EngineConfig {
+                granularity: 4,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        legacy.build_contraction_hierarchy();
+        legacy.build_social_cache(&query_users, 60);
+        let modern = full_engine(&query_users);
+        for &user in &query_users {
+            let params = crate::QueryParams::new(user, 6, 0.4);
+            for algorithm in Algorithm::ALL {
+                let old = legacy.query(algorithm, &params).unwrap();
+                let new = modern.run(&request(user, 6, 0.4, algorithm)).unwrap();
+                assert_eq!(old.ranked, new.ranked, "{}", algorithm.name());
+            }
+        }
+        // Legacy batch shim matches the request batch path bit for bit.
+        let params: Vec<crate::QueryParams> = query_users
+            .iter()
+            .map(|&u| crate::QueryParams::new(u, 6, 0.4))
+            .collect();
+        let requests: Vec<QueryRequest> = query_users
+            .iter()
+            .map(|&u| request(u, 6, 0.4, Algorithm::Ais))
+            .collect();
+        let old = legacy.query_batch_with_threads(Algorithm::Ais, &params, 2);
+        let new = modern.run_batch_with_threads(&requests, 2);
+        for (o, n) in old.iter().zip(new.iter()) {
+            assert_eq!(o.as_ref().unwrap().ranked, n.as_ref().unwrap().ranked);
+        }
     }
 }

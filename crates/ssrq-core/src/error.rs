@@ -9,6 +9,15 @@ pub enum CoreError {
     InvalidParameter(String),
     /// A user id that does not exist in the dataset was referenced.
     UnknownUser(u32),
+    /// A query named an algorithm that is not registered with the engine's
+    /// strategy registry.
+    UnknownAlgorithm(String),
+    /// A strategy needs an auxiliary index that the engine was not
+    /// configured to provide (see
+    /// [`EngineBuilder`](crate::EngineBuilder) — declare the index with
+    /// [`ChBuild`](crate::ChBuild) / [`SocialCachePlan`](crate::SocialCachePlan)
+    /// to have it built lazily or eagerly).
+    MissingIndex(String),
     /// The dataset is malformed (e.g. location list shorter than the graph).
     InvalidDataset(String),
     /// An error bubbled up from the graph substrate.
@@ -22,6 +31,10 @@ impl fmt::Display for CoreError {
         match self {
             CoreError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             CoreError::UnknownUser(id) => write!(f, "unknown user {id}"),
+            CoreError::UnknownAlgorithm(name) => {
+                write!(f, "no algorithm strategy registered under {name:?}")
+            }
+            CoreError::MissingIndex(msg) => write!(f, "missing index: {msg}"),
             CoreError::InvalidDataset(msg) => write!(f, "invalid dataset: {msg}"),
             CoreError::Graph(e) => write!(f, "graph error: {e}"),
             CoreError::Spatial(e) => write!(f, "spatial error: {e}"),

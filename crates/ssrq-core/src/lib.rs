@@ -12,6 +12,25 @@
 //! where `p` is the normalized shortest-path distance in the social graph
 //! and `d` the normalized Euclidean distance between current locations.
 //!
+//! # Service API
+//!
+//! The public API is built from four pieces:
+//!
+//! 1. **[`EngineBuilder`]** — fluent engine construction over a
+//!    [`GeoSocialDataset`].  Expensive auxiliary indexes are *declared*
+//!    ([`ChBuild`], [`SocialCachePlan`]) and built lazily on first use (or
+//!    eagerly), behind `OnceLock` so the engine stays `Send + Sync`.
+//! 2. **[`QueryRequest`]** — a typed, validated query: `u_q`, `k`, `α`, the
+//!    algorithm, and per-query scenario options (spatial filter window,
+//!    exclusion set, score cutoff) honoured by every algorithm.
+//! 3. **[`AlgorithmStrategy`]** — every processing algorithm is a strategy
+//!    object in the engine's [`StrategyRegistry`]; downstream crates add or
+//!    wrap algorithms via
+//!    [`GeoSocialEngine::register_strategy`] without touching the engine.
+//! 4. **[`QuerySession`]** — a per-worker handle (engine reference + owned
+//!    [`QueryContext`]) with [`QuerySession::run`] and the finalization-order
+//!    iterator [`QuerySession::stream`].
+//!
 //! # Processing algorithms
 //!
 //! | [`Algorithm`] | Paper section | Idea |
@@ -27,12 +46,8 @@
 //! | [`Algorithm::SfaCh`], [`Algorithm::SpaCh`], [`Algorithm::TsaCh`] | §6 | the `*-CH` baselines (Contraction Hierarchies distance module) |
 //! | [`Algorithm::SfaCached`] | §5.4 | pre-computed socially-closest lists with AIS fallback |
 //!
-//! The entry point is [`GeoSocialEngine`]: build it once from a
-//! [`GeoSocialDataset`] and an [`EngineConfig`], then issue any number of
-//! queries with any algorithm.
-//!
 //! ```
-//! use ssrq_core::{Algorithm, EngineConfig, GeoSocialDataset, GeoSocialEngine, QueryParams};
+//! use ssrq_core::{Algorithm, GeoSocialDataset, GeoSocialEngine, QueryRequest};
 //! use ssrq_graph::GraphBuilder;
 //! use ssrq_spatial::Point;
 //!
@@ -45,12 +60,33 @@
 //!     Some(Point::new(0.8, 0.5)),
 //! ];
 //! let dataset = GeoSocialDataset::new(graph, locations).unwrap();
-//! let engine = GeoSocialEngine::build(dataset, EngineConfig::default()).unwrap();
-//! let result = engine
-//!     .query(Algorithm::Ais, &QueryParams::new(0, 2, 0.5))
+//! let engine = GeoSocialEngine::builder(dataset).build().unwrap();
+//!
+//! let mut session = engine.session();
+//! let request = QueryRequest::for_user(0)
+//!     .k(2)
+//!     .alpha(0.5)
+//!     .algorithm(Algorithm::Ais)
+//!     .build()
 //!     .unwrap();
+//! let result = session.run(&request).unwrap();
 //! assert_eq!(result.ranked.len(), 2);
 //! ```
+//!
+//! # Migrating from the 0.1 API
+//!
+//! The 0.1 entry points still compile (deprecated) and return bit-identical
+//! results:
+//!
+//! * `GeoSocialEngine::build(dataset, EngineConfig { .. })` →
+//!   [`GeoSocialEngine::builder`] + [`EngineBuilder`] methods.
+//! * `engine.build_contraction_hierarchy()` / `engine.build_social_cache(..)`
+//!   → declare at construction time with [`EngineBuilder::with_ch`] /
+//!   [`EngineBuilder::cache_social_neighbors`] (lazy by default).
+//! * `engine.query(algorithm, &QueryParams::new(u, k, a))` →
+//!   `engine.run(&QueryRequest::for_user(u).k(k).alpha(a).algorithm(algorithm).build()?)`.
+//! * `engine.query_batch(algorithm, &params)` →
+//!   [`GeoSocialEngine::run_batch`] over [`QueryRequest`]s.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -63,14 +99,27 @@ mod engine;
 mod error;
 mod query;
 mod ranking;
+mod request;
 mod result;
+mod session;
 mod stats;
+mod strategy;
 
+pub use algorithms::SocialNeighborCache;
 pub use context::QueryContext;
 pub use dataset::{GeoSocialDataset, UserId};
-pub use engine::{Algorithm, EngineConfig, GeoSocialEngine};
+#[allow(deprecated)]
+pub use engine::EngineConfig;
+pub use engine::{
+    Algorithm, ChBuild, EngineBuilder, GeoSocialEngine, IndexParams, SocialCachePlan,
+};
 pub use error::CoreError;
-pub use query::{QueryParams, QueryResult, RankedUser};
+#[allow(deprecated)]
+pub use query::QueryParams;
+pub use query::{QueryResult, RankedUser};
 pub use ranking::{combine, RankingContext};
+pub use request::{AlgorithmSpec, QueryRequest, QueryRequestBuilder};
 pub use result::TopK;
+pub use session::{QuerySession, QueryStream};
 pub use stats::QueryStats;
+pub use strategy::{builtin_strategy, AlgorithmStrategy, IndexRequirements, StrategyRegistry};

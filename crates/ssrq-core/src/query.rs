@@ -1,6 +1,29 @@
 use crate::{CoreError, QueryStats, UserId};
 
 /// Parameters of one SSRQ query (Definition 1 of the paper).
+///
+/// # Deprecated
+///
+/// `QueryParams` is the legacy flat parameter triple.  New code should
+/// build a typed [`QueryRequest`](crate::QueryRequest) instead, which adds
+/// the algorithm choice and per-query scenario options (spatial filter,
+/// exclusions, score cutoff):
+///
+/// ```
+/// use ssrq_core::{Algorithm, QueryRequest};
+/// let request = QueryRequest::for_user(42)
+///     .k(10)
+///     .alpha(0.3)
+///     .algorithm(Algorithm::Ais)
+///     .build()
+///     .unwrap();
+/// ```
+///
+/// A `QueryParams` converts losslessly into a request via `From`/`Into`.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a typed QueryRequest (QueryRequest::for_user(u).k(..).alpha(..).build()) instead"
+)]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QueryParams {
     /// The query user `u_q`.
@@ -12,6 +35,7 @@ pub struct QueryParams {
     pub alpha: f64,
 }
 
+#[allow(deprecated)]
 impl QueryParams {
     /// Creates query parameters.
     pub fn new(user: UserId, k: usize, alpha: f64) -> Self {
@@ -62,8 +86,11 @@ pub struct RankedUser {
 pub struct QueryResult {
     /// The top-k users in ascending order of ranking value.  May contain
     /// fewer than `k` entries when fewer than `k` users have a finite
-    /// ranking value.
+    /// ranking value (or pass the request's filters).
     pub ranked: Vec<RankedUser>,
+    /// The `k` the query asked for.  A result with `ranked.len() < k` is
+    /// *complete*: every admissible user is listed.
+    pub k: usize,
     /// Work counters and timing for the query.
     pub stats: QueryStats,
 }
@@ -80,9 +107,23 @@ impl QueryResult {
         self.ranked.last().map(|r| r.score)
     }
 
-    /// Returns `true` when the two results contain the same users with the
-    /// same scores up to `tolerance` (rank order of equal-score users may
-    /// legitimately differ between algorithms).
+    /// Returns `true` when the result lists *every* admissible user, i.e.
+    /// it was not truncated at `k`.
+    pub fn is_complete(&self) -> bool {
+        self.ranked.len() < self.k
+    }
+
+    /// Returns `true` when the two results are interchangeable answers to
+    /// the same query: same length, position-wise equal scores up to
+    /// `tolerance`, and the same *user sets* within every score-tie group.
+    ///
+    /// Rank order of equal-score users may legitimately differ between
+    /// algorithms, so users are compared per tie group rather than
+    /// position-wise.  The one legitimate set difference is the final tie
+    /// group of a *truncated* result (`ranked.len() == k`): when the k-th
+    /// and (k+1)-th best scores tie, algorithms may break the tie toward
+    /// different users, so that group is only compared when both results
+    /// are complete.
     pub fn same_users_and_scores(&self, other: &QueryResult, tolerance: f64) -> bool {
         if self.ranked.len() != other.ranked.len() {
             return false;
@@ -92,6 +133,27 @@ impl QueryResult {
             if (a.score - b.score).abs() > tolerance {
                 return false;
             }
+        }
+        // User sets must match within every score-tie group (adjacent
+        // entries whose scores differ by at most `tolerance`).
+        let len = self.ranked.len();
+        let compare_trailing = self.is_complete() && other.is_complete();
+        let mut start = 0;
+        while start < len {
+            let mut end = start + 1;
+            while end < len && self.ranked[end].score - self.ranked[end - 1].score <= tolerance {
+                end += 1;
+            }
+            if end < len || compare_trailing {
+                let mut a: Vec<UserId> = self.ranked[start..end].iter().map(|r| r.user).collect();
+                let mut b: Vec<UserId> = other.ranked[start..end].iter().map(|r| r.user).collect();
+                a.sort_unstable();
+                b.sort_unstable();
+                if a != b {
+                    return false;
+                }
+            }
+            start = end;
         }
         true
     }
@@ -110,7 +172,16 @@ mod tests {
         }
     }
 
+    fn result(k: usize, entries: Vec<RankedUser>) -> QueryResult {
+        QueryResult {
+            ranked: entries,
+            k,
+            stats: QueryStats::default(),
+        }
+    }
+
     #[test]
+    #[allow(deprecated)]
     fn validation_accepts_paper_ranges() {
         for alpha in [0.1, 0.3, 0.5, 0.7, 0.9] {
             assert!(QueryParams::new(0, 30, alpha).validate().is_ok());
@@ -118,6 +189,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn validation_rejects_degenerate_parameters() {
         assert!(QueryParams::new(0, 0, 0.5).validate().is_err());
         assert!(QueryParams::new(0, 10, 0.0).validate().is_err());
@@ -128,34 +200,58 @@ mod tests {
 
     #[test]
     fn result_accessors() {
-        let result = QueryResult {
-            ranked: vec![ranked(4, 0.1), ranked(2, 0.2), ranked(7, 0.35)],
-            stats: QueryStats::default(),
-        };
+        let result = result(5, vec![ranked(4, 0.1), ranked(2, 0.2), ranked(7, 0.35)]);
         assert_eq!(result.users(), vec![4, 2, 7]);
         assert_eq!(result.fk(), Some(0.35));
+        assert!(result.is_complete());
         let empty = QueryResult {
             ranked: vec![],
+            k: 3,
             stats: QueryStats::default(),
         };
         assert_eq!(empty.fk(), None);
     }
 
     #[test]
-    fn result_comparison_tolerates_score_ties() {
-        let a = QueryResult {
-            ranked: vec![ranked(1, 0.1), ranked(2, 0.2)],
-            stats: QueryStats::default(),
-        };
+    fn result_comparison_tolerates_trailing_score_ties_when_truncated() {
+        // k == len: the result is truncated, so the trailing tie group may
+        // resolve to different users.
+        let a = result(2, vec![ranked(1, 0.1), ranked(2, 0.2)]);
         let mut b = a.clone();
-        b.ranked[0].user = 9; // different user with identical score
+        b.ranked[1].user = 9; // different user, same score, trailing group
         assert!(a.same_users_and_scores(&b, 1e-9));
         b.ranked[1].score = 0.4;
         assert!(!a.same_users_and_scores(&b, 1e-9));
-        let shorter = QueryResult {
-            ranked: vec![ranked(1, 0.1)],
-            stats: QueryStats::default(),
-        };
+        let shorter = result(2, vec![ranked(1, 0.1)]);
         assert!(!a.same_users_and_scores(&shorter, 1e-9));
+    }
+
+    #[test]
+    fn disjoint_users_with_equal_scores_no_longer_compare_equal() {
+        // Complete results (len < k): every tie group must hold the same
+        // user set, including the trailing one.
+        let a = result(5, vec![ranked(1, 0.2), ranked(2, 0.2), ranked(3, 0.2)]);
+        let mut b = a.clone();
+        b.ranked[0].user = 7;
+        b.ranked[1].user = 8;
+        b.ranked[2].user = 9;
+        assert!(!a.same_users_and_scores(&b, 1e-9));
+        // Same set in a different order is fine.
+        let mut c = a.clone();
+        c.ranked.swap(0, 2);
+        assert!(a.same_users_and_scores(&c, 1e-9));
+    }
+
+    #[test]
+    fn interior_tie_groups_are_compared_even_when_truncated() {
+        // The {0.2, 0.2} group is fully above the cutoff: its users must
+        // match even though the result is truncated at k.
+        let a = result(3, vec![ranked(1, 0.2), ranked(2, 0.2), ranked(3, 0.9)]);
+        let mut b = a.clone();
+        b.ranked[0].user = 5; // interior group differs -> not interchangeable
+        assert!(!a.same_users_and_scores(&b, 1e-9));
+        let mut c = a.clone();
+        c.ranked.swap(0, 1); // same interior set, different order -> fine
+        assert!(a.same_users_and_scores(&c, 1e-9));
     }
 }

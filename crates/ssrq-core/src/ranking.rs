@@ -1,4 +1,4 @@
-use crate::{GeoSocialDataset, QueryParams, UserId};
+use crate::{GeoSocialDataset, QueryRequest, UserId};
 
 /// Combines a normalized social distance and a normalized spatial distance
 /// into the SSRQ ranking value `f = α · p + (1 − α) · d` (Equation 1 of the
@@ -28,11 +28,11 @@ pub struct RankingContext<'a> {
 
 impl<'a> RankingContext<'a> {
     /// Creates a ranking context for one query.
-    pub fn new(dataset: &'a GeoSocialDataset, params: &QueryParams) -> Self {
+    pub fn new(dataset: &'a GeoSocialDataset, request: &QueryRequest) -> Self {
         RankingContext {
             dataset,
-            query_user: params.user,
-            alpha: params.alpha,
+            query_user: request.user(),
+            alpha: request.alpha(),
         }
     }
 
@@ -120,8 +120,8 @@ mod tests {
     #[test]
     fn context_normalizes_both_domains() {
         let ds = dataset();
-        let params = QueryParams::new(0, 1, 0.5);
-        let ctx = RankingContext::new(&ds, &params);
+        let request = QueryRequest::for_user(0).k(1).alpha(0.5).build().unwrap();
+        let ctx = RankingContext::new(&ds, &request);
         assert_eq!(ctx.query_user(), 0);
         assert_eq!(ctx.alpha(), 0.5);
         // User 1: raw social 1.0 of diameter 2.0 -> 0.5; raw spatial 1.0 of
@@ -135,8 +135,8 @@ mod tests {
     #[test]
     fn missing_location_gives_infinite_score() {
         let ds = dataset();
-        let params = QueryParams::new(0, 1, 0.5);
-        let ctx = RankingContext::new(&ds, &params);
+        let request = QueryRequest::for_user(0).k(1).alpha(0.5).build().unwrap();
+        let ctx = RankingContext::new(&ds, &request);
         let (f, _, spatial) = ctx.score_from_raw_social(2, 2.0);
         assert!(spatial.is_infinite());
         assert!(f.is_infinite());
@@ -145,8 +145,8 @@ mod tests {
     #[test]
     fn score_lower_bound_matches_score_for_exact_inputs() {
         let ds = dataset();
-        let params = QueryParams::new(0, 1, 0.3);
-        let ctx = RankingContext::new(&ds, &params);
+        let request = QueryRequest::for_user(0).k(1).alpha(0.3).build().unwrap();
+        let ctx = RankingContext::new(&ds, &request);
         assert_eq!(ctx.score(0.4, 0.6), ctx.score_lower_bound(0.4, 0.6));
         assert!(ctx.score_lower_bound(0.0, 0.0) <= ctx.score(0.4, 0.6));
     }

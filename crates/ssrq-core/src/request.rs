@@ -1,0 +1,371 @@
+//! Typed query requests.
+//!
+//! A [`QueryRequest`] describes one SSRQ invocation: the core parameters of
+//! Definition 1 (`u_q`, `k`, `α`), the algorithm to run it with, and the
+//! per-query scenario options the flat parameter triple could never express
+//! — a spatial filter window, an exclusion set, and a score cutoff.
+//! Requests are built through [`QueryRequestBuilder`] and validated once at
+//! [`QueryRequestBuilder::build`], so an executing strategy can trust every
+//! field.
+
+use crate::{Algorithm, CoreError, GeoSocialDataset, UserId};
+use ssrq_spatial::Rect;
+use std::collections::HashSet;
+
+/// Names the algorithm a request should run with: one of the twelve
+/// built-ins, or a custom strategy registered with
+/// [`GeoSocialEngine::register_strategy`](crate::GeoSocialEngine::register_strategy).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AlgorithmSpec {
+    /// A built-in algorithm (resolved by its paper name, e.g. `"AIS"`).
+    Builtin(Algorithm),
+    /// A custom strategy, resolved by its registered name.
+    Named(String),
+}
+
+impl AlgorithmSpec {
+    /// The registry key the spec resolves to.
+    pub fn key(&self) -> &str {
+        match self {
+            AlgorithmSpec::Builtin(a) => a.name(),
+            AlgorithmSpec::Named(name) => name,
+        }
+    }
+}
+
+impl From<Algorithm> for AlgorithmSpec {
+    fn from(a: Algorithm) -> Self {
+        AlgorithmSpec::Builtin(a)
+    }
+}
+
+impl From<&str> for AlgorithmSpec {
+    fn from(name: &str) -> Self {
+        AlgorithmSpec::Named(name.to_owned())
+    }
+}
+
+impl From<String> for AlgorithmSpec {
+    fn from(name: String) -> Self {
+        AlgorithmSpec::Named(name)
+    }
+}
+
+/// A validated SSRQ query: who asks, how many results, the social/spatial
+/// preference, the algorithm, and the scenario options.
+///
+/// Construct via [`QueryRequest::for_user`]:
+///
+/// ```
+/// use ssrq_core::{Algorithm, QueryRequest};
+///
+/// let request = QueryRequest::for_user(42)
+///     .k(10)
+///     .alpha(0.4)
+///     .algorithm(Algorithm::Ais)
+///     .build()
+///     .unwrap();
+/// assert_eq!(request.k(), 10);
+/// ```
+///
+/// All twelve built-in algorithms honour every option and return the exact
+/// same answer for the same request — the filters restrict *which users are
+/// admissible*, never how thoroughly the admissible ones are searched.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    user: UserId,
+    k: usize,
+    alpha: f64,
+    algorithm: AlgorithmSpec,
+    within: Option<Rect>,
+    exclude: HashSet<UserId>,
+    max_score: Option<f64>,
+}
+
+impl QueryRequest {
+    /// Starts building a request for query user `user`.
+    ///
+    /// Defaults: `k = 10`, `α = 0.3` (the paper's default preference) and
+    /// [`Algorithm::Ais`], no spatial filter, no exclusions, no cutoff.
+    pub fn for_user(user: UserId) -> QueryRequestBuilder {
+        QueryRequestBuilder {
+            request: QueryRequest {
+                user,
+                k: 10,
+                alpha: 0.3,
+                algorithm: AlgorithmSpec::Builtin(Algorithm::Ais),
+                within: None,
+                exclude: HashSet::new(),
+                max_score: None,
+            },
+        }
+    }
+
+    /// The query user `u_q`.
+    pub fn user(&self) -> UserId {
+        self.user
+    }
+
+    /// Number of users to report (`k`).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Preference parameter `α ∈ (0, 1)`: the weight of *social* proximity
+    /// (`1 − α` weighs spatial proximity).
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The algorithm the request runs with.
+    pub fn algorithm(&self) -> &AlgorithmSpec {
+        &self.algorithm
+    }
+
+    /// The spatial filter window, when set: only users currently located
+    /// inside this rectangle are admissible.
+    pub fn within(&self) -> Option<Rect> {
+        self.within
+    }
+
+    /// The excluded user ids (never reported, e.g. already-contacted users).
+    pub fn excluded(&self) -> &HashSet<UserId> {
+        &self.exclude
+    }
+
+    /// The result-score cutoff, when set: only users with ranking value
+    /// *strictly below* this bound are admissible.
+    pub fn max_score(&self) -> Option<f64> {
+        self.max_score
+    }
+
+    /// Returns a copy of the request with the algorithm replaced — the
+    /// request-side counterpart of running one query through several
+    /// methods (see [`GeoSocialEngine::run_each`](crate::GeoSocialEngine::run_each)).
+    pub fn with_algorithm(mut self, algorithm: impl Into<AlgorithmSpec>) -> Self {
+        self.algorithm = algorithm.into();
+        self
+    }
+
+    /// Returns `true` when the request carries any admissibility filter
+    /// beyond the implicit "not the query user" rule.
+    pub fn has_filters(&self) -> bool {
+        self.within.is_some() || !self.exclude.is_empty() || self.max_score.is_some()
+    }
+
+    /// Returns `true` when `user` may appear in the result of this request:
+    /// not the query user, not excluded, and (when a spatial filter is set)
+    /// currently located inside the filter window.
+    ///
+    /// The score cutoff is enforced separately by
+    /// [`TopK::for_request`](crate::TopK::for_request).
+    #[inline]
+    pub fn admits(&self, dataset: &GeoSocialDataset, user: UserId) -> bool {
+        if user == self.user || self.exclude.contains(&user) {
+            return false;
+        }
+        match self.within {
+            None => true,
+            Some(rect) => dataset
+                .location(user)
+                .map(|p| rect.contains(p))
+                .unwrap_or(false),
+        }
+    }
+
+    /// Re-checks the invariants [`QueryRequestBuilder::build`] established.
+    ///
+    /// Strategies call this defensively so that a hand-rolled request (e.g.
+    /// one deserialized by a downstream service) cannot put an algorithm
+    /// into an undefined state.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.k == 0 {
+            return Err(CoreError::InvalidParameter("k must be at least 1".into()));
+        }
+        if !(self.alpha > 0.0 && self.alpha < 1.0) {
+            return Err(CoreError::InvalidParameter(format!(
+                "alpha must lie strictly between 0 and 1, got {}",
+                self.alpha
+            )));
+        }
+        if let Some(cutoff) = self.max_score {
+            if !(cutoff.is_finite() && cutoff > 0.0) {
+                return Err(CoreError::InvalidParameter(format!(
+                    "max_score must be a finite positive ranking value, got {cutoff}"
+                )));
+            }
+        }
+        if let Some(rect) = self.within {
+            if !rect.min.is_finite() || !rect.max.is_finite() {
+                return Err(CoreError::InvalidParameter(format!(
+                    "spatial filter {rect} has non-finite corners"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[allow(deprecated)]
+impl From<crate::QueryParams> for QueryRequest {
+    /// Migration shim: a legacy parameter triple becomes a request with no
+    /// scenario options (validation still happens at execution time, as it
+    /// did for `QueryParams`).
+    fn from(params: crate::QueryParams) -> Self {
+        let QueryRequestBuilder { mut request } = QueryRequest::for_user(params.user);
+        request.k = params.k;
+        request.alpha = params.alpha;
+        request
+    }
+}
+
+/// Builder for [`QueryRequest`]; see [`QueryRequest::for_user`].
+#[derive(Debug, Clone)]
+pub struct QueryRequestBuilder {
+    request: QueryRequest,
+}
+
+impl QueryRequestBuilder {
+    /// Sets the number of users to report.
+    pub fn k(mut self, k: usize) -> Self {
+        self.request.k = k;
+        self
+    }
+
+    /// Sets the preference parameter `α ∈ (0, 1)`.
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.request.alpha = alpha;
+        self
+    }
+
+    /// Sets the algorithm (a built-in [`Algorithm`] or a registered
+    /// strategy name).
+    pub fn algorithm(mut self, algorithm: impl Into<AlgorithmSpec>) -> Self {
+        self.request.algorithm = algorithm.into();
+        self
+    }
+
+    /// Restricts the result to users currently located inside `rect`
+    /// ("companions downtown only").  Users without a location never pass
+    /// the filter.
+    pub fn within(mut self, rect: Rect) -> Self {
+        self.request.within = Some(rect);
+        self
+    }
+
+    /// Excludes `users` from the result (in addition to any previously
+    /// excluded ids).
+    pub fn exclude(mut self, users: impl IntoIterator<Item = UserId>) -> Self {
+        self.request.exclude.extend(users);
+        self
+    }
+
+    /// Admits only users with ranking value strictly below `cutoff`
+    /// ("nobody farther than this combined distance").  Also serves as an
+    /// early-termination bound: every algorithm stops as soon as its domain
+    /// lower bound reaches the cutoff.
+    pub fn max_score(mut self, cutoff: f64) -> Self {
+        self.request.max_score = Some(cutoff);
+        self
+    }
+
+    /// Validates and returns the request.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] for `k = 0`, `α ∉ (0, 1)`, a
+    /// non-positive or non-finite score cutoff, or a non-finite filter
+    /// rectangle.  (Whether the query *user* exists is checked against the
+    /// dataset at execution time.)
+    pub fn build(self) -> Result<QueryRequest, CoreError> {
+        self.request.validate()?;
+        Ok(self.request)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssrq_graph::GraphBuilder;
+    use ssrq_spatial::Point;
+
+    fn dataset() -> GeoSocialDataset {
+        let graph = GraphBuilder::from_edges(3, vec![(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        let locations = vec![Some(Point::new(0.1, 0.1)), Some(Point::new(0.9, 0.9)), None];
+        GeoSocialDataset::new(graph, locations).unwrap()
+    }
+
+    #[test]
+    fn builder_applies_defaults_and_options() {
+        let request = QueryRequest::for_user(7).build().unwrap();
+        assert_eq!(request.user(), 7);
+        assert_eq!(request.k(), 10);
+        assert!((request.alpha() - 0.3).abs() < 1e-12);
+        assert_eq!(request.algorithm().key(), "AIS");
+        assert!(!request.has_filters());
+
+        let request = QueryRequest::for_user(7)
+            .k(3)
+            .alpha(0.6)
+            .algorithm(Algorithm::Tsa)
+            .within(Rect::unit())
+            .exclude([1, 2])
+            .max_score(0.8)
+            .build()
+            .unwrap();
+        assert_eq!(request.k(), 3);
+        assert_eq!(request.algorithm().key(), "TSA");
+        assert_eq!(request.within(), Some(Rect::unit()));
+        assert!(request.excluded().contains(&2));
+        assert_eq!(request.max_score(), Some(0.8));
+        assert!(request.has_filters());
+    }
+
+    #[test]
+    fn build_rejects_degenerate_parameters() {
+        assert!(QueryRequest::for_user(0).k(0).build().is_err());
+        assert!(QueryRequest::for_user(0).alpha(0.0).build().is_err());
+        assert!(QueryRequest::for_user(0).alpha(1.0).build().is_err());
+        assert!(QueryRequest::for_user(0).alpha(-0.3).build().is_err());
+        assert!(QueryRequest::for_user(0).alpha(f64::NAN).build().is_err());
+        assert!(QueryRequest::for_user(0).max_score(0.0).build().is_err());
+        assert!(QueryRequest::for_user(0)
+            .max_score(f64::INFINITY)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn admits_enforces_exclusions_and_spatial_filter() {
+        let ds = dataset();
+        let plain = QueryRequest::for_user(0).build().unwrap();
+        assert!(!plain.admits(&ds, 0)); // never the query user
+        assert!(plain.admits(&ds, 1));
+        assert!(plain.admits(&ds, 2)); // no filter: location not required
+
+        let filtered = QueryRequest::for_user(0)
+            .within(Rect::new(Point::new(0.0, 0.0), Point::new(0.5, 0.5)))
+            .exclude([1])
+            .build()
+            .unwrap();
+        assert!(!filtered.admits(&ds, 1)); // excluded (and outside anyway)
+        assert!(!filtered.admits(&ds, 2)); // no location => fails the window
+    }
+
+    #[test]
+    fn algorithm_spec_conversions() {
+        assert_eq!(AlgorithmSpec::from(Algorithm::Sfa).key(), "SFA");
+        assert_eq!(AlgorithmSpec::from("MY-ALGO").key(), "MY-ALGO");
+        assert_eq!(AlgorithmSpec::from(String::from("X")).key(), "X");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_params_convert_losslessly() {
+        let request: QueryRequest = crate::QueryParams::new(5, 7, 0.45).into();
+        assert_eq!(request.user(), 5);
+        assert_eq!(request.k(), 7);
+        assert!((request.alpha() - 0.45).abs() < 1e-12);
+        assert!(!request.has_filters());
+    }
+}

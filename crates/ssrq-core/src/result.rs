@@ -7,13 +7,30 @@ use std::collections::BinaryHeap;
 ///
 /// Every processing algorithm maintains one of these.  `f_k` is
 /// `f64::INFINITY` while the result holds fewer than `k` users, so that any
-/// user with a finite score is admitted.
+/// user with a finite score is admitted — unless the query carries a score
+/// *cutoff* ([`QueryRequest::max_score`](crate::QueryRequest::max_score)),
+/// in which case `f_k` never exceeds the cutoff and candidates at or above
+/// it are rejected even while the result is not yet full.  Routing the
+/// cutoff through `f_k` means every algorithm's `θ ≥ f_k` termination test
+/// automatically stops a search the moment its domain bound reaches the
+/// cutoff.
+///
+/// `TopK` also tracks the highest *finalization bound* an algorithm has
+/// observed (see [`TopK::raise_threshold`]): entries whose score lies
+/// strictly below that bound can never be displaced by candidates the
+/// search has not yet delivered, so they are final — membership *and* rank
+/// — before the search completes.  This is the incremental-threshold
+/// property behind [`QuerySession::stream`](crate::QuerySession::stream).
 #[derive(Debug, Clone)]
 pub struct TopK {
     k: usize,
     // Max-heap on score, so the worst entry is at the top and can be evicted
     // in O(log k).
     heap: BinaryHeap<HeapEntry>,
+    /// Score cutoff: admitted scores are strictly below this.
+    cap: f64,
+    /// Highest finalization bound raised so far.
+    threshold: f64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -43,10 +60,24 @@ impl Ord for HeapEntry {
 impl TopK {
     /// Creates an empty interim result of capacity `k`.
     pub fn new(k: usize) -> Self {
+        TopK::bounded(k, f64::INFINITY)
+    }
+
+    /// Creates an empty interim result of capacity `k` that only admits
+    /// scores strictly below `cap`.
+    pub fn bounded(k: usize, cap: f64) -> Self {
         TopK {
             k,
             heap: BinaryHeap::with_capacity(k + 1),
+            cap,
+            threshold: f64::NEG_INFINITY,
         }
+    }
+
+    /// The interim result a request calls for: capacity `k`, capped by the
+    /// request's score cutoff when one is set.
+    pub fn for_request(request: &crate::QueryRequest) -> Self {
+        TopK::bounded(request.k(), request.max_score().unwrap_or(f64::INFINITY))
     }
 
     /// The capacity `k`.
@@ -64,14 +95,39 @@ impl TopK {
         self.heap.is_empty()
     }
 
-    /// The threshold `f_k`: the worst score in the interim result, or
-    /// `INFINITY` while fewer than `k` users are held.
+    /// The threshold `f_k`: the worst score in the interim result, or the
+    /// score cap (`INFINITY` without a cutoff) while fewer than `k` users
+    /// are held.
     pub fn fk(&self) -> f64 {
         if self.heap.len() < self.k {
-            f64::INFINITY
+            self.cap
         } else {
-            self.heap.peek().map(|e| e.0.score).unwrap_or(f64::INFINITY)
+            self.heap.peek().map(|e| e.0.score).unwrap_or(self.cap)
         }
+    }
+
+    /// Raises the finalization bound: the caller promises that every
+    /// candidate it has *not yet offered* to [`TopK::consider`] has a
+    /// ranking value of at least `bound`.  Entries already held with a
+    /// score strictly below the bound are thereby final (no future
+    /// candidate can evict or outrank them).
+    ///
+    /// The bound only ratchets upward; passing a smaller value than an
+    /// earlier call is a no-op.
+    pub fn raise_threshold(&mut self, bound: f64) {
+        if bound > self.threshold {
+            self.threshold = bound;
+        }
+    }
+
+    /// Number of current entries that are already final under the highest
+    /// bound raised so far: in ascending score order, the prefix of entries
+    /// whose score lies strictly below the finalization bound.
+    pub fn finalized(&self) -> usize {
+        self.heap
+            .iter()
+            .filter(|e| e.0.score < self.threshold)
+            .count()
     }
 
     /// Returns `true` when `user` is currently part of the interim result.
@@ -80,24 +136,22 @@ impl TopK {
     }
 
     /// Offers a candidate.  The candidate is admitted when its score beats
-    /// the current threshold (infinite scores are never admitted); the
+    /// the current threshold `f_k` (so infinite scores, and scores at or
+    /// above the cutoff of a capped result, are never admitted); the
     /// previously worst user is evicted if the result was full.
     ///
     /// Returns `true` when the candidate entered the result.
     pub fn consider(&mut self, candidate: RankedUser) -> bool {
-        if !candidate.score.is_finite() {
+        // `partial_cmp` so a NaN score (incomparable) is rejected too.
+        let beats_fk = candidate.score.partial_cmp(&self.fk()) == Some(Ordering::Less);
+        if self.k == 0 || !beats_fk || !candidate.score.is_finite() {
             return false;
         }
-        if self.heap.len() < self.k {
-            self.heap.push(HeapEntry(candidate));
-            return true;
-        }
-        if candidate.score < self.fk() {
+        if self.heap.len() == self.k {
             self.heap.pop();
-            self.heap.push(HeapEntry(candidate));
-            return true;
         }
-        false
+        self.heap.push(HeapEntry(candidate));
+        true
     }
 
     /// Consumes the result and returns the users sorted by ascending score.
@@ -183,6 +237,41 @@ mod tests {
         assert_eq!(scores, vec![0.1, 0.3, 0.5, 0.5]);
         assert_eq!(out[2].user, 2);
         assert_eq!(out[3].user, 4);
+    }
+
+    #[test]
+    fn bounded_topk_rejects_scores_at_or_above_the_cap() {
+        let mut topk = TopK::bounded(3, 0.5);
+        assert_eq!(topk.fk(), 0.5); // cap acts as f_k while not full
+        assert!(topk.consider(entry(1, 0.4)));
+        assert!(!topk.consider(entry(2, 0.5))); // at the cap: rejected
+        assert!(!topk.consider(entry(3, 0.9)));
+        assert_eq!(topk.len(), 1);
+        assert!(topk.consider(entry(4, 0.1)));
+        assert!(topk.consider(entry(5, 0.2)));
+        // Full now; fk is the worst admitted score, below the cap.
+        assert_eq!(topk.fk(), 0.4);
+    }
+
+    #[test]
+    fn zero_capacity_admits_nothing() {
+        let mut topk = TopK::new(0);
+        assert!(!topk.consider(entry(1, 0.1)));
+        assert!(topk.is_empty());
+    }
+
+    #[test]
+    fn raise_threshold_finalizes_the_stable_prefix() {
+        let mut topk = TopK::new(3);
+        topk.consider(entry(1, 0.3));
+        topk.consider(entry(2, 0.1));
+        assert_eq!(topk.finalized(), 0);
+        topk.raise_threshold(0.2);
+        assert_eq!(topk.finalized(), 1); // only the 0.1 entry is final
+        topk.raise_threshold(0.05); // ratchet: lower bounds are no-ops
+        assert_eq!(topk.finalized(), 1);
+        topk.raise_threshold(f64::INFINITY);
+        assert_eq!(topk.finalized(), 2);
     }
 
     #[test]

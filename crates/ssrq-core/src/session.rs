@@ -1,0 +1,126 @@
+//! Query sessions: an engine handle bundled with reusable per-worker state.
+//!
+//! A [`QuerySession`] is the recommended way to issue queries: it pairs a
+//! shared `&GeoSocialEngine` with an owned [`QueryContext`], so a service
+//! handler (or a worker thread) holds one session and never pays the
+//! per-query `O(|V|)` scratch allocation.  Besides [`QuerySession::run`],
+//! sessions expose [`QuerySession::stream`], which delivers the result as
+//! an iterator of [`RankedUser`]s in finalization order.
+
+use crate::{
+    CoreError, GeoSocialEngine, QueryContext, QueryRequest, QueryResult, QueryStats, RankedUser,
+};
+
+/// A query handle: engine reference plus owned, reusable scratch.
+///
+/// Create one per worker via [`GeoSocialEngine::session`]; the session can
+/// issue any number of queries with any algorithm, in any order, and reuses
+/// its context throughout (reuse never changes answers — the test-suite
+/// asserts this).
+#[derive(Debug)]
+pub struct QuerySession<'e> {
+    engine: &'e GeoSocialEngine,
+    ctx: QueryContext,
+}
+
+impl<'e> QuerySession<'e> {
+    /// Creates a session for `engine` with a context pre-sized for its
+    /// graph.
+    pub fn new(engine: &'e GeoSocialEngine) -> Self {
+        QuerySession {
+            ctx: engine.make_context(),
+            engine,
+        }
+    }
+
+    /// The engine the session queries.
+    pub fn engine(&self) -> &'e GeoSocialEngine {
+        self.engine
+    }
+
+    /// How many graph searches have reused this session's context so far.
+    pub fn searches(&self) -> u64 {
+        self.ctx.searches()
+    }
+
+    /// Processes one request.
+    pub fn run(&mut self, request: &QueryRequest) -> Result<QueryResult, CoreError> {
+        self.engine.run_with(request, &mut self.ctx)
+    }
+
+    /// Processes one request and returns the result as a stream of
+    /// [`RankedUser`]s in finalization order.
+    ///
+    /// The SSRQ algorithms differ in *when* a result entry becomes final.
+    /// The incremental-threshold methods (SFA, SPA, TSA and the AIS
+    /// variants) maintain a monotone lower bound on every not-yet-delivered
+    /// candidate, so entries scoring below the bound are fixed — membership
+    /// and rank — long before the search ends; the exhaustive oracle only
+    /// knows its answer after the full scan.  The stream exposes exactly
+    /// that schedule: entries arrive in emission order and
+    /// [`QueryStream::finalized_early`] reports how many of them were
+    /// already final when the search completed its last probe (zero for
+    /// drain-after-complete algorithms).
+    ///
+    /// The underlying search runs to completion when the stream is created;
+    /// yielded entries are identical to [`QuerySession::run`]'s, in the
+    /// same ascending-score order.
+    pub fn stream(&mut self, request: &QueryRequest) -> Result<QueryStream, CoreError> {
+        let result = self.run(request)?;
+        Ok(QueryStream::from_result(result))
+    }
+}
+
+/// An iterator over the [`RankedUser`]s of one query, in finalization
+/// order; see [`QuerySession::stream`].
+#[derive(Debug, Clone)]
+pub struct QueryStream {
+    entries: std::vec::IntoIter<RankedUser>,
+    finalized_early: usize,
+    k: usize,
+    stats: QueryStats,
+}
+
+impl QueryStream {
+    /// Wraps an already-computed result as a stream.
+    pub fn from_result(result: QueryResult) -> Self {
+        QueryStream {
+            finalized_early: result.stats.streamable_results,
+            k: result.k,
+            stats: result.stats,
+            entries: result.ranked.into_iter(),
+        }
+    }
+
+    /// How many of the streamed entries were already final — membership and
+    /// rank — before the underlying search completed.  Positive for the
+    /// incremental-threshold algorithms on typical queries; always zero for
+    /// the exhaustive oracle.
+    pub fn finalized_early(&self) -> usize {
+        self.finalized_early
+    }
+
+    /// The `k` the query asked for.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Work counters and timing of the underlying query.
+    pub fn stats(&self) -> &QueryStats {
+        &self.stats
+    }
+}
+
+impl Iterator for QueryStream {
+    type Item = RankedUser;
+
+    fn next(&mut self) -> Option<RankedUser> {
+        self.entries.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.entries.size_hint()
+    }
+}
+
+impl ExactSizeIterator for QueryStream {}

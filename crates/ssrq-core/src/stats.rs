@@ -30,6 +30,12 @@ pub struct QueryStats {
     /// Users re-inserted into the AIS heap by the delayed-evaluation
     /// strategy.
     pub delayed_reinsertions: usize,
+    /// Result entries whose membership *and* rank were already fixed before
+    /// the search completed — the incremental-threshold property of the
+    /// paper's algorithms that [`QuerySession::stream`](crate::QuerySession::stream)
+    /// surfaces.  Zero for drain-after-complete algorithms (e.g. the
+    /// exhaustive oracle).
+    pub streamable_results: usize,
     /// Wall-clock processing time.
     pub runtime: Duration,
 }
@@ -61,6 +67,7 @@ impl QueryStats {
         self.distance_calls += other.distance_calls;
         self.cache_hits += other.cache_hits;
         self.delayed_reinsertions += other.delayed_reinsertions;
+        self.streamable_results += other.streamable_results;
         self.runtime += other.runtime;
     }
 }
@@ -91,6 +98,7 @@ mod tests {
             distance_calls: 5,
             cache_hits: 6,
             delayed_reinsertions: 7,
+            streamable_results: 2,
             runtime: Duration::from_millis(10),
         };
         let b = a;
@@ -103,6 +111,7 @@ mod tests {
         assert_eq!(a.distance_calls, 10);
         assert_eq!(a.cache_hits, 12);
         assert_eq!(a.delayed_reinsertions, 14);
+        assert_eq!(a.streamable_results, 4);
         assert_eq!(a.runtime, Duration::from_millis(20));
     }
 

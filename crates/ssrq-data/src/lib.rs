@@ -15,7 +15,7 @@
 //! * structure-preserving Forest Fire Sampling for the scalability
 //!   experiment of Figure 14(b) ([`sampling`]);
 //! * dataset statistics (Table 2, [`stats`]), Jaccard set similarity
-//!   (Figure 7(b), [`jaccard`]) and random query workloads ([`workload`]).
+//!   (Figure 7(b), [`jaccard()`]) and random query workloads ([`workload`]).
 //!
 //! The ready-made presets ([`DatasetConfig::gowalla_like`],
 //! [`DatasetConfig::foursquare_like`], [`DatasetConfig::twitter_like`])

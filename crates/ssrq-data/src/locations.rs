@@ -67,7 +67,7 @@ pub fn generate_locations(
 
 /// Generates locations that correlate with the social structure, the way
 /// real location-based social networks do (friends tend to live in the same
-/// city — Cho et al., cited as [19] in the paper).
+/// city — Cho et al., cited as \[19\] in the paper).
 ///
 /// `clusters` random "cities" are placed in the unit square and seeded with
 /// one random user each; every other user joins the city of whichever seed

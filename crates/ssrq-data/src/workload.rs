@@ -7,7 +7,9 @@
 
 use rand::prelude::*;
 use rand::rngs::StdRng;
-use ssrq_core::{GeoSocialDataset, QueryParams, UserId};
+#[allow(deprecated)]
+use ssrq_core::QueryParams;
+use ssrq_core::{Algorithm, GeoSocialDataset, QueryRequest, UserId};
 
 /// A reproducible set of query users together with default query
 /// parameters.
@@ -64,10 +66,28 @@ impl QueryWorkload {
     }
 
     /// The query parameters for each query user.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use QueryWorkload::requests(algorithm) to obtain typed QueryRequests"
+    )]
+    #[allow(deprecated)]
     pub fn params(&self) -> impl Iterator<Item = QueryParams> + '_ {
         self.users
             .iter()
             .map(move |&u| QueryParams::new(u, self.k, self.alpha))
+    }
+
+    /// One validated [`QueryRequest`] per query user, carrying the
+    /// workload's `k` / `α` and the given algorithm.
+    pub fn requests(&self, algorithm: Algorithm) -> impl Iterator<Item = QueryRequest> + '_ {
+        self.users.iter().map(move |&u| {
+            QueryRequest::for_user(u)
+                .k(self.k)
+                .alpha(self.alpha)
+                .algorithm(algorithm)
+                .build()
+                .expect("workload parameters are valid")
+        })
     }
 }
 
@@ -113,9 +133,9 @@ mod tests {
             .with_alpha(0.7);
         assert_eq!(workload.k, 50);
         assert_eq!(workload.alpha, 0.7);
-        let params: Vec<QueryParams> = workload.params().collect();
-        assert_eq!(params.len(), 10);
-        assert!(params.iter().all(|p| p.k == 50 && p.alpha == 0.7));
+        let requests: Vec<QueryRequest> = workload.requests(Algorithm::Ais).collect();
+        assert_eq!(requests.len(), 10);
+        assert!(requests.iter().all(|r| r.k() == 50 && r.alpha() == 0.7));
         assert!(!workload.is_empty());
     }
 

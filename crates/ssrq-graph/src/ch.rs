@@ -25,6 +25,19 @@ impl Default for ChParams {
     }
 }
 
+/// Reusable working storage for the witness searches of the preprocessing
+/// phase.  One instance backs every witness search of a whole
+/// [`ContractionHierarchy::build`] run: clearing hash maps keeps their
+/// capacity, so the per-pair searches (there are `O(degree²)` of them per
+/// contracted vertex) stop allocating after the first few.
+#[derive(Debug, Clone, Default)]
+struct WitnessScratch {
+    dist: HashMap<NodeId, (Distance, usize)>,
+    settled: HashMap<NodeId, Distance>,
+    heap: BinaryHeap<HeapItem>,
+    neighbors: Vec<(NodeId, EdgeWeight)>,
+}
+
 /// Reusable working storage for [`ContractionHierarchy::distance_with`]:
 /// the two upward-search result maps, the shared tentative-distance map and
 /// the heap.  Clearing hash maps keeps their capacity, so a scratch that
@@ -81,10 +94,23 @@ impl ContractionHierarchy {
         let mut all_edges: Vec<(NodeId, NodeId, EdgeWeight)> = graph.undirected_edges().collect();
         let mut shortcut_count = 0usize;
 
+        // One scratch backs every witness search of the whole build; the
+        // hash maps and heap retain their capacity between searches, so the
+        // `O(degree²)` per-contraction witness probes stop allocating after
+        // warm-up (the ROADMAP's scratch-reuse item).
+        let mut scratch = WitnessScratch::default();
+
         // Lazy priority queue of (priority, node).
         let mut queue: BinaryHeap<HeapItem> = BinaryHeap::new();
         for v in 0..n as NodeId {
-            let p = Self::priority(v, &adj, &contracted, &deleted_neighbors, &params);
+            let p = Self::priority(
+                v,
+                &adj,
+                &contracted,
+                &deleted_neighbors,
+                &params,
+                &mut scratch,
+            );
             queue.push(HeapItem { key: p, node: v });
         }
 
@@ -95,7 +121,14 @@ impl ContractionHierarchy {
             }
             // Lazy update: recompute and re-insert if the priority became
             // stale (worse than the next candidate).
-            let fresh = Self::priority(node, &adj, &contracted, &deleted_neighbors, &params);
+            let fresh = Self::priority(
+                node,
+                &adj,
+                &contracted,
+                &deleted_neighbors,
+                &params,
+                &mut scratch,
+            );
             if let Some(next) = queue.peek() {
                 if fresh > key + 1e-12 && fresh > next.key + 1e-12 {
                     queue.push(HeapItem { key: fresh, node });
@@ -104,18 +137,24 @@ impl ContractionHierarchy {
             }
 
             // Contract `node`: connect every pair of its remaining
-            // neighbours whose shortest path runs through it.
-            let neighbors: Vec<(NodeId, EdgeWeight)> = adj[node as usize]
-                .iter()
-                .filter(|(&u, _)| !contracted[u as usize])
-                .map(|(&u, &w)| (u, w))
-                .collect();
+            // neighbours whose shortest path runs through it.  Borrow the
+            // scratch's neighbour buffer for the duration (same take/restore
+            // pattern as `priority`, so `has_witness` can use the rest).
+            let mut neighbors = std::mem::take(&mut scratch.neighbors);
+            neighbors.clear();
+            neighbors.extend(
+                adj[node as usize]
+                    .iter()
+                    .filter(|(&u, _)| !contracted[u as usize])
+                    .map(|(&u, &w)| (u, w)),
+            );
             for i in 0..neighbors.len() {
                 for j in (i + 1)..neighbors.len() {
                     let (u, wu) = neighbors[i];
                     let (w, ww) = neighbors[j];
                     let via = wu + ww;
-                    if Self::has_witness(&adj, &contracted, node, u, w, via, &params) {
+                    if Self::has_witness(&adj, &contracted, node, u, w, via, &params, &mut scratch)
+                    {
                         continue;
                     }
                     // Insert / improve the shortcut u—w.
@@ -139,6 +178,7 @@ impl ContractionHierarchy {
             for &(u, _) in &neighbors {
                 deleted_neighbors[u as usize] += 1;
             }
+            scratch.neighbors = neighbors;
             contracted[node as usize] = true;
             rank[node as usize] = next_rank;
             next_rank += 1;
@@ -270,7 +310,9 @@ impl ContractionHierarchy {
 
     /// Limited Dijkstra in the overlay graph (skipping `skip` and contracted
     /// vertices) to decide whether a path from `u` to `w` of length at most
-    /// `max_len` exists without going through `skip`.
+    /// `max_len` exists without going through `skip`.  All working storage
+    /// comes from `scratch`, cleared on entry.
+    #[allow(clippy::too_many_arguments)]
     fn has_witness(
         adj: &[HashMap<NodeId, EdgeWeight>],
         contracted: &[bool],
@@ -279,13 +321,20 @@ impl ContractionHierarchy {
         w: NodeId,
         max_len: f64,
         params: &ChParams,
+        scratch: &mut WitnessScratch,
     ) -> bool {
-        let mut dist: HashMap<NodeId, (Distance, usize)> = HashMap::new();
+        let WitnessScratch {
+            dist,
+            settled,
+            heap,
+            ..
+        } = scratch;
+        dist.clear();
+        settled.clear();
+        heap.clear();
         let mut settled_count = 0usize;
-        let mut heap = BinaryHeap::new();
         dist.insert(u, (0.0, 0));
         heap.push(HeapItem { key: 0.0, node: u });
-        let mut settled: HashMap<NodeId, Distance> = HashMap::new();
         while let Some(HeapItem { key, node }) = heap.pop() {
             if settled.contains_key(&node) {
                 continue;
@@ -335,14 +384,22 @@ impl ContractionHierarchy {
         contracted: &[bool],
         deleted_neighbors: &[u32],
         params: &ChParams,
+        scratch: &mut WitnessScratch,
     ) -> f64 {
-        let neighbors: Vec<(NodeId, EdgeWeight)> = adj[v as usize]
-            .iter()
-            .filter(|(&u, _)| !contracted[u as usize])
-            .map(|(&u, &w)| (u, w))
-            .collect();
+        // Borrow the scratch's neighbour buffer for the duration of the
+        // estimate (it cannot stay borrowed while `has_witness` uses the
+        // rest of the scratch, so take it out and put it back).
+        let mut neighbors = std::mem::take(&mut scratch.neighbors);
+        neighbors.clear();
+        neighbors.extend(
+            adj[v as usize]
+                .iter()
+                .filter(|(&u, _)| !contracted[u as usize])
+                .map(|(&u, &w)| (u, w)),
+        );
         let degree = neighbors.len();
         if degree == 0 {
+            scratch.neighbors = neighbors;
             return -1000.0;
         }
         // Estimate the number of shortcuts a contraction would add.  For
@@ -356,7 +413,7 @@ impl ContractionHierarchy {
                     let (w, ww) = neighbors[j];
                     let mut cheap = *params;
                     cheap.witness_settle_limit = cheap.witness_settle_limit.min(50);
-                    if !Self::has_witness(adj, contracted, v, u, w, wu + ww, &cheap) {
+                    if !Self::has_witness(adj, contracted, v, u, w, wu + ww, &cheap, scratch) {
                         shortcuts += 1;
                     }
                 }
@@ -364,6 +421,7 @@ impl ContractionHierarchy {
         } else {
             shortcuts = degree * (degree - 1) / 2;
         }
+        scratch.neighbors = neighbors;
         (shortcuts as f64 - degree as f64) + 2.0 * deleted_neighbors[v as usize] as f64
     }
 }

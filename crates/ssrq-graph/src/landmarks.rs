@@ -10,7 +10,7 @@ use rand::rngs::StdRng;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LandmarkSelection {
     /// Farthest-first traversal: each new landmark is the vertex farthest
-    /// from all previously chosen landmarks (the strategy of [25]).
+    /// from all previously chosen landmarks (the strategy of \[25\]).
     FarthestFirst,
     /// Uniformly random vertices.
     Random,

@@ -20,7 +20,7 @@ impl CellCoord {
 ///
 /// This is the index used by the Spatial First Approach (SPA) and the
 /// spatial search of TSA (§4.1): the paper picks a regular grid with
-/// branch-and-bound NN retrieval as "the most suitable [combination] for
+/// branch-and-bound NN retrieval as "the most suitable \[combination\] for
 /// dynamic spatial data kept in main memory".  Location updates are O(1)
 /// amortized: remove the item from its old cell, append it to the new one.
 ///

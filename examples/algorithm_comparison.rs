@@ -1,28 +1,45 @@
 //! Side-by-side comparison of every SSRQ processing algorithm on the same
-//! workload — a miniature version of the paper's Figure 8.
+//! workload — a miniature version of the paper's Figure 8, driven through
+//! the strategy registry.
 //!
 //! Run with:
 //! ```sh
-//! cargo run --release --example algorithm_comparison
+//! cargo run --release --example algorithm_comparison [users] [--with-ch]
 //! ```
+//!
+//! The `*-CH` baselines are skipped unless `--with-ch` is passed: their
+//! lazy Contraction Hierarchies build is (as the paper observes) extremely
+//! expensive on hub-heavy social graphs.
 
 use geosocial_ssrq::data::QueryWorkload;
 use geosocial_ssrq::prelude::*;
 use std::time::Duration;
 
 fn main() {
-    let users = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse::<usize>().ok())
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let with_ch = args.iter().any(|a| a == "--with-ch");
+    let users = args
+        .iter()
+        .find_map(|a| a.parse::<usize>().ok())
         .unwrap_or(15_000);
     println!("generating a foursquare-like dataset with {users} users...");
     let dataset = DatasetConfig::foursquare_like(users).generate();
-    let mut engine =
-        GeoSocialEngine::build(dataset, EngineConfig::default()).expect("engine builds");
-
-    let workload = QueryWorkload::generate(engine.dataset(), 30, 7)
+    let workload = QueryWorkload::generate(&dataset, 30, 7)
         .with_k(30)
         .with_alpha(0.3);
+
+    // Declare every auxiliary index at construction time: the Contraction
+    // Hierarchies index builds lazily when the first *-CH query arrives,
+    // the social neighbour cache eagerly for the workload users.
+    let engine = GeoSocialEngine::builder(dataset)
+        .with_ch(ChBuild::Lazy)
+        .with_social_cache(SocialCachePlan::Eager {
+            users: workload.users.clone(),
+            t: 2_000,
+        })
+        .build()
+        .expect("engine builds");
+    println!("registered strategies: {:?}", engine.strategies().names());
     println!(
         "running {} queries (k = {}, alpha = {}) with every algorithm\n",
         workload.len(),
@@ -30,13 +47,7 @@ fn main() {
         workload.alpha
     );
 
-    // The CH baselines and the pre-computation method need their auxiliary
-    // structures.
-    println!("building the Contraction Hierarchies index (used only by the *-CH baselines)...");
-    engine.build_contraction_hierarchy();
-    engine.build_social_cache(&workload.users, 2_000);
-
-    let algorithms = [
+    let mut algorithms = vec![
         Algorithm::Sfa,
         Algorithm::Spa,
         Algorithm::Tsa,
@@ -45,32 +56,36 @@ fn main() {
         Algorithm::AisMinus,
         Algorithm::Ais,
         Algorithm::SfaCached,
-        Algorithm::SpaCh,
-        Algorithm::TsaCh,
     ];
+    if with_ch {
+        algorithms.extend([Algorithm::SpaCh, Algorithm::TsaCh]);
+    } else {
+        println!("(pass --with-ch to include the SPA-CH / TSA-CH baselines — their lazy CH build is slow)");
+    }
 
     println!(
-        "\n{:<10} {:>14} {:>12} {:>14} {:>12}",
+        "{:<10} {:>14} {:>12} {:>14} {:>12}",
         "algorithm", "avg time", "pop ratio", "users eval.", "speed vs SFA"
     );
+    let mut session = engine.session();
     let mut baseline: Option<Duration> = None;
     for algorithm in algorithms {
         let mut total = Duration::ZERO;
         let mut pops = 0usize;
         let mut evaluated = 0usize;
-        let mut reference: Option<QueryResult> = None;
-        for params in workload.params() {
-            let result = engine.query(algorithm, &params).expect("query succeeds");
+        let mut verified = false;
+        for request in workload.requests(algorithm) {
+            let result = session.run(&request).expect("query succeeds");
             total += result.stats.runtime;
             pops += result.stats.social_pops;
             evaluated += result.stats.evaluated_users;
             // Verify all algorithms agree on the first query.
-            if reference.is_none() {
-                let oracle = engine
-                    .query(Algorithm::Exhaustive, &params)
+            if !verified {
+                let oracle = session
+                    .run(&request.clone().with_algorithm(Algorithm::Exhaustive))
                     .expect("query succeeds");
                 assert!(result.same_users_and_scores(&oracle, 1e-9));
-                reference = Some(oracle);
+                verified = true;
             }
         }
         let avg = total / workload.len() as u32;

@@ -22,8 +22,9 @@ use std::time::Instant;
 
 fn main() {
     let dataset = DatasetConfig::gowalla_like(8_000).generate();
-    let mut engine =
-        GeoSocialEngine::build(dataset, EngineConfig::default()).expect("engine builds");
+    let mut engine = GeoSocialEngine::builder(dataset)
+        .build()
+        .expect("engine builds");
     let mut rng = StdRng::seed_from_u64(2024);
 
     let query_user = engine
@@ -32,7 +33,12 @@ fn main() {
         .nodes()
         .find(|&u| engine.dataset().location(u).is_some())
         .expect("located user exists");
-    let params = QueryParams::new(query_user, 15, 0.3);
+    let request = QueryRequest::for_user(query_user)
+        .k(15)
+        .alpha(0.3)
+        .algorithm(Algorithm::Ais)
+        .build()
+        .expect("valid request");
 
     let rounds = 20;
     let moves_per_round = 500;
@@ -64,12 +70,10 @@ fn main() {
 
         // Query the live index and cross-check against the oracle.
         let started = Instant::now();
-        let indexed = engine
-            .query(Algorithm::Ais, &params)
-            .expect("query succeeds");
+        let indexed = engine.run(&request).expect("query succeeds");
         total_query_time += started.elapsed();
         let oracle = engine
-            .query(Algorithm::Exhaustive, &params)
+            .run(&request.clone().with_algorithm(Algorithm::Exhaustive))
             .expect("query succeeds");
         assert!(
             indexed.same_users_and_scores(&oracle, 1e-9),

@@ -1,12 +1,15 @@
 //! Companion recommendation — the motivating scenario of the paper's
-//! introduction.
+//! introduction, extended with the per-query scenario options of the
+//! request API.
 //!
 //! A user looking for company for lunch browses nearby users.  A plain
 //! k-nearest-neighbour search returns the geographically closest people, but
 //! ignores how well the user actually knows them.  The SSRQ blends both
-//! criteria; this example contrasts the two result sets and shows how the
+//! criteria; this example contrasts the two result sets, shows how the
 //! preference parameter `alpha` moves the answer between the purely spatial
-//! and the purely social extremes.
+//! and the purely social extremes, and then narrows the search with a
+//! spatial filter window ("downtown only"), an exclusion set ("already
+//! asked them") and a score cutoff.
 //!
 //! Run with:
 //! ```sh
@@ -20,7 +23,9 @@ fn main() {
     // A dense, city-scale network: everyone has a location (think of an
     // app that only recommends users who are currently sharing theirs).
     let dataset = DatasetConfig::twitter_like(5_000).generate();
-    let engine = GeoSocialEngine::build(dataset, EngineConfig::default()).expect("engine builds");
+    let engine = GeoSocialEngine::builder(dataset)
+        .build()
+        .expect("engine builds");
 
     let query_user = engine
         .dataset()
@@ -29,6 +34,7 @@ fn main() {
         .max_by_key(|&u| engine.dataset().graph().degree(u))
         .expect("non-empty dataset");
     let k = 10;
+    let mut session = engine.session();
 
     // Purely spatial recommendation: the k nearest users by Euclidean
     // distance (what existing systems do).
@@ -53,9 +59,13 @@ fn main() {
         "alpha", "SSRQ top-k (social+spatial)", "Jaccard vs spatial k-NN"
     );
     for alpha in [0.1, 0.3, 0.5, 0.7, 0.9] {
-        let result = engine
-            .query(Algorithm::Ais, &QueryParams::new(query_user, k, alpha))
-            .expect("valid query");
+        let request = QueryRequest::for_user(query_user)
+            .k(k)
+            .alpha(alpha)
+            .algorithm(Algorithm::Ais)
+            .build()
+            .expect("valid request");
+        let result = session.run(&request).expect("valid query");
         let users = result.users();
         let similarity = jaccard(&users, &spatial_only);
         println!(
@@ -66,9 +76,13 @@ fn main() {
 
     // Inspect the balanced recommendation in detail: how far away and how
     // socially close is each suggested companion?
-    let balanced = engine
-        .query(Algorithm::Ais, &QueryParams::new(query_user, k, 0.5))
-        .expect("valid query");
+    let balanced_request = QueryRequest::for_user(query_user)
+        .k(k)
+        .alpha(0.5)
+        .algorithm(Algorithm::Ais)
+        .build()
+        .expect("valid request");
+    let balanced = session.run(&balanced_request).expect("valid query");
     println!("\nbalanced recommendation (alpha = 0.5):");
     println!(
         "{:>8}  {:>10}  {:>16}  {:>16}",
@@ -80,6 +94,40 @@ fn main() {
             entry.user, entry.score, entry.social, entry.spatial
         );
     }
+
+    // Scenario options: lunch downtown only, skip the two users we already
+    // asked, and drop anyone beyond a combined-distance budget.  Every
+    // algorithm honours the same filters, so the narrowed answer is still
+    // exact.
+    let downtown = Rect::new(
+        Point::new(location.x - 0.15, location.y - 0.15),
+        Point::new(location.x + 0.15, location.y + 0.15),
+    );
+    let already_asked: Vec<u32> = balanced.users().into_iter().take(2).collect();
+    let narrowed_request = QueryRequest::for_user(query_user)
+        .k(k)
+        .alpha(0.5)
+        .algorithm(Algorithm::Ais)
+        .within(downtown)
+        .exclude(already_asked.iter().copied())
+        .max_score(0.6)
+        .build()
+        .expect("valid request");
+    let narrowed = session.run(&narrowed_request).expect("valid query");
+    println!(
+        "\ndowntown-only, excluding {already_asked:?}, score < 0.6: {:?}",
+        narrowed.users()
+    );
+    let oracle = session
+        .run(
+            &narrowed_request
+                .clone()
+                .with_algorithm(Algorithm::Exhaustive),
+        )
+        .expect("valid query");
+    assert!(narrowed.same_users_and_scores(&oracle, 1e-9));
+    println!("(verified exact against the brute-force oracle under the same filters)");
+
     println!(
         "\nThe low Jaccard overlap with the spatial-only list shows that the \
          joint query surfaces genuinely different companions — the same \

@@ -1,5 +1,6 @@
 //! Quickstart: build a small geo-social dataset, index it, and answer a
-//! Social-and-Spatial Ranking Query (SSRQ).
+//! Social-and-Spatial Ranking Query (SSRQ) through the builder / request /
+//! session API.
 //!
 //! Run with:
 //! ```sh
@@ -19,29 +20,41 @@ fn main() {
         dataset.located_user_count()
     );
 
-    // 2. Build the query engine.  This constructs the landmark tables, the
-    //    spatial grid, and the AIS aggregate index.
-    let engine = GeoSocialEngine::build(dataset, EngineConfig::default())
+    // 2. Build the query engine fluently.  This constructs the landmark
+    //    tables, the spatial grid, and the AIS aggregate index; expensive
+    //    auxiliary indexes (Contraction Hierarchies, cached neighbour
+    //    lists) would be *declared* here too and built lazily on first use.
+    let engine = GeoSocialEngine::builder(dataset)
+        .granularity(10)
+        .landmarks(8)
+        .build()
         .expect("engine construction succeeds on a well-formed dataset");
 
-    // 3. Pick a query user and ask for the top-10 companions, weighing
-    //    social proximity at 30% and spatial proximity at 70% (the paper's
-    //    default alpha = 0.3).
+    // 3. Pick a query user and build a typed request: top-10 companions,
+    //    weighing social proximity at 30% (the paper's default alpha = 0.3).
     let query_user = engine
         .dataset()
         .graph()
         .nodes()
         .find(|&u| engine.dataset().location(u).is_some() && engine.dataset().graph().degree(u) > 2)
         .expect("the generated dataset has eligible query users");
-    let params = QueryParams::new(query_user, 10, 0.3);
+    let request = QueryRequest::for_user(query_user)
+        .k(10)
+        .alpha(0.3)
+        .algorithm(Algorithm::Ais)
+        .build()
+        .expect("valid request");
 
-    let result = engine
-        .query(Algorithm::Ais, &params)
-        .expect("valid parameters");
+    // 4. Run it through a session (owned, reused scratch — the recommended
+    //    per-worker handle).
+    let mut session = engine.session();
+    let result = session.run(&request).expect("valid parameters");
 
     println!(
         "\ntop-{} companions for user {} (alpha = {}):",
-        params.k, params.user, params.alpha
+        request.k(),
+        request.user(),
+        request.alpha()
     );
     println!(
         "{:>4}  {:>8}  {:>10}  {:>10}  {:>10}",
@@ -66,10 +79,22 @@ fn main() {
         result.stats.runtime
     );
 
-    // 4. The same query through the baseline algorithms returns the same
+    // 5. The same request streamed: entries arrive in finalization order,
+    //    and the incremental-threshold property of AIS fixes most of them
+    //    before the search even completes.
+    let stream = session.stream(&request).expect("valid parameters");
+    println!(
+        "streaming: {} of {} entries were final before the search completed",
+        stream.finalized_early(),
+        stream.len()
+    );
+
+    // 6. The same query through the baseline algorithms returns the same
     //    users — only the amount of work differs.
     for algorithm in [Algorithm::Sfa, Algorithm::Spa, Algorithm::Tsa] {
-        let other = engine.query(algorithm, &params).expect("valid parameters");
+        let other = session
+            .run(&request.clone().with_algorithm(algorithm))
+            .expect("valid parameters");
         assert_eq!(other.users(), result.users());
         println!(
             "{:<8} settled {:>7} graph vertices in {:?}",

@@ -22,9 +22,12 @@ pub use ssrq_spatial as spatial;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use ssrq_core::{
-        Algorithm, EngineConfig, GeoSocialEngine, QueryContext, QueryParams, QueryResult,
-        RankedUser,
+        Algorithm, AlgorithmStrategy, ChBuild, EngineBuilder, GeoSocialEngine, QueryContext,
+        QueryRequest, QueryResult, QuerySession, QueryStream, RankedUser, SocialCachePlan,
+        StrategyRegistry,
     };
+    #[allow(deprecated)]
+    pub use ssrq_core::{EngineConfig, QueryParams};
     pub use ssrq_data::{DatasetConfig, GeoSocialDataset};
     pub use ssrq_graph::{EdgeWeight, NodeId as GraphNodeId, SearchScratch, SocialGraph};
     pub use ssrq_spatial::{Point, Rect};

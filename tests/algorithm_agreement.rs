@@ -1,18 +1,35 @@
 //! Cross-crate integration test: every SSRQ processing algorithm must return
 //! exactly the same result as the brute-force oracle on realistic generated
-//! datasets, across the paper's parameter ranges.
+//! datasets, across the paper's parameter ranges — and under every request
+//! scenario option (spatial filter, exclusions, score cutoff).
+//!
+//! `QueryResult::same_users_and_scores` compares the *user sets* of every
+//! score-tie group (not just the score sequence), so two results can only
+//! pass as interchangeable when they genuinely report the same users.
 
-use geosocial_ssrq::core::{Algorithm, EngineConfig, GeoSocialEngine, QueryParams};
+use geosocial_ssrq::core::{Algorithm, ChBuild, GeoSocialEngine, QueryRequest};
 use geosocial_ssrq::data::{DatasetConfig, QueryWorkload};
+use geosocial_ssrq::prelude::{Point, Rect};
 
-fn build_engine(users: usize, config: EngineConfig) -> GeoSocialEngine {
+fn build_engine(users: usize, granularity: u32) -> GeoSocialEngine {
     let dataset = DatasetConfig::gowalla_like(users).with_seed(77).generate();
-    GeoSocialEngine::build(dataset, config).expect("engine builds")
+    GeoSocialEngine::builder(dataset)
+        .granularity(granularity)
+        .build()
+        .expect("engine builds")
+}
+
+fn request(user: u32, k: usize, alpha: f64) -> QueryRequest {
+    QueryRequest::for_user(user)
+        .k(k)
+        .alpha(alpha)
+        .build()
+        .expect("valid request")
 }
 
 #[test]
 fn indexed_algorithms_agree_with_the_oracle_across_k_and_alpha() {
-    let engine = build_engine(1_200, EngineConfig::default());
+    let engine = build_engine(1_200, 10);
     let workload = QueryWorkload::generate(engine.dataset(), 4, 11);
     let algorithms = [
         Algorithm::Sfa,
@@ -26,10 +43,12 @@ fn indexed_algorithms_agree_with_the_oracle_across_k_and_alpha() {
     for &user in &workload.users {
         for k in [1usize, 30] {
             for alpha in [0.1, 0.5, 0.9] {
-                let params = QueryParams::new(user, k, alpha);
-                let oracle = engine.query(Algorithm::Exhaustive, &params).unwrap();
+                let base = request(user, k, alpha);
+                let oracle = engine
+                    .run(&base.clone().with_algorithm(Algorithm::Exhaustive))
+                    .unwrap();
                 for algorithm in algorithms {
-                    let result = engine.query(algorithm, &params).unwrap();
+                    let result = engine.run(&base.clone().with_algorithm(algorithm)).unwrap();
                     assert!(
                         result.same_users_and_scores(&oracle, 1e-9),
                         "{} disagrees with the oracle (user {user}, k {k}, alpha {alpha}):\n  got      {:?}\n  expected {:?}",
@@ -44,26 +63,92 @@ fn indexed_algorithms_agree_with_the_oracle_across_k_and_alpha() {
 }
 
 #[test]
+fn request_scenario_options_agree_across_all_algorithms() {
+    // The acceptance bar: spatial filters and exclusion sets must produce
+    // identical answers across (at least) EXH, TSA and AIS.  We run the
+    // whole non-auxiliary line-up, plus a score cutoff, for good measure.
+    let engine = build_engine(900, 10);
+    let workload = QueryWorkload::generate(engine.dataset(), 4, 51);
+    let algorithms = [
+        Algorithm::Sfa,
+        Algorithm::Spa,
+        Algorithm::Tsa,
+        Algorithm::TsaQc,
+        Algorithm::AisBid,
+        Algorithm::AisMinus,
+        Algorithm::Ais,
+    ];
+    let windows = [
+        Rect::new(Point::new(0.0, 0.0), Point::new(0.5, 0.5)),
+        Rect::new(Point::new(0.2, 0.1), Point::new(0.9, 0.8)),
+    ];
+    for &user in &workload.users {
+        for window in windows {
+            let excluded: Vec<u32> = (0..engine.dataset().user_count() as u32)
+                .filter(|u| u % 7 == user % 7)
+                .collect();
+            let base = QueryRequest::for_user(user)
+                .k(15)
+                .alpha(0.4)
+                .within(window)
+                .exclude(excluded)
+                .max_score(0.55)
+                .build()
+                .unwrap();
+            let oracle = engine
+                .run(&base.clone().with_algorithm(Algorithm::Exhaustive))
+                .unwrap();
+            // The oracle honours the filters itself.
+            assert!(oracle.users().iter().all(|&u| u % 7 != user % 7));
+            for entry in &oracle.ranked {
+                let loc = engine.dataset().location(entry.user).unwrap();
+                assert!(window.contains(loc));
+                assert!(entry.score < 0.55);
+            }
+            for algorithm in algorithms {
+                let result = engine.run(&base.clone().with_algorithm(algorithm)).unwrap();
+                assert!(
+                    result.same_users_and_scores(&oracle, 1e-9),
+                    "{} disagrees under filters (user {user}, window {window}):\n  got      {:?}\n  expected {:?}",
+                    algorithm.name(),
+                    result.users(),
+                    oracle.users()
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn ch_and_cached_variants_agree_with_the_oracle() {
     // CH construction on the hub-heavy synthetic graphs is by far the most
     // expensive step of the suite (quadratic-ish witness-search blowup, as
     // the paper observes for social networks), so this test keeps the CH
-    // engine small; tests/batch_query.rs covers the CH variants too.
-    let mut engine = build_engine(160, EngineConfig::default());
-    engine.build_contraction_hierarchy();
-    let workload = QueryWorkload::generate(engine.dataset(), 3, 23);
-    engine.build_social_cache(&workload.users, 100);
+    // engine small; tests/batch_query.rs covers the CH variants too.  The
+    // auxiliary indexes are declared lazily: the first *-CH / cached query
+    // triggers their construction.
+    let dataset = DatasetConfig::gowalla_like(160).with_seed(77).generate();
+    let workload = QueryWorkload::generate(&dataset, 3, 23);
+    let engine = GeoSocialEngine::builder(dataset)
+        .with_ch(ChBuild::Lazy)
+        .cache_social_neighbors(workload.users.clone(), 100)
+        .build()
+        .expect("engine builds");
+    assert!(engine.contraction_hierarchy().is_none());
+    assert!(engine.social_cache().is_none());
     for &user in &workload.users {
         for alpha in [0.3, 0.7] {
-            let params = QueryParams::new(user, 20, alpha);
-            let oracle = engine.query(Algorithm::Exhaustive, &params).unwrap();
+            let base = request(user, 20, alpha);
+            let oracle = engine
+                .run(&base.clone().with_algorithm(Algorithm::Exhaustive))
+                .unwrap();
             for algorithm in [
                 Algorithm::SfaCh,
                 Algorithm::SpaCh,
                 Algorithm::TsaCh,
                 Algorithm::SfaCached,
             ] {
-                let result = engine.query(algorithm, &params).unwrap();
+                let result = engine.run(&base.clone().with_algorithm(algorithm)).unwrap();
                 assert!(
                     result.same_users_and_scores(&oracle, 1e-9),
                     "{} disagrees with the oracle (user {user}, alpha {alpha})",
@@ -72,22 +157,23 @@ fn ch_and_cached_variants_agree_with_the_oracle() {
             }
         }
     }
+    // Both lazy indexes were built exactly when first needed.
+    assert!(engine.contraction_hierarchy().is_some());
+    assert!(engine.social_cache().is_some());
 }
 
 #[test]
 fn different_index_granularities_do_not_change_results() {
     for granularity in [3u32, 6, 12] {
-        let config = EngineConfig {
-            granularity,
-            ..EngineConfig::default()
-        };
-        let engine = build_engine(700, config);
+        let engine = build_engine(700, granularity);
         let workload = QueryWorkload::generate(engine.dataset(), 3, 5);
         for &user in &workload.users {
-            let params = QueryParams::new(user, 15, 0.3);
-            let oracle = engine.query(Algorithm::Exhaustive, &params).unwrap();
+            let base = request(user, 15, 0.3);
+            let oracle = engine
+                .run(&base.clone().with_algorithm(Algorithm::Exhaustive))
+                .unwrap();
             for algorithm in [Algorithm::Spa, Algorithm::Ais] {
-                let result = engine.query(algorithm, &params).unwrap();
+                let result = engine.run(&base.clone().with_algorithm(algorithm)).unwrap();
                 assert!(
                     result.same_users_and_scores(&oracle, 1e-9),
                     "{} disagrees at granularity {granularity}",
@@ -106,18 +192,20 @@ fn different_landmark_configurations_do_not_change_results() {
         (4, LandmarkSelection::HighestDegree),
         (12, LandmarkSelection::FarthestFirst),
     ] {
-        let config = EngineConfig {
-            num_landmarks: m,
-            landmark_selection: selection,
-            ..EngineConfig::default()
-        };
-        let engine = build_engine(700, config);
+        let dataset = DatasetConfig::gowalla_like(700).with_seed(77).generate();
+        let engine = GeoSocialEngine::builder(dataset)
+            .landmarks(m)
+            .landmark_selection(selection)
+            .build()
+            .expect("engine builds");
         let workload = QueryWorkload::generate(engine.dataset(), 3, 9);
         for &user in &workload.users {
-            let params = QueryParams::new(user, 10, 0.5);
-            let oracle = engine.query(Algorithm::Exhaustive, &params).unwrap();
+            let base = request(user, 10, 0.5);
+            let oracle = engine
+                .run(&base.clone().with_algorithm(Algorithm::Exhaustive))
+                .unwrap();
             for algorithm in [Algorithm::Tsa, Algorithm::Ais] {
-                let result = engine.query(algorithm, &params).unwrap();
+                let result = engine.run(&base.clone().with_algorithm(algorithm)).unwrap();
                 assert!(
                     result.same_users_and_scores(&oracle, 1e-9),
                     "{} disagrees with M = {m}, selection {selection:?}",
@@ -131,13 +219,15 @@ fn different_landmark_configurations_do_not_change_results() {
 #[test]
 fn high_degree_network_results_stay_exact() {
     let dataset = DatasetConfig::twitter_like(900).with_seed(3).generate();
-    let engine = GeoSocialEngine::build(dataset, EngineConfig::default()).unwrap();
+    let engine = GeoSocialEngine::builder(dataset).build().unwrap();
     let workload = QueryWorkload::generate(engine.dataset(), 3, 31);
     for &user in &workload.users {
-        let params = QueryParams::new(user, 30, 0.3);
-        let oracle = engine.query(Algorithm::Exhaustive, &params).unwrap();
+        let base = request(user, 30, 0.3);
+        let oracle = engine
+            .run(&base.clone().with_algorithm(Algorithm::Exhaustive))
+            .unwrap();
         for algorithm in [Algorithm::Sfa, Algorithm::Tsa, Algorithm::Ais] {
-            let result = engine.query(algorithm, &params).unwrap();
+            let result = engine.run(&base.clone().with_algorithm(algorithm)).unwrap();
             assert!(result.same_users_and_scores(&oracle, 1e-9));
         }
     }
@@ -149,24 +239,21 @@ fn stats_show_ais_settles_fewer_vertices_than_single_domain_baselines() {
     // approaches expand most of the network while AIS touches a small
     // neighbourhood (Figure 8(c)/(d) of the paper).  Use a graph that is
     // large enough for the effect to be visible but still quick to query.
-    let engine = build_engine(12_000, EngineConfig::default());
+    let engine = build_engine(12_000, 10);
     let workload = QueryWorkload::generate(engine.dataset(), 3, 13);
     let mut sfa_pops = 0usize;
     let mut spa_pops = 0usize;
     let mut ais_pops = 0usize;
-    for params in workload.params() {
-        sfa_pops += engine
-            .query(Algorithm::Sfa, &params)
+    let mut session = engine.session();
+    for base in workload.requests(Algorithm::Sfa) {
+        sfa_pops += session.run(&base).unwrap().stats.vertex_pops;
+        spa_pops += session
+            .run(&base.clone().with_algorithm(Algorithm::Spa))
             .unwrap()
             .stats
             .vertex_pops;
-        spa_pops += engine
-            .query(Algorithm::Spa, &params)
-            .unwrap()
-            .stats
-            .vertex_pops;
-        ais_pops += engine
-            .query(Algorithm::Ais, &params)
+        ais_pops += session
+            .run(&base.with_algorithm(Algorithm::Ais))
             .unwrap()
             .stats
             .vertex_pops;

@@ -1,8 +1,10 @@
 //! Integration tests of the parallel batch-query path and the reusable
 //! search-scratch substrate:
 //!
-//! * `query_batch` must return exactly the results of sequential `query`
-//!   execution, for every algorithm, at any thread count;
+//! * `run_batch` must return exactly the results of sequential `run`
+//!   execution, for every algorithm, at any thread count — including when
+//!   the first batch triggers *lazy* auxiliary-index initialization from
+//!   multiple workers at once;
 //! * reusing one `QueryContext` across queries must never change an answer
 //!   (the stale-scratch regression guard).
 //!
@@ -12,23 +14,26 @@
 //! across tests — which `GeoSocialEngine: Send + Sync` makes trivially
 //! safe.
 
-use geosocial_ssrq::core::{Algorithm, EngineConfig, GeoSocialEngine, QueryContext, QueryParams};
+use geosocial_ssrq::core::{Algorithm, ChBuild, GeoSocialEngine, QueryContext, QueryRequest};
 use geosocial_ssrq::data::{DatasetConfig, QueryWorkload};
 use std::sync::OnceLock;
 
 const USERS: usize = 150;
 const SEED: u64 = 7;
 
-/// An engine with every auxiliary index built, so all `Algorithm::ALL`
-/// variants are runnable.
+/// An engine with every auxiliary index *declared* (lazily), so all
+/// `Algorithm::ALL` variants are runnable; nothing auxiliary is built until
+/// first use.
 fn full_engine() -> (GeoSocialEngine, Vec<u32>) {
     let dataset = DatasetConfig::gowalla_like(USERS)
         .with_seed(SEED)
         .generate();
-    let mut engine = GeoSocialEngine::build(dataset, EngineConfig::default()).unwrap();
-    engine.build_contraction_hierarchy();
-    let workload = QueryWorkload::generate(engine.dataset(), 6, SEED ^ 0xBA7C).users;
-    engine.build_social_cache(&workload, 60);
+    let workload = QueryWorkload::generate(&dataset, 6, SEED ^ 0xBA7C).users;
+    let engine = GeoSocialEngine::builder(dataset)
+        .with_ch(ChBuild::Lazy)
+        .cache_social_neighbors(workload.clone(), 60)
+        .build()
+        .unwrap();
     (engine, workload)
 }
 
@@ -37,26 +42,37 @@ fn shared_engine() -> &'static (GeoSocialEngine, Vec<u32>) {
     ENGINE.get_or_init(full_engine)
 }
 
-fn mixed_batch(users: &[u32]) -> Vec<QueryParams> {
+fn mixed_batch(users: &[u32], algorithm: Algorithm) -> Vec<QueryRequest> {
     users
         .iter()
         .enumerate()
-        .map(|(i, &user)| QueryParams::new(user, 3 + i % 5, [0.2, 0.5, 0.8][i % 3]))
+        .map(|(i, &user)| {
+            QueryRequest::for_user(user)
+                .k(3 + i % 5)
+                .alpha([0.2, 0.5, 0.8][i % 3])
+                .algorithm(algorithm)
+                .build()
+                .unwrap()
+        })
         .collect()
 }
 
 #[test]
 fn batch_results_are_identical_to_sequential_for_every_algorithm() {
     let (engine, users) = shared_engine();
-    let batch = mixed_batch(users);
 
     for algorithm in Algorithm::ALL {
+        // A fresh engine per algorithm/thread-count pass would re-run the
+        // expensive CH build; the shared engine's lazy indexes are instead
+        // initialized by whichever path (sequential here, or a batch worker
+        // below) first needs them — results must be unaffected either way.
+        let batch = mixed_batch(users, algorithm);
         let sequential: Vec<_> = batch
             .iter()
-            .map(|params| engine.query(algorithm, params).unwrap())
+            .map(|request| engine.run(request).unwrap())
             .collect();
         for threads in [1usize, 2, 4] {
-            let parallel = engine.query_batch_with_threads(algorithm, &batch, threads);
+            let parallel = engine.run_batch_with_threads(&batch, threads);
             assert_eq!(parallel.len(), batch.len());
             for (i, (seq, par)) in sequential.iter().zip(parallel.iter()).enumerate() {
                 let par = par.as_ref().unwrap_or_else(|e| {
@@ -77,13 +93,31 @@ fn batch_results_are_identical_to_sequential_for_every_algorithm() {
 }
 
 #[test]
-fn query_batch_uses_default_parallelism_and_matches_sequential() {
+fn parallel_batch_triggers_lazy_ch_init_exactly_once_and_stays_exact() {
+    // A dedicated engine whose very first queries are a *parallel* batch of
+    // CH-requiring requests: the workers race into the lazy `OnceLock`
+    // build, exactly one build runs, and every result matches a
+    // sequentially-queried twin engine.
+    let (engine, users) = full_engine();
+    let (twin, _) = full_engine();
+    assert!(engine.contraction_hierarchy().is_none());
+    let batch = mixed_batch(&users, Algorithm::TsaCh);
+    let parallel = engine.run_batch_with_threads(&batch, 4);
+    assert!(engine.contraction_hierarchy().is_some());
+    for (request, result) in batch.iter().zip(parallel) {
+        let expected = twin.run(request).unwrap();
+        assert_eq!(expected.ranked, result.unwrap().ranked);
+    }
+}
+
+#[test]
+fn run_batch_uses_default_parallelism_and_matches_sequential() {
     let (engine, users) = shared_engine();
-    let batch = mixed_batch(users);
-    let results = engine.query_batch(Algorithm::Ais, &batch);
+    let batch = mixed_batch(users, Algorithm::Ais);
+    let results = engine.run_batch(&batch);
     assert_eq!(results.len(), batch.len());
-    for (params, result) in batch.iter().zip(&results) {
-        let expected = engine.query(Algorithm::Ais, params).unwrap();
+    for (request, result) in batch.iter().zip(&results) {
+        let expected = engine.run(request).unwrap();
         assert_eq!(expected.ranked, result.as_ref().unwrap().ranked);
     }
 }
@@ -92,13 +126,25 @@ fn query_batch_uses_default_parallelism_and_matches_sequential() {
 fn batch_reports_per_query_errors_in_place() {
     let (engine, users) = shared_engine();
     let unknown_user = engine.dataset().user_count() as u32 + 50;
+    let valid = |user: u32| {
+        QueryRequest::for_user(user)
+            .k(5)
+            .alpha(0.5)
+            .algorithm(Algorithm::Ais)
+            .build()
+            .unwrap()
+    };
+    // `k = 0` cannot pass the request builder; smuggle it through the
+    // non-validating legacy conversion to exercise execution-time checks.
+    #[allow(deprecated)]
+    let invalid_k: QueryRequest = geosocial_ssrq::core::QueryParams::new(users[1], 0, 0.5).into();
     let batch = vec![
-        QueryParams::new(users[0], 5, 0.5),
-        QueryParams::new(unknown_user, 5, 0.5), // unknown user
-        QueryParams::new(users[1], 0, 0.5),     // invalid k
-        QueryParams::new(users[2], 5, 0.5),
+        valid(users[0]),
+        valid(unknown_user), // unknown user
+        invalid_k.with_algorithm(Algorithm::Ais),
+        valid(users[2]),
     ];
-    let results = engine.query_batch_with_threads(Algorithm::Ais, &batch, 2);
+    let results = engine.run_batch_with_threads(&batch, 2);
     assert_eq!(results.len(), 4);
     assert!(results[0].is_ok());
     assert!(results[1].is_err());
@@ -109,14 +155,12 @@ fn batch_reports_per_query_errors_in_place() {
 #[test]
 fn empty_batch_is_a_no_op() {
     let (engine, _) = shared_engine();
-    assert!(engine.query_batch(Algorithm::Ais, &[]).is_empty());
-    assert!(engine
-        .query_batch_with_threads(Algorithm::Sfa, &[], 8)
-        .is_empty());
+    assert!(engine.run_batch(&[]).is_empty());
+    assert!(engine.run_batch_with_threads(&[], 8).is_empty());
 }
 
 /// The stale-scratch regression guard: run queries back-to-back through one
-/// engine and one reused context, and require every answer to match a
+/// engine and one reused session, and require every answer to match a
 /// freshly built engine queried with a fresh context.  Catches state
 /// leaking between queries via the epoch-versioned scratch (distances,
 /// settled marks, heap entries) for every algorithm, including algorithm
@@ -126,39 +170,53 @@ fn reused_scratch_matches_fresh_engine_query_by_query() {
     let (engine, users) = shared_engine();
     // Same configuration and seed build an identical, independent engine.
     let (fresh_engine, _) = full_engine();
-    let mut ctx = engine.make_context();
+    let mut session = engine.session();
 
     // Query sequence chosen to stress reuse: same user twice, different
     // users, different alpha/k, and algorithm switches in between.
-    let mut plan: Vec<(Algorithm, QueryParams)> = Vec::new();
+    let mut plan: Vec<QueryRequest> = Vec::new();
     for (i, &user) in users.iter().enumerate() {
         let alpha = [0.2, 0.5, 0.8][i % 3];
         for algorithm in Algorithm::ALL {
-            plan.push((algorithm, QueryParams::new(user, 4 + i % 5, alpha)));
+            plan.push(
+                QueryRequest::for_user(user)
+                    .k(4 + i % 5)
+                    .alpha(alpha)
+                    .algorithm(algorithm)
+                    .build()
+                    .unwrap(),
+            );
         }
         // Back-to-back repeat of the same query through the dirty context.
-        plan.push((Algorithm::Ais, QueryParams::new(user, 4 + i % 5, alpha)));
+        plan.push(
+            QueryRequest::for_user(user)
+                .k(4 + i % 5)
+                .alpha(alpha)
+                .algorithm(Algorithm::Ais)
+                .build()
+                .unwrap(),
+        );
     }
 
-    for (step, (algorithm, params)) in plan.iter().enumerate() {
-        let reused = engine.query_with(*algorithm, params, &mut ctx).unwrap();
+    for (step, request) in plan.iter().enumerate() {
+        let reused = session.run(request).unwrap();
         let fresh = fresh_engine
-            .query_with(*algorithm, params, &mut fresh_engine.make_context())
+            .run_with(request, &mut fresh_engine.make_context())
             .unwrap();
         assert_eq!(
             reused.ranked,
             fresh.ranked,
             "step {step}: {} with a reused context diverged from a fresh engine \
              (user {}, k {}, alpha {})",
-            algorithm.name(),
-            params.user,
-            params.k,
-            params.alpha
+            request.algorithm().key(),
+            request.user(),
+            request.k(),
+            request.alpha()
         );
     }
     assert!(
-        ctx.searches() > plan.len() as u64 / 2,
-        "the reused context should have backed most searches"
+        session.searches() > plan.len() as u64 / 2,
+        "the reused session should have backed most searches"
     );
 }
 
@@ -168,25 +226,31 @@ fn one_context_serves_queries_across_engines_of_different_sizes() {
     // giving correct answers when the graph size changes under it.  No CH
     // indexes here — only scratch-backed algorithms are exercised.
     let small_dataset = DatasetConfig::gowalla_like(120).with_seed(31).generate();
-    let small = GeoSocialEngine::build(small_dataset, EngineConfig::default()).unwrap();
+    let small = GeoSocialEngine::builder(small_dataset).build().unwrap();
     let small_user = QueryWorkload::generate(small.dataset(), 1, 1).users[0];
     let large_dataset = DatasetConfig::gowalla_like(600).with_seed(37).generate();
-    let large = GeoSocialEngine::build(large_dataset, EngineConfig::default()).unwrap();
+    let large = GeoSocialEngine::builder(large_dataset).build().unwrap();
     let large_user = QueryWorkload::generate(large.dataset(), 1, 1).users[0];
     let mut ctx = QueryContext::new();
 
-    let params_small = QueryParams::new(small_user, 5, 0.4);
-    let params_large = QueryParams::new(large_user, 5, 0.4);
+    let request_small = QueryRequest::for_user(small_user)
+        .k(5)
+        .alpha(0.4)
+        .algorithm(Algorithm::Ais)
+        .build()
+        .unwrap();
+    let request_large = QueryRequest::for_user(large_user)
+        .k(5)
+        .alpha(0.4)
+        .algorithm(Algorithm::Tsa)
+        .build()
+        .unwrap();
     for _ in 0..3 {
-        let a = small
-            .query_with(Algorithm::Ais, &params_small, &mut ctx)
-            .unwrap();
-        let b = small.query(Algorithm::Ais, &params_small).unwrap();
+        let a = small.run_with(&request_small, &mut ctx).unwrap();
+        let b = small.run(&request_small).unwrap();
         assert_eq!(a.ranked, b.ranked);
-        let a = large
-            .query_with(Algorithm::Tsa, &params_large, &mut ctx)
-            .unwrap();
-        let b = large.query(Algorithm::Tsa, &params_large).unwrap();
+        let a = large.run_with(&request_large, &mut ctx).unwrap();
+        let b = large.run(&request_large).unwrap();
         assert_eq!(a.ranked, b.ranked);
     }
     assert!(ctx.capacity() >= 600);

@@ -2,9 +2,7 @@
 //! experiment harness: presets, forest-fire sampling, correlation-controlled
 //! locations and workloads must all compose with the query engine.
 
-use geosocial_ssrq::core::{
-    Algorithm, EngineConfig, GeoSocialDataset, GeoSocialEngine, QueryParams,
-};
+use geosocial_ssrq::core::{Algorithm, GeoSocialDataset, GeoSocialEngine, QueryRequest};
 use geosocial_ssrq::data::correlation::measure_correlation;
 use geosocial_ssrq::data::{
     correlated_locations, forest_fire_sample, jaccard, Correlation, DataStatistics, DatasetConfig,
@@ -39,11 +37,13 @@ fn forest_fire_samples_compose_with_the_engine() {
         .collect::<Vec<_>>();
     let dataset = GeoSocialDataset::new(sampled_graph, locations).unwrap();
     assert_eq!(dataset.user_count(), 1_000);
-    let engine = GeoSocialEngine::build(dataset, EngineConfig::default()).unwrap();
+    let engine = GeoSocialEngine::builder(dataset).build().unwrap();
     let workload = QueryWorkload::generate(engine.dataset(), 3, 7);
-    for params in workload.params() {
-        let oracle = engine.query(Algorithm::Exhaustive, &params).unwrap();
-        let ais = engine.query(Algorithm::Ais, &params).unwrap();
+    for request in workload.requests(Algorithm::Ais) {
+        let oracle = engine
+            .run(&request.clone().with_algorithm(Algorithm::Exhaustive))
+            .unwrap();
+        let ais = engine.run(&request).unwrap();
         assert!(ais.same_users_and_scores(&oracle, 1e-9));
     }
 }
@@ -62,10 +62,16 @@ fn correlated_datasets_behave_as_figure_14a_expects() {
             Correlation::Independent => assert!(r.abs() < 0.25, "independent correlation {r}"),
         }
         let dataset = GeoSocialDataset::new(base.graph().clone(), locations).unwrap();
-        let engine = GeoSocialEngine::build(dataset, EngineConfig::default()).unwrap();
-        let params = QueryParams::new(anchor, 20, 0.5);
-        let oracle = engine.query(Algorithm::Exhaustive, &params).unwrap();
-        let result = engine.query(Algorithm::Ais, &params).unwrap();
+        let engine = GeoSocialEngine::builder(dataset).build().unwrap();
+        let request = QueryRequest::for_user(anchor)
+            .k(20)
+            .alpha(0.5)
+            .build()
+            .unwrap();
+        let oracle = engine
+            .run(&request.clone().with_algorithm(Algorithm::Exhaustive))
+            .unwrap();
+        let result = engine.run(&request.with_algorithm(Algorithm::Ais)).unwrap();
         assert!(result.same_users_and_scores(&oracle, 1e-9));
         effort.push((correlation, result.stats.evaluated_users.max(1)));
     }
@@ -85,13 +91,20 @@ fn ssrq_results_differ_from_single_domain_topk() {
     // The Figure 7(b) insight: the SSRQ answer overlaps little with either
     // the purely social or the purely spatial top-k.
     let dataset = DatasetConfig::foursquare_like(2_500).generate();
-    let engine = GeoSocialEngine::build(dataset, EngineConfig::default()).unwrap();
+    let engine = GeoSocialEngine::builder(dataset).build().unwrap();
     let workload = QueryWorkload::generate(engine.dataset(), 10, 19);
     let k = 20;
     let mut avg_vs_spatial = 0.0;
     for &user in &workload.users {
         let ssrq = engine
-            .query(Algorithm::Ais, &QueryParams::new(user, k, 0.5))
+            .run(
+                &QueryRequest::for_user(user)
+                    .k(k)
+                    .alpha(0.5)
+                    .algorithm(Algorithm::Ais)
+                    .build()
+                    .unwrap(),
+            )
             .unwrap()
             .users();
         let location = engine.dataset().location(user).unwrap();
@@ -115,12 +128,12 @@ fn ssrq_results_differ_from_single_domain_topk() {
 #[test]
 fn workload_parameters_round_trip_through_queries() {
     let dataset = DatasetConfig::gowalla_like(800).generate();
-    let engine = GeoSocialEngine::build(dataset, EngineConfig::default()).unwrap();
+    let engine = GeoSocialEngine::builder(dataset).build().unwrap();
     let workload = QueryWorkload::generate(engine.dataset(), 6, 29)
         .with_k(7)
         .with_alpha(0.9);
-    for params in workload.params() {
-        let result = engine.query(Algorithm::Ais, &params).unwrap();
+    for request in workload.requests(Algorithm::Ais) {
+        let result = engine.run(&request).unwrap();
         assert!(result.ranked.len() <= 7);
     }
 }

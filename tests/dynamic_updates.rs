@@ -1,7 +1,7 @@
 //! Integration test of the dynamic-location path: the engine's indexes must
 //! stay exact while users move, appear and disappear.
 
-use geosocial_ssrq::core::{Algorithm, EngineConfig, GeoSocialEngine, QueryParams};
+use geosocial_ssrq::core::{Algorithm, GeoSocialEngine, QueryRequest};
 use geosocial_ssrq::data::{DatasetConfig, QueryWorkload};
 use geosocial_ssrq::spatial::Point;
 use rand::prelude::*;
@@ -10,7 +10,7 @@ use rand::rngs::StdRng;
 #[test]
 fn indexes_stay_exact_under_random_location_churn() {
     let dataset = DatasetConfig::gowalla_like(1_500).with_seed(41).generate();
-    let mut engine = GeoSocialEngine::build(dataset, EngineConfig::default()).unwrap();
+    let mut engine = GeoSocialEngine::builder(dataset).build().unwrap();
     let workload = QueryWorkload::generate(engine.dataset(), 5, 3);
     let mut rng = StdRng::seed_from_u64(99);
 
@@ -29,10 +29,18 @@ fn indexes_stay_exact_under_random_location_churn() {
             // A query user may itself have lost its location; both the
             // oracle and the indexed algorithms must then agree on the
             // (possibly empty) answer.
-            let params = QueryParams::new(user, 12, 0.3);
-            let oracle = engine.query(Algorithm::Exhaustive, &params).unwrap();
+            let request = QueryRequest::for_user(user)
+                .k(12)
+                .alpha(0.3)
+                .build()
+                .unwrap();
+            let oracle = engine
+                .run(&request.clone().with_algorithm(Algorithm::Exhaustive))
+                .unwrap();
             for algorithm in [Algorithm::Spa, Algorithm::Tsa, Algorithm::Ais] {
-                let result = engine.query(algorithm, &params).unwrap();
+                let result = engine
+                    .run(&request.clone().with_algorithm(algorithm))
+                    .unwrap();
                 assert!(
                     result.same_users_and_scores(&oracle, 1e-9),
                     "{} diverged in round {round} for user {user}",
@@ -46,11 +54,16 @@ fn indexes_stay_exact_under_random_location_churn() {
 #[test]
 fn moving_a_result_user_far_away_changes_the_answer() {
     let dataset = DatasetConfig::gowalla_like(1_000).with_seed(8).generate();
-    let mut engine = GeoSocialEngine::build(dataset, EngineConfig::default()).unwrap();
+    let mut engine = GeoSocialEngine::builder(dataset).build().unwrap();
     let query_user = QueryWorkload::generate(engine.dataset(), 1, 17).users[0];
-    let params = QueryParams::new(query_user, 5, 0.2);
+    let request = QueryRequest::for_user(query_user)
+        .k(5)
+        .alpha(0.2)
+        .algorithm(Algorithm::Ais)
+        .build()
+        .unwrap();
 
-    let before = engine.query(Algorithm::Ais, &params).unwrap();
+    let before = engine.run(&request).unwrap();
     assert!(!before.ranked.is_empty());
     let top = before.ranked[0].user;
 
@@ -62,8 +75,10 @@ fn moving_a_result_user_far_away_changes_the_answer() {
     );
     engine.update_location(top, far_corner).unwrap();
 
-    let after = engine.query(Algorithm::Ais, &params).unwrap();
-    let oracle = engine.query(Algorithm::Exhaustive, &params).unwrap();
+    let after = engine.run(&request).unwrap();
+    let oracle = engine
+        .run(&request.clone().with_algorithm(Algorithm::Exhaustive))
+        .unwrap();
     assert!(after.same_users_and_scores(&oracle, 1e-9));
     // The moved user's spatial distance grew, so its score must be worse (or
     // it dropped out of the top-k entirely).
@@ -77,15 +92,21 @@ fn moving_a_result_user_far_away_changes_the_answer() {
 #[test]
 fn removing_every_location_yields_empty_results() {
     let dataset = DatasetConfig::gowalla_like(300).with_seed(4).generate();
-    let mut engine = GeoSocialEngine::build(dataset, EngineConfig::default()).unwrap();
+    let mut engine = GeoSocialEngine::builder(dataset).build().unwrap();
     let query_user = QueryWorkload::generate(engine.dataset(), 1, 2).users[0];
     let users: Vec<u32> = engine.dataset().graph().nodes().collect();
     for user in users {
         engine.remove_location(user).unwrap();
     }
-    let params = QueryParams::new(query_user, 10, 0.5);
+    let request = QueryRequest::for_user(query_user)
+        .k(10)
+        .alpha(0.5)
+        .build()
+        .unwrap();
     for algorithm in [Algorithm::Exhaustive, Algorithm::Spa, Algorithm::Ais] {
-        let result = engine.query(algorithm, &params).unwrap();
+        let result = engine
+            .run(&request.clone().with_algorithm(algorithm))
+            .unwrap();
         assert!(
             result.ranked.is_empty(),
             "{} returned results without any located user",
@@ -97,9 +118,14 @@ fn removing_every_location_yields_empty_results() {
 #[test]
 fn repeated_updates_of_the_same_user_are_idempotent_for_queries() {
     let dataset = DatasetConfig::gowalla_like(500).with_seed(21).generate();
-    let mut engine = GeoSocialEngine::build(dataset, EngineConfig::default()).unwrap();
+    let mut engine = GeoSocialEngine::builder(dataset).build().unwrap();
     let query_user = QueryWorkload::generate(engine.dataset(), 1, 6).users[0];
-    let params = QueryParams::new(query_user, 8, 0.4);
+    let request = QueryRequest::for_user(query_user)
+        .k(8)
+        .alpha(0.4)
+        .algorithm(Algorithm::Ais)
+        .build()
+        .unwrap();
 
     // Thrash one user's location and finally park it at a fixed point; a
     // freshly built engine over the same final state must agree.
@@ -115,9 +141,9 @@ fn repeated_updates_of_the_same_user_are_idempotent_for_queries() {
     fresh_dataset
         .set_location(victim, Some(final_location))
         .unwrap();
-    let fresh_engine = GeoSocialEngine::build(fresh_dataset, EngineConfig::default()).unwrap();
+    let fresh_engine = GeoSocialEngine::builder(fresh_dataset).build().unwrap();
 
-    let incremental = engine.query(Algorithm::Ais, &params).unwrap();
-    let rebuilt = fresh_engine.query(Algorithm::Ais, &params).unwrap();
+    let incremental = engine.run(&request).unwrap();
+    let rebuilt = fresh_engine.run(&request).unwrap();
     assert!(incremental.same_users_and_scores(&rebuilt, 1e-9));
 }

@@ -12,9 +12,7 @@
 //! assertion message carries the case number, and the generator for case
 //! `i` is fully determined by `BASE_SEED + i`.
 
-use geosocial_ssrq::core::{
-    Algorithm, EngineConfig, GeoSocialDataset, GeoSocialEngine, QueryParams,
-};
+use geosocial_ssrq::core::{Algorithm, GeoSocialDataset, GeoSocialEngine, QueryRequest};
 use geosocial_ssrq::graph::{
     dijkstra_all, GraphBuilder, LandmarkSelection, LandmarkSet, SocialGraph,
 };
@@ -74,14 +72,19 @@ fn all_algorithms_match_the_oracle_on_arbitrary_datasets() {
         let user = rng.gen_range(0..dataset.user_count()) as u32;
         let k = rng.gen_range(1usize..8);
         let alpha = rng.gen_range(0.05f64..0.95);
-        let config = EngineConfig {
-            granularity: 3,
-            num_landmarks: 3,
-            ..EngineConfig::default()
-        };
-        let engine = GeoSocialEngine::build(dataset, config).unwrap();
-        let params = QueryParams::new(user, k, alpha);
-        let oracle = engine.query(Algorithm::Exhaustive, &params).unwrap();
+        let engine = GeoSocialEngine::builder(dataset)
+            .granularity(3)
+            .landmarks(3)
+            .build()
+            .unwrap();
+        let request = QueryRequest::for_user(user)
+            .k(k)
+            .alpha(alpha)
+            .build()
+            .unwrap();
+        let oracle = engine
+            .run(&request.clone().with_algorithm(Algorithm::Exhaustive))
+            .unwrap();
         for algorithm in [
             Algorithm::Sfa,
             Algorithm::Spa,
@@ -91,7 +94,9 @@ fn all_algorithms_match_the_oracle_on_arbitrary_datasets() {
             Algorithm::AisMinus,
             Algorithm::Ais,
         ] {
-            let result = engine.query(algorithm, &params).unwrap();
+            let result = engine
+                .run(&request.clone().with_algorithm(algorithm))
+                .unwrap();
             assert!(
                 result.same_users_and_scores(&oracle, 1e-9),
                 "case {case}: {} disagreed (user {user}, k {k}, alpha {alpha}): got {:?}, expected {:?}",
@@ -111,14 +116,20 @@ fn ranked_results_are_sorted_and_within_k() {
         let k = rng.gen_range(1usize..10);
         let alpha = rng.gen_range(0.05f64..0.95);
         let user = 0u32;
-        let config = EngineConfig {
-            granularity: 3,
-            num_landmarks: 2,
-            ..EngineConfig::default()
-        };
-        let engine = GeoSocialEngine::build(dataset, config).unwrap();
+        let engine = GeoSocialEngine::builder(dataset)
+            .granularity(3)
+            .landmarks(2)
+            .build()
+            .unwrap();
         let result = engine
-            .query(Algorithm::Ais, &QueryParams::new(user, k, alpha))
+            .run(
+                &QueryRequest::for_user(user)
+                    .k(k)
+                    .alpha(alpha)
+                    .algorithm(Algorithm::Ais)
+                    .build()
+                    .unwrap(),
+            )
             .unwrap();
         assert!(result.ranked.len() <= k, "case {case}");
         for pair in result.ranked.windows(2) {
@@ -190,15 +201,19 @@ fn query_results_are_deterministic() {
         let mut rng = StdRng::seed_from_u64((BASE_SEED ^ 0x77EE) + case);
         let dataset = arb_dataset(&mut rng);
         let alpha = rng.gen_range(0.05f64..0.95);
-        let config = EngineConfig {
-            granularity: 4,
-            num_landmarks: 2,
-            ..EngineConfig::default()
-        };
-        let engine = GeoSocialEngine::build(dataset, config).unwrap();
-        let params = QueryParams::new(0, 5, alpha);
-        let a = engine.query(Algorithm::Ais, &params).unwrap();
-        let b = engine.query(Algorithm::Ais, &params).unwrap();
+        let engine = GeoSocialEngine::builder(dataset)
+            .granularity(4)
+            .landmarks(2)
+            .build()
+            .unwrap();
+        let request = QueryRequest::for_user(0)
+            .k(5)
+            .alpha(alpha)
+            .algorithm(Algorithm::Ais)
+            .build()
+            .unwrap();
+        let a = engine.run(&request).unwrap();
+        let b = engine.run(&request).unwrap();
         assert_eq!(a.ranked, b.ranked, "case {case}");
     }
 }
