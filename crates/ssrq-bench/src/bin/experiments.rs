@@ -8,7 +8,7 @@
 //! ```
 //!
 //! Experiments: `table2 table3 fig7a fig7b fig8 fig9 fig10 fig11 fig12
-//! fig13 fig14a fig14b ablation throughput all`.
+//! fig13 fig14a fig14b ablation throughput latency all`.
 //!
 //! Flags: `--quick` (small datasets), `--full` (paper-scale datasets),
 //! `--scale <factor>`, `--queries <n>`, `--with-ch` (include the expensive
@@ -16,8 +16,8 @@
 
 use ssrq_bench::report::FigureReport;
 use ssrq_bench::{
-    max_result_hops, measure_algorithm, measure_batch_qps, measure_sequential_qps, BenchDataset,
-    Scale,
+    max_result_hops, measure_algorithm, measure_batch_qps, measure_prefix, measure_sequential_qps,
+    BenchDataset, Scale,
 };
 use ssrq_core::{
     Algorithm, ChBuild, GeoSocialDataset, GeoSocialEngine, QueryRequest, SocialNeighborCache,
@@ -115,6 +115,7 @@ fn main() {
         "fig14b" => fig14b(&options),
         "ablation" => ablation(&options),
         "throughput" => throughput(&options),
+        "latency" => latency(&options),
         "all" => {
             table2(&options);
             table3();
@@ -130,6 +131,7 @@ fn main() {
             fig14b(&options);
             ablation(&options);
             throughput(&options);
+            latency(&options);
         }
         other => {
             eprintln!("unknown experiment `{other}`");
@@ -701,6 +703,64 @@ fn throughput(options: &Options) {
             );
             report.push_cell(&format!("batch x{threads}"), format!("{batch_qps:.0}"));
         }
+    }
+    print!("{}", report.render());
+}
+
+// ---------------------------------------------------------------------------
+// Latency — first-result / prefix streaming vs eager execution
+// ---------------------------------------------------------------------------
+
+/// Beyond the paper: time (and search work) until the pull-lazy stream
+/// yields its first / top-5 result versus the eager full run.  This is the
+/// trajectory figure of the resumable-driver refactor: the
+/// incremental-threshold algorithms should show first-result latency well
+/// below full-query latency, with a matching drop in relaxed edges.
+fn latency(options: &Options) {
+    let bench = BenchDataset::gowalla(options.scale);
+    let mut report = FigureReport::new(
+        format!(
+            "Latency — first-result vs full query ({}, {} queries, k = {})",
+            bench.name,
+            bench.workload.len(),
+            DEFAULT_K
+        ),
+        "algorithm",
+    );
+    for algorithm in MAIN_ALGORITHMS {
+        report.push_x(algorithm.name());
+        let first = measure_prefix(
+            &bench.engine,
+            algorithm,
+            &bench.workload.users,
+            DEFAULT_K,
+            DEFAULT_ALPHA,
+            1,
+        );
+        let top5 = measure_prefix(
+            &bench.engine,
+            algorithm,
+            &bench.workload.users,
+            DEFAULT_K,
+            DEFAULT_ALPHA,
+            5,
+        );
+        report.push_cell(
+            "full (ms)",
+            format!("{:.3}", first.avg_full.as_secs_f64() * 1e3),
+        );
+        report.push_cell(
+            "first (ms)",
+            format!("{:.3}", first.avg_prefix.as_secs_f64() * 1e3),
+        );
+        report.push_cell(
+            "top-5 (ms)",
+            format!("{:.3}", top5.avg_prefix.as_secs_f64() * 1e3),
+        );
+        report.push_cell("speedup@1", format!("{:.1}x", first.speedup()));
+        report.push_cell("relaxed full", format!("{:.0}", first.full_relaxed));
+        report.push_cell("relaxed@1", format!("{:.0}", first.prefix_relaxed));
+        report.push_cell("work@1", format!("{:.3}", first.work_ratio()));
     }
     print!("{}", report.render());
 }

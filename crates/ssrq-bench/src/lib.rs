@@ -14,8 +14,9 @@ pub mod report;
 pub mod suite;
 
 pub use measure::{
-    max_result_hops, measure_algorithm, measure_batch_qps, measure_sequential_qps,
-    measure_throughput, AggregateMeasurement, ThroughputMeasurement,
+    max_result_hops, measure_algorithm, measure_batch_qps, measure_first_result, measure_prefix,
+    measure_sequential_qps, measure_throughput, AggregateMeasurement, LatencyMeasurement,
+    ThroughputMeasurement,
 };
 pub use report::FigureReport;
 pub use suite::{BenchDataset, Scale};

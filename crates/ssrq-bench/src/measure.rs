@@ -195,6 +195,119 @@ fn time_batch(engine: &GeoSocialEngine, batch: &[QueryRequest], threads: usize) 
     (ok, ok as f64 / secs.max(1e-9))
 }
 
+/// Aggregated first-result (prefix) latency of one algorithm over one
+/// workload: how quickly — and after how much search work — a pull-lazy
+/// stream ([`QuerySession::stream`](ssrq_core::QuerySession::stream))
+/// delivers its first `prefix` entries, compared against the eager full
+/// run of the identical queries.
+///
+/// This is the figure the resumable-driver refactor is measured by: for the
+/// incremental-threshold algorithms the prefix numbers should sit well
+/// below the full-run numbers, because `stream(..).take(j)` stops stepping
+/// the search as soon as the `j`-th entry finalizes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyMeasurement {
+    /// Number of queries measured (queries with fewer than `prefix`
+    /// results still count — their stream simply ran to exhaustion).
+    pub queries: usize,
+    /// The prefix length `j` the stream was pulled for.
+    pub prefix: usize,
+    /// Average wall-clock time of the eager full run.
+    pub avg_full: Duration,
+    /// Average wall-clock time until the stream yielded `prefix` entries.
+    pub avg_prefix: Duration,
+    /// Average edge relaxations of the eager full run.
+    pub full_relaxed: f64,
+    /// Average edge relaxations performed when the `prefix`-th entry had
+    /// been yielded.
+    pub prefix_relaxed: f64,
+}
+
+impl LatencyMeasurement {
+    /// Full-run time divided by time-to-prefix (> 1 when streaming pays
+    /// off).
+    pub fn speedup(&self) -> f64 {
+        let prefix = self.avg_prefix.as_secs_f64();
+        if prefix > 0.0 {
+            self.avg_full.as_secs_f64() / prefix
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of the full run's edge relaxations the prefix needed
+    /// (< 1 when the early exit saves work).
+    pub fn work_ratio(&self) -> f64 {
+        if self.full_relaxed > 0.0 {
+            self.prefix_relaxed / self.full_relaxed
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Measures time-to-first-result: [`measure_prefix`] with `prefix = 1`.
+pub fn measure_first_result(
+    engine: &GeoSocialEngine,
+    algorithm: Algorithm,
+    users: &[UserId],
+    k: usize,
+    alpha: f64,
+) -> LatencyMeasurement {
+    measure_prefix(engine, algorithm, users, k, alpha, 1)
+}
+
+/// Runs every `(user, k, alpha)` query twice — once eagerly, once as a
+/// stream pulled for only `prefix` entries — and aggregates runtime and
+/// edge-relaxation counts of both modes.
+///
+/// Both modes reuse one context; failed queries are skipped (like
+/// [`measure_algorithm`]).
+pub fn measure_prefix(
+    engine: &GeoSocialEngine,
+    algorithm: Algorithm,
+    users: &[UserId],
+    k: usize,
+    alpha: f64,
+    prefix: usize,
+) -> LatencyMeasurement {
+    let mut executed = 0usize;
+    let mut total_full = Duration::ZERO;
+    let mut total_prefix = Duration::ZERO;
+    let mut total_full_relaxed = 0usize;
+    let mut total_prefix_relaxed = 0usize;
+    let mut ctx = engine.make_context();
+    for request in requests_for(users, k, alpha, algorithm) {
+        let full = match engine.run_with(&request, &mut ctx) {
+            Ok(result) => result,
+            Err(_) => continue,
+        };
+        let start = Instant::now();
+        let Ok(mut stream) = engine.stream_with(&request, &mut ctx) else {
+            continue;
+        };
+        let mut pulled = 0usize;
+        while pulled < prefix && stream.next().is_some() {
+            pulled += 1;
+        }
+        let prefix_elapsed = start.elapsed();
+        executed += 1;
+        total_full += full.stats.runtime;
+        total_prefix += prefix_elapsed;
+        total_full_relaxed += full.stats.relaxed_edges;
+        total_prefix_relaxed += stream.stats().relaxed_edges;
+    }
+    let executed_f = executed.max(1) as f64;
+    LatencyMeasurement {
+        queries: executed,
+        prefix,
+        avg_full: total_full / executed.max(1) as u32,
+        avg_prefix: total_prefix / executed.max(1) as u32,
+        full_relaxed: total_full_relaxed as f64 / executed_f,
+        prefix_relaxed: total_prefix_relaxed as f64 / executed_f,
+    }
+}
+
 /// Number of hops (edges on the weighted shortest path) between the query
 /// user and the farthest member of the SSRQ result — the quantity of
 /// Figure 7(a).  Returns `None` when the result is empty or a result user is
@@ -267,6 +380,21 @@ mod tests {
         assert!(t.sequential_qps > 0.0);
         assert!(t.batch_qps > 0.0);
         assert!(t.speedup() > 0.0);
+    }
+
+    #[test]
+    fn prefix_measurement_shows_early_exit_doing_less_work() {
+        let engine = engine_for(500);
+        let workload = QueryWorkload::generate(engine.dataset(), 6, 9);
+        let m = measure_first_result(&engine, Algorithm::Ais, &workload.users, 10, 0.3);
+        assert_eq!(m.queries, 6);
+        assert_eq!(m.prefix, 1);
+        assert!(m.avg_full > Duration::ZERO);
+        assert!(m.full_relaxed > 0.0);
+        // A first-result stream never does more search work than the full
+        // run, and on a typical workload it does strictly less.
+        assert!(m.prefix_relaxed <= m.full_relaxed);
+        assert!(m.work_ratio() < 1.0, "work ratio {}", m.work_ratio());
     }
 
     #[test]

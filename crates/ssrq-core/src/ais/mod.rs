@@ -21,4 +21,4 @@ mod index;
 mod search;
 
 pub use index::{AisIndex, SocialSummary};
-pub use search::{ais_query, AisVariant};
+pub use search::{ais_query, AisDriver, AisVariant};

@@ -1,10 +1,11 @@
 use crate::ais::AisIndex;
+use crate::driver::{drain_new_finalized, QueryDriver, StepOutcome};
 use crate::{
     CoreError, GeoSocialDataset, QueryContext, QueryRequest, QueryResult, QueryStats, RankedUser,
     RankingContext, TopK, UserId,
 };
 use ssrq_graph::{GraphDistanceEngine, LandmarkSet, SharingMode};
-use ssrq_spatial::{NodeId, NodeKind};
+use ssrq_spatial::{NodeId, NodeKind, Point};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::time::Instant;
@@ -79,78 +80,183 @@ impl Ord for Entry {
     }
 }
 
-/// Runs the AIS branch-and-bound search (Algorithm 2 of the paper) with the
-/// chosen variant.
-pub fn ais_query(
-    dataset: &GeoSocialDataset,
-    index: &AisIndex,
-    landmarks: &LandmarkSet,
-    request: &QueryRequest,
+/// The Aggregate Index Search (Algorithm 2 of the paper) as a resumable
+/// state machine.
+///
+/// Each [`QueryDriver::step`] pops one entry from the search heap `H` and
+/// handles it — expanding an index node, parking a user, or evaluating one
+/// exactly.  Pops arrive in non-decreasing key order, so every pop key is a
+/// finalization bound: the driver emits result entries as soon as their
+/// score drops below the best key still in the heap.
+pub struct AisDriver<'a> {
+    dataset: &'a GeoSocialDataset,
+    index: &'a AisIndex,
+    landmarks: &'a LandmarkSet,
+    request: QueryRequest,
+    ctx: RankingContext<'a>,
     variant: AisVariant,
-    qctx: &mut QueryContext,
-) -> Result<QueryResult, CoreError> {
-    request.validate()?;
-    dataset.check_user(request.user())?;
-    let start = Instant::now();
-    let mut stats = QueryStats::default();
-    let ctx = RankingContext::new(dataset, request);
+    query_location: Point,
+    query_vector: Vec<f64>,
+    distance_engine: GraphDistanceEngine<'a, 'a>,
+    heap: BinaryHeap<Entry>,
+    topk: TopK,
+    stats: QueryStats,
+    start: Instant,
+    emitted: usize,
+    result: Option<Result<QueryResult, CoreError>>,
+    done: bool,
+}
 
-    let Some(query_location) = dataset.location(request.user()) else {
-        // A query user without a location sees every candidate at infinite
-        // spatial distance; with α < 1 no candidate has a finite score.
-        stats.runtime = start.elapsed();
-        return Ok(QueryResult {
-            ranked: Vec::new(),
-            k: request.k(),
-            stats,
-        });
-    };
-    let query_vector: Vec<f64> = landmarks.vector(request.user()).to_vec();
+impl std::fmt::Debug for AisDriver<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AisDriver")
+            .field("variant", &self.variant)
+            .field("heap_len", &self.heap.len())
+            .field("done", &self.done)
+            .finish()
+    }
+}
 
-    let mut distance_engine = GraphDistanceEngine::new(
-        dataset.graph(),
-        landmarks,
-        request.user(),
-        variant.sharing,
-        &mut qctx.social,
-    );
-    let mut topk = TopK::for_request(request);
-    let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
-
-    for node in index.grid().top_nodes() {
-        let key = node_lower_bound(index, &ctx, node, query_location, &query_vector);
-        if key.is_finite() {
-            heap.push(Entry {
-                key,
-                item: Item::Node(node),
-            });
+impl<'a> AisDriver<'a> {
+    /// Starts an AIS search with the chosen variant.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] / [`CoreError::UnknownUser`] for an
+    /// invalid request.
+    pub fn new(
+        dataset: &'a GeoSocialDataset,
+        index: &'a AisIndex,
+        landmarks: &'a LandmarkSet,
+        request: &QueryRequest,
+        variant: AisVariant,
+        qctx: &'a mut QueryContext,
+    ) -> Result<Self, CoreError> {
+        request.validate()?;
+        dataset.check_user(request.user())?;
+        let start = Instant::now();
+        let ctx = RankingContext::new(dataset, request);
+        let query_location = dataset.location(request.user());
+        let query_vector: Vec<f64> = landmarks.vector(request.user()).to_vec();
+        let mut driver = AisDriver {
+            topk: TopK::for_request(request),
+            distance_engine: GraphDistanceEngine::new(
+                dataset.graph(),
+                landmarks,
+                request.user(),
+                variant.sharing,
+                &mut qctx.social,
+            ),
+            heap: BinaryHeap::new(),
+            // Placeholder for the unlocated case; replaced below otherwise.
+            query_location: Point::new(0.0, 0.0),
+            dataset,
+            index,
+            landmarks,
+            request: request.clone(),
+            ctx,
+            variant,
+            query_vector,
+            stats: QueryStats::default(),
+            start,
+            emitted: 0,
+            result: None,
+            done: false,
+        };
+        let Some(query_location) = query_location else {
+            // A query user without a location sees every candidate at
+            // infinite spatial distance; with α < 1 no candidate has a
+            // finite score.
+            driver.stats.runtime = driver.start.elapsed();
+            driver.result = Some(Ok(QueryResult {
+                ranked: Vec::new(),
+                k: request.k(),
+                stats: driver.stats,
+            }));
+            driver.done = true;
+            return Ok(driver);
+        };
+        driver.query_location = query_location;
+        for node in index.grid().top_nodes() {
+            let key = node_lower_bound(
+                index,
+                &driver.ctx,
+                node,
+                query_location,
+                &driver.query_vector,
+            );
+            if key.is_finite() {
+                driver.heap.push(Entry {
+                    key,
+                    item: Item::Node(node),
+                });
+            }
         }
+        Ok(driver)
     }
 
-    loop {
-        let Some(Entry { key, item }) = heap.pop() else {
+    /// Folds the distance-submodule counters into the query stats.
+    fn merged_stats(&self) -> QueryStats {
+        let mut stats = self.stats;
+        let engine_stats = self.distance_engine.stats();
+        stats.social_pops += engine_stats.forward_settles + engine_stats.reverse_settles;
+        stats.cache_hits += engine_stats.cache_hits;
+        stats.relaxed_edges += engine_stats.edge_relaxations;
+        // |V_pop| for AIS is the number of entries popped from its own
+        // search heap H (Algorithm 2), not the internal work of the distance
+        // submodule.
+        stats.vertex_pops = stats.index_pops;
+        stats
+    }
+
+    fn complete(&mut self) -> StepOutcome {
+        self.stats = self.merged_stats();
+        self.stats.streamable_results = self.topk.finalized();
+        self.stats.runtime = self.start.elapsed();
+        let topk = std::mem::replace(&mut self.topk, TopK::new(0));
+        self.result = Some(Ok(QueryResult {
+            ranked: topk.into_sorted_vec(),
+            k: self.request.k(),
+            stats: self.stats,
+        }));
+        self.done = true;
+        StepOutcome::Complete
+    }
+}
+
+impl QueryDriver for AisDriver<'_> {
+    fn step(&mut self) -> StepOutcome {
+        if self.done {
+            return StepOutcome::Complete;
+        }
+        let Some(Entry { key, item }) = self.heap.pop() else {
             // The search heap drained: every remaining user was pruned with
             // a key at or above `f_k`, so no held entry can be displaced —
             // the interim result is final.
-            topk.raise_threshold(f64::INFINITY);
-            break;
+            self.topk.raise_threshold(f64::INFINITY);
+            return self.complete();
         };
-        stats.index_pops += 1;
+        self.stats.index_pops += 1;
         // Every candidate still in the heap (and everything reachable from
         // it) scores at least `key`: pops arrive in non-decreasing key
         // order, so `key` is a finalization bound for the entries held.
-        topk.raise_threshold(key);
-        if key >= topk.fk() {
-            break;
+        self.topk.raise_threshold(key);
+        if key >= self.topk.fk() {
+            return self.complete();
         }
         match item {
-            Item::Node(node) => match index.grid().node_kind(node) {
+            Item::Node(node) => match self.index.grid().node_kind(node) {
                 NodeKind::Internal => {
-                    for child in index.grid().children(node) {
-                        let child_key =
-                            node_lower_bound(index, &ctx, child, query_location, &query_vector);
-                        if child_key.is_finite() && child_key < topk.fk() {
-                            heap.push(Entry {
+                    for child in self.index.grid().children(node) {
+                        let child_key = node_lower_bound(
+                            self.index,
+                            &self.ctx,
+                            child,
+                            self.query_location,
+                            &self.query_vector,
+                        );
+                        if child_key.is_finite() && child_key < self.topk.fk() {
+                            self.heap.push(Entry {
                                 key: child_key,
                                 item: Item::Node(child),
                             });
@@ -158,16 +264,17 @@ pub fn ais_query(
                     }
                 }
                 NodeKind::Leaf => {
-                    for &user in index.grid().leaf_items(node) {
-                        if !request.admits(dataset, user) {
+                    for &user in self.index.grid().leaf_items(node) {
+                        if !self.request.admits(self.dataset, user) {
                             continue;
                         }
-                        let spatial = ctx.spatial(user);
-                        let social_lb =
-                            ctx.normalize_social(landmarks.lower_bound(request.user(), user));
-                        let user_key = ctx.score_lower_bound(social_lb, spatial);
-                        if user_key.is_finite() && user_key < topk.fk() {
-                            heap.push(Entry {
+                        let spatial = self.ctx.spatial(user);
+                        let social_lb = self.ctx.normalize_social(
+                            self.landmarks.lower_bound(self.request.user(), user),
+                        );
+                        let user_key = self.ctx.score_lower_bound(social_lb, spatial);
+                        if user_key.is_finite() && user_key < self.topk.fk() {
+                            self.heap.push(Entry {
                                 key: user_key,
                                 item: Item::User(user, spatial),
                             });
@@ -179,34 +286,37 @@ pub fn ais_query(
                 // Delayed evaluation (§5.3): if the shared forward search has
                 // progressed beyond this user's landmark bound, re-insert it
                 // with the tighter β-based key instead of evaluating it now.
-                if variant.delayed_evaluation {
-                    let beta_bound = ctx.normalize_social(distance_engine.beta());
-                    let delayed_key = ctx.score_lower_bound(beta_bound, spatial);
-                    if key < delayed_key - 1e-12 && distance_engine.known_distance(user).is_none() {
-                        stats.delayed_reinsertions += 1;
-                        heap.push(Entry {
+                if self.variant.delayed_evaluation {
+                    let beta_bound = self.ctx.normalize_social(self.distance_engine.beta());
+                    let delayed_key = self.ctx.score_lower_bound(beta_bound, spatial);
+                    if key < delayed_key - 1e-12
+                        && self.distance_engine.known_distance(user).is_none()
+                    {
+                        self.stats.delayed_reinsertions += 1;
+                        self.heap.push(Entry {
                             key: delayed_key,
                             item: Item::User(user, spatial),
                         });
-                        continue;
+                        return StepOutcome::Progress;
                     }
                 }
                 // Evaluate or disqualify: the exact social distance is only
                 // needed up to the budget beyond which the user cannot beat
                 // the current threshold f_k.
-                let fk = topk.fk();
+                let fk = self.topk.fk();
                 let budget = if fk.is_finite() {
-                    let social_budget = (fk - (1.0 - request.alpha()) * spatial) / request.alpha();
-                    dataset.social_norm() * social_budget
+                    let social_budget =
+                        (fk - (1.0 - self.request.alpha()) * spatial) / self.request.alpha();
+                    self.dataset.social_norm() * social_budget
                 } else {
                     f64::INFINITY
                 };
-                let raw_social = distance_engine.distance_within(user, budget);
-                stats.distance_calls += 1;
-                stats.evaluated_users += 1;
-                let social = ctx.normalize_social(raw_social);
-                let score = ctx.score(social, spatial);
-                topk.consider(RankedUser {
+                let raw_social = self.distance_engine.distance_within(user, budget);
+                self.stats.distance_calls += 1;
+                self.stats.evaluated_users += 1;
+                let social = self.ctx.normalize_social(raw_social);
+                let score = self.ctx.score(social, spatial);
+                self.topk.consider(RankedUser {
                     user,
                     score,
                     social,
@@ -214,21 +324,49 @@ pub fn ais_query(
                 });
             }
         }
+        StepOutcome::Progress
     }
 
-    let engine_stats = distance_engine.stats();
-    stats.social_pops += engine_stats.forward_settles + engine_stats.reverse_settles;
-    stats.cache_hits += engine_stats.cache_hits;
-    // |V_pop| for AIS is the number of entries popped from its own search
-    // heap H (Algorithm 2), not the internal work of the distance submodule.
-    stats.vertex_pops = stats.index_pops;
-    stats.streamable_results = topk.finalized();
-    stats.runtime = start.elapsed();
-    Ok(QueryResult {
-        ranked: topk.into_sorted_vec(),
-        k: request.k(),
-        stats,
-    })
+    fn drain_finalized(&mut self, out: &mut Vec<RankedUser>) {
+        if !self.done {
+            drain_new_finalized(&self.topk, &mut self.emitted, out);
+        }
+    }
+
+    fn is_complete(&self) -> bool {
+        self.done
+    }
+
+    fn stats(&self) -> QueryStats {
+        if self.done {
+            return self.stats;
+        }
+        let mut stats = self.merged_stats();
+        stats.streamable_results = self.topk.finalized();
+        stats.runtime = self.start.elapsed();
+        stats
+    }
+
+    fn take_result(&mut self) -> Result<QueryResult, CoreError> {
+        self.result
+            .take()
+            .expect("AisDriver not complete or result already taken")
+    }
+}
+
+/// Runs the AIS branch-and-bound search (Algorithm 2 of the paper) with the
+/// chosen variant.
+///
+/// This is the eager wrapper over [`AisDriver`].
+pub fn ais_query(
+    dataset: &GeoSocialDataset,
+    index: &AisIndex,
+    landmarks: &LandmarkSet,
+    request: &QueryRequest,
+    variant: AisVariant,
+    qctx: &mut QueryContext,
+) -> Result<QueryResult, CoreError> {
+    AisDriver::new(dataset, index, landmarks, request, variant, qctx)?.run_to_completion()
 }
 
 /// `MINF(u_q, C)` of Theorem 1, in normalized/ranking units.

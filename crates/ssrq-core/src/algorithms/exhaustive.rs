@@ -1,9 +1,156 @@
+use crate::driver::{QueryDriver, StepOutcome};
 use crate::{
     CoreError, GeoSocialDataset, QueryContext, QueryRequest, QueryResult, QueryStats, RankedUser,
-    RankingContext, TopK,
+    RankingContext, TopK, UserId,
 };
-use ssrq_graph::dijkstra_all_with;
+use ssrq_graph::IncrementalDijkstra;
 use std::time::Instant;
+
+/// The two phases of the oracle machine: the full single-source Dijkstra,
+/// then the linear scan.
+#[derive(Debug)]
+enum ExhaustivePhase {
+    /// One settled vertex per step until the expansion drains.
+    Expand,
+    /// One scanned user per step.
+    Scan { next_user: UserId },
+}
+
+/// The brute-force oracle as a resumable state machine.
+///
+/// The oracle carries no incremental threshold — its scan order implies no
+/// bound on unseen users — so it never finalizes an entry before
+/// completion: [`QueryDriver::drain_finalized`] yields nothing and the
+/// whole result arrives at [`QueryDriver::take_result`]
+/// (*drain-after-complete*).  The machine still steps one vertex/user at a
+/// time, so it can be suspended and resumed like every other driver.
+#[derive(Debug)]
+pub struct ExhaustiveDriver<'a> {
+    dataset: &'a GeoSocialDataset,
+    request: QueryRequest,
+    ctx: RankingContext<'a>,
+    social: IncrementalDijkstra<'a>,
+    phase: ExhaustivePhase,
+    topk: TopK,
+    stats: QueryStats,
+    start: Instant,
+    result: Option<Result<QueryResult, CoreError>>,
+    done: bool,
+}
+
+impl<'a> ExhaustiveDriver<'a> {
+    /// Starts an exhaustive evaluation.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] / [`CoreError::UnknownUser`] for an
+    /// invalid request.
+    pub fn new(
+        dataset: &'a GeoSocialDataset,
+        request: &QueryRequest,
+        qctx: &'a mut QueryContext,
+    ) -> Result<Self, CoreError> {
+        request.validate()?;
+        dataset.check_user(request.user())?;
+        let start = Instant::now();
+        Ok(ExhaustiveDriver {
+            ctx: RankingContext::new(dataset, request),
+            topk: TopK::for_request(request),
+            social: IncrementalDijkstra::new(dataset.graph(), request.user(), &mut qctx.social),
+            phase: ExhaustivePhase::Expand,
+            dataset,
+            request: request.clone(),
+            stats: QueryStats::default(),
+            start,
+            result: None,
+            done: false,
+        })
+    }
+
+    fn complete(&mut self) -> StepOutcome {
+        // Drain-after-complete: the scan order carries no distance bound, so
+        // no entry is final before the scan ends (`streamable_results` stays
+        // 0 — the threshold was never raised).
+        self.stats.relaxed_edges = self.social.relaxations();
+        self.stats.streamable_results = self.topk.finalized();
+        self.stats.runtime = self.start.elapsed();
+        let topk = std::mem::replace(&mut self.topk, TopK::new(0));
+        self.result = Some(Ok(QueryResult {
+            ranked: topk.into_sorted_vec(),
+            k: self.request.k(),
+            stats: self.stats,
+        }));
+        self.done = true;
+        StepOutcome::Complete
+    }
+}
+
+impl QueryDriver for ExhaustiveDriver<'_> {
+    fn step(&mut self) -> StepOutcome {
+        if self.done {
+            return StepOutcome::Complete;
+        }
+        match self.phase {
+            ExhaustivePhase::Expand => {
+                if self.social.next_settled(self.dataset.graph()).is_none() {
+                    self.stats.social_pops = self.social.settled_count();
+                    self.stats.vertex_pops = self.dataset.user_count();
+                    self.phase = ExhaustivePhase::Scan { next_user: 0 };
+                }
+                StepOutcome::Progress
+            }
+            ExhaustivePhase::Scan { next_user } => {
+                if next_user as usize >= self.dataset.user_count() {
+                    return self.complete();
+                }
+                self.phase = ExhaustivePhase::Scan {
+                    next_user: next_user + 1,
+                };
+                if !self.request.admits(self.dataset, next_user) {
+                    return StepOutcome::Progress;
+                }
+                let raw_social = self
+                    .social
+                    .settled_distance(next_user)
+                    .unwrap_or(f64::INFINITY);
+                let (score, social_norm, spatial_norm) =
+                    self.ctx.score_from_raw_social(next_user, raw_social);
+                self.stats.evaluated_users += 1;
+                self.topk.consider(RankedUser {
+                    user: next_user,
+                    score,
+                    social: social_norm,
+                    spatial: spatial_norm,
+                });
+                StepOutcome::Progress
+            }
+        }
+    }
+
+    fn drain_finalized(&mut self, _out: &mut Vec<RankedUser>) {
+        // The oracle never finalizes early; everything arrives through
+        // `take_result`.
+    }
+
+    fn is_complete(&self) -> bool {
+        self.done
+    }
+
+    fn stats(&self) -> QueryStats {
+        let mut stats = self.stats;
+        if !self.done {
+            stats.relaxed_edges = self.social.relaxations();
+            stats.runtime = self.start.elapsed();
+        }
+        stats
+    }
+
+    fn take_result(&mut self) -> Result<QueryResult, CoreError> {
+        self.result
+            .take()
+            .expect("ExhaustiveDriver not complete or result already taken")
+    }
+}
 
 /// Brute-force SSRQ evaluation: one full single-source Dijkstra from the
 /// query vertex, then a linear scan over all users.
@@ -13,44 +160,14 @@ use std::time::Instant;
 /// paper's evaluated methods.  Being the oracle, its admission loop *defines*
 /// the semantics of the request filters (spatial window, exclusions, score
 /// cutoff) that every other algorithm must reproduce.
+///
+/// This is the eager wrapper over [`ExhaustiveDriver`].
 pub fn exhaustive_query(
     dataset: &GeoSocialDataset,
     request: &QueryRequest,
     qctx: &mut QueryContext,
 ) -> Result<QueryResult, CoreError> {
-    request.validate()?;
-    dataset.check_user(request.user())?;
-    let start = Instant::now();
-    let ctx = RankingContext::new(dataset, request);
-    let mut stats = QueryStats::default();
-
-    let social = dijkstra_all_with(dataset.graph(), request.user(), &mut qctx.social);
-    stats.social_pops = social.iter().filter(|d| d.is_finite()).count();
-    stats.vertex_pops = dataset.user_count();
-
-    let mut topk = TopK::for_request(request);
-    for user in dataset.graph().nodes() {
-        if !request.admits(dataset, user) {
-            continue;
-        }
-        let (score, social_norm, spatial_norm) =
-            ctx.score_from_raw_social(user, social[user as usize]);
-        stats.evaluated_users += 1;
-        topk.consider(RankedUser {
-            user,
-            score,
-            social: social_norm,
-            spatial: spatial_norm,
-        });
-    }
-    // Drain-after-complete: the scan order carries no distance bound, so no
-    // entry is final before the scan ends (`streamable_results` stays 0).
-    stats.runtime = start.elapsed();
-    Ok(QueryResult {
-        ranked: topk.into_sorted_vec(),
-        k: request.k(),
-        stats,
-    })
+    ExhaustiveDriver::new(dataset, request, qctx)?.run_to_completion()
 }
 
 #[cfg(test)]

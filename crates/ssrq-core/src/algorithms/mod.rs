@@ -14,8 +14,8 @@ pub mod spa;
 /// Twofold Search Approach: round-robin, Quick Combine, landmarks, CH (§4.2).
 pub mod tsa;
 
-pub use exhaustive::exhaustive_query;
-pub use precompute::{cached_query, SocialNeighborCache};
-pub use sfa::{sfa_ch_query, sfa_query};
-pub use spa::{spa_query, SpaOptions};
-pub use tsa::{tsa_query, TsaOptions};
+pub use exhaustive::{exhaustive_query, ExhaustiveDriver};
+pub use precompute::{cached_query, CachedDriver, SocialNeighborCache};
+pub use sfa::{sfa_ch_query, sfa_query, SfaChDriver, SfaDriver};
+pub use spa::{spa_query, SpaDriver, SpaOptions};
+pub use tsa::{tsa_query, TsaDriver, TsaOptions};

@@ -1,3 +1,4 @@
+use crate::driver::{QueryDriver, StepOutcome};
 use crate::{
     CoreError, GeoSocialDataset, QueryRequest, QueryResult, QueryStats, RankedUser, RankingContext,
     TopK, UserId,
@@ -68,6 +69,185 @@ impl SocialNeighborCache {
     }
 }
 
+/// The pre-computation method (§5.4, "AIS-Cache" in Figure 11) as a
+/// resumable state machine: the SFA loop over the cached, already-sorted
+/// social neighbour list of the query user, one cached entry per
+/// [`QueryDriver::step`], with a lazy fallback when the cache proves
+/// insufficient.
+///
+/// Because a mid-scan step cannot yet know whether the list will terminate
+/// the search or exhaust into the fallback (which *replaces* the interim
+/// result), this driver is **drain-after-complete**:
+/// [`QueryDriver::drain_finalized`] yields nothing and the whole result
+/// arrives at [`QueryDriver::take_result`].
+#[derive(Debug)]
+pub struct CachedDriver<'a, F> {
+    dataset: &'a GeoSocialDataset,
+    request: QueryRequest,
+    ctx: RankingContext<'a>,
+    /// The cached list of the query user; `None` when the cache does not
+    /// cover the user (the fallback runs on the first step).
+    list: Option<&'a [(UserId, f64)]>,
+    /// The configured list length `t` of the cache the list came from.
+    t: usize,
+    idx: usize,
+    fallback: Option<F>,
+    topk: TopK,
+    stats: QueryStats,
+    start: Instant,
+    result: Option<Result<QueryResult, CoreError>>,
+    done: bool,
+}
+
+impl<'a, F> CachedDriver<'a, F>
+where
+    F: FnOnce(&QueryRequest) -> Result<QueryResult, CoreError>,
+{
+    /// Starts a cached-list search; `fallback` is invoked lazily, only when
+    /// the cache proves insufficient, and must produce a complete result.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] / [`CoreError::UnknownUser`] for an
+    /// invalid request.
+    pub fn new(
+        dataset: &'a GeoSocialDataset,
+        cache: &'a SocialNeighborCache,
+        request: &QueryRequest,
+        fallback: F,
+    ) -> Result<Self, CoreError> {
+        request.validate()?;
+        dataset.check_user(request.user())?;
+        let start = Instant::now();
+        Ok(CachedDriver {
+            ctx: RankingContext::new(dataset, request),
+            topk: TopK::for_request(request),
+            list: cache.neighbors(request.user()),
+            t: cache.t(),
+            idx: 0,
+            fallback: Some(fallback),
+            dataset,
+            request: request.clone(),
+            stats: QueryStats::default(),
+            start,
+            result: None,
+            done: false,
+        })
+    }
+
+    /// Runs the fallback and completes with its (stat-absorbed) result.
+    /// `deferred` marks the no-list case, where the fallback result is
+    /// passed through unchanged except for the wall clock.
+    fn complete_with_fallback(&mut self, deferred: bool) -> StepOutcome {
+        let fallback = self.fallback.take().expect("cached fallback invoked twice");
+        self.result = Some(match fallback(&self.request) {
+            Ok(mut result) => {
+                if deferred {
+                    result.stats.runtime = self.start.elapsed();
+                } else {
+                    self.stats.absorb(&result.stats);
+                    self.stats.runtime = self.start.elapsed();
+                    result.stats = self.stats;
+                }
+                Ok(result)
+            }
+            Err(error) => {
+                // Keep the scan's counters meaningful for post-mortem
+                // `stats()` snapshots even though the query failed.
+                self.stats.runtime = self.start.elapsed();
+                Err(error)
+            }
+        });
+        self.done = true;
+        StepOutcome::Complete
+    }
+
+    fn complete(&mut self) -> StepOutcome {
+        self.stats.streamable_results = self.topk.finalized();
+        self.stats.runtime = self.start.elapsed();
+        let topk = std::mem::replace(&mut self.topk, TopK::new(0));
+        self.result = Some(Ok(QueryResult {
+            ranked: topk.into_sorted_vec(),
+            k: self.request.k(),
+            stats: self.stats,
+        }));
+        self.done = true;
+        StepOutcome::Complete
+    }
+}
+
+impl<F> QueryDriver for CachedDriver<'_, F>
+where
+    F: FnOnce(&QueryRequest) -> Result<QueryResult, CoreError>,
+{
+    fn step(&mut self) -> StepOutcome {
+        if self.done {
+            return StepOutcome::Complete;
+        }
+        let Some(list) = self.list else {
+            // No list for this user: defer to the fallback entirely.
+            return self.complete_with_fallback(true);
+        };
+        let Some(&(user, raw_social)) = list.get(self.idx) else {
+            // A list shorter than `t` means the whole component was
+            // materialized — the remaining users are socially unreachable
+            // and cannot qualify.
+            if list.len() >= self.t {
+                // The cache is exhausted but the termination condition never
+                // held: the correct answer may involve users beyond the
+                // cached horizon.
+                return self.complete_with_fallback(false);
+            }
+            self.topk.raise_threshold(f64::INFINITY);
+            return self.complete();
+        };
+        self.idx += 1;
+        self.stats.cache_hits += 1;
+        self.stats.vertex_pops += 1;
+        if self.request.admits(self.dataset, user) {
+            let (score, social_norm, spatial_norm) =
+                self.ctx.score_from_raw_social(user, raw_social);
+            self.stats.evaluated_users += 1;
+            self.topk.consider(RankedUser {
+                user,
+                score,
+                social: social_norm,
+                spatial: spatial_norm,
+            });
+        }
+        let theta = self.request.alpha() * self.ctx.normalize_social(raw_social);
+        self.topk.raise_threshold(theta);
+        if theta >= self.topk.fk() {
+            return self.complete();
+        }
+        StepOutcome::Progress
+    }
+
+    fn drain_finalized(&mut self, _out: &mut Vec<RankedUser>) {
+        // Drain-after-complete: mid-scan entries may still be superseded by
+        // the fallback's complete result, so nothing is emitted early.
+    }
+
+    fn is_complete(&self) -> bool {
+        self.done
+    }
+
+    fn stats(&self) -> QueryStats {
+        let mut stats = self.stats;
+        if !self.done {
+            stats.streamable_results = self.topk.finalized();
+            stats.runtime = self.start.elapsed();
+        }
+        stats
+    }
+
+    fn take_result(&mut self) -> Result<QueryResult, CoreError> {
+        self.result
+            .take()
+            .expect("CachedDriver not complete or result already taken")
+    }
+}
+
 /// SSRQ processing with the pre-computed lists ("AIS-Cache" in Figure 11):
 /// run the SFA loop over the cached, already-sorted social neighbour list of
 /// the query user; if the list is exhausted before the termination condition
@@ -75,6 +255,8 @@ impl SocialNeighborCache {
 ///
 /// `fallback` is invoked lazily, only when the cache proves insufficient; it
 /// receives the original parameters and must produce a complete result.
+///
+/// This is the eager wrapper over [`CachedDriver`].
 pub fn cached_query<F>(
     dataset: &GeoSocialDataset,
     cache: &SocialNeighborCache,
@@ -84,65 +266,7 @@ pub fn cached_query<F>(
 where
     F: FnOnce(&QueryRequest) -> Result<QueryResult, CoreError>,
 {
-    request.validate()?;
-    dataset.check_user(request.user())?;
-    let start = Instant::now();
-    let ctx = RankingContext::new(dataset, request);
-    let mut stats = QueryStats::default();
-    let mut topk = TopK::for_request(request);
-
-    let Some(list) = cache.neighbors(request.user()) else {
-        // No list for this user: defer to the fallback entirely.
-        let mut result = fallback(request)?;
-        result.stats.runtime = start.elapsed();
-        return Ok(result);
-    };
-
-    let mut terminated = false;
-    for &(user, raw_social) in list {
-        stats.cache_hits += 1;
-        stats.vertex_pops += 1;
-        if request.admits(dataset, user) {
-            let (score, social_norm, spatial_norm) = ctx.score_from_raw_social(user, raw_social);
-            stats.evaluated_users += 1;
-            topk.consider(RankedUser {
-                user,
-                score,
-                social: social_norm,
-                spatial: spatial_norm,
-            });
-        }
-        let theta = request.alpha() * ctx.normalize_social(raw_social);
-        topk.raise_threshold(theta);
-        if theta >= topk.fk() {
-            terminated = true;
-            break;
-        }
-    }
-    // A list shorter than `t` means the whole component was materialized —
-    // the remaining users are socially unreachable and cannot qualify.
-    if !terminated && list.len() >= cache.t() {
-        // The cache is exhausted but the termination condition never held:
-        // the correct answer may involve users beyond the cached horizon.
-        let mut result = fallback(request)?;
-        stats.absorb(&result.stats);
-        stats.runtime = start.elapsed();
-        result.stats = stats;
-        return Ok(result);
-    }
-    if !terminated {
-        // Whole component scanned: the remaining users are socially
-        // unreachable (infinite score for α > 0), so the result is final.
-        topk.raise_threshold(f64::INFINITY);
-    }
-
-    stats.streamable_results = topk.finalized();
-    stats.runtime = start.elapsed();
-    Ok(QueryResult {
-        ranked: topk.into_sorted_vec(),
-        k: request.k(),
-        stats,
-    })
+    CachedDriver::new(dataset, cache, request, fallback)?.run_to_completion()
 }
 
 #[cfg(test)]

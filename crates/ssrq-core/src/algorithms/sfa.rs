@@ -1,45 +1,95 @@
+use crate::driver::{drain_new_finalized, QueryDriver, StepOutcome};
 use crate::{
     CoreError, GeoSocialDataset, QueryContext, QueryRequest, QueryResult, QueryStats, RankedUser,
-    RankingContext, TopK,
+    RankingContext, TopK, UserId,
 };
 use ssrq_graph::{ContractionHierarchy, IncrementalDijkstra};
 use std::time::Instant;
 
-/// The Social First Approach (SFA, §4.1).
+/// The Social First Approach (SFA, §4.1) as a resumable state machine.
 ///
-/// Users are processed in increasing social distance from the query user by
-/// expanding the social graph with Dijkstra's algorithm.  For every settled
-/// vertex the Euclidean distance (and hence the ranking value) is computed
-/// directly.  The search stops when the social-only lower bound
-/// `θ = α · p(v_q, v_last)` reaches the current threshold `f_k`.
-pub fn sfa_query(
-    dataset: &GeoSocialDataset,
-    request: &QueryRequest,
-    qctx: &mut QueryContext,
-) -> Result<QueryResult, CoreError> {
-    request.validate()?;
-    dataset.check_user(request.user())?;
-    let start = Instant::now();
-    let ctx = RankingContext::new(dataset, request);
-    let mut stats = QueryStats::default();
-    let mut topk = TopK::for_request(request);
+/// Each [`QueryDriver::step`] settles one vertex of the query-rooted social
+/// Dijkstra expansion and evaluates it on the spot; the social-only lower
+/// bound `θ = α · p(v_q, v_last)` finalizes result entries as it rises, so
+/// the driver emits top-k entries long before the search terminates.
+#[derive(Debug)]
+pub struct SfaDriver<'a> {
+    dataset: &'a GeoSocialDataset,
+    request: QueryRequest,
+    ctx: RankingContext<'a>,
+    social: IncrementalDijkstra<'a>,
+    topk: TopK,
+    stats: QueryStats,
+    start: Instant,
+    emitted: usize,
+    result: Option<Result<QueryResult, CoreError>>,
+    done: bool,
+}
 
-    let mut social = IncrementalDijkstra::new(dataset.graph(), request.user(), &mut qctx.social);
-    loop {
-        let Some((vertex, raw_social)) = social.next_settled(dataset.graph()) else {
+impl<'a> SfaDriver<'a> {
+    /// Starts an SFA search, drawing all mutable search state from `qctx`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] / [`CoreError::UnknownUser`] for an
+    /// invalid request.
+    pub fn new(
+        dataset: &'a GeoSocialDataset,
+        request: &QueryRequest,
+        qctx: &'a mut QueryContext,
+    ) -> Result<Self, CoreError> {
+        request.validate()?;
+        dataset.check_user(request.user())?;
+        let start = Instant::now();
+        Ok(SfaDriver {
+            ctx: RankingContext::new(dataset, request),
+            topk: TopK::for_request(request),
+            social: IncrementalDijkstra::new(dataset.graph(), request.user(), &mut qctx.social),
+            dataset,
+            request: request.clone(),
+            stats: QueryStats::default(),
+            start,
+            emitted: 0,
+            result: None,
+            done: false,
+        })
+    }
+
+    fn complete(&mut self) -> StepOutcome {
+        self.stats.relaxed_edges = self.social.relaxations();
+        self.stats.streamable_results = self.topk.finalized();
+        self.stats.runtime = self.start.elapsed();
+        let topk = std::mem::replace(&mut self.topk, TopK::new(0));
+        self.result = Some(Ok(QueryResult {
+            ranked: topk.into_sorted_vec(),
+            k: self.request.k(),
+            stats: self.stats,
+        }));
+        self.done = true;
+        StepOutcome::Complete
+    }
+}
+
+impl QueryDriver for SfaDriver<'_> {
+    fn step(&mut self) -> StepOutcome {
+        if self.done {
+            return StepOutcome::Complete;
+        }
+        let Some((vertex, raw_social)) = self.social.next_settled(self.dataset.graph()) else {
             // The expansion exhausted the component without reaching the
             // threshold: the remaining users are socially unreachable and
             // therefore have infinite ranking values (α > 0), so the
             // interim result is final — raise the bound accordingly.
-            topk.raise_threshold(f64::INFINITY);
-            break;
+            self.topk.raise_threshold(f64::INFINITY);
+            return self.complete();
         };
-        stats.social_pops += 1;
-        stats.vertex_pops += 1;
-        if request.admits(dataset, vertex) {
-            let (score, social_norm, spatial_norm) = ctx.score_from_raw_social(vertex, raw_social);
-            stats.evaluated_users += 1;
-            topk.consider(RankedUser {
+        self.stats.social_pops += 1;
+        self.stats.vertex_pops += 1;
+        if self.request.admits(self.dataset, vertex) {
+            let (score, social_norm, spatial_norm) =
+                self.ctx.score_from_raw_social(vertex, raw_social);
+            self.stats.evaluated_users += 1;
+            self.topk.consider(RankedUser {
                 user: vertex,
                 score,
                 social: social_norm,
@@ -49,20 +99,232 @@ pub fn sfa_query(
         // Termination: every unseen user is at least as far socially as the
         // last settled vertex — which also makes θ a finalization bound for
         // the entries already held.
-        let theta = request.alpha() * ctx.normalize_social(raw_social);
-        topk.raise_threshold(theta);
-        if theta >= topk.fk() {
-            break;
+        let theta = self.request.alpha() * self.ctx.normalize_social(raw_social);
+        self.topk.raise_threshold(theta);
+        if theta >= self.topk.fk() {
+            return self.complete();
+        }
+        StepOutcome::Progress
+    }
+
+    fn drain_finalized(&mut self, out: &mut Vec<RankedUser>) {
+        if !self.done {
+            drain_new_finalized(&self.topk, &mut self.emitted, out);
         }
     }
 
-    stats.streamable_results = topk.finalized();
-    stats.runtime = start.elapsed();
-    Ok(QueryResult {
-        ranked: topk.into_sorted_vec(),
-        k: request.k(),
-        stats,
-    })
+    fn is_complete(&self) -> bool {
+        self.done
+    }
+
+    fn stats(&self) -> QueryStats {
+        let mut stats = self.stats;
+        if !self.done {
+            stats.relaxed_edges = self.social.relaxations();
+            stats.streamable_results = self.topk.finalized();
+            stats.runtime = self.start.elapsed();
+        }
+        stats
+    }
+
+    fn take_result(&mut self) -> Result<QueryResult, CoreError> {
+        self.result
+            .take()
+            .expect("SfaDriver not complete or result already taken")
+    }
+}
+
+/// The Social First Approach (SFA, §4.1).
+///
+/// Users are processed in increasing social distance from the query user by
+/// expanding the social graph with Dijkstra's algorithm.  For every settled
+/// vertex the Euclidean distance (and hence the ranking value) is computed
+/// directly.  The search stops when the social-only lower bound
+/// `θ = α · p(v_q, v_last)` reaches the current threshold `f_k`.
+///
+/// This is the eager wrapper over [`SfaDriver`]: it runs the exact same
+/// state machine to completion in a tight loop.
+pub fn sfa_query(
+    dataset: &GeoSocialDataset,
+    request: &QueryRequest,
+    qctx: &mut QueryContext,
+) -> Result<QueryResult, CoreError> {
+    SfaDriver::new(dataset, request, qctx)?.run_to_completion()
+}
+
+/// The two phases of the SFA-CH machine: ranking every user by its CH
+/// distance, then scanning the sorted order with the SFA termination test.
+#[derive(Debug)]
+enum SfaChPhase {
+    /// One CH point-to-point distance per step; `next_user` walks the
+    /// vertex range.
+    Rank { next_user: UserId },
+    /// One sorted candidate per step.
+    Scan { idx: usize },
+}
+
+/// The SFA-CH baseline (§6, Figure 8) as a resumable state machine.
+///
+/// CH provides no incremental "next socially-closest user" primitive, so
+/// the machine first computes the CH distance of every user (one
+/// point-to-point query per [`QueryDriver::step`]), sorts once, and then
+/// scans the sorted order with the SFA termination test — entries only
+/// start finalizing in the scan phase, which is exactly why the paper finds
+/// the `*-CH` variants unattractive on social networks.
+#[derive(Debug)]
+pub struct SfaChDriver<'a> {
+    dataset: &'a GeoSocialDataset,
+    ch: &'a ContractionHierarchy,
+    ch_scratch: &'a mut ssrq_graph::ChQueryScratch,
+    request: QueryRequest,
+    ctx: RankingContext<'a>,
+    order: Vec<(UserId, f64)>,
+    phase: SfaChPhase,
+    topk: TopK,
+    stats: QueryStats,
+    start: Instant,
+    emitted: usize,
+    result: Option<Result<QueryResult, CoreError>>,
+    done: bool,
+}
+
+impl<'a> SfaChDriver<'a> {
+    /// Starts an SFA-CH search against the given Contraction Hierarchies
+    /// index.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] / [`CoreError::UnknownUser`] for an
+    /// invalid request.
+    pub fn new(
+        dataset: &'a GeoSocialDataset,
+        ch: &'a ContractionHierarchy,
+        request: &QueryRequest,
+        qctx: &'a mut QueryContext,
+    ) -> Result<Self, CoreError> {
+        request.validate()?;
+        dataset.check_user(request.user())?;
+        let start = Instant::now();
+        Ok(SfaChDriver {
+            ctx: RankingContext::new(dataset, request),
+            topk: TopK::for_request(request),
+            order: Vec::with_capacity(dataset.user_count().saturating_sub(1)),
+            phase: SfaChPhase::Rank { next_user: 0 },
+            dataset,
+            ch,
+            ch_scratch: &mut qctx.ch,
+            request: request.clone(),
+            stats: QueryStats::default(),
+            start,
+            emitted: 0,
+            result: None,
+            done: false,
+        })
+    }
+
+    fn complete(&mut self) -> StepOutcome {
+        self.stats.streamable_results = self.topk.finalized();
+        self.stats.runtime = self.start.elapsed();
+        let topk = std::mem::replace(&mut self.topk, TopK::new(0));
+        self.result = Some(Ok(QueryResult {
+            ranked: topk.into_sorted_vec(),
+            k: self.request.k(),
+            stats: self.stats,
+        }));
+        self.done = true;
+        StepOutcome::Complete
+    }
+}
+
+impl QueryDriver for SfaChDriver<'_> {
+    fn step(&mut self) -> StepOutcome {
+        if self.done {
+            return StepOutcome::Complete;
+        }
+        match self.phase {
+            SfaChPhase::Rank { next_user } => {
+                if next_user as usize >= self.dataset.user_count() {
+                    // All distances computed: sort once (ties broken on user
+                    // id for determinism) and move to the scan phase.
+                    self.order.sort_by(|a, b| {
+                        a.1.partial_cmp(&b.1)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then_with(|| a.0.cmp(&b.0))
+                    });
+                    self.phase = SfaChPhase::Scan { idx: 0 };
+                    return StepOutcome::Progress;
+                }
+                self.phase = SfaChPhase::Rank {
+                    next_user: next_user + 1,
+                };
+                if next_user == self.request.user() {
+                    return StepOutcome::Progress;
+                }
+                let d = self
+                    .ch
+                    .distance_with(self.request.user(), next_user, self.ch_scratch);
+                self.stats.distance_calls += 1;
+                if d.is_finite() {
+                    self.order.push((next_user, d));
+                }
+                StepOutcome::Progress
+            }
+            SfaChPhase::Scan { idx } => {
+                let Some(&(user, raw_social)) = self.order.get(idx) else {
+                    // Every finite-distance user was scanned; the rest are
+                    // socially unreachable (infinite score for α > 0), so
+                    // the result is final.
+                    self.topk.raise_threshold(f64::INFINITY);
+                    return self.complete();
+                };
+                self.phase = SfaChPhase::Scan { idx: idx + 1 };
+                self.stats.social_pops += 1;
+                self.stats.vertex_pops += 1;
+                if self.request.admits(self.dataset, user) {
+                    let (score, social_norm, spatial_norm) =
+                        self.ctx.score_from_raw_social(user, raw_social);
+                    self.stats.evaluated_users += 1;
+                    self.topk.consider(RankedUser {
+                        user,
+                        score,
+                        social: social_norm,
+                        spatial: spatial_norm,
+                    });
+                }
+                let theta = self.request.alpha() * self.ctx.normalize_social(raw_social);
+                self.topk.raise_threshold(theta);
+                if theta >= self.topk.fk() {
+                    return self.complete();
+                }
+                StepOutcome::Progress
+            }
+        }
+    }
+
+    fn drain_finalized(&mut self, out: &mut Vec<RankedUser>) {
+        if !self.done {
+            drain_new_finalized(&self.topk, &mut self.emitted, out);
+        }
+    }
+
+    fn is_complete(&self) -> bool {
+        self.done
+    }
+
+    fn stats(&self) -> QueryStats {
+        let mut stats = self.stats;
+        if !self.done {
+            stats.streamable_results = self.topk.finalized();
+            stats.runtime = self.start.elapsed();
+        }
+        stats
+    }
+
+    fn take_result(&mut self) -> Result<QueryResult, CoreError> {
+        self.result
+            .take()
+            .expect("SfaChDriver not complete or result already taken")
+    }
 }
 
 /// The SFA-CH baseline of the evaluation (§6, Figure 8): the Dijkstra-based
@@ -73,66 +335,15 @@ pub fn sfa_query(
 /// method must compute the CH distance of every user and sort — exactly the
 /// kind of repeated, non-shared work that makes the `*-CH` variants slower
 /// than the vanilla algorithms on social networks (the paper's observation).
+///
+/// This is the eager wrapper over [`SfaChDriver`].
 pub fn sfa_ch_query(
     dataset: &GeoSocialDataset,
     ch: &ContractionHierarchy,
     request: &QueryRequest,
     qctx: &mut QueryContext,
 ) -> Result<QueryResult, CoreError> {
-    request.validate()?;
-    dataset.check_user(request.user())?;
-    let start = Instant::now();
-    let ctx = RankingContext::new(dataset, request);
-    let mut stats = QueryStats::default();
-
-    // Compute all social distances through the CH index.
-    let mut order: Vec<(u32, f64)> = Vec::with_capacity(dataset.user_count().saturating_sub(1));
-    for user in dataset.graph().nodes() {
-        if user == request.user() {
-            continue;
-        }
-        let d = ch.distance_with(request.user(), user, &mut qctx.ch);
-        stats.distance_calls += 1;
-        if d.is_finite() {
-            order.push((user, d));
-        }
-    }
-    order.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
-
-    let mut topk = TopK::for_request(request);
-    let mut terminated = false;
-    for (user, raw_social) in order {
-        stats.social_pops += 1;
-        stats.vertex_pops += 1;
-        if request.admits(dataset, user) {
-            let (score, social_norm, spatial_norm) = ctx.score_from_raw_social(user, raw_social);
-            stats.evaluated_users += 1;
-            topk.consider(RankedUser {
-                user,
-                score,
-                social: social_norm,
-                spatial: spatial_norm,
-            });
-        }
-        let theta = request.alpha() * ctx.normalize_social(raw_social);
-        topk.raise_threshold(theta);
-        if theta >= topk.fk() {
-            terminated = true;
-            break;
-        }
-    }
-    if !terminated {
-        // Every finite-distance user was scanned; the rest are socially
-        // unreachable (infinite score for α > 0), so the result is final.
-        topk.raise_threshold(f64::INFINITY);
-    }
-    stats.streamable_results = topk.finalized();
-    stats.runtime = start.elapsed();
-    Ok(QueryResult {
-        ranked: topk.into_sorted_vec(),
-        k: request.k(),
-        stats,
-    })
+    SfaChDriver::new(dataset, ch, request, qctx)?.run_to_completion()
 }
 
 #[cfg(test)]

@@ -1,9 +1,10 @@
+use crate::driver::{drain_new_finalized, QueryDriver, StepOutcome};
 use crate::{
     CoreError, GeoSocialDataset, QueryContext, QueryRequest, QueryResult, QueryStats, RankedUser,
     RankingContext, TopK,
 };
 use ssrq_graph::{ContractionHierarchy, IncrementalDijkstra};
-use ssrq_spatial::UniformGrid;
+use ssrq_spatial::{IncrementalNn, UniformGrid};
 use std::time::Instant;
 
 /// How SPA computes the social distance of a spatially-encountered user.
@@ -16,6 +17,174 @@ pub struct SpaOptions<'a> {
     pub ch: Option<&'a ContractionHierarchy>,
 }
 
+/// The Spatial First Approach (SPA, §4.1) as a resumable state machine.
+///
+/// Each [`QueryDriver::step`] pulls one neighbour from the incremental
+/// spatial NN stream and fully evaluates it; the spatial-only lower bound
+/// `θ = (1 − α) · d(u_q, u_last)` finalizes result entries as it rises.
+#[derive(Debug)]
+pub struct SpaDriver<'a> {
+    dataset: &'a GeoSocialDataset,
+    request: QueryRequest,
+    ctx: RankingContext<'a>,
+    ch: Option<&'a ContractionHierarchy>,
+    ch_scratch: &'a mut ssrq_graph::ChQueryScratch,
+    /// Shared social expansion: all evaluations have the query vertex as
+    /// the source, so one resumable Dijkstra serves every candidate (the
+    /// computation reuse the paper credits the vanilla methods with).
+    social: IncrementalDijkstra<'a>,
+    /// `None` for an unlocated query user (the driver completes with an
+    /// empty result on construction).
+    nn: Option<IncrementalNn<'a>>,
+    topk: TopK,
+    stats: QueryStats,
+    start: Instant,
+    emitted: usize,
+    result: Option<Result<QueryResult, CoreError>>,
+    done: bool,
+}
+
+impl<'a> SpaDriver<'a> {
+    /// Starts an SPA search over the engine's uniform grid.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] / [`CoreError::UnknownUser`] for an
+    /// invalid request.
+    pub fn new(
+        dataset: &'a GeoSocialDataset,
+        grid: &'a UniformGrid,
+        request: &QueryRequest,
+        options: SpaOptions<'a>,
+        qctx: &'a mut QueryContext,
+    ) -> Result<Self, CoreError> {
+        request.validate()?;
+        dataset.check_user(request.user())?;
+        let start = Instant::now();
+        let QueryContext { social, ch } = qctx;
+        let mut driver = SpaDriver {
+            ctx: RankingContext::new(dataset, request),
+            topk: TopK::for_request(request),
+            ch: options.ch,
+            ch_scratch: ch,
+            social: IncrementalDijkstra::new(dataset.graph(), request.user(), social),
+            nn: dataset
+                .location(request.user())
+                .map(|loc| grid.nearest_neighbors(loc)),
+            dataset,
+            request: request.clone(),
+            stats: QueryStats::default(),
+            start,
+            emitted: 0,
+            result: None,
+            done: false,
+        };
+        if driver.nn.is_none() {
+            // Without a query location every spatial distance is infinite
+            // and no candidate can achieve a finite score (α < 1).
+            driver.complete();
+        }
+        Ok(driver)
+    }
+
+    fn complete(&mut self) -> StepOutcome {
+        self.stats.relaxed_edges = self.social.relaxations();
+        self.stats.streamable_results = self.topk.finalized();
+        self.stats.runtime = self.start.elapsed();
+        let topk = std::mem::replace(&mut self.topk, TopK::new(0));
+        self.result = Some(Ok(QueryResult {
+            ranked: topk.into_sorted_vec(),
+            k: self.request.k(),
+            stats: self.stats,
+        }));
+        self.done = true;
+        StepOutcome::Complete
+    }
+}
+
+impl QueryDriver for SpaDriver<'_> {
+    fn step(&mut self) -> StepOutcome {
+        if self.done {
+            return StepOutcome::Complete;
+        }
+        let nn = self
+            .nn
+            .as_mut()
+            .expect("running SPA driver has an NN stream");
+        let Some(neighbor) = nn.next() else {
+            // The spatial stream is exhausted: users it never produced have
+            // no location, hence an infinite spatial distance and (for
+            // α < 1) an infinite score — the interim result is final.
+            self.topk.raise_threshold(f64::INFINITY);
+            return self.complete();
+        };
+        if neighbor.id == self.request.user() {
+            return StepOutcome::Progress;
+        }
+        self.stats.vertex_pops += 1;
+        self.stats.spatial_pops = nn.pops();
+        let spatial_norm = self.ctx.normalize_spatial(neighbor.distance);
+        if self.request.admits(self.dataset, neighbor.id) {
+            let raw_social = match self.ch {
+                Some(ch) => {
+                    self.stats.distance_calls += 1;
+                    ch.distance_with(self.request.user(), neighbor.id, self.ch_scratch)
+                }
+                None => {
+                    let before = self.social.settled_count();
+                    let d = self
+                        .social
+                        .run_until_settled(self.dataset.graph(), neighbor.id);
+                    self.stats.social_pops += self.social.settled_count() - before;
+                    self.stats.distance_calls += 1;
+                    d
+                }
+            };
+            let social_norm = self.ctx.normalize_social(raw_social);
+            let score = self.ctx.score(social_norm, spatial_norm);
+            self.stats.evaluated_users += 1;
+            self.topk.consider(RankedUser {
+                user: neighbor.id,
+                score,
+                social: social_norm,
+                spatial: spatial_norm,
+            });
+        }
+        let theta = (1.0 - self.request.alpha()) * spatial_norm;
+        self.topk.raise_threshold(theta);
+        if theta >= self.topk.fk() {
+            return self.complete();
+        }
+        StepOutcome::Progress
+    }
+
+    fn drain_finalized(&mut self, out: &mut Vec<RankedUser>) {
+        if !self.done {
+            drain_new_finalized(&self.topk, &mut self.emitted, out);
+        }
+    }
+
+    fn is_complete(&self) -> bool {
+        self.done
+    }
+
+    fn stats(&self) -> QueryStats {
+        let mut stats = self.stats;
+        if !self.done {
+            stats.relaxed_edges = self.social.relaxations();
+            stats.streamable_results = self.topk.finalized();
+            stats.runtime = self.start.elapsed();
+        }
+        stats
+    }
+
+    fn take_result(&mut self) -> Result<QueryResult, CoreError> {
+        self.result
+            .take()
+            .expect("SpaDriver not complete or result already taken")
+    }
+}
+
 /// The Spatial First Approach (SPA, §4.1).
 ///
 /// Users are processed in increasing Euclidean distance from the query user
@@ -23,6 +192,8 @@ pub struct SpaOptions<'a> {
 /// Every encountered user is fully evaluated (its social distance is
 /// computed immediately).  The search stops when the spatial-only lower
 /// bound `θ = (1 − α) · d(u_q, u_last)` reaches the threshold `f_k`.
+///
+/// This is the eager wrapper over [`SpaDriver`].
 pub fn spa_query(
     dataset: &GeoSocialDataset,
     grid: &UniformGrid,
@@ -30,82 +201,7 @@ pub fn spa_query(
     options: SpaOptions<'_>,
     qctx: &mut QueryContext,
 ) -> Result<QueryResult, CoreError> {
-    request.validate()?;
-    dataset.check_user(request.user())?;
-    let start = Instant::now();
-    let ctx = RankingContext::new(dataset, request);
-    let mut stats = QueryStats::default();
-    let mut topk = TopK::for_request(request);
-
-    let Some(query_location) = dataset.location(request.user()) else {
-        // Without a query location every spatial distance is infinite and no
-        // candidate can achieve a finite score (α < 1).
-        stats.runtime = start.elapsed();
-        return Ok(QueryResult {
-            ranked: Vec::new(),
-            k: request.k(),
-            stats,
-        });
-    };
-
-    // Shared social expansion: all evaluations have the query vertex as the
-    // source, so one resumable Dijkstra serves every candidate (this is the
-    // computation reuse the paper credits the vanilla methods with).
-    let mut social = IncrementalDijkstra::new(dataset.graph(), request.user(), &mut qctx.social);
-
-    let mut nn = grid.nearest_neighbors(query_location);
-    loop {
-        let Some(neighbor) = nn.next() else {
-            // The spatial stream is exhausted: users it never produced have
-            // no location, hence an infinite spatial distance and (for
-            // α < 1) an infinite score — the interim result is final.
-            topk.raise_threshold(f64::INFINITY);
-            break;
-        };
-        if neighbor.id == request.user() {
-            continue;
-        }
-        stats.vertex_pops += 1;
-        stats.spatial_pops = nn.pops();
-        let spatial_norm = ctx.normalize_spatial(neighbor.distance);
-        if request.admits(dataset, neighbor.id) {
-            let raw_social = match options.ch {
-                Some(ch) => {
-                    stats.distance_calls += 1;
-                    ch.distance_with(request.user(), neighbor.id, &mut qctx.ch)
-                }
-                None => {
-                    let before = social.settled_count();
-                    let d = social.run_until_settled(dataset.graph(), neighbor.id);
-                    stats.social_pops += social.settled_count() - before;
-                    stats.distance_calls += 1;
-                    d
-                }
-            };
-            let social_norm = ctx.normalize_social(raw_social);
-            let score = ctx.score(social_norm, spatial_norm);
-            stats.evaluated_users += 1;
-            topk.consider(RankedUser {
-                user: neighbor.id,
-                score,
-                social: social_norm,
-                spatial: spatial_norm,
-            });
-        }
-        let theta = (1.0 - request.alpha()) * spatial_norm;
-        topk.raise_threshold(theta);
-        if theta >= topk.fk() {
-            break;
-        }
-    }
-
-    stats.streamable_results = topk.finalized();
-    stats.runtime = start.elapsed();
-    Ok(QueryResult {
-        ranked: topk.into_sorted_vec(),
-        k: request.k(),
-        stats,
-    })
+    SpaDriver::new(dataset, grid, request, options, qctx)?.run_to_completion()
 }
 
 #[cfg(test)]

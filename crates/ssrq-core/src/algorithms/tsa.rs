@@ -1,9 +1,10 @@
+use crate::driver::{drain_new_finalized, QueryDriver, StepOutcome};
 use crate::{
     CoreError, GeoSocialDataset, QueryContext, QueryRequest, QueryResult, QueryStats, RankedUser,
     RankingContext, TopK, UserId,
 };
 use ssrq_graph::{ContractionHierarchy, IncrementalDijkstra, LandmarkSet};
-use ssrq_spatial::UniformGrid;
+use ssrq_spatial::{IncrementalNn, UniformGrid};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -22,102 +23,219 @@ pub struct TsaOptions<'a> {
     pub ch_phase2: Option<&'a ContractionHierarchy>,
 }
 
-/// The Twofold Search Approach (TSA): a concurrent social and spatial search
-/// that maintains lower bounds in *both* domains (Algorithm 1 of the paper).
+/// Where the TSA machine currently is.
+#[derive(Debug)]
+enum TsaPhase {
+    /// Phase 1: concurrent social + spatial search, one probe per step.
+    Concurrent,
+    /// Phase 2, CH flavour: the surviving candidates in ascending spatial
+    /// order, one CH evaluation per step.
+    EvalCh {
+        order: Vec<(UserId, f64)>,
+        idx: usize,
+    },
+    /// Phase 2, social flavour: the social expansion continues, one settled
+    /// vertex per step; `t_d_prime` is the smallest spatial distance among
+    /// the remaining candidates.
+    EvalSocial { t_d_prime: f64 },
+}
+
+/// The Twofold Search Approach (TSA, Algorithm 1 of the paper) as a
+/// resumable state machine.
 ///
 /// **Phase 1** alternates between the social expansion (Dijkstra around
-/// `v_q`) and the incremental spatial NN search around `u_q`.  Socially
-/// encountered users are fully evaluated on the spot (their Euclidean
-/// distance is cheap); spatially encountered users that the social search
-/// has not yet reached are parked in the candidate set `Q`.  The phase ends
-/// when `θ = α·t_p + (1−α)·t_d ≥ f_k`.
+/// `v_q`) and the incremental spatial NN search around `u_q` — one probe
+/// per [`QueryDriver::step`].  Socially encountered users are fully
+/// evaluated on the spot (their Euclidean distance is cheap); spatially
+/// encountered users that the social search has not yet reached are parked
+/// in the candidate set `Q`.  The phase ends when
+/// `θ = α·t_p + (1−α)·t_d ≥ f_k`.
 ///
-/// **Phase 2** evaluates (or disqualifies) the candidates in `Q`; only the
-/// social search continues, because further spatial progress cannot tighten
-/// the bound `θ' = α·t_p + (1−α)·t'_d` (Lemma 1 of the paper).
-pub fn tsa_query(
-    dataset: &GeoSocialDataset,
-    grid: &UniformGrid,
-    request: &QueryRequest,
-    options: TsaOptions<'_>,
-    qctx: &mut QueryContext,
-) -> Result<QueryResult, CoreError> {
-    request.validate()?;
-    dataset.check_user(request.user())?;
-    let start = Instant::now();
-    let ctx = RankingContext::new(dataset, request);
-    let alpha = request.alpha();
-    let mut stats = QueryStats::default();
-    let mut topk = TopK::for_request(request);
-
-    let query_location = dataset.location(request.user());
-
-    let mut social = IncrementalDijkstra::new(dataset.graph(), request.user(), &mut qctx.social);
-    let mut spatial = query_location.map(|loc| grid.nearest_neighbors(loc));
-
-    // Candidate set Q: user -> normalized spatial distance.
-    let mut candidates: HashMap<UserId, f64> = HashMap::new();
-
+/// **Phase 2** evaluates (or disqualifies) the candidates in `Q`, one
+/// candidate/probe per step; only the social search continues, because
+/// further spatial progress cannot tighten the bound
+/// `θ' = α·t_p + (1−α)·t'_d` (Lemma 1 of the paper).
+///
+/// Throughout, the *pending-aware* bound
+/// `α·t_p + (1−α)·min(t_d, min_pending_d)` finalizes result entries, so the
+/// driver emits top-k entries while both searches are still running.
+#[derive(Debug)]
+pub struct TsaDriver<'a> {
+    dataset: &'a GeoSocialDataset,
+    request: QueryRequest,
+    ctx: RankingContext<'a>,
+    quick_combine: bool,
+    landmarks: Option<&'a LandmarkSet>,
+    ch_phase2: Option<&'a ContractionHierarchy>,
+    ch_scratch: &'a mut ssrq_graph::ChQueryScratch,
+    social: IncrementalDijkstra<'a>,
+    spatial: Option<IncrementalNn<'a>>,
+    /// Candidate set Q: user -> normalized spatial distance.
+    candidates: HashMap<UserId, f64>,
     // Lower bounds on the next result from each domain (normalized).
-    let mut tp = 0.0_f64; // last social distance seen
-    let mut td = 0.0_f64; // last spatial distance seen
-    let mut social_exhausted = false;
-    let mut spatial_exhausted = spatial.is_none();
-
-    // A conservative lower bound on the spatial distance of every candidate
-    // ever parked in Q (the spatial stream delivers increasing distances, so
-    // this is the distance of the first parked candidate).  It feeds the
-    // finalization bound: a pending candidate scores at least
-    // `α·t_p + (1−α)·min_pending_d`.
-    let mut min_pending_d = f64::INFINITY;
-
+    tp: f64,
+    td: f64,
+    social_exhausted: bool,
+    spatial_exhausted: bool,
+    /// A conservative lower bound on the spatial distance of every candidate
+    /// ever parked in Q (the spatial stream delivers increasing distances,
+    /// so this is the distance of the first parked candidate).  It feeds the
+    /// finalization bound: a pending candidate scores at least
+    /// `α·t_p + (1−α)·min_pending_d`.
+    min_pending_d: f64,
     // Quick Combine bookkeeping: probes made and distance reached per
     // domain, to estimate how fast each repository's distances increase.
-    let mut social_probes = 0usize;
-    let mut spatial_probes = 0usize;
-    let mut probe_social_next = true;
+    social_probes: usize,
+    spatial_probes: usize,
+    probe_social_next: bool,
+    phase: TsaPhase,
+    topk: TopK,
+    stats: QueryStats,
+    start: Instant,
+    emitted: usize,
+    result: Option<Result<QueryResult, CoreError>>,
+    done: bool,
+}
 
-    // ---- Phase 1: concurrent social + spatial search -------------------
-    while !(social_exhausted && spatial_exhausted) {
-        let probe_social = if social_exhausted {
+impl<'a> TsaDriver<'a> {
+    /// Starts a TSA search over the engine's uniform grid.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] / [`CoreError::UnknownUser`] for an
+    /// invalid request.
+    pub fn new(
+        dataset: &'a GeoSocialDataset,
+        grid: &'a UniformGrid,
+        request: &QueryRequest,
+        options: TsaOptions<'a>,
+        qctx: &'a mut QueryContext,
+    ) -> Result<Self, CoreError> {
+        request.validate()?;
+        dataset.check_user(request.user())?;
+        let start = Instant::now();
+        let QueryContext { social, ch } = qctx;
+        let spatial = dataset
+            .location(request.user())
+            .map(|loc| grid.nearest_neighbors(loc));
+        Ok(TsaDriver {
+            ctx: RankingContext::new(dataset, request),
+            topk: TopK::for_request(request),
+            quick_combine: options.quick_combine,
+            landmarks: options.landmarks,
+            ch_phase2: options.ch_phase2,
+            ch_scratch: ch,
+            social: IncrementalDijkstra::new(dataset.graph(), request.user(), social),
+            spatial_exhausted: spatial.is_none(),
+            spatial,
+            candidates: HashMap::new(),
+            tp: 0.0,
+            td: 0.0,
+            social_exhausted: false,
+            min_pending_d: f64::INFINITY,
+            social_probes: 0,
+            spatial_probes: 0,
+            probe_social_next: true,
+            phase: TsaPhase::Concurrent,
+            dataset,
+            request: request.clone(),
+            stats: QueryStats::default(),
+            start,
+            emitted: 0,
+            result: None,
+            done: false,
+        })
+    }
+
+    fn complete(&mut self) -> StepOutcome {
+        self.stats.relaxed_edges = self.social.relaxations();
+        self.stats.streamable_results = self.topk.finalized();
+        self.stats.runtime = self.start.elapsed();
+        let topk = std::mem::replace(&mut self.topk, TopK::new(0));
+        self.result = Some(Ok(QueryResult {
+            ranked: topk.into_sorted_vec(),
+            k: self.request.k(),
+            stats: self.stats,
+        }));
+        self.done = true;
+        StepOutcome::Complete
+    }
+
+    /// Phase-1 → phase-2 transition: landmark pruning of the candidate set,
+    /// then the flavour-specific phase-2 setup.
+    fn begin_phase2(&mut self) {
+        if let Some(landmarks) = self.landmarks {
+            let fk = self.topk.fk();
+            let ctx = self.ctx;
+            let user_q = self.request.user();
+            self.candidates.retain(|&user, &mut spatial_norm| {
+                let social_lb = ctx.normalize_social(landmarks.lower_bound(user_q, user));
+                ctx.score_lower_bound(social_lb, spatial_norm) < fk
+            });
+        }
+        if self.ch_phase2.is_some() {
+            // CH-based evaluation: cheapest spatial distance first so that
+            // f_k tightens early (ties broken on user id for determinism).
+            let mut order: Vec<(UserId, f64)> = self.candidates.drain().collect();
+            order.sort_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.0.cmp(&b.0))
+            });
+            self.phase = TsaPhase::EvalCh { order, idx: 0 };
+        } else {
+            self.phase = TsaPhase::EvalSocial {
+                t_d_prime: min_value(&self.candidates),
+            };
+        }
+    }
+
+    /// One phase-1 probe (a loop iteration of Algorithm 1).
+    fn step_concurrent(&mut self) -> StepOutcome {
+        if self.social_exhausted && self.spatial_exhausted {
+            self.begin_phase2();
+            return StepOutcome::Progress;
+        }
+        let alpha = self.request.alpha();
+        let probe_social = if self.social_exhausted {
             false
-        } else if spatial_exhausted {
+        } else if self.spatial_exhausted {
             true
-        } else if options.quick_combine {
+        } else if self.quick_combine {
             // Quick Combine: probe the repository whose weighted distance
             // grows fastest *per probe*, because it raises the termination
             // threshold θ the quickest.  The rate is estimated from the
             // average increase so far; until both repositories have been
             // probed a few times, alternate.
-            if social_probes < 2 || spatial_probes < 2 {
-                probe_social_next
+            if self.social_probes < 2 || self.spatial_probes < 2 {
+                self.probe_social_next
             } else {
-                let social_gain = alpha * tp / social_probes as f64;
-                let spatial_gain = (1.0 - alpha) * td / spatial_probes as f64;
+                let social_gain = alpha * self.tp / self.social_probes as f64;
+                let spatial_gain = (1.0 - alpha) * self.td / self.spatial_probes as f64;
                 if (social_gain - spatial_gain).abs() < f64::EPSILON {
-                    probe_social_next
+                    self.probe_social_next
                 } else {
                     social_gain > spatial_gain
                 }
             }
         } else {
-            probe_social_next
+            self.probe_social_next
         };
-        probe_social_next = !probe_social;
+        self.probe_social_next = !probe_social;
 
         if probe_social {
-            match social.next_settled(dataset.graph()) {
+            match self.social.next_settled(self.dataset.graph()) {
                 Some((vertex, raw_social)) => {
-                    stats.social_pops += 1;
-                    stats.vertex_pops += 1;
-                    social_probes += 1;
-                    let social_norm = ctx.normalize_social(raw_social);
-                    tp = social_norm;
-                    if request.admits(dataset, vertex) {
-                        let spatial_norm = ctx.spatial(vertex);
-                        let score = ctx.score(social_norm, spatial_norm);
-                        stats.evaluated_users += 1;
-                        topk.consider(RankedUser {
+                    self.stats.social_pops += 1;
+                    self.stats.vertex_pops += 1;
+                    self.social_probes += 1;
+                    let social_norm = self.ctx.normalize_social(raw_social);
+                    self.tp = social_norm;
+                    if self.request.admits(self.dataset, vertex) {
+                        let spatial_norm = self.ctx.spatial(vertex);
+                        let score = self.ctx.score(social_norm, spatial_norm);
+                        self.stats.evaluated_users += 1;
+                        self.topk.consider(RankedUser {
                             user: vertex,
                             score,
                             social: social_norm,
@@ -127,130 +245,183 @@ pub fn tsa_query(
                     // A candidate reached by the social search is now fully
                     // evaluated (or inadmissible) and must leave Q
                     // (lines 7–8).
-                    candidates.remove(&vertex);
+                    self.candidates.remove(&vertex);
                 }
                 None => {
-                    social_exhausted = true;
-                    tp = f64::INFINITY;
+                    self.social_exhausted = true;
+                    self.tp = f64::INFINITY;
                 }
             }
-        } else if let Some(nn) = spatial.as_mut() {
+        } else if let Some(nn) = self.spatial.as_mut() {
             match nn.next() {
                 Some(neighbor) => {
-                    stats.spatial_pops = nn.pops();
-                    stats.vertex_pops += 1;
-                    spatial_probes += 1;
-                    let spatial_norm = ctx.normalize_spatial(neighbor.distance);
-                    td = spatial_norm;
-                    if request.admits(dataset, neighbor.id) && !social.is_settled(neighbor.id) {
-                        candidates.insert(neighbor.id, spatial_norm);
-                        min_pending_d = min_pending_d.min(spatial_norm);
+                    self.stats.spatial_pops = nn.pops();
+                    self.stats.vertex_pops += 1;
+                    self.spatial_probes += 1;
+                    let spatial_norm = self.ctx.normalize_spatial(neighbor.distance);
+                    self.td = spatial_norm;
+                    if self.request.admits(self.dataset, neighbor.id)
+                        && !self.social.is_settled(neighbor.id)
+                    {
+                        self.candidates.insert(neighbor.id, spatial_norm);
+                        self.min_pending_d = self.min_pending_d.min(spatial_norm);
                     }
                 }
                 None => {
-                    spatial_exhausted = true;
-                    td = f64::INFINITY;
+                    self.spatial_exhausted = true;
+                    self.td = f64::INFINITY;
                 }
             }
         }
 
-        let theta = alpha * tp + (1.0 - alpha) * td;
+        let theta = alpha * self.tp + (1.0 - alpha) * self.td;
         // Entries below the *pending-aware* bound are final: future stream
         // deliveries score at least θ, parked candidates at least
         // `α·t_p + (1−α)·min_pending_d`.
-        topk.raise_threshold(alpha * tp + (1.0 - alpha) * td.min(min_pending_d));
-        if theta >= topk.fk() {
-            break;
+        self.topk
+            .raise_threshold(alpha * self.tp + (1.0 - alpha) * self.td.min(self.min_pending_d));
+        if theta >= self.topk.fk() {
+            self.begin_phase2();
         }
+        StepOutcome::Progress
     }
 
-    // ---- Landmark pruning of candidates (TSA with landmarks) -----------
-    if let Some(landmarks) = options.landmarks {
-        let fk = topk.fk();
-        candidates.retain(|&user, &mut spatial_norm| {
-            let social_lb = ctx.normalize_social(landmarks.lower_bound(request.user(), user));
-            ctx.score_lower_bound(social_lb, spatial_norm) < fk
+    /// One CH-flavoured phase-2 candidate evaluation.
+    fn step_eval_ch(&mut self, idx: usize) -> StepOutcome {
+        let alpha = self.request.alpha();
+        let order = match std::mem::replace(&mut self.phase, TsaPhase::Concurrent) {
+            TsaPhase::EvalCh { order, .. } => order,
+            _ => unreachable!("step_eval_ch called outside EvalCh"),
+        };
+        let entry = order.get(idx).copied();
+        self.phase = TsaPhase::EvalCh {
+            order,
+            idx: idx + 1,
+        };
+        let Some((user, spatial_norm)) = entry else {
+            return self.complete();
+        };
+        // θ' with this candidate's spatial distance as t'_d — a bound on
+        // this and every later candidate (the order is ascending).
+        let theta_prime = alpha * self.tp + (1.0 - alpha) * spatial_norm;
+        self.topk.raise_threshold(theta_prime);
+        if theta_prime >= self.topk.fk() {
+            return self.complete();
+        }
+        let raw_social = self
+            .ch_phase2
+            .expect("EvalCh phase requires a CH index")
+            .distance_with(self.request.user(), user, self.ch_scratch);
+        self.stats.distance_calls += 1;
+        self.stats.evaluated_users += 1;
+        let social_norm = self.ctx.normalize_social(raw_social);
+        let score = self.ctx.score(social_norm, spatial_norm);
+        self.topk.consider(RankedUser {
+            user,
+            score,
+            social: social_norm,
+            spatial: spatial_norm,
         });
+        StepOutcome::Progress
     }
 
-    // ---- Phase 2: evaluate or disqualify the candidates ----------------
-    if let Some(ch) = options.ch_phase2 {
-        // CH-based evaluation: compute the exact social distance of every
-        // surviving candidate with a point-to-point CH query, cheapest
-        // spatial distance first so that f_k tightens early.
-        let mut order: Vec<(UserId, f64)> = candidates.into_iter().collect();
-        order.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
-        for (user, spatial_norm) in order {
-            // θ' with this candidate's spatial distance as t'_d — a bound on
-            // this and every later candidate (the order is ascending).
-            let theta_prime = alpha * tp + (1.0 - alpha) * spatial_norm;
-            topk.raise_threshold(theta_prime);
-            if theta_prime >= topk.fk() {
-                break;
-            }
-            let raw_social = ch.distance_with(request.user(), user, &mut qctx.ch);
-            stats.distance_calls += 1;
-            stats.evaluated_users += 1;
-            let social_norm = ctx.normalize_social(raw_social);
-            let score = ctx.score(social_norm, spatial_norm);
-            topk.consider(RankedUser {
-                user,
-                score,
-                social: social_norm,
-                spatial: spatial_norm,
-            });
-        }
-    } else {
-        // Continue the social expansion until every candidate is either
-        // found (evaluated exactly) or provably disqualified by θ'.
-        let mut t_d_prime = min_value(&candidates);
-        while !candidates.is_empty() {
-            let theta_prime = alpha * tp + (1.0 - alpha) * t_d_prime;
-            topk.raise_threshold(theta_prime);
-            if theta_prime >= topk.fk() {
-                break;
-            }
-            match social.next_settled(dataset.graph()) {
-                Some((vertex, raw_social)) => {
-                    stats.social_pops += 1;
-                    stats.vertex_pops += 1;
-                    let social_norm = ctx.normalize_social(raw_social);
-                    tp = social_norm;
-                    if let Some(spatial_norm) = candidates.remove(&vertex) {
-                        let score = ctx.score(social_norm, spatial_norm);
-                        stats.evaluated_users += 1;
-                        topk.consider(RankedUser {
-                            user: vertex,
-                            score,
-                            social: social_norm,
-                            spatial: spatial_norm,
-                        });
-                        t_d_prime = min_value(&candidates);
-                    }
-                }
-                None => {
-                    // Remaining candidates are socially unreachable: the
-                    // interim result is final.
-                    topk.raise_threshold(f64::INFINITY);
-                    break;
-                }
-            }
-        }
-        if candidates.is_empty() {
+    /// One social-flavoured phase-2 probe.
+    fn step_eval_social(&mut self, t_d_prime: f64) -> StepOutcome {
+        let alpha = self.request.alpha();
+        if self.candidates.is_empty() {
             // Every candidate was resolved; only users beyond both streams
             // remain, and they score at least θ'.
-            let theta_prime = alpha * tp + (1.0 - alpha) * t_d_prime;
-            topk.raise_threshold(theta_prime);
+            let theta_prime = alpha * self.tp + (1.0 - alpha) * t_d_prime;
+            self.topk.raise_threshold(theta_prime);
+            return self.complete();
+        }
+        let theta_prime = alpha * self.tp + (1.0 - alpha) * t_d_prime;
+        self.topk.raise_threshold(theta_prime);
+        if theta_prime >= self.topk.fk() {
+            return self.complete();
+        }
+        match self.social.next_settled(self.dataset.graph()) {
+            Some((vertex, raw_social)) => {
+                self.stats.social_pops += 1;
+                self.stats.vertex_pops += 1;
+                let social_norm = self.ctx.normalize_social(raw_social);
+                self.tp = social_norm;
+                if let Some(spatial_norm) = self.candidates.remove(&vertex) {
+                    let score = self.ctx.score(social_norm, spatial_norm);
+                    self.stats.evaluated_users += 1;
+                    self.topk.consider(RankedUser {
+                        user: vertex,
+                        score,
+                        social: social_norm,
+                        spatial: spatial_norm,
+                    });
+                    self.phase = TsaPhase::EvalSocial {
+                        t_d_prime: min_value(&self.candidates),
+                    };
+                }
+                StepOutcome::Progress
+            }
+            None => {
+                // Remaining candidates are socially unreachable: the
+                // interim result is final.
+                self.topk.raise_threshold(f64::INFINITY);
+                self.complete()
+            }
+        }
+    }
+}
+
+impl QueryDriver for TsaDriver<'_> {
+    fn step(&mut self) -> StepOutcome {
+        if self.done {
+            return StepOutcome::Complete;
+        }
+        match self.phase {
+            TsaPhase::Concurrent => self.step_concurrent(),
+            TsaPhase::EvalCh { idx, .. } => self.step_eval_ch(idx),
+            TsaPhase::EvalSocial { t_d_prime } => self.step_eval_social(t_d_prime),
         }
     }
 
-    stats.streamable_results = topk.finalized();
-    stats.runtime = start.elapsed();
-    Ok(QueryResult {
-        ranked: topk.into_sorted_vec(),
-        k: request.k(),
-        stats,
-    })
+    fn drain_finalized(&mut self, out: &mut Vec<RankedUser>) {
+        if !self.done {
+            drain_new_finalized(&self.topk, &mut self.emitted, out);
+        }
+    }
+
+    fn is_complete(&self) -> bool {
+        self.done
+    }
+
+    fn stats(&self) -> QueryStats {
+        let mut stats = self.stats;
+        if !self.done {
+            stats.relaxed_edges = self.social.relaxations();
+            stats.streamable_results = self.topk.finalized();
+            stats.runtime = self.start.elapsed();
+        }
+        stats
+    }
+
+    fn take_result(&mut self) -> Result<QueryResult, CoreError> {
+        self.result
+            .take()
+            .expect("TsaDriver not complete or result already taken")
+    }
+}
+
+/// The Twofold Search Approach (TSA): a concurrent social and spatial search
+/// that maintains lower bounds in *both* domains (Algorithm 1 of the paper).
+/// See [`TsaDriver`] for the phase structure; this is the eager wrapper
+/// running the same state machine to completion.
+pub fn tsa_query(
+    dataset: &GeoSocialDataset,
+    grid: &UniformGrid,
+    request: &QueryRequest,
+    options: TsaOptions<'_>,
+    qctx: &mut QueryContext,
+) -> Result<QueryResult, CoreError> {
+    TsaDriver::new(dataset, grid, request, options, qctx)?.run_to_completion()
 }
 
 fn min_value(candidates: &HashMap<UserId, f64>) -> f64 {

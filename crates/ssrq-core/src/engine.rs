@@ -704,6 +704,53 @@ impl GeoSocialEngine {
         strategy.execute(self, request, ctx)
     }
 
+    /// Starts a pull-lazy execution of one request, returning a resumable
+    /// [`QueryDriver`](crate::QueryDriver) that borrows this engine and
+    /// `ctx` for its lifetime.
+    ///
+    /// This is the low-level streaming primitive: the caller steps the
+    /// machine and drains finalized entries at its own pace (the
+    /// property-based test-suite drives it with arbitrary suspension
+    /// schedules).  Most callers want [`GeoSocialEngine::stream_with`] or
+    /// [`QuerySession::stream`], which wrap the driver in an iterator.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GeoSocialEngine::run_with`].
+    pub fn begin_stream<'a>(
+        &'a self,
+        request: &QueryRequest,
+        ctx: &'a mut QueryContext,
+    ) -> Result<Box<dyn crate::QueryDriver + 'a>, CoreError> {
+        let strategy = self.strategies.resolve(request.algorithm().key())?;
+        let requires = strategy.requires();
+        if requires.contraction_hierarchy {
+            self.require_contraction_hierarchy()?;
+        }
+        if requires.social_cache {
+            self.require_social_cache()?;
+        }
+        strategy.begin_stream(self, request, ctx)
+    }
+
+    /// Processes one request as a pull-lazy [`QueryStream`](crate::QueryStream)
+    /// drawing all search scratch from `ctx`; see [`QuerySession::stream`]
+    /// for the semantics.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GeoSocialEngine::run_with`].
+    pub fn stream_with<'a>(
+        &'a self,
+        request: &QueryRequest,
+        ctx: &'a mut QueryContext,
+    ) -> Result<crate::QueryStream<'a>, CoreError> {
+        Ok(crate::QueryStream::new(
+            self.begin_stream(request, ctx)?,
+            request.k(),
+        ))
+    }
+
     /// Processes `request` once per algorithm in `algorithms`, returning
     /// `(algorithm, result)` pairs.  Used by the experiment harness to
     /// compare methods on identical queries (the request's own algorithm

@@ -28,8 +28,10 @@
 //!    wrap algorithms via
 //!    [`GeoSocialEngine::register_strategy`] without touching the engine.
 //! 4. **[`QuerySession`]** — a per-worker handle (engine reference + owned
-//!    [`QueryContext`]) with [`QuerySession::run`] and the finalization-order
-//!    iterator [`QuerySession::stream`].
+//!    [`QueryContext`]) with [`QuerySession::run`] and the **pull-lazy**
+//!    finalization-order iterator [`QuerySession::stream`], backed by the
+//!    resumable [`QueryDriver`] state machine every algorithm is
+//!    implemented as.
 //!
 //! # Processing algorithms
 //!
@@ -95,6 +97,7 @@ pub mod ais;
 pub mod algorithms;
 mod context;
 mod dataset;
+mod driver;
 mod engine;
 mod error;
 mod query;
@@ -108,6 +111,7 @@ mod strategy;
 pub use algorithms::SocialNeighborCache;
 pub use context::QueryContext;
 pub use dataset::{GeoSocialDataset, UserId};
+pub use driver::{EagerDriver, QueryDriver, StepOutcome};
 #[allow(deprecated)]
 pub use engine::EngineConfig;
 pub use engine::{

@@ -130,6 +130,33 @@ impl TopK {
             .count()
     }
 
+    /// The currently-final entries — score strictly below the highest bound
+    /// raised so far — in the same ascending `(score, user)` order that
+    /// [`TopK::into_sorted_vec`] reports.
+    ///
+    /// This prefix is *stable*: the bound only ratchets upward and
+    /// [`TopK::consider`] is only ever offered candidates scoring at or
+    /// above it, so later admissions can neither evict, outrank nor tie
+    /// into the finalized prefix — subsequent calls return a superset with
+    /// the earlier entries in unchanged positions.  The pull-lazy
+    /// [`QueryStream`](crate::QueryStream) relies on exactly this property
+    /// to emit result entries before the search completes.
+    pub fn finalized_sorted(&self) -> Vec<RankedUser> {
+        let mut v: Vec<RankedUser> = self
+            .heap
+            .iter()
+            .filter(|e| e.0.score < self.threshold)
+            .map(|e| e.0)
+            .collect();
+        v.sort_by(|a, b| {
+            a.score
+                .partial_cmp(&b.score)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| a.user.cmp(&b.user))
+        });
+        v
+    }
+
     /// Returns `true` when `user` is currently part of the interim result.
     pub fn contains(&self, user: UserId) -> bool {
         self.heap.iter().any(|e| e.0.user == user)
@@ -272,6 +299,29 @@ mod tests {
         assert_eq!(topk.finalized(), 1);
         topk.raise_threshold(f64::INFINITY);
         assert_eq!(topk.finalized(), 2);
+    }
+
+    #[test]
+    fn finalized_sorted_is_a_stable_ascending_prefix() {
+        let mut topk = TopK::new(3);
+        topk.consider(entry(4, 0.30));
+        topk.consider(entry(2, 0.10));
+        assert!(topk.finalized_sorted().is_empty());
+        topk.raise_threshold(0.2);
+        let first = topk.finalized_sorted();
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].user, 2);
+        // A later admission above the bound extends the prefix without
+        // disturbing it.
+        topk.consider(entry(9, 0.25));
+        topk.raise_threshold(0.35);
+        let second = topk.finalized_sorted();
+        assert_eq!(
+            second.iter().map(|e| e.user).collect::<Vec<_>>(),
+            vec![2, 9, 4]
+        );
+        assert_eq!(second[0], first[0]);
+        assert_eq!(topk.finalized(), second.len());
     }
 
     #[test]

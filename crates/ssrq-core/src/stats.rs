@@ -30,6 +30,13 @@ pub struct QueryStats {
     /// Users re-inserted into the AIS heap by the delayed-evaluation
     /// strategy.
     pub delayed_reinsertions: usize,
+    /// Edge relaxations attempted by the query's social-graph searches (the
+    /// query-rooted Dijkstra expansions and the bidirectional searches of
+    /// the AIS distance submodule; Contraction Hierarchies queries are not
+    /// counted).  Relaxations dominate graph-search run-time, so this is the
+    /// timing-free effort metric the early-exit streaming tests compare
+    /// between a full run and a `take(1)` stream.
+    pub relaxed_edges: usize,
     /// Result entries whose membership *and* rank were already fixed before
     /// the search completed — the incremental-threshold property of the
     /// paper's algorithms that [`QuerySession::stream`](crate::QuerySession::stream)
@@ -67,6 +74,7 @@ impl QueryStats {
         self.distance_calls += other.distance_calls;
         self.cache_hits += other.cache_hits;
         self.delayed_reinsertions += other.delayed_reinsertions;
+        self.relaxed_edges += other.relaxed_edges;
         self.streamable_results += other.streamable_results;
         self.runtime += other.runtime;
     }
@@ -98,6 +106,7 @@ mod tests {
             distance_calls: 5,
             cache_hits: 6,
             delayed_reinsertions: 7,
+            relaxed_edges: 11,
             streamable_results: 2,
             runtime: Duration::from_millis(10),
         };
@@ -111,6 +120,7 @@ mod tests {
         assert_eq!(a.distance_calls, 10);
         assert_eq!(a.cache_hits, 12);
         assert_eq!(a.delayed_reinsertions, 14);
+        assert_eq!(a.relaxed_edges, 22);
         assert_eq!(a.streamable_results, 4);
         assert_eq!(a.runtime, Duration::from_millis(20));
     }

@@ -8,11 +8,12 @@
 //! wrap built-ins with instrumentation) without touching the engine core —
 //! see [`GeoSocialEngine::register_strategy`].
 
-use crate::ais::{ais_query, AisVariant};
+use crate::ais::{ais_query, AisDriver, AisVariant};
 use crate::algorithms::{
-    cached_query, exhaustive_query, sfa_ch_query, sfa_query, spa_query, tsa_query, SpaOptions,
-    TsaOptions,
+    cached_query, exhaustive_query, sfa_ch_query, sfa_query, spa_query, tsa_query, CachedDriver,
+    ExhaustiveDriver, SfaChDriver, SfaDriver, SpaDriver, SpaOptions, TsaDriver, TsaOptions,
 };
+use crate::driver::{EagerDriver, QueryDriver};
 use crate::{Algorithm, CoreError, GeoSocialEngine, QueryContext, QueryRequest, QueryResult};
 use std::collections::HashMap;
 use std::fmt;
@@ -78,6 +79,34 @@ pub trait AlgorithmStrategy: Send + Sync {
         request: &QueryRequest,
         ctx: &mut QueryContext,
     ) -> Result<QueryResult, CoreError>;
+
+    /// Starts a pull-lazy execution of one request, returning a resumable
+    /// [`QueryDriver`] that borrows the engine's indexes and `ctx` for its
+    /// lifetime.  A fully driven machine yields the exact result
+    /// [`AlgorithmStrategy::execute`] computes.
+    ///
+    /// The default implementation executes the request **eagerly** and
+    /// wraps the finished result in an [`EagerDriver`]
+    /// (drain-after-complete), so custom strategies are streamable without
+    /// writing a state machine — they just gain no first-result latency.
+    /// The built-in strategies override this with genuinely incremental
+    /// drivers.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`AlgorithmStrategy::execute`] (or driver construction)
+    /// reports for the request — typically
+    /// [`CoreError::InvalidParameter`] / [`CoreError::UnknownUser`].
+    fn begin_stream<'a>(
+        &'a self,
+        engine: &'a GeoSocialEngine,
+        request: &QueryRequest,
+        ctx: &'a mut QueryContext,
+    ) -> Result<Box<dyn QueryDriver + 'a>, CoreError> {
+        Ok(Box::new(EagerDriver::new(
+            self.execute(engine, request, ctx)?,
+        )))
+    }
 }
 
 /// The strategies an engine dispatches to, keyed by name.
@@ -284,6 +313,115 @@ impl AlgorithmStrategy for BuiltinStrategy {
                 })
             }
         }
+    }
+
+    fn begin_stream<'a>(
+        &'a self,
+        engine: &'a GeoSocialEngine,
+        request: &QueryRequest,
+        ctx: &'a mut QueryContext,
+    ) -> Result<Box<dyn QueryDriver + 'a>, CoreError> {
+        let dataset = engine.dataset();
+        Ok(match self.algorithm {
+            Algorithm::Exhaustive => Box::new(ExhaustiveDriver::new(dataset, request, ctx)?),
+            Algorithm::Sfa => Box::new(SfaDriver::new(dataset, request, ctx)?),
+            Algorithm::Spa => Box::new(SpaDriver::new(
+                dataset,
+                engine.grid(),
+                request,
+                SpaOptions::default(),
+                ctx,
+            )?),
+            Algorithm::Tsa => Box::new(TsaDriver::new(
+                dataset,
+                engine.grid(),
+                request,
+                TsaOptions {
+                    quick_combine: false,
+                    landmarks: Some(engine.landmarks()),
+                    ch_phase2: None,
+                },
+                ctx,
+            )?),
+            Algorithm::TsaQc => Box::new(TsaDriver::new(
+                dataset,
+                engine.grid(),
+                request,
+                TsaOptions {
+                    quick_combine: true,
+                    landmarks: Some(engine.landmarks()),
+                    ch_phase2: None,
+                },
+                ctx,
+            )?),
+            Algorithm::AisBid => Box::new(AisDriver::new(
+                dataset,
+                engine.ais_index(),
+                engine.landmarks(),
+                request,
+                AisVariant::bid(),
+                ctx,
+            )?),
+            Algorithm::AisMinus => Box::new(AisDriver::new(
+                dataset,
+                engine.ais_index(),
+                engine.landmarks(),
+                request,
+                AisVariant::minus(),
+                ctx,
+            )?),
+            Algorithm::Ais => Box::new(AisDriver::new(
+                dataset,
+                engine.ais_index(),
+                engine.landmarks(),
+                request,
+                AisVariant::full(),
+                ctx,
+            )?),
+            Algorithm::SfaCh => {
+                let ch = engine.require_contraction_hierarchy()?;
+                Box::new(SfaChDriver::new(dataset, ch, request, ctx)?)
+            }
+            Algorithm::SpaCh => {
+                let ch = engine.require_contraction_hierarchy()?;
+                Box::new(SpaDriver::new(
+                    dataset,
+                    engine.grid(),
+                    request,
+                    SpaOptions { ch: Some(ch) },
+                    ctx,
+                )?)
+            }
+            Algorithm::TsaCh => {
+                let ch = engine.require_contraction_hierarchy()?;
+                Box::new(TsaDriver::new(
+                    dataset,
+                    engine.grid(),
+                    request,
+                    TsaOptions {
+                        quick_combine: false,
+                        landmarks: Some(engine.landmarks()),
+                        ch_phase2: Some(ch),
+                    },
+                    ctx,
+                )?)
+            }
+            Algorithm::SfaCached => {
+                let cache = engine.require_social_cache()?;
+                Box::new(CachedDriver::new(dataset, cache, request, {
+                    move |fallback_request: &QueryRequest| {
+                        ais_query(
+                            dataset,
+                            engine.ais_index(),
+                            engine.landmarks(),
+                            fallback_request,
+                            AisVariant::full(),
+                            ctx,
+                        )
+                    }
+                })?)
+            }
+        })
     }
 }
 

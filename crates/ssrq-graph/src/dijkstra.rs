@@ -51,6 +51,7 @@ pub struct IncrementalDijkstra<'s> {
     last_settled: Distance,
     settled_count: usize,
     pops: usize,
+    relaxations: usize,
 }
 
 impl<'s> IncrementalDijkstra<'s> {
@@ -77,6 +78,7 @@ impl<'s> IncrementalDijkstra<'s> {
             last_settled: 0.0,
             settled_count: 0,
             pops: 0,
+            relaxations: 0,
         }
     }
 
@@ -97,6 +99,7 @@ impl<'s> IncrementalDijkstra<'s> {
             self.settled_count += 1;
             self.last_settled = key;
             for edge in graph.neighbors(node) {
+                self.relaxations += 1;
                 let cand = key + edge.weight;
                 if cand < self.scratch.tentative(edge.to) {
                     self.scratch.set_tentative(edge.to, cand, node);
@@ -170,6 +173,13 @@ impl<'s> IncrementalDijkstra<'s> {
     /// Number of heap pops performed (including stale entries).
     pub fn pops(&self) -> usize {
         self.pops
+    }
+
+    /// Number of edge relaxations attempted so far (one per neighbour edge
+    /// of every settled vertex).  The expansion's run-time is dominated by
+    /// these, which makes the counter a timing-free proxy for search effort.
+    pub fn relaxations(&self) -> usize {
+        self.relaxations
     }
 
     /// Parent of `v` in the shortest-path tree (only meaningful for settled

@@ -26,6 +26,9 @@ pub struct DistanceEngineStats {
     pub forward_settles: usize,
     /// Vertices settled by reverse A* searches.
     pub reverse_settles: usize,
+    /// Edge relaxations attempted across every search the engine ran (the
+    /// shared forward expansion plus all per-call bidirectional searches).
+    pub edge_relaxations: usize,
 }
 
 /// A point-to-point search keyed by hash maps instead of dense vectors, so
@@ -40,6 +43,7 @@ struct HashSearch<'a> {
     parent: HashMap<NodeId, NodeId>,
     heap: BinaryHeap<HeapItem>,
     settles: usize,
+    relaxations: usize,
 }
 
 impl<'a> HashSearch<'a> {
@@ -63,6 +67,7 @@ impl<'a> HashSearch<'a> {
             parent: HashMap::new(),
             heap,
             settles: 0,
+            relaxations: 0,
         }
     }
 
@@ -82,6 +87,7 @@ impl<'a> HashSearch<'a> {
             self.settled.insert(node, g);
             self.settles += 1;
             for edge in graph.neighbors(node) {
+                self.relaxations += 1;
                 let cand = g + edge.weight;
                 let better = self
                     .dist
@@ -171,6 +177,9 @@ pub struct GraphDistanceEngine<'g, 's> {
     /// previously computed shortest paths.
     path_dist: HashMap<NodeId, Distance>,
     stats: DistanceEngineStats,
+    /// Relaxations performed by completed per-call [`HashSearch`]es (the
+    /// live forward expansion reports its own count).
+    hash_relaxations: usize,
 }
 
 impl<'g, 's> GraphDistanceEngine<'g, 's> {
@@ -196,6 +205,7 @@ impl<'g, 's> GraphDistanceEngine<'g, 's> {
             forward: IncrementalDijkstra::new(graph, source, scratch),
             path_dist: HashMap::new(),
             stats: DistanceEngineStats::default(),
+            hash_relaxations: 0,
         }
     }
 
@@ -211,7 +221,9 @@ impl<'g, 's> GraphDistanceEngine<'g, 's> {
 
     /// Work counters accumulated so far.
     pub fn stats(&self) -> DistanceEngineStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.edge_relaxations = self.forward.relaxations() + self.hash_relaxations;
+        stats
     }
 
     /// The `β` bound of §5.3: the distance of the last vertex settled by the
@@ -408,6 +420,7 @@ impl<'g, 's> GraphDistanceEngine<'g, 's> {
                 }
             }
         }
+        self.hash_relaxations += forward.relaxations + reverse.relaxations;
         min_dist
     }
 }

@@ -56,6 +56,7 @@ impl Ord for HeapEntry {
 /// The search takes an immutable snapshot of the grid via a shared borrow;
 /// location updates must not happen while an incremental search is alive
 /// (enforced by the borrow checker).
+#[derive(Debug)]
 pub struct IncrementalNn<'a> {
     grid: &'a UniformGrid,
     query: Point,

@@ -79,15 +79,27 @@ fn main() {
         result.stats.runtime
     );
 
-    // 5. The same request streamed: entries arrive in finalization order,
-    //    and the incremental-threshold property of AIS fixes most of them
-    //    before the search even completes.
-    let stream = session.stream(&request).expect("valid parameters");
-    println!(
-        "streaming: {} of {} entries were final before the search completed",
-        stream.finalized_early(),
-        stream.len()
-    );
+    // 5. The same request streamed, pull-lazily: each `next()` advances the
+    //    resumable AIS search only until the incremental threshold
+    //    finalizes another entry, so the first companion arrives after a
+    //    fraction of the full query work.
+    {
+        // The stream borrows the session (its context hosts the search
+        // state), so it lives in its own scope.
+        let mut stream = session.stream(&request).expect("valid parameters");
+        let first = stream.next().expect("the query has results");
+        let work_at_first = stream.stats().relaxed_edges;
+        let rest: Vec<_> = stream.by_ref().collect();
+        println!(
+            "streaming: first result (user {}) after {} of {} edge relaxations; \
+             {} of {} entries were final before the search completed",
+            first.user,
+            work_at_first,
+            stream.stats().relaxed_edges,
+            stream.finalized_early(),
+            1 + rest.len()
+        );
+    }
 
     // 6. The same query through the baseline algorithms returns the same
     //    users — only the amount of work differs.

@@ -23,8 +23,8 @@ pub use ssrq_spatial as spatial;
 pub mod prelude {
     pub use ssrq_core::{
         Algorithm, AlgorithmStrategy, ChBuild, EngineBuilder, GeoSocialEngine, QueryContext,
-        QueryRequest, QueryResult, QuerySession, QueryStream, RankedUser, SocialCachePlan,
-        StrategyRegistry,
+        QueryDriver, QueryRequest, QueryResult, QuerySession, QueryStream, RankedUser,
+        SocialCachePlan, StepOutcome, StrategyRegistry,
     };
     #[allow(deprecated)]
     pub use ssrq_core::{EngineConfig, QueryParams};

@@ -5,14 +5,19 @@
 //!   (connected or disconnected) weighted graphs with arbitrary partial
 //!   location assignments;
 //! * landmark lower bounds never exceed true distances;
-//! * the incremental spatial NN stream is sorted and complete.
+//! * the incremental spatial NN stream is sorted and complete;
+//! * the resumable query drivers tolerate arbitrary `step()` suspension
+//!   schedules, interleaved concurrent streams, and abandonment mid-search
+//!   without ever changing an already-finalized prefix or a later query.
 //!
 //! The cases are drawn from a seeded RNG (no external property-testing
 //! framework is available offline), so failures are reproducible: every
 //! assertion message carries the case number, and the generator for case
 //! `i` is fully determined by `BASE_SEED + i`.
 
-use geosocial_ssrq::core::{Algorithm, GeoSocialDataset, GeoSocialEngine, QueryRequest};
+use geosocial_ssrq::core::{
+    Algorithm, GeoSocialDataset, GeoSocialEngine, QueryRequest, StepOutcome,
+};
 use geosocial_ssrq::graph::{
     dijkstra_all, GraphBuilder, LandmarkSelection, LandmarkSet, SocialGraph,
 };
@@ -192,6 +197,191 @@ fn incremental_nn_is_sorted_and_complete() {
             .map(|(_, p)| p.distance(query))
             .fold(f64::INFINITY, f64::min);
         assert!((stream[0].distance - best).abs() < 1e-12, "case {case}");
+    }
+}
+
+/// The algorithms whose drivers are exercised by the pause/resume
+/// properties (no auxiliary-index requirements).
+const STREAMABLE: [Algorithm; 8] = [
+    Algorithm::Exhaustive,
+    Algorithm::Sfa,
+    Algorithm::Spa,
+    Algorithm::Tsa,
+    Algorithm::TsaQc,
+    Algorithm::AisBid,
+    Algorithm::AisMinus,
+    Algorithm::Ais,
+];
+
+#[test]
+fn driver_drains_are_stable_under_arbitrary_suspension_schedules() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64((BASE_SEED ^ 0x57E9) + case);
+        let dataset = arb_dataset(&mut rng);
+        let user = rng.gen_range(0..dataset.user_count()) as u32;
+        let k = rng.gen_range(1usize..8);
+        let alpha = rng.gen_range(0.05f64..0.95);
+        let algorithm = STREAMABLE[rng.gen_range(0..STREAMABLE.len())];
+        let engine = GeoSocialEngine::builder(dataset)
+            .granularity(3)
+            .landmarks(2)
+            .build()
+            .unwrap();
+        let request = QueryRequest::for_user(user)
+            .k(k)
+            .alpha(alpha)
+            .algorithm(algorithm)
+            .build()
+            .unwrap();
+        let expected = engine.run(&request).unwrap();
+
+        // Drive the raw state machine with a random schedule: bursts of
+        // steps separated by suspension points, draining at arbitrary
+        // moments.  Whatever the schedule, the concatenated drains must
+        // form a stable prefix of the final result.
+        let mut ctx = engine.make_context();
+        let mut driver = engine.begin_stream(&request, &mut ctx).unwrap();
+        let mut drained: Vec<_> = Vec::new();
+        let mut out = Vec::new();
+        loop {
+            let burst = rng.gen_range(0usize..5);
+            let mut complete = false;
+            for _ in 0..burst {
+                if let StepOutcome::Complete = driver.step() {
+                    complete = true;
+                    break;
+                }
+            }
+            if rng.gen_bool(0.7) {
+                out.clear();
+                driver.drain_finalized(&mut out);
+                // A drain after suspension never rewrites what was already
+                // drained — it only appends.
+                drained.extend(out.iter().copied());
+                assert_eq!(
+                    drained[..],
+                    expected.ranked[..drained.len()],
+                    "case {case}: {} drained a non-prefix under suspension",
+                    algorithm.name()
+                );
+            }
+            if complete {
+                break;
+            }
+        }
+        let result = driver.take_result().unwrap();
+        assert_eq!(
+            result.ranked,
+            expected.ranked,
+            "case {case}: {} step-driven result diverges from run()",
+            algorithm.name()
+        );
+        assert!(drained.len() <= result.ranked.len(), "case {case}");
+    }
+}
+
+#[test]
+fn interleaved_streams_on_two_sessions_yield_identical_results() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64((BASE_SEED ^ 0x1E8A) + case);
+        let dataset = arb_dataset(&mut rng);
+        let n = dataset.user_count() as u32;
+        let engine = GeoSocialEngine::builder(dataset)
+            .granularity(3)
+            .landmarks(2)
+            .build()
+            .unwrap();
+        let request_a = QueryRequest::for_user(rng.gen_range(0..n))
+            .k(rng.gen_range(1usize..8))
+            .alpha(rng.gen_range(0.05f64..0.95))
+            .algorithm(STREAMABLE[rng.gen_range(0..STREAMABLE.len())])
+            .build()
+            .unwrap();
+        let request_b = QueryRequest::for_user(rng.gen_range(0..n))
+            .k(rng.gen_range(1usize..8))
+            .alpha(rng.gen_range(0.05f64..0.95))
+            .algorithm(STREAMABLE[rng.gen_range(0..STREAMABLE.len())])
+            .build()
+            .unwrap();
+        let expected_a = engine.run(&request_a).unwrap();
+        let expected_b = engine.run(&request_b).unwrap();
+
+        // Two concurrent streams on two sessions, pulled in a random
+        // interleaving: each must deliver its own result untouched by the
+        // other's progress.
+        let mut session_a = engine.session();
+        let mut session_b = engine.session();
+        let mut stream_a = session_a.stream(&request_a).unwrap();
+        let mut stream_b = session_b.stream(&request_b).unwrap();
+        let mut got_a = Vec::new();
+        let mut got_b = Vec::new();
+        let (mut done_a, mut done_b) = (false, false);
+        while !(done_a && done_b) {
+            if !done_a && (done_b || rng.gen_bool(0.5)) {
+                match stream_a.next() {
+                    Some(entry) => got_a.push(entry),
+                    None => done_a = true,
+                }
+            } else if !done_b {
+                match stream_b.next() {
+                    Some(entry) => got_b.push(entry),
+                    None => done_b = true,
+                }
+            }
+        }
+        assert_eq!(got_a, expected_a.ranked, "case {case}: stream A diverged");
+        assert_eq!(got_b, expected_b.ranked, "case {case}: stream B diverged");
+    }
+}
+
+#[test]
+fn abandoned_streams_leave_later_queries_bit_identical() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64((BASE_SEED ^ 0xAB4D) + case);
+        let dataset = arb_dataset(&mut rng);
+        let n = dataset.user_count() as u32;
+        let engine = GeoSocialEngine::builder(dataset)
+            .granularity(3)
+            .landmarks(2)
+            .build()
+            .unwrap();
+        let abandoned = QueryRequest::for_user(rng.gen_range(0..n))
+            .k(rng.gen_range(1usize..8))
+            .alpha(rng.gen_range(0.05f64..0.95))
+            .algorithm(STREAMABLE[rng.gen_range(0..STREAMABLE.len())])
+            .build()
+            .unwrap();
+        let followup = QueryRequest::for_user(rng.gen_range(0..n))
+            .k(rng.gen_range(1usize..8))
+            .alpha(rng.gen_range(0.05f64..0.95))
+            .algorithm(STREAMABLE[rng.gen_range(0..STREAMABLE.len())])
+            .build()
+            .unwrap();
+        let baseline = engine.run(&followup).unwrap();
+
+        // Drop a stream mid-query (after a random number of pulls), then
+        // reuse the same session context for the follow-up query.
+        let mut session = engine.session();
+        {
+            let mut stream = session.stream(&abandoned).unwrap();
+            for _ in 0..rng.gen_range(0usize..4) {
+                if stream.next().is_none() {
+                    break;
+                }
+            }
+        }
+        let result = session.run(&followup).unwrap();
+        assert_eq!(
+            result.ranked, baseline.ranked,
+            "case {case}: an abandoned stream changed a later query"
+        );
+        // And an abandoned stream doesn't disturb a later *stream* either.
+        {
+            let mut stream = session.stream(&abandoned).unwrap();
+            let _ = stream.next();
+        }
+        let streamed: Vec<_> = session.stream(&followup).unwrap().collect();
+        assert_eq!(streamed, baseline.ranked, "case {case}");
     }
 }
 

@@ -212,11 +212,11 @@ fn streams_yield_the_full_result_in_rank_order() {
             .build()
             .unwrap();
         let expected = session.run(&request).unwrap();
-        let stream = session.stream(&request).unwrap();
-        assert_eq!(stream.len(), expected.ranked.len());
-        assert!(stream.finalized_early() <= expected.ranked.len());
-        let streamed: Vec<_> = stream.collect();
+        let mut stream = session.stream(&request).unwrap();
+        let streamed: Vec<_> = stream.by_ref().collect();
         assert_eq!(streamed, expected.ranked, "{}", algorithm.name());
+        assert!(stream.finalized_early() <= expected.ranked.len());
+        assert!(stream.error().is_none());
     }
 }
 
@@ -227,7 +227,7 @@ fn incremental_threshold_algorithms_finalize_results_before_completion() {
     let mut session = engine.session();
     // The exhaustive oracle can never finalize early (drain-after-complete).
     for &user in &workload.users {
-        let exh = session
+        let mut exh = session
             .stream(
                 &QueryRequest::for_user(user)
                     .k(10)
@@ -237,6 +237,8 @@ fn incremental_threshold_algorithms_finalize_results_before_completion() {
                     .unwrap(),
             )
             .unwrap();
+        let drained = exh.by_ref().count();
+        assert!(drained <= 10);
         assert_eq!(exh.finalized_early(), 0);
     }
     // The incremental-threshold methods do, on a typical workload (summed
@@ -245,7 +247,7 @@ fn incremental_threshold_algorithms_finalize_results_before_completion() {
         let mut finalized = 0usize;
         let mut total = 0usize;
         for &user in &workload.users {
-            let stream = session
+            let mut stream = session
                 .stream(
                     &QueryRequest::for_user(user)
                         .k(10)
@@ -255,8 +257,8 @@ fn incremental_threshold_algorithms_finalize_results_before_completion() {
                         .unwrap(),
                 )
                 .unwrap();
+            total += stream.by_ref().count();
             finalized += stream.finalized_early();
-            total += stream.len();
         }
         assert!(
             finalized > 0,
@@ -292,7 +294,7 @@ fn exhausted_streams_finalize_their_entire_result() {
         Algorithm::Tsa,
         Algorithm::Ais,
     ] {
-        let stream = session
+        let mut stream = session
             .stream(
                 &QueryRequest::for_user(0)
                     .k(5)
@@ -302,10 +304,11 @@ fn exhausted_streams_finalize_their_entire_result() {
                     .unwrap(),
             )
             .unwrap();
-        assert_eq!(stream.len(), 2, "{}", algorithm.name());
+        let drained = stream.by_ref().count();
+        assert_eq!(drained, 2, "{}", algorithm.name());
         assert_eq!(
             stream.finalized_early(),
-            stream.len(),
+            drained,
             "{} must finalize its whole result when the stream exhausts",
             algorithm.name()
         );
