@@ -8,7 +8,7 @@
 //! ```
 //!
 //! Experiments: `table2 table3 fig7a fig7b fig8 fig9 fig10 fig11 fig12
-//! fig13 fig14a fig14b ablation throughput latency all`.
+//! fig13 fig14a fig14b ablation throughput latency sharding all`.
 //!
 //! Flags: `--quick` (small datasets), `--full` (paper-scale datasets),
 //! `--scale <factor>`, `--queries <n>`, `--with-ch` (include the expensive
@@ -17,7 +17,7 @@
 use ssrq_bench::report::FigureReport;
 use ssrq_bench::{
     max_result_hops, measure_algorithm, measure_batch_qps, measure_prefix, measure_sequential_qps,
-    BenchDataset, Scale,
+    measure_sharding, BenchDataset, Scale,
 };
 use ssrq_core::{
     Algorithm, ChBuild, GeoSocialDataset, GeoSocialEngine, QueryRequest, SocialNeighborCache,
@@ -116,6 +116,7 @@ fn main() {
         "ablation" => ablation(&options),
         "throughput" => throughput(&options),
         "latency" => latency(&options),
+        "sharding" => sharding(&options),
         "all" => {
             table2(&options);
             table3();
@@ -132,6 +133,7 @@ fn main() {
             ablation(&options);
             throughput(&options);
             latency(&options);
+            sharding(&options);
         }
         other => {
             eprintln!("unknown experiment `{other}`");
@@ -763,6 +765,77 @@ fn latency(options: &Options) {
         report.push_cell("work@1", format!("{:.3}", first.work_ratio()));
     }
     print!("{}", report.render());
+}
+
+// ---------------------------------------------------------------------------
+// Sharding — scatter-gather throughput vs shard count
+// ---------------------------------------------------------------------------
+
+/// Beyond the paper: batch queries/second of the sharded scatter-gather
+/// layer as the shard count grows, for both partitioning policies, plus the
+/// shards-skipped-per-query counts from the coordinator's threshold /
+/// bounding-rect pruning.  The single-engine batch throughput on the same
+/// workload is the baseline every configuration is compared against.
+fn sharding(options: &Options) {
+    use ssrq_data::DatasetConfig;
+    use ssrq_shard::Partitioning;
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let dataset = DatasetConfig::gowalla_like(options.scale.gowalla_users).generate();
+    let workload = QueryWorkload::generate(&dataset, options.scale.queries, 0x5A4D);
+
+    // Baseline: the unpartitioned engine on the identical batch.
+    let single = GeoSocialEngine::builder(dataset.clone())
+        .build()
+        .expect("single engine builds");
+    let (baseline_ok, baseline_qps) = measure_batch_qps(
+        &single,
+        Algorithm::Ais,
+        &workload.users,
+        DEFAULT_K,
+        DEFAULT_ALPHA,
+        threads,
+    );
+
+    let mut report = FigureReport::new(
+        format!(
+            "Sharding — scatter-gather batch q/s vs shard count (gowalla-like, {} queries, {} worker threads; single-engine baseline {:.0} q/s)",
+            baseline_ok, threads, baseline_qps
+        ),
+        "shards",
+    );
+    for shards in [1usize, 2, 4, 8] {
+        report.push_x(shards);
+        for (label, policy) in [
+            ("hash", Partitioning::UserHash),
+            ("spatial", Partitioning::SpatialGrid { cells_per_axis: 16 }),
+        ] {
+            let m = measure_sharding(
+                &dataset,
+                policy,
+                shards,
+                &workload.users,
+                DEFAULT_K,
+                DEFAULT_ALPHA,
+                threads,
+            );
+            report.push_cell(&format!("{label} q/s"), format!("{:.0}", m.batch_qps));
+            report.push_cell(
+                &format!("{label} skipped/query"),
+                format!("{:.2}", m.avg_skipped_shards),
+            );
+            report.push_cell(
+                &format!("{label} build (ms)"),
+                format!("{:.0}", m.build_time.as_secs_f64() * 1e3),
+            );
+        }
+    }
+    print!("{}", report.render());
+    println!(
+        "(skipped/query counts shards the coordinator pruned via the running f_k threshold and the shard bounding rectangles — only the spatial policy has informative rectangles)"
+    );
 }
 
 // ---------------------------------------------------------------------------

@@ -11,6 +11,7 @@
 
 pub mod measure;
 pub mod report;
+pub mod sharding;
 pub mod suite;
 
 pub use measure::{
@@ -19,4 +20,5 @@ pub use measure::{
     ThroughputMeasurement,
 };
 pub use report::FigureReport;
+pub use sharding::{measure_sharding, ShardingMeasurement};
 pub use suite::{BenchDataset, Scale};

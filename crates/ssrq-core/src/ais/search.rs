@@ -136,7 +136,7 @@ impl<'a> AisDriver<'a> {
         dataset.check_user(request.user())?;
         let start = Instant::now();
         let ctx = RankingContext::new(dataset, request);
-        let query_location = dataset.location(request.user());
+        let query_location = request.resolved_origin(dataset);
         let query_vector: Vec<f64> = landmarks.vector(request.user()).to_vec();
         let mut driver = AisDriver {
             topk: TopK::for_request(request),

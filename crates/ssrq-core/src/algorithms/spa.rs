@@ -68,8 +68,8 @@ impl<'a> SpaDriver<'a> {
             ch: options.ch,
             ch_scratch: ch,
             social: IncrementalDijkstra::new(dataset.graph(), request.user(), social),
-            nn: dataset
-                .location(request.user())
+            nn: request
+                .resolved_origin(dataset)
                 .map(|loc| grid.nearest_neighbors(loc)),
             dataset,
             request: request.clone(),

@@ -115,8 +115,8 @@ impl<'a> TsaDriver<'a> {
         dataset.check_user(request.user())?;
         let start = Instant::now();
         let QueryContext { social, ch } = qctx;
-        let spatial = dataset
-            .location(request.user())
+        let spatial = request
+            .resolved_origin(dataset)
             .map(|loc| grid.nearest_neighbors(loc));
         Ok(TsaDriver {
             ctx: RankingContext::new(dataset, request),

@@ -155,6 +155,37 @@ impl GeoSocialDataset {
         p / self.social_norm
     }
 
+    /// Returns a dataset over the **same social graph** in which only users
+    /// accepted by `keep` retain their location, while the bounding
+    /// rectangle and both normalization constants are **inherited** from
+    /// `self`.
+    ///
+    /// This is the shard-construction primitive of a partitioned
+    /// deployment: each shard holds the full graph (social distances are
+    /// global) but only its residents' locations, and because the
+    /// normalization constants are shared, a score computed on any shard is
+    /// bit-identical to the score the unpartitioned dataset produces —
+    /// which is what makes an exact cross-shard top-k merge possible.
+    ///
+    /// Unlike [`GeoSocialDataset::new`], the restricted dataset may hold
+    /// **zero** located users (an empty shard answers every query with an
+    /// empty result).
+    pub fn restrict_locations(&self, mut keep: impl FnMut(UserId) -> bool) -> GeoSocialDataset {
+        let locations = self
+            .locations
+            .iter()
+            .enumerate()
+            .map(|(u, p)| if keep(u as UserId) { *p } else { None })
+            .collect();
+        GeoSocialDataset {
+            graph: self.graph.clone(),
+            locations,
+            bounds: self.bounds,
+            spatial_norm: self.spatial_norm,
+            social_norm: self.social_norm,
+        }
+    }
+
     /// Replaces the location of `user` (the "last reported location" of the
     /// problem setting).  Passing `None` removes the location.
     ///
@@ -298,6 +329,25 @@ mod tests {
         assert!(ds
             .set_location(1, Some(Point::new(f64::INFINITY, 0.0)))
             .is_err());
+    }
+
+    #[test]
+    fn restrict_locations_inherits_normalization_and_allows_empty_shards() {
+        let ds = sample_dataset();
+        let shard = ds.restrict_locations(|u| u == 1);
+        assert_eq!(shard.user_count(), ds.user_count());
+        assert_eq!(shard.located_user_count(), 1);
+        assert_eq!(shard.location(1), ds.location(1));
+        assert_eq!(shard.location(0), None);
+        // Normalization constants and bounds come from the parent, not from
+        // the restricted location set — shard-side scores stay bit-identical.
+        assert_eq!(shard.spatial_norm(), ds.spatial_norm());
+        assert_eq!(shard.social_norm(), ds.social_norm());
+        assert_eq!(shard.bounds(), ds.bounds());
+        // A shard may end up with no located users at all.
+        let empty = ds.restrict_locations(|_| false);
+        assert_eq!(empty.located_user_count(), 0);
+        assert_eq!(empty.spatial_norm(), ds.spatial_norm());
     }
 
     #[test]

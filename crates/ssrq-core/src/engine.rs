@@ -921,6 +921,18 @@ impl GeoSocialEngine {
     /// Reports a new location for `user`, updating the dataset, the SPA/TSA
     /// grid and the AIS index (including its social summaries) — the
     /// location-update path of §5.1.
+    ///
+    /// # Auxiliary-index staleness
+    ///
+    /// The lazily-built Contraction Hierarchies index and the pre-computed
+    /// social neighbour cache are functions of the **social graph only**
+    /// (shortcuts and socially-closest lists never read a location), so
+    /// location churn cannot invalidate them — whether they were built
+    /// before or after the update.  `tests/dynamic_updates.rs` pins this
+    /// down by checking `*-CH` and `AIS-Cache` queries against the
+    /// exhaustive oracle across churn interleaved with lazy index builds.
+    /// Any future mutation that *does* touch the graph (edge insertion,
+    /// re-weighting) must reset the `OnceLock`-held indexes.
     pub fn update_location(&mut self, user: UserId, location: Point) -> Result<(), CoreError> {
         self.dataset.check_user(user)?;
         if !location.is_finite() {
@@ -938,6 +950,11 @@ impl GeoSocialEngine {
 
     /// Removes the location of `user` (the user becomes "infinitely far" in
     /// the spatial domain).
+    ///
+    /// Like [`GeoSocialEngine::update_location`], this refreshes every
+    /// location-dependent index and leaves the graph-only auxiliary indexes
+    /// (CH, social cache) untouched — they cannot go stale under location
+    /// churn.
     pub fn remove_location(&mut self, user: UserId) -> Result<(), CoreError> {
         self.dataset.check_user(user)?;
         if self.dataset.location(user).is_some() {

@@ -1,4 +1,5 @@
 use crate::{GeoSocialDataset, QueryRequest, UserId};
+use ssrq_spatial::Point;
 
 /// Combines a normalized social distance and a normalized spatial distance
 /// into the SSRQ ranking value `f = α · p + (1 − α) · d` (Equation 1 of the
@@ -23,15 +24,21 @@ pub fn combine(alpha: f64, social_norm: f64, spatial_norm: f64) -> f64 {
 pub struct RankingContext<'a> {
     dataset: &'a GeoSocialDataset,
     query_user: UserId,
+    /// The resolved spatial origin (request override, else the stored
+    /// location); `None` when neither exists — every spatial distance is
+    /// then infinite.
+    origin: Option<Point>,
     alpha: f64,
 }
 
 impl<'a> RankingContext<'a> {
-    /// Creates a ranking context for one query.
+    /// Creates a ranking context for one query, resolving the spatial
+    /// origin once (see [`QueryRequest::resolved_origin`]).
     pub fn new(dataset: &'a GeoSocialDataset, request: &QueryRequest) -> Self {
         RankingContext {
             dataset,
             query_user: request.user(),
+            origin: request.resolved_origin(dataset),
             alpha: request.alpha(),
         }
     }
@@ -51,11 +58,19 @@ impl<'a> RankingContext<'a> {
         self.alpha
     }
 
-    /// Normalized spatial distance between the query user and `other`
+    /// The resolved spatial origin of the query.
+    pub fn origin(&self) -> Option<Point> {
+        self.origin
+    }
+
+    /// Normalized spatial distance between the query origin and `other`
     /// (`INFINITY` when either location is missing).
     #[inline]
     pub fn spatial(&self, other: UserId) -> f64 {
-        self.dataset.spatial_distance(self.query_user, other)
+        match (self.origin, self.dataset.location(other)) {
+            (Some(origin), Some(p)) => origin.distance(p) / self.dataset.spatial_norm(),
+            _ => f64::INFINITY,
+        }
     }
 
     /// Normalizes a raw social distance.

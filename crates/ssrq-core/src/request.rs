@@ -9,7 +9,7 @@
 //! field.
 
 use crate::{Algorithm, CoreError, GeoSocialDataset, UserId};
-use ssrq_spatial::Rect;
+use ssrq_spatial::{Point, Rect};
 use std::collections::HashSet;
 
 /// Names the algorithm a request should run with: one of the twelve
@@ -77,6 +77,7 @@ pub struct QueryRequest {
     k: usize,
     alpha: f64,
     algorithm: AlgorithmSpec,
+    origin: Option<Point>,
     within: Option<Rect>,
     exclude: HashSet<UserId>,
     max_score: Option<f64>,
@@ -94,6 +95,7 @@ impl QueryRequest {
                 k: 10,
                 alpha: 0.3,
                 algorithm: AlgorithmSpec::Builtin(Algorithm::Ais),
+                origin: None,
                 within: None,
                 exclude: HashSet::new(),
                 max_score: None,
@@ -122,6 +124,28 @@ impl QueryRequest {
         &self.algorithm
     }
 
+    /// The spatial-origin override, when set: the point spatial distances
+    /// are measured from instead of the query user's *stored* location.
+    pub fn origin(&self) -> Option<Point> {
+        self.origin
+    }
+
+    /// The spatial origin this request is evaluated from: the explicit
+    /// [`QueryRequest::origin`] override when set, otherwise the query
+    /// user's stored location in `dataset` (`None` when neither exists —
+    /// every candidate then sits at infinite spatial distance).
+    ///
+    /// Every algorithm resolves the origin through this method, which is
+    /// what lets a sharded deployment evaluate a query on an engine whose
+    /// partition does not hold the query user's location: the coordinator
+    /// resolves the location once (from the owning shard) and broadcasts it
+    /// as the override, and the per-shard computations stay bit-identical
+    /// to a single engine holding all locations.
+    #[inline]
+    pub fn resolved_origin(&self, dataset: &GeoSocialDataset) -> Option<Point> {
+        self.origin.or_else(|| dataset.location(self.user))
+    }
+
     /// The spatial filter window, when set: only users currently located
     /// inside this rectangle are admissible.
     pub fn within(&self) -> Option<Rect> {
@@ -144,6 +168,34 @@ impl QueryRequest {
     /// methods (see [`GeoSocialEngine::run_each`](crate::GeoSocialEngine::run_each)).
     pub fn with_algorithm(mut self, algorithm: impl Into<AlgorithmSpec>) -> Self {
         self.algorithm = algorithm.into();
+        self
+    }
+
+    /// Returns a copy of the request with the spatial origin pinned to
+    /// `origin` (see [`QueryRequest::resolved_origin`]).  Used by the
+    /// sharded coordinator to broadcast the query user's location to
+    /// engines whose partition does not hold it.
+    pub fn with_origin(mut self, origin: Point) -> Self {
+        self.origin = Some(origin);
+        self
+    }
+
+    /// Returns a copy of the request whose score cutoff is the *tighter* of
+    /// the existing [`QueryRequest::max_score`] and `cutoff` — the admission
+    /// bound a scatter-gather coordinator forwards to later shards once it
+    /// holds `k` gathered results (candidates scoring at or above the
+    /// current global `f_k` can no longer enter the merged top-k, exactly
+    /// as [`TopK::consider`](crate::TopK::consider) would reject them).
+    ///
+    /// Non-finite or non-positive cutoffs are ignored (a cutoff of `0` or
+    /// below would reject every candidate, which no interim `f_k` implies).
+    pub fn with_max_score_at_most(mut self, cutoff: f64) -> Self {
+        if cutoff.is_finite() && cutoff > 0.0 {
+            self.max_score = Some(match self.max_score {
+                Some(existing) => existing.min(cutoff),
+                None => cutoff,
+            });
+        }
         self
     }
 
@@ -202,6 +254,13 @@ impl QueryRequest {
                 )));
             }
         }
+        if let Some(origin) = self.origin {
+            if !origin.is_finite() {
+                return Err(CoreError::InvalidParameter(format!(
+                    "non-finite query origin {origin}"
+                )));
+            }
+        }
         Ok(())
     }
 }
@@ -242,6 +301,15 @@ impl QueryRequestBuilder {
     /// strategy name).
     pub fn algorithm(mut self, algorithm: impl Into<AlgorithmSpec>) -> Self {
         self.request.algorithm = algorithm.into();
+        self
+    }
+
+    /// Pins the spatial origin the query is evaluated from, overriding the
+    /// query user's stored location — e.g. the live position reported by
+    /// the user's device, or the location a sharded coordinator broadcasts
+    /// to partitions that do not hold the query user.
+    pub fn origin(mut self, origin: Point) -> Self {
+        self.request.origin = Some(origin);
         self
     }
 
@@ -350,6 +418,53 @@ mod tests {
             .unwrap();
         assert!(!filtered.admits(&ds, 1)); // excluded (and outside anyway)
         assert!(!filtered.admits(&ds, 2)); // no location => fails the window
+    }
+
+    #[test]
+    fn origin_override_resolves_before_the_stored_location() {
+        let ds = dataset();
+        let stored = QueryRequest::for_user(0).build().unwrap();
+        assert_eq!(stored.origin(), None);
+        assert_eq!(stored.resolved_origin(&ds), Some(Point::new(0.1, 0.1)));
+        let pinned = QueryRequest::for_user(0)
+            .origin(Point::new(0.4, 0.6))
+            .build()
+            .unwrap();
+        assert_eq!(pinned.resolved_origin(&ds), Some(Point::new(0.4, 0.6)));
+        // User 2 has no stored location: the override is the only origin.
+        let unlocated = QueryRequest::for_user(2).build().unwrap();
+        assert_eq!(unlocated.resolved_origin(&ds), None);
+        assert!(QueryRequest::for_user(0)
+            .origin(Point::new(f64::NAN, 0.0))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn max_score_at_most_only_tightens() {
+        let request = QueryRequest::for_user(0).build().unwrap();
+        assert_eq!(
+            request.clone().with_max_score_at_most(0.7).max_score(),
+            Some(0.7)
+        );
+        let capped = QueryRequest::for_user(0).max_score(0.5).build().unwrap();
+        assert_eq!(
+            capped.clone().with_max_score_at_most(0.7).max_score(),
+            Some(0.5)
+        );
+        assert_eq!(
+            capped.clone().with_max_score_at_most(0.2).max_score(),
+            Some(0.2)
+        );
+        // Degenerate cutoffs (no interim f_k implies them) are ignored.
+        assert_eq!(
+            capped.clone().with_max_score_at_most(0.0).max_score(),
+            Some(0.5)
+        );
+        assert_eq!(
+            capped.with_max_score_at_most(f64::INFINITY).max_score(),
+            Some(0.5)
+        );
     }
 
     #[test]

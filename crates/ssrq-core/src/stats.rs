@@ -66,6 +66,32 @@ impl QueryStats {
     /// algorithm falls back to another, e.g. the pre-computation method
     /// falling back to AIS).
     pub fn absorb(&mut self, other: &QueryStats) {
+        self.add_work(other);
+        self.runtime += other.runtime;
+    }
+
+    /// Merges the counters of a query that ran **concurrently** with this
+    /// one — the aggregation a scatter-gather coordinator applies over its
+    /// per-shard searches.
+    ///
+    /// The semantics differ from [`QueryStats::absorb`] (sequential
+    /// composition) in one place: `runtime` becomes the **maximum** of the
+    /// two, because parallel searches overlap on the wall clock and the
+    /// slowest shard bounds the gathered query's latency.  Every *work*
+    /// counter still sums — total pops, evaluations, distance calls and
+    /// `relaxed_edges` measure machine effort, which is additive across
+    /// workers.  `streamable_results` also sums: each shard's finalized
+    /// entries were final under that shard's own threshold, and the
+    /// cross-shard streaming merge can emit an entry as soon as every
+    /// shard's bound passes it, so the per-shard counts add up to the
+    /// entries deliverable before full completion (capped at `k` by the
+    /// merge itself).
+    pub fn merge(&mut self, other: &QueryStats) {
+        self.add_work(other);
+        self.runtime = self.runtime.max(other.runtime);
+    }
+
+    fn add_work(&mut self, other: &QueryStats) {
         self.vertex_pops += other.vertex_pops;
         self.social_pops += other.social_pops;
         self.spatial_pops += other.spatial_pops;
@@ -76,7 +102,6 @@ impl QueryStats {
         self.delayed_reinsertions += other.delayed_reinsertions;
         self.relaxed_edges += other.relaxed_edges;
         self.streamable_results += other.streamable_results;
-        self.runtime += other.runtime;
     }
 }
 
@@ -123,6 +148,68 @@ mod tests {
         assert_eq!(a.relaxed_edges, 22);
         assert_eq!(a.streamable_results, 4);
         assert_eq!(a.runtime, Duration::from_millis(20));
+    }
+
+    #[test]
+    fn merge_sums_work_but_takes_the_runtime_maximum() {
+        let mut a = QueryStats {
+            vertex_pops: 9,
+            social_pops: 1,
+            relaxed_edges: 11,
+            streamable_results: 2,
+            runtime: Duration::from_millis(10),
+            ..QueryStats::default()
+        };
+        let b = QueryStats {
+            vertex_pops: 4,
+            social_pops: 6,
+            relaxed_edges: 3,
+            streamable_results: 5,
+            runtime: Duration::from_millis(25),
+            ..QueryStats::default()
+        };
+        a.merge(&b);
+        // Work counters are additive across concurrent searches...
+        assert_eq!(a.vertex_pops, 13);
+        assert_eq!(a.social_pops, 7);
+        assert_eq!(a.relaxed_edges, 14);
+        assert_eq!(a.streamable_results, 7);
+        // ...but overlapping wall-clock is bounded by the slowest worker.
+        assert_eq!(a.runtime, Duration::from_millis(25));
+        // Merging a faster worker leaves the runtime untouched.
+        a.merge(&QueryStats {
+            runtime: Duration::from_millis(1),
+            ..QueryStats::default()
+        });
+        assert_eq!(a.runtime, Duration::from_millis(25));
+    }
+
+    #[test]
+    fn merge_and_absorb_agree_on_everything_but_runtime() {
+        let sample = QueryStats {
+            vertex_pops: 3,
+            evaluated_users: 2,
+            distance_calls: 7,
+            cache_hits: 1,
+            delayed_reinsertions: 4,
+            index_pops: 5,
+            spatial_pops: 6,
+            relaxed_edges: 8,
+            streamable_results: 1,
+            runtime: Duration::from_millis(5),
+            social_pops: 9,
+        };
+        let mut merged = sample;
+        merged.merge(&sample);
+        let mut absorbed = sample;
+        absorbed.absorb(&sample);
+        let strip = |mut s: QueryStats| {
+            s.runtime = Duration::ZERO;
+            s
+        };
+        assert_eq!(strip(merged), strip(absorbed));
+        assert_eq!(merged.runtime, Duration::from_millis(5));
+        assert_eq!(absorbed.runtime, Duration::from_millis(10));
     }
 
     #[test]

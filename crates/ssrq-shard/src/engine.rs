@@ -1,0 +1,621 @@
+//! The sharded scatter-gather engine.
+
+use crate::partition::{AssignmentState, Partitioning};
+use crate::stats::{ShardOutcome, ShardStats};
+use ssrq_core::{
+    combine, AlgorithmStrategy, CoreError, EngineBuilder, GeoSocialDataset, GeoSocialEngine,
+    QueryContext, QueryRequest, QueryResult, RankedUser, TopK, UserId,
+};
+use ssrq_spatial::{Point, Rect};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One partition: a full [`GeoSocialEngine`] over the shared social graph
+/// and this shard's resident locations, plus the conservative bounding
+/// rectangle of those locations.
+#[derive(Debug, Clone)]
+pub(crate) struct Shard {
+    pub(crate) engine: GeoSocialEngine,
+    /// Bounding rectangle of the shard's resident locations — grown on
+    /// every insert, never shrunk on removal (so it stays a sound
+    /// lower-bound region without O(n) maintenance), re-tightened by
+    /// [`ShardedEngine::rebalance`].
+    pub(crate) rect: Option<Rect>,
+}
+
+/// Fluent construction of a [`ShardedEngine`]; see
+/// [`ShardedEngine::builder`].
+pub struct ShardedEngineBuilder {
+    dataset: GeoSocialDataset,
+    shards: usize,
+    partitioning: Partitioning,
+    #[allow(clippy::type_complexity)]
+    configure: Option<Box<dyn Fn(EngineBuilder) -> EngineBuilder + Send + Sync>>,
+}
+
+impl std::fmt::Debug for ShardedEngineBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedEngineBuilder")
+            .field("shards", &self.shards)
+            .field("partitioning", &self.partitioning)
+            .finish()
+    }
+}
+
+impl ShardedEngineBuilder {
+    /// Sets the number of shards (default 2).
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n;
+        self
+    }
+
+    /// Sets the partitioning policy (default
+    /// [`Partitioning::SpatialGrid`] with 16 cells per axis).
+    pub fn partitioning(mut self, policy: Partitioning) -> Self {
+        self.partitioning = policy;
+        self
+    }
+
+    /// Customizes every per-shard [`EngineBuilder`] (index parameters,
+    /// lazy auxiliary indexes, …).  The closure runs once per shard.
+    pub fn configure_engines(
+        mut self,
+        configure: impl Fn(EngineBuilder) -> EngineBuilder + Send + Sync + 'static,
+    ) -> Self {
+        self.configure = Some(Box::new(configure));
+        self
+    }
+
+    /// Partitions the dataset and builds one engine per shard.
+    ///
+    /// Every shard holds the **full social graph** (a replica — social
+    /// distances are global) but only its residents' locations; the
+    /// bounding rectangle and both normalization constants are inherited
+    /// from the unpartitioned dataset
+    /// ([`GeoSocialDataset::restrict_locations`]), so per-shard scores are
+    /// bit-identical to the single-engine scores and the coordinator's
+    /// merge is exact.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] for zero shards or a zero-resolution
+    /// spatial tiling; otherwise whatever the per-shard
+    /// [`EngineBuilder::build`] reports.
+    pub fn build(self) -> Result<ShardedEngine, CoreError> {
+        if self.shards == 0 {
+            return Err(CoreError::InvalidParameter(
+                "a sharded engine needs at least one shard".into(),
+            ));
+        }
+        if let Partitioning::SpatialGrid { cells_per_axis } = self.partitioning {
+            if cells_per_axis == 0 {
+                return Err(CoreError::InvalidParameter(
+                    "spatial partitioning needs at least one cell per axis".into(),
+                ));
+            }
+        }
+        let n = self.shards;
+        let state = match self.partitioning {
+            Partitioning::UserHash => AssignmentState::Hash,
+            Partitioning::SpatialGrid { cells_per_axis } => {
+                let bounds = self.dataset.bounds();
+                let mut loads = vec![0usize; (cells_per_axis as usize).pow(2)];
+                for (_, p) in self.dataset.located_users() {
+                    loads[AssignmentState::cell_of(bounds, cells_per_axis, p)] += 1;
+                }
+                AssignmentState::Spatial {
+                    bounds,
+                    cells_per_axis,
+                    cell_to_shard: crate::partition::pack_cells(&loads, cells_per_axis, n),
+                }
+            }
+        };
+        let owner: Vec<u32> = (0..self.dataset.user_count() as UserId)
+            .map(|u| state.owner_for(u, self.dataset.location(u), n) as u32)
+            .collect();
+        let mut shards = Vec::with_capacity(n);
+        for s in 0..n {
+            let shard_dataset = self
+                .dataset
+                .restrict_locations(|u| owner[u as usize] as usize == s);
+            let rect = Rect::bounding(shard_dataset.located_users().map(|(_, p)| p));
+            let builder = GeoSocialEngine::builder(shard_dataset);
+            let builder = match &self.configure {
+                Some(configure) => configure(builder),
+                None => builder,
+            };
+            shards.push(Shard {
+                engine: builder.build()?,
+                rect,
+            });
+        }
+        Ok(ShardedEngine {
+            shards,
+            owner,
+            state,
+            partitioning: self.partitioning,
+        })
+    }
+}
+
+/// What one [`ShardedEngine::rebalance`] pass did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RebalanceReport {
+    /// Users migrated between shards.
+    pub moved_users: usize,
+    /// Located users per shard after the pass.
+    pub occupancy: Vec<usize>,
+}
+
+/// A horizontally partitioned SSRQ serving engine.
+///
+/// `ShardedEngine` partitions a [`GeoSocialDataset`] across N
+/// [`GeoSocialEngine`]s (see [`Partitioning`]) and answers any
+/// [`QueryRequest`] by **scatter-gather**: the request — with the query
+/// user's location resolved once and broadcast as the request
+/// [`origin`](QueryRequest::origin) — fans out to the shards, each runs its
+/// ordinary bounded top-k over its residents, and the coordinator merges
+/// the per-shard results into an answer whose ranked list is identical to
+/// the unpartitioned engine's for every algorithm.
+///
+/// The coordinator is *bounded*, not just correct:
+///
+/// * shards are visited in ascending order of their best possible score
+///   (`(1 − α) · mindist(origin, shard rect) / norm`), and a shard whose
+///   bound cannot beat the running threshold is **skipped** outright;
+/// * once `k` results are gathered, the running `f_k` is forwarded to
+///   later/lagging shards through the request's
+///   [`max_score`](QueryRequest::max_score) admission cutoff, so their
+///   searches terminate early exactly like a single engine whose interim
+///   result is already that good.
+///
+/// **Exactness.**  Each shard's result is the exact top-k over its own
+/// residents with globally normalized scores (the shard datasets inherit
+/// the unpartitioned normalization constants), and every candidate a skip
+/// or forwarded cutoff discards scores at least the interim `f_k` — which
+/// never falls below the final `f_k`, so [`TopK`] would reject the
+/// candidate at gather time anyway.  The merged list is therefore the
+/// global top-k; on exact score ties at the `k`-boundary the merge keeps
+/// the lexicographically smallest `(score, user)` entries (real-valued
+/// scores make such ties measure-zero).
+#[derive(Debug, Clone)]
+pub struct ShardedEngine {
+    pub(crate) shards: Vec<Shard>,
+    /// Owning shard per user id.
+    owner: Vec<u32>,
+    state: AssignmentState,
+    partitioning: Partitioning,
+}
+
+// Queries take `&self` (scatter state is per-call); all mutation goes
+// through `&mut self` routing — same contract as `GeoSocialEngine`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ShardedEngine>();
+};
+
+/// Coordinator-side gather state shared by the scatter workers.
+struct Gather {
+    /// Running interim result; used **only** for the threshold `f_k` (the
+    /// final ranked list is rebuilt deterministically from `entries`, so
+    /// worker scheduling cannot reorder tie-breaks).
+    topk: TopK,
+    entries: Vec<RankedUser>,
+    outcomes: Vec<Option<ShardOutcome>>,
+    error: Option<CoreError>,
+}
+
+impl ShardedEngine {
+    /// Starts fluent construction over `dataset`.
+    pub fn builder(dataset: GeoSocialDataset) -> ShardedEngineBuilder {
+        ShardedEngineBuilder {
+            dataset,
+            shards: 2,
+            partitioning: Partitioning::default(),
+            configure: None,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The partitioning policy in effect.
+    pub fn partitioning(&self) -> Partitioning {
+        self.partitioning
+    }
+
+    /// The engine serving shard `s`.
+    pub fn shard_engine(&self, s: usize) -> &GeoSocialEngine {
+        &self.shards[s].engine
+    }
+
+    /// The conservative bounding rectangle of shard `s`'s resident
+    /// locations (`None` for a shard without located residents).
+    pub fn shard_rect(&self, s: usize) -> Option<Rect> {
+        self.shards[s].rect
+    }
+
+    /// The shard currently owning `user`.
+    pub fn owner_of(&self, user: UserId) -> Option<usize> {
+        self.owner.get(user as usize).map(|&s| s as usize)
+    }
+
+    /// Total number of users (identical on every shard — the graph is
+    /// replicated).
+    pub fn user_count(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// The current location of `user`, resolved through the owning shard.
+    pub fn location(&self, user: UserId) -> Option<Point> {
+        let s = self.owner_of(user)?;
+        self.shards[s].engine.dataset().location(user)
+    }
+
+    /// Located residents per shard (O(1) per shard, via the grid sizes).
+    pub fn occupancy(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.engine.grid().len()).collect()
+    }
+
+    /// Registers a custom [`AlgorithmStrategy`] on **every** shard engine,
+    /// so scatter-gather queries can request it by name like any built-in.
+    pub fn register_strategy(&mut self, strategy: Arc<dyn AlgorithmStrategy>) {
+        for shard in &mut self.shards {
+            shard.engine.register_strategy(Arc::clone(&strategy));
+        }
+    }
+
+    /// A [`ShardedSession`](crate::ShardedSession): per-worker handle with
+    /// one reusable [`QueryContext`] per shard and cross-shard streaming.
+    pub fn session(&self) -> crate::ShardedSession<'_> {
+        crate::ShardedSession::new(self)
+    }
+
+    /// Processes one request by parallel scatter-gather; see the type-level
+    /// docs for the coordinator's bounding and the exactness argument.
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`GeoSocialEngine::run`]; a per-shard failure fails
+    /// the query.
+    pub fn run(&self, request: &QueryRequest) -> Result<QueryResult, CoreError> {
+        self.run_with_stats(request).map(|(result, _)| result)
+    }
+
+    /// [`ShardedEngine::run`] plus the coordinator's [`ShardStats`]
+    /// (per-shard work, skip decisions, gather wall-clock).
+    pub fn run_with_stats(
+        &self,
+        request: &QueryRequest,
+    ) -> Result<(QueryResult, ShardStats), CoreError> {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.run_with_stats_threads(request, threads)
+    }
+
+    /// [`ShardedEngine::run_with_stats`] with an explicit scatter width.
+    ///
+    /// `threads = 1` visits the shards *sequentially* in best-first order,
+    /// which maximizes what the threshold forwarding and rect pruning can
+    /// skip (each shard sees the `f_k` of everything gathered so far) —
+    /// the mode the per-query workers of [`ShardedEngine::run_batch`] use,
+    /// and the right mode for measuring skip rates.  Wider scatters trade
+    /// pruning opportunity for per-query latency.
+    pub fn run_with_stats_threads(
+        &self,
+        request: &QueryRequest,
+        threads: usize,
+    ) -> Result<(QueryResult, ShardStats), CoreError> {
+        let threads = threads.clamp(1, self.shards.len());
+        let mut contexts: Vec<QueryContext> = (0..threads).map(|_| self.make_context()).collect();
+        self.scatter(request, &mut contexts)
+    }
+
+    /// A query context sized for the (replicated) social graph; reusable
+    /// across shards — the scratch resets per search.
+    pub fn make_context(&self) -> QueryContext {
+        QueryContext::with_capacity(self.user_count())
+    }
+
+    /// Processes a batch of requests in parallel across worker threads
+    /// (queries are the unit of parallelism; each query visits its shards
+    /// sequentially in best-first order, which maximizes the threshold
+    /// pruning).  Results arrive in input order; per-element errors are
+    /// reported in place.
+    pub fn run_batch(&self, batch: &[QueryRequest]) -> Vec<Result<QueryResult, CoreError>> {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.run_batch_with_threads(batch, threads)
+    }
+
+    /// [`ShardedEngine::run_batch`] with an explicit worker count.
+    pub fn run_batch_with_threads(
+        &self,
+        batch: &[QueryRequest],
+        threads: usize,
+    ) -> Vec<Result<QueryResult, CoreError>> {
+        let threads = threads.min(batch.len());
+        if threads <= 1 {
+            let mut ctx = vec![self.make_context()];
+            return batch
+                .iter()
+                .map(|request| self.scatter(request, &mut ctx).map(|(r, _)| r))
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut results: Vec<(usize, Result<QueryResult, CoreError>)> =
+            Vec::with_capacity(batch.len());
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut ctx = vec![self.make_context()];
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(request) = batch.get(i) else { break };
+                            local.push((i, self.scatter(request, &mut ctx).map(|(r, _)| r)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for worker in workers {
+                results.extend(worker.join().expect("sharded batch worker panicked"));
+            }
+        });
+        results.sort_unstable_by_key(|&(i, _)| i);
+        results.into_iter().map(|(_, result)| result).collect()
+    }
+
+    /// Routes a location report to the owning shard, migrating the user
+    /// when the partitioning policy moves ownership with the location
+    /// (spatial tiling: a move across a cell boundary changes shards; hash
+    /// partitioning never migrates).
+    pub fn update_location(&mut self, user: UserId, location: Point) -> Result<(), CoreError> {
+        self.shards[0].engine.dataset().check_user(user)?;
+        if !location.is_finite() {
+            return Err(CoreError::InvalidParameter(format!(
+                "non-finite location {location}"
+            )));
+        }
+        let n = self.shards.len();
+        let new_owner = self.state.owner_for(user, Some(location), n);
+        let old_owner = self.owner[user as usize] as usize;
+        if new_owner != old_owner {
+            self.shards[old_owner].engine.remove_location(user)?;
+            self.owner[user as usize] = new_owner as u32;
+        }
+        self.shards[new_owner]
+            .engine
+            .update_location(user, location)?;
+        let shard = &mut self.shards[new_owner];
+        shard.rect = Some(match shard.rect {
+            Some(rect) => rect.including(location),
+            None => Rect::new(location, location),
+        });
+        Ok(())
+    }
+
+    /// Routes a location removal to the owning shard (ownership is
+    /// retained — an unlocated user is re-routed on their next report).
+    pub fn remove_location(&mut self, user: UserId) -> Result<(), CoreError> {
+        self.shards[0].engine.dataset().check_user(user)?;
+        let owner = self.owner[user as usize] as usize;
+        self.shards[owner].engine.remove_location(user)
+    }
+
+    /// Re-partitions for the **current** locations and tightens every
+    /// shard's bounding rectangle.
+    ///
+    /// Under [`Partitioning::SpatialGrid`] the cells are re-packed
+    /// (heaviest cell to the least-loaded shard) and users whose cell
+    /// moved are migrated — the skew-repair pass for datasets whose
+    /// population drifted since construction.  Under
+    /// [`Partitioning::UserHash`] ownership is already stable and balanced,
+    /// so only the rectangles are re-tightened (updates grow them
+    /// conservatively and removals never shrink them).
+    pub fn rebalance(&mut self) -> RebalanceReport {
+        let n = self.shards.len();
+        let located: Vec<(UserId, Point)> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.engine.dataset().located_users().collect::<Vec<_>>())
+            .collect();
+        if let AssignmentState::Spatial {
+            bounds,
+            cells_per_axis,
+            cell_to_shard,
+        } = &mut self.state
+        {
+            let mut loads = vec![0usize; (*cells_per_axis as usize).pow(2)];
+            for &(_, p) in &located {
+                loads[AssignmentState::cell_of(*bounds, *cells_per_axis, p)] += 1;
+            }
+            *cell_to_shard = crate::partition::pack_cells(&loads, *cells_per_axis, n);
+        }
+        let mut moved_users = 0usize;
+        for (user, p) in located {
+            let new_owner = self.state.owner_for(user, Some(p), n);
+            let old_owner = self.owner[user as usize] as usize;
+            if new_owner != old_owner {
+                self.shards[old_owner]
+                    .engine
+                    .remove_location(user)
+                    .expect("migrating a resident user");
+                self.shards[new_owner]
+                    .engine
+                    .update_location(user, p)
+                    .expect("migrating a resident user");
+                self.owner[user as usize] = new_owner as u32;
+                moved_users += 1;
+            }
+        }
+        for shard in &mut self.shards {
+            shard.rect = Rect::bounding(shard.engine.dataset().located_users().map(|(_, p)| p));
+        }
+        RebalanceReport {
+            moved_users,
+            occupancy: self.occupancy(),
+        }
+    }
+
+    /// Lower bound on the score any admissible resident of `shard` can
+    /// achieve: `(1 − α) · mindist(origin, rect) / norm` — `INFINITY` for
+    /// an empty shard, an unlocated origin, or a bounding rectangle
+    /// disjoint from the request's spatial filter window.
+    pub(crate) fn shard_lower_bound(
+        &self,
+        shard: &Shard,
+        request: &QueryRequest,
+        origin: Option<Point>,
+    ) -> f64 {
+        let (Some(origin), Some(rect)) = (origin, shard.rect) else {
+            return f64::INFINITY;
+        };
+        if let Some(window) = request.within() {
+            if !rect.intersects(&window) {
+                return f64::INFINITY;
+            }
+        }
+        let dataset = self.shards[0].engine.dataset();
+        let spatial_lb = dataset.normalize_spatial(rect.min_distance(origin));
+        combine(request.alpha(), 0.0, spatial_lb)
+    }
+
+    /// Validates the request against the sharded deployment and resolves
+    /// the broadcast form: algorithm + index preflight (error parity with
+    /// [`GeoSocialEngine::run`]) and the pinned query origin.
+    pub(crate) fn prepare(&self, request: &QueryRequest) -> Result<QueryRequest, CoreError> {
+        request.validate()?;
+        let representative = &self.shards[0].engine;
+        representative.dataset().check_user(request.user())?;
+        let strategy = representative
+            .strategies()
+            .resolve(request.algorithm().key())?;
+        let requires = strategy.requires();
+        if requires.contraction_hierarchy {
+            representative.require_contraction_hierarchy()?;
+        }
+        if requires.social_cache {
+            representative.require_social_cache()?;
+        }
+        Ok(
+            match request.origin().or_else(|| self.location(request.user())) {
+                Some(origin) => request.clone().with_origin(origin),
+                None => request.clone(),
+            },
+        )
+    }
+
+    /// The scatter-gather core: one worker per context, shards visited in
+    /// ascending lower-bound order, threshold forwarded through the
+    /// request cutoff, deterministic merge.
+    pub(crate) fn scatter(
+        &self,
+        request: &QueryRequest,
+        contexts: &mut [QueryContext],
+    ) -> Result<(QueryResult, ShardStats), CoreError> {
+        let started = Instant::now();
+        let base = self.prepare(request)?;
+        let origin = base.origin();
+        let n = self.shards.len();
+        let bounds: Vec<f64> = self
+            .shards
+            .iter()
+            .map(|s| self.shard_lower_bound(s, &base, origin))
+            .collect();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| bounds[a].total_cmp(&bounds[b]).then(a.cmp(&b)));
+
+        let cursor = AtomicUsize::new(0);
+        let gather = Mutex::new(Gather {
+            topk: TopK::for_request(request),
+            entries: Vec::new(),
+            outcomes: vec![None; n],
+            error: None,
+        });
+
+        let worker = |ctx: &mut QueryContext| loop {
+            let slot = cursor.fetch_add(1, Ordering::Relaxed);
+            let Some(&s) = order.get(slot) else { break };
+            let threshold = {
+                let g = gather.lock().expect("gather lock");
+                if g.error.is_some() {
+                    break;
+                }
+                g.topk.fk()
+            };
+            if bounds[s] >= threshold {
+                let mut g = gather.lock().expect("gather lock");
+                g.outcomes[s] = Some(ShardOutcome::Skipped {
+                    lower_bound: bounds[s],
+                });
+                continue;
+            }
+            let shard_request = base.clone().with_max_score_at_most(threshold);
+            match self.shards[s].engine.run_with(&shard_request, ctx) {
+                Ok(result) => {
+                    let mut g = gather.lock().expect("gather lock");
+                    for &entry in &result.ranked {
+                        g.topk.consider(entry);
+                    }
+                    g.outcomes[s] = Some(ShardOutcome::Executed(result.stats));
+                    g.entries.extend(result.ranked);
+                }
+                Err(error) => {
+                    let mut g = gather.lock().expect("gather lock");
+                    if g.error.is_none() {
+                        g.error = Some(error);
+                    }
+                    break;
+                }
+            }
+        };
+
+        match contexts {
+            [] => worker(&mut self.make_context()),
+            [ctx] => worker(ctx),
+            many => {
+                std::thread::scope(|scope| {
+                    for ctx in many.iter_mut() {
+                        scope.spawn(|| worker(ctx));
+                    }
+                });
+            }
+        }
+
+        let gather = gather.into_inner().expect("gather lock");
+        if let Some(error) = gather.error {
+            return Err(error);
+        }
+        // Deterministic merge: global ascending (score, user) order over
+        // the disjoint per-shard results, truncated at k.  The running
+        // `topk` above only steers the pruning — rebuilding the list here
+        // makes the answer independent of worker scheduling.
+        let mut ranked = gather.entries;
+        ranked.sort_by(|a, b| {
+            a.score
+                .total_cmp(&b.score)
+                .then_with(|| a.user.cmp(&b.user))
+        });
+        ranked.truncate(request.k());
+        let outcomes: Vec<ShardOutcome> = gather
+            .outcomes
+            .into_iter()
+            .map(|o| o.expect("every shard has an outcome"))
+            .collect();
+        let shard_stats = ShardStats::new(outcomes, started.elapsed());
+        let result = QueryResult {
+            ranked,
+            k: request.k(),
+            stats: shard_stats.merged,
+        };
+        Ok((result, shard_stats))
+    }
+}

@@ -1,0 +1,229 @@
+//! Partitioning policies: how users are assigned to shards.
+//!
+//! A [`Partitioning`] decides, for every user, which shard *owns* their
+//! location (the full social graph is replicated to every shard — social
+//! distances are global, locations are not).  Two policies are provided:
+//!
+//! * [`Partitioning::UserHash`] — a stable multiplicative hash of the user
+//!   id.  Occupancy is balanced by construction and a user never migrates
+//!   on a location update, but queries gain no spatial locality: every
+//!   shard's bounding rectangle covers the whole domain, so the
+//!   coordinator's rect pruning rarely skips a shard.
+//! * [`Partitioning::SpatialGrid`] — the domain is tiled into
+//!   `cells_per_axis²` grid cells and whole cells are packed onto shards
+//!   (greedily, heaviest cell to the least-loaded shard).  Shards get
+//!   compact bounding rectangles, which is what lets the coordinator skip
+//!   shards whose best possible spatial score cannot beat the current
+//!   threshold — at the price of user *migration* when a location update
+//!   crosses a cell boundary, and of occupancy skew as users drift
+//!   (see [`ShardedEngine::rebalance`](crate::ShardedEngine::rebalance)).
+//!
+//! Users without a location fall back to the hash assignment under either
+//! policy (they occupy no spatial index and never appear in results until
+//! they report a location, at which point they are routed like any update).
+
+use ssrq_core::UserId;
+use ssrq_spatial::{Point, Rect};
+
+/// How a [`ShardedEngine`](crate::ShardedEngine) assigns users to shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Partitioning {
+    /// Stable hash of the user id — balanced, migration-free, no spatial
+    /// locality.
+    UserHash,
+    /// Tile the location domain into `cells_per_axis × cells_per_axis`
+    /// cells and pack whole cells onto shards — spatially compact shards
+    /// whose bounding rectangles enable coordinator-side pruning.
+    SpatialGrid {
+        /// Tiling resolution per axis (must be at least 1; a multiple of
+        /// the shard count gives the packer room to balance).
+        cells_per_axis: u32,
+    },
+}
+
+impl Default for Partitioning {
+    fn default() -> Self {
+        Partitioning::SpatialGrid { cells_per_axis: 16 }
+    }
+}
+
+/// Stable shard hash (Fibonacci multiplicative hashing): deterministic
+/// across runs and platforms, uniform enough for id-dense user sets.
+#[inline]
+pub(crate) fn hash_shard(user: UserId, shards: usize) -> usize {
+    let h = (user as u64 ^ 0x5353_5251).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((h >> 32) as usize) % shards
+}
+
+/// The materialized assignment state of a sharded engine.
+#[derive(Debug, Clone)]
+pub(crate) enum AssignmentState {
+    /// Hash partitioning needs no state beyond the shard count.
+    Hash,
+    /// Spatial tiling: the domain rectangle, the resolution, and the shard
+    /// each cell is packed onto.
+    Spatial {
+        bounds: Rect,
+        cells_per_axis: u32,
+        cell_to_shard: Vec<u32>,
+    },
+}
+
+impl AssignmentState {
+    /// The cell index of a location (clamped into the tiling bounds, like
+    /// the engine-side grids clamp drifting points).
+    pub(crate) fn cell_of(bounds: Rect, cells_per_axis: u32, p: Point) -> usize {
+        let side = cells_per_axis as f64;
+        let fx = ((p.x - bounds.min.x) / bounds.width().max(f64::MIN_POSITIVE)) * side;
+        let fy = ((p.y - bounds.min.y) / bounds.height().max(f64::MIN_POSITIVE)) * side;
+        let cx = (fx as i64).clamp(0, cells_per_axis as i64 - 1) as usize;
+        let cy = (fy as i64).clamp(0, cells_per_axis as i64 - 1) as usize;
+        cy * cells_per_axis as usize + cx
+    }
+
+    /// The shard that owns a user currently at `location` (or without one).
+    pub(crate) fn owner_for(&self, user: UserId, location: Option<Point>, shards: usize) -> usize {
+        match (self, location) {
+            (
+                AssignmentState::Spatial {
+                    bounds,
+                    cells_per_axis,
+                    cell_to_shard,
+                },
+                Some(p),
+            ) => cell_to_shard[Self::cell_of(*bounds, *cells_per_axis, p)] as usize,
+            _ => hash_shard(user, shards),
+        }
+    }
+}
+
+/// Packs cells onto shards as **contiguous runs of a serpentine
+/// (boustrophedon) cell walk**, each run carrying roughly `total / shards`
+/// of the load.
+///
+/// Contiguity is the point: consecutive serpentine cells are spatially
+/// adjacent, so every shard ends up a compact band of the domain with a
+/// small bounding rectangle — which is what gives the coordinator's
+/// `mindist(origin, rect)` pruning its teeth.  (A balance-only packer,
+/// e.g. heaviest-cell-to-least-loaded, interleaves cells from all over the
+/// domain and every shard rectangle degenerates to the full bounds.)
+/// Balance is within one cell's load of even, deterministic.
+pub(crate) fn pack_cells(cell_loads: &[usize], cells_per_axis: u32, shards: usize) -> Vec<u32> {
+    let side = cells_per_axis as usize;
+    debug_assert_eq!(cell_loads.len(), side * side);
+    let total: usize = cell_loads.iter().sum();
+    let mut cell_to_shard = vec![0u32; cell_loads.len()];
+    let mut shard = 0usize;
+    let mut assigned_load = 0usize; // load placed on shards 0..shard
+    let mut current_load = 0usize; // load placed on `shard` so far
+    for cy in 0..side {
+        // Serpentine: even rows left-to-right, odd rows right-to-left, so
+        // the walk never jumps across the domain.
+        let columns: Box<dyn Iterator<Item = usize>> = if cy % 2 == 0 {
+            Box::new(0..side)
+        } else {
+            Box::new((0..side).rev())
+        };
+        for cx in columns {
+            let c = cy * side + cx;
+            // Advance to the next shard when the current one reached its
+            // fair share of what remains (never past the last shard).
+            if shard + 1 < shards && current_load > 0 {
+                let remaining_shards = shards - shard;
+                let target = (total - assigned_load).div_ceil(remaining_shards);
+                if current_load >= target {
+                    assigned_load += current_load;
+                    current_load = 0;
+                    shard += 1;
+                }
+            }
+            cell_to_shard[c] = shard as u32;
+            current_load += cell_loads[c];
+        }
+    }
+    cell_to_shard
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_shard_is_stable_and_in_range() {
+        for user in 0..1000u32 {
+            let s = hash_shard(user, 7);
+            assert!(s < 7);
+            assert_eq!(s, hash_shard(user, 7));
+        }
+        // Roughly uniform: no shard is starved on a dense id range.
+        let mut counts = [0usize; 4];
+        for user in 0..4000u32 {
+            counts[hash_shard(user, 4)] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 500, "skewed hash distribution: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn cell_of_clamps_out_of_bounds_points() {
+        let bounds = Rect::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        assert_eq!(AssignmentState::cell_of(bounds, 4, Point::new(0.1, 0.1)), 0);
+        assert_eq!(
+            AssignmentState::cell_of(bounds, 4, Point::new(0.9, 0.9)),
+            15
+        );
+        // Points outside the tiling land in the nearest boundary cell.
+        assert_eq!(
+            AssignmentState::cell_of(bounds, 4, Point::new(-5.0, -5.0)),
+            0
+        );
+        assert_eq!(
+            AssignmentState::cell_of(bounds, 4, Point::new(9.0, 9.0)),
+            15
+        );
+    }
+
+    #[test]
+    fn pack_cells_balances_loads() {
+        // A 4x4 tiling with one heavy cell; two shards.
+        let mut loads = vec![1usize; 16];
+        loads[0] = 10;
+        let assignment = pack_cells(&loads, 4, 2);
+        let mut per_shard = [0usize; 2];
+        for (c, &s) in assignment.iter().enumerate() {
+            per_shard[s as usize] += loads[c];
+        }
+        // Balance within one cell's weight of even.
+        let diff = per_shard[0].abs_diff(per_shard[1]);
+        assert!(diff <= 10, "loads {per_shard:?}");
+        assert!(per_shard[0] > 0 && per_shard[1] > 0);
+        // Deterministic.
+        assert_eq!(assignment, pack_cells(&loads, 4, 2));
+    }
+
+    #[test]
+    fn pack_cells_keeps_shards_contiguous_bands() {
+        // Uniform load: each shard must be a contiguous run of the
+        // serpentine walk (spatially compact bands), never interleaved.
+        let loads = vec![1usize; 64];
+        let assignment = pack_cells(&loads, 8, 4);
+        let mut walk = Vec::new();
+        for cy in 0..8usize {
+            let cols: Vec<usize> = if cy % 2 == 0 {
+                (0..8).collect()
+            } else {
+                (0..8).rev().collect()
+            };
+            for cx in cols {
+                walk.push(assignment[cy * 8 + cx]);
+            }
+        }
+        // Along the walk the shard id is non-decreasing.
+        assert!(walk.windows(2).all(|w| w[0] <= w[1]), "{walk:?}");
+        // All shards are used and each holds 16 cells.
+        for s in 0..4u32 {
+            assert_eq!(walk.iter().filter(|&&x| x == s).count(), 16);
+        }
+    }
+}

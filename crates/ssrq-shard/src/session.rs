@@ -1,0 +1,285 @@
+//! Sharded sessions and cross-shard streaming.
+
+use crate::engine::ShardedEngine;
+use crate::stats::ShardStats;
+use ssrq_core::{
+    CoreError, QueryContext, QueryRequest, QueryResult, QueryStats, QueryStream, RankedUser,
+};
+
+/// A per-worker handle on a [`ShardedEngine`]: one reusable
+/// [`QueryContext`] per shard, so a serving worker pays the `O(|V|)`
+/// scratch allocation once per shard instead of per query — and the only
+/// way to open a cross-shard [`ShardedStream`].
+#[derive(Debug)]
+pub struct ShardedSession<'e> {
+    engine: &'e ShardedEngine,
+    contexts: Vec<QueryContext>,
+}
+
+impl<'e> ShardedSession<'e> {
+    pub(crate) fn new(engine: &'e ShardedEngine) -> Self {
+        ShardedSession {
+            contexts: (0..engine.shard_count())
+                .map(|_| engine.make_context())
+                .collect(),
+            engine,
+        }
+    }
+
+    /// The engine the session queries.
+    pub fn engine(&self) -> &'e ShardedEngine {
+        self.engine
+    }
+
+    /// Processes one request by scatter-gather, reusing this session's
+    /// contexts (parallel across shards when more than one is worth
+    /// visiting).
+    pub fn run(&mut self, request: &QueryRequest) -> Result<QueryResult, CoreError> {
+        self.run_with_stats(request).map(|(result, _)| result)
+    }
+
+    /// [`ShardedSession::run`] plus the coordinator's [`ShardStats`].
+    pub fn run_with_stats(
+        &mut self,
+        request: &QueryRequest,
+    ) -> Result<(QueryResult, ShardStats), CoreError> {
+        self.engine.scatter(request, &mut self.contexts)
+    }
+
+    /// Processes one request as a **cross-shard pull-lazy stream**: every
+    /// shard contributes its own [`QueryStream`] (pull-lazy within the
+    /// shard — see [`QuerySession::stream`](ssrq_core::QuerySession::stream))
+    /// and a k-way heap merge yields the globally smallest `(score, user)`
+    /// head next.
+    ///
+    /// Each `next()` advances only the shard whose head was consumed (plus,
+    /// on the first call, one head per shard — the minimum evidence an
+    /// exact global order needs), so the first results arrive after a
+    /// fraction of the full scatter work.  A fully drained stream yields
+    /// exactly [`ShardedSession::run`]'s ranked entries in order.  Shards
+    /// whose bounding rectangle cannot beat the request's score cutoff (or
+    /// that miss its filter window) are skipped up front —
+    /// [`ShardedStream::skipped_shards`] counts them.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShardedSession::run`] for everything detectable up front.
+    /// An error a shard reports *mid-stream* (only deferred sub-queries
+    /// can — see [`QueryStream::error`]) ends the merge early instead:
+    /// `next()` returns `None` and [`ShardedStream::error`] holds the
+    /// cause.
+    pub fn stream(&mut self, request: &QueryRequest) -> Result<ShardedStream<'_>, CoreError> {
+        let base = self.engine.prepare(request)?;
+        let origin = base.origin();
+        let initial_threshold = base.max_score().unwrap_or(f64::INFINITY);
+        let mut arms = Vec::new();
+        let mut skipped = 0usize;
+        for (shard, ctx) in self.engine.shards.iter().zip(self.contexts.iter_mut()) {
+            let lower_bound = self.engine.shard_lower_bound(shard, &base, origin);
+            if lower_bound >= initial_threshold {
+                skipped += 1;
+                continue;
+            }
+            arms.push(Arm {
+                stream: shard.engine.stream_with(&base, ctx)?,
+                head: None,
+                exhausted: false,
+            });
+        }
+        Ok(ShardedStream {
+            arms,
+            remaining: base.k(),
+            skipped,
+            k: base.k(),
+            failed: false,
+        })
+    }
+}
+
+/// One shard's contribution to a [`ShardedStream`]: its pull-lazy stream
+/// plus the buffered head entry the merge compares.
+#[derive(Debug)]
+struct Arm<'s> {
+    stream: QueryStream<'s>,
+    head: Option<RankedUser>,
+    exhausted: bool,
+}
+
+/// A pull-lazy cross-shard result stream; see [`ShardedSession::stream`].
+#[derive(Debug)]
+pub struct ShardedStream<'s> {
+    arms: Vec<Arm<'s>>,
+    remaining: usize,
+    skipped: usize,
+    k: usize,
+    /// A shard stream failed mid-query: the merge stops (an exact global
+    /// order can no longer be proven) and [`ShardedStream::error`] reports
+    /// the cause.
+    failed: bool,
+}
+
+impl ShardedStream<'_> {
+    /// The `k` the query asked for.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Shards pruned up front (empty, filter-disjoint, or provably unable
+    /// to beat the request's score cutoff).
+    pub fn skipped_shards(&self) -> usize {
+        self.skipped
+    }
+
+    /// The error a shard stream reported mid-query, if any (see
+    /// [`QueryStream::error`] for when that can happen — only deferred
+    /// sub-queries, e.g. the cached method's fallback).  When set, the
+    /// merge has stopped yielding: a missing shard's candidates would make
+    /// any further "global minimum" claim wrong, so the stream ends
+    /// instead of silently returning an incomplete answer.  The same
+    /// request through [`ShardedSession::run`] returns the error directly.
+    pub fn error(&self) -> Option<&CoreError> {
+        self.arms.iter().find_map(|arm| arm.stream.error())
+    }
+
+    /// Work counters across the participating shard streams **so far**
+    /// ([`QueryStats::merge`] semantics: work sums, runtime is the slowest
+    /// shard) — for a truncated stream this shows what the early exit
+    /// saved.
+    pub fn stats(&self) -> QueryStats {
+        let mut merged = QueryStats::default();
+        for arm in &self.arms {
+            merged.merge(&arm.stream.stats());
+        }
+        merged
+    }
+}
+
+impl Iterator for ShardedStream<'_> {
+    type Item = RankedUser;
+
+    fn next(&mut self) -> Option<RankedUser> {
+        if self.remaining == 0 || self.failed {
+            return None;
+        }
+        // Refill: every arm needs a buffered head before an exact global
+        // minimum can be taken.  Pulling a head is pull-lazy within the
+        // shard — the shard search advances only until its next entry
+        // finalizes.
+        for arm in self.arms.iter_mut() {
+            if arm.head.is_none() && !arm.exhausted {
+                arm.head = arm.stream.next();
+                arm.exhausted = arm.head.is_none();
+            }
+        }
+        // A shard stream that *failed* (rather than drained) leaves a hole
+        // in the candidate space: no entry can be proven globally minimal
+        // any more.  Stop yielding; `error()` reports the cause.
+        if self
+            .arms
+            .iter()
+            .any(|arm| arm.exhausted && arm.stream.error().is_some())
+        {
+            self.failed = true;
+            return None;
+        }
+        let best = self
+            .arms
+            .iter()
+            .enumerate()
+            .filter_map(|(i, arm)| arm.head.map(|h| (i, h)))
+            .min_by(|(_, a), (_, b)| {
+                a.score
+                    .total_cmp(&b.score)
+                    .then_with(|| a.user.cmp(&b.user))
+            })
+            .map(|(i, _)| i)?;
+        let entry = self.arms[best].head.take();
+        self.remaining -= 1;
+        entry
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, Some(self.remaining))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssrq_core::{
+        AlgorithmStrategy, GeoSocialDataset, GeoSocialEngine, QueryDriver, QueryStats, StepOutcome,
+    };
+    use ssrq_graph::GraphBuilder;
+    use ssrq_spatial::Point;
+    use std::sync::Arc;
+
+    /// A driver that completes immediately but whose result is an error —
+    /// the mid-stream failure shape only deferred sub-queries produce.
+    struct FailingDriver;
+    impl QueryDriver for FailingDriver {
+        fn step(&mut self) -> StepOutcome {
+            StepOutcome::Complete
+        }
+        fn drain_finalized(&mut self, _out: &mut Vec<RankedUser>) {}
+        fn is_complete(&self) -> bool {
+            true
+        }
+        fn stats(&self) -> QueryStats {
+            QueryStats::default()
+        }
+        fn take_result(&mut self) -> Result<QueryResult, CoreError> {
+            Err(CoreError::InvalidParameter("mid-stream failure".into()))
+        }
+    }
+
+    struct FailingStrategy;
+    impl AlgorithmStrategy for FailingStrategy {
+        fn name(&self) -> &str {
+            "FAIL-MIDSTREAM"
+        }
+        fn execute(
+            &self,
+            _engine: &GeoSocialEngine,
+            _request: &QueryRequest,
+            _ctx: &mut QueryContext,
+        ) -> Result<QueryResult, CoreError> {
+            Err(CoreError::InvalidParameter("mid-stream failure".into()))
+        }
+        fn begin_stream<'a>(
+            &'a self,
+            _engine: &'a GeoSocialEngine,
+            _request: &QueryRequest,
+            _ctx: &'a mut QueryContext,
+        ) -> Result<Box<dyn QueryDriver + 'a>, CoreError> {
+            Ok(Box::new(FailingDriver))
+        }
+    }
+
+    #[test]
+    fn a_mid_stream_shard_failure_ends_the_merge_and_is_reported() {
+        let graph =
+            GraphBuilder::from_edges(4, vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
+        let locations = (0..4)
+            .map(|i| Some(Point::new(0.1 + 0.2 * i as f64, 0.5)))
+            .collect();
+        let dataset = GeoSocialDataset::new(graph, locations).unwrap();
+        let mut engine = ShardedEngine::builder(dataset).shards(2).build().unwrap();
+        engine.register_strategy(Arc::new(FailingStrategy));
+        let request = QueryRequest::for_user(0)
+            .k(3)
+            .algorithm("FAIL-MIDSTREAM")
+            .build()
+            .unwrap();
+        // The eager path fails outright...
+        assert!(engine.run(&request).is_err());
+        // ...and the streaming path must not silently yield a truncated
+        // answer: it ends and reports the error.
+        let mut session = engine.session();
+        let mut stream = session.stream(&request).unwrap();
+        assert!(stream.next().is_none());
+        assert!(matches!(
+            stream.error(),
+            Some(CoreError::InvalidParameter(_))
+        ));
+    }
+}

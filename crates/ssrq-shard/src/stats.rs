@@ -1,0 +1,96 @@
+//! Per-query scatter-gather accounting.
+
+use ssrq_core::QueryStats;
+use std::time::Duration;
+
+/// What happened to one shard during a scatter-gather query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ShardOutcome {
+    /// The shard ran its bounded search; these are its work counters.
+    Executed(QueryStats),
+    /// The coordinator proved the shard could not contribute — its best
+    /// possible score (`lower_bound`) was already at or above the running
+    /// threshold (or its bounding rectangle missed the request's spatial
+    /// filter) — and skipped it without running a search.
+    Skipped {
+        /// The score lower bound the skip decision was based on
+        /// (`INFINITY` for an empty shard, a filter-disjoint shard, or an
+        /// unlocated query origin).
+        lower_bound: f64,
+    },
+}
+
+/// Coordinator-side statistics of one scatter-gather query: the per-shard
+/// outcomes plus the aggregate built with [`QueryStats::merge`] (work
+/// counters sum across shards; `runtime` is the slowest shard, since the
+/// searches overlap on the wall clock).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardStats {
+    /// One outcome per shard, indexed by shard id.
+    pub per_shard: Vec<ShardOutcome>,
+    /// The [`QueryStats::merge`] aggregate over every executed shard.
+    pub merged: QueryStats,
+    /// Wall-clock time of the whole scatter-gather (including the merge),
+    /// as observed by the coordinator.
+    pub gather_runtime: Duration,
+}
+
+impl ShardStats {
+    /// Builds the aggregate record from per-shard outcomes.
+    pub fn new(per_shard: Vec<ShardOutcome>, gather_runtime: Duration) -> Self {
+        let mut merged = QueryStats::default();
+        for outcome in &per_shard {
+            if let ShardOutcome::Executed(stats) = outcome {
+                merged.merge(stats);
+            }
+        }
+        ShardStats {
+            per_shard,
+            merged,
+            gather_runtime,
+        }
+    }
+
+    /// Number of shards that ran their search.
+    pub fn executed_shards(&self) -> usize {
+        self.per_shard
+            .iter()
+            .filter(|o| matches!(o, ShardOutcome::Executed(_)))
+            .count()
+    }
+
+    /// Number of shards the threshold / bounding-rectangle pruning skipped.
+    pub fn skipped_shards(&self) -> usize {
+        self.per_shard.len() - self.executed_shards()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_stats_aggregate_executed_outcomes_only() {
+        let executed = |pops: usize, ms: u64| {
+            ShardOutcome::Executed(QueryStats {
+                vertex_pops: pops,
+                runtime: Duration::from_millis(ms),
+                ..QueryStats::default()
+            })
+        };
+        let stats = ShardStats::new(
+            vec![
+                executed(5, 10),
+                ShardOutcome::Skipped { lower_bound: 0.9 },
+                executed(7, 3),
+            ],
+            Duration::from_millis(12),
+        );
+        assert_eq!(stats.executed_shards(), 2);
+        assert_eq!(stats.skipped_shards(), 1);
+        assert_eq!(stats.merged.vertex_pops, 12);
+        // merge semantics: parallel shards overlap, slowest one counts.
+        assert_eq!(stats.merged.runtime, Duration::from_millis(10));
+        assert_eq!(stats.gather_runtime, Duration::from_millis(12));
+    }
+}

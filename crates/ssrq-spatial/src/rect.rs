@@ -132,6 +132,29 @@ impl Rect {
             .fold(0.0_f64, f64::max)
     }
 
+    /// Smallest rectangle enclosing both `self` and `other`.
+    #[inline]
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Smallest rectangle enclosing `self` and the point `p`.
+    ///
+    /// Used to maintain the conservative bounding rectangle of a shard's
+    /// resident locations: inclusions only ever grow the rectangle, so it
+    /// stays a valid *lower-bound region* (every resident lies inside it)
+    /// even when removals would allow it to shrink.
+    #[inline]
+    pub fn including(&self, p: Point) -> Rect {
+        Rect {
+            min: self.min.min(p),
+            max: self.max.max(p),
+        }
+    }
+
     /// Expands the rectangle by `margin` on every side.
     pub fn expanded(&self, margin: f64) -> Rect {
         Rect {
@@ -245,6 +268,22 @@ mod tests {
         assert_eq!(r.area(), 8.0);
         assert_eq!(r.center(), Point::new(1.0, 2.0));
         assert!((r.diagonal() - 20.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn union_and_including_cover_both_inputs() {
+        let a = rect(0.0, 0.0, 1.0, 1.0);
+        let b = rect(2.0, -1.0, 3.0, 0.5);
+        let u = a.union(&b);
+        assert_eq!(u.min, Point::new(0.0, -1.0));
+        assert_eq!(u.max, Point::new(3.0, 1.0));
+        // Union with a contained rectangle is the identity.
+        assert_eq!(u.union(&a), u);
+        let grown = a.including(Point::new(-1.0, 2.0));
+        assert!(grown.contains(Point::new(-1.0, 2.0)));
+        assert!(grown.contains(Point::new(1.0, 1.0)));
+        // Including an interior point changes nothing.
+        assert_eq!(a.including(Point::new(0.5, 0.5)), a);
     }
 
     #[test]

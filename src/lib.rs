@@ -10,6 +10,8 @@
 //! * [`data`] — synthetic geo-social dataset and workload generation.
 //! * [`core`] — the SSRQ query itself and the processing algorithms
 //!   (SFA, SPA, TSA, TSA-QC, AIS and variants).
+//! * [`shard`] — the horizontal serving layer: partitioned engines with
+//!   exact scatter-gather top-k and routed live updates.
 //!
 //! See the crate-level documentation of each module and `README.md` for a
 //! quickstart.
@@ -17,6 +19,7 @@
 pub use ssrq_core as core;
 pub use ssrq_data as data;
 pub use ssrq_graph as graph;
+pub use ssrq_shard as shard;
 pub use ssrq_spatial as spatial;
 
 /// Commonly used items, re-exported for convenience.
@@ -30,5 +33,6 @@ pub mod prelude {
     pub use ssrq_core::{EngineConfig, QueryParams};
     pub use ssrq_data::{DatasetConfig, GeoSocialDataset};
     pub use ssrq_graph::{EdgeWeight, NodeId as GraphNodeId, SearchScratch, SocialGraph};
+    pub use ssrq_shard::{Partitioning, ShardStats, ShardedEngine, ShardedSession};
     pub use ssrq_spatial::{Point, Rect};
 }

@@ -147,3 +147,71 @@ fn repeated_updates_of_the_same_user_are_idempotent_for_queries() {
     let rebuilt = fresh_engine.run(&request).unwrap();
     assert!(incremental.same_users_and_scores(&rebuilt, 1e-9));
 }
+
+#[test]
+fn lazy_ch_and_social_cache_stay_fresh_across_location_churn() {
+    // Staleness audit (regression test): the lazily-built Contraction
+    // Hierarchies index and the pre-computed social neighbour cache are
+    // functions of the social graph only, so location churn must never
+    // invalidate them.  Exercise both orders — churn *before* the lazy
+    // builds and churn *after* they exist — and require oracle agreement
+    // each time.  (Kept tiny: CH construction is quadratic-ish on these
+    // hub-heavy graphs.)
+    use geosocial_ssrq::core::ChBuild;
+    let dataset = DatasetConfig::gowalla_like(150).with_seed(77).generate();
+    let workload = QueryWorkload::generate(&dataset, 2, 61);
+    let mut engine = GeoSocialEngine::builder(dataset)
+        .with_ch(ChBuild::Lazy)
+        .cache_social_neighbors(workload.users.clone(), 80)
+        .build()
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(1717);
+    let churn = |engine: &mut GeoSocialEngine, rng: &mut StdRng| {
+        for _ in 0..60 {
+            let user = rng.gen_range(0..engine.dataset().user_count()) as u32;
+            if rng.gen_bool(0.2) {
+                engine.remove_location(user).unwrap();
+            } else {
+                let p = Point::new(rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0));
+                engine.update_location(user, p).unwrap();
+            }
+        }
+    };
+    let verify = |engine: &GeoSocialEngine, label: &str| {
+        for &user in &workload.users {
+            let base = QueryRequest::for_user(user)
+                .k(15)
+                .alpha(0.4)
+                .build()
+                .unwrap();
+            let oracle = engine
+                .run(&base.clone().with_algorithm(Algorithm::Exhaustive))
+                .unwrap();
+            for algorithm in [
+                Algorithm::SfaCh,
+                Algorithm::SpaCh,
+                Algorithm::TsaCh,
+                Algorithm::SfaCached,
+            ] {
+                let result = engine.run(&base.clone().with_algorithm(algorithm)).unwrap();
+                assert!(
+                    result.same_users_and_scores(&oracle, 1e-9),
+                    "{} went stale {label} (user {user})",
+                    algorithm.name()
+                );
+            }
+        }
+    };
+
+    // Churn first: the lazy indexes are built *after* the updates.
+    churn(&mut engine, &mut rng);
+    assert!(engine.contraction_hierarchy().is_none());
+    verify(&engine, "when built after churn");
+    assert!(engine.contraction_hierarchy().is_some());
+    assert!(engine.social_cache().is_some());
+
+    // Churn again with the indexes installed: location updates must leave
+    // the graph-only indexes valid.
+    churn(&mut engine, &mut rng);
+    verify(&engine, "after churn on built indexes");
+}
