@@ -8,7 +8,7 @@
 //! ```
 //!
 //! Experiments: `table2 table3 fig7a fig7b fig8 fig9 fig10 fig11 fig12
-//! fig13 fig14a fig14b ablation throughput latency sharding all`.
+//! fig13 fig14a fig14b ablation throughput latency sharding memory all`.
 //!
 //! Flags: `--quick` (small datasets), `--full` (paper-scale datasets),
 //! `--scale <factor>`, `--queries <n>`, `--with-ch` (include the expensive
@@ -16,8 +16,8 @@
 
 use ssrq_bench::report::FigureReport;
 use ssrq_bench::{
-    max_result_hops, measure_algorithm, measure_batch_qps, measure_prefix, measure_sequential_qps,
-    measure_sharding, BenchDataset, Scale,
+    max_result_hops, measure_algorithm, measure_batch_qps, measure_memory, measure_prefix,
+    measure_sequential_qps, measure_sharding, single_engine_breakdown, BenchDataset, Scale,
 };
 use ssrq_core::{
     Algorithm, ChBuild, GeoSocialDataset, GeoSocialEngine, QueryRequest, SocialNeighborCache,
@@ -117,6 +117,7 @@ fn main() {
         "throughput" => throughput(&options),
         "latency" => latency(&options),
         "sharding" => sharding(&options),
+        "memory" => memory(&options),
         "all" => {
             table2(&options);
             table3();
@@ -134,6 +135,7 @@ fn main() {
             throughput(&options);
             latency(&options);
             sharding(&options);
+            memory(&options);
         }
         other => {
             eprintln!("unknown experiment `{other}`");
@@ -812,14 +814,29 @@ fn sharding(options: &Options) {
             ("hash", Partitioning::UserHash),
             ("spatial", Partitioning::SpatialGrid { cells_per_axis: 16 }),
         ] {
+            // The lazy CH slot lives in the shared dataset core, so a
+            // `--with-ch` build timing is only isolated on a fresh dataset
+            // (otherwise the first configuration's CH would be reused and
+            // every later build would look free).
+            let config_dataset = if options.with_ch {
+                DatasetConfig::gowalla_like(options.scale.gowalla_users).generate()
+            } else {
+                dataset.clone()
+            };
+            let config_workload = if options.with_ch {
+                QueryWorkload::generate(&config_dataset, options.scale.queries, 0x5A4D)
+            } else {
+                workload.clone()
+            };
             let m = measure_sharding(
-                &dataset,
+                &config_dataset,
                 policy,
                 shards,
-                &workload.users,
+                &config_workload.users,
                 DEFAULT_K,
                 DEFAULT_ALPHA,
                 threads,
+                options.with_ch,
             );
             report.push_cell(&format!("{label} q/s"), format!("{:.0}", m.batch_qps));
             report.push_cell(
@@ -836,6 +853,94 @@ fn sharding(options: &Options) {
     println!(
         "(skipped/query counts shards the coordinator pruned via the running f_k threshold and the shard bounding rectangles — only the spatial policy has informative rectangles)"
     );
+    if options.with_ch {
+        println!(
+            "(--with-ch: build (ms) includes one eager Contraction Hierarchies build shared by every shard through the Arc-backed dataset core — pre-refactor this column grew by one full CH build per shard)"
+        );
+    } else {
+        println!(
+            "(pass --with-ch to include an eager per-deployment Contraction Hierarchies build in the build-time column — built once and shared across shards; keep the dataset small, CH preprocessing is quadratic-ish on these graphs)"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Memory — shared immutable substrate vs per-shard cloning
+// ---------------------------------------------------------------------------
+
+/// Beyond the paper: approximate resident bytes of the sharded layer per
+/// shard count, split into `Arc`-shared graph-only artifacts (graph,
+/// landmarks, CH — resident once) and per-shard location state (location
+/// vectors, grids, AIS indexes), against the counterfactual cost of the
+/// pre-refactor ownership model in which every shard cloned the graph side.
+fn memory(options: &Options) {
+    use ssrq_shard::Partitioning;
+
+    let dataset = DatasetConfig::gowalla_like(options.scale.gowalla_users).generate();
+    let single = single_engine_breakdown(&dataset);
+    println!(
+        "\n## Memory — single engine baseline (gowalla-like, {} users): graph {}, landmarks {}, locations {}, grid {}, AIS {}",
+        dataset.user_count(),
+        fmt_bytes(single.graph_bytes),
+        fmt_bytes(single.landmarks_bytes),
+        fmt_bytes(single.locations_bytes),
+        fmt_bytes(single.grid_bytes),
+        fmt_bytes(single.ais_bytes),
+    );
+    let mut report = FigureReport::new(
+        format!(
+            "Memory — approx. resident bytes vs shard count (gowalla-like, spatial partitioning{})",
+            if options.with_ch { ", CH built" } else { "" }
+        ),
+        "shards",
+    );
+    for shards in [1usize, 2, 4, 8] {
+        report.push_x(shards);
+        // With --with-ch, regenerate the dataset per configuration: the
+        // lazy CH slot lives in the shared dataset core, so reusing one
+        // dataset would pay the CH build only on the first row and make
+        // the later build timings look free rather than shared-and-flat.
+        let config_dataset = if options.with_ch {
+            DatasetConfig::gowalla_like(options.scale.gowalla_users).generate()
+        } else {
+            dataset.clone()
+        };
+        let m = measure_memory(
+            &config_dataset,
+            Partitioning::SpatialGrid { cells_per_axis: 16 },
+            shards,
+            options.with_ch,
+        );
+        report.push_cell("shared", fmt_bytes(m.shared_bytes));
+        report.push_cell("per-shard", fmt_bytes(m.per_shard_bytes));
+        report.push_cell("total", fmt_bytes(m.total_bytes()));
+        report.push_cell("cloned (pre-refactor)", fmt_bytes(m.cloned_estimate_bytes));
+        report.push_cell("savings", format!("{:.2}x", m.savings_factor()));
+        report.push_cell(
+            "build (ms)",
+            format!("{:.0}", m.build_time.as_secs_f64() * 1e3),
+        );
+    }
+    print!("{}", report.render());
+    println!(
+        "(shared = graph + landmarks{} behind Arc handles, resident once; cloned = the same configuration if every shard cloned them, the pre-refactor ownership model{})",
+        if options.with_ch { " + CH" } else { "" },
+        if options.with_ch {
+            ""
+        } else {
+            "; pass --with-ch to include the Contraction Hierarchies index"
+        }
+    );
+}
+
+fn fmt_bytes(bytes: usize) -> String {
+    if bytes >= 1 << 20 {
+        format!("{:.1} MiB", bytes as f64 / (1u64 << 20) as f64)
+    } else if bytes >= 1 << 10 {
+        format!("{:.1} KiB", bytes as f64 / (1u64 << 10) as f64)
+    } else {
+        format!("{bytes} B")
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod measure;
+pub mod memory;
 pub mod report;
 pub mod sharding;
 pub mod suite;
@@ -19,6 +20,7 @@ pub use measure::{
     measure_sequential_qps, measure_throughput, AggregateMeasurement, LatencyMeasurement,
     ThroughputMeasurement,
 };
+pub use memory::{measure_memory, single_engine_breakdown, MemoryMeasurement};
 pub use report::FigureReport;
 pub use sharding::{measure_sharding, ShardingMeasurement};
 pub use suite::{BenchDataset, Scale};

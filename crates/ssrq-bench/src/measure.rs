@@ -80,7 +80,7 @@ pub struct ThroughputMeasurement {
     pub threads: usize,
     /// Queries per second, sequential execution with a reused context.
     pub sequential_qps: f64,
-    /// Queries per second through `query_batch_with_threads`.
+    /// Queries per second through `run_batch_with_threads`.
     pub batch_qps: f64,
 }
 
@@ -144,7 +144,7 @@ pub fn measure_sequential_qps(
     time_sequential(engine, &requests_for(users, k, alpha, algorithm))
 }
 
-/// Queries/second of `query_batch_with_threads`, returned with the number
+/// Queries/second of `run_batch_with_threads`, returned with the number
 /// of successful queries.
 pub fn measure_batch_qps(
     engine: &GeoSocialEngine,

@@ -42,6 +42,17 @@ impl ShardingMeasurement {
 /// on the workload `(users, k, alpha)` with [`Algorithm::Ais`]: batch
 /// throughput at `threads` workers, plus per-query skip counts from
 /// sequential best-first scatters.
+///
+/// With `with_ch` the shards are configured with an **eager** Contraction
+/// Hierarchies index, so `build_time` includes the CH preprocessing — built
+/// once and shared across all shards through the dataset core, which is
+/// what keeps the `*-CH` shard-build wall time flat in the shard count
+/// (pre-refactor it was one full CH build *per shard*).  Note the lazy CH
+/// slot lives in the shared core of `dataset` itself: measuring several
+/// configurations over the same dataset pays the CH build only once, so
+/// pass a freshly generated dataset per configuration for isolated build
+/// timings.
+#[allow(clippy::too_many_arguments)] // flat call shape mirrors the other measure_* helpers
 pub fn measure_sharding(
     dataset: &GeoSocialDataset,
     policy: Partitioning,
@@ -50,13 +61,16 @@ pub fn measure_sharding(
     k: usize,
     alpha: f64,
     threads: usize,
+    with_ch: bool,
 ) -> ShardingMeasurement {
     let build_started = Instant::now();
-    let engine = ShardedEngine::builder(dataset.clone())
+    let mut builder = ShardedEngine::builder(dataset.clone())
         .shards(shards)
-        .partitioning(policy)
-        .build()
-        .expect("sharded engine builds");
+        .partitioning(policy);
+    if with_ch {
+        builder = builder.configure_engines(|b| b.with_ch(ssrq_core::ChBuild::Eager));
+    }
+    let engine = builder.build().expect("sharded engine builds");
     let build_time = build_started.elapsed();
 
     let batch: Vec<QueryRequest> = users
@@ -112,6 +126,7 @@ mod tests {
             10,
             0.3,
             2,
+            false,
         );
         assert_eq!(m.shards, 3);
         assert_eq!(m.queries, 6);

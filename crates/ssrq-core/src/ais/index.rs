@@ -62,6 +62,12 @@ impl SocialSummary {
         self.min.iter().all(|d| d.is_infinite() && *d > 0.0)
     }
 
+    /// Approximate heap footprint of the summary's two aggregate vectors in
+    /// bytes.
+    pub fn approx_heap_bytes(&self) -> usize {
+        (self.min.capacity() + self.max.capacity()) * std::mem::size_of::<f64>()
+    }
+
     /// The social lower bound `p̌(v_q, C)` of Lemma 2, given the query
     /// user's landmark-distance vector.
     ///
@@ -160,6 +166,19 @@ impl AisIndex {
     /// Number of landmarks per summary.
     pub fn num_landmarks(&self) -> usize {
         self.num_landmarks
+    }
+
+    /// Approximate heap footprint of the index in bytes: the multi-level
+    /// grid plus every node's social summary.  The index aggregates
+    /// *locations*, so it is per-shard state in a partitioned deployment.
+    pub fn approx_heap_bytes(&self) -> usize {
+        self.grid.approx_heap_bytes()
+            + self.summaries.capacity() * std::mem::size_of::<SocialSummary>()
+            + self
+                .summaries
+                .iter()
+                .map(SocialSummary::approx_heap_bytes)
+                .sum::<usize>()
     }
 
     /// The social summary of a node.

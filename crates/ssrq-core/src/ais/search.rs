@@ -503,8 +503,10 @@ mod tests {
     fn invalid_parameters_are_rejected() {
         let (dataset, landmarks) = dataset();
         let index = AisIndex::build(&dataset, &landmarks, 4, 2).unwrap();
-        #[allow(deprecated)]
-        let bad_alpha: QueryRequest = crate::QueryParams::new(0, 5, 1.0).into();
+        let bad_alpha = QueryRequest::for_user(0)
+            .k(5)
+            .alpha(1.0)
+            .build_unvalidated();
         assert!(ais_query(
             &dataset,
             &index,

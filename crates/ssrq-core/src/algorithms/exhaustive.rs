@@ -288,12 +288,14 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn rejects_invalid_input() {
         let dataset = tiny_dataset();
-        // `From<QueryParams>` deliberately skips validation, so the
+        // `build_unvalidated` deliberately skips validation, so the
         // execution-time validation path is reachable.
-        let invalid: QueryRequest = crate::QueryParams::new(0, 0, 0.5).into();
+        let invalid = QueryRequest::for_user(0)
+            .k(0)
+            .alpha(0.5)
+            .build_unvalidated();
         assert!(exhaustive_query(&dataset, &invalid, &mut QueryContext::new()).is_err());
         assert!(exhaustive_query(&dataset, &req(99, 1, 0.5), &mut QueryContext::new()).is_err());
     }

@@ -55,6 +55,11 @@ impl SocialNeighborCache {
         self.lists.len()
     }
 
+    /// The users the cache holds a list for (arbitrary order).
+    pub fn covered(&self) -> impl Iterator<Item = UserId> + '_ {
+        self.lists.keys().copied()
+    }
+
     /// The pre-computed list of `user`, if it was built.
     pub fn neighbors(&self, user: UserId) -> Option<&[(UserId, f64)]> {
         self.lists.get(&user).map(|v| v.as_slice())

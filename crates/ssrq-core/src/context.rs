@@ -12,8 +12,8 @@ use ssrq_graph::{ChQueryScratch, SearchScratch};
 ///
 /// Create one per worker thread (or one for a single-threaded query loop)
 /// and pass it to
-/// [`GeoSocialEngine::query_with`](crate::GeoSocialEngine::query_with); the
-/// batch API ([`GeoSocialEngine::query_batch`](crate::GeoSocialEngine::query_batch))
+/// [`GeoSocialEngine::run_with`](crate::GeoSocialEngine::run_with); the
+/// batch API ([`GeoSocialEngine::run_batch`](crate::GeoSocialEngine::run_batch))
 /// maintains one context per worker internally.
 ///
 /// A context carries no query *results* — only working storage — and every

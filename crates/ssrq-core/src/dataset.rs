@@ -1,10 +1,33 @@
 use crate::CoreError;
-use ssrq_graph::{dijkstra_all, NodeId, SocialGraph};
+use ssrq_graph::{dijkstra_all, ChParams, ContractionHierarchy, NodeId, SocialGraph};
 use ssrq_spatial::{Point, Rect};
+use std::sync::{Arc, OnceLock};
 
 /// Identifier of a user.  User `i` is vertex `i` of the social graph and
 /// item `i` of the spatial indexes (the paper's `u_i` / `v_i` convention).
 pub type UserId = u32;
+
+/// The immutable part of a [`GeoSocialDataset`], shared (behind an [`Arc`])
+/// by every clone and every location-restricted view of the dataset.
+///
+/// The social graph and the normalization constants never change after
+/// construction (social-network topology changes far less frequently than
+/// user locations — §5.1), so they are the natural unit of sharing for a
+/// partitioned deployment: N shards hold N location vectors but **one**
+/// graph.  The core also hosts the write-once slot for the lazily built
+/// Contraction Hierarchies index — a pure function of the graph — so every
+/// engine over the same core observes the same build (see
+/// [`GeoSocialEngine::require_contraction_hierarchy`](crate::GeoSocialEngine::require_contraction_hierarchy)).
+#[derive(Debug)]
+struct DatasetCore {
+    graph: SocialGraph,
+    bounds: Rect,
+    spatial_norm: f64,
+    social_norm: f64,
+    /// Lazily built, shared Contraction Hierarchies index (graph-only, so
+    /// one instance is valid for every location restriction of this core).
+    ch: OnceLock<Arc<ContractionHierarchy>>,
+}
 
 /// A geo-social dataset: the social graph plus the current location of every
 /// user (§3 of the paper).
@@ -16,13 +39,19 @@ pub type UserId = u32;
 ///   distances are divided by the diagonal of the bounding rectangle of all
 ///   locations, social distances by an estimate of the weighted graph
 ///   diameter (computed by a double Dijkstra sweep at construction time).
+///
+/// # Ownership model
+///
+/// A dataset is an `Arc`-backed **immutable core** (graph, bounds, both
+/// normalization constants) plus a per-instance **location vector**.
+/// `Clone` and [`GeoSocialDataset::restrict_locations`] share the core —
+/// they copy only the `O(|V|)` location entries, never the graph — so a
+/// sharded deployment over N partitions holds exactly one graph in memory.
+/// [`GeoSocialDataset::shares_core_with`] tests core identity.
 #[derive(Debug, Clone)]
 pub struct GeoSocialDataset {
-    graph: SocialGraph,
+    core: Arc<DatasetCore>,
     locations: Vec<Option<Point>>,
-    bounds: Rect,
-    spatial_norm: f64,
-    social_norm: f64,
 }
 
 impl GeoSocialDataset {
@@ -59,22 +88,55 @@ impl GeoSocialDataset {
         };
         let social_norm = estimate_graph_diameter(&graph).max(f64::MIN_POSITIVE);
         Ok(GeoSocialDataset {
-            graph,
+            core: Arc::new(DatasetCore {
+                graph,
+                bounds,
+                spatial_norm,
+                social_norm,
+                ch: OnceLock::new(),
+            }),
             locations,
-            bounds,
-            spatial_norm,
-            social_norm,
         })
     }
 
     /// The underlying social graph.
     pub fn graph(&self) -> &SocialGraph {
-        &self.graph
+        &self.core.graph
+    }
+
+    /// Returns `true` when `self` and `other` share the same immutable core
+    /// (graph, bounds, normalization constants) — i.e. one is a clone or a
+    /// [`GeoSocialDataset::restrict_locations`] view of the other, not an
+    /// independently constructed copy.
+    ///
+    /// This is the memory-model invariant a sharded deployment relies on:
+    /// all shard datasets of one `ShardedEngine` answer `true` pairwise,
+    /// proving a single graph instance backs them.
+    pub fn shares_core_with(&self, other: &GeoSocialDataset) -> bool {
+        Arc::ptr_eq(&self.core, &other.core)
+    }
+
+    /// The shared Contraction Hierarchies index of this dataset's core, if
+    /// one has been built (by any engine over the same core).
+    pub(crate) fn shared_ch(&self) -> Option<&Arc<ContractionHierarchy>> {
+        self.core.ch.get()
+    }
+
+    /// Returns the core's shared Contraction Hierarchies index, building it
+    /// on first use.  Concurrent callers — including engines built from
+    /// *different clones* of this dataset — trigger exactly one build.
+    pub(crate) fn shared_ch_or_init(&self) -> &Arc<ContractionHierarchy> {
+        self.core.ch.get_or_init(|| {
+            Arc::new(ContractionHierarchy::build(
+                &self.core.graph,
+                ChParams::default(),
+            ))
+        })
     }
 
     /// Number of users.
     pub fn user_count(&self) -> usize {
-        self.graph.node_count()
+        self.core.graph.node_count()
     }
 
     /// Number of users that currently report a location.
@@ -97,19 +159,19 @@ impl GeoSocialDataset {
 
     /// Bounding rectangle of all user locations.
     pub fn bounds(&self) -> Rect {
-        self.bounds
+        self.core.bounds
     }
 
     /// The spatial normalization constant (maximum possible pairwise
     /// Euclidean distance).
     pub fn spatial_norm(&self) -> f64 {
-        self.spatial_norm
+        self.core.spatial_norm
     }
 
     /// The social normalization constant (estimated maximum pairwise graph
     /// distance).
     pub fn social_norm(&self) -> f64 {
-        self.social_norm
+        self.core.social_norm
     }
 
     /// Returns `true` when `user` is a valid user id.
@@ -130,7 +192,7 @@ impl GeoSocialDataset {
     /// (`f64::INFINITY` when either lacks a location).
     pub fn spatial_distance(&self, a: UserId, b: UserId) -> f64 {
         match (self.location(a), self.location(b)) {
-            (Some(pa), Some(pb)) => pa.distance(pb) / self.spatial_norm,
+            (Some(pa), Some(pb)) => pa.distance(pb) / self.core.spatial_norm,
             _ => f64::INFINITY,
         }
     }
@@ -138,7 +200,7 @@ impl GeoSocialDataset {
     /// Normalized Euclidean distance between a user and an arbitrary point.
     pub fn spatial_distance_to_point(&self, a: UserId, p: Point) -> f64 {
         match self.location(a) {
-            Some(pa) => pa.distance(p) / self.spatial_norm,
+            Some(pa) => pa.distance(p) / self.core.spatial_norm,
             None => f64::INFINITY,
         }
     }
@@ -146,13 +208,13 @@ impl GeoSocialDataset {
     /// Normalizes a raw spatial distance.
     #[inline]
     pub fn normalize_spatial(&self, d: f64) -> f64 {
-        d / self.spatial_norm
+        d / self.core.spatial_norm
     }
 
     /// Normalizes a raw social (graph) distance.
     #[inline]
     pub fn normalize_social(&self, p: f64) -> f64 {
-        p / self.social_norm
+        p / self.core.social_norm
     }
 
     /// Returns a dataset over the **same social graph** in which only users
@@ -169,7 +231,12 @@ impl GeoSocialDataset {
     ///
     /// Unlike [`GeoSocialDataset::new`], the restricted dataset may hold
     /// **zero** located users (an empty shard answers every query with an
-    /// empty result).
+    /// empty result); the empty view still shares the core — no path
+    /// through this method ever copies the graph.
+    ///
+    /// The returned view **shares this dataset's immutable core** (see the
+    /// type-level ownership notes): only the location vector is copied, so
+    /// N shards cost `N · O(|V|)` location entries plus a single graph.
     pub fn restrict_locations(&self, mut keep: impl FnMut(UserId) -> bool) -> GeoSocialDataset {
         let locations = self
             .locations
@@ -178,11 +245,8 @@ impl GeoSocialDataset {
             .map(|(u, p)| if keep(u as UserId) { *p } else { None })
             .collect();
         GeoSocialDataset {
-            graph: self.graph.clone(),
+            core: Arc::clone(&self.core),
             locations,
-            bounds: self.bounds,
-            spatial_norm: self.spatial_norm,
-            social_norm: self.social_norm,
         }
     }
 
@@ -203,6 +267,14 @@ impl GeoSocialDataset {
         }
         self.locations[user as usize] = location;
         Ok(())
+    }
+
+    /// Approximate heap footprint in bytes of the per-instance location
+    /// vector — the only part of a dataset **not** shared through the
+    /// `Arc`-backed core.  Used by the memory experiment of `ssrq-bench` to
+    /// attribute per-shard versus shared bytes.
+    pub fn locations_heap_bytes(&self) -> usize {
+        self.locations.capacity() * std::mem::size_of::<Option<Point>>()
     }
 }
 
@@ -348,6 +420,42 @@ mod tests {
         let empty = ds.restrict_locations(|_| false);
         assert_eq!(empty.located_user_count(), 0);
         assert_eq!(empty.spatial_norm(), ds.spatial_norm());
+        // Restriction — including the empty-shard path — shares the
+        // immutable core instead of deep-cloning the graph.
+        assert!(shard.shares_core_with(&ds));
+        assert!(empty.shares_core_with(&ds));
+        assert!(shard.shares_core_with(&empty));
+    }
+
+    #[test]
+    fn clones_share_the_core_but_not_the_locations() {
+        let ds = sample_dataset();
+        let mut cloned = ds.clone();
+        assert!(cloned.shares_core_with(&ds));
+        assert!(std::ptr::eq(cloned.graph(), ds.graph()));
+        // Locations stay per-instance mutable state.
+        cloned.set_location(0, None).unwrap();
+        assert!(ds.location(0).is_some());
+        assert!(cloned.location(0).is_none());
+        // An independently constructed dataset has its own core even over a
+        // structurally identical graph.
+        let other = sample_dataset();
+        assert!(!other.shares_core_with(&ds));
+        assert!(ds.locations_heap_bytes() > 0);
+    }
+
+    #[test]
+    fn shared_ch_slot_is_built_once_per_core() {
+        let ds = sample_dataset();
+        let view = ds.restrict_locations(|u| u != 1);
+        assert!(ds.shared_ch().is_none());
+        let built = Arc::clone(ds.shared_ch_or_init());
+        // The restricted view observes the very same instance, and repeated
+        // initialization returns it unchanged.
+        assert!(Arc::ptr_eq(&built, view.shared_ch_or_init()));
+        assert!(Arc::ptr_eq(&built, ds.shared_ch().unwrap()));
+        // An independent core has its own (empty) slot.
+        assert!(sample_dataset().shared_ch().is_none());
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::{
     CoreError, GeoSocialDataset, QueryContext, QueryRequest, QueryResult, QuerySession,
     StrategyRegistry, UserId,
 };
-use ssrq_graph::{ChParams, ContractionHierarchy, LandmarkSelection, LandmarkSet};
+use ssrq_graph::{ContractionHierarchy, LandmarkSelection, LandmarkSet};
 use ssrq_spatial::{Point, Rect, UniformGrid};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -228,12 +228,41 @@ pub enum SocialCachePlan {
 ///     .unwrap();
 /// assert!(engine.contraction_hierarchy().is_none()); // not built yet
 /// ```
+///
+/// # Shared immutable artifacts
+///
+/// The graph-only artifacts of an engine — the landmark tables, the
+/// Contraction Hierarchies index and the social neighbour cache — depend on
+/// the social graph but never on user locations, so many engines over the
+/// same graph (the shards of a partitioned deployment, an A/B pair, a
+/// replica set) can consume **one** built instance through `Arc` handles
+/// instead of building N identical copies:
+///
+/// * [`EngineBuilder::with_shared_landmarks`],
+///   [`EngineBuilder::with_shared_ch`] and
+///   [`EngineBuilder::with_shared_social_cache`] install a pre-built
+///   artifact;
+/// * [`EngineBuilder::share_graph_artifacts_with`] adopts everything
+///   shareable from an already-built sibling engine at once — including
+///   the *lazy* slots, so an index declared `Lazy` is still built at most
+///   once across all adopters;
+/// * the lazily built Contraction Hierarchies index additionally lives in
+///   the dataset's `Arc`-backed core, so even engines built independently
+///   from clones of one dataset race into a single build.
 #[derive(Debug, Clone)]
 pub struct EngineBuilder {
     dataset: GeoSocialDataset,
     params: IndexParams,
     ch: ChBuild,
     social_cache: SocialCachePlan,
+    shared_landmarks: Option<Arc<LandmarkSet>>,
+    shared_ch: Option<Arc<ContractionHierarchy>>,
+    shared_social_cache: Option<Arc<SocialNeighborCache>>,
+    /// Adopted social-cache *slot* (from a donor engine): lets two engines
+    /// share one lazily built cache without building it up front.
+    adopted_cache_slot: Option<Arc<OnceLock<Arc<SocialNeighborCache>>>>,
+    /// The donor's dataset, kept to verify core identity at build time.
+    donor_dataset: Option<GeoSocialDataset>,
 }
 
 impl EngineBuilder {
@@ -245,6 +274,11 @@ impl EngineBuilder {
             params: IndexParams::default(),
             ch: ChBuild::Disabled,
             social_cache: SocialCachePlan::Disabled,
+            shared_landmarks: None,
+            shared_ch: None,
+            shared_social_cache: None,
+            adopted_cache_slot: None,
+            donor_dataset: None,
         }
     }
 
@@ -308,13 +342,78 @@ impl EngineBuilder {
         })
     }
 
+    /// Installs a pre-built, shared landmark set instead of building one —
+    /// e.g. the set of a sibling engine over the same graph (a shard, a
+    /// replica) or one deserialized from disk.
+    ///
+    /// The set must cover the dataset's graph: its
+    /// [`node_count`](LandmarkSet::node_count) must equal the user count
+    /// (checked at [`EngineBuilder::build`]).  A shared set takes precedence
+    /// over the landmark fields of [`IndexParams`]; the caller is
+    /// responsible for it matching the configuration it claims (the sharded
+    /// coordinator guarantees this by configuring every shard identically).
+    pub fn with_shared_landmarks(mut self, landmarks: Arc<LandmarkSet>) -> Self {
+        self.shared_landmarks = Some(landmarks);
+        self
+    }
+
+    /// Installs a pre-built, shared Contraction Hierarchies index instead
+    /// of (lazily) building one — the `Arc` handle can simultaneously serve
+    /// any number of engines over the same graph.
+    ///
+    /// An installed index takes precedence over the declared [`ChBuild`]
+    /// mode: `require_contraction_hierarchy` returns it without ever
+    /// building, even under [`ChBuild::Disabled`].
+    pub fn with_shared_ch(mut self, ch: Arc<ContractionHierarchy>) -> Self {
+        self.shared_ch = Some(ch);
+        self
+    }
+
+    /// Installs a pre-built, shared social neighbour cache instead of
+    /// (lazily) building one; see
+    /// [`GeoSocialEngine::install_social_cache`] for the post-build
+    /// equivalent.  Takes precedence over the declared [`SocialCachePlan`].
+    pub fn with_shared_social_cache(mut self, cache: Arc<SocialNeighborCache>) -> Self {
+        self.shared_social_cache = Some(cache);
+        self
+    }
+
+    /// Adopts every shareable graph-only artifact of `donor` at once: its
+    /// landmark set (by `Arc`), its installed Contraction Hierarchies index
+    /// (if any; the *lazily* built CH is already shared through the dataset
+    /// core), and its social-cache **slot** — so a cache declared `Lazy` on
+    /// both engines is built at most once, by whichever engine first needs
+    /// it, and both observe the same `Arc`.
+    ///
+    /// This is the constructor the sharded coordinator uses: shard 0 builds
+    /// the graph-only indexes once and shards `1..n` adopt them.  The
+    /// builder's dataset must share the donor's immutable core
+    /// ([`GeoSocialDataset::shares_core_with`]); [`EngineBuilder::build`]
+    /// fails with [`CoreError::InvalidParameter`] otherwise.  The caller
+    /// must configure this builder with the same index parameters and cache
+    /// plan as the donor — adopted artifacts take precedence over what the
+    /// parameters would have built.
+    pub fn share_graph_artifacts_with(mut self, donor: &GeoSocialEngine) -> Self {
+        self.shared_landmarks = Some(Arc::clone(&donor.landmarks));
+        if let Some(ch) = &donor.installed_ch {
+            self.shared_ch = Some(Arc::clone(ch));
+        }
+        self.adopted_cache_slot = Some(Arc::clone(&donor.social_cache));
+        self.donor_dataset = Some(donor.dataset.clone());
+        self
+    }
+
     /// Builds the landmark tables, the SPA/TSA grid and the AIS aggregate
-    /// index, plus any eagerly declared auxiliary index, and returns the
-    /// engine.
+    /// index — or adopts the shared instances installed through the
+    /// `with_shared_*` methods — plus any eagerly declared auxiliary index,
+    /// and returns the engine.
     ///
     /// # Errors
     ///
-    /// [`CoreError::InvalidParameter`] for invalid index parameters,
+    /// [`CoreError::InvalidParameter`] for invalid index parameters, a
+    /// shared landmark set over the wrong graph size, or a
+    /// [`EngineBuilder::share_graph_artifacts_with`] donor whose dataset
+    /// does not share this builder's core;
     /// [`CoreError::InvalidDataset`] for an empty dataset.
     pub fn build(self) -> Result<GeoSocialEngine, CoreError> {
         let EngineBuilder {
@@ -322,6 +421,11 @@ impl EngineBuilder {
             params,
             ch: ch_mode,
             social_cache: cache_plan,
+            shared_landmarks,
+            shared_ch,
+            shared_social_cache,
+            adopted_cache_slot,
+            donor_dataset,
         } = self;
         params.validate()?;
         if let SocialCachePlan::Lazy { t, .. } | SocialCachePlan::Eager { t, .. } = &cache_plan {
@@ -334,15 +438,64 @@ impl EngineBuilder {
         if dataset.user_count() == 0 {
             return Err(CoreError::InvalidDataset("the dataset has no users".into()));
         }
-        let landmarks = LandmarkSet::build(
-            dataset.graph(),
-            params.num_landmarks,
-            params.landmark_selection,
-            params.landmark_seed,
-        )?;
+        if let Some(donor) = &donor_dataset {
+            if !donor.shares_core_with(&dataset) {
+                return Err(CoreError::InvalidParameter(
+                    "share_graph_artifacts_with requires a dataset sharing the donor's \
+                     immutable core (clone or restrict_locations view of the same dataset)"
+                        .into(),
+                ));
+            }
+        }
+        if let Some(landmarks) = &shared_landmarks {
+            if landmarks.node_count() != dataset.user_count() {
+                return Err(CoreError::InvalidParameter(format!(
+                    "shared landmark set covers {} vertices but the dataset has {} users",
+                    landmarks.node_count(),
+                    dataset.user_count()
+                )));
+            }
+        }
+        if let Some(ch) = &shared_ch {
+            if ch.node_count() != dataset.user_count() {
+                return Err(CoreError::InvalidParameter(format!(
+                    "shared Contraction Hierarchies index covers {} vertices but the \
+                     dataset has {} users",
+                    ch.node_count(),
+                    dataset.user_count()
+                )));
+            }
+        }
+        if let Some(cache) = &shared_social_cache {
+            if let Some(bad) = cache
+                .covered()
+                .find(|&u| u as usize >= dataset.user_count())
+            {
+                return Err(CoreError::InvalidParameter(format!(
+                    "shared social cache covers user {bad} but the dataset has only {} users",
+                    dataset.user_count()
+                )));
+            }
+        }
+        let landmarks = match shared_landmarks {
+            Some(landmarks) => landmarks,
+            None => Arc::new(LandmarkSet::build(
+                dataset.graph(),
+                params.num_landmarks,
+                params.landmark_selection,
+                params.landmark_seed,
+            )?),
+        };
         let bounds = expanded(dataset.bounds());
         let grid = UniformGrid::bulk_load(bounds, params.spa_grid_side(), dataset.located_users())?;
         let ais = AisIndex::build(&dataset, &landmarks, params.granularity, params.ais_levels)?;
+        let social_cache = match (shared_social_cache, adopted_cache_slot) {
+            // An explicitly installed cache wins and detaches from any
+            // adopted slot (the donor keeps its own).
+            (Some(cache), _) => Arc::new(OnceLock::from(cache)),
+            (None, Some(slot)) => slot,
+            (None, None) => Arc::new(OnceLock::new()),
+        };
         let engine = GeoSocialEngine {
             dataset,
             params,
@@ -350,9 +503,9 @@ impl EngineBuilder {
             grid,
             ais,
             ch_mode,
-            ch: OnceLock::new(),
+            installed_ch: shared_ch,
             cache_plan,
-            social_cache: OnceLock::new(),
+            social_cache,
             strategies: StrategyRegistry::with_builtins(),
         };
         if engine.ch_mode == ChBuild::Eager {
@@ -365,91 +518,37 @@ impl EngineBuilder {
     }
 }
 
-/// Index-construction parameters of a [`GeoSocialEngine`].
-///
-/// # Deprecated
-///
-/// `EngineConfig` is the legacy struct-literal configuration.  New code
-/// should use the fluent [`EngineBuilder`]
-/// (`GeoSocialEngine::builder(dataset).granularity(10).landmarks(8).build()?`),
-/// which additionally supports *lazy* auxiliary indexes
-/// ([`ChBuild::Lazy`] / [`SocialCachePlan::Lazy`]) instead of the eager
-/// `build_ch` flag.
-#[deprecated(
-    since = "0.2.0",
-    note = "use GeoSocialEngine::builder(dataset) and the fluent EngineBuilder instead"
-)]
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct EngineConfig {
-    /// Partitioning granularity `s` (see [`IndexParams::granularity`]).
-    pub granularity: u32,
-    /// Number of retained AIS grid levels.
-    pub ais_levels: u32,
-    /// Number of landmarks `M`.
-    pub num_landmarks: usize,
-    /// Landmark selection strategy.
-    pub landmark_selection: LandmarkSelection,
-    /// Seed for randomized landmark selection.
-    pub landmark_seed: u64,
-    /// Whether to eagerly build the Contraction Hierarchies index needed by
-    /// the `*-CH` baselines (expensive; off by default).
-    pub build_ch: bool,
-}
-
-#[allow(deprecated)]
-impl Default for EngineConfig {
-    fn default() -> Self {
-        let params = IndexParams::default();
-        EngineConfig {
-            granularity: params.granularity,
-            ais_levels: params.ais_levels,
-            num_landmarks: params.num_landmarks,
-            landmark_selection: params.landmark_selection,
-            landmark_seed: params.landmark_seed,
-            build_ch: false,
-        }
-    }
-}
-
-#[allow(deprecated)]
-impl EngineConfig {
-    /// The equivalent [`IndexParams`] record.
-    pub fn index_params(&self) -> IndexParams {
-        IndexParams {
-            granularity: self.granularity,
-            ais_levels: self.ais_levels,
-            num_landmarks: self.num_landmarks,
-            landmark_selection: self.landmark_selection,
-            landmark_seed: self.landmark_seed,
-        }
-    }
-
-    /// Validates the configuration.
-    pub fn validate(&self) -> Result<(), CoreError> {
-        self.index_params().validate()
-    }
-
-    /// The side length (cells per axis) of the single-level grid used by the
-    /// SPA/TSA spatial search.
-    pub fn spa_grid_side(&self) -> u32 {
-        self.index_params().spa_grid_side()
-    }
-}
-
 /// The SSRQ query engine: owns the dataset, the spatial indexes, the
 /// landmark tables and the (lazily built) auxiliary indexes, and dispatches
 /// [`QueryRequest`]s through its [`StrategyRegistry`].
+///
+/// # Memory model
+///
+/// The engine separates **shared immutable** artifacts from **per-engine
+/// mutable** state.  The social graph (through the dataset's `Arc`-backed
+/// core), the landmark set, the Contraction Hierarchies index and the
+/// social neighbour cache are graph-only and held by `Arc` handles: clones
+/// of the engine — and sibling engines built with
+/// [`EngineBuilder::share_graph_artifacts_with`] — reference one instance.
+/// The location vector, the SPA/TSA grid and the AIS aggregate index depend
+/// on locations and stay per-engine (they are what
+/// [`GeoSocialEngine::update_location`] mutates).
 #[derive(Debug, Clone)]
 pub struct GeoSocialEngine {
     dataset: GeoSocialDataset,
     params: IndexParams,
-    landmarks: LandmarkSet,
+    landmarks: Arc<LandmarkSet>,
     grid: UniformGrid,
     ais: AisIndex,
     ch_mode: ChBuild,
-    ch: OnceLock<ContractionHierarchy>,
+    /// A pre-built CH installed through [`EngineBuilder::with_shared_ch`];
+    /// takes precedence over the lazily built, core-shared index.
+    installed_ch: Option<Arc<ContractionHierarchy>>,
     cache_plan: SocialCachePlan,
-    social_cache: OnceLock<SocialNeighborCache>,
+    /// Write-once slot for the social neighbour cache.  The slot itself is
+    /// behind an `Arc` so sibling engines (shards) can adopt it and share
+    /// one lazy build; see [`EngineBuilder::share_graph_artifacts_with`].
+    social_cache: Arc<OnceLock<Arc<SocialNeighborCache>>>,
     strategies: StrategyRegistry,
 }
 
@@ -471,23 +570,6 @@ impl GeoSocialEngine {
         EngineBuilder::new(dataset)
     }
 
-    /// Builds all indexes for `dataset` from a legacy [`EngineConfig`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use GeoSocialEngine::builder(dataset)...build() instead"
-    )]
-    #[allow(deprecated)]
-    pub fn build(dataset: GeoSocialDataset, config: EngineConfig) -> Result<Self, CoreError> {
-        GeoSocialEngine::builder(dataset)
-            .index_params(config.index_params())
-            .with_ch(if config.build_ch {
-                ChBuild::Eager
-            } else {
-                ChBuild::Disabled
-            })
-            .build()
-    }
-
     /// The dataset the engine operates on.
     pub fn dataset(&self) -> &GeoSocialDataset {
         &self.dataset
@@ -498,23 +580,16 @@ impl GeoSocialEngine {
         &self.params
     }
 
-    /// The engine configuration as a legacy [`EngineConfig`] value.
-    #[deprecated(since = "0.2.0", note = "use GeoSocialEngine::index_params instead")]
-    #[allow(deprecated)]
-    pub fn config(&self) -> EngineConfig {
-        EngineConfig {
-            granularity: self.params.granularity,
-            ais_levels: self.params.ais_levels,
-            num_landmarks: self.params.num_landmarks,
-            landmark_selection: self.params.landmark_selection,
-            landmark_seed: self.params.landmark_seed,
-            build_ch: self.ch.get().is_some(),
-        }
-    }
-
     /// The landmark set shared by TSA and AIS.
     pub fn landmarks(&self) -> &LandmarkSet {
         &self.landmarks
+    }
+
+    /// The landmark set as a cheaply cloneable `Arc` handle — pass it to
+    /// [`EngineBuilder::with_shared_landmarks`] to build sibling engines
+    /// over the same graph without repeating the `M` Dijkstra sweeps.
+    pub fn shared_landmarks(&self) -> Arc<LandmarkSet> {
+        Arc::clone(&self.landmarks)
     }
 
     /// The AIS aggregate index.
@@ -530,50 +605,62 @@ impl GeoSocialEngine {
     /// The Contraction Hierarchies index, when already built.
     ///
     /// Under [`ChBuild::Lazy`] the index only exists after the first query
-    /// that needed it; use
+    /// (of *any* engine over the same dataset core) that needed it; use
     /// [`GeoSocialEngine::require_contraction_hierarchy`] to force it.
+    /// Under [`ChBuild::Disabled`] only an index installed through
+    /// [`EngineBuilder::with_shared_ch`] is visible.
     pub fn contraction_hierarchy(&self) -> Option<&ContractionHierarchy> {
-        self.ch.get()
+        if let Some(ch) = &self.installed_ch {
+            return Some(ch);
+        }
+        match self.ch_mode {
+            ChBuild::Disabled => None,
+            ChBuild::Lazy | ChBuild::Eager => self.dataset.shared_ch().map(|ch| &**ch),
+        }
+    }
+
+    /// The Contraction Hierarchies index as a cheaply cloneable `Arc`
+    /// handle, when already built — pass it to
+    /// [`EngineBuilder::with_shared_ch`] to serve further engines from the
+    /// same instance, or use `Arc::ptr_eq` to verify two engines share one
+    /// build.
+    pub fn shared_contraction_hierarchy(&self) -> Option<Arc<ContractionHierarchy>> {
+        if let Some(ch) = &self.installed_ch {
+            return Some(Arc::clone(ch));
+        }
+        match self.ch_mode {
+            ChBuild::Disabled => None,
+            ChBuild::Lazy | ChBuild::Eager => self.dataset.shared_ch().cloned(),
+        }
     }
 
     /// Returns the Contraction Hierarchies index, building it on the spot
     /// when the engine was configured with [`ChBuild::Lazy`] or
     /// [`ChBuild::Eager`].
     ///
-    /// Concurrent callers (e.g. parallel batch workers) trigger exactly one
-    /// build; the rest block until it is ready.
+    /// The lazily built index lives in the dataset's shared core:
+    /// concurrent callers — parallel batch workers, *and* other engines
+    /// built over clones of the same dataset (e.g. the shards of one or
+    /// several sharded deployments) — trigger exactly one build and observe
+    /// the same instance; the rest block until it is ready.
     ///
     /// # Errors
     ///
     /// [`CoreError::MissingIndex`] under [`ChBuild::Disabled`] (unless an
-    /// index was installed through the deprecated
-    /// `build_contraction_hierarchy`).
+    /// index was installed through [`EngineBuilder::with_shared_ch`]).
     pub fn require_contraction_hierarchy(&self) -> Result<&ContractionHierarchy, CoreError> {
-        match self.ch_mode {
-            ChBuild::Disabled => self.ch.get().ok_or_else(|| {
-                CoreError::MissingIndex(
-                    "this algorithm needs a Contraction Hierarchies index; declare it \
-                     with EngineBuilder::with_ch(ChBuild::Lazy) or ChBuild::Eager"
-                        .into(),
-                )
-            }),
-            ChBuild::Lazy | ChBuild::Eager => Ok(self.ch.get_or_init(|| {
-                ContractionHierarchy::build(self.dataset.graph(), ChParams::default())
-            })),
+        if let Some(ch) = &self.installed_ch {
+            return Ok(ch);
         }
-    }
-
-    /// Builds (or replaces) the Contraction Hierarchies index.
-    #[deprecated(
-        since = "0.2.0",
-        note = "declare the index at construction time with EngineBuilder::with_ch(ChBuild::Lazy | ChBuild::Eager)"
-    )]
-    pub fn build_contraction_hierarchy(&mut self) {
-        self.ch = OnceLock::new();
-        let _ = self.ch.set(ContractionHierarchy::build(
-            self.dataset.graph(),
-            ChParams::default(),
-        ));
+        match self.ch_mode {
+            ChBuild::Disabled => Err(CoreError::MissingIndex(
+                "this algorithm needs a Contraction Hierarchies index; declare it \
+                 with EngineBuilder::with_ch(ChBuild::Lazy) or ChBuild::Eager, or \
+                 install a shared one with EngineBuilder::with_shared_ch"
+                    .into(),
+            )),
+            ChBuild::Lazy | ChBuild::Eager => Ok(&**self.dataset.shared_ch_or_init()),
+        }
     }
 
     /// The pre-computed social neighbour cache, when already built.
@@ -582,52 +669,62 @@ impl GeoSocialEngine {
     /// first query that needed it; use
     /// [`GeoSocialEngine::require_social_cache`] to force it.
     pub fn social_cache(&self) -> Option<&SocialNeighborCache> {
-        self.social_cache.get()
+        self.social_cache.get().map(|cache| &**cache)
+    }
+
+    /// The social neighbour cache as a cheaply cloneable `Arc` handle, when
+    /// already built — pass it to
+    /// [`EngineBuilder::with_shared_social_cache`] /
+    /// [`GeoSocialEngine::install_social_cache`] to serve further engines
+    /// from the same instance.
+    pub fn shared_social_cache(&self) -> Option<Arc<SocialNeighborCache>> {
+        self.social_cache.get().cloned()
     }
 
     /// Returns the social neighbour cache, building it on the spot when the
     /// engine was configured with a [`SocialCachePlan`].
     ///
+    /// Engines that adopted this engine's cache slot
+    /// ([`EngineBuilder::share_graph_artifacts_with`]) share the build:
+    /// whichever engine first needs the cache builds it once, and every
+    /// holder of the slot observes the same instance.
+    ///
     /// # Errors
     ///
     /// [`CoreError::MissingIndex`] under [`SocialCachePlan::Disabled`]
-    /// (unless a cache was installed through the deprecated
-    /// `build_social_cache`).
+    /// (unless a cache was installed through
+    /// [`GeoSocialEngine::install_social_cache`] or a `with_shared_*`
+    /// builder method).
     pub fn require_social_cache(&self) -> Result<&SocialNeighborCache, CoreError> {
         match &self.cache_plan {
-            SocialCachePlan::Disabled => self.social_cache.get().ok_or_else(|| {
+            SocialCachePlan::Disabled => self.social_cache().ok_or_else(|| {
                 CoreError::MissingIndex(
                     "Algorithm::SfaCached needs the pre-computed social neighbour lists; \
                      declare them with EngineBuilder::cache_social_neighbors(users, t)"
                         .into(),
                 )
             }),
-            SocialCachePlan::Lazy { users, t } | SocialCachePlan::Eager { users, t } => Ok(self
-                .social_cache
-                .get_or_init(|| SocialNeighborCache::build(self.dataset.graph(), users, *t))),
+            SocialCachePlan::Lazy { users, t } | SocialCachePlan::Eager { users, t } => {
+                Ok(&**self.social_cache.get_or_init(|| {
+                    Arc::new(SocialNeighborCache::build(self.dataset.graph(), users, *t))
+                }))
+            }
         }
     }
 
-    /// Pre-computes the `t` socially closest vertices for each user in
-    /// `users` (§5.4).
-    #[deprecated(
-        since = "0.2.0",
-        note = "declare the cache at construction time with EngineBuilder::cache_social_neighbors(users, t)"
-    )]
-    pub fn build_social_cache(&mut self, users: &[UserId], t: usize) {
-        self.install_social_cache(SocialNeighborCache::build(self.dataset.graph(), users, t));
-    }
-
     /// Installs (or replaces) a pre-built social neighbour cache — e.g. one
-    /// deserialized from disk, shared between engines, or swapped while
-    /// sweeping the list length `t` without rebuilding the base indexes
-    /// (the Figure 11 experiment).
+    /// deserialized from disk, shared between engines (pass an
+    /// `Arc<SocialNeighborCache>`), or swapped while sweeping the list
+    /// length `t` without rebuilding the base indexes (the Figure 11
+    /// experiment).
     ///
-    /// For caches derived from this engine's own graph, prefer declaring a
-    /// [`SocialCachePlan`] at construction time.
-    pub fn install_social_cache(&mut self, cache: SocialNeighborCache) {
-        self.social_cache = OnceLock::new();
-        let _ = self.social_cache.set(cache);
+    /// Installing detaches this engine from any previously shared cache
+    /// slot: sibling engines that adopted the old slot keep (or lazily
+    /// build) the old cache, unaffected.  For caches derived from this
+    /// engine's own graph, prefer declaring a [`SocialCachePlan`] at
+    /// construction time.
+    pub fn install_social_cache(&mut self, cache: impl Into<Arc<SocialNeighborCache>>) {
+        self.social_cache = Arc::new(OnceLock::from(cache.into()));
     }
 
     /// The strategy registry the engine dispatches through.
@@ -837,87 +934,6 @@ impl GeoSocialEngine {
         results.into_iter().map(|(_, result)| result).collect()
     }
 
-    /// Processes one SSRQ query with the chosen algorithm.
-    #[deprecated(
-        since = "0.2.0",
-        note = "build a QueryRequest and use GeoSocialEngine::run instead"
-    )]
-    #[allow(deprecated)]
-    pub fn query(
-        &self,
-        algorithm: Algorithm,
-        params: &crate::QueryParams,
-    ) -> Result<QueryResult, CoreError> {
-        self.run(&QueryRequest::from(*params).with_algorithm(algorithm))
-    }
-
-    /// Processes one SSRQ query with the chosen algorithm, drawing all
-    /// search scratch from `ctx`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "build a QueryRequest and use GeoSocialEngine::run_with instead"
-    )]
-    #[allow(deprecated)]
-    pub fn query_with(
-        &self,
-        algorithm: Algorithm,
-        params: &crate::QueryParams,
-        ctx: &mut QueryContext,
-    ) -> Result<QueryResult, CoreError> {
-        self.run_with(&QueryRequest::from(*params).with_algorithm(algorithm), ctx)
-    }
-
-    /// Processes the same query with every algorithm in `algorithms`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "build a QueryRequest and use GeoSocialEngine::run_each instead"
-    )]
-    #[allow(deprecated)]
-    pub fn query_all(
-        &self,
-        algorithms: &[Algorithm],
-        params: &crate::QueryParams,
-    ) -> Result<Vec<(Algorithm, QueryResult)>, CoreError> {
-        self.run_each(algorithms, &QueryRequest::from(*params))
-    }
-
-    /// Processes a batch of legacy parameter triples in parallel.
-    #[deprecated(
-        since = "0.2.0",
-        note = "build QueryRequests and use GeoSocialEngine::run_batch instead"
-    )]
-    #[allow(deprecated)]
-    pub fn query_batch(
-        &self,
-        algorithm: Algorithm,
-        batch: &[crate::QueryParams],
-    ) -> Vec<Result<QueryResult, CoreError>> {
-        let requests: Vec<QueryRequest> = batch
-            .iter()
-            .map(|&p| QueryRequest::from(p).with_algorithm(algorithm))
-            .collect();
-        self.run_batch(&requests)
-    }
-
-    /// [`GeoSocialEngine::query_batch`] with an explicit worker count.
-    #[deprecated(
-        since = "0.2.0",
-        note = "build QueryRequests and use GeoSocialEngine::run_batch_with_threads instead"
-    )]
-    #[allow(deprecated)]
-    pub fn query_batch_with_threads(
-        &self,
-        algorithm: Algorithm,
-        batch: &[crate::QueryParams],
-        threads: usize,
-    ) -> Vec<Result<QueryResult, CoreError>> {
-        let requests: Vec<QueryRequest> = batch
-            .iter()
-            .map(|&p| QueryRequest::from(p).with_algorithm(algorithm))
-            .collect();
-        self.run_batch_with_threads(&requests, threads)
-    }
-
     /// Reports a new location for `user`, updating the dataset, the SPA/TSA
     /// grid and the AIS index (including its social summaries) — the
     /// location-update path of §5.1.
@@ -931,8 +947,11 @@ impl GeoSocialEngine {
     /// before or after the update.  `tests/dynamic_updates.rs` pins this
     /// down by checking `*-CH` and `AIS-Cache` queries against the
     /// exhaustive oracle across churn interleaved with lazy index builds.
-    /// Any future mutation that *does* touch the graph (edge insertion,
-    /// re-weighting) must reset the `OnceLock`-held indexes.
+    /// The same argument is why those indexes can be *shared* across the
+    /// shards of a partitioned deployment: per-shard location churn and
+    /// cross-shard migration never touch them.  Any future mutation that
+    /// *does* touch the graph (edge insertion, re-weighting) must replace
+    /// the dataset core and the `Arc`-held graph artifacts wholesale.
     pub fn update_location(&mut self, user: UserId, location: Point) -> Result<(), CoreError> {
         self.dataset.check_user(user)?;
         if !location.is_finite() {
@@ -963,6 +982,73 @@ impl GeoSocialEngine {
             self.ais.remove_user(user, &self.landmarks)?;
         }
         Ok(())
+    }
+}
+
+impl GeoSocialEngine {
+    /// Approximate heap footprint of this engine, split into the bytes that
+    /// are **shared** through `Arc` handles (graph, landmarks, CH, social
+    /// cache — paid once no matter how many engines hold them) and the
+    /// bytes that are **per-engine** (locations, SPA/TSA grid, AIS index).
+    ///
+    /// Capacity-based estimates; allocator overhead and the strategy
+    /// registry are ignored.  This powers the `experiments -- memory`
+    /// report of `ssrq-bench`.
+    pub fn memory_breakdown(&self) -> EngineMemory {
+        EngineMemory {
+            graph_bytes: self.dataset.graph().approx_heap_bytes(),
+            landmarks_bytes: self.landmarks.approx_heap_bytes(),
+            ch_bytes: self
+                .shared_contraction_hierarchy()
+                .map(|ch| ch.approx_heap_bytes())
+                .unwrap_or(0),
+            social_cache_bytes: self
+                .social_cache()
+                .map(|cache| cache.memory_bytes())
+                .unwrap_or(0),
+            locations_bytes: self.dataset.locations_heap_bytes(),
+            grid_bytes: self.grid.approx_heap_bytes(),
+            ais_bytes: self.ais.approx_heap_bytes(),
+        }
+    }
+}
+
+/// Approximate heap footprint of a [`GeoSocialEngine`], split by sharing
+/// class; see [`GeoSocialEngine::memory_breakdown`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineMemory {
+    /// CSR social graph (shared through the dataset core).
+    pub graph_bytes: usize,
+    /// Landmark distance tables (shared through an `Arc`).
+    pub landmarks_bytes: usize,
+    /// Contraction Hierarchies index, when built (shared through an `Arc`).
+    pub ch_bytes: usize,
+    /// Social neighbour cache, when built (shared through an `Arc`).
+    pub social_cache_bytes: usize,
+    /// Per-engine location vector.
+    pub locations_bytes: usize,
+    /// Per-engine SPA/TSA grid.
+    pub grid_bytes: usize,
+    /// Per-engine AIS aggregate index.
+    pub ais_bytes: usize,
+}
+
+impl EngineMemory {
+    /// Bytes held behind shared `Arc` handles: whatever the deployment
+    /// shape, these are resident **once** per distinct instance.
+    pub fn shared_bytes(&self) -> usize {
+        self.graph_bytes + self.landmarks_bytes + self.ch_bytes + self.social_cache_bytes
+    }
+
+    /// Bytes owned by this engine alone (replicated per shard in a
+    /// partitioned deployment).
+    pub fn per_engine_bytes(&self) -> usize {
+        self.locations_bytes + self.grid_bytes + self.ais_bytes
+    }
+
+    /// Shared plus per-engine bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.shared_bytes() + self.per_engine_bytes()
     }
 }
 
@@ -1230,41 +1316,183 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_return_bit_identical_results() {
+    fn shared_artifacts_are_adopted_not_rebuilt() {
         let query_users = [0u32, 7, 23];
-        let mut legacy = GeoSocialEngine::build(
-            dataset(),
-            EngineConfig {
-                granularity: 4,
-                ..EngineConfig::default()
-            },
-        )
-        .unwrap();
-        legacy.build_contraction_hierarchy();
-        legacy.build_social_cache(&query_users, 60);
-        let modern = full_engine(&query_users);
+        let donor = GeoSocialEngine::builder(dataset())
+            .granularity(4)
+            .with_ch(ChBuild::Eager)
+            .with_social_cache(SocialCachePlan::Eager {
+                users: query_users.to_vec(),
+                t: 60,
+            })
+            .build()
+            .unwrap();
+        let sibling = GeoSocialEngine::builder(donor.dataset().clone())
+            .granularity(4)
+            .with_ch(ChBuild::Eager)
+            .with_social_cache(SocialCachePlan::Eager {
+                users: query_users.to_vec(),
+                t: 60,
+            })
+            .share_graph_artifacts_with(&donor)
+            .build()
+            .unwrap();
+        // One landmark set, one CH, one cache across both engines.
+        assert!(Arc::ptr_eq(
+            &donor.shared_landmarks(),
+            &sibling.shared_landmarks()
+        ));
+        assert!(Arc::ptr_eq(
+            &donor.shared_contraction_hierarchy().unwrap(),
+            &sibling.shared_contraction_hierarchy().unwrap()
+        ));
+        assert!(Arc::ptr_eq(
+            &donor.shared_social_cache().unwrap(),
+            &sibling.shared_social_cache().unwrap()
+        ));
+        // And identical answers, of course.
         for &user in &query_users {
-            let params = crate::QueryParams::new(user, 6, 0.4);
             for algorithm in Algorithm::ALL {
-                let old = legacy.query(algorithm, &params).unwrap();
-                let new = modern.run(&request(user, 6, 0.4, algorithm)).unwrap();
-                assert_eq!(old.ranked, new.ranked, "{}", algorithm.name());
+                let a = donor.run(&request(user, 6, 0.4, algorithm)).unwrap();
+                let b = sibling.run(&request(user, 6, 0.4, algorithm)).unwrap();
+                assert_eq!(a.ranked, b.ranked, "{}", algorithm.name());
             }
         }
-        // Legacy batch shim matches the request batch path bit for bit.
-        let params: Vec<crate::QueryParams> = query_users
-            .iter()
-            .map(|&u| crate::QueryParams::new(u, 6, 0.4))
-            .collect();
-        let requests: Vec<QueryRequest> = query_users
-            .iter()
-            .map(|&u| request(u, 6, 0.4, Algorithm::Ais))
-            .collect();
-        let old = legacy.query_batch_with_threads(Algorithm::Ais, &params, 2);
-        let new = modern.run_batch_with_threads(&requests, 2);
-        for (o, n) in old.iter().zip(new.iter()) {
-            assert_eq!(o.as_ref().unwrap().ranked, n.as_ref().unwrap().ranked);
-        }
+    }
+
+    #[test]
+    fn adopted_lazy_cache_slot_is_built_once_and_shared() {
+        let query_users = [0u32, 7];
+        let donor = GeoSocialEngine::builder(dataset())
+            .granularity(4)
+            .cache_social_neighbors(query_users.to_vec(), 60)
+            .build()
+            .unwrap();
+        let sibling = GeoSocialEngine::builder(donor.dataset().clone())
+            .granularity(4)
+            .cache_social_neighbors(query_users.to_vec(), 60)
+            .share_graph_artifacts_with(&donor)
+            .build()
+            .unwrap();
+        assert!(donor.social_cache().is_none());
+        assert!(sibling.social_cache().is_none());
+        // The *sibling* triggers the lazy build; the donor observes it.
+        sibling
+            .run(&request(0, 5, 0.4, Algorithm::SfaCached))
+            .unwrap();
+        let built = sibling.shared_social_cache().unwrap();
+        assert!(Arc::ptr_eq(&built, &donor.shared_social_cache().unwrap()));
+        // install_social_cache detaches only the installing engine.
+        let mut detached = sibling.clone();
+        detached.install_social_cache(SocialNeighborCache::build(
+            detached.dataset().graph(),
+            &query_users,
+            30,
+        ));
+        assert!(!Arc::ptr_eq(
+            &built,
+            &detached.shared_social_cache().unwrap()
+        ));
+        assert!(Arc::ptr_eq(&built, &donor.shared_social_cache().unwrap()));
+    }
+
+    #[test]
+    fn share_graph_artifacts_with_rejects_foreign_cores() {
+        let donor = GeoSocialEngine::builder(dataset())
+            .granularity(4)
+            .build()
+            .unwrap();
+        // Structurally identical dataset, but an independent core.
+        let err = GeoSocialEngine::builder(dataset())
+            .granularity(4)
+            .share_graph_artifacts_with(&donor)
+            .build();
+        assert!(matches!(err, Err(CoreError::InvalidParameter(_))));
+    }
+
+    #[test]
+    fn shared_landmarks_must_cover_the_graph() {
+        let donor = GeoSocialEngine::builder(dataset())
+            .granularity(4)
+            .build()
+            .unwrap();
+        let small = {
+            let graph = GraphBuilder::from_edges(3, vec![(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+            let locations = vec![Some(Point::new(0.1, 0.2)); 3];
+            GeoSocialDataset::new(graph, locations).unwrap()
+        };
+        let err = GeoSocialEngine::builder(small)
+            .with_shared_landmarks(donor.shared_landmarks())
+            .build();
+        assert!(matches!(err, Err(CoreError::InvalidParameter(_))));
+    }
+
+    #[test]
+    fn shared_ch_must_cover_the_graph() {
+        let small = {
+            let graph = GraphBuilder::from_edges(3, vec![(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+            let locations = vec![Some(Point::new(0.1, 0.2)); 3];
+            GeoSocialDataset::new(graph, locations).unwrap()
+        };
+        let small_engine = GeoSocialEngine::builder(small)
+            .landmarks(2)
+            .with_ch(ChBuild::Eager)
+            .build()
+            .unwrap();
+        // A 3-vertex CH installed into a 50-user engine must be rejected,
+        // not panic later inside rank lookups.
+        let err = GeoSocialEngine::builder(dataset())
+            .granularity(4)
+            .with_shared_ch(small_engine.shared_contraction_hierarchy().unwrap())
+            .build();
+        assert!(matches!(err, Err(CoreError::InvalidParameter(_))));
+    }
+
+    #[test]
+    fn shared_social_cache_must_cover_only_known_users() {
+        let donor = GeoSocialEngine::builder(dataset())
+            .granularity(4)
+            .with_social_cache(SocialCachePlan::Eager {
+                users: vec![0, 7, 49],
+                t: 10,
+            })
+            .build()
+            .unwrap();
+        let small = {
+            let graph = GraphBuilder::from_edges(3, vec![(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+            let locations = vec![Some(Point::new(0.1, 0.2)); 3];
+            GeoSocialDataset::new(graph, locations).unwrap()
+        };
+        // The donor cache covers user 49; a 3-user engine must reject it.
+        let err = GeoSocialEngine::builder(small)
+            .landmarks(2)
+            .with_shared_social_cache(donor.shared_social_cache().unwrap())
+            .build();
+        assert!(matches!(err, Err(CoreError::InvalidParameter(_))));
+    }
+
+    #[test]
+    fn installed_shared_ch_serves_even_a_disabled_engine() {
+        let donor = GeoSocialEngine::builder(dataset())
+            .granularity(4)
+            .with_ch(ChBuild::Eager)
+            .build()
+            .unwrap();
+        let ch = donor.shared_contraction_hierarchy().unwrap();
+        let consumer = GeoSocialEngine::builder(donor.dataset().clone())
+            .granularity(4)
+            .with_shared_ch(Arc::clone(&ch))
+            .build()
+            .unwrap();
+        // ChBuild stayed Disabled, yet the installed index answers.
+        let oracle = consumer
+            .run(&request(0, 5, 0.5, Algorithm::Exhaustive))
+            .unwrap();
+        let got = consumer.run(&request(0, 5, 0.5, Algorithm::SfaCh)).unwrap();
+        assert!(got.same_users_and_scores(&oracle, 1e-9));
+        assert!(Arc::ptr_eq(
+            &ch,
+            &consumer.shared_contraction_hierarchy().unwrap()
+        ));
     }
 }

@@ -77,18 +77,34 @@
 //!
 //! # Migrating from the 0.1 API
 //!
-//! The 0.1 entry points still compile (deprecated) and return bit-identical
-//! results:
+//! The deprecated 0.1 entry points (`EngineConfig`, `QueryParams`,
+//! `engine.query*`, `engine.build_*`) have been **removed** after two
+//! releases of deprecation:
 //!
 //! * `GeoSocialEngine::build(dataset, EngineConfig { .. })` →
 //!   [`GeoSocialEngine::builder`] + [`EngineBuilder`] methods.
 //! * `engine.build_contraction_hierarchy()` / `engine.build_social_cache(..)`
 //!   → declare at construction time with [`EngineBuilder::with_ch`] /
-//!   [`EngineBuilder::cache_social_neighbors`] (lazy by default).
+//!   [`EngineBuilder::cache_social_neighbors`] (lazy by default), or install
+//!   a pre-built shared index with [`EngineBuilder::with_shared_ch`] /
+//!   [`GeoSocialEngine::install_social_cache`].
 //! * `engine.query(algorithm, &QueryParams::new(u, k, a))` →
 //!   `engine.run(&QueryRequest::for_user(u).k(k).alpha(a).algorithm(algorithm).build()?)`.
 //! * `engine.query_batch(algorithm, &params)` →
 //!   [`GeoSocialEngine::run_batch`] over [`QueryRequest`]s.
+//! * [`GeoSocialEngine::install_social_cache`] now takes
+//!   `impl Into<Arc<SocialNeighborCache>>` (pass a cache by value as
+//!   before, or an `Arc` to share one instance across engines).
+//!
+//! # Shared immutable substrate
+//!
+//! [`GeoSocialDataset`] is an `Arc`-backed immutable core (graph, bounds,
+//! normalization constants) plus per-instance locations: `Clone` and
+//! [`GeoSocialDataset::restrict_locations`] never copy the graph.  The
+//! graph-only indexes (landmarks, Contraction Hierarchies, social cache)
+//! are consumed through `Arc` handles and can be shared across engines —
+//! see [`EngineBuilder::share_graph_artifacts_with`] and the `with_shared_*`
+//! builder methods.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -112,14 +128,10 @@ pub use algorithms::SocialNeighborCache;
 pub use context::QueryContext;
 pub use dataset::{GeoSocialDataset, UserId};
 pub use driver::{EagerDriver, QueryDriver, StepOutcome};
-#[allow(deprecated)]
-pub use engine::EngineConfig;
 pub use engine::{
-    Algorithm, ChBuild, EngineBuilder, GeoSocialEngine, IndexParams, SocialCachePlan,
+    Algorithm, ChBuild, EngineBuilder, EngineMemory, GeoSocialEngine, IndexParams, SocialCachePlan,
 };
 pub use error::CoreError;
-#[allow(deprecated)]
-pub use query::QueryParams;
 pub use query::{QueryResult, RankedUser};
 pub use ranking::{combine, RankingContext};
 pub use request::{AlgorithmSpec, QueryRequest, QueryRequestBuilder};

@@ -1,71 +1,4 @@
-use crate::{CoreError, QueryStats, UserId};
-
-/// Parameters of one SSRQ query (Definition 1 of the paper).
-///
-/// # Deprecated
-///
-/// `QueryParams` is the legacy flat parameter triple.  New code should
-/// build a typed [`QueryRequest`](crate::QueryRequest) instead, which adds
-/// the algorithm choice and per-query scenario options (spatial filter,
-/// exclusions, score cutoff):
-///
-/// ```
-/// use ssrq_core::{Algorithm, QueryRequest};
-/// let request = QueryRequest::for_user(42)
-///     .k(10)
-///     .alpha(0.3)
-///     .algorithm(Algorithm::Ais)
-///     .build()
-///     .unwrap();
-/// ```
-///
-/// A `QueryParams` converts losslessly into a request via `From`/`Into`.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a typed QueryRequest (QueryRequest::for_user(u).k(..).alpha(..).build()) instead"
-)]
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct QueryParams {
-    /// The query user `u_q`.
-    pub user: UserId,
-    /// Number of users to report (`k`).
-    pub k: usize,
-    /// Preference parameter `α ∈ (0, 1)`: the weight of *social* proximity
-    /// (`1 − α` weighs spatial proximity).
-    pub alpha: f64,
-}
-
-#[allow(deprecated)]
-impl QueryParams {
-    /// Creates query parameters.
-    pub fn new(user: UserId, k: usize, alpha: f64) -> Self {
-        QueryParams { user, k, alpha }
-    }
-
-    /// Validates the parameters.
-    ///
-    /// `α` must lie strictly between 0 and 1: at the boundaries one of the
-    /// domains carries zero weight and the single-domain algorithms of the
-    /// paper lose their termination conditions (the evaluation uses
-    /// `α ∈ [0.1, 0.9]`).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CoreError::InvalidParameter`] for `k = 0` or `α` outside
-    /// `(0, 1)`.
-    pub fn validate(&self) -> Result<(), CoreError> {
-        if self.k == 0 {
-            return Err(CoreError::InvalidParameter("k must be at least 1".into()));
-        }
-        if !(self.alpha > 0.0 && self.alpha < 1.0) {
-            return Err(CoreError::InvalidParameter(format!(
-                "alpha must lie strictly between 0 and 1, got {}",
-                self.alpha
-            )));
-        }
-        Ok(())
-    }
-}
+use crate::{QueryStats, UserId};
 
 /// One entry of an SSRQ result: a user together with its ranking value and
 /// the two normalized distances it was derived from.
@@ -178,24 +111,6 @@ mod tests {
             k,
             stats: QueryStats::default(),
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn validation_accepts_paper_ranges() {
-        for alpha in [0.1, 0.3, 0.5, 0.7, 0.9] {
-            assert!(QueryParams::new(0, 30, alpha).validate().is_ok());
-        }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn validation_rejects_degenerate_parameters() {
-        assert!(QueryParams::new(0, 0, 0.5).validate().is_err());
-        assert!(QueryParams::new(0, 10, 0.0).validate().is_err());
-        assert!(QueryParams::new(0, 10, 1.0).validate().is_err());
-        assert!(QueryParams::new(0, 10, -0.3).validate().is_err());
-        assert!(QueryParams::new(0, 10, f64::NAN).validate().is_err());
     }
 
     #[test]

@@ -265,19 +265,6 @@ impl QueryRequest {
     }
 }
 
-#[allow(deprecated)]
-impl From<crate::QueryParams> for QueryRequest {
-    /// Migration shim: a legacy parameter triple becomes a request with no
-    /// scenario options (validation still happens at execution time, as it
-    /// did for `QueryParams`).
-    fn from(params: crate::QueryParams) -> Self {
-        let QueryRequestBuilder { mut request } = QueryRequest::for_user(params.user);
-        request.k = params.k;
-        request.alpha = params.alpha;
-        request
-    }
-}
-
 /// Builder for [`QueryRequest`]; see [`QueryRequest::for_user`].
 #[derive(Debug, Clone)]
 pub struct QueryRequestBuilder {
@@ -348,6 +335,18 @@ impl QueryRequestBuilder {
     pub fn build(self) -> Result<QueryRequest, CoreError> {
         self.request.validate()?;
         Ok(self.request)
+    }
+
+    /// Returns the request **without** validating it — the in-process
+    /// counterpart of a request deserialized from an untrusted peer.
+    ///
+    /// Every strategy re-checks [`QueryRequest::validate`] defensively at
+    /// execution time, so an invalid request built this way produces a
+    /// typed [`CoreError::InvalidParameter`] when run, never an undefined
+    /// algorithm state.  The test-suite uses this to exercise exactly that
+    /// path; service code should prefer [`QueryRequestBuilder::build`].
+    pub fn build_unvalidated(self) -> QueryRequest {
+        self.request
     }
 }
 
@@ -475,12 +474,13 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn legacy_params_convert_losslessly() {
-        let request: QueryRequest = crate::QueryParams::new(5, 7, 0.45).into();
+    fn build_unvalidated_defers_validation_to_execution() {
+        let request = QueryRequest::for_user(5)
+            .k(0)
+            .alpha(0.45)
+            .build_unvalidated();
         assert_eq!(request.user(), 5);
-        assert_eq!(request.k(), 7);
-        assert!((request.alpha() - 0.45).abs() < 1e-12);
-        assert!(!request.has_filters());
+        assert_eq!(request.k(), 0);
+        assert!(request.validate().is_err());
     }
 }

@@ -7,8 +7,6 @@
 
 use rand::prelude::*;
 use rand::rngs::StdRng;
-#[allow(deprecated)]
-use ssrq_core::QueryParams;
 use ssrq_core::{Algorithm, GeoSocialDataset, QueryRequest, UserId};
 
 /// A reproducible set of query users together with default query
@@ -63,18 +61,6 @@ impl QueryWorkload {
     /// Returns `true` when the workload is empty.
     pub fn is_empty(&self) -> bool {
         self.users.is_empty()
-    }
-
-    /// The query parameters for each query user.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use QueryWorkload::requests(algorithm) to obtain typed QueryRequests"
-    )]
-    #[allow(deprecated)]
-    pub fn params(&self) -> impl Iterator<Item = QueryParams> + '_ {
-        self.users
-            .iter()
-            .map(move |&u| QueryParams::new(u, self.k, self.alpha))
     }
 
     /// One validated [`QueryRequest`] per query user, carrying the

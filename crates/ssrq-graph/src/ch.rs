@@ -227,6 +227,27 @@ impl ContractionHierarchy {
         self.rank[v as usize]
     }
 
+    /// Number of vertices of the graph the hierarchy was built over.
+    pub fn node_count(&self) -> usize {
+        self.rank.len()
+    }
+
+    /// Approximate heap footprint of the hierarchy in bytes (rank table
+    /// plus the upward adjacency, including shortcuts).
+    ///
+    /// A built hierarchy is immutable; share it across engines through an
+    /// `Arc` (one build serves any number of concurrent queries) instead of
+    /// re-running the expensive preprocessing per engine.
+    pub fn approx_heap_bytes(&self) -> usize {
+        self.rank.capacity() * std::mem::size_of::<u32>()
+            + self.up.capacity() * std::mem::size_of::<Vec<(NodeId, EdgeWeight)>>()
+            + self
+                .up
+                .iter()
+                .map(|adj| adj.capacity() * std::mem::size_of::<(NodeId, EdgeWeight)>())
+                .sum::<usize>()
+    }
+
     /// Exact shortest-path distance between `s` and `t`
     /// (`f64::INFINITY` when disconnected).
     ///

@@ -130,6 +130,17 @@ impl SocialGraph {
         self.edges.iter().map(|e| e.weight).sum::<f64>() / 2.0
     }
 
+    /// Approximate heap footprint of the CSR representation in bytes
+    /// (offsets plus both directions of every undirected edge).
+    ///
+    /// This is the quantity a sharded deployment shares: N shards over one
+    /// `Arc`-held graph pay these bytes once, not N times.  The estimate is
+    /// capacity-based and ignores allocator overhead.
+    pub fn approx_heap_bytes(&self) -> usize {
+        self.offsets.capacity() * std::mem::size_of::<u32>()
+            + self.edges.capacity() * std::mem::size_of::<Edge>()
+    }
+
     /// Iterates over every undirected edge exactly once as `(u, v, weight)`
     /// with `u < v` (self-loops are reported once).
     pub fn undirected_edges(&self) -> impl Iterator<Item = (NodeId, NodeId, EdgeWeight)> + '_ {

@@ -156,6 +156,15 @@ impl LandmarkSet {
     pub fn node_count(&self) -> usize {
         self.node_count
     }
+
+    /// Approximate heap footprint of the landmark tables in bytes (the
+    /// `|V| × M` distance matrix dominates).  Like the graph, the set is
+    /// immutable after construction and is shared behind an `Arc` by the
+    /// engines of a partitioned deployment — these bytes are paid once.
+    pub fn approx_heap_bytes(&self) -> usize {
+        self.landmarks.capacity() * std::mem::size_of::<NodeId>()
+            + self.dist.capacity() * std::mem::size_of::<Distance>()
+    }
 }
 
 /// Farthest-first landmark sweep: start from a random vertex, repeatedly add

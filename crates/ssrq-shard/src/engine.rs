@@ -69,13 +69,25 @@ impl ShardedEngineBuilder {
 
     /// Partitions the dataset and builds one engine per shard.
     ///
-    /// Every shard holds the **full social graph** (a replica — social
-    /// distances are global) but only its residents' locations; the
-    /// bounding rectangle and both normalization constants are inherited
-    /// from the unpartitioned dataset
-    /// ([`GeoSocialDataset::restrict_locations`]), so per-shard scores are
-    /// bit-identical to the single-engine scores and the coordinator's
-    /// merge is exact.
+    /// Every shard sees the **full social graph** (social distances are
+    /// global) but only its residents' locations; the bounding rectangle
+    /// and both normalization constants are inherited from the
+    /// unpartitioned dataset ([`GeoSocialDataset::restrict_locations`]), so
+    /// per-shard scores are bit-identical to the single-engine scores and
+    /// the coordinator's merge is exact.
+    ///
+    /// # Memory model
+    ///
+    /// The shard datasets share the unpartitioned dataset's `Arc`-backed
+    /// immutable core — **one** graph instance backs every shard — and the
+    /// graph-only indexes are built **once** and handed to every shard
+    /// engine through `Arc` handles
+    /// ([`EngineBuilder::share_graph_artifacts_with`]): one landmark set,
+    /// one Contraction Hierarchies index (eager *or* lazy — a lazy CH is
+    /// built by whichever shard first runs a `*-CH` query and observed by
+    /// all), one social neighbour cache.  Only the per-shard location
+    /// vector, SPA/TSA grid and AIS aggregate index are replicated, so
+    /// memory and graph-index build time stay flat in the shard count.
     ///
     /// # Errors
     ///
@@ -114,17 +126,24 @@ impl ShardedEngineBuilder {
         let owner: Vec<u32> = (0..self.dataset.user_count() as UserId)
             .map(|u| state.owner_for(u, self.dataset.location(u), n) as u32)
             .collect();
-        let mut shards = Vec::with_capacity(n);
+        let mut shards: Vec<Shard> = Vec::with_capacity(n);
         for s in 0..n {
             let shard_dataset = self
                 .dataset
                 .restrict_locations(|u| owner[u as usize] as usize == s);
             let rect = Rect::bounding(shard_dataset.located_users().map(|(_, p)| p));
             let builder = GeoSocialEngine::builder(shard_dataset);
-            let builder = match &self.configure {
+            let mut builder = match &self.configure {
                 Some(configure) => configure(builder),
                 None => builder,
             };
+            // Graph-only artifacts (landmarks, CH, social cache) are pure
+            // functions of the shared graph and the — identical per shard —
+            // configuration: build them once on shard 0 and hand the same
+            // `Arc`s to every later shard, including the lazy slots.
+            if let Some(first) = shards.first() {
+                builder = builder.share_graph_artifacts_with(&first.engine);
+            }
             shards.push(Shard {
                 engine: builder.build()?,
                 rect,
@@ -243,8 +262,8 @@ impl ShardedEngine {
         self.owner.get(user as usize).map(|&s| s as usize)
     }
 
-    /// Total number of users (identical on every shard — the graph is
-    /// replicated).
+    /// Total number of users (identical on every shard — all shards share
+    /// one graph instance through the dataset core).
     pub fn user_count(&self) -> usize {
         self.owner.len()
     }
@@ -315,7 +334,7 @@ impl ShardedEngine {
         self.scatter(request, &mut contexts)
     }
 
-    /// A query context sized for the (replicated) social graph; reusable
+    /// A query context sized for the (shared) social graph; reusable
     /// across shards — the scratch resets per search.
     pub fn make_context(&self) -> QueryContext {
         QueryContext::with_capacity(self.user_count())
@@ -420,6 +439,11 @@ impl ShardedEngine {
     /// [`Partitioning::UserHash`] ownership is already stable and balanced,
     /// so only the rectangles are re-tightened (updates grow them
     /// conservatively and removals never shrink them).
+    ///
+    /// Re-partitioning moves **locations only**: the shared graph core and
+    /// the `Arc`-held graph-only indexes (landmarks, CH, social cache) are
+    /// never rebuilt or copied by a rebalance or a cross-shard migration —
+    /// only the affected shards' grids and AIS indexes are updated.
     pub fn rebalance(&mut self) -> RebalanceReport {
         let n = self.shards.len();
         let located: Vec<(UserId, Point)> = self

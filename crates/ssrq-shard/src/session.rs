@@ -5,6 +5,7 @@ use crate::stats::ShardStats;
 use ssrq_core::{
     CoreError, QueryContext, QueryRequest, QueryResult, QueryStats, QueryStream, RankedUser,
 };
+use std::collections::VecDeque;
 
 /// A per-worker handle on a [`ShardedEngine`]: one reusable
 /// [`QueryContext`] per shard, so a serving worker pays the `O(|V|)`
@@ -47,51 +48,75 @@ impl<'e> ShardedSession<'e> {
     }
 
     /// Processes one request as a **cross-shard pull-lazy stream**: every
-    /// shard contributes its own [`QueryStream`] (pull-lazy within the
-    /// shard — see [`QuerySession::stream`](ssrq_core::QuerySession::stream))
-    /// and a k-way heap merge yields the globally smallest `(score, user)`
-    /// head next.
+    /// participating shard contributes its own [`QueryStream`] (pull-lazy
+    /// within the shard — see
+    /// [`QuerySession::stream`](ssrq_core::QuerySession::stream)) and a
+    /// k-way merge yields the globally smallest `(score, user)` head next.
     ///
-    /// Each `next()` advances only the shard whose head was consumed (plus,
-    /// on the first call, one head per shard — the minimum evidence an
-    /// exact global order needs), so the first results arrive after a
-    /// fraction of the full scatter work.  A fully drained stream yields
-    /// exactly [`ShardedSession::run`]'s ranked entries in order.  Shards
-    /// whose bounding rectangle cannot beat the request's score cutoff (or
-    /// that miss its filter window) are skipped up front —
+    /// Shard arms are admitted **lazily**, in ascending order of their rect
+    /// lower bound (`(1 − α) · mindist(origin, rect) / norm`): a shard's
+    /// stream is not even *opened* until the merged head's score reaches
+    /// that shard's bound — before that point the shard provably cannot
+    /// contribute the next entry.  A `take(1)` consumer therefore typically
+    /// touches only the shard(s) nearest the query origin;
+    /// [`ShardedStream::opened_shards`] reports how many arms actually
+    /// started.  Shards whose bound cannot beat the request's score cutoff
+    /// (or that miss its filter window) are skipped outright —
     /// [`ShardedStream::skipped_shards`] counts them.
+    ///
+    /// Each `next()` then advances only the shard whose head was consumed,
+    /// so the first results arrive after a fraction of the full scatter
+    /// work.  A fully drained stream yields exactly
+    /// [`ShardedSession::run`]'s ranked entries in order: an unopened arm
+    /// only ever holds entries scoring at or above its bound, which is
+    /// strictly above everything emitted while it stayed closed.
     ///
     /// # Errors
     ///
     /// Same as [`ShardedSession::run`] for everything detectable up front.
-    /// An error a shard reports *mid-stream* (only deferred sub-queries
-    /// can — see [`QueryStream::error`]) ends the merge early instead:
-    /// `next()` returns `None` and [`ShardedStream::error`] holds the
-    /// cause.
+    /// An error a shard reports *mid-stream* — from a deferred sub-query
+    /// (see [`QueryStream::error`]) or while opening a lazily admitted
+    /// arm — ends the merge early instead: `next()` returns `None` and
+    /// [`ShardedStream::error`] holds the cause.
     pub fn stream(&mut self, request: &QueryRequest) -> Result<ShardedStream<'_>, CoreError> {
         let base = self.engine.prepare(request)?;
         let origin = base.origin();
         let initial_threshold = base.max_score().unwrap_or(f64::INFINITY);
-        let mut arms = Vec::new();
+        let mut pending: Vec<PendingArm<'_>> = Vec::new();
         let mut skipped = 0usize;
-        for (shard, ctx) in self.engine.shards.iter().zip(self.contexts.iter_mut()) {
+        for (shard_idx, (shard, ctx)) in self
+            .engine
+            .shards
+            .iter()
+            .zip(self.contexts.iter_mut())
+            .enumerate()
+        {
             let lower_bound = self.engine.shard_lower_bound(shard, &base, origin);
             if lower_bound >= initial_threshold {
                 skipped += 1;
                 continue;
             }
-            arms.push(Arm {
-                stream: shard.engine.stream_with(&base, ctx)?,
-                head: None,
-                exhausted: false,
+            pending.push(PendingArm {
+                shard: shard_idx,
+                lower_bound,
+                ctx,
             });
         }
+        pending.sort_by(|a, b| {
+            a.lower_bound
+                .total_cmp(&b.lower_bound)
+                .then_with(|| a.shard.cmp(&b.shard))
+        });
         Ok(ShardedStream {
-            arms,
+            engine: self.engine,
             remaining: base.k(),
-            skipped,
             k: base.k(),
+            base,
+            pending: pending.into(),
+            arms: Vec::new(),
+            skipped,
             failed: false,
+            open_error: None,
         })
     }
 }
@@ -105,9 +130,25 @@ struct Arm<'s> {
     exhausted: bool,
 }
 
-/// A pull-lazy cross-shard result stream; see [`ShardedSession::stream`].
+/// A shard arm not yet admitted to the merge: its context is parked here
+/// until the merged head's score reaches `lower_bound`.
+#[derive(Debug)]
+struct PendingArm<'s> {
+    shard: usize,
+    lower_bound: f64,
+    ctx: &'s mut QueryContext,
+}
+
+/// A pull-lazy cross-shard result stream with lazy arm admission; see
+/// [`ShardedSession::stream`].
 #[derive(Debug)]
 pub struct ShardedStream<'s> {
+    engine: &'s ShardedEngine,
+    /// The prepared (origin-resolved) broadcast request lazily admitted
+    /// arms are opened with.
+    base: QueryRequest,
+    /// Unopened arms, ascending by lower bound.
+    pending: VecDeque<PendingArm<'s>>,
     arms: Vec<Arm<'s>>,
     remaining: usize,
     skipped: usize,
@@ -116,6 +157,8 @@ pub struct ShardedStream<'s> {
     /// order can no longer be proven) and [`ShardedStream::error`] reports
     /// the cause.
     failed: bool,
+    /// An error raised while *opening* a lazily admitted arm.
+    open_error: Option<CoreError>,
 }
 
 impl ShardedStream<'_> {
@@ -130,27 +173,66 @@ impl ShardedStream<'_> {
         self.skipped
     }
 
-    /// The error a shard stream reported mid-query, if any (see
-    /// [`QueryStream::error`] for when that can happen — only deferred
-    /// sub-queries, e.g. the cached method's fallback).  When set, the
-    /// merge has stopped yielding: a missing shard's candidates would make
-    /// any further "global minimum" claim wrong, so the stream ends
-    /// instead of silently returning an incomplete answer.  The same
-    /// request through [`ShardedSession::run`] returns the error directly.
-    pub fn error(&self) -> Option<&CoreError> {
-        self.arms.iter().find_map(|arm| arm.stream.error())
+    /// Shards whose pull-lazy stream has actually been opened so far.
+    ///
+    /// Admission is lazy (see [`ShardedSession::stream`]), so after a
+    /// truncated consumption this is typically smaller than
+    /// `shard_count() - skipped_shards()`: the difference is shards that
+    /// did **no** work at all for this query.
+    pub fn opened_shards(&self) -> usize {
+        self.arms.len()
     }
 
-    /// Work counters across the participating shard streams **so far**
+    /// The error a shard stream reported mid-query, if any: a deferred
+    /// sub-query failure (see [`QueryStream::error`] for when that can
+    /// happen — e.g. the cached method's fallback) or a failure while
+    /// opening a lazily admitted arm.  When set, the merge has stopped
+    /// yielding: a missing shard's candidates would make any further
+    /// "global minimum" claim wrong, so the stream ends instead of
+    /// silently returning an incomplete answer.  The same request through
+    /// [`ShardedSession::run`] returns the error directly.
+    pub fn error(&self) -> Option<&CoreError> {
+        self.open_error
+            .as_ref()
+            .or_else(|| self.arms.iter().find_map(|arm| arm.stream.error()))
+    }
+
+    /// Work counters across the shard streams opened **so far**
     /// ([`QueryStats::merge`] semantics: work sums, runtime is the slowest
-    /// shard) — for a truncated stream this shows what the early exit
-    /// saved.
+    /// shard) — for a truncated stream this shows what the early exit and
+    /// the lazy admission saved.
     pub fn stats(&self) -> QueryStats {
         let mut merged = QueryStats::default();
         for arm in &self.arms {
             merged.merge(&arm.stream.stats());
         }
         merged
+    }
+
+    /// Opens the next pending arm.  Returns `false` on failure (the stream
+    /// flips to `failed` and records the error).
+    fn open_next_pending(&mut self) -> bool {
+        let Some(pending) = self.pending.pop_front() else {
+            return true;
+        };
+        match self.engine.shards[pending.shard]
+            .engine
+            .stream_with(&self.base, pending.ctx)
+        {
+            Ok(stream) => {
+                self.arms.push(Arm {
+                    stream,
+                    head: None,
+                    exhausted: false,
+                });
+                true
+            }
+            Err(error) => {
+                self.open_error = Some(error);
+                self.failed = true;
+                false
+            }
+        }
     }
 }
 
@@ -161,41 +243,59 @@ impl Iterator for ShardedStream<'_> {
         if self.remaining == 0 || self.failed {
             return None;
         }
-        // Refill: every arm needs a buffered head before an exact global
-        // minimum can be taken.  Pulling a head is pull-lazy within the
-        // shard — the shard search advances only until its next entry
-        // finalizes.
-        for arm in self.arms.iter_mut() {
-            if arm.head.is_none() && !arm.exhausted {
-                arm.head = arm.stream.next();
-                arm.exhausted = arm.head.is_none();
+        loop {
+            // Refill: every open arm needs a buffered head before a global
+            // minimum can be taken.  Pulling a head is pull-lazy within the
+            // shard — the shard search advances only until its next entry
+            // finalizes.
+            for arm in self.arms.iter_mut() {
+                if arm.head.is_none() && !arm.exhausted {
+                    arm.head = arm.stream.next();
+                    arm.exhausted = arm.head.is_none();
+                }
             }
+            // A shard stream that *failed* (rather than drained) leaves a
+            // hole in the candidate space: no entry can be proven globally
+            // minimal any more.  Stop yielding; `error()` reports the cause.
+            if self
+                .arms
+                .iter()
+                .any(|arm| arm.exhausted && arm.stream.error().is_some())
+            {
+                self.failed = true;
+                return None;
+            }
+            let best = self
+                .arms
+                .iter()
+                .enumerate()
+                .filter_map(|(i, arm)| arm.head.map(|h| (i, h)))
+                .min_by(|(_, a), (_, b)| {
+                    a.score
+                        .total_cmp(&b.score)
+                        .then_with(|| a.user.cmp(&b.user))
+                });
+            // Lazy admission: the merged head is only provably the global
+            // minimum while it scores strictly below every unopened arm's
+            // lower bound (an unopened arm holds no entry below its bound).
+            // Otherwise — or when nothing is open yet — open the nearest
+            // pending arm and re-evaluate.
+            let must_open = match (&best, self.pending.front()) {
+                (_, None) => false,
+                (None, Some(_)) => true,
+                (Some((_, head)), Some(front)) => head.score >= front.lower_bound,
+            };
+            if must_open {
+                if !self.open_next_pending() {
+                    return None;
+                }
+                continue;
+            }
+            let (i, _) = best?;
+            let entry = self.arms[i].head.take();
+            self.remaining -= 1;
+            return entry;
         }
-        // A shard stream that *failed* (rather than drained) leaves a hole
-        // in the candidate space: no entry can be proven globally minimal
-        // any more.  Stop yielding; `error()` reports the cause.
-        if self
-            .arms
-            .iter()
-            .any(|arm| arm.exhausted && arm.stream.error().is_some())
-        {
-            self.failed = true;
-            return None;
-        }
-        let best = self
-            .arms
-            .iter()
-            .enumerate()
-            .filter_map(|(i, arm)| arm.head.map(|h| (i, h)))
-            .min_by(|(_, a), (_, b)| {
-                a.score
-                    .total_cmp(&b.score)
-                    .then_with(|| a.user.cmp(&b.user))
-            })
-            .map(|(i, _)| i)?;
-        let entry = self.arms[best].head.take();
-        self.remaining -= 1;
-        entry
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {

@@ -114,6 +114,20 @@ impl UniformGrid {
         self.positions.get(id as usize).copied().flatten()
     }
 
+    /// Approximate heap footprint of the grid in bytes (cell buckets plus
+    /// the dense position table).  The grid indexes *locations*, so in a
+    /// partitioned deployment it is per-shard state — unlike the graph-only
+    /// indexes, which are shared.
+    pub fn approx_heap_bytes(&self) -> usize {
+        self.cells.capacity() * std::mem::size_of::<Vec<ItemId>>()
+            + self
+                .cells
+                .iter()
+                .map(|c| c.capacity() * std::mem::size_of::<ItemId>())
+                .sum::<usize>()
+            + self.positions.capacity() * std::mem::size_of::<Option<Point>>()
+    }
+
     /// Inserts `id` at `point`, or moves it there if it is already stored.
     ///
     /// The point is clamped into the grid bounds.

@@ -148,6 +148,20 @@ impl MultiLevelGrid {
         self.len == 0
     }
 
+    /// Approximate heap footprint of the grid structure in bytes (per-level
+    /// tables, leaf buckets and the dense position table).
+    pub fn approx_heap_bytes(&self) -> usize {
+        self.level_sides.capacity() * std::mem::size_of::<u32>()
+            + self.level_offsets.capacity() * std::mem::size_of::<u32>()
+            + self.leaf_items.capacity() * std::mem::size_of::<Vec<ItemId>>()
+            + self
+                .leaf_items
+                .iter()
+                .map(|c| c.capacity() * std::mem::size_of::<ItemId>())
+                .sum::<usize>()
+            + self.positions.capacity() * std::mem::size_of::<Option<Point>>()
+    }
+
     /// Current position of an item.
     pub fn position(&self, id: ItemId) -> Option<Point> {
         self.positions.get(id as usize).copied().flatten()

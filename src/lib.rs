@@ -29,8 +29,6 @@ pub mod prelude {
         QueryDriver, QueryRequest, QueryResult, QuerySession, QueryStream, RankedUser,
         SocialCachePlan, StepOutcome, StrategyRegistry,
     };
-    #[allow(deprecated)]
-    pub use ssrq_core::{EngineConfig, QueryParams};
     pub use ssrq_data::{DatasetConfig, GeoSocialDataset};
     pub use ssrq_graph::{EdgeWeight, NodeId as GraphNodeId, SearchScratch, SocialGraph};
     pub use ssrq_shard::{Partitioning, ShardStats, ShardedEngine, ShardedSession};

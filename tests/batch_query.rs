@@ -135,9 +135,11 @@ fn batch_reports_per_query_errors_in_place() {
             .unwrap()
     };
     // `k = 0` cannot pass the request builder; smuggle it through the
-    // non-validating legacy conversion to exercise execution-time checks.
-    #[allow(deprecated)]
-    let invalid_k: QueryRequest = geosocial_ssrq::core::QueryParams::new(users[1], 0, 0.5).into();
+    // non-validating constructor to exercise execution-time checks.
+    let invalid_k = QueryRequest::for_user(users[1])
+        .k(0)
+        .alpha(0.5)
+        .build_unvalidated();
     let batch = vec![
         valid(users[0]),
         valid(unknown_user), // unknown user
