@@ -8,16 +8,20 @@
 //! ```
 //!
 //! Experiments: `table2 table3 fig7a fig7b fig8 fig9 fig10 fig11 fig12
-//! fig13 fig14a fig14b ablation throughput latency sharding memory all`.
+//! fig13 fig14a fig14b ablation throughput latency sharding memory scale
+//! all` (`scale` is the 10k→1M sweep persisted to `BENCH_scale.json`; it is
+//! not part of `all`).
 //!
 //! Flags: `--quick` (small datasets), `--full` (paper-scale datasets),
 //! `--scale <factor>`, `--queries <n>`, `--with-ch` (include the expensive
-//! Contraction Hierarchies baselines in fig8).
+//! Contraction Hierarchies baselines in fig8), `--out <path>` (artifact
+//! path of the `scale` sweep, default `BENCH_scale.json`).
 
 use ssrq_bench::report::FigureReport;
 use ssrq_bench::{
     max_result_hops, measure_algorithm, measure_batch_qps, measure_memory, measure_prefix,
-    measure_sequential_qps, measure_sharding, single_engine_breakdown, BenchDataset, Scale,
+    measure_sequential_qps, measure_sharding, run_scale_sweep, single_engine_breakdown,
+    validate_scale_report, BenchDataset, Json, Scale, ScaleSweepConfig,
 };
 use ssrq_core::{
     Algorithm, ChBuild, GeoSocialDataset, GeoSocialEngine, QueryRequest, SocialNeighborCache,
@@ -54,6 +58,13 @@ const AIS_VARIANTS: [Algorithm; 3] = [Algorithm::AisBid, Algorithm::AisMinus, Al
 struct Options {
     scale: Scale,
     with_ch: bool,
+    /// The raw `--scale` factor (1.0 when unset); the `scale` sweep applies
+    /// it to its own 10k→1M user counts rather than to [`Scale`].
+    factor: f64,
+    /// The raw `--queries` override, if any.
+    queries: Option<usize>,
+    /// Artifact path of the `scale` sweep.
+    out: String,
 }
 
 fn main() {
@@ -63,6 +74,7 @@ fn main() {
     let mut with_ch = false;
     let mut factor: Option<f64> = None;
     let mut queries: Option<usize> = None;
+    let mut out = "BENCH_scale.json".to_string();
 
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
@@ -75,6 +87,11 @@ fn main() {
             }
             "--queries" => {
                 queries = iter.next().and_then(|v| v.parse().ok());
+            }
+            "--out" => {
+                if let Some(path) = iter.next() {
+                    out = path.clone();
+                }
             }
             name if !name.starts_with("--") => experiment = name.to_string(),
             other => {
@@ -89,7 +106,13 @@ fn main() {
     if let Some(q) = queries {
         scale.queries = q;
     }
-    let options = Options { scale, with_ch };
+    let options = Options {
+        scale,
+        with_ch,
+        factor: factor.unwrap_or(1.0),
+        queries,
+        out,
+    };
 
     let started = Instant::now();
     println!(
@@ -118,6 +141,7 @@ fn main() {
         "latency" => latency(&options),
         "sharding" => sharding(&options),
         "memory" => memory(&options),
+        "scale" => scale_sweep(&options),
         "all" => {
             table2(&options);
             table3();
@@ -887,6 +911,12 @@ fn memory(options: &Options) {
         fmt_bytes(single.grid_bytes),
         fmt_bytes(single.ais_bytes),
     );
+    println!(
+        "   AIS occupancy: {} of {} grid cells materialised ({:.1}%) — empty cells share one static summary and cost nothing",
+        single.ais_occupied_cells,
+        single.ais_total_cells,
+        single.ais_occupancy_ratio() * 100.0,
+    );
     let mut report = FigureReport::new(
         format!(
             "Memory — approx. resident bytes vs shard count (gowalla-like, spatial partitioning{})",
@@ -930,6 +960,72 @@ fn memory(options: &Options) {
         } else {
             "; pass --with-ch to include the Contraction Hierarchies index"
         }
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Scale — the 10k→1M sweep behind BENCH_scale.json
+// ---------------------------------------------------------------------------
+
+/// Beyond the paper: the million-user scale pass.  Generates gowalla-like
+/// datasets at 10k/50k/200k/1M users (scaled by `--scale`), records the
+/// shared-graph bytes under both CSR layouts, and measures the single
+/// engine plus both partitioning policies at several shard counts — per
+/// shard, with AIS occupancy.  The artifact is written to `--out`
+/// (default `BENCH_scale.json`), re-read, re-parsed and validated: the run
+/// fails if the file does not parse or any AIS index exceeds its
+/// occupancy-proportional budget.
+fn scale_sweep(options: &Options) {
+    let mut config = ScaleSweepConfig::default().scaled_by(options.factor);
+    if let Some(q) = options.queries {
+        config.queries = q;
+    }
+    println!(
+        "\n## Scale sweep — gowalla-like at {:?} users, shard counts {:?}, {} queries",
+        config.user_counts, config.shard_counts, config.queries
+    );
+    let report = run_scale_sweep(&config);
+    std::fs::write(&options.out, report.render()).expect("scale artifact is writable");
+
+    // Trust nothing the writer meant: re-read the artifact from disk and
+    // validate the parsed document.
+    let persisted = std::fs::read_to_string(&options.out).expect("scale artifact re-reads");
+    let parsed = Json::parse(&persisted).expect("scale artifact re-parses as JSON");
+    if let Err(violation) = validate_scale_report(&parsed) {
+        eprintln!("BENCH_scale.json failed validation: {violation}");
+        std::process::exit(1);
+    }
+    let scales = parsed
+        .get("scales")
+        .and_then(Json::as_array)
+        .expect("validated report has scales");
+    for point in scales {
+        let users = point.get("users").and_then(Json::as_usize).unwrap_or(0);
+        let graph = point.get("graph").expect("validated scale point has graph");
+        let standard = graph
+            .get("standard_bytes")
+            .and_then(Json::as_usize)
+            .unwrap_or(0);
+        let compressed = graph
+            .get("compressed_bytes")
+            .and_then(Json::as_usize)
+            .unwrap_or(0);
+        println!(
+            "   {users} users: graph {} -> {} ({:.0}% saved), single-engine {:.0} q/s",
+            fmt_bytes(standard),
+            fmt_bytes(compressed),
+            (1.0 - compressed as f64 / standard.max(1) as f64) * 100.0,
+            point
+                .get("single")
+                .and_then(|s| s.get("qps"))
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
+        );
+    }
+    println!(
+        "wrote {} ({} scale points) — parsed back and AIS occupancy budgets verified",
+        options.out,
+        scales.len()
     );
 }
 

@@ -1,0 +1,420 @@
+//! Minimal hand-rolled JSON support: a value tree, a pretty writer, and a
+//! recursive-descent parser.
+//!
+//! The bench crate persists the scale-sweep artifact (`BENCH_scale.json`)
+//! without any external dependency; the parser exists so the harness — and
+//! the CI smoke job — can re-read the artifact it just wrote and assert its
+//! invariants (schema shape, occupancy-proportional AIS budgets) instead of
+//! trusting the writer.
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (stored as `f64`; integral values render without a dot).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved by the writer.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for integer counts.
+    pub fn num(value: usize) -> Json {
+        Json::Num(value as f64)
+    }
+
+    /// Convenience constructor for strings.
+    pub fn str(value: impl Into<String>) -> Json {
+        Json::Str(value.into())
+    }
+
+    /// Member lookup on an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric value rounded to `usize`, if this is a non-negative
+    /// number.
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Json::Num(n) if *n >= 0.0 => Some(n.round() as usize),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Renders the value as pretty-printed JSON (2-space indent, trailing
+    /// newline) suitable for a committed artifact diff.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => write_number(*n, out),
+            Json::Str(s) => write_string(s, out),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                if members.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_string(key, out);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document; rejects trailing garbage.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing content at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_number(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        // JSON has no NaN/Infinity; a measurement artifact should never
+        // contain one, but degrade to null rather than emit invalid output.
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 9e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &str,
+    value: Json,
+) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("invalid number `{text}` at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(bytes[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        let Some(&byte) = bytes.get(*pos) else {
+            return Err("unterminated string".into());
+        };
+        *pos += 1;
+        match byte {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let Some(&escape) = bytes.get(*pos) else {
+                    return Err("unterminated escape".into());
+                };
+                *pos += 1;
+                match escape {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let code = parse_hex4(bytes, pos)?;
+                        // Combine a UTF-16 surrogate pair when one follows.
+                        let scalar = if (0xD800..0xDC00).contains(&code)
+                            && bytes[*pos..].starts_with(b"\\u")
+                        {
+                            let mark = *pos;
+                            *pos += 2;
+                            let low = parse_hex4(bytes, pos)?;
+                            if (0xDC00..0xE000).contains(&low) {
+                                0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                            } else {
+                                *pos = mark;
+                                code
+                            }
+                        } else {
+                            code
+                        };
+                        out.push(char::from_u32(scalar).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("invalid escape `\\{}`", other as char)),
+                }
+            }
+            _ => {
+                // Re-decode the UTF-8 sequence starting at the byte we
+                // consumed; multi-byte characters pass through unchanged.
+                let start = *pos - 1;
+                let mut end = *pos;
+                while end < bytes.len() && bytes[end] & 0xC0 == 0x80 {
+                    end += 1;
+                }
+                let chunk = std::str::from_utf8(&bytes[start..end]).map_err(|e| e.to_string())?;
+                out.push_str(chunk);
+                *pos = end;
+            }
+        }
+    }
+}
+
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, String> {
+    let end = *pos + 4;
+    if end > bytes.len() {
+        return Err("truncated \\u escape".into());
+    }
+    let text = std::str::from_utf8(&bytes[*pos..end]).map_err(|e| e.to_string())?;
+    let code = u32::from_str_radix(text, 16).map_err(|_| format!("invalid \\u escape `{text}`"))?;
+    *pos = end;
+    Ok(code)
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    debug_assert_eq!(bytes[*pos], b'[');
+    *pos += 1;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    debug_assert_eq!(bytes[*pos], b'{');
+    *pos += 1;
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}"));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected `:` at byte {pos}"));
+        }
+        *pos += 1;
+        members.push((key, parse_value(bytes, pos)?));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_and_reparses_a_nested_document() {
+        let doc = Json::Obj(vec![
+            ("name".into(), Json::str("scale sweep")),
+            ("count".into(), Json::num(42)),
+            ("ratio".into(), Json::Num(0.375)),
+            ("flag".into(), Json::Bool(true)),
+            ("missing".into(), Json::Null),
+            (
+                "items".into(),
+                Json::Arr(vec![Json::num(1), Json::num(2), Json::Obj(vec![])]),
+            ),
+        ]);
+        let text = doc.render();
+        let parsed = Json::parse(&text).expect("round-trip parses");
+        assert_eq!(parsed, doc);
+        assert_eq!(parsed.get("count").and_then(Json::as_usize), Some(42));
+        assert_eq!(parsed.get("ratio").and_then(Json::as_f64), Some(0.375));
+        assert_eq!(
+            parsed.get("items").and_then(Json::as_array).map(<[_]>::len),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn integral_numbers_render_without_a_fraction() {
+        assert_eq!(Json::num(1_000_000).render(), "1000000\n");
+        assert_eq!(Json::Num(0.5).render(), "0.5\n");
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = Json::str("a \"quoted\"\tline\nwith \\ and unicode é");
+        let parsed = Json::parse(&original.render()).unwrap();
+        assert_eq!(parsed, original);
+        let unicode = Json::parse(r#""Aé😀""#).unwrap();
+        assert_eq!(unicode.as_str(), Some("Aé😀"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(Json::parse("{\"a\": 1,}").is_err());
+        assert!(Json::parse("[1 2]").is_err());
+        assert!(Json::parse("{\"a\": 1} trailing").is_err());
+        assert!(Json::parse("\"open").is_err());
+        assert!(Json::parse("{a: 1}").is_err());
+    }
+
+    #[test]
+    fn f64_round_trips_exactly() {
+        for value in [1e-9, 0.1 + 0.2, f64::MAX / 3.0, 123_456.789] {
+            let text = Json::Num(value).render();
+            let parsed = Json::parse(&text).unwrap();
+            assert_eq!(parsed.as_f64(), Some(value), "value {value} via {text}");
+        }
+    }
+}

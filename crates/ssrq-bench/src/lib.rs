@@ -9,12 +9,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod measure;
 pub mod memory;
 pub mod report;
+pub mod scale;
 pub mod sharding;
 pub mod suite;
 
+pub use json::Json;
 pub use measure::{
     max_result_hops, measure_algorithm, measure_batch_qps, measure_first_result, measure_prefix,
     measure_sequential_qps, measure_throughput, AggregateMeasurement, LatencyMeasurement,
@@ -22,5 +25,8 @@ pub use measure::{
 };
 pub use memory::{measure_memory, single_engine_breakdown, MemoryMeasurement};
 pub use report::FigureReport;
+pub use scale::{
+    ais_budget_bytes, check_ais_budget, run_scale_sweep, validate_scale_report, ScaleSweepConfig,
+};
 pub use sharding::{measure_sharding, ShardingMeasurement};
 pub use suite::{BenchDataset, Scale};

@@ -1,6 +1,7 @@
 use crate::{CoreError, GeoSocialDataset, UserId};
 use ssrq_graph::LandmarkSet;
 use ssrq_spatial::{MultiLevelGrid, NodeId, NodeKind, Point, Rect};
+use std::collections::HashMap;
 
 /// The social summary of an index node: for each landmark `j`, the minimum
 /// (`m̌[j]`) and maximum (`m̂[j]`) graph distance between any user below the
@@ -58,8 +59,16 @@ impl SocialSummary {
     }
 
     /// Returns `true` when no user has been folded in.
+    ///
+    /// The test is `m̂ = −∞`: absorbing any vector raises every `m̂[j]` to at
+    /// least the vector's (non-negative, possibly infinite) entry.  Testing
+    /// `m̌ = +∞` instead would misclassify a cell whose users are all
+    /// unreachable from every landmark (their vectors are all-`∞`, leaving
+    /// `m̌ = +∞` but pushing `m̂` to `+∞`) — such a cell is occupied and must
+    /// yield bound 0, not `∞`, for a query vertex that also cannot reach the
+    /// landmarks.
     pub fn is_empty(&self) -> bool {
-        self.min.iter().all(|d| d.is_infinite() && *d > 0.0)
+        self.max.iter().all(|d| d.is_infinite() && *d < 0.0)
     }
 
     /// Approximate heap footprint of the summary's two aggregate vectors in
@@ -97,11 +106,29 @@ impl SocialSummary {
 }
 
 /// The AIS aggregate index: a multi-level regular grid over user locations
-/// with a [`SocialSummary`] attached to every node.
+/// with a [`SocialSummary`] attached to every **occupied** node.
+///
+/// Summaries live in an occupancy-aware layout: a dense `Vec` holds the
+/// summaries of occupied nodes only, behind a compact node→slot map, and
+/// every unoccupied node shares one static empty summary whose lower bound
+/// is infinite — the same infinite-lower-bound fast path the search already
+/// uses to prune empty cells, so sparsification is admission-neutral (bounds
+/// are bit-identical, never loosened or tightened).  An index over a shard
+/// with few residents therefore costs kilobytes instead of the ~2 MiB a
+/// dense per-cell layout needs at the default granularity.
 #[derive(Debug, Clone)]
 pub struct AisIndex {
     grid: MultiLevelGrid,
+    /// Slot of each occupied node in `summaries`.
+    slots: HashMap<u32, u32>,
+    /// Summaries of occupied nodes; slots are recycled via `free_slots` as
+    /// cells vacate, so the vector's length tracks the historical maximum of
+    /// concurrently occupied nodes.
     summaries: Vec<SocialSummary>,
+    /// Slots whose node vacated; reused before the vector grows.
+    free_slots: Vec<u32>,
+    /// The shared summary of every unoccupied node (`m̌ = +∞`, `m̂ = −∞`).
+    empty_summary: SocialSummary,
     num_landmarks: usize,
 }
 
@@ -126,15 +153,17 @@ impl AisIndex {
         let bounds = expanded_bounds(dataset.bounds());
         let grid = MultiLevelGrid::bulk_load(bounds, branch, levels, dataset.located_users())?;
         let num_landmarks = landmarks.len();
-        let summaries = vec![SocialSummary::empty(num_landmarks); grid.node_count() as usize];
         let mut index = AisIndex {
             grid,
-            summaries,
+            slots: HashMap::new(),
+            summaries: Vec::new(),
+            free_slots: Vec::new(),
+            empty_summary: SocialSummary::empty(num_landmarks),
             num_landmarks,
         };
         for top in index.grid.top_nodes().collect::<Vec<_>>() {
             let summary = index.compute_summary(top, landmarks);
-            index.summaries[top.0 as usize] = summary;
+            index.set_summary(top, summary);
         }
         Ok(index)
     }
@@ -151,11 +180,50 @@ impl AisIndex {
                 for child in self.grid.children(node) {
                     let child_summary = self.compute_summary(child, landmarks);
                     summary.absorb_summary(&child_summary);
-                    self.summaries[child.0 as usize] = child_summary;
+                    self.set_summary(child, child_summary);
                 }
             }
         }
         summary
+    }
+
+    /// Stores (or clears) the summary of a node.  Empty summaries release
+    /// the node's slot — a node that loses its last user goes back to
+    /// answering through the shared empty summary and costs nothing.
+    ///
+    /// "Empty" is [`SocialSummary::is_empty`]'s no-vector-ever-absorbed test
+    /// (`m̂ = −∞`), **not** `m̌ = +∞`: a cell whose users all sit at infinite
+    /// landmark distance stays materialised, because its stored summary
+    /// (`m̂ = +∞`) yields bound 0 for an equally unreachable query vertex
+    /// where the shared empty summary would wrongly yield `∞`.
+    fn set_summary(&mut self, node: NodeId, summary: SocialSummary) {
+        if summary.is_empty() {
+            if let Some(slot) = self.slots.remove(&node.0) {
+                // Replace the vacated slot's payload with a zero-capacity
+                // stub so its landmark vectors are freed immediately.
+                self.summaries[slot as usize] = SocialSummary::empty(0);
+                self.free_slots.push(slot);
+            }
+            if self.slots.is_empty() {
+                // The last occupied node vacated: release the slot
+                // machinery outright so a fully drained index returns to
+                // its empty footprint instead of keeping stub capacity.
+                self.slots = HashMap::new();
+                self.summaries = Vec::new();
+                self.free_slots = Vec::new();
+            }
+            return;
+        }
+        if let Some(&slot) = self.slots.get(&node.0) {
+            self.summaries[slot as usize] = summary;
+        } else if let Some(slot) = self.free_slots.pop() {
+            self.summaries[slot as usize] = summary;
+            self.slots.insert(node.0, slot);
+        } else {
+            let slot = self.summaries.len() as u32;
+            self.summaries.push(summary);
+            self.slots.insert(node.0, slot);
+        }
     }
 
     /// The underlying multi-level grid.
@@ -168,27 +236,59 @@ impl AisIndex {
         self.num_landmarks
     }
 
+    /// Number of grid nodes (across all levels) that currently hold at least
+    /// one user below them and therefore carry a materialised summary.
+    pub fn occupied_cells(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total number of grid nodes of the geometry, occupied or not.
+    pub fn total_cells(&self) -> usize {
+        self.grid.node_count() as usize
+    }
+
+    /// Fraction of grid nodes carrying a materialised summary (0 for an
+    /// index over an empty shard).  This is the ratio the per-shard memory
+    /// accounting reports: index bytes are proportional to it, not to the
+    /// geometry.
+    pub fn occupancy_ratio(&self) -> f64 {
+        if self.total_cells() == 0 {
+            return 0.0;
+        }
+        self.occupied_cells() as f64 / self.total_cells() as f64
+    }
+
     /// Approximate heap footprint of the index in bytes: the multi-level
-    /// grid plus every node's social summary.  The index aggregates
-    /// *locations*, so it is per-shard state in a partitioned deployment.
+    /// grid, the node→slot map and the summaries of **occupied** nodes only
+    /// (unoccupied nodes share one empty summary).  The index aggregates
+    /// *locations*, so it is per-shard state in a partitioned deployment —
+    /// and these bytes scale with shard occupancy, not with the geometry.
     pub fn approx_heap_bytes(&self) -> usize {
         self.grid.approx_heap_bytes()
+            + self.slots.capacity() * (std::mem::size_of::<(u32, u32)>() + 1)
             + self.summaries.capacity() * std::mem::size_of::<SocialSummary>()
+            + self.free_slots.capacity() * std::mem::size_of::<u32>()
             + self
                 .summaries
                 .iter()
                 .map(SocialSummary::approx_heap_bytes)
                 .sum::<usize>()
+            + self.empty_summary.approx_heap_bytes()
     }
 
-    /// The social summary of a node.
+    /// The social summary of a node (the shared empty summary for nodes with
+    /// no users below them).
     pub fn summary(&self, node: NodeId) -> &SocialSummary {
-        &self.summaries[node.0 as usize]
+        match self.slots.get(&node.0) {
+            Some(&slot) => &self.summaries[slot as usize],
+            None => &self.empty_summary,
+        }
     }
 
-    /// The raw (unnormalized) social lower bound `p̌(v_q, C)` for a node.
+    /// The raw (unnormalized) social lower bound `p̌(v_q, C)` for a node
+    /// (infinite for unoccupied nodes — the pruning fast path).
     pub fn social_lower_bound(&self, node: NodeId, query_vector: &[f64]) -> f64 {
-        self.summaries[node.0 as usize].lower_bound(query_vector)
+        self.summary(node).lower_bound(query_vector)
     }
 
     /// The raw spatial lower bound `ď(u_q, C)` for a node.
@@ -234,14 +334,14 @@ impl AisIndex {
         for &user in self.grid.leaf_items(leaf) {
             summary.absorb_vector(landmarks.vector(user));
         }
-        self.summaries[leaf.0 as usize] = summary;
+        self.set_summary(leaf, summary);
         let ancestors = self.grid.ancestors(leaf);
         for node in ancestors.into_iter().skip(1) {
             let mut summary = SocialSummary::empty(self.num_landmarks);
             for child in self.grid.children(node) {
-                summary.absorb_summary(&self.summaries[child.0 as usize]);
+                summary.absorb_summary(self.summary(child));
             }
-            self.summaries[node.0 as usize] = summary;
+            self.set_summary(node, summary);
         }
     }
 }
@@ -403,6 +503,83 @@ mod tests {
         assert!(index.grid().leaf_items(leaf).contains(&7));
         index.remove_user(7, &landmarks).unwrap();
         assert_eq!(index.grid().len(), 7);
+    }
+
+    #[test]
+    fn summaries_are_materialised_only_for_occupied_nodes() {
+        let (dataset, landmarks) = small_dataset();
+        let index = AisIndex::build(&dataset, &landmarks, 10, 2).unwrap();
+        // 7 located users in a 100 + 10,000 node geometry: at most
+        // 7 leaves + 7 level-0 parents can be occupied.
+        assert_eq!(index.total_cells(), 10_100);
+        assert!(index.occupied_cells() <= 14);
+        assert!(index.occupancy_ratio() < 0.002);
+        // The footprint reflects occupancy, not geometry: far below the
+        // ~2 MiB a dense summary-per-cell layout would cost here.
+        assert!(index.approx_heap_bytes() < 16 * 1024);
+    }
+
+    #[test]
+    fn fully_migrated_index_returns_to_empty_footprint() {
+        let (dataset, landmarks) = small_dataset();
+        let mut index = AisIndex::build(&dataset, &landmarks, 10, 2).unwrap();
+        assert!(index.occupied_cells() > 0);
+        // Migrate every resident away (the shard-drain scenario).
+        for u in 0..7u32 {
+            index.remove_user(u, &landmarks).unwrap();
+        }
+        assert_eq!(index.grid().len(), 0);
+        assert_eq!(index.occupied_cells(), 0);
+        assert_eq!(index.occupancy_ratio(), 0.0);
+        // Every node now answers through the shared empty summary.
+        let qvec: Vec<f64> = landmarks.vector(0).to_vec();
+        for node_id in 0..index.grid().node_count() {
+            assert!(index
+                .social_lower_bound(NodeId(node_id), &qvec)
+                .is_infinite());
+        }
+        assert!(index.approx_heap_bytes() < 16 * 1024);
+        // Cells re-occupy correctly after a drain: slots are recycled.
+        index
+            .update_location(3, Point::new(0.4, 0.4), &landmarks)
+            .unwrap();
+        assert!(index.occupied_cells() > 0);
+        let leaf = index.grid().leaf_of(Point::new(0.4, 0.4));
+        assert!(!index.summary(leaf).is_empty());
+    }
+
+    #[test]
+    fn landmark_unreachable_cells_stay_materialised_with_zero_bound() {
+        // Two components: {0, 1} holds the landmarks, {2, 3} is unreachable
+        // from them, so vertices 2 and 3 have all-infinite landmark vectors.
+        // The cell storing them must NOT be treated as empty: for a query
+        // vertex that also cannot reach the landmarks (vertex 2 querying
+        // towards 3) the bound must be 0 (no information), never infinite —
+        // an infinite bound would wrongly prune a reachable candidate.
+        let graph: SocialGraph =
+            GraphBuilder::from_edges(4, vec![(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
+        let landmarks = LandmarkSet::build(&graph, 2, LandmarkSelection::FarthestFirst, 1).unwrap();
+        let locations = vec![
+            Some(Point::new(0.1, 0.1)),
+            Some(Point::new(0.2, 0.2)),
+            Some(Point::new(0.8, 0.8)),
+            Some(Point::new(0.85, 0.85)),
+        ];
+        let dataset = GeoSocialDataset::new(graph, locations).unwrap();
+        let index = AisIndex::build(&dataset, &landmarks, 4, 2).unwrap();
+        // Landmarks live in one component; at least one of vertices 2/3 has
+        // an all-infinite vector exactly when the landmarks are in {0, 1}.
+        let far_vec: Vec<f64> = landmarks.vector(2).to_vec();
+        if far_vec.iter().all(|d| d.is_infinite()) {
+            let leaf = index.grid().leaf_of(Point::new(0.85, 0.85));
+            assert!(!index.summary(leaf).is_empty());
+            // Unreachable query vertex: no landmark information, bound 0.
+            assert_eq!(index.social_lower_bound(leaf, &far_vec), 0.0);
+            // Reachable query vertex: the cell is provably in another
+            // component, so an infinite bound is correct there.
+            let near_vec: Vec<f64> = landmarks.vector(0).to_vec();
+            assert!(index.social_lower_bound(leaf, &near_vec).is_infinite());
+        }
     }
 
     #[test]

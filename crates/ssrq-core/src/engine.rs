@@ -1009,6 +1009,8 @@ impl GeoSocialEngine {
             locations_bytes: self.dataset.locations_heap_bytes(),
             grid_bytes: self.grid.approx_heap_bytes(),
             ais_bytes: self.ais.approx_heap_bytes(),
+            ais_occupied_cells: self.ais.occupied_cells(),
+            ais_total_cells: self.ais.total_cells(),
         }
     }
 }
@@ -1031,6 +1033,11 @@ pub struct EngineMemory {
     pub grid_bytes: usize,
     /// Per-engine AIS aggregate index.
     pub ais_bytes: usize,
+    /// AIS grid nodes carrying a materialised social summary (occupancy
+    /// numerator — empty nodes share one static summary and cost nothing).
+    pub ais_occupied_cells: usize,
+    /// Total AIS grid nodes of the geometry (occupancy denominator).
+    pub ais_total_cells: usize,
 }
 
 impl EngineMemory {
@@ -1049,6 +1056,16 @@ impl EngineMemory {
     /// Shared plus per-engine bytes.
     pub fn total_bytes(&self) -> usize {
         self.shared_bytes() + self.per_engine_bytes()
+    }
+
+    /// Fraction of AIS grid nodes carrying a materialised summary; 0 for an
+    /// engine over an empty shard.  Per-shard AIS bytes are proportional to
+    /// this ratio, not to the grid geometry.
+    pub fn ais_occupancy_ratio(&self) -> f64 {
+        if self.ais_total_cells == 0 {
+            return 0.0;
+        }
+        self.ais_occupied_cells as f64 / self.ais_total_cells as f64
     }
 }
 

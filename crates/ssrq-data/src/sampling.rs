@@ -69,7 +69,6 @@ pub fn forest_fire_sample(
             }
             let mut unburnt: Vec<NodeId> = graph
                 .neighbors(v)
-                .iter()
                 .map(|e| e.to)
                 .filter(|&u| !burnt[u as usize])
                 .collect();

@@ -1,4 +1,4 @@
-use crate::{Edge, EdgeWeight, GraphError, NodeId, SocialGraph};
+use crate::{CsrLayout, Edge, EdgeWeight, GraphError, NodeId, SocialGraph};
 
 /// Incremental builder for a [`SocialGraph`].
 ///
@@ -77,6 +77,17 @@ impl GraphBuilder {
             b.add_edge(u, v, w)?;
         }
         Ok(b.build())
+    }
+
+    /// Finalizes the builder into a CSR [`SocialGraph`] in the requested
+    /// physical layout (see [`CsrLayout`]); topology, weights and iteration
+    /// order are identical for every layout.
+    pub fn build_with_layout(self, layout: CsrLayout) -> SocialGraph {
+        let graph = self.build();
+        match layout {
+            CsrLayout::Standard => graph,
+            CsrLayout::Compressed => graph.with_layout(CsrLayout::Compressed),
+        }
     }
 
     /// Finalizes the builder into a CSR [`SocialGraph`].

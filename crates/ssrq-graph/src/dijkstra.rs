@@ -414,6 +414,28 @@ mod tests {
     }
 
     #[test]
+    fn compressed_layout_is_bit_identical_including_counters() {
+        let g = example_graph();
+        let c = g.with_layout(crate::CsrLayout::Compressed);
+        for source in g.nodes() {
+            let mut s1 = SearchScratch::new();
+            let mut s2 = SearchScratch::new();
+            let mut a = IncrementalDijkstra::new(&g, source, &mut s1);
+            let mut b = IncrementalDijkstra::new(&c, source, &mut s2);
+            loop {
+                let (x, y) = (a.next_settled(&g), b.next_settled(&c));
+                // Identical settle order, identical exact distances.
+                assert_eq!(x, y, "source {source}");
+                assert_eq!(a.relaxations(), b.relaxations(), "source {source}");
+                assert_eq!(a.pops(), b.pops(), "source {source}");
+                if x.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "out of range")]
     fn invalid_source_panics() {
         let g = example_graph();

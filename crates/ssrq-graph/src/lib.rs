@@ -42,7 +42,7 @@ pub use ch::{ChParams, ChQueryScratch, ContractionHierarchy};
 pub use dijkstra::{dijkstra_all, dijkstra_all_with, dijkstra_distance, IncrementalDijkstra};
 pub use distance_engine::{DistanceEngineStats, GraphDistanceEngine, SharingMode};
 pub use error::GraphError;
-pub use graph::{Edge, NodeId, SocialGraph};
+pub use graph::{CsrLayout, Edge, Neighbors, NodeId, SocialGraph};
 pub use landmarks::{LandmarkSelection, LandmarkSet};
 pub use scratch::SearchScratch;
 

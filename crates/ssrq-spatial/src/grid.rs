@@ -1,4 +1,5 @@
-use crate::{ItemId, Point, Rect, SpatialError};
+use crate::{hash_map_heap_bytes, ItemId, Point, Rect, SpatialError};
+use std::collections::HashMap;
 
 /// Coordinates of a grid cell (column, row), both zero-based.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -24,17 +25,23 @@ impl CellCoord {
 /// dynamic spatial data kept in main memory".  Location updates are O(1)
 /// amortized: remove the item from its old cell, append it to the new one.
 ///
-/// Item identifiers are dense `u32`s; positions are stored in a parallel
-/// vector so lookups never hash.
+/// Both per-cell buckets and the position table are stored sparsely, so the
+/// grid's heap footprint scales with the number of stored items rather than
+/// with the `side × side` geometry or the largest item id.  A shard holding
+/// few (or no) residents of a large deployment pays only for what it stores.
 #[derive(Debug, Clone)]
 pub struct UniformGrid {
     bounds: Rect,
     side: u32,
     cell_w: f64,
     cell_h: f64,
-    cells: Vec<Vec<ItemId>>,
-    positions: Vec<Option<Point>>,
-    len: usize,
+    /// Items of each **occupied** cell, keyed by flat cell index.  Empty
+    /// cells have no entry; buckets are removed as they empty.
+    cells: HashMap<u64, Vec<ItemId>>,
+    /// Position of each stored item.  Sparse: ids are global in a
+    /// partitioned deployment, and a thin shard must not pay for a dense
+    /// table up to the maximum resident id.
+    positions: HashMap<ItemId, Point>,
 }
 
 impl UniformGrid {
@@ -60,15 +67,13 @@ impl UniformGrid {
                 "grid bounds must have positive width and height".into(),
             ));
         }
-        let cells = vec![Vec::new(); (side as usize) * (side as usize)];
         Ok(UniformGrid {
             bounds,
             side,
             cell_w: bounds.width() / side as f64,
             cell_h: bounds.height() / side as f64,
-            cells,
-            positions: Vec::new(),
-            len: 0,
+            cells: HashMap::new(),
+            positions: HashMap::new(),
         })
     }
 
@@ -101,17 +106,22 @@ impl UniformGrid {
 
     /// Number of items currently stored.
     pub fn len(&self) -> usize {
-        self.len
+        self.positions.len()
     }
 
     /// Returns `true` when no item is stored.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.positions.is_empty()
+    }
+
+    /// Number of cells that currently hold at least one item.
+    pub fn occupied_cell_count(&self) -> usize {
+        self.cells.len()
     }
 
     /// Current position of `id`, if it is stored in the grid.
     pub fn position(&self, id: ItemId) -> Option<Point> {
-        self.positions.get(id as usize).copied().flatten()
+        self.positions.get(&id).copied()
     }
 
     /// Approximate heap footprint of the grid in bytes (cell buckets plus
@@ -119,13 +129,13 @@ impl UniformGrid {
     /// partitioned deployment it is per-shard state — unlike the graph-only
     /// indexes, which are shared.
     pub fn approx_heap_bytes(&self) -> usize {
-        self.cells.capacity() * std::mem::size_of::<Vec<ItemId>>()
+        hash_map_heap_bytes(&self.cells)
             + self
                 .cells
-                .iter()
+                .values()
                 .map(|c| c.capacity() * std::mem::size_of::<ItemId>())
                 .sum::<usize>()
-            + self.positions.capacity() * std::mem::size_of::<Option<Point>>()
+            + hash_map_heap_bytes(&self.positions)
     }
 
     /// Inserts `id` at `point`, or moves it there if it is already stored.
@@ -139,13 +149,8 @@ impl UniformGrid {
             return;
         }
         let idx = self.cell_index(self.cell_of(point));
-        self.cells[idx].push(id);
-        let slot = id as usize;
-        if slot >= self.positions.len() {
-            self.positions.resize(slot + 1, None);
-        }
-        self.positions[slot] = Some(point);
-        self.len += 1;
+        self.cells.entry(idx).or_default().push(id);
+        self.positions.insert(id, point);
     }
 
     /// Removes `id` from the grid.
@@ -156,13 +161,29 @@ impl UniformGrid {
     pub fn remove(&mut self, id: ItemId) -> Result<Point, SpatialError> {
         let point = self.position(id).ok_or(SpatialError::UnknownItem(id))?;
         let idx = self.cell_index(self.cell_of(point));
-        let cell = &mut self.cells[idx];
-        if let Some(pos) = cell.iter().position(|&x| x == id) {
-            cell.swap_remove(pos);
+        self.remove_from_bucket(idx, id);
+        self.positions.remove(&id);
+        if self.positions.is_empty() {
+            // A fully drained grid (e.g. a shard whose residents were all
+            // migrated away) must genuinely return to its empty footprint,
+            // not keep the old capacity around.
+            self.cells = HashMap::new();
+            self.positions = HashMap::new();
         }
-        self.positions[id as usize] = None;
-        self.len -= 1;
         Ok(point)
+    }
+
+    /// Removes `id` from an occupied cell bucket, dropping the bucket
+    /// entirely when it empties (vacated cells go back to costing nothing).
+    fn remove_from_bucket(&mut self, idx: u64, id: ItemId) {
+        if let Some(cell) = self.cells.get_mut(&idx) {
+            if let Some(pos) = cell.iter().position(|&x| x == id) {
+                cell.swap_remove(pos);
+            }
+            if cell.is_empty() {
+                self.cells.remove(&idx);
+            }
+        }
     }
 
     /// Moves `id` to `point`, updating cell membership only when the item
@@ -186,13 +207,11 @@ impl UniformGrid {
         let new_cell = self.cell_of(point);
         if old_cell != new_cell {
             let old_idx = self.cell_index(old_cell);
-            if let Some(pos) = self.cells[old_idx].iter().position(|&x| x == id) {
-                self.cells[old_idx].swap_remove(pos);
-            }
+            self.remove_from_bucket(old_idx, id);
             let new_idx = self.cell_index(new_cell);
-            self.cells[new_idx].push(id);
+            self.cells.entry(new_idx).or_default().push(id);
         }
-        self.positions[id as usize] = Some(point);
+        self.positions.insert(id, point);
         Ok((old_cell, new_cell))
     }
 
@@ -214,9 +233,12 @@ impl UniformGrid {
         )
     }
 
-    /// Items stored in a cell.
+    /// Items stored in a cell (empty slice for an unoccupied cell).
     pub fn cell_items(&self, cell: CellCoord) -> &[ItemId] {
-        &self.cells[self.cell_index(cell)]
+        self.cells
+            .get(&self.cell_index(cell))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Iterates over all cell coordinates of the grid.
@@ -225,12 +247,21 @@ impl UniformGrid {
         (0..side).flat_map(move |cy| (0..side).map(move |cx| CellCoord::new(cx, cy)))
     }
 
-    /// Iterates over all `(id, point)` pairs stored in the grid.
+    /// Coordinates of the cells that currently hold at least one item, in
+    /// unspecified order.  Searches that seed from the occupied cells (such
+    /// as [`crate::IncrementalNn`]) stay proportional to occupancy instead
+    /// of scanning the whole `side × side` geometry.
+    pub fn occupied_cell_coords(&self) -> impl Iterator<Item = CellCoord> + '_ {
+        let side = self.side as u64;
+        self.cells
+            .keys()
+            .map(move |&idx| CellCoord::new((idx % side) as u32, (idx / side) as u32))
+    }
+
+    /// Iterates over all `(id, point)` pairs stored in the grid, in
+    /// unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (ItemId, Point)> + '_ {
-        self.positions
-            .iter()
-            .enumerate()
-            .filter_map(|(id, p)| p.map(|p| (id as ItemId, p)))
+        self.positions.iter().map(|(&id, &p)| (id, p))
     }
 
     /// All items whose position lies inside `range` (boundary inclusive).
@@ -241,7 +272,7 @@ impl UniformGrid {
         for cy in lo.cy..=hi.cy {
             for cx in lo.cx..=hi.cx {
                 for &id in self.cell_items(CellCoord::new(cx, cy)) {
-                    let p = self.positions[id as usize].expect("stored item has a position");
+                    let p = self.positions[&id];
                     if range.contains(p) {
                         out.push(id);
                     }
@@ -251,8 +282,8 @@ impl UniformGrid {
         out
     }
 
-    pub(crate) fn cell_index(&self, cell: CellCoord) -> usize {
-        cell.cy as usize * self.side as usize + cell.cx as usize
+    pub(crate) fn cell_index(&self, cell: CellCoord) -> u64 {
+        cell.cy as u64 * self.side as u64 + cell.cx as u64
     }
 
     fn clamp(&self, p: Point) -> Point {

@@ -31,6 +31,14 @@ mod point;
 mod rect;
 
 pub use error::SpatialError;
+
+/// Rough per-entry overhead estimate for a `HashMap` (SwissTable control
+/// byte plus padding/load-factor slack), shared by the capacity-based heap
+/// estimates of the sparse grid structures.
+pub(crate) fn hash_map_heap_bytes<K, V>(map: &std::collections::HashMap<K, V>) -> usize {
+    map.capacity() * (std::mem::size_of::<(K, V)>() + 1)
+}
+
 pub use grid::{CellCoord, UniformGrid};
 pub use multigrid::{MultiLevelGrid, NodeId, NodeKind};
 pub use nn::{IncrementalNn, Neighbor};

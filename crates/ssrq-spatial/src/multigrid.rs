@@ -1,4 +1,5 @@
-use crate::{ItemId, Point, Rect, SpatialError};
+use crate::{hash_map_heap_bytes, ItemId, Point, Rect, SpatialError};
+use std::collections::HashMap;
 
 /// Identifier of a node (internal node or leaf cell) of a
 /// [`MultiLevelGrid`].  Node ids are dense and can be used to index parallel
@@ -35,8 +36,16 @@ pub struct MultiLevelGrid {
     /// First flat node id of each level.
     level_offsets: Vec<u32>,
     total_nodes: u32,
-    leaf_items: Vec<Vec<ItemId>>,
-    positions: Vec<Option<Point>>,
+    /// Items of each **occupied** leaf cell, keyed by leaf-local index.
+    /// Empty cells have no entry at all, so the grid's footprint scales with
+    /// occupancy instead of geometry (a leaf level of `s^levels × s^levels`
+    /// cells would otherwise cost a `Vec` header per cell regardless of how
+    /// few residents a shard holds).  Buckets are removed as they empty.
+    leaf_items: HashMap<u32, Vec<ItemId>>,
+    /// Position of each stored item.  Sparse for the same reason: a shard
+    /// holding few residents with large ids must not pay for a dense table
+    /// up to the maximum item id.
+    positions: HashMap<ItemId, Point>,
     len: usize,
 }
 
@@ -90,7 +99,6 @@ impl MultiLevelGrid {
                 )));
             }
         }
-        let leaf_side = *level_sides.last().expect("levels >= 1") as usize;
         Ok(MultiLevelGrid {
             bounds,
             branch,
@@ -98,8 +106,8 @@ impl MultiLevelGrid {
             level_sides,
             level_offsets,
             total_nodes: total as u32,
-            leaf_items: vec![Vec::new(); leaf_side * leaf_side],
-            positions: Vec::new(),
+            leaf_items: HashMap::new(),
+            positions: HashMap::new(),
             len: 0,
         })
     }
@@ -148,23 +156,37 @@ impl MultiLevelGrid {
         self.len == 0
     }
 
+    /// Number of leaf cells that currently hold at least one item.  Together
+    /// with [`MultiLevelGrid::leaf_cell_count`] this is the occupancy the
+    /// memory accounting reports: empty cells cost nothing.
+    pub fn occupied_leaf_count(&self) -> usize {
+        self.leaf_items.len()
+    }
+
+    /// Total number of leaf cells of the geometry (occupied or not).
+    pub fn leaf_cell_count(&self) -> usize {
+        let side = *self.level_sides.last().expect("levels >= 1") as usize;
+        side * side
+    }
+
     /// Approximate heap footprint of the grid structure in bytes (per-level
-    /// tables, leaf buckets and the dense position table).
+    /// tables, the occupied leaf buckets and the sparse position table).
+    /// Scales with the number of stored items, not with the cell count.
     pub fn approx_heap_bytes(&self) -> usize {
         self.level_sides.capacity() * std::mem::size_of::<u32>()
             + self.level_offsets.capacity() * std::mem::size_of::<u32>()
-            + self.leaf_items.capacity() * std::mem::size_of::<Vec<ItemId>>()
+            + hash_map_heap_bytes(&self.leaf_items)
             + self
                 .leaf_items
-                .iter()
+                .values()
                 .map(|c| c.capacity() * std::mem::size_of::<ItemId>())
                 .sum::<usize>()
-            + self.positions.capacity() * std::mem::size_of::<Option<Point>>()
+            + hash_map_heap_bytes(&self.positions)
     }
 
     /// Current position of an item.
     pub fn position(&self, id: ItemId) -> Option<Point> {
-        self.positions.get(id as usize).copied().flatten()
+        self.positions.get(&id).copied()
     }
 
     /// The level (0 = top) a node belongs to.
@@ -263,7 +285,9 @@ impl MultiLevelGrid {
         match self.node_kind(node) {
             NodeKind::Leaf => {
                 let leaf_offset = *self.level_offsets.last().expect("levels >= 1");
-                &self.leaf_items[(node.0 - leaf_offset) as usize]
+                self.leaf_items
+                    .get(&(node.0 - leaf_offset))
+                    .map_or(&[], Vec::as_slice)
             }
             NodeKind::Internal => &[],
         }
@@ -290,12 +314,11 @@ impl MultiLevelGrid {
         }
         let leaf = self.leaf_of(point);
         let leaf_offset = *self.level_offsets.last().expect("levels >= 1");
-        self.leaf_items[(leaf.0 - leaf_offset) as usize].push(id);
-        let slot = id as usize;
-        if slot >= self.positions.len() {
-            self.positions.resize(slot + 1, None);
-        }
-        self.positions[slot] = Some(point);
+        self.leaf_items
+            .entry(leaf.0 - leaf_offset)
+            .or_default()
+            .push(id);
+        self.positions.insert(id, point);
         self.len += 1;
         leaf
     }
@@ -309,13 +332,30 @@ impl MultiLevelGrid {
         let point = self.position(id).ok_or(SpatialError::UnknownItem(id))?;
         let leaf = self.leaf_of(point);
         let leaf_offset = *self.level_offsets.last().expect("levels >= 1");
-        let cell = &mut self.leaf_items[(leaf.0 - leaf_offset) as usize];
-        if let Some(pos) = cell.iter().position(|&x| x == id) {
-            cell.swap_remove(pos);
-        }
-        self.positions[id as usize] = None;
+        self.remove_from_bucket(leaf.0 - leaf_offset, id);
+        self.positions.remove(&id);
         self.len -= 1;
+        if self.len == 0 {
+            // A fully drained grid must genuinely return to its empty
+            // footprint rather than keep the old map capacity around.
+            self.leaf_items = HashMap::new();
+            self.positions = HashMap::new();
+        }
         Ok(leaf)
+    }
+
+    /// Removes `id` from an occupied leaf bucket, dropping the bucket
+    /// entirely when it empties (vacated cells must go back to costing
+    /// nothing).
+    fn remove_from_bucket(&mut self, local: u32, id: ItemId) {
+        if let Some(cell) = self.leaf_items.get_mut(&local) {
+            if let Some(pos) = cell.iter().position(|&x| x == id) {
+                cell.swap_remove(pos);
+            }
+            if cell.is_empty() {
+                self.leaf_items.remove(&local);
+            }
+        }
     }
 
     /// Moves `id` to `point`; returns `(old_leaf, new_leaf)` so callers can
@@ -332,22 +372,19 @@ impl MultiLevelGrid {
         let new_leaf = self.leaf_of(point);
         if old_leaf != new_leaf {
             let leaf_offset = *self.level_offsets.last().expect("levels >= 1");
-            let old_cell = &mut self.leaf_items[(old_leaf.0 - leaf_offset) as usize];
-            if let Some(pos) = old_cell.iter().position(|&x| x == id) {
-                old_cell.swap_remove(pos);
-            }
-            self.leaf_items[(new_leaf.0 - leaf_offset) as usize].push(id);
+            self.remove_from_bucket(old_leaf.0 - leaf_offset, id);
+            self.leaf_items
+                .entry(new_leaf.0 - leaf_offset)
+                .or_default()
+                .push(id);
         }
-        self.positions[id as usize] = Some(point);
+        self.positions.insert(id, point);
         Ok((old_leaf, new_leaf))
     }
 
-    /// Iterates over all stored `(id, point)` pairs.
+    /// Iterates over all stored `(id, point)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (ItemId, Point)> + '_ {
-        self.positions
-            .iter()
-            .enumerate()
-            .filter_map(|(id, p)| p.map(|p| (id as ItemId, p)))
+        self.positions.iter().map(|(&id, &p)| (id, p))
     }
 
     /// Walks from a leaf cell up to its top-level ancestor, yielding every
@@ -510,6 +547,35 @@ mod tests {
             .map(|c| g.leaf_items(c).len())
             .sum();
         assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn empty_cells_cost_nothing() {
+        let mut g = grid(10, 2);
+        assert_eq!(g.leaf_cell_count(), 10_000);
+        assert_eq!(g.occupied_leaf_count(), 0);
+        // An empty grid's footprint is bounded by its per-level tables, not
+        // by its 10k leaf cells.
+        assert!(g.approx_heap_bytes() < 1024);
+        g.insert(5, Point::new(0.55, 0.55));
+        assert_eq!(g.occupied_leaf_count(), 1);
+        // Vacating the only occupied cell drops its bucket again.
+        g.remove(5).unwrap();
+        assert_eq!(g.occupied_leaf_count(), 0);
+        assert!(g.iter().next().is_none());
+    }
+
+    #[test]
+    fn moving_the_last_item_vacates_the_old_cell() {
+        let mut g = grid(4, 2);
+        g.insert(1, Point::new(0.1, 0.1));
+        g.insert(2, Point::new(0.1, 0.12));
+        assert_eq!(g.occupied_leaf_count(), 1);
+        g.update(1, Point::new(0.9, 0.9)).unwrap();
+        assert_eq!(g.occupied_leaf_count(), 2);
+        g.update(2, Point::new(0.9, 0.92)).unwrap();
+        assert_eq!(g.occupied_leaf_count(), 1);
+        assert_eq!(g.len(), 2);
     }
 
     #[test]

@@ -67,15 +67,21 @@ pub struct IncrementalNn<'a> {
 
 impl<'a> IncrementalNn<'a> {
     /// Starts an incremental NN search around `query`.
+    ///
+    /// Only the **occupied** cells seed the heap, so search start-up is
+    /// proportional to occupancy rather than to the `side × side` geometry.
+    /// The seed is sorted row-major first: the occupied-cell set hashes in
+    /// unspecified order, and equal-distance ties must expand in the same
+    /// order on every run.
     pub fn new(grid: &'a UniformGrid, query: Point) -> Self {
-        let mut heap = BinaryHeap::with_capacity(grid.side() as usize * grid.side() as usize);
-        for cell in grid.cell_coords() {
-            if !grid.cell_items(cell).is_empty() {
-                heap.push(HeapEntry {
-                    key: grid.cell_rect(cell).min_distance(query),
-                    entry: Entry::Cell(cell),
-                });
-            }
+        let mut occupied: Vec<CellCoord> = grid.occupied_cell_coords().collect();
+        occupied.sort_unstable_by_key(|c| (c.cy, c.cx));
+        let mut heap = BinaryHeap::with_capacity(occupied.len() * 2);
+        for cell in occupied {
+            heap.push(HeapEntry {
+                key: grid.cell_rect(cell).min_distance(query),
+                entry: Entry::Cell(cell),
+            });
         }
         IncrementalNn {
             grid,
