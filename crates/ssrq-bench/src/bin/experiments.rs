@@ -9,13 +9,15 @@
 //!
 //! Experiments: `table2 table3 fig7a fig7b fig8 fig9 fig10 fig11 fig12
 //! fig13 fig14a fig14b ablation throughput latency sharding memory scale
-//! all` (`scale` is the 10k→1M sweep persisted to `BENCH_scale.json`; it is
-//! not part of `all`).
+//! rpc all` (`scale` is the 10k→1M sweep persisted to `BENCH_scale.json`,
+//! `rpc` spawns `shard-server` processes and persists `BENCH_rpc.json`;
+//! neither is part of `all`).
 //!
 //! Flags: `--quick` (small datasets), `--full` (paper-scale datasets),
 //! `--scale <factor>`, `--queries <n>`, `--with-ch` (include the expensive
 //! Contraction Hierarchies baselines in fig8), `--out <path>` (artifact
-//! path of the `scale` sweep, default `BENCH_scale.json`).
+//! path of the `scale` sweep / `rpc` comparison, defaults
+//! `BENCH_scale.json` / `BENCH_rpc.json`).
 
 use ssrq_bench::report::FigureReport;
 use ssrq_bench::{
@@ -63,8 +65,9 @@ struct Options {
     factor: f64,
     /// The raw `--queries` override, if any.
     queries: Option<usize>,
-    /// Artifact path of the `scale` sweep.
-    out: String,
+    /// `--out` override of the artifact path (`scale` and `rpc` have
+    /// different defaults, so the unset case is kept distinguishable).
+    out: Option<String>,
 }
 
 fn main() {
@@ -74,7 +77,7 @@ fn main() {
     let mut with_ch = false;
     let mut factor: Option<f64> = None;
     let mut queries: Option<usize> = None;
-    let mut out = "BENCH_scale.json".to_string();
+    let mut out: Option<String> = None;
 
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
@@ -90,7 +93,7 @@ fn main() {
             }
             "--out" => {
                 if let Some(path) = iter.next() {
-                    out = path.clone();
+                    out = Some(path.clone());
                 }
             }
             name if !name.starts_with("--") => experiment = name.to_string(),
@@ -142,6 +145,7 @@ fn main() {
         "sharding" => sharding(&options),
         "memory" => memory(&options),
         "scale" => scale_sweep(&options),
+        "rpc" => rpc(&options),
         "all" => {
             table2(&options);
             table3();
@@ -984,12 +988,16 @@ fn scale_sweep(options: &Options) {
         "\n## Scale sweep — gowalla-like at {:?} users, shard counts {:?}, {} queries",
         config.user_counts, config.shard_counts, config.queries
     );
+    let out = options
+        .out
+        .clone()
+        .unwrap_or_else(|| "BENCH_scale.json".into());
     let report = run_scale_sweep(&config);
-    std::fs::write(&options.out, report.render()).expect("scale artifact is writable");
+    std::fs::write(&out, report.render()).expect("scale artifact is writable");
 
     // Trust nothing the writer meant: re-read the artifact from disk and
     // validate the parsed document.
-    let persisted = std::fs::read_to_string(&options.out).expect("scale artifact re-reads");
+    let persisted = std::fs::read_to_string(&out).expect("scale artifact re-reads");
     let parsed = Json::parse(&persisted).expect("scale artifact re-parses as JSON");
     if let Err(violation) = validate_scale_report(&parsed) {
         eprintln!("BENCH_scale.json failed validation: {violation}");
@@ -1023,9 +1031,134 @@ fn scale_sweep(options: &Options) {
         );
     }
     println!(
-        "wrote {} ({} scale points) — parsed back and AIS occupancy budgets verified",
-        options.out,
+        "wrote {out} ({} scale points) — parsed back and AIS occupancy budgets verified",
         scales.len()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// RPC — in-process vs multi-process socket scatter-gather
+// ---------------------------------------------------------------------------
+
+/// Beyond the paper: the multi-process deployment.  Spawns `shard-server`
+/// processes over Unix-domain sockets at 2/4/8 shards, runs the identical
+/// query batch through the in-process [`ShardedEngine`] and the socket
+/// [`RemoteShardedEngine`] coordinator (every remote answer is checked
+/// against the in-process one), and reports q/s, per-query wire latency
+/// and wire volume.  The artifact is written to `--out` (default
+/// `BENCH_rpc.json`), re-read, re-parsed and validated.
+///
+/// [`ShardedEngine`]: ssrq_shard::ShardedEngine
+/// [`RemoteShardedEngine`]: ssrq_net::RemoteShardedEngine
+fn rpc(options: &Options) {
+    use ssrq_bench::{
+        launch_cluster, measure_rpc, sibling_shard_server, validate_rpc_report, DeploymentConfig,
+    };
+    use ssrq_net::RemoteShardedEngine;
+    use ssrq_shard::Partitioning;
+
+    let Some(binary) = sibling_shard_server() else {
+        eprintln!(
+            "shard-server binary not found next to this executable — build it first:\n\
+             \x20   cargo build --release -p ssrq-bench --bin shard-server"
+        );
+        std::process::exit(1);
+    };
+    let users = options.scale.gowalla_users;
+    let queries = options.scale.queries.max(1);
+    let out = options
+        .out
+        .clone()
+        .unwrap_or_else(|| "BENCH_rpc.json".into());
+    let dir = std::env::temp_dir().join(format!("ssrq-rpc-{}", std::process::id()));
+    println!(
+        "\n## RPC — in-process vs socket scatter-gather (gowalla-like, {users} users, {queries} queries per shard count)"
+    );
+
+    let mut report = FigureReport::new(
+        "RPC — sequential scatter-gather q/s and wire volume vs shard processes (AIS, Unix sockets)",
+        "shards",
+    );
+    let mut deployments = Vec::new();
+    for shards in [2usize, 4, 8] {
+        let config = DeploymentConfig::new(
+            users,
+            4242,
+            shards,
+            Partitioning::SpatialGrid { cells_per_axis: 16 },
+        );
+        let local = config.in_process_engine();
+        let servers =
+            launch_cluster(&binary, &dir, &config).expect("shard-server processes launch");
+        let endpoints = servers.iter().map(|s| s.endpoint.clone()).collect();
+        let mut remote = RemoteShardedEngine::builder(endpoints)
+            .connect()
+            .expect("coordinator connects");
+
+        let workload = QueryWorkload::generate(&config.dataset(), queries, 0x5A4D);
+        let batch: Vec<QueryRequest> = workload
+            .users
+            .iter()
+            .map(|&u| {
+                QueryRequest::for_user(u)
+                    .k(DEFAULT_K)
+                    .alpha(DEFAULT_ALPHA)
+                    .algorithm(Algorithm::Ais)
+                    .build()
+                    .expect("valid request")
+            })
+            .collect();
+        let m = measure_rpc(&local, &mut remote, &batch);
+        remote.shutdown().expect("servers acknowledge shutdown");
+        drop(servers);
+
+        report.push_x(shards);
+        report.push_cell("in-process q/s", format!("{:.0}", m.in_process_qps));
+        report.push_cell("socket q/s", format!("{:.0}", m.remote_qps));
+        report.push_cell(
+            "wire latency (us)",
+            format!("{:.0}", m.mean_remote_latency.as_secs_f64() * 1e6),
+        );
+        report.push_cell(
+            "sent+recv B/query",
+            format!("{:.0}", m.bytes_sent_per_query + m.bytes_received_per_query),
+        );
+        report.push_cell(
+            "round trips/query",
+            format!("{:.2}", m.round_trips_per_query),
+        );
+        deployments.push(m.to_json());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    print!("{}", report.render());
+    println!(
+        "(every remote answer was checked against the in-process engine; round trips/query < shards \
+         means the forwarded f_k threshold let the coordinator skip whole shard processes)"
+    );
+
+    let artifact = Json::Obj(vec![
+        ("experiment".into(), Json::str("rpc")),
+        ("dataset".into(), Json::str("gowalla-like")),
+        ("users".into(), Json::num(users)),
+        ("queries".into(), Json::num(queries)),
+        ("algorithm".into(), Json::str(Algorithm::Ais.name())),
+        ("transport".into(), Json::str("unix")),
+        ("deployments".into(), Json::Arr(deployments)),
+    ]);
+    std::fs::write(&out, artifact.render()).expect("rpc artifact is writable");
+    let persisted = std::fs::read_to_string(&out).expect("rpc artifact re-reads");
+    let parsed = Json::parse(&persisted).expect("rpc artifact re-parses as JSON");
+    if let Err(violation) = validate_rpc_report(&parsed) {
+        eprintln!("{out} failed validation: {violation}");
+        std::process::exit(1);
+    }
+    println!(
+        "wrote {out} ({} deployments) — parsed back and wire invariants verified",
+        parsed
+            .get("deployments")
+            .and_then(Json::as_array)
+            .map(<[_]>::len)
+            .unwrap_or(0)
     );
 }
 

@@ -1,0 +1,177 @@
+//! One SSRQ shard as an OS process: regenerates the deterministic
+//! synthetic deployment, restricts it to this shard's slice of the
+//! location space, and serves it over the wire protocol until a
+//! `Shutdown` frame (or a signal) arrives.
+//!
+//! Every process of a deployment must be launched with the **same**
+//! `--users/--seed/--partitioning/--shards` so they regenerate the same
+//! dataset and the same [`ShardAssignment`]; only `--shard` and
+//! `--listen` differ.
+//!
+//! ```sh
+//! shard-server --listen unix:/tmp/ssrq-0.sock --shard 0 --shards 4 \
+//!              --users 5000 --seed 4242 --partitioning spatial:16
+//! ```
+//!
+//! The server prints exactly one `listening on <endpoint>` line to stdout
+//! once the socket is bound — with `tcp:host:0` the line carries the
+//! kernel-assigned port, so a parent process can parse it.
+
+use ssrq_core::{ChBuild, GeoSocialEngine};
+use ssrq_data::{DatasetConfig, QueryWorkload};
+use ssrq_net::{Endpoint, ShardServer};
+use ssrq_shard::{Partitioning, ShardAssignment};
+use std::io::Write;
+
+struct Args {
+    listen: Endpoint,
+    shard: usize,
+    shards: usize,
+    users: usize,
+    seed: u64,
+    partitioning: Partitioning,
+    with_ch: bool,
+    /// `(queries, seed, t)` of a social-neighbour cache warmed for the
+    /// deterministic workload `QueryWorkload::generate(dataset, queries,
+    /// seed)` — what the AIS-Cache algorithm needs.
+    cache: Option<(usize, u64, usize)>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: shard-server --listen <unix:PATH|tcp:ADDR> --shard <I> --shards <N>\n\
+         \x20                 [--users <N>] [--seed <S>] [--partitioning <hash|spatial:CELLS>]\n\
+         \x20                 [--with-ch] [--cache-workload <QUERIES,SEED,T>]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_partitioning(text: &str) -> Option<Partitioning> {
+    if text == "hash" {
+        return Some(Partitioning::UserHash);
+    }
+    let cells = text.strip_prefix("spatial:")?.parse().ok()?;
+    Some(Partitioning::SpatialGrid {
+        cells_per_axis: cells,
+    })
+}
+
+fn parse_args() -> Args {
+    let mut listen = None;
+    let mut shard = None;
+    let mut shards = None;
+    let mut users = 1_000usize;
+    let mut seed = 4242u64;
+    let mut partitioning = Partitioning::SpatialGrid { cells_per_axis: 8 };
+    let mut with_ch = false;
+    let mut cache = None;
+
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = raw.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .unwrap_or_else(|| {
+                    eprintln!("{name} needs a value");
+                    usage()
+                })
+                .as_str()
+        };
+        match arg.as_str() {
+            "--listen" => match Endpoint::parse(value("--listen")) {
+                Ok(endpoint) => listen = Some(endpoint),
+                Err(e) => {
+                    eprintln!("--listen: {e}");
+                    usage()
+                }
+            },
+            "--shard" => shard = value("--shard").parse().ok(),
+            "--shards" => shards = value("--shards").parse().ok(),
+            "--users" => users = value("--users").parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--partitioning" => {
+                partitioning =
+                    parse_partitioning(value("--partitioning")).unwrap_or_else(|| usage())
+            }
+            "--with-ch" => with_ch = true,
+            "--cache-workload" => {
+                let spec = value("--cache-workload");
+                let mut parts = spec.split(',');
+                let parsed = (|| {
+                    Some((
+                        parts.next()?.parse().ok()?,
+                        parts.next()?.parse().ok()?,
+                        parts.next()?.parse().ok()?,
+                    ))
+                })();
+                match parsed {
+                    Some(triple) => cache = Some(triple),
+                    None => {
+                        eprintln!("--cache-workload wants QUERIES,SEED,T (e.g. 8,17,80)");
+                        usage()
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    let (Some(listen), Some(shard), Some(shards)) = (listen, shard, shards) else {
+        usage()
+    };
+    if shards == 0 || shard >= shards {
+        eprintln!("--shard {shard} is out of range for --shards {shards}");
+        usage()
+    }
+    Args {
+        listen,
+        shard,
+        shards,
+        users,
+        seed,
+        partitioning,
+        with_ch,
+        cache,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+
+    let dataset = DatasetConfig::gowalla_like(args.users)
+        .with_seed(args.seed)
+        .generate();
+    let assignment = ShardAssignment::compute(&dataset, args.partitioning, args.shards)
+        .expect("shard assignment computes");
+    let owner = assignment.owners(&dataset);
+    let shard_dataset = dataset.restrict_locations(|u| owner[u as usize] as usize == args.shard);
+
+    let mut builder = GeoSocialEngine::builder(shard_dataset);
+    if args.with_ch {
+        builder = builder.with_ch(ChBuild::Lazy);
+    }
+    if let Some((queries, workload_seed, t)) = args.cache {
+        // The cache is warmed on the *full* dataset's workload so every
+        // shard holds the same cached users as the in-process deployment.
+        let workload = QueryWorkload::generate(&dataset, queries, workload_seed);
+        builder = builder.cache_social_neighbors(workload.users, t);
+    }
+    let engine = builder.build().expect("shard engine builds");
+
+    let server =
+        ShardServer::bind(&args.listen, engine, args.shard, assignment).unwrap_or_else(|e| {
+            eprintln!("shard {} failed to bind {}: {e}", args.shard, args.listen);
+            std::process::exit(1);
+        });
+    // The bound endpoint, not the requested one: `tcp:host:0` resolves to
+    // the kernel-assigned port here.
+    println!("listening on {}", server.endpoint());
+    std::io::stdout().flush().expect("stdout flush");
+
+    if let Err(e) = server.serve() {
+        eprintln!("shard {} serve loop failed: {e}", args.shard);
+        std::process::exit(1);
+    }
+}

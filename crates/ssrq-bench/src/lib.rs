@@ -13,6 +13,7 @@ pub mod json;
 pub mod measure;
 pub mod memory;
 pub mod report;
+pub mod rpc;
 pub mod scale;
 pub mod sharding;
 pub mod suite;
@@ -25,6 +26,10 @@ pub use measure::{
 };
 pub use memory::{measure_memory, single_engine_breakdown, MemoryMeasurement};
 pub use report::FigureReport;
+pub use rpc::{
+    launch_cluster, measure_rpc, sibling_shard_server, validate_rpc_report, DeploymentConfig,
+    RpcMeasurement, ShardProcess,
+};
 pub use scale::{
     ais_budget_bytes, check_ais_budget, run_scale_sweep, validate_scale_report, ScaleSweepConfig,
 };

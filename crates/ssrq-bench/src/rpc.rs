@@ -1,0 +1,462 @@
+//! Multi-process serving measurement: `shard-server` process management
+//! and the in-process vs over-the-wire scatter-gather comparison behind
+//! `experiments -- rpc` (persisted to `BENCH_rpc.json`).
+//!
+//! The deployment contract mirrors the `shard-server` binary: every
+//! process is launched with the same `--users/--seed/--partitioning/
+//! --shards`, so each regenerates the identical dataset and
+//! [`ShardAssignment`](ssrq_shard::ShardAssignment) and serves its own
+//! shard of it.  [`ShardProcess::spawn`] blocks until the server announces
+//! its bound endpoint on stdout, so a returned process is ready to accept
+//! connections (and with `tcp:host:0` the announced endpoint carries the
+//! kernel-assigned port).
+
+use crate::json::Json;
+use ssrq_core::{QueryRequest, QueryResult};
+use ssrq_data::DatasetConfig;
+use ssrq_net::{Endpoint, RemoteShardedEngine};
+use ssrq_shard::{Partitioning, ShardedEngine};
+use std::io::{self, BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// One synthetic multi-process deployment: the parameters every
+/// `shard-server` process of the cluster is launched with.
+#[derive(Debug, Clone)]
+pub struct DeploymentConfig {
+    /// Users of the (gowalla-like) dataset each process regenerates.
+    pub users: usize,
+    /// Dataset RNG seed.
+    pub seed: u64,
+    /// Number of shard processes.
+    pub shards: usize,
+    /// Location-space partitioning policy.
+    pub partitioning: Partitioning,
+    /// Build a (lazy) Contraction Hierarchies index on every shard.
+    pub with_ch: bool,
+    /// `(queries, seed, t)` of a social-neighbour cache warmed for the
+    /// deterministic workload — what AIS-Cache needs.
+    pub cache_workload: Option<(usize, u64, usize)>,
+}
+
+impl DeploymentConfig {
+    /// A plain deployment (no CH, no social cache).
+    pub fn new(users: usize, seed: u64, shards: usize, partitioning: Partitioning) -> Self {
+        DeploymentConfig {
+            users,
+            seed,
+            shards,
+            partitioning,
+            with_ch: false,
+            cache_workload: None,
+        }
+    }
+
+    /// The dataset every process of the deployment regenerates.
+    pub fn dataset(&self) -> ssrq_core::GeoSocialDataset {
+        DatasetConfig::gowalla_like(self.users)
+            .with_seed(self.seed)
+            .generate()
+    }
+
+    /// The `--partitioning` argument encoding of the policy.
+    pub fn partitioning_arg(&self) -> String {
+        match self.partitioning {
+            Partitioning::UserHash => "hash".to_string(),
+            Partitioning::SpatialGrid { cells_per_axis } => format!("spatial:{cells_per_axis}"),
+        }
+    }
+
+    /// The in-process twin of the deployment: a [`ShardedEngine`] over the
+    /// same dataset, partitioning and per-shard engine configuration.
+    pub fn in_process_engine(&self) -> ShardedEngine {
+        let mut builder = ShardedEngine::builder(self.dataset())
+            .shards(self.shards)
+            .partitioning(self.partitioning);
+        let with_ch = self.with_ch;
+        let cache = self.cache_workload;
+        let full = self.dataset();
+        builder = builder.configure_engines(move |mut b| {
+            if with_ch {
+                b = b.with_ch(ssrq_core::ChBuild::Lazy);
+            }
+            if let Some((queries, seed, t)) = cache {
+                let workload = ssrq_data::QueryWorkload::generate(&full, queries, seed);
+                b = b.cache_social_neighbors(workload.users, t);
+            }
+            b
+        });
+        builder.build().expect("in-process twin builds")
+    }
+}
+
+/// The `shard-server` binary built alongside the current executable, if
+/// present (the `experiments` harness and the `shard-server` live in the
+/// same target directory).
+pub fn sibling_shard_server() -> Option<PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let candidate = exe
+        .parent()?
+        .join(format!("shard-server{}", std::env::consts::EXE_SUFFIX));
+    candidate.is_file().then_some(candidate)
+}
+
+/// One running `shard-server` OS process.  Dropping it kills and reaps the
+/// process, so a panicking test or measurement never leaks servers.
+#[derive(Debug)]
+pub struct ShardProcess {
+    child: Child,
+    /// The endpoint the server announced (its actually-bound address).
+    pub endpoint: Endpoint,
+}
+
+impl ShardProcess {
+    /// Spawns shard `shard` of `config` listening on `listen` and waits
+    /// for its `listening on <endpoint>` announcement.
+    ///
+    /// # Errors
+    ///
+    /// Spawn failures, or a child that exits (or prints something else)
+    /// before announcing its endpoint.
+    pub fn spawn(
+        binary: &Path,
+        listen: &Endpoint,
+        shard: usize,
+        config: &DeploymentConfig,
+    ) -> io::Result<ShardProcess> {
+        let mut command = Command::new(binary);
+        command
+            .arg("--listen")
+            .arg(listen.to_string())
+            .arg("--shard")
+            .arg(shard.to_string())
+            .arg("--shards")
+            .arg(config.shards.to_string())
+            .arg("--users")
+            .arg(config.users.to_string())
+            .arg("--seed")
+            .arg(config.seed.to_string())
+            .arg("--partitioning")
+            .arg(config.partitioning_arg())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit());
+        if config.with_ch {
+            command.arg("--with-ch");
+        }
+        if let Some((queries, seed, t)) = config.cache_workload {
+            command
+                .arg("--cache-workload")
+                .arg(format!("{queries},{seed},{t}"));
+        }
+        let mut child = command.spawn()?;
+        let stdout = child.stdout.take().expect("stdout was piped");
+        let mut line = String::new();
+        BufReader::new(stdout).read_line(&mut line)?;
+        let endpoint = line
+            .trim()
+            .strip_prefix("listening on ")
+            .and_then(|s| Endpoint::parse(s).ok());
+        let Some(endpoint) = endpoint else {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "shard {shard} announced `{}` instead of its endpoint",
+                    line.trim()
+                ),
+            ));
+        };
+        Ok(ShardProcess { child, endpoint })
+    }
+
+    /// Kills the server process immediately (simulates a crashed shard).
+    pub fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for ShardProcess {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+/// Launches every shard of `config` as its own OS process over Unix
+/// sockets under `dir`, ready to accept connections on return.
+///
+/// # Errors
+///
+/// The first shard that fails to spawn or announce; already-started
+/// processes are killed by their [`Drop`] when the partial `Vec` unwinds.
+pub fn launch_cluster(
+    binary: &Path,
+    dir: &Path,
+    config: &DeploymentConfig,
+) -> io::Result<Vec<ShardProcess>> {
+    std::fs::create_dir_all(dir)?;
+    (0..config.shards)
+        .map(|shard| {
+            let listen = Endpoint::Unix(dir.join(format!("shard-{shard}.sock")));
+            ShardProcess::spawn(binary, &listen, shard, config)
+        })
+        .collect()
+}
+
+/// In-process vs over-the-wire scatter-gather, same deployment, same
+/// queries, one coordinator thread each.
+#[derive(Debug, Clone)]
+pub struct RpcMeasurement {
+    /// Shards of the deployment.
+    pub shards: usize,
+    /// Queries measured.
+    pub queries: usize,
+    /// Sequential queries per second through the in-process
+    /// [`ShardedEngine`].
+    pub in_process_qps: f64,
+    /// Sequential queries per second through the socket coordinator.
+    pub remote_qps: f64,
+    /// Mean per-query wall time over the wire.
+    pub mean_remote_latency: Duration,
+    /// Mean bytes the coordinator sent per query (requests, origin
+    /// lookups).
+    pub bytes_sent_per_query: f64,
+    /// Mean bytes received per query (answers).
+    pub bytes_received_per_query: f64,
+    /// Mean request/response round trips per query.
+    pub round_trips_per_query: f64,
+}
+
+impl RpcMeasurement {
+    /// The artifact entry for one deployment size.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("shards".into(), Json::num(self.shards)),
+            ("queries".into(), Json::num(self.queries)),
+            (
+                "in_process".into(),
+                Json::Obj(vec![("qps".into(), Json::Num(self.in_process_qps))]),
+            ),
+            (
+                "remote".into(),
+                Json::Obj(vec![
+                    ("qps".into(), Json::Num(self.remote_qps)),
+                    (
+                        "mean_latency_us".into(),
+                        Json::Num(self.mean_remote_latency.as_secs_f64() * 1e6),
+                    ),
+                    (
+                        "bytes_sent_per_query".into(),
+                        Json::Num(self.bytes_sent_per_query),
+                    ),
+                    (
+                        "bytes_received_per_query".into(),
+                        Json::Num(self.bytes_received_per_query),
+                    ),
+                    (
+                        "round_trips_per_query".into(),
+                        Json::Num(self.round_trips_per_query),
+                    ),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Runs `requests` sequentially through both deployments and measures
+/// throughput, per-query wire latency and wire volume.  Every remote
+/// answer is checked against the in-process one (`same_users_and_scores`
+/// at 1e-9), so the measurement doubles as an agreement smoke test.
+///
+/// # Panics
+///
+/// When a query fails on either side or the ranked lists disagree — a
+/// measurement over diverging deployments would be meaningless.
+pub fn measure_rpc(
+    local: &ShardedEngine,
+    remote: &mut RemoteShardedEngine,
+    requests: &[QueryRequest],
+) -> RpcMeasurement {
+    assert!(!requests.is_empty(), "nothing to measure");
+    let local_started = Instant::now();
+    let expected: Vec<QueryResult> = requests
+        .iter()
+        .map(|r| local.run(r).expect("in-process query succeeds"))
+        .collect();
+    let local_elapsed = local_started.elapsed();
+
+    let mut bytes_sent = 0usize;
+    let mut bytes_received = 0usize;
+    let mut round_trips = 0usize;
+    let remote_started = Instant::now();
+    for (request, expected) in requests.iter().zip(&expected) {
+        let result = remote.query(request).expect("remote query succeeds");
+        assert!(
+            result.same_users_and_scores(expected, 1e-9),
+            "remote ranked list diverged from the in-process engine (user {})",
+            request.user()
+        );
+        bytes_sent += result.stats.bytes_sent;
+        bytes_received += result.stats.bytes_received;
+        round_trips += result.stats.wire_round_trips;
+    }
+    let remote_elapsed = remote_started.elapsed();
+
+    let n = requests.len();
+    RpcMeasurement {
+        shards: remote.shard_count(),
+        queries: n,
+        in_process_qps: n as f64 / local_elapsed.as_secs_f64().max(1e-9),
+        remote_qps: n as f64 / remote_elapsed.as_secs_f64().max(1e-9),
+        mean_remote_latency: remote_elapsed / n as u32,
+        bytes_sent_per_query: bytes_sent as f64 / n as f64,
+        bytes_received_per_query: bytes_received as f64 / n as f64,
+        round_trips_per_query: round_trips as f64 / n as f64,
+    }
+}
+
+/// Validates a re-parsed `BENCH_rpc.json` document: schema shape, at least
+/// one deployment, positive throughputs, and wire volume consistent with a
+/// socket deployment (every query crossed the wire at least once).
+///
+/// # Errors
+///
+/// A description of the first violated invariant.
+pub fn validate_rpc_report(report: &Json) -> Result<(), String> {
+    let queries = report
+        .get("queries")
+        .and_then(Json::as_usize)
+        .ok_or("report lacks a numeric `queries`")?;
+    if queries == 0 {
+        return Err("report measured zero queries".into());
+    }
+    let deployments = report
+        .get("deployments")
+        .and_then(Json::as_array)
+        .ok_or("report lacks a `deployments` array")?;
+    if deployments.is_empty() {
+        return Err("report has no deployments".into());
+    }
+    for (index, entry) in deployments.iter().enumerate() {
+        let shards = entry
+            .get("shards")
+            .and_then(Json::as_usize)
+            .ok_or(format!("deployment {index} lacks `shards`"))?;
+        if shards == 0 {
+            return Err(format!("deployment {index} claims zero shards"));
+        }
+        let in_process_qps = entry
+            .get("in_process")
+            .and_then(|o| o.get("qps"))
+            .and_then(Json::as_f64)
+            .ok_or(format!("deployment {index} lacks `in_process.qps`"))?;
+        let remote = entry
+            .get("remote")
+            .ok_or(format!("deployment {index} lacks `remote`"))?;
+        let remote_qps = remote
+            .get("qps")
+            .and_then(Json::as_f64)
+            .ok_or(format!("deployment {index} lacks `remote.qps`"))?;
+        for qps in [in_process_qps, remote_qps] {
+            if !qps.is_finite() || qps <= 0.0 {
+                return Err(format!("deployment {index} reports a non-positive q/s"));
+            }
+        }
+        let round_trips = remote
+            .get("round_trips_per_query")
+            .and_then(Json::as_f64)
+            .ok_or(format!("deployment {index} lacks `round_trips_per_query`"))?;
+        if round_trips < 1.0 {
+            return Err(format!(
+                "deployment {index}: {round_trips} wire round trips per query — a socket \
+                 deployment answers every query over the wire at least once"
+            ));
+        }
+        for key in ["bytes_sent_per_query", "bytes_received_per_query"] {
+            let bytes = remote
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or(format!("deployment {index} lacks `{key}`"))?;
+            if !bytes.is_finite() || bytes <= 0.0 {
+                return Err(format!("deployment {index}: `{key}` must be positive"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> Json {
+        let measurement = RpcMeasurement {
+            shards: 2,
+            queries: 8,
+            in_process_qps: 1000.0,
+            remote_qps: 400.0,
+            mean_remote_latency: Duration::from_micros(2500),
+            bytes_sent_per_query: 120.0,
+            bytes_received_per_query: 900.0,
+            round_trips_per_query: 2.5,
+        };
+        Json::Obj(vec![
+            ("experiment".into(), Json::str("rpc")),
+            ("queries".into(), Json::num(8)),
+            ("deployments".into(), Json::Arr(vec![measurement.to_json()])),
+        ])
+    }
+
+    #[test]
+    fn a_measurement_renders_to_a_validating_report() {
+        let report = sample_report();
+        let reparsed = Json::parse(&report.render()).expect("report re-parses");
+        validate_rpc_report(&reparsed).expect("report validates");
+    }
+
+    #[test]
+    fn validation_rejects_wire_free_and_malformed_reports() {
+        assert!(validate_rpc_report(&Json::Obj(vec![])).is_err());
+
+        let mut no_deployments = sample_report();
+        if let Json::Obj(members) = &mut no_deployments {
+            members.retain(|(k, _)| k != "deployments");
+        }
+        assert!(validate_rpc_report(&no_deployments).is_err());
+
+        // A "remote" deployment that never crossed the wire is a lie.
+        let mut wire_free = sample_report();
+        if let Json::Obj(members) = &mut wire_free {
+            let deployments = members
+                .iter_mut()
+                .find(|(k, _)| k == "deployments")
+                .map(|(_, v)| v)
+                .unwrap();
+            if let Json::Arr(entries) = deployments {
+                if let Json::Obj(entry) = &mut entries[0] {
+                    let remote = entry.iter_mut().find(|(k, _)| k == "remote").unwrap();
+                    if let Json::Obj(remote) = &mut remote.1 {
+                        for (key, value) in remote.iter_mut() {
+                            if key == "round_trips_per_query" {
+                                *value = Json::Num(0.0);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let error = validate_rpc_report(&wire_free).unwrap_err();
+        assert!(error.contains("round trips"), "unexpected error: {error}");
+    }
+
+    #[test]
+    fn partitioning_args_round_trip_the_policies() {
+        let hash = DeploymentConfig::new(100, 1, 2, Partitioning::UserHash);
+        assert_eq!(hash.partitioning_arg(), "hash");
+        let spatial =
+            DeploymentConfig::new(100, 1, 2, Partitioning::SpatialGrid { cells_per_axis: 16 });
+        assert_eq!(spatial.partitioning_arg(), "spatial:16");
+    }
+}

@@ -1,0 +1,255 @@
+//! Distributed agreement: real `shard-server` OS processes behind a
+//! [`RemoteShardedEngine`] must return exactly what the in-process
+//! [`ShardedEngine`] returns for the full 12-algorithm × request-shape
+//! matrix, demonstrably forward the running `f_k` threshold across the
+//! wire, and honour the [`FailurePolicy`] when a process is killed
+//! mid-batch.
+//!
+//! Both deployments regenerate the same deterministic dataset from the
+//! same `--users/--seed`, so the comparison needs no data shipping.
+
+use ssrq_bench::{launch_cluster, DeploymentConfig, ShardProcess};
+use ssrq_core::{Algorithm, QueryRequest};
+use ssrq_data::QueryWorkload;
+use ssrq_net::{NetError, RemoteShardedEngine};
+use ssrq_shard::{FailurePolicy, Partitioning, ShardOutcome};
+use ssrq_spatial::{Point, Rect};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn server_binary() -> &'static Path {
+    Path::new(env!("CARGO_BIN_EXE_shard-server"))
+}
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// A fresh socket directory per test (cleaned up by the guard).
+struct SocketDir(PathBuf);
+
+impl SocketDir {
+    fn new() -> SocketDir {
+        SocketDir(std::env::temp_dir().join(format!(
+            "ssrq-rpc-test-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::SeqCst)
+        )))
+    }
+}
+
+impl Drop for SocketDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn connect(servers: &[ShardProcess]) -> RemoteShardedEngine {
+    RemoteShardedEngine::builder(servers.iter().map(|s| s.endpoint.clone()).collect())
+        .connect()
+        .expect("coordinator connects")
+}
+
+/// The request shapes of the agreement matrix.
+fn request_shapes(user: u32, algorithm: Algorithm) -> Vec<(&'static str, QueryRequest)> {
+    let base = QueryRequest::for_user(user).k(10).alpha(0.4);
+    vec![
+        ("plain", base.clone().algorithm(algorithm).build().unwrap()),
+        (
+            "rect",
+            base.clone()
+                .algorithm(algorithm)
+                .within(Rect::new(Point::new(0.05, 0.05), Point::new(0.8, 0.9)))
+                .build()
+                .unwrap(),
+        ),
+        (
+            "exclusion",
+            base.clone()
+                .algorithm(algorithm)
+                .exclude((0..200u32).filter(|u| u % 3 == 0))
+                .build()
+                .unwrap(),
+        ),
+        (
+            "max_score",
+            base.algorithm(algorithm).max_score(0.5).build().unwrap(),
+        ),
+    ]
+}
+
+#[test]
+fn shard_server_processes_agree_with_the_in_process_engine_for_all_algorithms() {
+    // Small dataset: every process builds its own (lazy, quadratic-ish)
+    // Contraction Hierarchies index over the replicated graph for the
+    // *-CH rows of the matrix.
+    let mut config =
+        DeploymentConfig::new(180, 77, 3, Partitioning::SpatialGrid { cells_per_axis: 4 });
+    config.with_ch = true;
+    config.cache_workload = Some((3, 23, 80));
+
+    let local = config.in_process_engine();
+    let dir = SocketDir::new();
+    let servers = launch_cluster(server_binary(), &dir.0, &config).expect("cluster launches");
+    let mut remote = connect(&servers);
+    assert_eq!(remote.shard_count(), 3);
+    assert_eq!(remote.user_count(), config.users as u64);
+
+    let workload = QueryWorkload::generate(&config.dataset(), 3, 23);
+    for &user in &workload.users {
+        for algorithm in Algorithm::ALL {
+            for (shape, request) in request_shapes(user, algorithm) {
+                let expected = local.run(&request).expect("in-process query");
+                let got = remote.query(&request).expect("remote query");
+                assert!(
+                    !got.degraded,
+                    "{} {shape}: unexpectedly degraded",
+                    algorithm.name()
+                );
+                if algorithm.needs_ch() || algorithm.needs_social_cache() {
+                    // These strategies mix two exact distance mechanisms
+                    // whose floating-point summation order is interleaving-
+                    // dependent; scores can differ by an ulp.
+                    assert!(
+                        got.same_users_and_scores(&expected, 1e-9),
+                        "{} {shape} (user {user}) differs:\n  got      {:?}\n  expected {:?}",
+                        algorithm.name(),
+                        got.users(),
+                        expected.users()
+                    );
+                } else {
+                    assert_eq!(
+                        got.ranked,
+                        expected.ranked,
+                        "{} {shape} (user {user}) differs from the in-process engine",
+                        algorithm.name()
+                    );
+                }
+                // The answer crossed the wire.
+                assert!(
+                    got.stats.wire_round_trips >= 1,
+                    "{} {shape}",
+                    algorithm.name()
+                );
+                assert!(got.stats.bytes_sent > 0 && got.stats.bytes_received > 0);
+                // The in-process twin never touches a socket.
+                assert_eq!(expected.stats.wire_round_trips, 0);
+                assert_eq!(expected.stats.bytes_sent + expected.stats.bytes_received, 0);
+            }
+        }
+    }
+    remote.shutdown().expect("servers acknowledge shutdown");
+}
+
+#[test]
+fn the_forwarded_threshold_saves_remote_work() {
+    let config = DeploymentConfig::new(
+        900,
+        4242,
+        4,
+        Partitioning::SpatialGrid { cells_per_axis: 16 },
+    );
+    let dir = SocketDir::new();
+    let servers = launch_cluster(server_binary(), &dir.0, &config).expect("cluster launches");
+    let endpoints: Vec<_> = servers.iter().map(|s| s.endpoint.clone()).collect();
+    let mut forwarding = RemoteShardedEngine::builder(endpoints.clone())
+        .connect()
+        .expect("forwarding coordinator connects");
+    let mut unbounded = RemoteShardedEngine::builder(endpoints)
+        .forward_threshold(false)
+        .connect()
+        .expect("measurement coordinator connects");
+
+    let workload = QueryWorkload::generate(&config.dataset(), 6, 31);
+    let mut with_threshold = 0usize;
+    let mut without_threshold = 0usize;
+    for &user in &workload.users {
+        let request = QueryRequest::for_user(user)
+            .k(5)
+            .alpha(0.3)
+            .algorithm(Algorithm::Ais)
+            .build()
+            .unwrap();
+        let a = forwarding.query(&request).expect("forwarding query");
+        let b = unbounded.query(&request).expect("measurement query");
+        // Same answer either way — the threshold is an optimization.
+        assert!(a.same_users_and_scores(&b, 0.0), "user {user} diverged");
+        with_threshold += a.stats.relaxed_edges + a.stats.evaluated_users;
+        without_threshold += b.stats.relaxed_edges + b.stats.evaluated_users;
+    }
+    assert!(
+        with_threshold < without_threshold,
+        "forwarding the f_k across the wire must strictly reduce remote work \
+         ({with_threshold} vs {without_threshold} relaxed+evaluated)"
+    );
+    forwarding.shutdown().expect("shutdown");
+}
+
+#[test]
+fn killing_a_shard_process_fails_or_degrades_per_policy() {
+    let config = DeploymentConfig::new(400, 9, 3, Partitioning::UserHash);
+    let local = config.in_process_engine();
+    let dir = SocketDir::new();
+    let mut servers = launch_cluster(server_binary(), &dir.0, &config).expect("cluster launches");
+    let mut remote = connect(&servers);
+
+    // A pinned origin keeps the origin lookup off the wire, and k far
+    // above the population guarantees every shard (hash partitioning:
+    // uninformative rects) must be visited.
+    let request = QueryRequest::for_user(1)
+        .k(100)
+        .alpha(0.4)
+        .origin(Point::new(0.5, 0.5))
+        .algorithm(Algorithm::Ais)
+        .build()
+        .unwrap();
+    remote.query(&request).expect("all shards up");
+
+    let killed_endpoint = servers[1].endpoint.to_string();
+    servers[1].kill();
+
+    // Fail (the default): the dead process is a typed transport error.
+    let error = remote
+        .query(&request)
+        .expect_err("a dead shard must fail the query");
+    assert!(
+        matches!(
+            error,
+            NetError::Disconnected { .. } | NetError::Io(_) | NetError::Timeout { .. }
+        ),
+        "unexpected error for a killed process: {error}"
+    );
+
+    // Degrade: the survivors answer, flagged, with the dead shard named.
+    remote.set_failure_policy(FailurePolicy::Degrade);
+    let (result, stats) = remote
+        .query_detailed(&request)
+        .expect("degrade mode answers");
+    assert!(result.degraded);
+    assert!(!result.is_complete());
+    assert_eq!(stats.failed_shards(), 1);
+    assert!(
+        stats.per_shard.iter().any(|outcome| matches!(
+            outcome,
+            ShardOutcome::Failed { shard, .. } if *shard == killed_endpoint
+        )),
+        "the failed outcome must name the dead shard's endpoint"
+    );
+    // The degraded answer is the exact merge over the surviving shards:
+    // no user owned by the dead shard appears, and every user it shares
+    // with the full answer carries the identical score.  (It is *not* a
+    // subset of the full top-k — the dead shard's users displaced others.)
+    let full = local.run(&request).expect("in-process query");
+    for entry in &result.ranked {
+        assert_ne!(
+            local.owner_of(entry.user),
+            Some(1),
+            "user {} of the dead shard leaked into the degraded answer",
+            entry.user
+        );
+        if let Some(matching) = full.ranked.iter().find(|e| e.user == entry.user) {
+            assert_eq!(matching, entry, "score of user {} diverged", entry.user);
+        }
+    }
+    remote
+        .shutdown()
+        .expect_err("one shard is dead, shutdown reports it");
+}

@@ -171,6 +171,7 @@ impl<'a> AisDriver<'a> {
             driver.result = Some(Ok(QueryResult {
                 ranked: Vec::new(),
                 k: request.k(),
+                degraded: false,
                 stats: driver.stats,
             }));
             driver.done = true;
@@ -217,6 +218,7 @@ impl<'a> AisDriver<'a> {
         self.result = Some(Ok(QueryResult {
             ranked: topk.into_sorted_vec(),
             k: self.request.k(),
+            degraded: false,
             stats: self.stats,
         }));
         self.done = true;

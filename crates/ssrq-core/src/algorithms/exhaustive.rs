@@ -78,6 +78,7 @@ impl<'a> ExhaustiveDriver<'a> {
         self.result = Some(Ok(QueryResult {
             ranked: topk.into_sorted_vec(),
             k: self.request.k(),
+            degraded: false,
             stats: self.stats,
         }));
         self.done = true;

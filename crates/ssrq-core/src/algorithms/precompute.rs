@@ -174,6 +174,7 @@ where
         self.result = Some(Ok(QueryResult {
             ranked: topk.into_sorted_vec(),
             k: self.request.k(),
+            degraded: false,
             stats: self.stats,
         }));
         self.done = true;

@@ -63,6 +63,7 @@ impl<'a> SfaDriver<'a> {
         self.result = Some(Ok(QueryResult {
             ranked: topk.into_sorted_vec(),
             k: self.request.k(),
+            degraded: false,
             stats: self.stats,
         }));
         self.done = true;
@@ -229,6 +230,7 @@ impl<'a> SfaChDriver<'a> {
         self.result = Some(Ok(QueryResult {
             ranked: topk.into_sorted_vec(),
             k: self.request.k(),
+            degraded: false,
             stats: self.stats,
         }));
         self.done = true;

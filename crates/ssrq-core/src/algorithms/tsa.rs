@@ -155,6 +155,7 @@ impl<'a> TsaDriver<'a> {
         self.result = Some(Ok(QueryResult {
             ranked: topk.into_sorted_vec(),
             k: self.request.k(),
+            degraded: false,
             stats: self.stats,
         }));
         self.done = true;

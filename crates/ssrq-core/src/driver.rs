@@ -177,6 +177,7 @@ mod tests {
         let result = QueryResult {
             ranked: vec![entry(1, 0.1), entry(2, 0.2)],
             k: 5,
+            degraded: false,
             stats: QueryStats {
                 evaluated_users: 2,
                 ..QueryStats::default()
@@ -197,6 +198,7 @@ mod tests {
         let result = QueryResult {
             ranked: vec![],
             k: 1,
+            degraded: false,
             stats: QueryStats::default(),
         };
         let mut driver = EagerDriver::new(result.clone());

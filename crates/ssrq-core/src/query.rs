@@ -24,6 +24,14 @@ pub struct QueryResult {
     /// The `k` the query asked for.  A result with `ranked.len() < k` is
     /// *complete*: every admissible user is listed.
     pub k: usize,
+    /// `true` when part of the search space was **not** consulted — e.g. a
+    /// remote shard failed mid-query under
+    /// `FailurePolicy::Degrade` and the coordinator merged what the
+    /// surviving shards returned.  A degraded result never claims
+    /// completeness ([`QueryResult::is_complete`] returns `false`) even when
+    /// it holds fewer than `k` entries; the failed shard is named in the
+    /// coordinator's per-shard stats.  Always `false` on in-process paths.
+    pub degraded: bool,
     /// Work counters and timing for the query.
     pub stats: QueryStats,
 }
@@ -41,9 +49,11 @@ impl QueryResult {
     }
 
     /// Returns `true` when the result lists *every* admissible user, i.e.
-    /// it was not truncated at `k`.
+    /// it was not truncated at `k` — and no part of the search space was
+    /// skipped by a degraded partial-failure merge
+    /// ([`QueryResult::degraded`]).
     pub fn is_complete(&self) -> bool {
-        self.ranked.len() < self.k
+        !self.degraded && self.ranked.len() < self.k
     }
 
     /// Returns `true` when the two results are interchangeable answers to
@@ -109,6 +119,7 @@ mod tests {
         QueryResult {
             ranked: entries,
             k,
+            degraded: false,
             stats: QueryStats::default(),
         }
     }
@@ -122,6 +133,7 @@ mod tests {
         let empty = QueryResult {
             ranked: vec![],
             k: 3,
+            degraded: false,
             stats: QueryStats::default(),
         };
         assert_eq!(empty.fk(), None);

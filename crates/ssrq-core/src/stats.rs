@@ -43,6 +43,17 @@ pub struct QueryStats {
     /// surfaces.  Zero for drain-after-complete algorithms (e.g. the
     /// exhaustive oracle).
     pub streamable_results: usize,
+    /// Bytes written to remote shards while answering this query (frame
+    /// headers included).  Zero on every in-process path — only a
+    /// socket-backed coordinator (`ssrq-net`) moves bytes.
+    pub bytes_sent: usize,
+    /// Bytes read back from remote shards (frame headers included).  Zero
+    /// on every in-process path.
+    pub bytes_received: usize,
+    /// Request/response round trips to remote shards (queries, origin
+    /// lookups — every frame pair the query paid for).  Zero on every
+    /// in-process path.
+    pub wire_round_trips: usize,
     /// Wall-clock processing time.
     pub runtime: Duration,
 }
@@ -102,6 +113,9 @@ impl QueryStats {
         self.delayed_reinsertions += other.delayed_reinsertions;
         self.relaxed_edges += other.relaxed_edges;
         self.streamable_results += other.streamable_results;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
+        self.wire_round_trips += other.wire_round_trips;
     }
 }
 
@@ -133,6 +147,9 @@ mod tests {
             delayed_reinsertions: 7,
             relaxed_edges: 11,
             streamable_results: 2,
+            bytes_sent: 100,
+            bytes_received: 200,
+            wire_round_trips: 3,
             runtime: Duration::from_millis(10),
         };
         let b = a;
@@ -147,6 +164,9 @@ mod tests {
         assert_eq!(a.delayed_reinsertions, 14);
         assert_eq!(a.relaxed_edges, 22);
         assert_eq!(a.streamable_results, 4);
+        assert_eq!(a.bytes_sent, 200);
+        assert_eq!(a.bytes_received, 400);
+        assert_eq!(a.wire_round_trips, 6);
         assert_eq!(a.runtime, Duration::from_millis(20));
     }
 
@@ -157,6 +177,8 @@ mod tests {
             social_pops: 1,
             relaxed_edges: 11,
             streamable_results: 2,
+            bytes_sent: 10,
+            wire_round_trips: 1,
             runtime: Duration::from_millis(10),
             ..QueryStats::default()
         };
@@ -165,6 +187,9 @@ mod tests {
             social_pops: 6,
             relaxed_edges: 3,
             streamable_results: 5,
+            bytes_sent: 30,
+            bytes_received: 7,
+            wire_round_trips: 2,
             runtime: Duration::from_millis(25),
             ..QueryStats::default()
         };
@@ -174,6 +199,10 @@ mod tests {
         assert_eq!(a.social_pops, 7);
         assert_eq!(a.relaxed_edges, 14);
         assert_eq!(a.streamable_results, 7);
+        // ...and so is the wire traffic the searches paid for.
+        assert_eq!(a.bytes_sent, 40);
+        assert_eq!(a.bytes_received, 7);
+        assert_eq!(a.wire_round_trips, 3);
         // ...but overlapping wall-clock is bounded by the slowest worker.
         assert_eq!(a.runtime, Duration::from_millis(25));
         // Merging a faster worker leaves the runtime untouched.
@@ -196,6 +225,9 @@ mod tests {
             spatial_pops: 6,
             relaxed_edges: 8,
             streamable_results: 1,
+            bytes_sent: 12,
+            bytes_received: 34,
+            wire_round_trips: 2,
             runtime: Duration::from_millis(5),
             social_pops: 9,
         };

@@ -1,0 +1,253 @@
+//! The client side of one shard connection: endpoint parsing, connect
+//! with retry, framed request/response calls with byte accounting.
+
+use crate::error::NetError;
+use crate::proto::Message;
+use crate::wire::{parse_header, HEADER_LEN};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Where a shard server listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A Unix-domain socket path (`unix:/path/to.sock`).
+    Unix(PathBuf),
+    /// A TCP address (`tcp:host:port`).
+    Tcp(String),
+}
+
+impl Endpoint {
+    /// Parses `unix:<path>` or `tcp:<addr>`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Protocol`] for any other scheme.
+    pub fn parse(s: &str) -> Result<Endpoint, NetError> {
+        if let Some(path) = s.strip_prefix("unix:") {
+            return Ok(Endpoint::Unix(PathBuf::from(path)));
+        }
+        if let Some(addr) = s.strip_prefix("tcp:") {
+            return Ok(Endpoint::Tcp(addr.to_owned()));
+        }
+        Err(NetError::Protocol {
+            shard: s.to_owned(),
+            detail: "endpoint must start with unix: or tcp:".into(),
+        })
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
+            Endpoint::Tcp(addr) => write!(f, "tcp:{addr}"),
+        }
+    }
+}
+
+/// One connected socket, Unix-domain or TCP.
+#[derive(Debug)]
+pub(crate) enum Stream {
+    /// A Unix-domain connection.
+    Unix(UnixStream),
+    /// A TCP connection.
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    pub(crate) fn connect(endpoint: &Endpoint) -> std::io::Result<Stream> {
+        Ok(match endpoint {
+            Endpoint::Unix(path) => Stream::Unix(UnixStream::connect(path)?),
+            Endpoint::Tcp(addr) => {
+                let stream = TcpStream::connect(addr)?;
+                stream.set_nodelay(true).ok();
+                Stream::Tcp(stream)
+            }
+        })
+    }
+
+    pub(crate) fn set_timeouts(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => {
+                s.set_read_timeout(timeout)?;
+                s.set_write_timeout(timeout)
+            }
+            Stream::Tcp(s) => {
+                s.set_read_timeout(timeout)?;
+                s.set_write_timeout(timeout)
+            }
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// Bytes moved by one [`ShardClient::call`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireTraffic {
+    /// Bytes written (frame header included).
+    pub bytes_sent: usize,
+    /// Bytes read (frame header included).
+    pub bytes_received: usize,
+}
+
+/// A framed request/response connection to one shard server.
+///
+/// The connection is reused across calls (and across the queries of a
+/// batch); it is **not** internally synchronized — one in-flight call at a
+/// time, which is exactly what the sequential scatter needs.
+#[derive(Debug)]
+pub struct ShardClient {
+    endpoint: Endpoint,
+    stream: Stream,
+}
+
+impl ShardClient {
+    /// Connects to `endpoint`, retrying until `timeout` elapses — shard
+    /// servers may still be binding their socket when the coordinator
+    /// starts.
+    ///
+    /// # Errors
+    ///
+    /// The last connect failure once the timeout is exhausted.
+    pub fn connect(endpoint: &Endpoint, timeout: Duration) -> Result<ShardClient, NetError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match Stream::connect(endpoint) {
+                Ok(stream) => {
+                    return Ok(ShardClient {
+                        endpoint: endpoint.clone(),
+                        stream,
+                    })
+                }
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(NetError::Io(e));
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        }
+    }
+
+    /// The endpoint this client talks to.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Sets the per-call deadline: both the write and the read of every
+    /// subsequent [`ShardClient::call`] must complete within `deadline`.
+    /// `None` waits indefinitely.
+    ///
+    /// # Errors
+    ///
+    /// The socket-level failure, if the timeout cannot be applied.
+    pub fn set_deadline(&mut self, deadline: Option<Duration>) -> Result<(), NetError> {
+        self.stream.set_timeouts(deadline)?;
+        Ok(())
+    }
+
+    fn io_error(&self, e: std::io::Error) -> NetError {
+        use std::io::ErrorKind;
+        match e.kind() {
+            ErrorKind::WouldBlock | ErrorKind::TimedOut => NetError::Timeout {
+                shard: self.endpoint.to_string(),
+            },
+            ErrorKind::UnexpectedEof
+            | ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::BrokenPipe => NetError::Disconnected {
+                shard: self.endpoint.to_string(),
+            },
+            _ => NetError::Io(e),
+        }
+    }
+
+    /// Sends one message and reads the response frame, returning the
+    /// decoded response and the bytes moved.
+    ///
+    /// A [`Message::Fail`] response is surfaced as [`NetError::Remote`];
+    /// the traffic it cost is still accounted on the error path's caller
+    /// via the request that triggered it being retried or dropped.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Timeout`] past the deadline, [`NetError::Disconnected`]
+    /// on EOF/reset, [`NetError::Wire`] for malformed frames,
+    /// [`NetError::Remote`] for a typed server refusal.
+    pub fn call(&mut self, message: &Message) -> Result<(Message, WireTraffic), NetError> {
+        let bytes = message.encode();
+        self.stream
+            .write_all(&bytes)
+            .map_err(|e| self.io_error(e))?;
+        self.stream.flush().map_err(|e| self.io_error(e))?;
+        let mut traffic = WireTraffic {
+            bytes_sent: bytes.len(),
+            bytes_received: 0,
+        };
+
+        let mut header = [0u8; HEADER_LEN];
+        self.read_full(&mut header)?;
+        traffic.bytes_received += HEADER_LEN;
+        let (tag, len) = parse_header(&header)?;
+        let mut payload = vec![0u8; len as usize];
+        self.read_full(&mut payload)?;
+        traffic.bytes_received += payload.len();
+        let response = Message::decode(tag, &payload)?;
+        if let Message::Fail { kind, message } = response {
+            return Err(NetError::Remote {
+                shard: self.endpoint.to_string(),
+                kind,
+                message,
+            });
+        }
+        Ok((response, traffic))
+    }
+
+    /// Reads exactly `buf.len()` bytes, mapping EOF and timeouts to the
+    /// crate's typed errors.  (Unlike `read_exact`, never mixes a timeout
+    /// into an unspecified partial-read state silently: any failure
+    /// poisons the connection and the caller drops the client.)
+    fn read_full(&mut self, buf: &mut [u8]) -> Result<(), NetError> {
+        let mut filled = 0;
+        while filled < buf.len() {
+            match self.stream.read(&mut buf[filled..]) {
+                Ok(0) => {
+                    return Err(NetError::Disconnected {
+                        shard: self.endpoint.to_string(),
+                    })
+                }
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(self.io_error(e)),
+            }
+        }
+        Ok(())
+    }
+}

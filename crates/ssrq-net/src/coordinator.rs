@@ -1,0 +1,656 @@
+//! The coordinator: scatter-gather over shard-server *processes*.
+//!
+//! [`RemoteShardedEngine`] mirrors the in-process
+//! [`ShardedEngine`](ssrq_shard::ShardedEngine) over sockets.  Each shard
+//! is one [`ShardClient`] connection (reused across the queries of a
+//! batch) wrapped as a [`ShardTransport`], so the coordinator runs the
+//! **same** best-first, threshold-forwarding visit loop
+//! ([`scatter_sequential`]) and the same deterministic merge
+//! ([`merge_ranked`]) as the single-process deployment — the running `f_k`
+//! crosses the wire inside the request's
+//! [`max_score`](ssrq_core::QueryRequest::max_score) cutoff, bit-exactly.
+//!
+//! The extra failure modes of a multi-process deployment are explicit:
+//! a per-shard deadline bounds how long one slow shard can stall a query,
+//! and [`FailurePolicy`] decides whether a dead shard fails the query
+//! (`Fail`, the default) or degrades it to a flagged partial answer
+//! (`Degrade`).
+
+use crate::client::{Endpoint, ShardClient, WireTraffic};
+use crate::error::NetError;
+use crate::proto::{Message, ShardInfo};
+use ssrq_core::{CoreError, QueryRequest, QueryResult, QueryStats, UserId};
+use ssrq_shard::{
+    merge_ranked, scatter_sequential, shard_score_lower_bound, FailurePolicy, ShardAssignment,
+    ShardStats, ShardTransport,
+};
+use ssrq_spatial::{Point, Rect};
+use std::time::{Duration, Instant};
+
+/// One remote shard as the coordinator sees it: its endpoint, a lazily
+/// re-established connection, and the cached handshake [`ShardInfo`] the
+/// score lower bound is computed from.
+struct RemoteShard {
+    endpoint: Endpoint,
+    client: Option<ShardClient>,
+    info: ShardInfo,
+    deadline: Option<Duration>,
+    forward_threshold: bool,
+    /// The *caller's* score cutoff of the query being scattered — what the
+    /// outbound request is rebuilt to when threshold forwarding is off.
+    caller_cap: Option<f64>,
+}
+
+impl RemoteShard {
+    fn protocol(&self, detail: String) -> NetError {
+        NetError::Protocol {
+            shard: self.endpoint.to_string(),
+            detail,
+        }
+    }
+
+    /// Sends `message` on the cached connection, reconnecting once (a
+    /// single immediate attempt) if a previous call poisoned it.  Any
+    /// transport-level failure drops the connection so the next call
+    /// starts clean.
+    fn call(&mut self, message: &Message) -> Result<(Message, WireTraffic), NetError> {
+        if self.client.is_none() {
+            let mut client = ShardClient::connect(&self.endpoint, Duration::ZERO)?;
+            client.set_deadline(self.deadline)?;
+            self.client = Some(client);
+        }
+        let client = self.client.as_mut().expect("just connected");
+        match client.call(message) {
+            Ok(response) => Ok(response),
+            Err(e @ NetError::Remote { .. }) => Err(e), // typed refusal: connection stays usable
+            Err(e) => {
+                self.client = None;
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Rebuilds `request` with its score cutoff forced to `cap` — used to
+/// *undo* the coordinator's threshold forwarding when it is disabled for
+/// measurement (the cutoff [`with_max_score_at_most`](QueryRequest::with_max_score_at_most)
+/// merged in can only tighten, so restoring the caller's cap is the only
+/// way back).
+fn with_cap(request: &QueryRequest, cap: Option<f64>) -> QueryRequest {
+    let mut builder = QueryRequest::for_user(request.user())
+        .k(request.k())
+        .alpha(request.alpha())
+        .algorithm(request.algorithm().clone())
+        .exclude(request.excluded().iter().copied());
+    if let Some(origin) = request.origin() {
+        builder = builder.origin(origin);
+    }
+    if let Some(window) = request.within() {
+        builder = builder.within(window);
+    }
+    if let Some(cap) = cap {
+        builder = builder.max_score(cap);
+    }
+    builder.build_unvalidated()
+}
+
+impl ShardTransport for RemoteShard {
+    type Error = NetError;
+
+    fn score_lower_bound(&self, request: &QueryRequest) -> f64 {
+        shard_score_lower_bound(
+            self.info.rect,
+            request,
+            request.origin(),
+            self.info.spatial_norm,
+        )
+    }
+
+    fn execute(&mut self, request: &QueryRequest) -> Result<QueryResult, NetError> {
+        let outbound = if self.forward_threshold {
+            request.clone()
+        } else {
+            with_cap(request, self.caller_cap)
+        };
+        let (response, traffic) = self.call(&Message::Query(outbound))?;
+        match response {
+            Message::Answer(mut result) => {
+                result.stats.bytes_sent += traffic.bytes_sent;
+                result.stats.bytes_received += traffic.bytes_received;
+                result.stats.wire_round_trips += 1;
+                Ok(result)
+            }
+            other => Err(self.protocol(format!(
+                "expected Answer to Query, got tag 0x{:02x}",
+                other.tag()
+            ))),
+        }
+    }
+
+    fn describe(&self) -> String {
+        self.endpoint.to_string()
+    }
+}
+
+/// Configures and connects a [`RemoteShardedEngine`];
+/// see [`RemoteShardedEngine::builder`].
+#[derive(Debug, Clone)]
+pub struct RemoteEngineBuilder {
+    endpoints: Vec<Endpoint>,
+    policy: FailurePolicy,
+    deadline: Option<Duration>,
+    connect_timeout: Duration,
+    forward_threshold: bool,
+    assignment: Option<ShardAssignment>,
+}
+
+impl RemoteEngineBuilder {
+    /// Sets what a mid-query shard failure does (default:
+    /// [`FailurePolicy::Fail`]).
+    pub fn failure_policy(mut self, policy: FailurePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Bounds every per-shard round trip: a shard that does not answer
+    /// within `deadline` counts as failed for that query (default: wait
+    /// indefinitely).
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// How long [`RemoteEngineBuilder::connect`] keeps retrying each
+    /// endpoint — shard servers may still be binding their sockets
+    /// (default: 5 s).
+    pub fn connect_timeout(mut self, timeout: Duration) -> Self {
+        self.connect_timeout = timeout;
+        self
+    }
+
+    /// Enables or disables forwarding the running `f_k` threshold to later
+    /// shards (default: on).  Disabling is for *measurement only* — it
+    /// shows, in the later shards' work counters, exactly what the
+    /// forwarded cutoff saves; the ranked answer is the same either way.
+    pub fn forward_threshold(mut self, on: bool) -> Self {
+        self.forward_threshold = on;
+        self
+    }
+
+    /// Hands the coordinator the deployment's [`ShardAssignment`], which
+    /// [`RemoteShardedEngine::rebalance`] needs (everything else works
+    /// without it — the servers hold their own replicas).
+    pub fn assignment(mut self, assignment: ShardAssignment) -> Self {
+        self.assignment = Some(assignment);
+        self
+    }
+
+    /// Connects and handshakes every shard: each server must report the
+    /// shard index matching its position in the endpoint list, the same
+    /// shard count, and the same total user count.
+    ///
+    /// # Errors
+    ///
+    /// Connect/handshake failures, or [`NetError::Protocol`] when a server
+    /// claims a different topology than the endpoint list implies.
+    pub fn connect(self) -> Result<RemoteShardedEngine, NetError> {
+        let n = self.endpoints.len();
+        if n == 0 {
+            return Err(NetError::Core(CoreError::InvalidParameter(
+                "a remote sharded engine needs at least one endpoint".into(),
+            )));
+        }
+        if let Some(assignment) = &self.assignment {
+            if assignment.shard_count() != n {
+                return Err(NetError::Core(CoreError::InvalidParameter(format!(
+                    "assignment covers {} shards but {} endpoints were given",
+                    assignment.shard_count(),
+                    n
+                ))));
+            }
+        }
+        let mut shards = Vec::with_capacity(n);
+        let mut user_count = None;
+        for (index, endpoint) in self.endpoints.iter().enumerate() {
+            let mut client = ShardClient::connect(endpoint, self.connect_timeout)?;
+            client.set_deadline(self.deadline)?;
+            let (response, _) = client.call(&Message::Hello)?;
+            let Message::Info(info) = response else {
+                return Err(NetError::Protocol {
+                    shard: endpoint.to_string(),
+                    detail: format!(
+                        "expected Info after Hello, got tag 0x{:02x}",
+                        response.tag()
+                    ),
+                });
+            };
+            if info.shard != index as u32 || info.shards != n as u32 {
+                return Err(NetError::Protocol {
+                    shard: endpoint.to_string(),
+                    detail: format!(
+                        "server claims shard {}/{} but sits at position {} of {} endpoints",
+                        info.shard, info.shards, index, n
+                    ),
+                });
+            }
+            match user_count {
+                None => user_count = Some(info.user_count),
+                Some(expected) if expected != info.user_count => {
+                    return Err(NetError::Protocol {
+                        shard: endpoint.to_string(),
+                        detail: format!(
+                            "server reports {} users but earlier shards report {expected}",
+                            info.user_count
+                        ),
+                    });
+                }
+                Some(_) => {}
+            }
+            shards.push(RemoteShard {
+                endpoint: endpoint.clone(),
+                client: Some(client),
+                info,
+                deadline: self.deadline,
+                forward_threshold: self.forward_threshold,
+                caller_cap: None,
+            });
+        }
+        Ok(RemoteShardedEngine {
+            shards,
+            policy: self.policy,
+            user_count: user_count.expect("at least one shard"),
+            assignment: self.assignment,
+        })
+    }
+}
+
+/// Scatter-gather SSRQ engine over shard-server processes — the
+/// multi-process counterpart of
+/// [`ShardedEngine`](ssrq_shard::ShardedEngine), returning the same ranked
+/// list for the same deployment.
+///
+/// Connections persist across queries, so a batch pays the connect +
+/// handshake cost once.  Queries take `&mut self` because the scatter
+/// drives each connection's request/response exchange.
+pub struct RemoteShardedEngine {
+    shards: Vec<RemoteShard>,
+    policy: FailurePolicy,
+    user_count: u64,
+    assignment: Option<ShardAssignment>,
+}
+
+impl std::fmt::Debug for RemoteShardedEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteShardedEngine")
+            .field(
+                "endpoints",
+                &self
+                    .shards
+                    .iter()
+                    .map(|s| s.endpoint.to_string())
+                    .collect::<Vec<_>>(),
+            )
+            .field("policy", &self.policy)
+            .field("user_count", &self.user_count)
+            .finish()
+    }
+}
+
+impl RemoteShardedEngine {
+    /// Starts configuring a coordinator over `endpoints` (shard `i` is
+    /// served at `endpoints[i]`).
+    pub fn builder(endpoints: Vec<Endpoint>) -> RemoteEngineBuilder {
+        RemoteEngineBuilder {
+            endpoints,
+            policy: FailurePolicy::default(),
+            deadline: None,
+            connect_timeout: Duration::from_secs(5),
+            forward_threshold: true,
+            assignment: None,
+        }
+    }
+
+    /// Number of remote shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total users of the deployment (every shard holds the full graph).
+    pub fn user_count(&self) -> u64 {
+        self.user_count
+    }
+
+    /// The cached handshake info of shard `shard`.
+    pub fn shard_info(&self, shard: usize) -> &ShardInfo {
+        &self.shards[shard].info
+    }
+
+    /// The active failure policy.
+    pub fn failure_policy(&self) -> FailurePolicy {
+        self.policy
+    }
+
+    /// Switches the failure policy for subsequent queries.
+    pub fn set_failure_policy(&mut self, policy: FailurePolicy) {
+        self.policy = policy;
+    }
+
+    /// Runs one query; see [`RemoteShardedEngine::query_detailed`] for the
+    /// per-shard outcomes.
+    ///
+    /// # Errors
+    ///
+    /// As [`RemoteShardedEngine::query_detailed`].
+    pub fn query(&mut self, request: &QueryRequest) -> Result<QueryResult, NetError> {
+        self.query_detailed(request).map(|(result, _)| result)
+    }
+
+    /// Runs one scatter-gather query and additionally reports the
+    /// per-shard [`ShardStats`].
+    ///
+    /// The coordinator validates locally, resolves the query user's origin
+    /// (asking shards in turn when the request does not pin one), then
+    /// visits shards best-first with the running `f_k` forwarded — the
+    /// exact loop the in-process engine runs.  The merged
+    /// [`QueryStats`] include the wire counters (`bytes_sent`,
+    /// `bytes_received`, `wire_round_trips`), origin lookups included.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Core`] for an invalid request or unknown user;
+    /// otherwise per [`FailurePolicy`] — under `Fail`, the first shard
+    /// failure (timeout, disconnect, typed refusal) aborts the query;
+    /// under `Degrade`, transport failures yield a result flagged
+    /// [`degraded`](QueryResult::degraded) with the failed shard named in
+    /// the outcomes, and only a refusal every shard repeats (e.g. an
+    /// unknown algorithm) still errors.
+    pub fn query_detailed(
+        &mut self,
+        request: &QueryRequest,
+    ) -> Result<(QueryResult, ShardStats), NetError> {
+        let started = Instant::now();
+        request.validate().map_err(NetError::Core)?;
+        if u64::from(request.user()) >= self.user_count {
+            return Err(NetError::Core(CoreError::UnknownUser(request.user())));
+        }
+        let mut lookups = QueryStats::default();
+        let base = match request.origin() {
+            Some(_) => request.clone(),
+            None => match self.locate_remote(request.user(), &mut lookups)? {
+                Some(origin) => request.clone().with_origin(origin),
+                None => request.clone(),
+            },
+        };
+        let caller_cap = request.max_score();
+        for shard in &mut self.shards {
+            shard.caller_cap = caller_cap;
+        }
+        let scatter = scatter_sequential(&mut self.shards, &base, self.policy)
+            .map_err(|failure| failure.error)?;
+        let ranked = merge_ranked(scatter.entries, base.k());
+        let mut stats = ShardStats::new(scatter.outcomes, started.elapsed());
+        stats.merged.merge(&lookups);
+        let result = QueryResult {
+            ranked,
+            k: base.k(),
+            degraded: scatter.degraded,
+            stats: stats.merged,
+        };
+        Ok((result, stats))
+    }
+
+    /// Runs `requests` back to back on the held connections, one result per
+    /// request in order.  Per-request failures follow the failure policy
+    /// exactly as [`RemoteShardedEngine::query`]; a failed request does not
+    /// stop the batch.
+    pub fn query_batch(&mut self, requests: &[QueryRequest]) -> Vec<Result<QueryResult, NetError>> {
+        requests.iter().map(|r| self.query(r)).collect()
+    }
+
+    /// Asks shards in turn for `user`'s stored location, charging the
+    /// round trips to `lookups`.  Transport failures follow the failure
+    /// policy: under `Degrade` an unreachable shard is treated as not
+    /// holding the user.
+    fn locate_remote(
+        &mut self,
+        user: UserId,
+        lookups: &mut QueryStats,
+    ) -> Result<Option<Point>, NetError> {
+        let policy = self.policy;
+        for shard in &mut self.shards {
+            let (response, traffic) = match shard.call(&Message::Locate(user)) {
+                Ok(exchange) => exchange,
+                Err(e @ NetError::Core(_)) | Err(e @ NetError::Remote { .. }) => return Err(e),
+                Err(e) => match policy {
+                    FailurePolicy::Fail => return Err(e),
+                    FailurePolicy::Degrade => continue,
+                },
+            };
+            lookups.bytes_sent += traffic.bytes_sent;
+            lookups.bytes_received += traffic.bytes_received;
+            lookups.wire_round_trips += 1;
+            match response {
+                Message::Located(Some(point)) => return Ok(Some(point)),
+                Message::Located(None) => {}
+                other => {
+                    return Err(shard.protocol(format!(
+                        "expected Located to Locate, got tag 0x{:02x}",
+                        other.tag()
+                    )))
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Moves `user` to `location`: broadcasts the relocation so the owning
+    /// shard (per each server's assignment replica) adopts it and every
+    /// other shard drops any stale copy.  Returns the adopting shard.
+    ///
+    /// The adopter's cached bounding rectangle is grown to cover the new
+    /// location, keeping the coordinator's shard lower bounds admissible
+    /// without a refresh round trip.
+    ///
+    /// # Errors
+    ///
+    /// Any shard failure (relocations are exactness-critical, so the
+    /// failure policy does not apply), or [`NetError::Protocol`] when not
+    /// exactly one shard adopts.
+    pub fn update_location(&mut self, user: UserId, location: Point) -> Result<usize, NetError> {
+        if u64::from(user) >= self.user_count {
+            return Err(NetError::Core(CoreError::UnknownUser(user)));
+        }
+        let mut adopter = None;
+        for (index, shard) in self.shards.iter_mut().enumerate() {
+            let message = Message::Relocate {
+                user,
+                location: Some(location),
+            };
+            let (response, _) = shard.call(&message)?;
+            match response {
+                Message::Relocated { adopted: true } => {
+                    if let Some(first) = adopter {
+                        return Err(shard.protocol(format!(
+                            "shards {first} and {index} both adopted user {user}"
+                        )));
+                    }
+                    adopter = Some(index);
+                }
+                Message::Relocated { adopted: false } => {}
+                other => {
+                    return Err(shard.protocol(format!(
+                        "expected Relocated to Relocate, got tag 0x{:02x}",
+                        other.tag()
+                    )))
+                }
+            }
+        }
+        let Some(adopter) = adopter else {
+            return Err(NetError::Protocol {
+                shard: "coordinator".into(),
+                detail: format!("no shard adopted the relocation of user {user}"),
+            });
+        };
+        let info = &mut self.shards[adopter].info;
+        info.rect = Some(match info.rect {
+            Some(rect) => rect.including(location),
+            None => Rect::new(location, location),
+        });
+        Ok(adopter)
+    }
+
+    /// Removes `user`'s location everywhere (cached rectangles are left as
+    /// conservative over-approximations — still valid lower bounds).
+    ///
+    /// # Errors
+    ///
+    /// Any shard failure; removal is broadcast to all shards.
+    pub fn remove_location(&mut self, user: UserId) -> Result<(), NetError> {
+        if u64::from(user) >= self.user_count {
+            return Err(NetError::Core(CoreError::UnknownUser(user)));
+        }
+        for shard in &mut self.shards {
+            let message = Message::Relocate {
+                user,
+                location: None,
+            };
+            let (response, _) = shard.call(&message)?;
+            if !matches!(response, Message::Relocated { .. }) {
+                return Err(shard.protocol(format!(
+                    "expected Relocated to Relocate, got tag 0x{:02x}",
+                    response.tag()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-handshakes every shard, tightening the cached bounding
+    /// rectangles and counts that relocations loosened.
+    ///
+    /// # Errors
+    ///
+    /// Any shard failure, or a server whose reported topology changed.
+    pub fn refresh(&mut self) -> Result<(), NetError> {
+        for (index, shard) in self.shards.iter_mut().enumerate() {
+            let (response, _) = shard.call(&Message::Refresh)?;
+            let Message::Info(info) = response else {
+                return Err(shard.protocol(format!(
+                    "expected Info to Refresh, got tag 0x{:02x}",
+                    response.tag()
+                )));
+            };
+            if info.shard != index as u32 {
+                return Err(shard.protocol(format!(
+                    "server now claims shard {} at position {index}",
+                    info.shard
+                )));
+            }
+            shard.info = info;
+        }
+        Ok(())
+    }
+
+    /// Repacks the spatial assignment to the *current* location
+    /// distribution and migrates every user whose owner changed, exactly
+    /// as [`ShardedEngine::rebalance`](ssrq_shard::ShardedEngine::rebalance)
+    /// does in-process: gather locations, [`ShardAssignment::repack`],
+    /// broadcast the new cell map, relocate the moved users, refresh.
+    /// Returns how many users moved shards.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Core`] when the coordinator was built without
+    /// [`RemoteEngineBuilder::assignment`]; otherwise any shard failure
+    /// (a rebalance must be all-or-nothing per shard round).
+    pub fn rebalance(&mut self) -> Result<usize, NetError> {
+        if self.assignment.is_none() {
+            return Err(NetError::Core(CoreError::InvalidParameter(
+                "rebalance needs the deployment's ShardAssignment \
+                 (RemoteEngineBuilder::assignment)"
+                    .into(),
+            )));
+        }
+        let mut holders: Vec<(UserId, Point, usize)> = Vec::new();
+        for (index, shard) in self.shards.iter_mut().enumerate() {
+            let (response, _) = shard.call(&Message::ListLocated)?;
+            let Message::LocatedUsers(users) = response else {
+                return Err(shard.protocol(format!(
+                    "expected LocatedUsers to ListLocated, got tag 0x{:02x}",
+                    response.tag()
+                )));
+            };
+            holders.extend(users.into_iter().map(|(user, point)| (user, point, index)));
+        }
+        let assignment = self.assignment.as_mut().expect("checked above");
+        let points: Vec<Point> = holders.iter().map(|&(_, point, _)| point).collect();
+        assignment.repack(&points);
+        let cell_map = assignment.cell_map().map(<[u32]>::to_vec);
+        let moves: Vec<(UserId, Point)> = holders
+            .iter()
+            .filter(|&&(user, point, holder)| assignment.owner_for(user, Some(point)) != holder)
+            .map(|&(user, point, _)| (user, point))
+            .collect();
+        if let Some(map) = cell_map {
+            for shard in &mut self.shards {
+                let message = Message::SetAssignment {
+                    cell_to_shard: map.clone(),
+                };
+                let (response, _) = shard.call(&message)?;
+                if !matches!(response, Message::Ok) {
+                    return Err(shard.protocol(format!(
+                        "expected Ok to SetAssignment, got tag 0x{:02x}",
+                        response.tag()
+                    )));
+                }
+            }
+        }
+        for &(user, point) in &moves {
+            for shard in &mut self.shards {
+                let message = Message::Relocate {
+                    user,
+                    location: Some(point),
+                };
+                let (response, _) = shard.call(&message)?;
+                if !matches!(response, Message::Relocated { .. }) {
+                    return Err(shard.protocol(format!(
+                        "expected Relocated to Relocate, got tag 0x{:02x}",
+                        response.tag()
+                    )));
+                }
+            }
+        }
+        self.refresh()?;
+        Ok(moves.len())
+    }
+
+    /// Broadcasts `Shutdown` to every shard server; continues past
+    /// failures (a dead server is already shut down) and reports the first
+    /// one.
+    ///
+    /// # Errors
+    ///
+    /// The first shard that failed to acknowledge, if any.
+    pub fn shutdown(&mut self) -> Result<(), NetError> {
+        let mut first_error = None;
+        for shard in &mut self.shards {
+            match shard.call(&Message::Shutdown) {
+                Ok((Message::Ok, _)) => {}
+                Ok((other, _)) => {
+                    let e = shard.protocol(format!(
+                        "expected Ok to Shutdown, got tag 0x{:02x}",
+                        other.tag()
+                    ));
+                    first_error.get_or_insert(e);
+                }
+                Err(e) => {
+                    first_error.get_or_insert(e);
+                }
+            }
+        }
+        match first_error {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! The crate's error type.
+
+use crate::proto::FailureKind;
+use crate::wire::WireError;
+use ssrq_core::CoreError;
+
+/// Anything that can go wrong talking to (or serving) remote shards.
+#[derive(Debug)]
+pub enum NetError {
+    /// A frame failed to encode or decode.
+    Wire(WireError),
+    /// A socket-level failure.
+    Io(std::io::Error),
+    /// The remote shard refused the request with a typed failure.
+    Remote {
+        /// The failing shard's endpoint.
+        shard: String,
+        /// The failure class the server reported.
+        kind: FailureKind,
+        /// The server's human-readable detail.
+        message: String,
+    },
+    /// The shard did not answer within the per-shard deadline.
+    Timeout {
+        /// The unresponsive shard's endpoint.
+        shard: String,
+    },
+    /// The connection closed mid-conversation.
+    Disconnected {
+        /// The disconnected shard's endpoint.
+        shard: String,
+    },
+    /// The peer answered with a message the protocol does not allow here.
+    Protocol {
+        /// The offending shard's endpoint.
+        shard: String,
+        /// What was wrong.
+        detail: String,
+    },
+    /// A coordinator-local engine error (validation, unknown user, …) —
+    /// same class an in-process engine reports.
+    Core(CoreError),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Wire(e) => write!(f, "wire error: {e}"),
+            NetError::Io(e) => write!(f, "io error: {e}"),
+            NetError::Remote {
+                shard,
+                kind,
+                message,
+            } => write!(f, "shard {shard} refused ({kind}): {message}"),
+            NetError::Timeout { shard } => write!(f, "shard {shard} missed its deadline"),
+            NetError::Disconnected { shard } => write!(f, "shard {shard} disconnected"),
+            NetError::Protocol { shard, detail } => {
+                write!(f, "protocol violation from {shard}: {detail}")
+            }
+            NetError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Wire(e) => Some(e),
+            NetError::Io(e) => Some(e),
+            NetError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        NetError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<CoreError> for NetError {
+    fn from(e: CoreError) -> Self {
+        NetError::Core(e)
+    }
+}

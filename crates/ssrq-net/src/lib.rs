@@ -1,0 +1,47 @@
+//! Multi-process SSRQ serving over a hand-rolled wire protocol.
+//!
+//! This crate turns the in-process sharded deployment
+//! ([`ssrq_shard::ShardedEngine`]) into a multi-*process* one: each shard
+//! runs as its own OS process ([`ShardServer`]) behind a length-prefixed
+//! binary frame protocol over Unix-domain or TCP sockets, and a
+//! [`RemoteShardedEngine`] coordinator scatter-gathers queries across them
+//! with the **same** best-first visit order, `f_k` threshold forwarding and
+//! deterministic merge as the single-process engine — the two deployments
+//! share the loop itself ([`ssrq_shard::scatter_sequential`]), so they
+//! return the same ranked list.
+//!
+//! Everything on the wire is hand-written little-endian encoding
+//! ([`wire`]): a 10-byte frame header (`b"SSRQ"`, version, message tag,
+//! payload length) followed by the message payload, `f64`s carried as raw
+//! IEEE-754 bits so scores and thresholds cross the wire bit-exactly.  No
+//! external dependencies.
+//!
+//! What the multi-process deployment adds over the in-process one is made
+//! explicit rather than hidden:
+//!
+//! * **Failure semantics** — [`FailurePolicy::Fail`](ssrq_shard::FailurePolicy)
+//!   (default) turns the first shard failure into a typed [`NetError`];
+//!   `Degrade` merges the surviving shards and flags the result
+//!   [`degraded`](ssrq_core::QueryResult::degraded).
+//! * **Deadlines** — a per-shard round-trip deadline
+//!   ([`RemoteEngineBuilder::deadline`]) bounds how long one slow shard
+//!   can stall a query.
+//! * **Wire accounting** — every query's merged
+//!   [`QueryStats`](ssrq_core::QueryStats) counts `bytes_sent`,
+//!   `bytes_received` and `wire_round_trips` (all zero in-process).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod coordinator;
+mod error;
+pub mod proto;
+mod server;
+pub mod wire;
+
+pub use client::{Endpoint, ShardClient, WireTraffic};
+pub use coordinator::{RemoteEngineBuilder, RemoteShardedEngine};
+pub use error::NetError;
+pub use proto::{FailureKind, Message, ShardInfo};
+pub use server::ShardServer;

@@ -1,0 +1,311 @@
+//! The server side: one process hosting one shard's
+//! [`GeoSocialEngine`] behind the frame protocol.
+//!
+//! A [`ShardServer`] owns the engine for **one** shard (built over the
+//! full social graph and the shard's restricted locations), a replica of
+//! the deployment's [`ShardAssignment`] (so location reports can be
+//! adopted or dropped without asking anyone), and a listening socket.
+//! Queries run concurrently under a read lock with one reusable
+//! [`QueryContext`](ssrq_core::QueryContext) per connection; mutations
+//! (relocations, assignment updates) take the write lock.
+
+use crate::client::{Endpoint, Stream};
+use crate::error::NetError;
+use crate::proto::{FailureKind, Message, ShardInfo};
+use crate::wire::{parse_header, HEADER_LEN};
+use ssrq_core::GeoSocialEngine;
+use ssrq_shard::ShardAssignment;
+use ssrq_spatial::Rect;
+use std::io::{Read, Write};
+use std::net::TcpListener;
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+/// How long a connection handler sleeps in its idle poll before
+/// re-checking the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+enum Listener {
+    Unix(UnixListener, PathBuf),
+    Tcp(TcpListener),
+}
+
+/// One shard-serving process: engine + assignment replica + socket.
+pub struct ShardServer {
+    engine: RwLock<GeoSocialEngine>,
+    assignment: RwLock<ShardAssignment>,
+    shard: u32,
+    listener: Listener,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl std::fmt::Debug for ShardServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardServer")
+            .field("shard", &self.shard)
+            .field("endpoint", &self.endpoint().to_string())
+            .finish()
+    }
+}
+
+impl ShardServer {
+    /// Binds the listening socket.
+    ///
+    /// `engine` must already be the **restricted** engine of shard
+    /// `shard`: built over the full social graph but only this shard's
+    /// resident locations (see
+    /// [`GeoSocialDataset::restrict_locations`](ssrq_core::GeoSocialDataset::restrict_locations)).
+    /// A stale Unix socket file at the endpoint is removed first.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] when the socket cannot be bound.
+    pub fn bind(
+        endpoint: &Endpoint,
+        engine: GeoSocialEngine,
+        shard: usize,
+        assignment: ShardAssignment,
+    ) -> Result<ShardServer, NetError> {
+        let listener = match endpoint {
+            Endpoint::Unix(path) => {
+                let _ = std::fs::remove_file(path);
+                let listener = UnixListener::bind(path)?;
+                listener.set_nonblocking(true)?;
+                Listener::Unix(listener, path.clone())
+            }
+            Endpoint::Tcp(addr) => {
+                let listener = TcpListener::bind(addr)?;
+                listener.set_nonblocking(true)?;
+                Listener::Tcp(listener)
+            }
+        };
+        Ok(ShardServer {
+            engine: RwLock::new(engine),
+            assignment: RwLock::new(assignment),
+            shard: shard as u32,
+            listener,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The endpoint actually bound — for `tcp:127.0.0.1:0` this carries
+    /// the kernel-assigned port.
+    pub fn endpoint(&self) -> Endpoint {
+        match &self.listener {
+            Listener::Unix(_, path) => Endpoint::Unix(path.clone()),
+            Listener::Tcp(listener) => Endpoint::Tcp(
+                listener
+                    .local_addr()
+                    .map(|a| a.to_string())
+                    .unwrap_or_default(),
+            ),
+        }
+    }
+
+    /// A handle that makes [`ShardServer::serve`] return: set it to `true`
+    /// from any thread (a `Shutdown` frame sets it too).
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Serves connections until the shutdown flag is raised; each
+    /// connection gets its own handler thread and reusable query context.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Io`] for an accept-loop failure (per-connection errors
+    /// only terminate that connection).
+    pub fn serve(&self) -> Result<(), NetError> {
+        std::thread::scope(|scope| {
+            while !self.shutdown.load(Ordering::SeqCst) {
+                let accepted = match &self.listener {
+                    Listener::Unix(listener, _) => match listener.accept() {
+                        Ok((stream, _)) => Some(Stream::Unix(stream)),
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => None,
+                        Err(e) => return Err(NetError::Io(e)),
+                    },
+                    Listener::Tcp(listener) => match listener.accept() {
+                        Ok((stream, _)) => {
+                            stream.set_nodelay(true).ok();
+                            Some(Stream::Tcp(stream))
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => None,
+                        Err(e) => return Err(NetError::Io(e)),
+                    },
+                };
+                match accepted {
+                    Some(stream) => {
+                        scope.spawn(move || self.handle_connection(stream));
+                    }
+                    None => std::thread::sleep(POLL_INTERVAL),
+                }
+            }
+            Ok(())
+        })?;
+        if let Listener::Unix(_, path) = &self.listener {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(())
+    }
+
+    fn handle_connection(&self, mut stream: Stream) {
+        if stream.set_timeouts(Some(POLL_INTERVAL)).is_err() {
+            return;
+        }
+        let mut ctx = self.engine.read().expect("engine lock").make_context();
+        loop {
+            let (tag, payload) = match self.read_frame(&mut stream) {
+                Ok(Some(frame)) => frame,
+                Ok(None) | Err(_) => return, // clean EOF, shutdown, or poisoned framing
+            };
+            let response = match Message::decode(tag, &payload) {
+                Ok(message) => self.handle(message, &mut ctx),
+                Err(e) => Some(Message::Fail {
+                    kind: FailureKind::InvalidRequest,
+                    message: e.to_string(),
+                }),
+            };
+            let Some(response) = response else { return };
+            if stream.write_all(&response.encode()).is_err() || stream.flush().is_err() {
+                return;
+            }
+        }
+    }
+
+    /// Reads one frame, tolerating idle timeouts between frames (the
+    /// handler re-checks the shutdown flag on every poll tick).  Returns
+    /// `Ok(None)` on clean EOF or shutdown.
+    fn read_frame(&self, stream: &mut Stream) -> Result<Option<(u8, Vec<u8>)>, NetError> {
+        let mut header = [0u8; HEADER_LEN];
+        if self.read_full(stream, &mut header)?.is_none() {
+            return Ok(None);
+        }
+        let (tag, len) = parse_header(&header)?;
+        let mut payload = vec![0u8; len as usize];
+        if self.read_full(stream, &mut payload)?.is_none() {
+            return Ok(None);
+        }
+        Ok(Some((tag, payload)))
+    }
+
+    fn read_full(&self, stream: &mut Stream, buf: &mut [u8]) -> Result<Option<()>, NetError> {
+        let mut filled = 0;
+        while filled < buf.len() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return Ok(None);
+            }
+            match stream.read(&mut buf[filled..]) {
+                Ok(0) => {
+                    if filled == 0 {
+                        return Ok(None); // clean EOF between frames
+                    }
+                    return Err(NetError::Disconnected {
+                        shard: format!("shard {}", self.shard),
+                    });
+                }
+                Ok(n) => filled += n,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock
+                            | std::io::ErrorKind::TimedOut
+                            | std::io::ErrorKind::Interrupted
+                    ) => {}
+                Err(e) => return Err(NetError::Io(e)),
+            }
+        }
+        Ok(Some(()))
+    }
+
+    /// Processes one message; `None` ends the connection (after
+    /// `Shutdown`, whose `Ok` acknowledgement is written by the caller
+    /// path via returning the response first — see below).
+    fn handle(&self, message: Message, ctx: &mut ssrq_core::QueryContext) -> Option<Message> {
+        Some(match message {
+            Message::Hello | Message::Refresh => Message::Info(self.info()),
+            Message::Ping => Message::Pong,
+            Message::Query(request) => {
+                let engine = self.engine.read().expect("engine lock");
+                match engine.run_with(&request, ctx) {
+                    Ok(result) => Message::Answer(result),
+                    Err(e) => Message::Fail {
+                        kind: FailureKind::of(&e),
+                        message: e.to_string(),
+                    },
+                }
+            }
+            Message::Locate(user) => {
+                let engine = self.engine.read().expect("engine lock");
+                Message::Located(engine.dataset().location(user))
+            }
+            Message::ListLocated => {
+                let engine = self.engine.read().expect("engine lock");
+                Message::LocatedUsers(engine.dataset().located_users().collect())
+            }
+            Message::Relocate { user, location } => {
+                let mut engine = self.engine.write().expect("engine lock");
+                let owner = location.map(|p| {
+                    self.assignment
+                        .read()
+                        .expect("assignment lock")
+                        .owner_for(user, Some(p))
+                });
+                let outcome = match location {
+                    Some(p) if owner == Some(self.shard as usize) => {
+                        engine.update_location(user, p).map(|()| true)
+                    }
+                    // Not (or no longer) ours: drop any stale copy.  The
+                    // engine's removal is idempotent, so every non-owner
+                    // in the broadcast answers cheaply.
+                    _ => engine.remove_location(user).map(|()| false),
+                };
+                match outcome {
+                    Ok(adopted) => Message::Relocated { adopted },
+                    Err(e) => Message::Fail {
+                        kind: FailureKind::of(&e),
+                        message: e.to_string(),
+                    },
+                }
+            }
+            Message::SetAssignment { cell_to_shard } => {
+                let mut assignment = self.assignment.write().expect("assignment lock");
+                match assignment.set_cell_map(cell_to_shard) {
+                    Ok(()) => Message::Ok,
+                    Err(e) => Message::Fail {
+                        kind: FailureKind::of(&e),
+                        message: e.to_string(),
+                    },
+                }
+            }
+            Message::Shutdown => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                Message::Ok
+            }
+            other => Message::Fail {
+                kind: FailureKind::InvalidRequest,
+                message: format!("unexpected message tag 0x{:02x}", other.tag()),
+            },
+        })
+    }
+
+    fn info(&self) -> ShardInfo {
+        let engine = self.engine.read().expect("engine lock");
+        let dataset = engine.dataset();
+        ShardInfo {
+            shard: self.shard,
+            shards: self
+                .assignment
+                .read()
+                .expect("assignment lock")
+                .shard_count() as u32,
+            user_count: dataset.user_count() as u64,
+            located: dataset.located_user_count() as u64,
+            rect: Rect::bounding(dataset.located_users().map(|(_, p)| p)),
+            spatial_norm: dataset.spatial_norm(),
+            social_norm: dataset.social_norm(),
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! End-to-end socket serving: shard servers (run in threads over
+//! Unix-domain sockets) behind a [`RemoteShardedEngine`] coordinator must
+//! return exactly what the in-process [`ShardedEngine`] returns, forward
+//! the `f_k` threshold across the wire, survive relocations and
+//! rebalances, and fail the way the [`FailurePolicy`] promises when a
+//! shard dies.
+
+use ssrq_core::{Algorithm, GeoSocialDataset, GeoSocialEngine, QueryRequest};
+use ssrq_data::{DatasetConfig, QueryWorkload};
+use ssrq_net::{Endpoint, NetError, RemoteShardedEngine, ShardServer};
+use ssrq_shard::{FailurePolicy, Partitioning, ShardAssignment, ShardOutcome, ShardedEngine};
+use ssrq_spatial::{Point, Rect};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A cluster of in-thread shard servers over Unix sockets in a temp dir.
+struct Cluster {
+    endpoints: Vec<Endpoint>,
+    flags: Vec<Arc<AtomicBool>>,
+    handles: Vec<JoinHandle<()>>,
+    assignment: ShardAssignment,
+    dir: PathBuf,
+}
+
+static CLUSTER_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+impl Cluster {
+    fn start(dataset: &GeoSocialDataset, policy: Partitioning, shards: usize) -> Cluster {
+        let assignment =
+            ShardAssignment::compute(dataset, policy, shards).expect("assignment computes");
+        let owner = assignment.owners(dataset);
+        let dir = std::env::temp_dir().join(format!(
+            "ssrq-net-test-{}-{}",
+            std::process::id(),
+            CLUSTER_SEQ.fetch_add(1, Ordering::SeqCst)
+        ));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let mut endpoints = Vec::new();
+        let mut flags = Vec::new();
+        let mut handles = Vec::new();
+        for s in 0..shards {
+            let shard_dataset = dataset.restrict_locations(|u| owner[u as usize] as usize == s);
+            let engine = GeoSocialEngine::builder(shard_dataset)
+                .build()
+                .expect("shard engine builds");
+            let endpoint = Endpoint::Unix(dir.join(format!("shard-{s}.sock")));
+            let server =
+                ShardServer::bind(&endpoint, engine, s, assignment.clone()).expect("server binds");
+            flags.push(server.shutdown_flag());
+            endpoints.push(endpoint);
+            handles.push(std::thread::spawn(move || {
+                server.serve().expect("server loop");
+            }));
+        }
+        Cluster {
+            endpoints,
+            flags,
+            handles,
+            assignment,
+            dir,
+        }
+    }
+
+    fn connect(&self) -> RemoteShardedEngine {
+        RemoteShardedEngine::builder(self.endpoints.clone())
+            .connect_timeout(Duration::from_secs(10))
+            .deadline(Duration::from_secs(30))
+            .connect()
+            .expect("coordinator connects")
+    }
+
+    fn kill_shard(&self, shard: usize) {
+        self.flags[shard].store(true, Ordering::SeqCst);
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        for flag in &self.flags {
+            flag.store(true, Ordering::SeqCst);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+fn requests_for(dataset: &GeoSocialDataset, algorithm: Algorithm) -> Vec<QueryRequest> {
+    let workload = QueryWorkload::generate(dataset, 4, 71);
+    let mut requests = Vec::new();
+    for &user in &workload.users {
+        let base = QueryRequest::for_user(user)
+            .k(5)
+            .alpha(0.4)
+            .algorithm(algorithm);
+        requests.push(base.clone().build().unwrap());
+        requests.push(
+            base.clone()
+                .within(Rect::new(Point::new(0.1, 0.1), Point::new(0.8, 0.8)))
+                .build()
+                .unwrap(),
+        );
+        requests.push(
+            base.clone()
+                .exclude([user.wrapping_add(1) % 100])
+                .build()
+                .unwrap(),
+        );
+        requests.push(base.max_score(0.6).build().unwrap());
+    }
+    requests
+}
+
+#[test]
+fn remote_coordinator_matches_the_in_process_engine() {
+    let dataset = DatasetConfig::gowalla_like(300).generate();
+    let policy = Partitioning::SpatialGrid { cells_per_axis: 8 };
+    let local = ShardedEngine::builder(dataset.clone())
+        .shards(3)
+        .partitioning(policy)
+        .build()
+        .unwrap();
+    let cluster = Cluster::start(&dataset, policy, 3);
+    let mut remote = cluster.connect();
+    assert_eq!(remote.shard_count(), 3);
+    assert_eq!(remote.user_count(), dataset.user_count() as u64);
+
+    for algorithm in [Algorithm::Ais, Algorithm::Exhaustive, Algorithm::Tsa] {
+        for request in requests_for(&dataset, algorithm) {
+            let expected = local.run(&request).expect("in-process query");
+            let got = remote.query(&request).expect("remote query");
+            assert!(
+                got.same_users_and_scores(&expected, 1e-12),
+                "{algorithm:?} disagreed on {request:?}:\n  local {:?}\n  remote {:?}",
+                expected.ranked,
+                got.ranked
+            );
+            assert!(!got.degraded);
+            // Wire accounting: remote queries cross the wire, local never.
+            assert!(got.stats.wire_round_trips >= 1);
+            assert!(got.stats.bytes_sent > 0 && got.stats.bytes_received > 0);
+            assert_eq!(expected.stats.wire_round_trips, 0);
+            assert_eq!(expected.stats.bytes_sent, 0);
+        }
+    }
+}
+
+#[test]
+fn the_fk_threshold_crosses_the_wire() {
+    let dataset = DatasetConfig::gowalla_like(400).generate();
+    let policy = Partitioning::SpatialGrid { cells_per_axis: 8 };
+    let cluster = Cluster::start(&dataset, policy, 4);
+    let mut forwarding = cluster.connect();
+    let mut blunt = RemoteShardedEngine::builder(cluster.endpoints.clone())
+        .connect_timeout(Duration::from_secs(10))
+        .forward_threshold(false)
+        .connect()
+        .expect("coordinator connects");
+
+    let workload = QueryWorkload::generate(&dataset, 6, 5);
+    let mut saved_work = false;
+    for &user in &workload.users {
+        let request = QueryRequest::for_user(user)
+            .k(5)
+            .alpha(0.3)
+            .algorithm(Algorithm::Ais)
+            .build()
+            .unwrap();
+        let (with, with_stats) = forwarding.query_detailed(&request).unwrap();
+        let (without, without_stats) = blunt.query_detailed(&request).unwrap();
+        // Forwarding is an optimization, never a semantic change.
+        assert!(with.same_users_and_scores(&without, 0.0));
+        // The forwarded cutoff can only reduce per-shard work.
+        assert!(with_stats.merged.evaluated_users <= without_stats.merged.evaluated_users);
+        assert!(with_stats.merged.relaxed_edges <= without_stats.merged.relaxed_edges);
+        saved_work |= with_stats.merged.evaluated_users < without_stats.merged.evaluated_users
+            || with_stats.skipped_shards() > without_stats.skipped_shards();
+    }
+    assert!(
+        saved_work,
+        "forwarding the threshold never saved any work across the whole workload"
+    );
+}
+
+#[test]
+fn relocations_are_adopted_by_exactly_one_shard_and_answers_track() {
+    let dataset = DatasetConfig::gowalla_like(250).generate();
+    let policy = Partitioning::SpatialGrid { cells_per_axis: 4 };
+    let mut local = ShardedEngine::builder(dataset.clone())
+        .shards(3)
+        .partitioning(policy)
+        .build()
+        .unwrap();
+    let cluster = Cluster::start(&dataset, policy, 3);
+    let mut remote = cluster.connect();
+
+    let moved_user = 17;
+    let destination = Point::new(0.92, 0.94);
+    let adopter = remote.update_location(moved_user, destination).unwrap();
+    assert_eq!(
+        adopter,
+        cluster.assignment.owner_for(moved_user, Some(destination))
+    );
+    local.update_location(moved_user, destination).unwrap();
+
+    let unlocated_user = 23;
+    remote.remove_location(unlocated_user).unwrap();
+    local.remove_location(unlocated_user).unwrap();
+    remote.refresh().unwrap();
+
+    for user in [moved_user, unlocated_user, 5] {
+        let request = QueryRequest::for_user(user)
+            .k(6)
+            .alpha(0.5)
+            .algorithm(Algorithm::Ais)
+            .build()
+            .unwrap();
+        let expected = local.run(&request).unwrap();
+        let got = remote.query(&request).unwrap();
+        assert!(
+            got.same_users_and_scores(&expected, 1e-12),
+            "post-migration disagreement for user {user}"
+        );
+    }
+}
+
+#[test]
+fn rebalance_repacks_and_preserves_agreement() {
+    let dataset = DatasetConfig::gowalla_like(250).generate();
+    let policy = Partitioning::SpatialGrid { cells_per_axis: 4 };
+    let mut local = ShardedEngine::builder(dataset.clone())
+        .shards(3)
+        .partitioning(policy)
+        .build()
+        .unwrap();
+    let cluster = Cluster::start(&dataset, policy, 3);
+    let mut remote = RemoteShardedEngine::builder(cluster.endpoints.clone())
+        .connect_timeout(Duration::from_secs(10))
+        .assignment(cluster.assignment.clone())
+        .connect()
+        .unwrap();
+
+    // Skew the distribution, then rebalance both deployments identically.
+    for (user, x) in [(3u32, 0.91), (9, 0.93), (14, 0.95), (21, 0.97)] {
+        let p = Point::new(x, 0.9);
+        remote.update_location(user, p).unwrap();
+        local.update_location(user, p).unwrap();
+    }
+    let moved_remote = remote.rebalance().unwrap();
+    let report = local.rebalance();
+    assert_eq!(moved_remote, report.moved_users);
+
+    let workload = QueryWorkload::generate(&dataset, 5, 11);
+    for &user in &workload.users {
+        let request = QueryRequest::for_user(user)
+            .k(5)
+            .alpha(0.4)
+            .algorithm(Algorithm::Ais)
+            .build()
+            .unwrap();
+        let expected = local.run(&request).unwrap();
+        let got = remote.query(&request).unwrap();
+        assert!(
+            got.same_users_and_scores(&expected, 1e-12),
+            "post-rebalance disagreement for user {user}"
+        );
+    }
+}
+
+#[test]
+fn a_dead_shard_fails_or_degrades_per_policy() {
+    let dataset = DatasetConfig::gowalla_like(200).generate();
+    let policy = Partitioning::UserHash;
+    let cluster = Cluster::start(&dataset, policy, 3);
+    let mut remote = RemoteShardedEngine::builder(cluster.endpoints.clone())
+        .connect_timeout(Duration::from_secs(10))
+        .deadline(Duration::from_secs(2))
+        .connect()
+        .unwrap();
+
+    // A large k keeps the threshold from pruning any shard, and a pinned
+    // origin skips the location lookup, so the dead shard is guaranteed to
+    // be *visited* (not skipped) by the scatter.
+    let request = QueryRequest::for_user(0)
+        .k(50)
+        .alpha(0.5)
+        .origin(Point::new(0.5, 0.5))
+        .algorithm(Algorithm::Ais)
+        .build()
+        .unwrap();
+    remote.query(&request).expect("healthy cluster answers");
+
+    cluster.kill_shard(1);
+    std::thread::sleep(Duration::from_millis(200));
+
+    let err = remote
+        .query(&request)
+        .expect_err("Fail policy surfaces the dead shard");
+    assert!(
+        matches!(
+            err,
+            NetError::Disconnected { .. } | NetError::Io(_) | NetError::Timeout { .. }
+        ),
+        "unexpected error {err}"
+    );
+
+    remote.set_failure_policy(FailurePolicy::Degrade);
+    let (result, stats) = remote.query_detailed(&request).expect("degraded answer");
+    assert!(result.degraded);
+    assert!(!result.is_complete());
+    assert_eq!(stats.failed_shards(), 1);
+    let failed_endpoint = cluster.endpoints[1].to_string();
+    assert!(
+        stats.per_shard.iter().any(|o| matches!(
+            o,
+            ShardOutcome::Failed { shard, .. } if shard == &failed_endpoint
+        )),
+        "the failed shard is named in the outcomes: {:?}",
+        stats.per_shard
+    );
+    // The survivors' entries are still an exact top-k over their residents.
+    assert!(!result.ranked.is_empty());
+}
+
+#[test]
+fn tcp_endpoints_serve_too() {
+    let dataset = DatasetConfig::gowalla_like(150).generate();
+    let assignment = ShardAssignment::compute(&dataset, Partitioning::UserHash, 1).unwrap();
+    let engine = GeoSocialEngine::builder(dataset.clone()).build().unwrap();
+    let server =
+        ShardServer::bind(&Endpoint::Tcp("127.0.0.1:0".into()), engine, 0, assignment).unwrap();
+    let endpoint = server.endpoint();
+    assert!(!matches!(&endpoint, Endpoint::Tcp(addr) if addr.ends_with(":0")));
+    let flag = server.shutdown_flag();
+    let handle = std::thread::spawn(move || server.serve().unwrap());
+
+    let mut remote = RemoteShardedEngine::builder(vec![endpoint])
+        .connect_timeout(Duration::from_secs(10))
+        .connect()
+        .unwrap();
+    let request = QueryRequest::for_user(3)
+        .k(4)
+        .alpha(0.4)
+        .algorithm(Algorithm::Ais)
+        .build()
+        .unwrap();
+    let single = GeoSocialEngine::builder(dataset).build().unwrap();
+    let expected = single.run(&request).unwrap();
+    let got = remote.query(&request).unwrap();
+    assert!(got.same_users_and_scores(&expected, 1e-12));
+
+    flag.store(true, Ordering::SeqCst);
+    handle.join().unwrap();
+}

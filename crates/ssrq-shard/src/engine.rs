@@ -1,12 +1,14 @@
 //! The sharded scatter-gather engine.
 
-use crate::partition::{AssignmentState, Partitioning};
+use crate::partition::{Partitioning, ShardAssignment};
 use crate::stats::{ShardOutcome, ShardStats};
+use crate::transport::{self, shard_score_lower_bound, FailurePolicy, ShardTransport};
 use ssrq_core::{
-    combine, AlgorithmStrategy, CoreError, EngineBuilder, GeoSocialDataset, GeoSocialEngine,
-    QueryContext, QueryRequest, QueryResult, RankedUser, TopK, UserId,
+    AlgorithmStrategy, CoreError, EngineBuilder, GeoSocialDataset, GeoSocialEngine, QueryContext,
+    QueryRequest, QueryResult, RankedUser, TopK, UserId,
 };
 use ssrq_spatial::{Point, Rect};
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -95,37 +97,9 @@ impl ShardedEngineBuilder {
     /// spatial tiling; otherwise whatever the per-shard
     /// [`EngineBuilder::build`] reports.
     pub fn build(self) -> Result<ShardedEngine, CoreError> {
-        if self.shards == 0 {
-            return Err(CoreError::InvalidParameter(
-                "a sharded engine needs at least one shard".into(),
-            ));
-        }
-        if let Partitioning::SpatialGrid { cells_per_axis } = self.partitioning {
-            if cells_per_axis == 0 {
-                return Err(CoreError::InvalidParameter(
-                    "spatial partitioning needs at least one cell per axis".into(),
-                ));
-            }
-        }
         let n = self.shards;
-        let state = match self.partitioning {
-            Partitioning::UserHash => AssignmentState::Hash,
-            Partitioning::SpatialGrid { cells_per_axis } => {
-                let bounds = self.dataset.bounds();
-                let mut loads = vec![0usize; (cells_per_axis as usize).pow(2)];
-                for (_, p) in self.dataset.located_users() {
-                    loads[AssignmentState::cell_of(bounds, cells_per_axis, p)] += 1;
-                }
-                AssignmentState::Spatial {
-                    bounds,
-                    cells_per_axis,
-                    cell_to_shard: crate::partition::pack_cells(&loads, cells_per_axis, n),
-                }
-            }
-        };
-        let owner: Vec<u32> = (0..self.dataset.user_count() as UserId)
-            .map(|u| state.owner_for(u, self.dataset.location(u), n) as u32)
-            .collect();
+        let assignment = ShardAssignment::compute(&self.dataset, self.partitioning, n)?;
+        let owner = assignment.owners(&self.dataset);
         let mut shards: Vec<Shard> = Vec::with_capacity(n);
         for s in 0..n {
             let shard_dataset = self
@@ -152,8 +126,7 @@ impl ShardedEngineBuilder {
         Ok(ShardedEngine {
             shards,
             owner,
-            state,
-            partitioning: self.partitioning,
+            assignment,
         })
     }
 }
@@ -203,8 +176,7 @@ pub struct ShardedEngine {
     pub(crate) shards: Vec<Shard>,
     /// Owning shard per user id.
     owner: Vec<u32>,
-    state: AssignmentState,
-    partitioning: Partitioning,
+    assignment: ShardAssignment,
 }
 
 // Queries take `&self` (scatter state is per-call); all mutation goes
@@ -243,7 +215,13 @@ impl ShardedEngine {
 
     /// The partitioning policy in effect.
     pub fn partitioning(&self) -> Partitioning {
-        self.partitioning
+        self.assignment.policy()
+    }
+
+    /// The materialized user→shard assignment — what a multi-process
+    /// deployment replicates to route updates and rebalances.
+    pub fn assignment(&self) -> &ShardAssignment {
+        &self.assignment
     }
 
     /// The engine serving shard `s`.
@@ -403,8 +381,7 @@ impl ShardedEngine {
                 "non-finite location {location}"
             )));
         }
-        let n = self.shards.len();
-        let new_owner = self.state.owner_for(user, Some(location), n);
+        let new_owner = self.assignment.owner_for(user, Some(location));
         let old_owner = self.owner[user as usize] as usize;
         if new_owner != old_owner {
             self.shards[old_owner].engine.remove_location(user)?;
@@ -445,27 +422,16 @@ impl ShardedEngine {
     /// never rebuilt or copied by a rebalance or a cross-shard migration —
     /// only the affected shards' grids and AIS indexes are updated.
     pub fn rebalance(&mut self) -> RebalanceReport {
-        let n = self.shards.len();
         let located: Vec<(UserId, Point)> = self
             .shards
             .iter()
             .flat_map(|s| s.engine.dataset().located_users().collect::<Vec<_>>())
             .collect();
-        if let AssignmentState::Spatial {
-            bounds,
-            cells_per_axis,
-            cell_to_shard,
-        } = &mut self.state
-        {
-            let mut loads = vec![0usize; (*cells_per_axis as usize).pow(2)];
-            for &(_, p) in &located {
-                loads[AssignmentState::cell_of(*bounds, *cells_per_axis, p)] += 1;
-            }
-            *cell_to_shard = crate::partition::pack_cells(&loads, *cells_per_axis, n);
-        }
+        let points: Vec<Point> = located.iter().map(|&(_, p)| p).collect();
+        self.assignment.repack(&points);
         let mut moved_users = 0usize;
         for (user, p) in located {
-            let new_owner = self.state.owner_for(user, Some(p), n);
+            let new_owner = self.assignment.owner_for(user, Some(p));
             let old_owner = self.owner[user as usize] as usize;
             if new_owner != old_owner {
                 self.shards[old_owner]
@@ -499,17 +465,8 @@ impl ShardedEngine {
         request: &QueryRequest,
         origin: Option<Point>,
     ) -> f64 {
-        let (Some(origin), Some(rect)) = (origin, shard.rect) else {
-            return f64::INFINITY;
-        };
-        if let Some(window) = request.within() {
-            if !rect.intersects(&window) {
-                return f64::INFINITY;
-            }
-        }
-        let dataset = self.shards[0].engine.dataset();
-        let spatial_lb = dataset.normalize_spatial(rect.min_distance(origin));
-        combine(request.alpha(), 0.0, spatial_lb)
+        let spatial_norm = self.shards[0].engine.dataset().spatial_norm();
+        shard_score_lower_bound(shard.rect, request, origin, spatial_norm)
     }
 
     /// Validates the request against the sharded deployment and resolves
@@ -540,6 +497,12 @@ impl ShardedEngine {
     /// The scatter-gather core: one worker per context, shards visited in
     /// ascending lower-bound order, threshold forwarded through the
     /// request cutoff, deterministic merge.
+    ///
+    /// With a single context the scatter routes through the transport
+    /// layer's [`scatter_sequential`](crate::scatter_sequential) — the very
+    /// loop a socket coordinator runs over remote shards — so the
+    /// in-process and multi-process deployments share one visit order,
+    /// threshold-forwarding rule and merge.
     pub(crate) fn scatter(
         &self,
         request: &QueryRequest,
@@ -547,6 +510,38 @@ impl ShardedEngine {
     ) -> Result<(QueryResult, ShardStats), CoreError> {
         let started = Instant::now();
         let base = self.prepare(request)?;
+        if contexts.len() <= 1 {
+            let mut owned;
+            let ctx: &mut QueryContext = match contexts {
+                [] => {
+                    owned = self.make_context();
+                    &mut owned
+                }
+                [ctx, ..] => ctx,
+            };
+            let cell = RefCell::new(ctx);
+            let mut transports: Vec<LocalShard<'_, '_>> = (0..self.shards.len())
+                .map(|index| LocalShard {
+                    engine: self,
+                    index,
+                    ctx: &cell,
+                })
+                .collect();
+            // In-process shards fail the query on error — `Degrade` only
+            // makes sense when a shard can fail independently (a process).
+            let scatter =
+                transport::scatter_sequential(&mut transports, &base, FailurePolicy::Fail)
+                    .map_err(|e| e.error)?;
+            let ranked = transport::merge_ranked(scatter.entries, base.k());
+            let shard_stats = ShardStats::new(scatter.outcomes, started.elapsed());
+            let result = QueryResult {
+                ranked,
+                k: base.k(),
+                degraded: scatter.degraded,
+                stats: shard_stats.merged,
+            };
+            return Ok((result, shard_stats));
+        }
         let origin = base.origin();
         let n = self.shards.len();
         let bounds: Vec<f64> = self
@@ -602,33 +597,20 @@ impl ShardedEngine {
             }
         };
 
-        match contexts {
-            [] => worker(&mut self.make_context()),
-            [ctx] => worker(ctx),
-            many => {
-                std::thread::scope(|scope| {
-                    for ctx in many.iter_mut() {
-                        scope.spawn(|| worker(ctx));
-                    }
-                });
+        std::thread::scope(|scope| {
+            for ctx in contexts.iter_mut() {
+                scope.spawn(|| worker(ctx));
             }
-        }
+        });
 
         let gather = gather.into_inner().expect("gather lock");
         if let Some(error) = gather.error {
             return Err(error);
         }
-        // Deterministic merge: global ascending (score, user) order over
-        // the disjoint per-shard results, truncated at k.  The running
-        // `topk` above only steers the pruning — rebuilding the list here
-        // makes the answer independent of worker scheduling.
-        let mut ranked = gather.entries;
-        ranked.sort_by(|a, b| {
-            a.score
-                .total_cmp(&b.score)
-                .then_with(|| a.user.cmp(&b.user))
-        });
-        ranked.truncate(request.k());
+        // Deterministic merge: the running `topk` above only steers the
+        // pruning — rebuilding the list makes the answer independent of
+        // worker scheduling.
+        let ranked = transport::merge_ranked(gather.entries, request.k());
         let outcomes: Vec<ShardOutcome> = gather
             .outcomes
             .into_iter()
@@ -638,8 +620,38 @@ impl ShardedEngine {
         let result = QueryResult {
             ranked,
             k: request.k(),
+            degraded: false,
             stats: shard_stats.merged,
         };
         Ok((result, shard_stats))
+    }
+}
+
+/// The in-process [`ShardTransport`]: one shard of a [`ShardedEngine`],
+/// executing through a shared (single-threaded, hence `RefCell`) query
+/// context.
+struct LocalShard<'a, 'b> {
+    engine: &'a ShardedEngine,
+    index: usize,
+    ctx: &'a RefCell<&'b mut QueryContext>,
+}
+
+impl ShardTransport for LocalShard<'_, '_> {
+    type Error = CoreError;
+
+    fn score_lower_bound(&self, request: &QueryRequest) -> f64 {
+        self.engine
+            .shard_lower_bound(&self.engine.shards[self.index], request, request.origin())
+    }
+
+    fn execute(&mut self, request: &QueryRequest) -> Result<QueryResult, CoreError> {
+        let mut ctx = self.ctx.borrow_mut();
+        self.engine.shards[self.index]
+            .engine
+            .run_with(request, &mut ctx)
+    }
+
+    fn describe(&self) -> String {
+        format!("local shard {}", self.index)
     }
 }

@@ -75,8 +75,13 @@ mod engine;
 mod partition;
 mod session;
 mod stats;
+mod transport;
 
 pub use engine::{RebalanceReport, ShardedEngine, ShardedEngineBuilder};
-pub use partition::Partitioning;
+pub use partition::{Partitioning, ShardAssignment};
 pub use session::{ShardedSession, ShardedStream};
 pub use stats::{ShardOutcome, ShardStats};
+pub use transport::{
+    merge_ranked, scatter_sequential, shard_score_lower_bound, FailurePolicy, ScatterError,
+    SequentialScatter, ShardTransport,
+};

@@ -22,7 +22,7 @@
 //! policy (they occupy no spatial index and never appear in results until
 //! they report a location, at which point they are routed like any update).
 
-use ssrq_core::UserId;
+use ssrq_core::{CoreError, GeoSocialDataset, UserId};
 use ssrq_spatial::{Point, Rect};
 
 /// How a [`ShardedEngine`](crate::ShardedEngine) assigns users to shards.
@@ -93,6 +93,170 @@ impl AssignmentState {
                 Some(p),
             ) => cell_to_shard[Self::cell_of(*bounds, *cells_per_axis, p)] as usize,
             _ => hash_shard(user, shards),
+        }
+    }
+}
+
+/// The materialized user→shard assignment of a sharded deployment.
+///
+/// This is the routing brain shared by every coordinator flavour: the
+/// in-process [`ShardedEngine`](crate::ShardedEngine) embeds one, a
+/// `shard-server` process computes an identical one from the same dataset
+/// and policy (the computation is deterministic), and a socket coordinator
+/// ships repacked cell maps to its servers through
+/// [`ShardAssignment::cell_map`] / [`ShardAssignment::set_cell_map`].
+#[derive(Debug, Clone)]
+pub struct ShardAssignment {
+    shards: usize,
+    policy: Partitioning,
+    state: AssignmentState,
+}
+
+impl ShardAssignment {
+    /// Materializes the assignment for `dataset` under `policy`.
+    ///
+    /// Deterministic: every party that computes the assignment from the
+    /// same dataset, policy and shard count gets byte-identical routing.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] for zero shards or a zero-resolution
+    /// spatial tiling.
+    pub fn compute(
+        dataset: &GeoSocialDataset,
+        policy: Partitioning,
+        shards: usize,
+    ) -> Result<Self, CoreError> {
+        if shards == 0 {
+            return Err(CoreError::InvalidParameter(
+                "a sharded engine needs at least one shard".into(),
+            ));
+        }
+        let state = match policy {
+            Partitioning::UserHash => AssignmentState::Hash,
+            Partitioning::SpatialGrid { cells_per_axis } => {
+                if cells_per_axis == 0 {
+                    return Err(CoreError::InvalidParameter(
+                        "spatial partitioning needs at least one cell per axis".into(),
+                    ));
+                }
+                let bounds = dataset.bounds();
+                let mut loads = vec![0usize; (cells_per_axis as usize).pow(2)];
+                for (_, p) in dataset.located_users() {
+                    loads[AssignmentState::cell_of(bounds, cells_per_axis, p)] += 1;
+                }
+                AssignmentState::Spatial {
+                    bounds,
+                    cells_per_axis,
+                    cell_to_shard: pack_cells(&loads, cells_per_axis, shards),
+                }
+            }
+        };
+        Ok(ShardAssignment {
+            shards,
+            policy,
+            state,
+        })
+    }
+
+    /// Number of shards the assignment routes onto.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// The partitioning policy the assignment was materialized from.
+    pub fn policy(&self) -> Partitioning {
+        self.policy
+    }
+
+    /// The shard owning a user currently at `location` (or without one).
+    pub fn owner_for(&self, user: UserId, location: Option<Point>) -> usize {
+        self.state.owner_for(user, location, self.shards)
+    }
+
+    /// The owning shard of every user of `dataset`, indexed by user id.
+    pub fn owners(&self, dataset: &GeoSocialDataset) -> Vec<u32> {
+        (0..dataset.user_count() as UserId)
+            .map(|u| self.owner_for(u, dataset.location(u)) as u32)
+            .collect()
+    }
+
+    /// The tiling bounds (`None` under hash partitioning).
+    pub fn bounds(&self) -> Option<Rect> {
+        match &self.state {
+            AssignmentState::Spatial { bounds, .. } => Some(*bounds),
+            AssignmentState::Hash => None,
+        }
+    }
+
+    /// The tiling resolution per axis (`None` under hash partitioning).
+    pub fn cells_per_axis(&self) -> Option<u32> {
+        match &self.state {
+            AssignmentState::Spatial { cells_per_axis, .. } => Some(*cells_per_axis),
+            AssignmentState::Hash => None,
+        }
+    }
+
+    /// The cell→shard map (`None` under hash partitioning) — what a
+    /// rebalancing coordinator ships to its shard servers.
+    pub fn cell_map(&self) -> Option<&[u32]> {
+        match &self.state {
+            AssignmentState::Spatial { cell_to_shard, .. } => Some(cell_to_shard),
+            AssignmentState::Hash => None,
+        }
+    }
+
+    /// Installs a cell→shard map received from a coordinator.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] under hash partitioning, for a map
+    /// of the wrong length, or one naming a shard out of range.
+    pub fn set_cell_map(&mut self, map: Vec<u32>) -> Result<(), CoreError> {
+        let shards = self.shards;
+        match &mut self.state {
+            AssignmentState::Spatial {
+                cells_per_axis,
+                cell_to_shard,
+                ..
+            } => {
+                let expected = (*cells_per_axis as usize).pow(2);
+                if map.len() != expected {
+                    return Err(CoreError::InvalidParameter(format!(
+                        "cell map has {} entries, tiling has {expected} cells",
+                        map.len()
+                    )));
+                }
+                if let Some(&bad) = map.iter().find(|&&s| s as usize >= shards) {
+                    return Err(CoreError::InvalidParameter(format!(
+                        "cell map names shard {bad} of {shards}"
+                    )));
+                }
+                *cell_to_shard = map;
+                Ok(())
+            }
+            AssignmentState::Hash => Err(CoreError::InvalidParameter(
+                "hash partitioning has no cell map".into(),
+            )),
+        }
+    }
+
+    /// Re-packs the spatial cells for the given located population
+    /// (heaviest-band serpentine packing, see the module docs).  A no-op
+    /// under hash partitioning, whose assignment is location-independent.
+    pub fn repack(&mut self, located: &[Point]) {
+        let shards = self.shards;
+        if let AssignmentState::Spatial {
+            bounds,
+            cells_per_axis,
+            cell_to_shard,
+        } = &mut self.state
+        {
+            let mut loads = vec![0usize; (*cells_per_axis as usize).pow(2)];
+            for &p in located {
+                loads[AssignmentState::cell_of(*bounds, *cells_per_axis, p)] += 1;
+            }
+            *cell_to_shard = pack_cells(&loads, *cells_per_axis, shards);
         }
     }
 }

@@ -4,7 +4,7 @@ use ssrq_core::QueryStats;
 use std::time::Duration;
 
 /// What happened to one shard during a scatter-gather query.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ShardOutcome {
     /// The shard ran its bounded search; these are its work counters.
     Executed(QueryStats),
@@ -17,6 +17,19 @@ pub enum ShardOutcome {
         /// (`INFINITY` for an empty shard, a filter-disjoint shard, or an
         /// unlocated query origin).
         lower_bound: f64,
+    },
+    /// The shard failed mid-query and the coordinator degraded around it
+    /// ([`FailurePolicy::Degrade`](crate::FailurePolicy::Degrade)) — its
+    /// residents were **not** consulted and the merged result is flagged
+    /// [`degraded`](ssrq_core::QueryResult::degraded).  Never produced
+    /// in-process; only a remote transport can fail without failing the
+    /// query.
+    Failed {
+        /// The failing shard's transport identity
+        /// (e.g. `"unix:/tmp/ssrq-2.sock"`).
+        shard: String,
+        /// The failure the coordinator observed.
+        detail: String,
     },
 }
 
@@ -61,7 +74,18 @@ impl ShardStats {
 
     /// Number of shards the threshold / bounding-rectangle pruning skipped.
     pub fn skipped_shards(&self) -> usize {
-        self.per_shard.len() - self.executed_shards()
+        self.per_shard
+            .iter()
+            .filter(|o| matches!(o, ShardOutcome::Skipped { .. }))
+            .count()
+    }
+
+    /// Number of shards that failed mid-query (degraded gathers only).
+    pub fn failed_shards(&self) -> usize {
+        self.per_shard
+            .iter()
+            .filter(|o| matches!(o, ShardOutcome::Failed { .. }))
+            .count()
     }
 }
 
@@ -83,11 +107,16 @@ mod tests {
                 executed(5, 10),
                 ShardOutcome::Skipped { lower_bound: 0.9 },
                 executed(7, 3),
+                ShardOutcome::Failed {
+                    shard: "unix:/tmp/ssrq-3.sock".into(),
+                    detail: "connection reset".into(),
+                },
             ],
             Duration::from_millis(12),
         );
         assert_eq!(stats.executed_shards(), 2);
         assert_eq!(stats.skipped_shards(), 1);
+        assert_eq!(stats.failed_shards(), 1);
         assert_eq!(stats.merged.vertex_pops, 12);
         // merge semantics: parallel shards overlap, slowest one counts.
         assert_eq!(stats.merged.runtime, Duration::from_millis(10));

@@ -1,0 +1,383 @@
+//! The coordinator↔shard boundary: [`ShardTransport`] and the shared
+//! sequential scatter.
+//!
+//! A scatter-gather coordinator does not care *where* a shard runs — only
+//! that it can (a) bound the best score any of its residents could achieve
+//! and (b) execute a bounded top-k.  [`ShardTransport`] captures exactly
+//! that contract, so the in-process [`ShardedEngine`](crate::ShardedEngine)
+//! and a socket-backed remote coordinator (`ssrq-net`) share one
+//! best-first, threshold-forwarding visit loop ([`scatter_sequential`]) and
+//! one deterministic merge ([`merge_ranked`]) — the exactness argument is
+//! proved once and holds for both deployments.
+
+use crate::stats::ShardOutcome;
+use ssrq_core::{combine, QueryRequest, QueryResult, RankedUser, TopK};
+use ssrq_spatial::{Point, Rect};
+
+/// What a coordinator does when a shard fails mid-query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailurePolicy {
+    /// The query fails with the shard's error (the default — exactness
+    /// over availability).
+    #[default]
+    Fail,
+    /// The coordinator merges what the surviving shards returned and flags
+    /// the result [`degraded`](ssrq_core::QueryResult::degraded); the
+    /// failed shard is named in the per-shard outcomes
+    /// ([`ShardOutcome::Failed`]).
+    Degrade,
+}
+
+/// One shard as a coordinator sees it: a score bound and a bounded top-k
+/// executor, location-agnostic (in-process engine or remote process).
+pub trait ShardTransport {
+    /// The transport's failure type ([`CoreError`](ssrq_core::CoreError)
+    /// in-process, an IO/wire error remotely).
+    type Error: std::fmt::Display;
+
+    /// Lower bound on the score any admissible resident of this shard can
+    /// achieve for `request` — `INFINITY` when the shard provably cannot
+    /// contribute (empty, filter-disjoint, unlocated origin).  Must be
+    /// computable without a search (the coordinator calls it for every
+    /// shard before visiting any).
+    fn score_lower_bound(&self, request: &QueryRequest) -> f64;
+
+    /// Runs the shard's bounded top-k over its residents.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the underlying engine or wire reports; the coordinator's
+    /// [`FailurePolicy`] decides what happens next.
+    fn execute(&mut self, request: &QueryRequest) -> Result<QueryResult, Self::Error>;
+
+    /// Human-readable shard identity for failure reports
+    /// (e.g. `"local shard 2"`, `"unix:/tmp/ssrq-2.sock"`).
+    fn describe(&self) -> String;
+}
+
+/// The score lower bound backing every [`ShardTransport::score_lower_bound`]
+/// implementation: `(1 − α) · mindist(origin, rect) / spatial_norm`, or
+/// `INFINITY` for an empty shard (`rect` is `None`), an unlocated origin,
+/// or a bounding rectangle disjoint from the request's spatial filter.
+pub fn shard_score_lower_bound(
+    rect: Option<Rect>,
+    request: &QueryRequest,
+    origin: Option<Point>,
+    spatial_norm: f64,
+) -> f64 {
+    let (Some(origin), Some(rect)) = (origin, rect) else {
+        return f64::INFINITY;
+    };
+    if let Some(window) = request.within() {
+        if !rect.intersects(&window) {
+            return f64::INFINITY;
+        }
+    }
+    combine(
+        request.alpha(),
+        0.0,
+        rect.min_distance(origin) / spatial_norm,
+    )
+}
+
+/// A shard failure that aborted a [`FailurePolicy::Fail`] scatter.
+#[derive(Debug)]
+pub struct ScatterError<E> {
+    /// Index of the failing shard.
+    pub shard: usize,
+    /// The failing shard's [`ShardTransport::describe`] identity.
+    pub describe: String,
+    /// The underlying transport error.
+    pub error: E,
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for ScatterError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shard {} ({}) failed: {}",
+            self.shard, self.describe, self.error
+        )
+    }
+}
+
+impl<E: std::fmt::Display + std::fmt::Debug> std::error::Error for ScatterError<E> {}
+
+/// What a [`scatter_sequential`] pass gathered.
+#[derive(Debug, Clone)]
+pub struct SequentialScatter {
+    /// Every entry the executed shards returned (unmerged, unsorted).
+    pub entries: Vec<RankedUser>,
+    /// One outcome per shard, indexed by shard id.
+    pub outcomes: Vec<ShardOutcome>,
+    /// `true` when at least one shard failed under
+    /// [`FailurePolicy::Degrade`] — its residents were never consulted.
+    pub degraded: bool,
+}
+
+/// The shared coordinator loop: visits shards **sequentially in ascending
+/// lower-bound order**, forwards the running `f_k` threshold to each next
+/// shard through the request's
+/// [`max_score`](ssrq_core::QueryRequest::max_score) admission cutoff, and
+/// skips shards whose bound cannot beat it.
+///
+/// `base` must already be the broadcast form: validated, with the query
+/// user's [`origin`](ssrq_core::QueryRequest::origin) resolved — the loop
+/// never talks to a dataset.
+///
+/// Sequential visiting maximizes what the threshold can prune (each shard
+/// sees the `f_k` of everything gathered so far), which is the right mode
+/// for per-query workers in a batch and the only mode where a remote
+/// coordinator's forwarding is deterministic.
+///
+/// # Errors
+///
+/// Under [`FailurePolicy::Fail`], the first shard failure aborts with a
+/// [`ScatterError`] naming the shard.  Under [`FailurePolicy::Degrade`]
+/// failures are recorded as [`ShardOutcome::Failed`] and the scatter
+/// completes with `degraded = true`.
+pub fn scatter_sequential<T: ShardTransport>(
+    transports: &mut [T],
+    base: &QueryRequest,
+    policy: FailurePolicy,
+) -> Result<SequentialScatter, ScatterError<T::Error>> {
+    let n = transports.len();
+    let bounds: Vec<f64> = transports
+        .iter()
+        .map(|t| t.score_lower_bound(base))
+        .collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| bounds[a].total_cmp(&bounds[b]).then(a.cmp(&b)));
+
+    let mut topk = TopK::for_request(base);
+    let mut entries: Vec<RankedUser> = Vec::new();
+    let mut outcomes: Vec<Option<ShardOutcome>> = vec![None; n];
+    let mut degraded = false;
+    for &s in &order {
+        let threshold = topk.fk();
+        if bounds[s] >= threshold {
+            outcomes[s] = Some(ShardOutcome::Skipped {
+                lower_bound: bounds[s],
+            });
+            continue;
+        }
+        let shard_request = base.clone().with_max_score_at_most(threshold);
+        match transports[s].execute(&shard_request) {
+            Ok(result) => {
+                for &entry in &result.ranked {
+                    topk.consider(entry);
+                }
+                outcomes[s] = Some(ShardOutcome::Executed(result.stats));
+                entries.extend(result.ranked);
+            }
+            Err(error) => match policy {
+                FailurePolicy::Fail => {
+                    return Err(ScatterError {
+                        shard: s,
+                        describe: transports[s].describe(),
+                        error,
+                    });
+                }
+                FailurePolicy::Degrade => {
+                    degraded = true;
+                    outcomes[s] = Some(ShardOutcome::Failed {
+                        shard: transports[s].describe(),
+                        detail: error.to_string(),
+                    });
+                }
+            },
+        }
+    }
+    Ok(SequentialScatter {
+        entries,
+        outcomes: outcomes
+            .into_iter()
+            .map(|o| o.expect("every shard has an outcome"))
+            .collect(),
+        degraded,
+    })
+}
+
+/// The deterministic gather merge: global ascending `(score, user)` order
+/// over the (disjoint) per-shard entries, truncated at `k`.  Rebuilding the
+/// list from scratch makes the answer independent of shard visit order and
+/// worker scheduling.
+pub fn merge_ranked(mut entries: Vec<RankedUser>, k: usize) -> Vec<RankedUser> {
+    entries.sort_by(|a, b| {
+        a.score
+            .total_cmp(&b.score)
+            .then_with(|| a.user.cmp(&b.user))
+    });
+    entries.truncate(k);
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssrq_core::{Algorithm, QueryStats};
+
+    /// A scripted shard: fixed bound, canned entries, optional failure.
+    struct FakeShard {
+        bound: f64,
+        entries: Vec<RankedUser>,
+        fail: bool,
+        /// The `max_score` cutoffs of the requests this shard executed.
+        seen_cutoffs: Vec<Option<f64>>,
+    }
+
+    impl FakeShard {
+        fn new(bound: f64, scores: &[(u32, f64)]) -> Self {
+            FakeShard {
+                bound,
+                entries: scores
+                    .iter()
+                    .map(|&(user, score)| RankedUser {
+                        user,
+                        score,
+                        social: score,
+                        spatial: score,
+                    })
+                    .collect(),
+                fail: false,
+                seen_cutoffs: Vec::new(),
+            }
+        }
+
+        fn failing(bound: f64) -> Self {
+            let mut shard = FakeShard::new(bound, &[]);
+            shard.fail = true;
+            shard
+        }
+    }
+
+    impl ShardTransport for FakeShard {
+        type Error = String;
+
+        fn score_lower_bound(&self, _request: &QueryRequest) -> f64 {
+            self.bound
+        }
+
+        fn execute(&mut self, request: &QueryRequest) -> Result<QueryResult, String> {
+            self.seen_cutoffs.push(request.max_score());
+            if self.fail {
+                return Err("scripted failure".into());
+            }
+            let cutoff = request.max_score().unwrap_or(f64::INFINITY);
+            let ranked: Vec<RankedUser> = self
+                .entries
+                .iter()
+                .copied()
+                .filter(|e| e.score < cutoff)
+                .take(request.k())
+                .collect();
+            Ok(QueryResult {
+                ranked,
+                k: request.k(),
+                degraded: false,
+                stats: QueryStats::default(),
+            })
+        }
+
+        fn describe(&self) -> String {
+            format!("fake(bound={})", self.bound)
+        }
+    }
+
+    fn request(k: usize) -> QueryRequest {
+        QueryRequest::for_user(0)
+            .k(k)
+            .alpha(0.5)
+            .algorithm(Algorithm::Exhaustive)
+            .build_unvalidated()
+    }
+
+    #[test]
+    fn visits_best_first_and_forwards_the_threshold() {
+        // Shard 1 has the better bound, so it runs first and its f_k is
+        // forwarded to shard 0 as the admission cutoff.
+        let mut shards = vec![
+            FakeShard::new(0.15, &[(7, 0.45), (8, 0.9)]),
+            FakeShard::new(0.0, &[(1, 0.1), (2, 0.2)]),
+        ];
+        let base = request(2);
+        let scatter = scatter_sequential(&mut shards, &base, FailurePolicy::Fail).unwrap();
+        assert_eq!(shards[1].seen_cutoffs, vec![None]);
+        assert_eq!(shards[0].seen_cutoffs, vec![Some(0.2)]);
+        assert!(!scatter.degraded);
+        let ranked = merge_ranked(scatter.entries, 2);
+        assert_eq!(
+            ranked.iter().map(|e| (e.user, e.score)).collect::<Vec<_>>(),
+            vec![(1, 0.1), (2, 0.2)]
+        );
+    }
+
+    #[test]
+    fn skips_shards_whose_bound_cannot_beat_the_threshold() {
+        let mut shards = vec![
+            FakeShard::new(0.0, &[(1, 0.1), (2, 0.2)]),
+            FakeShard::new(0.5, &[(9, 0.55)]),
+        ];
+        let base = request(2);
+        let scatter = scatter_sequential(&mut shards, &base, FailurePolicy::Fail).unwrap();
+        assert!(shards[1].seen_cutoffs.is_empty(), "shard 1 must be skipped");
+        assert!(matches!(
+            scatter.outcomes[1],
+            ShardOutcome::Skipped { lower_bound } if lower_bound == 0.5
+        ));
+    }
+
+    #[test]
+    fn fail_policy_aborts_with_the_shard_named() {
+        let mut shards = vec![FakeShard::new(0.0, &[(1, 0.1)]), FakeShard::failing(0.01)];
+        let err = scatter_sequential(&mut shards, &request(5), FailurePolicy::Fail).unwrap_err();
+        assert_eq!(err.shard, 1);
+        assert!(err.to_string().contains("scripted failure"));
+    }
+
+    #[test]
+    fn degrade_policy_records_the_failure_and_flags_the_scatter() {
+        let mut shards = vec![FakeShard::new(0.0, &[(1, 0.1)]), FakeShard::failing(0.01)];
+        let scatter = scatter_sequential(&mut shards, &request(5), FailurePolicy::Degrade).unwrap();
+        assert!(scatter.degraded);
+        assert!(matches!(
+            &scatter.outcomes[1],
+            ShardOutcome::Failed { detail, .. } if detail.contains("scripted failure")
+        ));
+        // The surviving shard's entries are still gathered.
+        assert_eq!(scatter.entries.len(), 1);
+    }
+
+    #[test]
+    fn merge_ranked_is_deterministic_on_score_ties() {
+        let entry = |user, score| RankedUser {
+            user,
+            score,
+            social: score,
+            spatial: score,
+        };
+        let merged = merge_ranked(vec![entry(9, 0.2), entry(3, 0.2), entry(5, 0.1)], 2);
+        assert_eq!(
+            merged.iter().map(|e| e.user).collect::<Vec<_>>(),
+            vec![5, 3]
+        );
+    }
+
+    #[test]
+    fn lower_bound_handles_empty_and_filtered_shards() {
+        let base = request(2);
+        let origin = Some(Point::new(0.0, 0.0));
+        assert_eq!(
+            shard_score_lower_bound(None, &base, origin, 1.0),
+            f64::INFINITY
+        );
+        let rect = Some(Rect::new(Point::new(3.0, 4.0), Point::new(5.0, 6.0)));
+        assert_eq!(
+            shard_score_lower_bound(rect, &base, None, 1.0),
+            f64::INFINITY
+        );
+        // (1 - 0.5) * mindist(origin, rect) / norm = 0.5 * 5 / 10.
+        let bound = shard_score_lower_bound(rect, &base, origin, 10.0);
+        assert!((bound - 0.25).abs() < 1e-12);
+    }
+}

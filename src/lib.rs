@@ -12,6 +12,9 @@
 //!   (SFA, SPA, TSA, TSA-QC, AIS and variants).
 //! * [`shard`] — the horizontal serving layer: partitioned engines with
 //!   exact scatter-gather top-k and routed live updates.
+//! * [`net`] — multi-process serving: shard servers behind a hand-rolled
+//!   wire protocol over Unix-domain/TCP sockets and the remote
+//!   scatter-gather coordinator.
 //!
 //! See the crate-level documentation of each module and `README.md` for a
 //! quickstart.
@@ -19,6 +22,7 @@
 pub use ssrq_core as core;
 pub use ssrq_data as data;
 pub use ssrq_graph as graph;
+pub use ssrq_net as net;
 pub use ssrq_shard as shard;
 pub use ssrq_spatial as spatial;
 
@@ -31,6 +35,7 @@ pub mod prelude {
     };
     pub use ssrq_data::{DatasetConfig, GeoSocialDataset};
     pub use ssrq_graph::{EdgeWeight, NodeId as GraphNodeId, SearchScratch, SocialGraph};
-    pub use ssrq_shard::{Partitioning, ShardStats, ShardedEngine, ShardedSession};
+    pub use ssrq_net::{Endpoint, RemoteShardedEngine, ShardServer};
+    pub use ssrq_shard::{FailurePolicy, Partitioning, ShardStats, ShardedEngine, ShardedSession};
     pub use ssrq_spatial::{Point, Rect};
 }
