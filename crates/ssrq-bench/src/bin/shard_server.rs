@@ -35,13 +35,15 @@ struct Args {
     /// deterministic workload `QueryWorkload::generate(dataset, queries,
     /// seed)` — what the AIS-Cache algorithm needs.
     cache: Option<(usize, u64, usize)>,
+    /// Query worker threads (None = the server's default).
+    workers: Option<usize>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: shard-server --listen <unix:PATH|tcp:ADDR> --shard <I> --shards <N>\n\
          \x20                 [--users <N>] [--seed <S>] [--partitioning <hash|spatial:CELLS>]\n\
-         \x20                 [--with-ch] [--cache-workload <QUERIES,SEED,T>]"
+         \x20                 [--with-ch] [--cache-workload <QUERIES,SEED,T>] [--workers <N>]"
     );
     std::process::exit(2);
 }
@@ -65,6 +67,7 @@ fn parse_args() -> Args {
     let mut partitioning = Partitioning::SpatialGrid { cells_per_axis: 8 };
     let mut with_ch = false;
     let mut cache = None;
+    let mut workers = None;
 
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = raw.iter();
@@ -94,6 +97,7 @@ fn parse_args() -> Args {
                     parse_partitioning(value("--partitioning")).unwrap_or_else(|| usage())
             }
             "--with-ch" => with_ch = true,
+            "--workers" => workers = Some(value("--workers").parse().unwrap_or_else(|_| usage())),
             "--cache-workload" => {
                 let spec = value("--cache-workload");
                 let mut parts = spec.split(',');
@@ -134,6 +138,7 @@ fn parse_args() -> Args {
         partitioning,
         with_ch,
         cache,
+        workers,
     }
 }
 
@@ -160,11 +165,14 @@ fn main() {
     }
     let engine = builder.build().expect("shard engine builds");
 
-    let server =
-        ShardServer::bind(&args.listen, engine, args.shard, assignment).unwrap_or_else(|e| {
+    let mut server = ShardServer::bind(&args.listen, engine, args.shard, assignment)
+        .unwrap_or_else(|e| {
             eprintln!("shard {} failed to bind {}: {e}", args.shard, args.listen);
             std::process::exit(1);
         });
+    if let Some(workers) = args.workers {
+        server = server.with_workers(workers);
+    }
     // The bound endpoint, not the requested one: `tcp:host:0` resolves to
     // the kernel-assigned port here.
     println!("listening on {}", server.endpoint());

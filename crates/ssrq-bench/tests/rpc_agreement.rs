@@ -11,8 +11,8 @@
 use ssrq_bench::{launch_cluster, DeploymentConfig, ShardProcess};
 use ssrq_core::{Algorithm, QueryRequest};
 use ssrq_data::QueryWorkload;
-use ssrq_net::{NetError, RemoteShardedEngine};
-use ssrq_shard::{FailurePolicy, Partitioning, ShardOutcome};
+use ssrq_net::{Endpoint, NetError, RemoteShardedEngine};
+use ssrq_shard::{FailurePolicy, Partitioning, ScatterMode, ShardOutcome};
 use ssrq_spatial::{Point, Rect};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -153,7 +153,7 @@ fn the_forwarded_threshold_saves_remote_work() {
     let mut forwarding = RemoteShardedEngine::builder(endpoints.clone())
         .connect()
         .expect("forwarding coordinator connects");
-    let mut unbounded = RemoteShardedEngine::builder(endpoints)
+    let unbounded = RemoteShardedEngine::builder(endpoints)
         .forward_threshold(false)
         .connect()
         .expect("measurement coordinator connects");
@@ -249,7 +249,78 @@ fn killing_a_shard_process_fails_or_degrades_per_policy() {
             assert_eq!(matching, entry, "score of user {} diverged", entry.user);
         }
     }
+    // The speculative scatter honours the same policies against the same
+    // dead process — over the already-established connections.
+    remote.set_scatter_mode(ScatterMode::Speculative);
+    remote.set_failure_policy(FailurePolicy::Fail);
+    let error = remote
+        .query(&request)
+        .expect_err("speculative Fail surfaces the dead shard");
+    assert!(
+        matches!(
+            error,
+            NetError::Disconnected { .. } | NetError::Io(_) | NetError::Timeout { .. }
+        ),
+        "unexpected speculative error for a killed process: {error}"
+    );
+    remote.set_failure_policy(FailurePolicy::Degrade);
+    let (result, stats) = remote
+        .query_detailed(&request)
+        .expect("speculative degrade mode answers");
+    assert!(result.degraded);
+    assert_eq!(stats.failed_shards(), 1);
+    assert!(stats.per_shard.iter().any(|outcome| matches!(
+        outcome,
+        ShardOutcome::Failed { shard, .. } if *shard == killed_endpoint
+    )));
+    for entry in &result.ranked {
+        assert_ne!(local.owner_of(entry.user), Some(1));
+    }
+
     remote
         .shutdown()
         .expect_err("one shard is dead, shutdown reports it");
+}
+
+#[test]
+fn a_hard_killed_server_restarts_on_the_same_socket_path() {
+    let config = DeploymentConfig::new(200, 5, 2, Partitioning::UserHash);
+    let local = config.in_process_engine();
+    let dir = SocketDir::new();
+    let mut servers = launch_cluster(server_binary(), &dir.0, &config).expect("cluster launches");
+    let request = QueryRequest::for_user(2)
+        .k(8)
+        .alpha(0.4)
+        .origin(Point::new(0.5, 0.5))
+        .algorithm(Algorithm::Ais)
+        .build()
+        .unwrap();
+    {
+        let remote = connect(&servers);
+        remote.query(&request).expect("healthy cluster answers");
+        // The coordinator (and its pooled connections) drops here; the
+        // servers keep running.
+    }
+
+    // SIGKILL gives the server no chance to unlink its socket — the stale
+    // file stays behind, exactly what a crashed production shard leaves.
+    let socket_path = dir.0.join("shard-1.sock");
+    servers[1].kill();
+    assert!(
+        socket_path.exists(),
+        "a hard kill must leave the socket file behind for this test to mean anything"
+    );
+
+    // Restarting on the same path must reclaim the stale socket (and not
+    // error with AddrInUse, which is the regression this guards).
+    servers[1] = ShardProcess::spawn(server_binary(), &Endpoint::Unix(socket_path), 1, &config)
+        .expect("restart over the stale socket file");
+
+    let mut remote = connect(&servers);
+    let expected = local.run(&request).expect("in-process query");
+    let got = remote.query(&request).expect("restarted cluster answers");
+    assert_eq!(got.ranked, expected.ranked, "post-restart answers diverge");
+    remote
+        .shutdown()
+        .expect("both servers acknowledge shutdown");
 }

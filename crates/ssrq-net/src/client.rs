@@ -1,13 +1,18 @@
-//! The client side of one shard connection: endpoint parsing, connect
-//! with retry, framed request/response calls with byte accounting.
+//! The client side of shard connections: endpoint parsing, connect with
+//! retry, framed request/response calls with byte accounting — and the
+//! multiplexing layer ([`MuxConnection`], [`ConnectionPool`]) that lets
+//! many concurrent queries share a few sockets per endpoint.
 
 use crate::error::NetError;
 use crate::proto::Message;
-use crate::wire::{parse_header, HEADER_LEN};
+use crate::wire::{header_tail, parse_header, FrameHeader, HEADER_PREFIX};
+use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Where a shard server listens.
@@ -81,6 +86,115 @@ impl Stream {
             }
         }
     }
+
+    /// Duplicates the socket handle.  Timeouts are a property of the
+    /// shared socket, not the handle — a multiplexed connection therefore
+    /// only ever sets the **write** timeout, so its blocking reader is
+    /// not disturbed.
+    pub(crate) fn try_clone(&self) -> std::io::Result<Stream> {
+        Ok(match self {
+            Stream::Unix(s) => Stream::Unix(s.try_clone()?),
+            Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
+        })
+    }
+
+    /// Sets only the read timeout (shared by every handle of the socket);
+    /// writes stay blocking.
+    pub(crate) fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_read_timeout(timeout),
+            Stream::Tcp(s) => s.set_read_timeout(timeout),
+        }
+    }
+
+    /// Shuts the socket down in both directions, waking a reader blocked
+    /// in `read` on another handle of the same socket.
+    pub(crate) fn shutdown(&self) {
+        match self {
+            Stream::Unix(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            Stream::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+
+    /// Connects with retry until `timeout` elapses — shard servers may
+    /// still be binding their socket when the coordinator starts.
+    fn connect_retry(endpoint: &Endpoint, timeout: Duration) -> Result<Stream, NetError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match Stream::connect(endpoint) {
+                Ok(stream) => return Ok(stream),
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(NetError::Io(e));
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        }
+    }
+}
+
+fn map_io_error(endpoint: &Endpoint, e: std::io::Error) -> NetError {
+    use std::io::ErrorKind;
+    match e.kind() {
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => NetError::Timeout {
+            shard: endpoint.to_string(),
+        },
+        ErrorKind::UnexpectedEof
+        | ErrorKind::ConnectionReset
+        | ErrorKind::ConnectionAborted
+        | ErrorKind::BrokenPipe => NetError::Disconnected {
+            shard: endpoint.to_string(),
+        },
+        _ => NetError::Io(e),
+    }
+}
+
+/// Reads exactly `buf.len()` bytes, mapping EOF and timeouts to the
+/// crate's typed errors.
+fn read_full_stream(
+    stream: &mut Stream,
+    endpoint: &Endpoint,
+    buf: &mut [u8],
+) -> Result<(), NetError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(NetError::Disconnected {
+                    shard: endpoint.to_string(),
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(map_io_error(endpoint, e)),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one whole frame (two-phase header read, then payload), returning
+/// the parsed header and payload bytes.
+fn read_frame_stream(
+    stream: &mut Stream,
+    endpoint: &Endpoint,
+) -> Result<(FrameHeader, Vec<u8>), NetError> {
+    let mut header = vec![0u8; HEADER_PREFIX];
+    read_full_stream(stream, endpoint, &mut header)?;
+    let tail = header_tail(header[4])?;
+    if tail > 0 {
+        let start = header.len();
+        header.resize(start + tail, 0);
+        read_full_stream(stream, endpoint, &mut header[start..])?;
+    }
+    let parsed = parse_header(&header)?;
+    let mut payload = vec![0u8; parsed.payload_len as usize];
+    read_full_stream(stream, endpoint, &mut payload)?;
+    Ok((parsed, payload))
 }
 
 impl Read for Stream {
@@ -137,23 +251,10 @@ impl ShardClient {
     ///
     /// The last connect failure once the timeout is exhausted.
     pub fn connect(endpoint: &Endpoint, timeout: Duration) -> Result<ShardClient, NetError> {
-        let deadline = Instant::now() + timeout;
-        loop {
-            match Stream::connect(endpoint) {
-                Ok(stream) => {
-                    return Ok(ShardClient {
-                        endpoint: endpoint.clone(),
-                        stream,
-                    })
-                }
-                Err(e) => {
-                    if Instant::now() >= deadline {
-                        return Err(NetError::Io(e));
-                    }
-                    std::thread::sleep(Duration::from_millis(10));
-                }
-            }
-        }
+        Ok(ShardClient {
+            endpoint: endpoint.clone(),
+            stream: Stream::connect_retry(endpoint, timeout)?,
+        })
     }
 
     /// The endpoint this client talks to.
@@ -174,19 +275,7 @@ impl ShardClient {
     }
 
     fn io_error(&self, e: std::io::Error) -> NetError {
-        use std::io::ErrorKind;
-        match e.kind() {
-            ErrorKind::WouldBlock | ErrorKind::TimedOut => NetError::Timeout {
-                shard: self.endpoint.to_string(),
-            },
-            ErrorKind::UnexpectedEof
-            | ErrorKind::ConnectionReset
-            | ErrorKind::ConnectionAborted
-            | ErrorKind::BrokenPipe => NetError::Disconnected {
-                shard: self.endpoint.to_string(),
-            },
-            _ => NetError::Io(e),
-        }
+        map_io_error(&self.endpoint, e)
     }
 
     /// Sends one message and reads the response frame, returning the
@@ -212,14 +301,9 @@ impl ShardClient {
             bytes_received: 0,
         };
 
-        let mut header = [0u8; HEADER_LEN];
-        self.read_full(&mut header)?;
-        traffic.bytes_received += HEADER_LEN;
-        let (tag, len) = parse_header(&header)?;
-        let mut payload = vec![0u8; len as usize];
-        self.read_full(&mut payload)?;
-        traffic.bytes_received += payload.len();
-        let response = Message::decode(tag, &payload)?;
+        let (header, payload) = read_frame_stream(&mut self.stream, &self.endpoint)?;
+        traffic.bytes_received += header.header_len() + payload.len();
+        let response = Message::decode(header.tag, &payload)?;
         if let Message::Fail { kind, message } = response {
             return Err(NetError::Remote {
                 shard: self.endpoint.to_string(),
@@ -229,25 +313,401 @@ impl ShardClient {
         }
         Ok((response, traffic))
     }
+}
 
-    /// Reads exactly `buf.len()` bytes, mapping EOF and timeouts to the
-    /// crate's typed errors.  (Unlike `read_exact`, never mixes a timeout
-    /// into an unspecified partial-read state silently: any failure
-    /// poisons the connection and the caller drops the client.)
-    fn read_full(&mut self, buf: &mut [u8]) -> Result<(), NetError> {
-        let mut filled = 0;
-        while filled < buf.len() {
-            match self.stream.read(&mut buf[filled..]) {
-                Ok(0) => {
-                    return Err(NetError::Disconnected {
-                        shard: self.endpoint.to_string(),
-                    })
+/// State shared between a [`MuxConnection`]'s callers and its reader
+/// thread.  The reader holds only this (plus its socket handle), never
+/// the connection itself — no `Arc` cycle, so dropping the last
+/// connection handle reliably tears the reader down.
+#[derive(Debug)]
+struct MuxShared {
+    /// In-flight calls awaiting their response, by frame id.
+    pending: Mutex<HashMap<u32, mpsc::Sender<(Message, usize)>>>,
+    /// Set when the socket failed or closed; a dead connection is never
+    /// leased again and every waiter is woken (by dropping its sender).
+    dead: AtomicBool,
+    /// Calls started and not yet finished — the pool's load metric.
+    in_flight: AtomicUsize,
+    /// Next frame id; 0 is reserved as the legacy one-in-flight sentinel.
+    next_id: AtomicU32,
+}
+
+impl MuxShared {
+    fn fail_all(&self) {
+        self.dead.store(true, Ordering::Release);
+        // Dropping the senders wakes every `recv_timeout` with a
+        // disconnect, which the waiter maps to `NetError::Disconnected`.
+        self.pending.lock().expect("mux pending lock").clear();
+    }
+}
+
+/// One multiplexed connection to a shard server: many concurrent
+/// request/response calls share the socket, matched up by frame id.
+///
+/// Writes go through an internal mutex (one frame at a time); a dedicated
+/// reader thread dispatches response frames to their waiting callers.  A
+/// response whose frame id no longer has a waiter (the call timed out) is
+/// discarded — unlike the one-in-flight [`ShardClient`], a timeout does
+/// **not** poison the connection.
+#[derive(Debug)]
+pub struct MuxConnection {
+    endpoint: Endpoint,
+    writer: Mutex<Stream>,
+    /// A separate socket handle for waking the reader at drop time —
+    /// avoids taking the writer lock (a blocked writer must not make the
+    /// connection un-droppable).
+    control: Stream,
+    shared: Arc<MuxShared>,
+    reader: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MuxConnection {
+    /// Connects (with retry until `timeout`) and starts the reader thread.
+    ///
+    /// # Errors
+    ///
+    /// The last connect failure once the timeout is exhausted.
+    pub fn connect(endpoint: &Endpoint, timeout: Duration) -> Result<Arc<MuxConnection>, NetError> {
+        let stream = Stream::connect_retry(endpoint, timeout)?;
+        let reader_stream = stream.try_clone().map_err(NetError::Io)?;
+        let control = stream.try_clone().map_err(NetError::Io)?;
+        let shared = Arc::new(MuxShared {
+            pending: Mutex::new(HashMap::new()),
+            dead: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            next_id: AtomicU32::new(1),
+        });
+        let reader = {
+            let shared = Arc::clone(&shared);
+            let endpoint = endpoint.clone();
+            std::thread::spawn(move || Self::read_loop(reader_stream, endpoint, shared))
+        };
+        Ok(Arc::new(MuxConnection {
+            endpoint: endpoint.clone(),
+            writer: Mutex::new(stream),
+            control,
+            shared,
+            reader: Some(reader),
+        }))
+    }
+
+    /// The endpoint this connection talks to.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Whether the socket has failed or closed.
+    pub fn is_dead(&self) -> bool {
+        self.shared.dead.load(Ordering::Acquire)
+    }
+
+    /// Calls currently in flight on this connection.
+    pub fn in_flight(&self) -> usize {
+        self.shared.in_flight.load(Ordering::Acquire)
+    }
+
+    fn read_loop(mut stream: Stream, endpoint: Endpoint, shared: Arc<MuxShared>) {
+        loop {
+            let (header, payload) = match read_frame_stream(&mut stream, &endpoint) {
+                Ok(frame) => frame,
+                Err(_) => {
+                    shared.fail_all();
+                    return;
                 }
-                Ok(n) => filled += n,
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                Err(e) => return Err(self.io_error(e)),
+            };
+            let bytes = header.header_len() + payload.len();
+            let message = match Message::decode(header.tag, &payload) {
+                Ok(message) => message,
+                Err(_) => {
+                    // A frame we cannot decode means the stream framing
+                    // can no longer be trusted.
+                    shared.fail_all();
+                    return;
+                }
+            };
+            let waiter = shared
+                .pending
+                .lock()
+                .expect("mux pending lock")
+                .remove(&header.frame_id);
+            if let Some(tx) = waiter {
+                // A waiter that gave up (timed out) has dropped its
+                // receiver; the late response is simply discarded.
+                let _ = tx.send((message, bytes));
             }
         }
-        Ok(())
+    }
+
+    fn write_frame(&self, bytes: &[u8]) -> Result<(), NetError> {
+        let mut writer = self.writer.lock().expect("mux writer lock");
+        writer
+            .write_all(bytes)
+            .and_then(|()| writer.flush())
+            .map_err(|e| {
+                self.shared.fail_all();
+                map_io_error(&self.endpoint, e)
+            })
+    }
+
+    /// Starts one request/response call, returning a handle to await the
+    /// response on.  Many calls may be in flight at once.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Disconnected`] if the connection is already dead, or
+    /// the write failure.
+    pub fn start(self: &Arc<Self>, message: &Message) -> Result<PendingCall, NetError> {
+        if self.is_dead() {
+            return Err(NetError::Disconnected {
+                shard: self.endpoint.to_string(),
+            });
+        }
+        let mut id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        if id == 0 {
+            // u32 wrap: skip the legacy sentinel.
+            id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        }
+        let (tx, rx) = mpsc::channel();
+        self.shared
+            .pending
+            .lock()
+            .expect("mux pending lock")
+            .insert(id, tx);
+        self.shared.in_flight.fetch_add(1, Ordering::AcqRel);
+        let mut call = PendingCall {
+            conn: Arc::clone(self),
+            id,
+            rx,
+            bytes_sent: 0,
+            finished: false,
+        };
+        let bytes = message.encode_with_id(id);
+        // A write failure drops `call`, which deregisters the pending
+        // entry and releases the in-flight slot.
+        self.write_frame(&bytes)?;
+        call.bytes_sent = bytes.len();
+        Ok(call)
+    }
+
+    /// One blocking request/response call over the multiplexed socket:
+    /// [`start`](Self::start) + wait until `deadline` (`None` waits
+    /// indefinitely).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Timeout`] past the deadline (the connection stays
+    /// usable), [`NetError::Disconnected`] if the socket dies,
+    /// [`NetError::Remote`] for a typed server refusal.
+    pub fn call(
+        self: &Arc<Self>,
+        message: &Message,
+        deadline: Option<Duration>,
+    ) -> Result<(Message, WireTraffic), NetError> {
+        let mut call = self.start(message)?;
+        let bytes_sent = call.bytes_sent;
+        let wait = deadline.unwrap_or(Duration::from_secs(3600));
+        match call.wait_timeout(wait)? {
+            Some((response, bytes_received)) => {
+                let traffic = WireTraffic {
+                    bytes_sent,
+                    bytes_received,
+                };
+                if let Message::Fail { kind, message } = response {
+                    return Err(NetError::Remote {
+                        shard: self.endpoint.to_string(),
+                        kind,
+                        message,
+                    });
+                }
+                Ok((response, traffic))
+            }
+            None => Err(NetError::Timeout {
+                shard: self.endpoint.to_string(),
+            }),
+        }
+    }
+}
+
+impl Drop for MuxConnection {
+    fn drop(&mut self) {
+        self.shared.fail_all();
+        self.control.shutdown();
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
+    }
+}
+
+/// A started call on a [`MuxConnection`], awaiting its response.
+///
+/// Dropping the handle abandons the call: the pending entry is removed
+/// and a late response is discarded by the reader.
+#[derive(Debug)]
+pub struct PendingCall {
+    conn: Arc<MuxConnection>,
+    id: u32,
+    rx: mpsc::Receiver<(Message, usize)>,
+    /// Bytes written for the request frame (header included).
+    pub bytes_sent: usize,
+    finished: bool,
+}
+
+impl PendingCall {
+    /// The frame id this call travels under.
+    pub fn frame_id(&self) -> u32 {
+        self.id
+    }
+
+    /// Waits up to `wait` for the response.  `Ok(None)` means the wait
+    /// elapsed — the call is still in flight and may be waited on again.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Disconnected`] if the connection died under the call.
+    pub fn wait_timeout(&mut self, wait: Duration) -> Result<Option<(Message, usize)>, NetError> {
+        match self.rx.recv_timeout(wait) {
+            Ok((message, bytes)) => {
+                self.finished = true;
+                self.conn.shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+                Ok(Some((message, bytes)))
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => Ok(None),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(NetError::Disconnected {
+                shard: self.conn.endpoint.to_string(),
+            }),
+        }
+    }
+
+    /// Pushes a one-way [`Message::Tighten`] for this in-flight call: the
+    /// server lowers the running query's score cap to `max_score`.
+    /// Returns the bytes written (a tighten costs bytes but no round
+    /// trip).
+    ///
+    /// # Errors
+    ///
+    /// The write failure; the underlying call itself is then doomed too.
+    pub fn tighten(&self, max_score: f64) -> Result<usize, NetError> {
+        let frame = Message::Tighten {
+            target: self.id,
+            max_score,
+        }
+        .encode();
+        self.conn.write_frame(&frame)?;
+        Ok(frame.len())
+    }
+}
+
+impl Drop for PendingCall {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.conn
+                .shared
+                .pending
+                .lock()
+                .expect("mux pending lock")
+                .remove(&self.id);
+            self.conn.shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+}
+
+/// A small per-endpoint pool of [`MuxConnection`]s.
+///
+/// Leases prefer the least-loaded live connection and only open a new
+/// socket while all existing ones are busy and the pool is below
+/// capacity; dead connections are pruned on the way.  The pool is `Sync`:
+/// any number of query threads may lease concurrently.
+#[derive(Debug)]
+pub struct ConnectionPool {
+    endpoint: Endpoint,
+    capacity: usize,
+    connect_timeout: Duration,
+    connections: Mutex<Vec<Arc<MuxConnection>>>,
+}
+
+impl ConnectionPool {
+    /// A pool of up to `capacity` connections to `endpoint` (capacity is
+    /// clamped to at least 1).
+    pub fn new(endpoint: Endpoint, capacity: usize, connect_timeout: Duration) -> ConnectionPool {
+        ConnectionPool {
+            endpoint,
+            capacity: capacity.max(1),
+            connect_timeout,
+            connections: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The endpoint this pool serves.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Leases a live connection: the least-loaded one, or a freshly
+    /// opened one while the pool is below capacity and everything is
+    /// busy.
+    ///
+    /// # Errors
+    ///
+    /// The connect failure when a new socket is needed and cannot be
+    /// opened.
+    pub fn lease(&self) -> Result<Arc<MuxConnection>, NetError> {
+        let mut connections = self.connections.lock().expect("pool lock");
+        connections.retain(|c| !c.is_dead());
+        let best = connections
+            .iter()
+            .min_by_key(|c| c.in_flight())
+            .map(Arc::clone);
+        match best {
+            Some(conn) if conn.in_flight() == 0 || connections.len() >= self.capacity => Ok(conn),
+            _ => {
+                let conn = MuxConnection::connect(&self.endpoint, self.connect_timeout)?;
+                connections.push(Arc::clone(&conn));
+                Ok(conn)
+            }
+        }
+    }
+
+    /// One request/response call through the pool, with the coordinator's
+    /// one-immediate-reconnect semantics: a transport-level failure is
+    /// retried once on a fresh lease (a typed [`NetError::Remote`]
+    /// refusal is returned as-is — the connection is fine).
+    ///
+    /// # Errors
+    ///
+    /// The second attempt's failure.
+    pub fn call(
+        &self,
+        message: &Message,
+        deadline: Option<Duration>,
+    ) -> Result<(Message, WireTraffic), NetError> {
+        match self.lease().and_then(|conn| conn.call(message, deadline)) {
+            Ok(response) => Ok(response),
+            Err(NetError::Remote {
+                shard,
+                kind,
+                message,
+            }) => Err(NetError::Remote {
+                shard,
+                kind,
+                message,
+            }),
+            Err(_) => self.lease()?.call(message, deadline),
+        }
+    }
+
+    /// Starts one call through the pool (no retry — the caller owns the
+    /// failure policy for in-flight work).
+    ///
+    /// # Errors
+    ///
+    /// The lease or write failure.
+    pub fn start(&self, message: &Message) -> Result<PendingCall, NetError> {
+        self.lease()?.start(message)
+    }
+
+    /// Drops every pooled connection (their reader threads shut down as
+    /// the last handles go).
+    pub fn close(&self) {
+        self.connections.lock().expect("pool lock").clear();
     }
 }

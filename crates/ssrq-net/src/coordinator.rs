@@ -2,13 +2,21 @@
 //!
 //! [`RemoteShardedEngine`] mirrors the in-process
 //! [`ShardedEngine`](ssrq_shard::ShardedEngine) over sockets.  Each shard
-//! is one [`ShardClient`] connection (reused across the queries of a
-//! batch) wrapped as a [`ShardTransport`], so the coordinator runs the
-//! **same** best-first, threshold-forwarding visit loop
-//! ([`scatter_sequential`]) and the same deterministic merge
-//! ([`merge_ranked`]) as the single-process deployment — the running `f_k`
-//! crosses the wire inside the request's
-//! [`max_score`](ssrq_core::QueryRequest::max_score) cutoff, bit-exactly.
+//! is reached through a small per-endpoint [`ConnectionPool`] of
+//! multiplexed connections, wrapped per query as a [`ShardTransport`], so
+//! the coordinator runs the **same** threshold-forwarding scatter loops
+//! ([`scatter_sequential`] / [`scatter_speculative`]) and the same
+//! deterministic merge ([`merge_ranked`]) as the single-process
+//! deployment — the running `f_k` crosses the wire inside the request's
+//! [`max_score`](ssrq_core::QueryRequest::max_score) cutoff
+//! (sequentially) or as one-way tighten frames (speculatively),
+//! bit-exactly either way.
+//!
+//! Because queries only *read* the coordinator's state (per-query
+//! transports snapshot the cached shard infos; the pools are internally
+//! synchronized), [`RemoteShardedEngine::query`] takes `&self` — any
+//! number of threads can drive queries through one engine concurrently.
+//! Mutations (relocations, rebalance, refresh) still take `&mut self`.
 //!
 //! The extra failure modes of a multi-process deployment are explicit:
 //! a per-shard deadline bounds how long one slow shard can stall a query,
@@ -16,29 +24,39 @@
 //! (`Fail`, the default) or degrades it to a flagged partial answer
 //! (`Degrade`).
 
-use crate::client::{Endpoint, ShardClient, WireTraffic};
+use crate::client::{ConnectionPool, Endpoint, WireTraffic};
 use crate::error::NetError;
 use crate::proto::{Message, ShardInfo};
 use ssrq_core::{CoreError, QueryRequest, QueryResult, QueryStats, UserId};
 use ssrq_shard::{
-    merge_ranked, scatter_sequential, shard_score_lower_bound, FailurePolicy, ShardAssignment,
-    ShardStats, ShardTransport,
+    merge_ranked, scatter_sequential, scatter_speculative, shard_score_lower_bound, FailurePolicy,
+    ScatterMode, ShardAssignment, ShardOutcome, ShardStats, ShardTransport, ThresholdCell,
 };
 use ssrq_spatial::{Point, Rect};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::RwLock;
 use std::time::{Duration, Instant};
 
-/// One remote shard as the coordinator sees it: its endpoint, a lazily
-/// re-established connection, and the cached handshake [`ShardInfo`] the
-/// score lower bound is computed from.
+/// How often a speculative per-shard waiter polls the shared threshold
+/// cell while its answer is in flight.
+const TIGHTEN_POLL: Duration = Duration::from_millis(1);
+
+/// The wait used when no per-shard deadline is configured (effectively
+/// "indefinitely", while keeping timeout arithmetic overflow-free).
+const NO_DEADLINE_WAIT: Duration = Duration::from_secs(3600);
+
+/// One remote shard as the coordinator sees it: its endpoint, a pool of
+/// multiplexed connections, the cached handshake [`ShardInfo`] the score
+/// lower bound is computed from, and the relocation churn since that
+/// info was last refreshed.
 struct RemoteShard {
     endpoint: Endpoint,
-    client: Option<ShardClient>,
-    info: ShardInfo,
-    deadline: Option<Duration>,
-    forward_threshold: bool,
-    /// The *caller's* score cutoff of the query being scattered — what the
-    /// outbound request is rebuilt to when threshold forwarding is off.
-    caller_cap: Option<f64>,
+    pool: ConnectionPool,
+    info: RwLock<ShardInfo>,
+    /// Relocations adopted by this shard since its cached rect was last
+    /// tightened — each one can only *grow* the rect, so churn measures
+    /// how stale (over-approximated) the pruning bound may be.
+    churn: AtomicUsize,
 }
 
 impl RemoteShard {
@@ -49,25 +67,14 @@ impl RemoteShard {
         }
     }
 
-    /// Sends `message` on the cached connection, reconnecting once (a
-    /// single immediate attempt) if a previous call poisoned it.  Any
-    /// transport-level failure drops the connection so the next call
-    /// starts clean.
-    fn call(&mut self, message: &Message) -> Result<(Message, WireTraffic), NetError> {
-        if self.client.is_none() {
-            let mut client = ShardClient::connect(&self.endpoint, Duration::ZERO)?;
-            client.set_deadline(self.deadline)?;
-            self.client = Some(client);
-        }
-        let client = self.client.as_mut().expect("just connected");
-        match client.call(message) {
-            Ok(response) => Ok(response),
-            Err(e @ NetError::Remote { .. }) => Err(e), // typed refusal: connection stays usable
-            Err(e) => {
-                self.client = None;
-                Err(e)
-            }
-        }
+    /// One pooled request/response call (the pool retries transport
+    /// failures once on a fresh connection).
+    fn call(
+        &self,
+        message: &Message,
+        deadline: Option<Duration>,
+    ) -> Result<(Message, WireTraffic), NetError> {
+        self.pool.call(message, deadline)
     }
 }
 
@@ -94,16 +101,25 @@ fn with_cap(request: &QueryRequest, cap: Option<f64>) -> QueryRequest {
     builder.build_unvalidated()
 }
 
-impl ShardTransport for RemoteShard {
+/// One shard's view for **one** query: a borrowed [`RemoteShard`] plus a
+/// snapshot of its cached info and the query's settings.  Built fresh per
+/// query so concurrent queries never contend on coordinator state.
+struct QueryTransport<'a> {
+    shard: &'a RemoteShard,
+    rect: Option<Rect>,
+    spatial_norm: f64,
+    deadline: Option<Duration>,
+    forward_threshold: bool,
+    /// The *caller's* score cutoff of the query being scattered — what the
+    /// outbound request is rebuilt to when threshold forwarding is off.
+    caller_cap: Option<f64>,
+}
+
+impl ShardTransport for QueryTransport<'_> {
     type Error = NetError;
 
     fn score_lower_bound(&self, request: &QueryRequest) -> f64 {
-        shard_score_lower_bound(
-            self.info.rect,
-            request,
-            request.origin(),
-            self.info.spatial_norm,
-        )
+        shard_score_lower_bound(self.rect, request, request.origin(), self.spatial_norm)
     }
 
     fn execute(&mut self, request: &QueryRequest) -> Result<QueryResult, NetError> {
@@ -112,7 +128,7 @@ impl ShardTransport for RemoteShard {
         } else {
             with_cap(request, self.caller_cap)
         };
-        let (response, traffic) = self.call(&Message::Query(outbound))?;
+        let (response, traffic) = self.shard.call(&Message::Query(outbound), self.deadline)?;
         match response {
             Message::Answer(mut result) => {
                 result.stats.bytes_sent += traffic.bytes_sent;
@@ -120,15 +136,78 @@ impl ShardTransport for RemoteShard {
                 result.stats.wire_round_trips += 1;
                 Ok(result)
             }
-            other => Err(self.protocol(format!(
+            other => Err(self.shard.protocol(format!(
                 "expected Answer to Query, got tag 0x{:02x}",
                 other.tag()
             ))),
         }
     }
 
+    /// The speculative path: the query goes out at the caller's cap
+    /// immediately; while the answer is in flight, the shared cell is
+    /// polled and every tightening is pushed to the server as a one-way
+    /// [`Message::Tighten`] — bytes it costs are accounted, but it is
+    /// **not** a round trip (`tighten_frames` counts them separately).
+    fn execute_with_threshold(
+        &mut self,
+        request: &QueryRequest,
+        threshold: &ThresholdCell,
+    ) -> Result<QueryResult, NetError> {
+        let started = Instant::now();
+        let mut pending = self.shard.pool.start(&Message::Query(request.clone()))?;
+        let mut bytes_sent = pending.bytes_sent;
+        let mut tighten_frames = 0usize;
+        let mut last_sent = self.caller_cap.unwrap_or(f64::INFINITY);
+        loop {
+            let remaining = match self.deadline {
+                Some(deadline) => match deadline.checked_sub(started.elapsed()) {
+                    Some(remaining) => remaining,
+                    None => {
+                        return Err(NetError::Timeout {
+                            shard: self.shard.endpoint.to_string(),
+                        })
+                    }
+                },
+                None => NO_DEADLINE_WAIT,
+            };
+            match pending.wait_timeout(remaining.min(TIGHTEN_POLL))? {
+                Some((Message::Answer(mut result), bytes_received)) => {
+                    result.stats.bytes_sent += bytes_sent;
+                    result.stats.bytes_received += bytes_received;
+                    result.stats.wire_round_trips += 1;
+                    result.stats.tighten_frames += tighten_frames;
+                    return Ok(result);
+                }
+                Some((Message::Fail { kind, message }, _)) => {
+                    return Err(NetError::Remote {
+                        shard: self.shard.endpoint.to_string(),
+                        kind,
+                        message,
+                    })
+                }
+                Some((other, _)) => {
+                    return Err(self.shard.protocol(format!(
+                        "expected Answer to Query, got tag 0x{:02x}",
+                        other.tag()
+                    )))
+                }
+                None => {
+                    if !self.forward_threshold {
+                        continue;
+                    }
+                    let cap = threshold.get();
+                    if cap < last_sent {
+                        bytes_sent += pending.tighten(cap)?;
+                        tighten_frames += 1;
+                        last_sent = cap;
+                    }
+                }
+            }
+        }
+    }
+
     fn describe(&self) -> String {
-        self.endpoint.to_string()
+        self.shard.endpoint.to_string()
     }
 }
 
@@ -138,9 +217,12 @@ impl ShardTransport for RemoteShard {
 pub struct RemoteEngineBuilder {
     endpoints: Vec<Endpoint>,
     policy: FailurePolicy,
+    scatter: ScatterMode,
     deadline: Option<Duration>,
     connect_timeout: Duration,
     forward_threshold: bool,
+    pool_size: usize,
+    refresh_after_relocations: usize,
     assignment: Option<ShardAssignment>,
 }
 
@@ -149,6 +231,12 @@ impl RemoteEngineBuilder {
     /// [`FailurePolicy::Fail`]).
     pub fn failure_policy(mut self, policy: FailurePolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Sets how shards are visited (default: [`ScatterMode::Sequential`]).
+    pub fn scatter(mut self, mode: ScatterMode) -> Self {
+        self.scatter = mode;
         self
     }
 
@@ -174,6 +262,25 @@ impl RemoteEngineBuilder {
     /// forwarded cutoff saves; the ranked answer is the same either way.
     pub fn forward_threshold(mut self, on: bool) -> Self {
         self.forward_threshold = on;
+        self
+    }
+
+    /// Caps the multiplexed connections kept per endpoint (default: 2).
+    /// One connection carries any number of concurrent in-flight
+    /// requests; extra connections only help when a single socket's
+    /// serialization becomes the bottleneck.
+    pub fn pool_size(mut self, connections: usize) -> Self {
+        self.pool_size = connections.max(1);
+        self
+    }
+
+    /// After how many adopted relocations a shard's cached bounding
+    /// rectangle is opportunistically re-tightened with a `Refresh` round
+    /// trip (default: 256).  Growth-only rect maintenance keeps bounds
+    /// admissible but degrades rect-skip pruning under churn; this knob
+    /// bounds the staleness.
+    pub fn refresh_after_relocations(mut self, relocations: usize) -> Self {
+        self.refresh_after_relocations = relocations.max(1);
         self
     }
 
@@ -212,17 +319,32 @@ impl RemoteEngineBuilder {
         let mut shards = Vec::with_capacity(n);
         let mut user_count = None;
         for (index, endpoint) in self.endpoints.iter().enumerate() {
-            let mut client = ShardClient::connect(endpoint, self.connect_timeout)?;
-            client.set_deadline(self.deadline)?;
-            let (response, _) = client.call(&Message::Hello)?;
-            let Message::Info(info) = response else {
-                return Err(NetError::Protocol {
-                    shard: endpoint.to_string(),
-                    detail: format!(
-                        "expected Info after Hello, got tag 0x{:02x}",
-                        response.tag()
-                    ),
-                });
+            // Reconnects inside the pool are a single immediate attempt
+            // (a dead shard must fail fast mid-query); the *handshake*
+            // retries here until `connect_timeout`, because servers may
+            // still be binding their sockets.
+            let pool = ConnectionPool::new(endpoint.clone(), self.pool_size, Duration::ZERO);
+            let handshake_deadline = Instant::now() + self.connect_timeout;
+            let info = loop {
+                match pool.call(&Message::Hello, self.deadline) {
+                    Ok((Message::Info(info), _)) => break info,
+                    Ok((other, _)) => {
+                        return Err(NetError::Protocol {
+                            shard: endpoint.to_string(),
+                            detail: format!(
+                                "expected Info after Hello, got tag 0x{:02x}",
+                                other.tag()
+                            ),
+                        })
+                    }
+                    Err(e @ NetError::Remote { .. }) => return Err(e),
+                    Err(e) => {
+                        if Instant::now() >= handshake_deadline {
+                            return Err(e);
+                        }
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                }
             };
             if info.shard != index as u32 || info.shards != n as u32 {
                 return Err(NetError::Protocol {
@@ -248,16 +370,18 @@ impl RemoteEngineBuilder {
             }
             shards.push(RemoteShard {
                 endpoint: endpoint.clone(),
-                client: Some(client),
-                info,
-                deadline: self.deadline,
-                forward_threshold: self.forward_threshold,
-                caller_cap: None,
+                pool,
+                info: RwLock::new(info),
+                churn: AtomicUsize::new(0),
             });
         }
         Ok(RemoteShardedEngine {
             shards,
             policy: self.policy,
+            scatter: self.scatter,
+            deadline: self.deadline,
+            forward_threshold: self.forward_threshold,
+            refresh_after_relocations: self.refresh_after_relocations,
             user_count: user_count.expect("at least one shard"),
             assignment: self.assignment,
         })
@@ -269,12 +393,18 @@ impl RemoteEngineBuilder {
 /// [`ShardedEngine`](ssrq_shard::ShardedEngine), returning the same ranked
 /// list for the same deployment.
 ///
-/// Connections persist across queries, so a batch pays the connect +
-/// handshake cost once.  Queries take `&mut self` because the scatter
-/// drives each connection's request/response exchange.
+/// Connections persist across queries in per-endpoint pools, so a batch
+/// pays the connect + handshake cost once — and because every query
+/// builds its own transports over those pools, queries take `&self`: any
+/// number of threads may call [`query`](RemoteShardedEngine::query)
+/// concurrently on one shared engine.
 pub struct RemoteShardedEngine {
     shards: Vec<RemoteShard>,
     policy: FailurePolicy,
+    scatter: ScatterMode,
+    deadline: Option<Duration>,
+    forward_threshold: bool,
+    refresh_after_relocations: usize,
     user_count: u64,
     assignment: Option<ShardAssignment>,
 }
@@ -291,6 +421,7 @@ impl std::fmt::Debug for RemoteShardedEngine {
                     .collect::<Vec<_>>(),
             )
             .field("policy", &self.policy)
+            .field("scatter", &self.scatter)
             .field("user_count", &self.user_count)
             .finish()
     }
@@ -303,9 +434,12 @@ impl RemoteShardedEngine {
         RemoteEngineBuilder {
             endpoints,
             policy: FailurePolicy::default(),
+            scatter: ScatterMode::default(),
             deadline: None,
             connect_timeout: Duration::from_secs(5),
             forward_threshold: true,
+            pool_size: 2,
+            refresh_after_relocations: 256,
             assignment: None,
         }
     }
@@ -320,9 +454,20 @@ impl RemoteShardedEngine {
         self.user_count
     }
 
-    /// The cached handshake info of shard `shard`.
-    pub fn shard_info(&self, shard: usize) -> &ShardInfo {
-        &self.shards[shard].info
+    /// A snapshot of the cached handshake info of shard `shard`.
+    pub fn shard_info(&self, shard: usize) -> ShardInfo {
+        self.shards[shard]
+            .info
+            .read()
+            .expect("shard info lock")
+            .clone()
+    }
+
+    /// Relocations shard `shard` has adopted since its cached rect was
+    /// last tightened — the staleness the next opportunistic refresh (or
+    /// [`refresh`](RemoteShardedEngine::refresh)) will reclaim.
+    pub fn rect_churn(&self, shard: usize) -> usize {
+        self.shards[shard].churn.load(Ordering::Relaxed)
     }
 
     /// The active failure policy.
@@ -335,13 +480,23 @@ impl RemoteShardedEngine {
         self.policy = policy;
     }
 
+    /// The active scatter mode.
+    pub fn scatter_mode(&self) -> ScatterMode {
+        self.scatter
+    }
+
+    /// Switches the scatter mode for subsequent queries.
+    pub fn set_scatter_mode(&mut self, mode: ScatterMode) {
+        self.scatter = mode;
+    }
+
     /// Runs one query; see [`RemoteShardedEngine::query_detailed`] for the
     /// per-shard outcomes.
     ///
     /// # Errors
     ///
     /// As [`RemoteShardedEngine::query_detailed`].
-    pub fn query(&mut self, request: &QueryRequest) -> Result<QueryResult, NetError> {
+    pub fn query(&self, request: &QueryRequest) -> Result<QueryResult, NetError> {
         self.query_detailed(request).map(|(result, _)| result)
     }
 
@@ -350,10 +505,13 @@ impl RemoteShardedEngine {
     ///
     /// The coordinator validates locally, resolves the query user's origin
     /// (asking shards in turn when the request does not pin one), then
-    /// visits shards best-first with the running `f_k` forwarded — the
-    /// exact loop the in-process engine runs.  The merged
-    /// [`QueryStats`] include the wire counters (`bytes_sent`,
-    /// `bytes_received`, `wire_round_trips`), origin lookups included.
+    /// scatters per the configured [`ScatterMode`] — sequentially with the
+    /// running `f_k` forwarded in each next request, or speculatively with
+    /// every shard in flight at once and the `f_k` pushed as one-way
+    /// tighten frames.  Both modes return the same ranked list.  The
+    /// merged [`QueryStats`] include the wire counters (`bytes_sent`,
+    /// `bytes_received`, `wire_round_trips`, `tighten_frames`), origin
+    /// lookups included.
     ///
     /// # Errors
     ///
@@ -362,10 +520,12 @@ impl RemoteShardedEngine {
     /// failure (timeout, disconnect, typed refusal) aborts the query;
     /// under `Degrade`, transport failures yield a result flagged
     /// [`degraded`](QueryResult::degraded) with the failed shard named in
-    /// the outcomes, and only a refusal every shard repeats (e.g. an
-    /// unknown algorithm) still errors.
+    /// the outcomes — including a shard that was unreachable while
+    /// resolving the query user's origin, which may silently have held it
+    /// — and only a refusal every shard repeats (e.g. an unknown
+    /// algorithm) still errors.
     pub fn query_detailed(
-        &mut self,
+        &self,
         request: &QueryRequest,
     ) -> Result<(QueryResult, ShardStats), NetError> {
         let started = Instant::now();
@@ -374,56 +534,92 @@ impl RemoteShardedEngine {
             return Err(NetError::Core(CoreError::UnknownUser(request.user())));
         }
         let mut lookups = QueryStats::default();
+        let mut locate_failures: Vec<(usize, String)> = Vec::new();
         let base = match request.origin() {
             Some(_) => request.clone(),
-            None => match self.locate_remote(request.user(), &mut lookups)? {
+            None => match self.locate_remote(request.user(), &mut lookups, &mut locate_failures)? {
                 Some(origin) => request.clone().with_origin(origin),
                 None => request.clone(),
             },
         };
         let caller_cap = request.max_score();
-        for shard in &mut self.shards {
-            shard.caller_cap = caller_cap;
+        let mut transports: Vec<QueryTransport<'_>> = self
+            .shards
+            .iter()
+            .map(|shard| {
+                let info = shard.info.read().expect("shard info lock");
+                QueryTransport {
+                    shard,
+                    rect: info.rect,
+                    spatial_norm: info.spatial_norm,
+                    deadline: self.deadline,
+                    forward_threshold: self.forward_threshold,
+                    caller_cap,
+                }
+            })
+            .collect();
+        let scatter = match self.scatter {
+            ScatterMode::Sequential => scatter_sequential(&mut transports, &base, self.policy),
+            ScatterMode::Speculative => scatter_speculative(&mut transports, &base, self.policy),
         }
-        let scatter = scatter_sequential(&mut self.shards, &base, self.policy)
-            .map_err(|failure| failure.error)?;
+        .map_err(|failure| failure.error)?;
         let ranked = merge_ranked(scatter.entries, base.k());
-        let mut stats = ShardStats::new(scatter.outcomes, started.elapsed());
+        let mut outcomes = scatter.outcomes;
+        let mut degraded = scatter.degraded;
+        if base.origin().is_none() && !locate_failures.is_empty() {
+            // The origin could not be resolved AND a shard was
+            // unreachable while asking — that shard may silently have
+            // held the user's location, so the "ran with no origin"
+            // answer must not pass as exact.
+            degraded = true;
+            for (index, detail) in locate_failures {
+                outcomes[index] = ShardOutcome::Failed {
+                    shard: self.shards[index].endpoint.to_string(),
+                    detail: format!("unreachable during origin resolution: {detail}"),
+                };
+            }
+        }
+        let mut stats = ShardStats::new(outcomes, started.elapsed());
         stats.merged.merge(&lookups);
         let result = QueryResult {
             ranked,
             k: base.k(),
-            degraded: scatter.degraded,
+            degraded,
             stats: stats.merged,
         };
         Ok((result, stats))
     }
 
-    /// Runs `requests` back to back on the held connections, one result per
-    /// request in order.  Per-request failures follow the failure policy
-    /// exactly as [`RemoteShardedEngine::query`]; a failed request does not
-    /// stop the batch.
-    pub fn query_batch(&mut self, requests: &[QueryRequest]) -> Vec<Result<QueryResult, NetError>> {
+    /// Runs `requests` back to back on the pooled connections, one result
+    /// per request in order.  Per-request failures follow the failure
+    /// policy exactly as [`RemoteShardedEngine::query`]; a failed request
+    /// does not stop the batch.
+    pub fn query_batch(&self, requests: &[QueryRequest]) -> Vec<Result<QueryResult, NetError>> {
         requests.iter().map(|r| self.query(r)).collect()
     }
 
     /// Asks shards in turn for `user`'s stored location, charging the
     /// round trips to `lookups`.  Transport failures follow the failure
-    /// policy: under `Degrade` an unreachable shard is treated as not
-    /// holding the user.
+    /// policy: under `Degrade` the unreachable shard is recorded in
+    /// `failures` — the caller flags the query degraded if the origin
+    /// stays unresolved, because the silent answer "not located" may be
+    /// wrong.
     fn locate_remote(
-        &mut self,
+        &self,
         user: UserId,
         lookups: &mut QueryStats,
+        failures: &mut Vec<(usize, String)>,
     ) -> Result<Option<Point>, NetError> {
-        let policy = self.policy;
-        for shard in &mut self.shards {
-            let (response, traffic) = match shard.call(&Message::Locate(user)) {
+        for (index, shard) in self.shards.iter().enumerate() {
+            let (response, traffic) = match shard.call(&Message::Locate(user), self.deadline) {
                 Ok(exchange) => exchange,
                 Err(e @ NetError::Core(_)) | Err(e @ NetError::Remote { .. }) => return Err(e),
-                Err(e) => match policy {
+                Err(e) => match self.policy {
                     FailurePolicy::Fail => return Err(e),
-                    FailurePolicy::Degrade => continue,
+                    FailurePolicy::Degrade => {
+                        failures.push((index, e.to_string()));
+                        continue;
+                    }
                 },
             };
             lookups.bytes_sent += traffic.bytes_sent;
@@ -449,7 +645,11 @@ impl RemoteShardedEngine {
     ///
     /// The adopter's cached bounding rectangle is grown to cover the new
     /// location, keeping the coordinator's shard lower bounds admissible
-    /// without a refresh round trip.
+    /// without a refresh round trip — and its churn counter ticks up;
+    /// once it reaches the configured
+    /// [`refresh_after_relocations`](RemoteEngineBuilder::refresh_after_relocations),
+    /// that one shard is re-handshaken to tighten the rect back down
+    /// (growth-only rects otherwise degrade rect-skip pruning forever).
     ///
     /// # Errors
     ///
@@ -461,12 +661,12 @@ impl RemoteShardedEngine {
             return Err(NetError::Core(CoreError::UnknownUser(user)));
         }
         let mut adopter = None;
-        for (index, shard) in self.shards.iter_mut().enumerate() {
+        for (index, shard) in self.shards.iter().enumerate() {
             let message = Message::Relocate {
                 user,
                 location: Some(location),
             };
-            let (response, _) = shard.call(&message)?;
+            let (response, _) = shard.call(&message, self.deadline)?;
             match response {
                 Message::Relocated { adopted: true } => {
                     if let Some(first) = adopter {
@@ -491,11 +691,18 @@ impl RemoteShardedEngine {
                 detail: format!("no shard adopted the relocation of user {user}"),
             });
         };
-        let info = &mut self.shards[adopter].info;
-        info.rect = Some(match info.rect {
-            Some(rect) => rect.including(location),
-            None => Rect::new(location, location),
-        });
+        let shard = &self.shards[adopter];
+        {
+            let mut info = shard.info.write().expect("shard info lock");
+            info.rect = Some(match info.rect {
+                Some(rect) => rect.including(location),
+                None => Rect::new(location, location),
+            });
+        }
+        let churn = shard.churn.fetch_add(1, Ordering::Relaxed) + 1;
+        if churn >= self.refresh_after_relocations {
+            self.refresh_shard(adopter)?;
+        }
         Ok(adopter)
     }
 
@@ -509,12 +716,12 @@ impl RemoteShardedEngine {
         if u64::from(user) >= self.user_count {
             return Err(NetError::Core(CoreError::UnknownUser(user)));
         }
-        for shard in &mut self.shards {
+        for shard in &self.shards {
             let message = Message::Relocate {
                 user,
                 location: None,
             };
-            let (response, _) = shard.call(&message)?;
+            let (response, _) = shard.call(&message, self.deadline)?;
             if !matches!(response, Message::Relocated { .. }) {
                 return Err(shard.protocol(format!(
                     "expected Relocated to Relocate, got tag 0x{:02x}",
@@ -525,6 +732,28 @@ impl RemoteShardedEngine {
         Ok(())
     }
 
+    /// Re-handshakes one shard, replacing its cached info (tightened
+    /// rect, fresh occupancy) and resetting its churn counter.
+    fn refresh_shard(&self, index: usize) -> Result<(), NetError> {
+        let shard = &self.shards[index];
+        let (response, _) = shard.call(&Message::Refresh, self.deadline)?;
+        let Message::Info(info) = response else {
+            return Err(shard.protocol(format!(
+                "expected Info to Refresh, got tag 0x{:02x}",
+                response.tag()
+            )));
+        };
+        if info.shard != index as u32 {
+            return Err(shard.protocol(format!(
+                "server now claims shard {} at position {index}",
+                info.shard
+            )));
+        }
+        *shard.info.write().expect("shard info lock") = info;
+        shard.churn.store(0, Ordering::Relaxed);
+        Ok(())
+    }
+
     /// Re-handshakes every shard, tightening the cached bounding
     /// rectangles and counts that relocations loosened.
     ///
@@ -532,21 +761,8 @@ impl RemoteShardedEngine {
     ///
     /// Any shard failure, or a server whose reported topology changed.
     pub fn refresh(&mut self) -> Result<(), NetError> {
-        for (index, shard) in self.shards.iter_mut().enumerate() {
-            let (response, _) = shard.call(&Message::Refresh)?;
-            let Message::Info(info) = response else {
-                return Err(shard.protocol(format!(
-                    "expected Info to Refresh, got tag 0x{:02x}",
-                    response.tag()
-                )));
-            };
-            if info.shard != index as u32 {
-                return Err(shard.protocol(format!(
-                    "server now claims shard {} at position {index}",
-                    info.shard
-                )));
-            }
-            shard.info = info;
+        for index in 0..self.shards.len() {
+            self.refresh_shard(index)?;
         }
         Ok(())
     }
@@ -572,8 +788,8 @@ impl RemoteShardedEngine {
             )));
         }
         let mut holders: Vec<(UserId, Point, usize)> = Vec::new();
-        for (index, shard) in self.shards.iter_mut().enumerate() {
-            let (response, _) = shard.call(&Message::ListLocated)?;
+        for (index, shard) in self.shards.iter().enumerate() {
+            let (response, _) = shard.call(&Message::ListLocated, self.deadline)?;
             let Message::LocatedUsers(users) = response else {
                 return Err(shard.protocol(format!(
                     "expected LocatedUsers to ListLocated, got tag 0x{:02x}",
@@ -592,11 +808,11 @@ impl RemoteShardedEngine {
             .map(|&(user, point, _)| (user, point))
             .collect();
         if let Some(map) = cell_map {
-            for shard in &mut self.shards {
+            for shard in &self.shards {
                 let message = Message::SetAssignment {
                     cell_to_shard: map.clone(),
                 };
-                let (response, _) = shard.call(&message)?;
+                let (response, _) = shard.call(&message, self.deadline)?;
                 if !matches!(response, Message::Ok) {
                     return Err(shard.protocol(format!(
                         "expected Ok to SetAssignment, got tag 0x{:02x}",
@@ -606,12 +822,12 @@ impl RemoteShardedEngine {
             }
         }
         for &(user, point) in &moves {
-            for shard in &mut self.shards {
+            for shard in &self.shards {
                 let message = Message::Relocate {
                     user,
                     location: Some(point),
                 };
-                let (response, _) = shard.call(&message)?;
+                let (response, _) = shard.call(&message, self.deadline)?;
                 if !matches!(response, Message::Relocated { .. }) {
                     return Err(shard.protocol(format!(
                         "expected Relocated to Relocate, got tag 0x{:02x}",
@@ -626,15 +842,15 @@ impl RemoteShardedEngine {
 
     /// Broadcasts `Shutdown` to every shard server; continues past
     /// failures (a dead server is already shut down) and reports the first
-    /// one.
+    /// one.  The connection pools are closed afterwards.
     ///
     /// # Errors
     ///
     /// The first shard that failed to acknowledge, if any.
     pub fn shutdown(&mut self) -> Result<(), NetError> {
         let mut first_error = None;
-        for shard in &mut self.shards {
-            match shard.call(&Message::Shutdown) {
+        for shard in &self.shards {
+            match shard.call(&Message::Shutdown, self.deadline) {
                 Ok((Message::Ok, _)) => {}
                 Ok((other, _)) => {
                     let e = shard.protocol(format!(
@@ -647,6 +863,7 @@ impl RemoteShardedEngine {
                     first_error.get_or_insert(e);
                 }
             }
+            shard.pool.close();
         }
         match first_error {
             None => Ok(()),

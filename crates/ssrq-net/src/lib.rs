@@ -11,10 +11,13 @@
 //! return the same ranked list.
 //!
 //! Everything on the wire is hand-written little-endian encoding
-//! ([`wire`]): a 10-byte frame header (`b"SSRQ"`, version, message tag,
-//! payload length) followed by the message payload, `f64`s carried as raw
-//! IEEE-754 bits so scores and thresholds cross the wire bit-exactly.  No
-//! external dependencies.
+//! ([`wire`]): a 14-byte frame header (`b"SSRQ"`, version, message tag,
+//! frame id, payload length) followed by the message payload, `f64`s
+//! carried as raw IEEE-754 bits so scores and thresholds cross the wire
+//! bit-exactly.  No external dependencies.  The frame id lets one
+//! connection multiplex concurrent in-flight requests
+//! ([`MuxConnection`] / [`ConnectionPool`]); version-1 peers (10-byte
+//! header, no frame id) are still decoded and answered in kind.
 //!
 //! What the multi-process deployment adds over the in-process one is made
 //! explicit rather than hidden:
@@ -40,7 +43,7 @@ pub mod proto;
 mod server;
 pub mod wire;
 
-pub use client::{Endpoint, ShardClient, WireTraffic};
+pub use client::{ConnectionPool, Endpoint, MuxConnection, PendingCall, ShardClient, WireTraffic};
 pub use coordinator::{RemoteEngineBuilder, RemoteShardedEngine};
 pub use error::NetError;
 pub use proto::{FailureKind, Message, ShardInfo};

@@ -8,7 +8,7 @@
 //! Decoding never panics; malformed input yields a typed
 //! [`WireError`].
 
-use crate::wire::{frame, Reader, WireError, Writer};
+use crate::wire::{frame_with_id, legacy_frame, Reader, WireError, Writer, LEGACY_VERSION};
 use ssrq_core::{
     Algorithm, AlgorithmSpec, QueryRequest, QueryResult, QueryStats, RankedUser, UserId,
 };
@@ -162,6 +162,17 @@ pub enum Message {
     Shutdown,
     /// Generic acknowledgement.
     Ok,
+    /// One-way threshold push: tighten the running-cap of the in-flight
+    /// query whose **frame id** on this connection is `target`.  Carries
+    /// no response; a server that no longer runs the target query ignores
+    /// it (the answer may already be on the wire).
+    Tighten {
+        /// Frame id of the in-flight [`Message::Query`] to tighten.
+        target: u32,
+        /// The new (smaller) score cap; entries scoring at or above it
+        /// cannot enter the caller's global top-k.
+        max_score: f64,
+    },
 }
 
 impl Message {
@@ -185,11 +196,29 @@ impl Message {
             Message::Pong => 0x0F,
             Message::Shutdown => 0x10,
             Message::Ok => 0x11,
+            Message::Tighten { .. } => 0x12,
         }
     }
 
-    /// Encodes the message as one complete frame (header + payload).
+    /// Encodes the message as one complete current-version frame with
+    /// frame id 0 (the one-in-flight sentinel).
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_with_id(0)
+    }
+
+    /// Encodes the message as one complete current-version frame carrying
+    /// the given multiplexing frame id.
+    pub fn encode_with_id(&self, frame_id: u32) -> Vec<u8> {
+        self.encode_in(crate::wire::VERSION, frame_id)
+    }
+
+    /// Encodes the message as one complete frame in the given protocol
+    /// version — a server answers in the version the request arrived in,
+    /// so legacy peers get legacy frames back.  Encoding an unknown
+    /// version falls back to the current one; a [`LEGACY_VERSION`] frame
+    /// cannot carry a frame id and silently drops it (legacy peers run
+    /// one-in-flight, id 0).
+    pub fn encode_in(&self, version: u8, frame_id: u32) -> Vec<u8> {
         let mut w = Writer::new();
         match self {
             Message::Hello
@@ -226,8 +255,17 @@ impl Message {
                 w.u8(kind.tag());
                 w.str(message);
             }
+            Message::Tighten { target, max_score } => {
+                w.u32(*target);
+                w.f64(*max_score);
+            }
         }
-        frame(self.tag(), &w.finish())
+        let payload = w.finish();
+        if version == LEGACY_VERSION {
+            legacy_frame(self.tag(), &payload)
+        } else {
+            frame_with_id(self.tag(), frame_id, &payload)
+        }
     }
 
     /// Decodes one message from its frame tag and payload.
@@ -278,6 +316,10 @@ impl Message {
             0x0F => Message::Pong,
             0x10 => Message::Shutdown,
             0x11 => Message::Ok,
+            0x12 => Message::Tighten {
+                target: r.u32()?,
+                max_score: r.f64()?,
+            },
             t => return Err(WireError::UnknownMessage(t)),
         };
         r.finish()?;
@@ -430,6 +472,7 @@ pub fn encode_stats(w: &mut Writer, stats: &QueryStats) {
     w.u64(stats.bytes_sent as u64);
     w.u64(stats.bytes_received as u64);
     w.u64(stats.wire_round_trips as u64);
+    w.u64(stats.tighten_frames as u64);
     w.u64(stats.runtime.as_nanos() as u64);
 }
 
@@ -454,6 +497,7 @@ pub fn decode_stats(r: &mut Reader<'_>) -> Result<QueryStats, WireError> {
         bytes_sent: r.usize()?,
         bytes_received: r.usize()?,
         wire_round_trips: r.usize()?,
+        tighten_frames: r.usize()?,
         runtime: Duration::from_nanos(r.u64()?),
     })
 }
@@ -568,12 +612,32 @@ mod tests {
 
     fn round_trip(message: Message) {
         let bytes = message.encode();
-        let (tag, len) = crate::wire::parse_header(&bytes).unwrap();
-        assert_eq!(len as usize, bytes.len() - crate::wire::HEADER_LEN);
-        let decoded = Message::decode(tag, &bytes[crate::wire::HEADER_LEN..]).unwrap();
+        let header = crate::wire::parse_header(&bytes).unwrap();
+        assert_eq!(
+            header.payload_len as usize,
+            bytes.len() - crate::wire::HEADER_LEN
+        );
+        assert_eq!(header.frame_id, 0);
+        let decoded = Message::decode(header.tag, &bytes[crate::wire::HEADER_LEN..]).unwrap();
         assert_eq!(decoded, message);
         // Canonical: re-encoding the decoded message reproduces the bytes.
         assert_eq!(decoded.encode(), bytes);
+        // Frame ids change only the header; legacy frames carry the same
+        // payload behind the shorter v1 header.
+        let with_id = message.encode_with_id(77);
+        assert_eq!(crate::wire::parse_header(&with_id).unwrap().frame_id, 77);
+        assert_eq!(
+            with_id[crate::wire::HEADER_LEN..],
+            bytes[crate::wire::HEADER_LEN..]
+        );
+        let legacy = message.encode_in(crate::wire::LEGACY_VERSION, 77);
+        let legacy_header = crate::wire::parse_header(&legacy).unwrap();
+        assert_eq!(legacy_header.version, crate::wire::LEGACY_VERSION);
+        assert_eq!(legacy_header.frame_id, 0);
+        assert_eq!(
+            legacy[crate::wire::LEGACY_HEADER_LEN..],
+            bytes[crate::wire::HEADER_LEN..]
+        );
     }
 
     #[test]
@@ -601,6 +665,10 @@ mod tests {
             Message::Fail {
                 kind: FailureKind::UnknownAlgorithm,
                 message: "no algorithm \"X\"".into(),
+            },
+            Message::Tighten {
+                target: 3,
+                max_score: 0.375,
             },
         ] {
             round_trip(message);

@@ -5,32 +5,114 @@
 //! full social graph and the shard's restricted locations), a replica of
 //! the deployment's [`ShardAssignment`] (so location reports can be
 //! adopted or dropped without asking anyone), and a listening socket.
-//! Queries run concurrently under a read lock with one reusable
-//! [`QueryContext`](ssrq_core::QueryContext) per connection; mutations
-//! (relocations, assignment updates) take the write lock.
+//!
+//! # Concurrency model
+//!
+//! Each accepted connection gets a lightweight **reader** thread that
+//! does nothing but parse frames; the work itself runs on a **bounded
+//! worker pool** (one reusable [`QueryContext`](ssrq_core::QueryContext)
+//! per worker), so a coordinator multiplexing many concurrent queries
+//! over a few sockets cannot fork an unbounded number of engine threads.
+//! Queries run under the engine's read lock; mutations (relocations,
+//! assignment updates) take the write lock.  One-way
+//! [`Message::Tighten`] frames never enter the queue: the reader applies
+//! them directly to the in-flight query's [`ThresholdCell`], which the
+//! executing worker polls between result entries (sound early-stop: the
+//! stream yields entries in ascending score order, so once one reaches
+//! the cap, everything after it is prunable too).
+//!
+//! Responses are written in the protocol version the request arrived in,
+//! echoing its frame id — so legacy (v1, one-in-flight) clients keep
+//! working unchanged.
 
 use crate::client::{Endpoint, Stream};
 use crate::error::NetError;
 use crate::proto::{FailureKind, Message, ShardInfo};
-use crate::wire::{parse_header, HEADER_LEN};
-use ssrq_core::GeoSocialEngine;
-use ssrq_shard::ShardAssignment;
+use crate::wire::{header_tail, parse_header, FrameHeader, HEADER_PREFIX};
+use ssrq_core::{GeoSocialEngine, QueryContext, QueryRequest, QueryResult};
+use ssrq_shard::{ShardAssignment, ThresholdCell};
 use ssrq_spatial::Rect;
+use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::TcpListener;
-use std::os::unix::net::UnixListener;
+use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::Duration;
 
-/// How long a connection handler sleeps in its idle poll before
+/// How long readers and workers sleep in their idle polls before
 /// re-checking the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Default size of the worker pool: enough to keep a few concurrent
+/// queries moving without oversubscribing small machines.
+fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .min(4)
+}
 
 enum Listener {
     Unix(UnixListener, PathBuf),
     Tcp(TcpListener),
+}
+
+/// One parsed request waiting for a worker.
+struct WorkItem {
+    conn_id: u64,
+    frame_id: u32,
+    version: u8,
+    work: Work,
+    writer: Arc<Mutex<Stream>>,
+}
+
+enum Work {
+    /// A query with its (already registered) tighten cell.
+    Query(QueryRequest, Arc<ThresholdCell>),
+    /// Everything else.
+    Other(Message),
+}
+
+/// A homemade bounded-latency MPMC queue: mutexed deque + condvar, with a
+/// timed wait so workers keep re-checking the shutdown flag.
+struct WorkQueue {
+    items: Mutex<VecDeque<WorkItem>>,
+    ready: Condvar,
+}
+
+impl WorkQueue {
+    fn new() -> WorkQueue {
+        WorkQueue {
+            items: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn push(&self, item: WorkItem) {
+        self.items.lock().expect("work queue lock").push_back(item);
+        self.ready.notify_one();
+    }
+
+    /// Pops the next item, or `None` once `shutdown` is raised and the
+    /// queue is drained.
+    fn pop(&self, shutdown: &AtomicBool) -> Option<WorkItem> {
+        let mut items = self.items.lock().expect("work queue lock");
+        loop {
+            if let Some(item) = items.pop_front() {
+                return Some(item);
+            }
+            if shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            let (guard, _) = self
+                .ready
+                .wait_timeout(items, POLL_INTERVAL)
+                .expect("work queue lock");
+            items = guard;
+        }
+    }
 }
 
 /// One shard-serving process: engine + assignment replica + socket.
@@ -40,6 +122,10 @@ pub struct ShardServer {
     shard: u32,
     listener: Listener,
     shutdown: Arc<AtomicBool>,
+    workers: usize,
+    /// Tighten targets of the queries currently queued or executing,
+    /// keyed by (connection id, frame id).
+    active: Mutex<HashMap<(u64, u32), Arc<ThresholdCell>>>,
 }
 
 impl std::fmt::Debug for ShardServer {
@@ -47,6 +133,7 @@ impl std::fmt::Debug for ShardServer {
         f.debug_struct("ShardServer")
             .field("shard", &self.shard)
             .field("endpoint", &self.endpoint().to_string())
+            .field("workers", &self.workers)
             .finish()
     }
 }
@@ -58,7 +145,12 @@ impl ShardServer {
     /// `shard`: built over the full social graph but only this shard's
     /// resident locations (see
     /// [`GeoSocialDataset::restrict_locations`](ssrq_core::GeoSocialDataset::restrict_locations)).
-    /// A stale Unix socket file at the endpoint is removed first.
+    ///
+    /// A Unix endpoint whose socket file already exists is probed first:
+    /// if a server answers, the bind fails with `AddrInUse` (never steal
+    /// a live socket); if nothing answers, the file is a **stale**
+    /// leftover of a killed server and is unlinked so the restart
+    /// succeeds.
     ///
     /// # Errors
     ///
@@ -71,8 +163,18 @@ impl ShardServer {
     ) -> Result<ShardServer, NetError> {
         let listener = match endpoint {
             Endpoint::Unix(path) => {
-                let _ = std::fs::remove_file(path);
-                let listener = UnixListener::bind(path)?;
+                let listener = match UnixListener::bind(path) {
+                    Ok(listener) => listener,
+                    Err(e) if e.kind() == std::io::ErrorKind::AddrInUse => {
+                        if UnixStream::connect(path).is_ok() {
+                            // A live server owns this socket.
+                            return Err(NetError::Io(e));
+                        }
+                        std::fs::remove_file(path)?;
+                        UnixListener::bind(path)?
+                    }
+                    Err(e) => return Err(NetError::Io(e)),
+                };
                 listener.set_nonblocking(true)?;
                 Listener::Unix(listener, path.clone())
             }
@@ -88,7 +190,20 @@ impl ShardServer {
             shard: shard as u32,
             listener,
             shutdown: Arc::new(AtomicBool::new(false)),
+            workers: default_workers(),
+            active: Mutex::new(HashMap::new()),
         })
+    }
+
+    /// Sets the worker-pool size (clamped to at least 1).
+    pub fn with_workers(mut self, workers: usize) -> ShardServer {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// The worker-pool size.
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     /// The endpoint actually bound — for `tcp:127.0.0.1:0` this carries
@@ -111,21 +226,30 @@ impl ShardServer {
         Arc::clone(&self.shutdown)
     }
 
-    /// Serves connections until the shutdown flag is raised; each
-    /// connection gets its own handler thread and reusable query context.
+    /// Serves connections until the shutdown flag is raised: a reader
+    /// thread per connection, the work on a pool of
+    /// [`workers`](ShardServer::workers) threads.
     ///
     /// # Errors
     ///
     /// [`NetError::Io`] for an accept-loop failure (per-connection errors
     /// only terminate that connection).
     pub fn serve(&self) -> Result<(), NetError> {
+        let queue = WorkQueue::new();
         std::thread::scope(|scope| {
-            while !self.shutdown.load(Ordering::SeqCst) {
+            for _ in 0..self.workers {
+                scope.spawn(|| self.worker_loop(&queue));
+            }
+            let mut next_conn_id: u64 = 0;
+            let result = loop {
+                if self.shutdown.load(Ordering::SeqCst) {
+                    break Ok(());
+                }
                 let accepted = match &self.listener {
                     Listener::Unix(listener, _) => match listener.accept() {
                         Ok((stream, _)) => Some(Stream::Unix(stream)),
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => None,
-                        Err(e) => return Err(NetError::Io(e)),
+                        Err(e) => break Err(NetError::Io(e)),
                     },
                     Listener::Tcp(listener) => match listener.accept() {
                         Ok((stream, _)) => {
@@ -133,17 +257,23 @@ impl ShardServer {
                             Some(Stream::Tcp(stream))
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => None,
-                        Err(e) => return Err(NetError::Io(e)),
+                        Err(e) => break Err(NetError::Io(e)),
                     },
                 };
                 match accepted {
                     Some(stream) => {
-                        scope.spawn(move || self.handle_connection(stream));
+                        let conn_id = next_conn_id;
+                        next_conn_id += 1;
+                        let queue = &queue;
+                        scope.spawn(move || self.serve_connection(conn_id, stream, queue));
                     }
                     None => std::thread::sleep(POLL_INTERVAL),
                 }
-            }
-            Ok(())
+            };
+            // Readers and workers poll this flag; raising it on the error
+            // path too lets the scope join instead of hanging.
+            self.shutdown.store(true, Ordering::SeqCst);
+            result
         })?;
         if let Listener::Unix(_, path) = &self.listener {
             let _ = std::fs::remove_file(path);
@@ -151,44 +281,123 @@ impl ShardServer {
         Ok(())
     }
 
-    fn handle_connection(&self, mut stream: Stream) {
-        if stream.set_timeouts(Some(POLL_INTERVAL)).is_err() {
+    /// The per-connection reader: parses frames, applies `Tighten`s
+    /// inline, queues everything else for the worker pool.
+    fn serve_connection(&self, conn_id: u64, stream: Stream, queue: &WorkQueue) {
+        if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
             return;
         }
+        let writer = match stream.try_clone() {
+            Ok(clone) => Arc::new(Mutex::new(clone)),
+            Err(_) => return,
+        };
+        let mut reader = stream;
+        // Loop ends on clean EOF, shutdown, or poisoned framing.
+        while let Ok(Some((header, payload))) = self.read_frame(&mut reader) {
+            match Message::decode(header.tag, &payload) {
+                Ok(Message::Tighten { target, max_score }) => {
+                    // One-way; applied immediately, even while the target
+                    // query sits in the queue.  An unknown target means
+                    // the answer is already on its way — ignore.
+                    let cell = self
+                        .active
+                        .lock()
+                        .expect("active query lock")
+                        .get(&(conn_id, target))
+                        .map(Arc::clone);
+                    if let Some(cell) = cell {
+                        cell.tighten(max_score);
+                    }
+                }
+                Ok(Message::Query(request)) => {
+                    let cell = Arc::new(ThresholdCell::new(f64::INFINITY));
+                    self.active
+                        .lock()
+                        .expect("active query lock")
+                        .insert((conn_id, header.frame_id), Arc::clone(&cell));
+                    queue.push(WorkItem {
+                        conn_id,
+                        frame_id: header.frame_id,
+                        version: header.version,
+                        work: Work::Query(request, cell),
+                        writer: Arc::clone(&writer),
+                    });
+                }
+                Ok(message) => {
+                    queue.push(WorkItem {
+                        conn_id,
+                        frame_id: header.frame_id,
+                        version: header.version,
+                        work: Work::Other(message),
+                        writer: Arc::clone(&writer),
+                    });
+                }
+                Err(e) => {
+                    let fail = Message::Fail {
+                        kind: FailureKind::InvalidRequest,
+                        message: e.to_string(),
+                    }
+                    .encode_in(header.version, header.frame_id);
+                    if Self::write_response(&writer, &fail).is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    fn write_response(writer: &Mutex<Stream>, bytes: &[u8]) -> std::io::Result<()> {
+        let mut writer = writer.lock().expect("connection writer lock");
+        writer.write_all(bytes).and_then(|()| writer.flush())
+    }
+
+    /// One pool worker: owns a reusable query context, processes items
+    /// until shutdown.
+    fn worker_loop(&self, queue: &WorkQueue) {
         let mut ctx = self.engine.read().expect("engine lock").make_context();
-        loop {
-            let (tag, payload) = match self.read_frame(&mut stream) {
-                Ok(Some(frame)) => frame,
-                Ok(None) | Err(_) => return, // clean EOF, shutdown, or poisoned framing
+        while let Some(item) = queue.pop(&self.shutdown) {
+            let response = match item.work {
+                Work::Query(request, cell) => {
+                    let response = self.run_query(&request, &mut ctx, &cell);
+                    self.active
+                        .lock()
+                        .expect("active query lock")
+                        .remove(&(item.conn_id, item.frame_id));
+                    Some(response)
+                }
+                Work::Other(message) => self.handle(message, &mut ctx),
             };
-            let response = match Message::decode(tag, &payload) {
-                Ok(message) => self.handle(message, &mut ctx),
-                Err(e) => Some(Message::Fail {
-                    kind: FailureKind::InvalidRequest,
-                    message: e.to_string(),
-                }),
-            };
-            let Some(response) = response else { return };
-            if stream.write_all(&response.encode()).is_err() || stream.flush().is_err() {
-                return;
+            if let Some(response) = response {
+                let bytes = response.encode_in(item.version, item.frame_id);
+                // A write failure only loses this connection; its reader
+                // notices on its next read.
+                let _ = Self::write_response(&item.writer, &bytes);
             }
         }
     }
 
     /// Reads one frame, tolerating idle timeouts between frames (the
-    /// handler re-checks the shutdown flag on every poll tick).  Returns
+    /// reader re-checks the shutdown flag on every poll tick).  Returns
     /// `Ok(None)` on clean EOF or shutdown.
-    fn read_frame(&self, stream: &mut Stream) -> Result<Option<(u8, Vec<u8>)>, NetError> {
-        let mut header = [0u8; HEADER_LEN];
+    fn read_frame(&self, stream: &mut Stream) -> Result<Option<(FrameHeader, Vec<u8>)>, NetError> {
+        let mut header = vec![0u8; HEADER_PREFIX];
         if self.read_full(stream, &mut header)?.is_none() {
             return Ok(None);
         }
-        let (tag, len) = parse_header(&header)?;
-        let mut payload = vec![0u8; len as usize];
+        let tail = header_tail(header[4])?;
+        if tail > 0 {
+            let start = header.len();
+            header.resize(start + tail, 0);
+            if self.read_full(stream, &mut header[start..])?.is_none() {
+                return Ok(None);
+            }
+        }
+        let parsed = parse_header(&header)?;
+        let mut payload = vec![0u8; parsed.payload_len as usize];
         if self.read_full(stream, &mut payload)?.is_none() {
             return Ok(None);
         }
-        Ok(Some((tag, payload)))
+        Ok(Some((parsed, payload)))
     }
 
     fn read_full(&self, stream: &mut Stream, buf: &mut [u8]) -> Result<Option<()>, NetError> {
@@ -220,23 +429,54 @@ impl ShardServer {
         Ok(Some(()))
     }
 
-    /// Processes one message; `None` ends the connection (after
-    /// `Shutdown`, whose `Ok` acknowledgement is written by the caller
-    /// path via returning the response first — see below).
-    fn handle(&self, message: Message, ctx: &mut ssrq_core::QueryContext) -> Option<Message> {
+    /// Runs one query under the read lock, polling `cell` between result
+    /// entries: the stream yields finalized entries in ascending score
+    /// order, so the first entry at or above the cap proves every later
+    /// one is prunable as well — the truncated answer merges identically
+    /// at the coordinator, which already holds entries beating the cap.
+    fn run_query(
+        &self,
+        request: &QueryRequest,
+        ctx: &mut QueryContext,
+        cell: &ThresholdCell,
+    ) -> Message {
+        let engine = self.engine.read().expect("engine lock");
+        let mut stream = match engine.stream_with(request, ctx) {
+            Ok(stream) => stream,
+            Err(e) => {
+                return Message::Fail {
+                    kind: FailureKind::of(&e),
+                    message: e.to_string(),
+                }
+            }
+        };
+        let mut ranked = Vec::new();
+        for entry in stream.by_ref() {
+            if entry.score >= cell.get() {
+                break;
+            }
+            ranked.push(entry);
+        }
+        if let Some(error) = stream.error() {
+            return Message::Fail {
+                kind: FailureKind::of(error),
+                message: error.to_string(),
+            };
+        }
+        let stats = stream.stats();
+        Message::Answer(QueryResult {
+            ranked,
+            k: request.k(),
+            degraded: false,
+            stats,
+        })
+    }
+
+    /// Processes one non-query message; `None` ends the connection.
+    fn handle(&self, message: Message, _ctx: &mut QueryContext) -> Option<Message> {
         Some(match message {
             Message::Hello | Message::Refresh => Message::Info(self.info()),
             Message::Ping => Message::Pong,
-            Message::Query(request) => {
-                let engine = self.engine.read().expect("engine lock");
-                match engine.run_with(&request, ctx) {
-                    Ok(result) => Message::Answer(result),
-                    Err(e) => Message::Fail {
-                        kind: FailureKind::of(&e),
-                        message: e.to_string(),
-                    },
-                }
-            }
             Message::Locate(user) => {
                 let engine = self.engine.read().expect("engine lock");
                 Message::Located(engine.dataset().location(user))

@@ -8,7 +8,9 @@
 use ssrq_core::{Algorithm, GeoSocialDataset, GeoSocialEngine, QueryRequest};
 use ssrq_data::{DatasetConfig, QueryWorkload};
 use ssrq_net::{Endpoint, NetError, RemoteShardedEngine, ShardServer};
-use ssrq_shard::{FailurePolicy, Partitioning, ShardAssignment, ShardOutcome, ShardedEngine};
+use ssrq_shard::{
+    FailurePolicy, Partitioning, ScatterMode, ShardAssignment, ShardOutcome, ShardedEngine,
+};
 use ssrq_spatial::{Point, Rect};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -125,7 +127,7 @@ fn remote_coordinator_matches_the_in_process_engine() {
         .build()
         .unwrap();
     let cluster = Cluster::start(&dataset, policy, 3);
-    let mut remote = cluster.connect();
+    let remote = cluster.connect();
     assert_eq!(remote.shard_count(), 3);
     assert_eq!(remote.user_count(), dataset.user_count() as u64);
 
@@ -154,8 +156,8 @@ fn the_fk_threshold_crosses_the_wire() {
     let dataset = DatasetConfig::gowalla_like(400).generate();
     let policy = Partitioning::SpatialGrid { cells_per_axis: 8 };
     let cluster = Cluster::start(&dataset, policy, 4);
-    let mut forwarding = cluster.connect();
-    let mut blunt = RemoteShardedEngine::builder(cluster.endpoints.clone())
+    let forwarding = cluster.connect();
+    let blunt = RemoteShardedEngine::builder(cluster.endpoints.clone())
         .connect_timeout(Duration::from_secs(10))
         .forward_threshold(false)
         .connect()
@@ -327,6 +329,346 @@ fn a_dead_shard_fails_or_degrades_per_policy() {
 }
 
 #[test]
+fn speculative_scatter_matches_sequential_bit_for_bit_over_sockets() {
+    let dataset = DatasetConfig::gowalla_like(300).generate();
+    let policy = Partitioning::SpatialGrid { cells_per_axis: 8 };
+    let cluster = Cluster::start(&dataset, policy, 4);
+    let sequential = cluster.connect();
+    let speculative = RemoteShardedEngine::builder(cluster.endpoints.clone())
+        .connect_timeout(Duration::from_secs(10))
+        .deadline(Duration::from_secs(30))
+        .scatter(ScatterMode::Speculative)
+        .connect()
+        .expect("speculative coordinator connects");
+    assert_eq!(speculative.scatter_mode(), ScatterMode::Speculative);
+
+    for algorithm in [Algorithm::Ais, Algorithm::Tsa] {
+        for request in requests_for(&dataset, algorithm) {
+            let expected = sequential.query(&request).expect("sequential query");
+            let got = speculative.query(&request).expect("speculative query");
+            // The speculative scatter is a *scheduling* change only: the
+            // exact same (score, user) list, down to the bits.
+            assert!(
+                got.same_users_and_scores(&expected, 0.0),
+                "{algorithm:?} speculative disagreed on {request:?}:\n  seq {:?}\n  spec {:?}",
+                expected.ranked,
+                got.ranked
+            );
+            // Accounting stays truthful: speculation can only *add*
+            // round trips (shards the sequential threshold would have
+            // skipped), never hide them — and tighten frames are a
+            // speculative-only cost, never counted as round trips.
+            assert!(got.stats.wire_round_trips >= expected.stats.wire_round_trips);
+            assert_eq!(expected.stats.tighten_frames, 0);
+        }
+    }
+}
+
+#[test]
+fn concurrent_queries_share_one_engine_and_stay_exact() {
+    let dataset = DatasetConfig::gowalla_like(300).generate();
+    let policy = Partitioning::SpatialGrid { cells_per_axis: 8 };
+    let cluster = Cluster::start(&dataset, policy, 3);
+    let engine = Arc::new(
+        RemoteShardedEngine::builder(cluster.endpoints.clone())
+            .connect_timeout(Duration::from_secs(10))
+            .deadline(Duration::from_secs(30))
+            .scatter(ScatterMode::Speculative)
+            .pool_size(2)
+            .connect()
+            .expect("coordinator connects"),
+    );
+
+    let workload = QueryWorkload::generate(&dataset, 8, 31);
+    let requests: Vec<QueryRequest> = workload
+        .users
+        .iter()
+        .map(|&user| {
+            QueryRequest::for_user(user)
+                .k(6)
+                .alpha(0.4)
+                .algorithm(Algorithm::Ais)
+                .build()
+                .unwrap()
+        })
+        .collect();
+    // Ground truth: each query run alone, one at a time.
+    let expected: Vec<_> = requests
+        .iter()
+        .map(|r| engine.query(r).expect("sequential baseline"))
+        .collect();
+
+    // Six threads hammer the same engine (and thus the same connection
+    // pools, multiplexing frames over shared sockets) concurrently.
+    std::thread::scope(|scope| {
+        for worker in 0..6 {
+            let engine = &engine;
+            let requests = &requests;
+            let expected = &expected;
+            scope.spawn(move || {
+                for round in 0..3 {
+                    for (i, request) in requests.iter().enumerate() {
+                        let got = engine
+                            .query(request)
+                            .unwrap_or_else(|e| panic!("worker {worker} round {round}: {e}"));
+                        assert!(
+                            got.same_users_and_scores(&expected[i], 0.0),
+                            "worker {worker} round {round} query {i}: concurrent answer diverged"
+                        );
+                    }
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn a_stale_socket_file_is_reclaimed_but_a_live_server_is_not() {
+    let dataset = DatasetConfig::gowalla_like(120).generate();
+    let assignment = ShardAssignment::compute(&dataset, Partitioning::UserHash, 1).unwrap();
+    let dir = std::env::temp_dir().join(format!(
+        "ssrq-net-stale-{}-{}",
+        std::process::id(),
+        CLUSTER_SEQ.fetch_add(1, Ordering::SeqCst)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("shard-0.sock");
+
+    // A crashed server leaves its socket file behind (closing a listener
+    // does not unlink).  A restart on the same path must reclaim it.
+    drop(std::os::unix::net::UnixListener::bind(&path).unwrap());
+    assert!(path.exists(), "the stale socket file survives the crash");
+    let endpoint = Endpoint::Unix(path.clone());
+    let engine = GeoSocialEngine::builder(dataset.clone()).build().unwrap();
+    let server = ShardServer::bind(&endpoint, engine, 0, assignment.clone())
+        .expect("rebinding over a stale socket file succeeds");
+
+    // But a *live* server's socket must not be stolen out from under it.
+    let engine2 = GeoSocialEngine::builder(dataset.clone()).build().unwrap();
+    let err = ShardServer::bind(&endpoint, engine2, 0, assignment.clone())
+        .expect_err("binding over a live server must fail");
+    assert!(matches!(err, NetError::Io(_)), "unexpected error {err}");
+
+    // The restarted server actually serves.
+    let flag = server.shutdown_flag();
+    let handle = std::thread::spawn(move || server.serve().unwrap());
+    let remote = RemoteShardedEngine::builder(vec![endpoint])
+        .connect_timeout(Duration::from_secs(10))
+        .connect()
+        .expect("coordinator connects to the restarted server");
+    let request = QueryRequest::for_user(1)
+        .k(3)
+        .alpha(0.5)
+        .algorithm(Algorithm::Ais)
+        .build()
+        .unwrap();
+    let single = GeoSocialEngine::builder(dataset).build().unwrap();
+    let expected = single.run(&request).unwrap();
+    assert!(remote
+        .query(&request)
+        .unwrap()
+        .same_users_and_scores(&expected, 1e-12));
+    flag.store(true, Ordering::SeqCst);
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn an_unreachable_shard_during_origin_resolution_degrades_the_answer() {
+    let dataset = DatasetConfig::gowalla_like(200).generate();
+    let policy = Partitioning::UserHash;
+    let assignment = ShardAssignment::compute(&dataset, policy, 3).unwrap();
+    let owner = assignment.owners(&dataset);
+    // A user whose location lives on shard 1 — the shard about to die.
+    let victim = (0..dataset.user_count() as u32)
+        .find(|&u| owner[u as usize] == 1 && dataset.location(u).is_some())
+        .expect("some located user lives on shard 1");
+
+    let cluster = Cluster::start(&dataset, policy, 3);
+    let mut remote = RemoteShardedEngine::builder(cluster.endpoints.clone())
+        .connect_timeout(Duration::from_secs(10))
+        .deadline(Duration::from_secs(2))
+        .connect()
+        .unwrap();
+    // No pinned origin: the coordinator must ask the shards where the
+    // query user is.
+    let request = QueryRequest::for_user(victim)
+        .k(5)
+        .alpha(0.4)
+        .algorithm(Algorithm::Ais)
+        .build()
+        .unwrap();
+    let healthy = remote.query(&request).expect("healthy cluster answers");
+    assert!(!healthy.degraded);
+
+    cluster.kill_shard(1);
+    std::thread::sleep(Duration::from_millis(200));
+
+    // Fail policy: the unreachable owner is a hard error.
+    let err = remote.query(&request).expect_err("Fail policy errors");
+    assert!(
+        matches!(
+            err,
+            NetError::Disconnected { .. } | NetError::Io(_) | NetError::Timeout { .. }
+        ),
+        "unexpected error {err}"
+    );
+
+    // Degrade policy: the query still answers, but it must NOT pass as
+    // exact — the dead shard may have held the user's location, so the
+    // "ran with no origin" answer is flagged and the shard named.
+    remote.set_failure_policy(FailurePolicy::Degrade);
+    let (result, stats) = remote.query_detailed(&request).expect("degraded answer");
+    assert!(
+        result.degraded,
+        "an unresolved origin with an unreachable shard must degrade the result"
+    );
+    let failed_endpoint = cluster.endpoints[1].to_string();
+    assert!(
+        stats.per_shard.iter().any(|o| matches!(
+            o,
+            ShardOutcome::Failed { shard, detail } if shard == &failed_endpoint
+                && detail.contains("origin resolution")
+        )),
+        "the unreachable shard is named in the outcomes: {:?}",
+        stats.per_shard
+    );
+}
+
+#[test]
+fn a_dead_shard_fails_or_degrades_under_speculative_scatter_too() {
+    let dataset = DatasetConfig::gowalla_like(200).generate();
+    let policy = Partitioning::UserHash;
+    let cluster = Cluster::start(&dataset, policy, 3);
+    let mut remote = RemoteShardedEngine::builder(cluster.endpoints.clone())
+        .connect_timeout(Duration::from_secs(10))
+        .deadline(Duration::from_secs(2))
+        .scatter(ScatterMode::Speculative)
+        .connect()
+        .unwrap();
+
+    let request = QueryRequest::for_user(0)
+        .k(50)
+        .alpha(0.5)
+        .origin(Point::new(0.5, 0.5))
+        .algorithm(Algorithm::Ais)
+        .build()
+        .unwrap();
+    remote.query(&request).expect("healthy cluster answers");
+
+    cluster.kill_shard(2);
+    std::thread::sleep(Duration::from_millis(200));
+
+    let err = remote
+        .query(&request)
+        .expect_err("Fail policy surfaces the dead shard");
+    assert!(
+        matches!(
+            err,
+            NetError::Disconnected { .. } | NetError::Io(_) | NetError::Timeout { .. }
+        ),
+        "unexpected error {err}"
+    );
+
+    remote.set_failure_policy(FailurePolicy::Degrade);
+    let (result, stats) = remote.query_detailed(&request).expect("degraded answer");
+    assert!(result.degraded);
+    assert_eq!(stats.failed_shards(), 1);
+    let failed_endpoint = cluster.endpoints[2].to_string();
+    assert!(
+        stats.per_shard.iter().any(|o| matches!(
+            o,
+            ShardOutcome::Failed { shard, .. } if shard == &failed_endpoint
+        )),
+        "the failed shard is named in the outcomes: {:?}",
+        stats.per_shard
+    );
+    assert!(!result.ranked.is_empty());
+}
+
+#[test]
+fn relocation_churn_triggers_an_opportunistic_rect_refresh() {
+    use ssrq_graph::GraphBuilder;
+    // Four users clustered in [0.1, 0.3]² on one shard.
+    let graph = GraphBuilder::from_edges(4, vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
+    let locations = vec![
+        Some(Point::new(0.10, 0.10)),
+        Some(Point::new(0.20, 0.15)),
+        Some(Point::new(0.30, 0.25)),
+        Some(Point::new(0.15, 0.30)),
+    ];
+    let dataset = GeoSocialDataset::new(graph, locations).unwrap();
+    let cluster = Cluster::start(&dataset, Partitioning::UserHash, 1);
+    let mut remote = RemoteShardedEngine::builder(cluster.endpoints.clone())
+        .connect_timeout(Duration::from_secs(10))
+        .refresh_after_relocations(2)
+        .connect()
+        .unwrap();
+
+    // First relocation: the cached rect can only *grow* to stay admissible.
+    remote.update_location(0, Point::new(0.95, 0.95)).unwrap();
+    assert_eq!(remote.rect_churn(0), 1);
+    let grown = remote.shard_info(0).rect.expect("rect exists");
+    assert!(grown.max.x >= 0.95 && grown.max.y >= 0.95);
+
+    // Second relocation (back into the cluster) hits the churn threshold:
+    // the coordinator re-handshakes that shard and the rect tightens back
+    // down to the *actual* locations — no user is near (0.95, 0.95) now.
+    remote.update_location(0, Point::new(0.12, 0.12)).unwrap();
+    assert_eq!(remote.rect_churn(0), 0, "the refresh resets the churn");
+    let tightened = remote.shard_info(0).rect.expect("rect exists");
+    assert!(
+        tightened.max.x < 0.5 && tightened.max.y < 0.5,
+        "the refreshed rect {tightened:?} still carries the relocation slack"
+    );
+}
+
+#[test]
+fn legacy_v1_frames_are_served_and_answered_in_kind() {
+    use ssrq_net::wire::{parse_header, LEGACY_VERSION};
+    use ssrq_net::Message;
+    use std::io::{Read, Write};
+
+    let dataset = DatasetConfig::gowalla_like(120).generate();
+    let assignment = ShardAssignment::compute(&dataset, Partitioning::UserHash, 1).unwrap();
+    let engine = GeoSocialEngine::builder(dataset).build().unwrap();
+    let server =
+        ShardServer::bind(&Endpoint::Tcp("127.0.0.1:0".into()), engine, 0, assignment).unwrap();
+    let Endpoint::Tcp(addr) = server.endpoint() else {
+        panic!("tcp endpoint expected")
+    };
+    let flag = server.shutdown_flag();
+    let handle = std::thread::spawn(move || server.serve().unwrap());
+
+    // A pre-multiplexing peer: v1 frames, one in flight, no frame ids.
+    let mut socket = std::net::TcpStream::connect(&addr).unwrap();
+    socket
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    for request in [Message::Ping, Message::Hello] {
+        socket
+            .write_all(&request.encode_in(LEGACY_VERSION, 0))
+            .unwrap();
+        let mut prefix = [0u8; 10];
+        socket.read_exact(&mut prefix).unwrap();
+        let header = parse_header(&prefix).unwrap();
+        // The server answers in the request's own version.
+        assert_eq!(header.version, LEGACY_VERSION);
+        assert_eq!(header.frame_id, 0);
+        let mut payload = vec![0u8; header.payload_len as usize];
+        socket.read_exact(&mut payload).unwrap();
+        let response = Message::decode(header.tag, &payload).unwrap();
+        match request {
+            Message::Ping => assert_eq!(response, Message::Pong),
+            _ => assert!(matches!(response, Message::Info(_))),
+        }
+    }
+
+    flag.store(true, Ordering::SeqCst);
+    handle.join().unwrap();
+}
+
+#[test]
 fn tcp_endpoints_serve_too() {
     let dataset = DatasetConfig::gowalla_like(150).generate();
     let assignment = ShardAssignment::compute(&dataset, Partitioning::UserHash, 1).unwrap();
@@ -338,7 +680,7 @@ fn tcp_endpoints_serve_too() {
     let flag = server.shutdown_flag();
     let handle = std::thread::spawn(move || server.serve().unwrap());
 
-    let mut remote = RemoteShardedEngine::builder(vec![endpoint])
+    let remote = RemoteShardedEngine::builder(vec![endpoint])
         .connect_timeout(Duration::from_secs(10))
         .connect()
         .unwrap();

@@ -7,7 +7,7 @@
 
 use rand::prelude::*;
 use ssrq_core::{Algorithm, QueryRequest, QueryResult, QueryStats, RankedUser};
-use ssrq_net::wire::{parse_header, WireError, HEADER_LEN};
+use ssrq_net::wire::{parse_header, WireError, HEADER_LEN, LEGACY_VERSION};
 use ssrq_net::{FailureKind, Message, ShardInfo};
 use ssrq_spatial::{Point, Rect};
 use std::time::Duration;
@@ -89,6 +89,7 @@ fn stats(rng: &mut StdRng) -> QueryStats {
         bytes_sent: counter(rng),
         bytes_received: counter(rng),
         wire_round_trips: counter(rng),
+        tighten_frames: counter(rng),
         runtime: Duration::from_nanos(rng.gen_range(0..1u64 << 60)),
     }
 }
@@ -123,7 +124,7 @@ fn shard_info(rng: &mut StdRng) -> ShardInfo {
 }
 
 fn message(rng: &mut StdRng) -> Message {
-    match rng.gen_range(0..17u32) {
+    match rng.gen_range(0..18u32) {
         0 => Message::Hello,
         1 => Message::Info(shard_info(rng)),
         2 => Message::Query(request(rng)),
@@ -166,22 +167,30 @@ fn message(rng: &mut StdRng) -> Message {
         13 => Message::Ping,
         14 => Message::Pong,
         15 => Message::Shutdown,
+        16 => Message::Tighten {
+            target: rng.gen(),
+            max_score: edge_f64(rng),
+        },
         _ => Message::Ok,
     }
 }
 
-/// Full-frame decode as a receiver performs it: header, declared payload
-/// length, payload.
+/// Full-frame decode as a receiver performs it: header (either version),
+/// declared payload length, payload.
 fn decode_frame(bytes: &[u8]) -> Result<Message, WireError> {
-    let (tag, len) = parse_header(bytes)?;
-    let have = bytes.len() - HEADER_LEN;
-    if have < len as usize {
+    let header = parse_header(bytes)?;
+    let start = header.header_len();
+    let have = bytes.len() - start;
+    if have < header.payload_len as usize {
         return Err(WireError::Truncated {
-            needed: len as usize,
+            needed: header.payload_len as usize,
             have,
         });
     }
-    Message::decode(tag, &bytes[HEADER_LEN..HEADER_LEN + len as usize])
+    Message::decode(
+        header.tag,
+        &bytes[start..start + header.payload_len as usize],
+    )
 }
 
 #[test]
@@ -247,8 +256,46 @@ fn corrupted_frames_never_panic_and_header_errors_are_precise() {
         Err(WireError::UnknownMessage(0xEE))
     ));
     let mut bad = bytes;
-    bad[6..10].copy_from_slice(&(u32::MAX).to_le_bytes());
+    bad[10..14].copy_from_slice(&(u32::MAX).to_le_bytes());
     assert!(matches!(decode_frame(&bad), Err(WireError::Oversize(_))));
+}
+
+#[test]
+fn frame_ids_and_legacy_encoding_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0x1D5);
+    for case in 0..200 {
+        let original = message(&mut rng);
+
+        // The frame id a request goes out with is exactly what the parsed
+        // header reports, and it never disturbs the payload.
+        let id: u32 = rng.gen();
+        let bytes = original.encode_with_id(id);
+        let header = parse_header(&bytes).unwrap();
+        assert_eq!(header.frame_id, id, "case {case}");
+        assert_eq!(
+            decode_frame(&bytes).unwrap_or_else(|e| panic!("case {case}: {e}")),
+            original,
+            "case {case}"
+        );
+
+        // The same message encoded for a legacy (v1) peer decodes to the
+        // same value, with the implied frame id 0.
+        let legacy = original.encode_in(LEGACY_VERSION, id);
+        let header = parse_header(&legacy).unwrap();
+        assert_eq!(header.version, LEGACY_VERSION, "case {case}");
+        assert_eq!(header.frame_id, 0, "case {case}");
+        assert_eq!(
+            decode_frame(&legacy).unwrap_or_else(|e| panic!("case {case}: {e}")),
+            original,
+            "case {case}: legacy decode"
+        );
+        // Identical payload bytes under both framings.
+        assert_eq!(
+            &bytes[HEADER_LEN..],
+            &legacy[header.header_len()..],
+            "case {case}: payloads diverge"
+        );
+    }
 }
 
 #[test]
@@ -260,7 +307,7 @@ fn payload_level_corruptions_are_typed_not_panics() {
     assert!(matches!(decode_frame(&bad), Err(WireError::Invalid(_))));
 
     // Trailing garbage after a complete payload.
-    let (tag, _) = parse_header(&bytes).unwrap();
+    let tag = parse_header(&bytes).unwrap().tag;
     let mut padded = bytes[HEADER_LEN..].to_vec();
     padded.extend_from_slice(&[0, 0, 0]);
     assert!(matches!(

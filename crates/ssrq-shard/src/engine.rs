@@ -22,9 +22,22 @@ pub(crate) struct Shard {
     /// Bounding rectangle of the shard's resident locations — grown on
     /// every insert, never shrunk on removal (so it stays a sound
     /// lower-bound region without O(n) maintenance), re-tightened by
-    /// [`ShardedEngine::rebalance`].
+    /// [`ShardedEngine::rebalance`] and opportunistically after
+    /// [`RECT_REFRESH_CHURN`] adopted relocations.
     pub(crate) rect: Option<Rect>,
+    /// Relocations adopted since `rect` was last recomputed exactly —
+    /// each one can only grow the rect, so churn measures how much
+    /// rect-skip pruning power may have leaked away.
+    pub(crate) churn: usize,
 }
+
+/// After how many adopted relocations a shard's bounding rectangle is
+/// recomputed exactly ([`Rect::bounding`] over the actual residents)
+/// instead of waiting for the next full rebalance.  Growth-only rect
+/// maintenance is sound but monotonically degrades rect-skip pruning
+/// under churn; this bounds the staleness at O(n) amortized over 64
+/// updates.
+pub const RECT_REFRESH_CHURN: usize = 64;
 
 /// Fluent construction of a [`ShardedEngine`]; see
 /// [`ShardedEngine::builder`].
@@ -121,6 +134,7 @@ impl ShardedEngineBuilder {
             shards.push(Shard {
                 engine: builder.build()?,
                 rect,
+                churn: 0,
             });
         }
         Ok(ShardedEngine {
@@ -395,7 +409,21 @@ impl ShardedEngine {
             Some(rect) => rect.including(location),
             None => Rect::new(location, location),
         });
+        shard.churn += 1;
+        if shard.churn >= RECT_REFRESH_CHURN {
+            // Enough growth-only slack accumulated: recompute the exact
+            // bounding rectangle so rect-skip pruning recovers without
+            // waiting for a full rebalance.
+            shard.rect = Rect::bounding(shard.engine.dataset().located_users().map(|(_, p)| p));
+            shard.churn = 0;
+        }
         Ok(())
+    }
+
+    /// Relocations shard `s` has adopted since its bounding rectangle was
+    /// last recomputed exactly (see [`RECT_REFRESH_CHURN`]).
+    pub fn rect_churn(&self, s: usize) -> usize {
+        self.shards[s].churn
     }
 
     /// Routes a location removal to the owning shard (ownership is
@@ -448,6 +476,7 @@ impl ShardedEngine {
         }
         for shard in &mut self.shards {
             shard.rect = Rect::bounding(shard.engine.dataset().located_users().map(|(_, p)| p));
+            shard.churn = 0;
         }
         RebalanceReport {
             moved_users,
@@ -653,5 +682,71 @@ impl ShardTransport for LocalShard<'_, '_> {
 
     fn describe(&self) -> String {
         format!("local shard {}", self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssrq_core::GeoSocialDataset;
+    use ssrq_graph::GraphBuilder;
+
+    fn clustered_engine() -> ShardedEngine {
+        let graph =
+            GraphBuilder::from_edges(4, vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
+        let locations = vec![
+            Some(Point::new(0.10, 0.10)),
+            Some(Point::new(0.20, 0.15)),
+            Some(Point::new(0.30, 0.25)),
+            Some(Point::new(0.15, 0.30)),
+        ];
+        let dataset = GeoSocialDataset::new(graph, locations).unwrap();
+        ShardedEngine::builder(dataset)
+            .shards(1)
+            .partitioning(Partitioning::UserHash)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn relocation_churn_retightens_the_grown_rect() {
+        let mut engine = clustered_engine();
+
+        // One excursion far outside the cluster grows the rect (it must —
+        // the bound stays admissible without a recompute) …
+        engine.update_location(0, Point::new(0.95, 0.95)).unwrap();
+        assert_eq!(engine.rect_churn(0), 1);
+        let grown = engine.shard_rect(0).unwrap();
+        assert!(grown.max.x >= 0.95 && grown.max.y >= 0.95);
+
+        // … and the slack persists under growth-only maintenance until the
+        // churn threshold forces an exact recompute.
+        engine.update_location(0, Point::new(0.12, 0.12)).unwrap();
+        for i in 0..RECT_REFRESH_CHURN {
+            let wiggle = 0.10 + 0.001 * (i % 7) as f64;
+            engine
+                .update_location(1, Point::new(wiggle, wiggle))
+                .unwrap();
+        }
+        assert!(
+            engine.rect_churn(0) < RECT_REFRESH_CHURN,
+            "the opportunistic refresh resets the churn counter"
+        );
+        let tightened = engine.shard_rect(0).unwrap();
+        assert!(
+            tightened.max.x < 0.5 && tightened.max.y < 0.5,
+            "the refreshed rect {tightened:?} still carries relocation slack"
+        );
+    }
+
+    #[test]
+    fn rebalance_resets_the_churn_counter() {
+        let mut engine = clustered_engine();
+        engine.update_location(0, Point::new(0.9, 0.9)).unwrap();
+        assert_eq!(engine.rect_churn(0), 1);
+        engine.rebalance();
+        assert_eq!(engine.rect_churn(0), 0);
+        let rect = engine.shard_rect(0).unwrap();
+        assert!(rect.max.x >= 0.9, "the resident at (0.9, 0.9) is covered");
     }
 }

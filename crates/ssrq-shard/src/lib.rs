@@ -77,11 +77,11 @@ mod session;
 mod stats;
 mod transport;
 
-pub use engine::{RebalanceReport, ShardedEngine, ShardedEngineBuilder};
+pub use engine::{RebalanceReport, ShardedEngine, ShardedEngineBuilder, RECT_REFRESH_CHURN};
 pub use partition::{Partitioning, ShardAssignment};
 pub use session::{ShardedSession, ShardedStream};
 pub use stats::{ShardOutcome, ShardStats};
 pub use transport::{
-    merge_ranked, scatter_sequential, shard_score_lower_bound, FailurePolicy, ScatterError,
-    SequentialScatter, ShardTransport,
+    merge_ranked, scatter_sequential, scatter_speculative, shard_score_lower_bound, FailurePolicy,
+    ScatterError, ScatterMode, SequentialScatter, ShardTransport, ThresholdCell,
 };
