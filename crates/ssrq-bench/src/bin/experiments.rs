@@ -9,9 +9,10 @@
 //!
 //! Experiments: `table2 table3 fig7a fig7b fig8 fig9 fig10 fig11 fig12
 //! fig13 fig14a fig14b ablation throughput latency sharding memory scale
-//! rpc all` (`scale` is the 10k→1M sweep persisted to `BENCH_scale.json`,
-//! `rpc` spawns `shard-server` processes and persists `BENCH_rpc.json`;
-//! neither is part of `all`).
+//! rpc obs all` (`scale` is the 10k→1M sweep persisted to
+//! `BENCH_scale.json`, `rpc` spawns `shard-server` processes and persists
+//! `BENCH_rpc.json`, `obs` drives traced queries over such processes and
+//! persists `BENCH_obs.json`; none of the three is part of `all`).
 //!
 //! Flags: `--quick` (small datasets), `--full` (paper-scale datasets),
 //! `--scale <factor>`, `--queries <n>`, `--with-ch` (include the expensive
@@ -146,6 +147,7 @@ fn main() {
         "memory" => memory(&options),
         "scale" => scale_sweep(&options),
         "rpc" => rpc(&options),
+        "obs" => obs(&options),
         "all" => {
             table2(&options);
             table3();
@@ -1190,6 +1192,125 @@ fn rpc(options: &Options) {
             .map(<[_]>::len)
             .unwrap_or(0)
     );
+}
+
+// ---------------------------------------------------------------------------
+// OBS — end-to-end tracing, metrics and introspection over real processes
+// ---------------------------------------------------------------------------
+
+/// Observability smoke over a real multi-process deployment: spawns
+/// `shard-server` processes (with structured logging and slow-query logs
+/// armed), drives traced queries through the socket coordinator, then
+/// snapshots every server's metrics registry over the wire and validates
+/// the whole pipeline — trace ids bit-identical in every shard's span
+/// log, query counters covering the workload, consistent histograms, a
+/// captured slow query, and the calibrated instrumentation overhead under
+/// the 2% bar.  The artifact is written to `--out` (default
+/// `BENCH_obs.json`), re-read, re-parsed and validated.
+fn obs(options: &Options) {
+    use ssrq_bench::{
+        launch_cluster, measure_obs, sibling_shard_server, validate_obs_report, DeploymentConfig,
+    };
+    use ssrq_net::RemoteShardedEngine;
+    use ssrq_shard::Partitioning;
+    use ssrq_spatial::Point;
+    use std::time::Duration;
+
+    let Some(binary) = sibling_shard_server() else {
+        eprintln!(
+            "shard-server binary not found next to this executable — build it first:\n\
+             \x20   cargo build --release -p ssrq-bench --bin shard-server"
+        );
+        std::process::exit(1);
+    };
+    let users = options.scale.gowalla_users;
+    // The servers' span logs retain 256 traces; stay under that so no
+    // trace id this run checks for was evicted.
+    let queries = options.scale.queries.clamp(1, 256);
+    let shards = 3usize;
+    let out = options
+        .out
+        .clone()
+        .unwrap_or_else(|| "BENCH_obs.json".into());
+    let dir = std::env::temp_dir().join(format!("ssrq-obs-{}", std::process::id()));
+    println!(
+        "\n## OBS — tracing, metrics and introspection over {shards} shard processes \
+         (gowalla-like, {users} users, {queries} traced queries)"
+    );
+
+    let mut config = DeploymentConfig::new(
+        users,
+        4242,
+        shards,
+        Partitioning::SpatialGrid { cells_per_axis: 16 },
+    );
+    // Exercise the logging and slow-query satellites on the server side
+    // too (warn keeps stdout readiness parsing and stderr noise sane).
+    config.extra_args = vec![
+        "--log".into(),
+        "warn".into(),
+        "--slow-query-ms".into(),
+        "1000".into(),
+    ];
+    let servers = launch_cluster(&binary, &dir, &config).expect("shard-server processes launch");
+    let endpoints = servers.iter().map(|s| s.endpoint.clone()).collect();
+    let mut remote = RemoteShardedEngine::builder(endpoints)
+        .slow_query_threshold(Duration::ZERO)
+        .health_check(Duration::from_millis(100), 3)
+        .connect()
+        .expect("coordinator connects");
+
+    // A pinned origin and a large k keep the f_k threshold from skipping
+    // any shard, so every server must see every trace id.
+    let workload = QueryWorkload::generate(&config.dataset(), queries, 0x0B5);
+    let batch: Vec<QueryRequest> = workload
+        .users
+        .iter()
+        .map(|&u| {
+            QueryRequest::for_user(u)
+                .k(64)
+                .alpha(DEFAULT_ALPHA)
+                .origin(Point::new(0.5, 0.5))
+                .algorithm(Algorithm::Ais)
+                .build()
+                .expect("valid request")
+        })
+        .collect();
+    let m = measure_obs(&remote, &batch).expect("observability measurement succeeds");
+    remote.shutdown().expect("servers acknowledge shutdown");
+    drop(servers);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    println!(
+        "trace coverage: {}/{} ids bit-identical in all {} span logs",
+        m.trace_coverage, m.queries, m.shards
+    );
+    println!(
+        "query counts: coordinator {}, shards {:?}; histograms consistent: {}",
+        m.coordinator_queries, m.server_queries, m.histograms_consistent
+    );
+    println!(
+        "mean traced query: {:.0}us; slow-query log captured {} offenders",
+        m.mean_query_latency.as_secs_f64() * 1e6,
+        m.slow_queries
+    );
+    println!(
+        "instrumentation: {:.1}ns/op x {} ops/query = {:.4}% of a query (bar: 2%)",
+        m.metrics_ns_per_op,
+        m.instrument_ops_per_query,
+        m.overhead_fraction * 100.0
+    );
+    println!("sample coordinator span tree:\n{}", m.sample_trace);
+
+    let artifact = m.to_json();
+    std::fs::write(&out, artifact.render()).expect("obs artifact is writable");
+    let persisted = std::fs::read_to_string(&out).expect("obs artifact re-reads");
+    let parsed = Json::parse(&persisted).expect("obs artifact re-parses as JSON");
+    if let Err(violation) = validate_obs_report(&parsed) {
+        eprintln!("{out} failed validation: {violation}");
+        std::process::exit(1);
+    }
+    println!("wrote {out} — parsed back and observability invariants verified");
 }
 
 fn fmt_bytes(bytes: usize) -> String {

@@ -15,13 +15,21 @@
 //!
 //! The server prints exactly one `listening on <endpoint>` line to stdout
 //! once the socket is bound — with `tcp:host:0` the line carries the
-//! kernel-assigned port, so a parent process can parse it.
+//! kernel-assigned port, so a parent process can parse it.  `--log`
+//! enables structured stderr logging (the default stays silent, so the
+//! readiness line is all a parent ever has to parse), `--slow-query-ms`
+//! arms the slow-query log, and `shard-server --introspect <endpoint>`
+//! snapshots a *running* server's metrics registry and span log over the
+//! wire and prints them (Prometheus text, then span trees) instead of
+//! serving.
 
 use ssrq_core::{ChBuild, GeoSocialEngine};
 use ssrq_data::{DatasetConfig, QueryWorkload};
-use ssrq_net::{Endpoint, ShardServer};
+use ssrq_net::{Endpoint, Message, ShardClient, ShardServer};
+use ssrq_obs::{render_prometheus, Level, Logger};
 use ssrq_shard::{Partitioning, ShardAssignment};
 use std::io::Write;
+use std::time::Duration;
 
 struct Args {
     listen: Endpoint,
@@ -37,15 +45,46 @@ struct Args {
     cache: Option<(usize, u64, usize)>,
     /// Query worker threads (None = the server's default).
     workers: Option<usize>,
+    /// Structured stderr logging threshold (None = silent).
+    log: Option<Level>,
+    /// Slow-query log threshold (None = disabled).
+    slow_query: Option<Duration>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: shard-server --listen <unix:PATH|tcp:ADDR> --shard <I> --shards <N>\n\
          \x20                 [--users <N>] [--seed <S>] [--partitioning <hash|spatial:CELLS>]\n\
-         \x20                 [--with-ch] [--cache-workload <QUERIES,SEED,T>] [--workers <N>]"
+         \x20                 [--with-ch] [--cache-workload <QUERIES,SEED,T>] [--workers <N>]\n\
+         \x20                 [--log <error|warn|info|debug>] [--slow-query-ms <MS>]\n\
+         \x20      shard-server --introspect <unix:PATH|tcp:ADDR>"
     );
     std::process::exit(2);
+}
+
+/// Snapshots a running server's observability state over the wire and
+/// prints it: the Prometheus exposition of its metrics registry, then the
+/// retained span trees (slow-query offenders included).
+fn introspect(endpoint: &Endpoint) -> i32 {
+    let report = ShardClient::connect(endpoint, Duration::from_secs(10))
+        .and_then(|mut client| client.call(&Message::MetricsRequest).map(|(r, _)| r));
+    match report {
+        Ok(Message::MetricsReport(report)) => {
+            print!("{}", render_prometheus(&report.metrics));
+            for spans in &report.spans {
+                print!("{}", spans.render());
+            }
+            0
+        }
+        Ok(other) => {
+            eprintln!("{endpoint} answered the metrics request with {other:?}");
+            1
+        }
+        Err(e) => {
+            eprintln!("introspecting {endpoint} failed: {e}");
+            1
+        }
+    }
 }
 
 fn parse_partitioning(text: &str) -> Option<Partitioning> {
@@ -68,8 +107,17 @@ fn parse_args() -> Args {
     let mut with_ch = false;
     let mut cache = None;
     let mut workers = None;
+    let mut log = None;
+    let mut slow_query = None;
 
     let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("--introspect") {
+        let Some(Ok(endpoint)) = raw.get(1).map(|s| Endpoint::parse(s)) else {
+            eprintln!("--introspect wants a server endpoint");
+            usage()
+        };
+        std::process::exit(introspect(&endpoint));
+    }
     let mut iter = raw.iter();
     while let Some(arg) = iter.next() {
         let mut value = |name: &str| {
@@ -98,6 +146,16 @@ fn parse_args() -> Args {
             }
             "--with-ch" => with_ch = true,
             "--workers" => workers = Some(value("--workers").parse().unwrap_or_else(|_| usage())),
+            "--log" => {
+                log = Some(value("--log").parse::<Level>().unwrap_or_else(|_| {
+                    eprintln!("--log wants error, warn, info or debug");
+                    usage()
+                }))
+            }
+            "--slow-query-ms" => {
+                let ms: u64 = value("--slow-query-ms").parse().unwrap_or_else(|_| usage());
+                slow_query = Some(Duration::from_millis(ms));
+            }
             "--cache-workload" => {
                 let spec = value("--cache-workload");
                 let mut parts = spec.split(',');
@@ -139,6 +197,8 @@ fn parse_args() -> Args {
         with_ch,
         cache,
         workers,
+        log,
+        slow_query,
     }
 }
 
@@ -172,6 +232,12 @@ fn main() {
         });
     if let Some(workers) = args.workers {
         server = server.with_workers(workers);
+    }
+    if let Some(level) = args.log {
+        server = server.with_logger(Logger::with_level(level));
+    }
+    if let Some(threshold) = args.slow_query {
+        server = server.with_slow_query_threshold(threshold);
     }
     // The bound endpoint, not the requested one: `tcp:host:0` resolves to
     // the kernel-assigned port here.

@@ -12,6 +12,7 @@
 pub mod json;
 pub mod measure;
 pub mod memory;
+pub mod obs;
 pub mod report;
 pub mod rpc;
 pub mod scale;
@@ -25,6 +26,7 @@ pub use measure::{
     ThroughputMeasurement,
 };
 pub use memory::{measure_memory, single_engine_breakdown, MemoryMeasurement};
+pub use obs::{calibrate_metric_op, measure_obs, validate_obs_report, ObsMeasurement};
 pub use report::FigureReport;
 pub use rpc::{
     launch_cluster, measure_rpc, sibling_shard_server, validate_rpc_report, DeploymentConfig,

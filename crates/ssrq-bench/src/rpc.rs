@@ -38,6 +38,9 @@ pub struct DeploymentConfig {
     /// `(queries, seed, t)` of a social-neighbour cache warmed for the
     /// deterministic workload — what AIS-Cache needs.
     pub cache_workload: Option<(usize, u64, usize)>,
+    /// Extra `shard-server` flags appended verbatim (e.g. `--log info`
+    /// or `--slow-query-ms 0`).
+    pub extra_args: Vec<String>,
 }
 
 impl DeploymentConfig {
@@ -50,6 +53,7 @@ impl DeploymentConfig {
             partitioning,
             with_ch: false,
             cache_workload: None,
+            extra_args: Vec::new(),
         }
     }
 
@@ -149,6 +153,7 @@ impl ShardProcess {
                 .arg("--cache-workload")
                 .arg(format!("{queries},{seed},{t}"));
         }
+        command.args(&config.extra_args);
         let mut child = command.spawn()?;
         let stdout = child.stdout.take().expect("stdout was piped");
         let mut line = String::new();

@@ -798,7 +798,9 @@ impl GeoSocialEngine {
         if requires.social_cache {
             self.require_social_cache()?;
         }
-        strategy.execute(self, request, ctx)
+        let result = strategy.execute(self, request, ctx)?;
+        crate::obs::record_query_metrics(request.algorithm().key(), &result.stats);
+        Ok(result)
     }
 
     /// Starts a pull-lazy execution of one request, returning a resumable

@@ -116,6 +116,7 @@ mod dataset;
 mod driver;
 mod engine;
 mod error;
+pub mod obs;
 mod query;
 mod ranking;
 mod request;

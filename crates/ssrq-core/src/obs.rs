@@ -1,0 +1,67 @@
+//! Engine-level observability hooks.
+//!
+//! Every eagerly-driven query (the [`GeoSocialEngine::run_with`]
+//! chokepoint) records its latency and work counters into the
+//! process-wide [`ssrq_obs::Registry`], labelled by algorithm.  Streaming
+//! callers that bypass `run_with` (e.g. a shard server draining
+//! `stream_with`) call [`record_query_metrics`] themselves once the
+//! stream completes.
+//!
+//! [`GeoSocialEngine::run_with`]: crate::GeoSocialEngine::run_with
+
+use crate::QueryStats;
+use ssrq_obs::Registry;
+
+/// Records one completed query into `registry` under `algorithm`:
+///
+/// | metric | type | what |
+/// |---|---|---|
+/// | `ssrq_engine_queries_total{algorithm}` | counter | completed queries |
+/// | `ssrq_engine_query_ns{algorithm}` | histogram | end-to-end latency (`stats.runtime`) |
+/// | `ssrq_engine_steps{algorithm}` | histogram | heap pops per query (the paper's `\|V_pop\|`) |
+/// | `ssrq_engine_relaxed_edges{algorithm}` | histogram | edge relaxations per query |
+pub fn record_query_metrics_in(registry: &Registry, algorithm: &str, stats: &QueryStats) {
+    let labels = &[("algorithm", algorithm)];
+    registry.counter("ssrq_engine_queries_total", labels).inc();
+    registry
+        .histogram("ssrq_engine_query_ns", labels)
+        .observe_duration(stats.runtime);
+    registry
+        .histogram("ssrq_engine_steps", labels)
+        .observe(stats.vertex_pops as u64);
+    registry
+        .histogram("ssrq_engine_relaxed_edges", labels)
+        .observe(stats.relaxed_edges as u64);
+}
+
+/// [`record_query_metrics_in`] against the process-wide
+/// [`Registry::global`].
+pub fn record_query_metrics(algorithm: &str, stats: &QueryStats) {
+    record_query_metrics_in(Registry::global(), algorithm, stats);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn one_query_lands_in_every_engine_series() {
+        let registry = Registry::new();
+        let stats = QueryStats {
+            vertex_pops: 12,
+            relaxed_edges: 34,
+            runtime: Duration::from_micros(5),
+            ..QueryStats::default()
+        };
+        record_query_metrics_in(&registry, "ais", &stats);
+        record_query_metrics_in(&registry, "ais", &stats);
+        record_query_metrics_in(&registry, "sfa", &stats);
+        let text = registry.render();
+        assert!(text.contains("ssrq_engine_queries_total{algorithm=\"ais\"} 2"));
+        assert!(text.contains("ssrq_engine_queries_total{algorithm=\"sfa\"} 1"));
+        assert!(text.contains("ssrq_engine_query_ns_count{algorithm=\"ais\"} 2"));
+        assert!(text.contains("ssrq_engine_steps_sum{algorithm=\"ais\"} 24"));
+        assert!(text.contains("ssrq_engine_relaxed_edges_sum{algorithm=\"sfa\"} 34"));
+    }
+}

@@ -24,18 +24,24 @@
 //! (`Fail`, the default) or degrades it to a flagged partial answer
 //! (`Degrade`).
 
-use crate::client::{ConnectionPool, Endpoint, WireTraffic};
+use crate::client::{ConnectionPool, Endpoint, HealthMonitor, WireTraffic};
 use crate::error::NetError;
 use crate::proto::{Message, ShardInfo};
 use ssrq_core::{CoreError, QueryRequest, QueryResult, QueryStats, UserId};
+use ssrq_obs::{
+    next_trace_id, ObsReport, QuerySpans, Registry, SlowQuery, SlowQueryLog, SpanId, Trace,
+};
 use ssrq_shard::{
     merge_ranked, scatter_sequential, scatter_speculative, shard_score_lower_bound, FailurePolicy,
     ScatterMode, ShardAssignment, ShardOutcome, ShardStats, ShardTransport, ThresholdCell,
 };
 use ssrq_spatial::{Point, Rect};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
+
+/// How many slow-query offenders the coordinator retains.
+const SLOW_LOG_CAPACITY: usize = 64;
 
 /// How often a speculative per-shard waiter polls the shared threshold
 /// cell while its answer is in flight.
@@ -51,7 +57,7 @@ const NO_DEADLINE_WAIT: Duration = Duration::from_secs(3600);
 /// info was last refreshed.
 struct RemoteShard {
     endpoint: Endpoint,
-    pool: ConnectionPool,
+    pool: Arc<ConnectionPool>,
     info: RwLock<ShardInfo>,
     /// Relocations adopted by this shard since its cached rect was last
     /// tightened — each one can only *grow* the rect, so churn measures
@@ -113,6 +119,11 @@ struct QueryTransport<'a> {
     /// The *caller's* score cutoff of the query being scattered — what the
     /// outbound request is rebuilt to when threshold forwarding is off.
     caller_cap: Option<f64>,
+    /// This query's trace: the id rides the outbound `Query` frame, and
+    /// each shard round trip records a span under `root`.  A trace id of
+    /// `0` keeps the wire bytes identical to the untraced encoding.
+    trace: &'a Trace,
+    root: SpanId,
 }
 
 impl ShardTransport for QueryTransport<'_> {
@@ -128,7 +139,18 @@ impl ShardTransport for QueryTransport<'_> {
         } else {
             with_cap(request, self.caller_cap)
         };
-        let (response, traffic) = self.shard.call(&Message::Query(outbound), self.deadline)?;
+        let span = self
+            .trace
+            .open(&format!("shard {}", self.shard.endpoint), Some(self.root));
+        let exchange = self.shard.call(
+            &Message::Query {
+                request: outbound,
+                trace_id: self.trace.trace_id(),
+            },
+            self.deadline,
+        );
+        self.trace.close(span);
+        let (response, traffic) = exchange?;
         match response {
             Message::Answer(mut result) => {
                 result.stats.bytes_sent += traffic.bytes_sent;
@@ -154,7 +176,30 @@ impl ShardTransport for QueryTransport<'_> {
         threshold: &ThresholdCell,
     ) -> Result<QueryResult, NetError> {
         let started = Instant::now();
-        let mut pending = self.shard.pool.start(&Message::Query(request.clone()))?;
+        let span = self
+            .trace
+            .open(&format!("shard {}", self.shard.endpoint), Some(self.root));
+        let result = self.speculative_call(request, threshold, started);
+        self.trace.close(span);
+        result
+    }
+
+    fn describe(&self) -> String {
+        self.shard.endpoint.to_string()
+    }
+}
+
+impl QueryTransport<'_> {
+    fn speculative_call(
+        &mut self,
+        request: &QueryRequest,
+        threshold: &ThresholdCell,
+        started: Instant,
+    ) -> Result<QueryResult, NetError> {
+        let mut pending = self.shard.pool.start(&Message::Query {
+            request: request.clone(),
+            trace_id: self.trace.trace_id(),
+        })?;
         let mut bytes_sent = pending.bytes_sent;
         let mut tighten_frames = 0usize;
         let mut last_sent = self.caller_cap.unwrap_or(f64::INFINITY);
@@ -205,10 +250,6 @@ impl ShardTransport for QueryTransport<'_> {
             }
         }
     }
-
-    fn describe(&self) -> String {
-        self.shard.endpoint.to_string()
-    }
 }
 
 /// Configures and connects a [`RemoteShardedEngine`];
@@ -224,9 +265,29 @@ pub struct RemoteEngineBuilder {
     pool_size: usize,
     refresh_after_relocations: usize,
     assignment: Option<ShardAssignment>,
+    slow_query_threshold: Option<Duration>,
+    health_check: Option<(Duration, u32)>,
 }
 
 impl RemoteEngineBuilder {
+    /// Captures queries at or above `threshold` (request shape + full
+    /// span tree) in the coordinator's bounded slow-query log
+    /// ([`RemoteShardedEngine::slow_queries`]).  Off by default.
+    pub fn slow_query_threshold(mut self, threshold: Duration) -> Self {
+        self.slow_query_threshold = Some(threshold);
+        self
+    }
+
+    /// Starts a background health monitor: every `interval`, each shard
+    /// server is sent a `Ping` and its round-trip latency is recorded as
+    /// the gauge `ssrq_ping_rtt_ns{endpoint}`; a server failing
+    /// `fail_threshold` consecutive pings is flagged unhealthy
+    /// (`ssrq_ping_unhealthy{endpoint}` = 1), all surfaced in `Metrics`
+    /// output.  Off by default.
+    pub fn health_check(mut self, interval: Duration, fail_threshold: u32) -> Self {
+        self.health_check = Some((interval, fail_threshold.max(1)));
+        self
+    }
     /// Sets what a mid-query shard failure does (default:
     /// [`FailurePolicy::Fail`]).
     pub fn failure_policy(mut self, policy: FailurePolicy) -> Self {
@@ -323,7 +384,11 @@ impl RemoteEngineBuilder {
             // (a dead shard must fail fast mid-query); the *handshake*
             // retries here until `connect_timeout`, because servers may
             // still be binding their sockets.
-            let pool = ConnectionPool::new(endpoint.clone(), self.pool_size, Duration::ZERO);
+            let pool = Arc::new(ConnectionPool::new(
+                endpoint.clone(),
+                self.pool_size,
+                Duration::ZERO,
+            ));
             let handshake_deadline = Instant::now() + self.connect_timeout;
             let info = loop {
                 match pool.call(&Message::Hello, self.deadline) {
@@ -375,6 +440,17 @@ impl RemoteEngineBuilder {
                 churn: AtomicUsize::new(0),
             });
         }
+        let health = self.health_check.map(|(interval, fail_threshold)| {
+            HealthMonitor::start(
+                shards
+                    .iter()
+                    .map(|s| (s.endpoint.to_string(), Arc::clone(&s.pool)))
+                    .collect(),
+                interval,
+                fail_threshold,
+                self.deadline,
+            )
+        });
         Ok(RemoteShardedEngine {
             shards,
             policy: self.policy,
@@ -384,6 +460,10 @@ impl RemoteEngineBuilder {
             refresh_after_relocations: self.refresh_after_relocations,
             user_count: user_count.expect("at least one shard"),
             assignment: self.assignment,
+            slow_log: self
+                .slow_query_threshold
+                .map(|threshold| SlowQueryLog::new(threshold, SLOW_LOG_CAPACITY)),
+            health,
         })
     }
 }
@@ -407,6 +487,8 @@ pub struct RemoteShardedEngine {
     refresh_after_relocations: usize,
     user_count: u64,
     assignment: Option<ShardAssignment>,
+    slow_log: Option<SlowQueryLog>,
+    health: Option<HealthMonitor>,
 }
 
 impl std::fmt::Debug for RemoteShardedEngine {
@@ -441,6 +523,8 @@ impl RemoteShardedEngine {
             pool_size: 2,
             refresh_after_relocations: 256,
             assignment: None,
+            slow_query_threshold: None,
+            health_check: None,
         }
     }
 
@@ -528,7 +612,105 @@ impl RemoteShardedEngine {
         &self,
         request: &QueryRequest,
     ) -> Result<(QueryResult, ShardStats), NetError> {
+        // Trace id 0 = untraced: outbound frames stay byte-identical to
+        // the pre-tracing encoding, and the span tree is recorded only
+        // for the slow-query log.
+        let trace = Trace::new(0);
+        let out = self.query_with_trace(request, &trace);
+        self.offer_slow(request, &trace.finish(), out.is_ok());
+        out
+    }
+
+    /// Runs one query under a freshly minted trace id: the id rides every
+    /// outbound `Query` frame (so each shard server's span log and
+    /// metrics carry it), and the coordinator's own span tree — origin
+    /// resolution, per-shard round trips, merge — is returned alongside
+    /// the result.
+    ///
+    /// # Errors
+    ///
+    /// As [`RemoteShardedEngine::query_detailed`].
+    pub fn query_traced(
+        &self,
+        request: &QueryRequest,
+    ) -> Result<(QueryResult, ShardStats, QuerySpans), NetError> {
+        let trace = Trace::new(next_trace_id());
+        let out = self.query_with_trace(request, &trace);
+        let spans = trace.finish();
+        self.offer_slow(request, &spans, out.is_ok());
+        out.map(|(result, stats)| (result, stats, spans))
+    }
+
+    fn offer_slow(&self, request: &QueryRequest, spans: &QuerySpans, completed: bool) {
+        if let (Some(slow_log), true) = (&self.slow_log, completed) {
+            slow_log.offer(spans.total_ns(), spans, || {
+                format!(
+                    "algorithm={} user={} k={} shards={}",
+                    request.algorithm().key(),
+                    request.user(),
+                    request.k(),
+                    self.shards.len(),
+                )
+            });
+        }
+    }
+
+    /// The coordinator's retained slow-query offenders, oldest first
+    /// (empty unless [`RemoteEngineBuilder::slow_query_threshold`] was
+    /// set).
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.slow_log
+            .as_ref()
+            .map(|log| log.recent())
+            .unwrap_or_default()
+    }
+
+    /// Whether a background health monitor is pinging the shards (set up
+    /// via [`RemoteEngineBuilder::health_check`]). The monitor publishes
+    /// `ssrq_ping_*` gauges into the global registry and stops when this
+    /// engine is dropped.
+    pub fn health_monitoring(&self) -> bool {
+        self.health.is_some()
+    }
+
+    /// This coordinator process's observability snapshot: the global
+    /// metric registry (engine, scatter, health-check series) plus the
+    /// span trees of retained slow queries.
+    pub fn coordinator_report(&self) -> ObsReport {
+        ObsReport {
+            metrics: Registry::global().snapshot(),
+            spans: self.slow_queries().into_iter().map(|q| q.spans).collect(),
+        }
+    }
+
+    /// Fetches shard `shard`'s live observability snapshot over the wire
+    /// (`MetricsRequest` → `MetricsReport`): its metric registry and its
+    /// recent query span trees, trace ids intact.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or [`NetError::Protocol`] when the server
+    /// answers with anything but a `MetricsReport` (e.g. a pre-metrics
+    /// server).
+    pub fn remote_metrics(&self, shard: usize) -> Result<ObsReport, NetError> {
+        let shard = &self.shards[shard];
+        let (response, _) = shard.call(&Message::MetricsRequest, self.deadline)?;
+        match response {
+            Message::MetricsReport(report) => Ok(report),
+            other => Err(shard.protocol(format!(
+                "expected MetricsReport to MetricsRequest, got tag 0x{:02x}",
+                other.tag()
+            ))),
+        }
+    }
+
+    fn query_with_trace(
+        &self,
+        request: &QueryRequest,
+        trace: &Trace,
+    ) -> Result<(QueryResult, ShardStats), NetError> {
         let started = Instant::now();
+        let root = trace.open("coordinator_query", None);
         request.validate().map_err(NetError::Core)?;
         if u64::from(request.user()) >= self.user_count {
             return Err(NetError::Core(CoreError::UnknownUser(request.user())));
@@ -537,10 +719,16 @@ impl RemoteShardedEngine {
         let mut locate_failures: Vec<(usize, String)> = Vec::new();
         let base = match request.origin() {
             Some(_) => request.clone(),
-            None => match self.locate_remote(request.user(), &mut lookups, &mut locate_failures)? {
-                Some(origin) => request.clone().with_origin(origin),
-                None => request.clone(),
-            },
+            None => {
+                let locate = trace.open("resolve_origin", Some(root));
+                let resolved =
+                    self.locate_remote(request.user(), &mut lookups, &mut locate_failures);
+                trace.close(locate);
+                match resolved? {
+                    Some(origin) => request.clone().with_origin(origin),
+                    None => request.clone(),
+                }
+            }
         };
         let caller_cap = request.max_score();
         let mut transports: Vec<QueryTransport<'_>> = self
@@ -555,15 +743,25 @@ impl RemoteShardedEngine {
                     deadline: self.deadline,
                     forward_threshold: self.forward_threshold,
                     caller_cap,
+                    trace,
+                    root,
                 }
             })
             .collect();
+        let scatter_span = trace.open("scatter", Some(root));
+        let scatter_started = Instant::now();
         let scatter = match self.scatter {
             ScatterMode::Sequential => scatter_sequential(&mut transports, &base, self.policy),
             ScatterMode::Speculative => scatter_speculative(&mut transports, &base, self.policy),
-        }
-        .map_err(|failure| failure.error)?;
+        };
+        let scatter_elapsed = scatter_started.elapsed();
+        trace.close(scatter_span);
+        let scatter = scatter.map_err(|failure| failure.error)?;
+        let merge_span = trace.open("merge", Some(root));
+        let merge_started = Instant::now();
         let ranked = merge_ranked(scatter.entries, base.k());
+        let merge_elapsed = merge_started.elapsed();
+        trace.close(merge_span);
         let mut outcomes = scatter.outcomes;
         let mut degraded = scatter.degraded;
         if base.origin().is_none() && !locate_failures.is_empty() {
@@ -587,6 +785,17 @@ impl RemoteShardedEngine {
             degraded,
             stats: stats.merged,
         };
+        trace.close(root);
+        // Same series names the in-process scatter records, plus the
+        // coordinator's own query tallies.
+        ssrq_shard::obs::record_scatter(&stats, scatter_elapsed, merge_elapsed);
+        let registry = Registry::global();
+        registry
+            .counter("ssrq_coordinator_queries_total", &[])
+            .inc();
+        registry
+            .histogram("ssrq_coordinator_query_ns", &[])
+            .observe_duration(started.elapsed());
         Ok((result, stats))
     }
 

@@ -43,7 +43,9 @@ pub mod proto;
 mod server;
 pub mod wire;
 
-pub use client::{ConnectionPool, Endpoint, MuxConnection, PendingCall, ShardClient, WireTraffic};
+pub use client::{
+    ConnectionPool, Endpoint, HealthMonitor, MuxConnection, PendingCall, ShardClient, WireTraffic,
+};
 pub use coordinator::{RemoteEngineBuilder, RemoteShardedEngine};
 pub use error::NetError;
 pub use proto::{FailureKind, Message, ShardInfo};

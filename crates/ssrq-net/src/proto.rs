@@ -12,6 +12,7 @@ use crate::wire::{frame_with_id, legacy_frame, Reader, WireError, Writer, LEGACY
 use ssrq_core::{
     Algorithm, AlgorithmSpec, QueryRequest, QueryResult, QueryStats, RankedUser, UserId,
 };
+use ssrq_obs::{HistogramSnapshot, MetricSample, MetricValue, ObsReport, QuerySpans, SpanRecord};
 use ssrq_shard::{ShardOutcome, ShardStats};
 use ssrq_spatial::{Point, Rect};
 use std::time::Duration;
@@ -109,7 +110,16 @@ pub enum Message {
     Info(ShardInfo),
     /// Run a bounded top-k over this shard's residents; answered with
     /// [`Message::Answer`] or [`Message::Fail`].
-    Query(QueryRequest),
+    Query {
+        /// The query to run.
+        request: QueryRequest,
+        /// End-to-end trace id correlating this query's spans across the
+        /// coordinator and every shard it touches.  `0` means *untraced*:
+        /// it is never emitted on the wire, so a trace-id-0 frame is
+        /// byte-identical to the pre-tracing encoding, and frames from
+        /// legacy peers (which never carry the field) decode to `0`.
+        trace_id: u64,
+    },
     /// A shard's exact top-k over its residents.
     Answer(QueryResult),
     /// Ask for a user's stored location (origin resolution); answered
@@ -173,6 +183,12 @@ pub enum Message {
         /// cannot enter the caller's global top-k.
         max_score: f64,
     },
+    /// Ask the server for its live observability snapshot (metrics
+    /// registry + recent span trees); answered with
+    /// [`Message::MetricsReport`].
+    MetricsRequest,
+    /// Response to [`Message::MetricsRequest`].
+    MetricsReport(ObsReport),
 }
 
 impl Message {
@@ -181,7 +197,7 @@ impl Message {
         match self {
             Message::Hello => 0x01,
             Message::Info(_) => 0x02,
-            Message::Query(_) => 0x03,
+            Message::Query { .. } => 0x03,
             Message::Answer(_) => 0x04,
             Message::Locate(_) => 0x05,
             Message::Located(_) => 0x06,
@@ -197,6 +213,17 @@ impl Message {
             Message::Shutdown => 0x10,
             Message::Ok => 0x11,
             Message::Tighten { .. } => 0x12,
+            Message::MetricsRequest => 0x13,
+            Message::MetricsReport(_) => 0x14,
+        }
+    }
+
+    /// Wraps a request as a [`Message::Query`] with no trace id — the
+    /// byte-compatible encoding pre-tracing peers produced.
+    pub fn query(request: QueryRequest) -> Message {
+        Message::Query {
+            request,
+            trace_id: 0,
         }
     }
 
@@ -227,9 +254,19 @@ impl Message {
             | Message::Ping
             | Message::Pong
             | Message::Shutdown
-            | Message::Ok => {}
+            | Message::Ok
+            | Message::MetricsRequest => {}
             Message::Info(info) => encode_shard_info(&mut w, info),
-            Message::Query(request) => encode_request(&mut w, request),
+            Message::Query { request, trace_id } => {
+                encode_request(&mut w, request);
+                // Canonical *and* backward-compatible: the trace id is an
+                // optional trailing field, and 0 (untraced) is expressed by
+                // omission — so untraced frames are byte-identical to the
+                // pre-tracing encoding.
+                if *trace_id != 0 {
+                    w.u64(*trace_id);
+                }
+            }
             Message::Answer(result) => encode_result(&mut w, result),
             Message::Locate(user) => w.u32(*user),
             Message::Located(location) => w.opt(*location, encode_point),
@@ -259,6 +296,7 @@ impl Message {
                 w.u32(*target);
                 w.f64(*max_score);
             }
+            Message::MetricsReport(report) => encode_obs_report(&mut w, report),
         }
         let payload = w.finish();
         if version == LEGACY_VERSION {
@@ -280,7 +318,13 @@ impl Message {
         let message = match tag {
             0x01 => Message::Hello,
             0x02 => Message::Info(decode_shard_info(&mut r)?),
-            0x03 => Message::Query(decode_request(&mut r)?),
+            0x03 => {
+                let request = decode_request(&mut r)?;
+                // Optional trailing trace id: absent on legacy/untraced
+                // frames, meaning 0.
+                let trace_id = if r.remaining() > 0 { r.u64()? } else { 0 };
+                Message::Query { request, trace_id }
+            }
             0x04 => Message::Answer(decode_result(&mut r)?),
             0x05 => Message::Locate(r.u32()?),
             0x06 => Message::Located(r.opt(decode_point)?),
@@ -320,6 +364,8 @@ impl Message {
                 target: r.u32()?,
                 max_score: r.f64()?,
             },
+            0x13 => Message::MetricsRequest,
+            0x14 => Message::MetricsReport(decode_obs_report(&mut r)?),
             t => return Err(WireError::UnknownMessage(t)),
         };
         r.finish()?;
@@ -606,6 +652,127 @@ pub fn decode_shard_stats(r: &mut Reader<'_>) -> Result<ShardStats, WireError> {
     })
 }
 
+fn encode_metric_sample(w: &mut Writer, sample: &MetricSample) {
+    w.str(&sample.name);
+    w.u32(sample.labels.len() as u32);
+    for (key, value) in &sample.labels {
+        w.str(key);
+        w.str(value);
+    }
+    match &sample.value {
+        MetricValue::Counter(v) => {
+            w.u8(0);
+            w.u64(*v);
+        }
+        MetricValue::Gauge(v) => {
+            w.u8(1);
+            w.f64(*v);
+        }
+        MetricValue::Histogram(snapshot) => {
+            w.u8(2);
+            w.u32(snapshot.buckets.len() as u32);
+            for &(index, count) in &snapshot.buckets {
+                w.u8(index);
+                w.u64(count);
+            }
+            w.u64(snapshot.sum);
+            w.u64(snapshot.count);
+        }
+    }
+}
+
+fn decode_metric_sample(r: &mut Reader<'_>) -> Result<MetricSample, WireError> {
+    let name = r.str()?;
+    let n = r.u32()? as usize;
+    let mut labels = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let key = r.str()?;
+        labels.push((key, r.str()?));
+    }
+    let value = match r.u8()? {
+        0 => MetricValue::Counter(r.u64()?),
+        1 => MetricValue::Gauge(r.f64()?),
+        2 => {
+            let n = r.u32()? as usize;
+            let mut buckets = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                let index = r.u8()?;
+                buckets.push((index, r.u64()?));
+            }
+            MetricValue::Histogram(HistogramSnapshot {
+                buckets,
+                sum: r.u64()?,
+                count: r.u64()?,
+            })
+        }
+        t => return Err(WireError::Invalid(format!("metric value tag {t}"))),
+    };
+    Ok(MetricSample {
+        name,
+        labels,
+        value,
+    })
+}
+
+fn encode_query_spans(w: &mut Writer, spans: &QuerySpans) {
+    w.u64(spans.trace_id);
+    w.u32(spans.spans.len() as u32);
+    for span in &spans.spans {
+        w.str(&span.name);
+        w.opt(span.parent, |w, p| w.u32(p));
+        w.u64(span.start_ns);
+        w.u64(span.duration_ns);
+    }
+}
+
+fn decode_query_spans(r: &mut Reader<'_>) -> Result<QuerySpans, WireError> {
+    let trace_id = r.u64()?;
+    let n = r.u32()? as usize;
+    let mut spans = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        spans.push(SpanRecord {
+            name: r.str()?,
+            parent: r.opt(|r| r.u32())?,
+            start_ns: r.u64()?,
+            duration_ns: r.u64()?,
+        });
+    }
+    Ok(QuerySpans { trace_id, spans })
+}
+
+/// Encodes an [`ObsReport`] payload — a process's metric snapshot plus
+/// its recent span trees, exactly as recorded (`u64` counts stay exact).
+pub fn encode_obs_report(w: &mut Writer, report: &ObsReport) {
+    w.u32(report.metrics.len() as u32);
+    for sample in &report.metrics {
+        encode_metric_sample(w, sample);
+    }
+    w.u32(report.spans.len() as u32);
+    for spans in &report.spans {
+        encode_query_spans(w, spans);
+    }
+}
+
+/// Decodes an [`ObsReport`] payload.
+///
+/// # Errors
+///
+/// [`WireError`] for malformed bytes, including an unknown metric value
+/// tag.
+pub fn decode_obs_report(r: &mut Reader<'_>) -> Result<ObsReport, WireError> {
+    let n = r.u32()? as usize;
+    let mut metrics = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        metrics.push(decode_metric_sample(r)?);
+    }
+    let n = r.u32()? as usize;
+    let mut spans = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        spans.push(decode_query_spans(r)?);
+    }
+    Ok(ObsReport { metrics, spans })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -687,12 +854,70 @@ mod tests {
             .max_score(0.5)
             .build()
             .unwrap();
-        round_trip(Message::Query(request));
-        round_trip(Message::Query(
+        round_trip(Message::query(request.clone()));
+        round_trip(Message::query(
             QueryRequest::for_user(0)
                 .algorithm("CUSTOM")
                 .build_unvalidated(),
         ));
+        round_trip(Message::Query {
+            request,
+            trace_id: 0xDEAD_BEEF_0000_0001,
+        });
+    }
+
+    #[test]
+    fn untraced_queries_encode_byte_identically_to_the_pre_tracing_format() {
+        let request = QueryRequest::for_user(3).k(4).build_unvalidated();
+        // `Message::query` (trace id 0) must not grow the payload: the
+        // trace id is expressed by omission, so pre-tracing peers parse
+        // these frames unchanged.
+        let untraced = Message::query(request.clone()).encode();
+        let mut w = Writer::new();
+        encode_request(&mut w, &request);
+        let expected = frame_with_id(0x03, 0, &w.finish());
+        assert_eq!(untraced, expected);
+        // A traced frame is exactly 8 bytes longer.
+        let traced = Message::Query {
+            request,
+            trace_id: 7,
+        }
+        .encode();
+        assert_eq!(traced.len(), untraced.len() + 8);
+    }
+
+    #[test]
+    fn metrics_messages_round_trip() {
+        round_trip(Message::MetricsRequest);
+        round_trip(Message::MetricsReport(ObsReport::default()));
+        let registry = ssrq_obs::Registry::new();
+        registry.counter("q_total", &[("shard", "0")]).add(5);
+        registry.gauge("depth", &[]).set(-0.5);
+        let h = registry.histogram("lat_ns", &[("algorithm", "ais")]);
+        h.observe(0);
+        h.observe(17);
+        h.observe(u64::MAX);
+        let report = ObsReport {
+            metrics: registry.snapshot(),
+            spans: vec![QuerySpans {
+                trace_id: 9,
+                spans: vec![
+                    SpanRecord {
+                        name: "query".into(),
+                        parent: None,
+                        start_ns: 0,
+                        duration_ns: 1_000,
+                    },
+                    SpanRecord {
+                        name: "scatter".into(),
+                        parent: Some(0),
+                        start_ns: 10,
+                        duration_ns: 900,
+                    },
+                ],
+            }],
+        };
+        round_trip(Message::MetricsReport(report));
     }
 
     #[test]

@@ -30,6 +30,9 @@ use crate::error::NetError;
 use crate::proto::{FailureKind, Message, ShardInfo};
 use crate::wire::{header_tail, parse_header, FrameHeader, HEADER_PREFIX};
 use ssrq_core::{GeoSocialEngine, QueryContext, QueryRequest, QueryResult};
+use ssrq_obs::{
+    Counter, Gauge, Histogram, Logger, ObsReport, Registry, SlowQueryLog, SpanLog, Trace,
+};
 use ssrq_shard::{ShardAssignment, ThresholdCell};
 use ssrq_spatial::Rect;
 use std::collections::{HashMap, VecDeque};
@@ -39,7 +42,7 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long readers and workers sleep in their idle polls before
 /// re-checking the shutdown flag.
@@ -64,16 +67,84 @@ struct WorkItem {
     conn_id: u64,
     frame_id: u32,
     version: u8,
+    enqueued: Instant,
     work: Work,
     writer: Arc<Mutex<Stream>>,
 }
 
 enum Work {
-    /// A query with its (already registered) tighten cell.
-    Query(QueryRequest, Arc<ThresholdCell>),
+    /// A query with its trace id and (already registered) tighten cell.
+    Query {
+        request: QueryRequest,
+        trace_id: u64,
+        cell: Arc<ThresholdCell>,
+    },
     /// Everything else.
     Other(Message),
 }
+
+/// The server's observability handles: metric series registered once at
+/// bind time (recording is pure atomics), the bounded span log, the
+/// structured stderr logger and the optional slow-query log.
+struct ServerObs {
+    connections: Counter,
+    disconnections: Counter,
+    queries: Counter,
+    query_ns: Histogram,
+    queue_wait_ns: Histogram,
+    worker_busy_ns: Histogram,
+    queue_depth: Gauge,
+    tighten_applied: Counter,
+    tighten_ignored: Counter,
+    relocations_adopted: Counter,
+    relocations_dropped: Counter,
+    spans: SpanLog,
+    logger: Logger,
+    slow_log: Option<SlowQueryLog>,
+}
+
+impl ServerObs {
+    fn new(shard: u32) -> ServerObs {
+        let registry = Registry::global();
+        let shard = shard.to_string();
+        let labels: &[(&str, &str)] = &[("shard", &shard)];
+        ServerObs {
+            connections: registry.counter("ssrq_server_connections_total", labels),
+            disconnections: registry.counter("ssrq_server_disconnections_total", labels),
+            queries: registry.counter("ssrq_server_queries_total", labels),
+            query_ns: registry.histogram("ssrq_server_query_ns", labels),
+            queue_wait_ns: registry.histogram("ssrq_server_queue_wait_ns", labels),
+            worker_busy_ns: registry.histogram("ssrq_server_worker_busy_ns", labels),
+            queue_depth: registry.gauge("ssrq_server_queue_depth", labels),
+            tighten_applied: registry.counter(
+                "ssrq_server_tighten_total",
+                &[("shard", &shard), ("outcome", "applied")],
+            ),
+            tighten_ignored: registry.counter(
+                "ssrq_server_tighten_total",
+                &[("shard", &shard), ("outcome", "ignored")],
+            ),
+            relocations_adopted: registry.counter(
+                "ssrq_server_relocations_total",
+                &[("shard", &shard), ("outcome", "adopted")],
+            ),
+            relocations_dropped: registry.counter(
+                "ssrq_server_relocations_total",
+                &[("shard", &shard), ("outcome", "dropped")],
+            ),
+            spans: SpanLog::new(SPAN_LOG_CAPACITY),
+            logger: Logger::default(),
+            slow_log: None,
+        }
+    }
+}
+
+/// How many recent query span trees a server retains for `Metrics`
+/// introspection.
+const SPAN_LOG_CAPACITY: usize = 256;
+
+/// How many slow-query offenders are retained.
+const SLOW_LOG_CAPACITY: usize = 64;
 
 /// A homemade bounded-latency MPMC queue: mutexed deque + condvar, with a
 /// timed wait so workers keep re-checking the shutdown flag.
@@ -126,6 +197,7 @@ pub struct ShardServer {
     /// Tighten targets of the queries currently queued or executing,
     /// keyed by (connection id, frame id).
     active: Mutex<HashMap<(u64, u32), Arc<ThresholdCell>>>,
+    obs: ServerObs,
 }
 
 impl std::fmt::Debug for ShardServer {
@@ -192,12 +264,29 @@ impl ShardServer {
             shutdown: Arc::new(AtomicBool::new(false)),
             workers: default_workers(),
             active: Mutex::new(HashMap::new()),
+            obs: ServerObs::new(shard as u32),
         })
     }
 
     /// Sets the worker-pool size (clamped to at least 1).
     pub fn with_workers(mut self, workers: usize) -> ShardServer {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Installs a structured stderr logger; the default logger is silent,
+    /// so the stdout readiness line stays the server's only default
+    /// output.
+    pub fn with_logger(mut self, logger: Logger) -> ShardServer {
+        self.obs.logger = logger;
+        self
+    }
+
+    /// Captures queries at or above `threshold` (request shape + span
+    /// tree) in a bounded slow-query log, surfaced in `Metrics` span
+    /// output and on the logger at `warn`.
+    pub fn with_slow_query_threshold(mut self, threshold: Duration) -> ShardServer {
+        self.obs.slow_log = Some(SlowQueryLog::new(threshold, SLOW_LOG_CAPACITY));
         self
     }
 
@@ -291,6 +380,10 @@ impl ShardServer {
             Ok(clone) => Arc::new(Mutex::new(clone)),
             Err(_) => return,
         };
+        self.obs.connections.inc();
+        self.obs
+            .logger
+            .info(&format!("event=connection_accepted conn={conn_id}"));
         let mut reader = stream;
         // Loop ends on clean EOF, shutdown, or poisoned framing.
         while let Ok(Some((header, payload))) = self.read_frame(&mut reader) {
@@ -305,21 +398,31 @@ impl ShardServer {
                         .expect("active query lock")
                         .get(&(conn_id, target))
                         .map(Arc::clone);
-                    if let Some(cell) = cell {
-                        cell.tighten(max_score);
+                    match cell {
+                        Some(cell) => {
+                            cell.tighten(max_score);
+                            self.obs.tighten_applied.inc();
+                        }
+                        None => self.obs.tighten_ignored.inc(),
                     }
                 }
-                Ok(Message::Query(request)) => {
+                Ok(Message::Query { request, trace_id }) => {
                     let cell = Arc::new(ThresholdCell::new(f64::INFINITY));
                     self.active
                         .lock()
                         .expect("active query lock")
                         .insert((conn_id, header.frame_id), Arc::clone(&cell));
+                    self.obs.queue_depth.add(1.0);
                     queue.push(WorkItem {
                         conn_id,
                         frame_id: header.frame_id,
                         version: header.version,
-                        work: Work::Query(request, cell),
+                        enqueued: Instant::now(),
+                        work: Work::Query {
+                            request,
+                            trace_id,
+                            cell,
+                        },
                         writer: Arc::clone(&writer),
                     });
                 }
@@ -328,6 +431,7 @@ impl ShardServer {
                         conn_id,
                         frame_id: header.frame_id,
                         version: header.version,
+                        enqueued: Instant::now(),
                         work: Work::Other(message),
                         writer: Arc::clone(&writer),
                     });
@@ -344,6 +448,10 @@ impl ShardServer {
                 }
             }
         }
+        self.obs.disconnections.inc();
+        self.obs
+            .logger
+            .info(&format!("event=connection_closed conn={conn_id}"));
     }
 
     fn write_response(writer: &Mutex<Stream>, bytes: &[u8]) -> std::io::Result<()> {
@@ -356,17 +464,36 @@ impl ShardServer {
     fn worker_loop(&self, queue: &WorkQueue) {
         let mut ctx = self.engine.read().expect("engine lock").make_context();
         while let Some(item) = queue.pop(&self.shutdown) {
+            let started = Instant::now();
             let response = match item.work {
-                Work::Query(request, cell) => {
-                    let response = self.run_query(&request, &mut ctx, &cell);
+                Work::Query {
+                    request,
+                    trace_id,
+                    cell,
+                } => {
+                    self.obs.queue_depth.add(-1.0);
+                    self.obs
+                        .queue_wait_ns
+                        .observe_duration(started.duration_since(item.enqueued));
+                    let response = self.run_query(&request, trace_id, &mut ctx, &cell);
                     self.active
                         .lock()
                         .expect("active query lock")
                         .remove(&(item.conn_id, item.frame_id));
+                    if self.obs.logger.enabled(ssrq_obs::Level::Info) {
+                        self.obs.logger.info(&format!(
+                            "event=query_served conn={} frame={} trace={:#018x} duration_us={}",
+                            item.conn_id,
+                            item.frame_id,
+                            trace_id,
+                            started.elapsed().as_micros(),
+                        ));
+                    }
                     Some(response)
                 }
                 Work::Other(message) => self.handle(message, &mut ctx),
             };
+            self.obs.worker_busy_ns.observe_duration(started.elapsed());
             if let Some(response) = response {
                 let bytes = response.encode_in(item.version, item.frame_id);
                 // A write failure only loses this connection; its reader
@@ -437,11 +564,17 @@ impl ShardServer {
     fn run_query(
         &self,
         request: &QueryRequest,
+        trace_id: u64,
         ctx: &mut QueryContext,
         cell: &ThresholdCell,
     ) -> Message {
+        let trace = Trace::new(trace_id);
+        let root = trace.open("shard_query", None);
         let engine = self.engine.read().expect("engine lock");
-        let mut stream = match engine.stream_with(request, ctx) {
+        let begin = trace.open("begin_stream", Some(root));
+        let stream = engine.stream_with(request, ctx);
+        trace.close(begin);
+        let mut stream = match stream {
             Ok(stream) => stream,
             Err(e) => {
                 return Message::Fail {
@@ -450,6 +583,7 @@ impl ShardServer {
                 }
             }
         };
+        let drain = trace.open("drain_topk", Some(root));
         let mut ranked = Vec::new();
         for entry in stream.by_ref() {
             if entry.score >= cell.get() {
@@ -457,6 +591,7 @@ impl ShardServer {
             }
             ranked.push(entry);
         }
+        trace.close(drain);
         if let Some(error) = stream.error() {
             return Message::Fail {
                 kind: FailureKind::of(error),
@@ -464,6 +599,32 @@ impl ShardServer {
             };
         }
         let stats = stream.stats();
+        trace.close(root);
+        // The streaming path bypasses `run_with`, so the server records
+        // the per-algorithm engine series itself.
+        ssrq_core::obs::record_query_metrics(request.algorithm().key(), &stats);
+        self.obs.queries.inc();
+        self.obs.query_ns.observe_duration(stats.runtime);
+        let spans = trace.finish();
+        let total_ns = spans.total_ns();
+        if let Some(slow_log) = &self.obs.slow_log {
+            let captured = slow_log.offer(total_ns, &spans, || {
+                format!(
+                    "algorithm={} user={} k={} shard={}",
+                    request.algorithm().key(),
+                    request.user(),
+                    request.k(),
+                    self.shard,
+                )
+            });
+            if captured {
+                self.obs.logger.warn(&format!(
+                    "event=slow_query trace={trace_id:#018x} total_us={}",
+                    total_ns / 1_000
+                ));
+            }
+        }
+        self.obs.spans.push(spans);
         Message::Answer(QueryResult {
             ranked,
             k: request.k(),
@@ -472,11 +633,30 @@ impl ShardServer {
         })
     }
 
+    /// The server's live observability snapshot: the process-wide metric
+    /// registry plus the recent query span trees (slow-query offenders
+    /// included) — what a `Metrics` frame and `--introspect` report.
+    pub fn obs_report(&self) -> ObsReport {
+        let mut spans = self.obs.spans.recent();
+        if let Some(slow_log) = &self.obs.slow_log {
+            for offender in slow_log.recent() {
+                if !spans.contains(&offender.spans) {
+                    spans.push(offender.spans);
+                }
+            }
+        }
+        ObsReport {
+            metrics: Registry::global().snapshot(),
+            spans,
+        }
+    }
+
     /// Processes one non-query message; `None` ends the connection.
     fn handle(&self, message: Message, _ctx: &mut QueryContext) -> Option<Message> {
         Some(match message {
             Message::Hello | Message::Refresh => Message::Info(self.info()),
             Message::Ping => Message::Pong,
+            Message::MetricsRequest => Message::MetricsReport(self.obs_report()),
             Message::Locate(user) => {
                 let engine = self.engine.read().expect("engine lock");
                 Message::Located(engine.dataset().location(user))
@@ -503,7 +683,17 @@ impl ShardServer {
                     _ => engine.remove_location(user).map(|()| false),
                 };
                 match outcome {
-                    Ok(adopted) => Message::Relocated { adopted },
+                    Ok(adopted) => {
+                        if adopted {
+                            self.obs.relocations_adopted.inc();
+                            self.obs
+                                .logger
+                                .info(&format!("event=relocation_adopted user={user}"));
+                        } else {
+                            self.obs.relocations_dropped.inc();
+                        }
+                        Message::Relocated { adopted }
+                    }
                     Err(e) => Message::Fail {
                         kind: FailureKind::of(&e),
                         message: e.to_string(),

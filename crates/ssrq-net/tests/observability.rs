@@ -1,0 +1,253 @@
+//! End-to-end observability over real sockets: a coordinator-assigned
+//! trace id must arrive bit-identical in every shard server's span log,
+//! legacy v1 `Query` frames (which cannot carry a trace id) must still be
+//! served with the implied trace 0, the `Metrics` request must snapshot a
+//! live server remotely, and the health monitor must publish its ping
+//! gauges into the global registry.
+
+use ssrq_core::{Algorithm, GeoSocialDataset, GeoSocialEngine, QueryRequest};
+use ssrq_data::{DatasetConfig, QueryWorkload};
+use ssrq_net::{Endpoint, RemoteShardedEngine, ShardServer};
+use ssrq_obs::Registry;
+use ssrq_shard::{Partitioning, ShardAssignment};
+use ssrq_spatial::Point;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A cluster of in-thread shard servers over Unix sockets in a temp dir.
+struct Cluster {
+    endpoints: Vec<Endpoint>,
+    flags: Vec<Arc<AtomicBool>>,
+    handles: Vec<JoinHandle<()>>,
+    dir: PathBuf,
+}
+
+static CLUSTER_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+impl Cluster {
+    fn start(dataset: &GeoSocialDataset, policy: Partitioning, shards: usize) -> Cluster {
+        let assignment =
+            ShardAssignment::compute(dataset, policy, shards).expect("assignment computes");
+        let owner = assignment.owners(dataset);
+        let dir = std::env::temp_dir().join(format!(
+            "ssrq-obs-test-{}-{}",
+            std::process::id(),
+            CLUSTER_SEQ.fetch_add(1, Ordering::SeqCst)
+        ));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let mut endpoints = Vec::new();
+        let mut flags = Vec::new();
+        let mut handles = Vec::new();
+        for s in 0..shards {
+            let shard_dataset = dataset.restrict_locations(|u| owner[u as usize] as usize == s);
+            let engine = GeoSocialEngine::builder(shard_dataset)
+                .build()
+                .expect("shard engine builds");
+            let endpoint = Endpoint::Unix(dir.join(format!("shard-{s}.sock")));
+            let server = ShardServer::bind(&endpoint, engine, s, assignment.clone())
+                .expect("server binds")
+                .with_slow_query_threshold(Duration::from_secs(3600));
+            flags.push(server.shutdown_flag());
+            endpoints.push(endpoint);
+            handles.push(std::thread::spawn(move || {
+                server.serve().expect("server loop");
+            }));
+        }
+        Cluster {
+            endpoints,
+            flags,
+            handles,
+            dir,
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        for flag in &self.flags {
+            flag.store(true, Ordering::SeqCst);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+#[test]
+fn trace_ids_arrive_bit_identical_in_every_shards_span_log() {
+    let dataset = DatasetConfig::gowalla_like(250).generate();
+    let shards = 3;
+    let cluster = Cluster::start(
+        &dataset,
+        Partitioning::SpatialGrid { cells_per_axis: 4 },
+        shards,
+    );
+    let remote = RemoteShardedEngine::builder(cluster.endpoints.clone())
+        .connect_timeout(Duration::from_secs(10))
+        .deadline(Duration::from_secs(30))
+        .connect()
+        .expect("coordinator connects");
+
+    // A pinned origin and a huge k keep the threshold from skipping any
+    // shard, so every server must see (and log) every trace id.
+    let workload = QueryWorkload::generate(&dataset, 6, 97);
+    let mut seen = std::collections::HashSet::new();
+    for &user in &workload.users {
+        let request = QueryRequest::for_user(user)
+            .k(200)
+            .alpha(0.4)
+            .origin(Point::new(0.5, 0.5))
+            .algorithm(Algorithm::Ais)
+            .build()
+            .unwrap();
+        let (_result, stats, spans) = remote.query_traced(&request).expect("traced query");
+        assert_ne!(spans.trace_id, 0, "minted trace ids are never 0");
+        assert!(seen.insert(spans.trace_id), "trace ids are unique");
+        assert_eq!(stats.skipped_shards(), 0, "no shard may be skipped");
+
+        // The coordinator's own span tree names the root, the scatter
+        // phase, and one span per shard round trip.
+        let names: Vec<&str> = spans.spans.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"coordinator_query"));
+        assert!(names.contains(&"scatter"));
+        assert!(names.contains(&"merge"));
+        for endpoint in &cluster.endpoints {
+            let label = format!("shard {endpoint}");
+            assert!(
+                names.iter().any(|n| *n == label),
+                "coordinator span tree misses {label}: {names:?}"
+            );
+        }
+        // Per-phase timings sum sanely: every child fits inside the root.
+        let root = &spans.spans[0];
+        for span in &spans.spans[1..] {
+            assert!(
+                span.end_ns() <= root.end_ns(),
+                "span {} ends after the root",
+                span.name
+            );
+        }
+
+        // The exact same id must be visible in every shard's remote
+        // snapshot — bit-identical across the wire.
+        for shard in 0..shards {
+            let report = remote.remote_metrics(shard).expect("metrics snapshot");
+            assert!(
+                report.has_trace(spans.trace_id),
+                "shard {shard} span log misses trace {:#018x}",
+                spans.trace_id
+            );
+        }
+    }
+
+    // The servers' metric registries counted the queries too.
+    for shard in 0..shards {
+        let report = remote.remote_metrics(shard).expect("metrics snapshot");
+        let shard_label = shard.to_string();
+        let served = report
+            .counter("ssrq_server_queries_total", &[("shard", &shard_label)])
+            .unwrap_or(0);
+        assert!(
+            served >= workload.users.len() as u64,
+            "shard {shard} served {served} < {} queries",
+            workload.users.len()
+        );
+    }
+}
+
+#[test]
+fn legacy_v1_query_frames_imply_trace_zero_and_answer_in_kind() {
+    use ssrq_net::wire::{parse_header, LEGACY_VERSION};
+    use ssrq_net::Message;
+    use std::io::{Read, Write};
+
+    let dataset = DatasetConfig::gowalla_like(120).generate();
+    let assignment = ShardAssignment::compute(&dataset, Partitioning::UserHash, 1).unwrap();
+    let engine = GeoSocialEngine::builder(dataset).build().unwrap();
+    let server =
+        ShardServer::bind(&Endpoint::Tcp("127.0.0.1:0".into()), engine, 0, assignment).unwrap();
+    let Endpoint::Tcp(addr) = server.endpoint() else {
+        panic!("tcp endpoint expected")
+    };
+    let flag = server.shutdown_flag();
+    let handle = std::thread::spawn(move || server.serve().unwrap());
+
+    // A pre-tracing v1 peer: its Query payload simply ends after the
+    // request — no trailing trace id.
+    let request = QueryRequest::for_user(1)
+        .k(5)
+        .alpha(0.4)
+        .origin(Point::new(0.5, 0.5))
+        .algorithm(Algorithm::Ais)
+        .build()
+        .unwrap();
+    let query = Message::query(request);
+    let mut socket = std::net::TcpStream::connect(&addr).unwrap();
+    socket
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    socket
+        .write_all(&query.encode_in(LEGACY_VERSION, 0))
+        .unwrap();
+    let mut prefix = [0u8; 10];
+    socket.read_exact(&mut prefix).unwrap();
+    let header = parse_header(&prefix).unwrap();
+    assert_eq!(header.version, LEGACY_VERSION, "answered in kind");
+    assert_eq!(header.frame_id, 0);
+    let mut payload = vec![0u8; header.payload_len as usize];
+    socket.read_exact(&mut payload).unwrap();
+    let response = Message::decode(header.tag, &payload).unwrap();
+    let Message::Answer(result) = response else {
+        panic!("expected an Answer, got {response:?}");
+    };
+    assert!(!result.ranked.is_empty());
+
+    // The served query landed in the span log under the implied trace 0.
+    socket
+        .write_all(&Message::MetricsRequest.encode_in(LEGACY_VERSION, 0))
+        .unwrap();
+    socket.read_exact(&mut prefix).unwrap();
+    let header = parse_header(&prefix).unwrap();
+    let mut payload = vec![0u8; header.payload_len as usize];
+    socket.read_exact(&mut payload).unwrap();
+    let Message::MetricsReport(report) = Message::decode(header.tag, &payload).unwrap() else {
+        panic!("expected a MetricsReport");
+    };
+    assert!(report.has_trace(0), "v1 queries trace as id 0");
+
+    flag.store(true, Ordering::SeqCst);
+    handle.join().unwrap();
+}
+
+#[test]
+fn the_health_monitor_publishes_ping_gauges() {
+    let dataset = DatasetConfig::gowalla_like(100).generate();
+    let cluster = Cluster::start(&dataset, Partitioning::UserHash, 2);
+    let remote = RemoteShardedEngine::builder(cluster.endpoints.clone())
+        .connect_timeout(Duration::from_secs(10))
+        .deadline(Duration::from_secs(5))
+        .health_check(Duration::from_millis(25), 3)
+        .connect()
+        .expect("coordinator connects");
+    assert!(remote.health_monitoring());
+
+    // Give the monitor a couple of rounds, then read the global registry.
+    std::thread::sleep(Duration::from_millis(300));
+    let registry = Registry::global();
+    for endpoint in &cluster.endpoints {
+        let label = endpoint.to_string();
+        let labels = [("endpoint", label.as_str())];
+        let rtt = registry.gauge("ssrq_ping_rtt_ns", &labels).get();
+        assert!(rtt > 0.0, "no ping round trip recorded for {label}");
+        assert_eq!(
+            registry.gauge("ssrq_ping_unhealthy", &labels).get(),
+            0.0,
+            "a live server must not be flagged unhealthy"
+        );
+    }
+    drop(remote);
+}

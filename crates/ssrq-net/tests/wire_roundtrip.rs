@@ -127,7 +127,10 @@ fn message(rng: &mut StdRng) -> Message {
     match rng.gen_range(0..18u32) {
         0 => Message::Hello,
         1 => Message::Info(shard_info(rng)),
-        2 => Message::Query(request(rng)),
+        2 => Message::Query {
+            request: request(rng),
+            trace_id: if rng.gen_bool(0.5) { rng.gen() } else { 0 },
+        },
         3 => Message::Answer(result(rng)),
         4 => Message::Locate(rng.gen_range(0..10_000u32)),
         5 => Message::Located(rng.gen_bool(0.5).then(|| point(rng))),
@@ -326,7 +329,7 @@ fn payload_level_corruptions_are_typed_not_panics() {
     assert!(matches!(decode_frame(&bytes), Err(WireError::Invalid(_))));
 
     // A Query frame naming an unknown built-in algorithm.
-    let query = Message::Query(
+    let query = Message::query(
         QueryRequest::for_user(1)
             .algorithm(Algorithm::Sfa)
             .build_unvalidated(),

@@ -1,0 +1,174 @@
+//! Structured, levelled stderr logging.
+//!
+//! A [`Logger`] is silent by default — `shard-server`'s stdout readiness
+//! line (`listening on <endpoint>`) stays the only default output, so
+//! existing launchers that parse it are untouched.  With a level enabled
+//! (`--log info`), events come out on **stderr** as single
+//! `key=value`-structured lines, e.g.:
+//!
+//! ```text
+//! [info] event=query_served conn=3 trace=0x0000321500000001 frames=1 duration_us=412
+//! ```
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log verbosity, ordered from quietest to chattiest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or dropped work.
+    Error,
+    /// Suspicious but survivable conditions.
+    Warn,
+    /// Lifecycle events: connections, queries, relocations.
+    Info,
+    /// Per-frame chatter.
+    Debug,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    fn rank(self) -> u8 {
+        match self {
+            Level::Error => 1,
+            Level::Warn => 2,
+            Level::Info => 3,
+            Level::Debug => 4,
+        }
+    }
+
+    fn from_rank(rank: u8) -> Option<Level> {
+        match rank {
+            1 => Some(Level::Error),
+            2 => Some(Level::Warn),
+            3 => Some(Level::Info),
+            4 => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Level, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Ok(Level::Error),
+            "warn" | "warning" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            other => Err(format!(
+                "unknown log level {other:?} (expected error, warn, info or debug)"
+            )),
+        }
+    }
+}
+
+/// A levelled stderr logger.  `Logger::default()` is fully silent; cloning
+/// shares the same threshold (cheap: one byte behind an `Arc`).
+#[derive(Debug, Clone, Default)]
+pub struct Logger {
+    threshold: std::sync::Arc<AtomicU8>,
+}
+
+impl Logger {
+    /// A logger emitting events at `level` and below (quieter levels).
+    pub fn with_level(level: Level) -> Logger {
+        let logger = Logger::default();
+        logger.set_level(Some(level));
+        logger
+    }
+
+    /// Changes the threshold; `None` silences the logger.
+    pub fn set_level(&self, level: Option<Level>) {
+        self.threshold
+            .store(level.map_or(0, Level::rank), Ordering::Relaxed);
+    }
+
+    /// The current threshold, or `None` when silent.
+    pub fn level(&self) -> Option<Level> {
+        Level::from_rank(self.threshold.load(Ordering::Relaxed))
+    }
+
+    /// Whether an event at `level` would be emitted — guard expensive
+    /// formatting with this.
+    pub fn enabled(&self, level: Level) -> bool {
+        level.rank() <= self.threshold.load(Ordering::Relaxed)
+    }
+
+    /// Emits one structured line on stderr if `level` is enabled.  The
+    /// message should already be `key=value` formatted; the logger only
+    /// prefixes the level tag.
+    pub fn log(&self, level: Level, message: &str) {
+        if self.enabled(level) {
+            eprintln!("[{}] {}", level.as_str(), message);
+        }
+    }
+
+    /// [`log`](Logger::log) at [`Level::Error`].
+    pub fn error(&self, message: &str) {
+        self.log(Level::Error, message);
+    }
+
+    /// [`log`](Logger::log) at [`Level::Warn`].
+    pub fn warn(&self, message: &str) {
+        self.log(Level::Warn, message);
+    }
+
+    /// [`log`](Logger::log) at [`Level::Info`].
+    pub fn info(&self, message: &str) {
+        self.log(Level::Info, message);
+    }
+
+    /// [`log`](Logger::log) at [`Level::Debug`].
+    pub fn debug(&self, message: &str) {
+        self.log(Level::Debug, message);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert_eq!("info".parse::<Level>(), Ok(Level::Info));
+        assert_eq!("WARN".parse::<Level>(), Ok(Level::Warn));
+        assert_eq!("warning".parse::<Level>(), Ok(Level::Warn));
+        assert!("verbose".parse::<Level>().is_err());
+        assert!(Level::Error < Level::Debug);
+    }
+
+    #[test]
+    fn default_logger_is_silent() {
+        let logger = Logger::default();
+        assert_eq!(logger.level(), None);
+        assert!(!logger.enabled(Level::Error));
+    }
+
+    #[test]
+    fn threshold_gates_noisier_levels() {
+        let logger = Logger::with_level(Level::Info);
+        assert!(logger.enabled(Level::Error));
+        assert!(logger.enabled(Level::Info));
+        assert!(!logger.enabled(Level::Debug));
+        let clone = logger.clone();
+        clone.set_level(Some(Level::Debug));
+        assert!(logger.enabled(Level::Debug), "clones share the threshold");
+    }
+}

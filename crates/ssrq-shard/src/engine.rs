@@ -561,8 +561,12 @@ impl ShardedEngine {
             let scatter =
                 transport::scatter_sequential(&mut transports, &base, FailurePolicy::Fail)
                     .map_err(|e| e.error)?;
+            let scatter_elapsed = started.elapsed();
+            let merge_started = Instant::now();
             let ranked = transport::merge_ranked(scatter.entries, base.k());
+            let merge_elapsed = merge_started.elapsed();
             let shard_stats = ShardStats::new(scatter.outcomes, started.elapsed());
+            crate::obs::record_scatter(&shard_stats, scatter_elapsed, merge_elapsed);
             let result = QueryResult {
                 ranked,
                 k: base.k(),
@@ -639,13 +643,17 @@ impl ShardedEngine {
         // Deterministic merge: the running `topk` above only steers the
         // pruning — rebuilding the list makes the answer independent of
         // worker scheduling.
+        let scatter_elapsed = started.elapsed();
+        let merge_started = Instant::now();
         let ranked = transport::merge_ranked(gather.entries, request.k());
+        let merge_elapsed = merge_started.elapsed();
         let outcomes: Vec<ShardOutcome> = gather
             .outcomes
             .into_iter()
             .map(|o| o.expect("every shard has an outcome"))
             .collect();
         let shard_stats = ShardStats::new(outcomes, started.elapsed());
+        crate::obs::record_scatter(&shard_stats, scatter_elapsed, merge_elapsed);
         let result = QueryResult {
             ranked,
             k: request.k(),

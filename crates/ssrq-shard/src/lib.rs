@@ -72,6 +72,7 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod obs;
 mod partition;
 mod session;
 mod stats;
