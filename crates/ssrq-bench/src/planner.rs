@@ -1,0 +1,599 @@
+//! Adaptive-planner benchmark behind `experiments -- planner` (persisted
+//! to `BENCH_planner.json`): `Algorithm::Auto` versus every fixed
+//! index-free algorithm versus the per-query oracle on a mixed, repeating
+//! workload.
+//!
+//! The workload deliberately mixes query shapes (unfiltered, selective
+//! and wide spatial windows, score thresholds, exclusion lists) so the
+//! planner sees several signal buckets, and repeats the same requests for
+//! several passes so the churn-aware hot-result cache gets to serve
+//! steady-state hits — the regime the planner is designed for.  Three
+//! acceptance bars are checked on the re-parsed artifact:
+//!
+//! 1. Auto's mean per-query latency is within 1.15x of the per-query
+//!    oracle (the min over the fixed algorithms, measured cold).
+//! 2. Auto is at least 1.5x faster than the worst fixed algorithm.
+//! 3. A cache hit costs under 10% of a cold Auto query.
+//!
+//! Every Auto answer is additionally compared against the stored
+//! exhaustive result of the identical request — the planner may only ever
+//! trade time, never correctness.
+
+use crate::json::Json;
+use ssrq_core::{Algorithm, GeoSocialEngine, QueryRequest, QueryResult};
+use ssrq_data::{DatasetConfig, QueryWorkload};
+use ssrq_spatial::{Point, Rect};
+use std::time::Duration;
+
+/// The fixed index-free line-up Auto is raced against.  `EXH` anchors the
+/// "worst fixed" end; the remaining seven are exactly the planner's
+/// index-free candidate set.
+pub const PLANNER_FIXED_ALGORITHMS: [Algorithm; 8] = [
+    Algorithm::Exhaustive,
+    Algorithm::Sfa,
+    Algorithm::Spa,
+    Algorithm::Tsa,
+    Algorithm::TsaQc,
+    Algorithm::AisBid,
+    Algorithm::AisMinus,
+    Algorithm::Ais,
+];
+
+/// Workload shape of one planner benchmark run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannerBenchConfig {
+    /// Users in the gowalla-like dataset.
+    pub users: usize,
+    /// Distinct query templates (shapes cycle: plain, wide window,
+    /// selective window, score threshold, exclusion list).
+    pub distinct_queries: usize,
+    /// Passes over the distinct templates; passes beyond the first repeat
+    /// identical requests, so `(passes - 1) / passes` of the Auto workload
+    /// is eligible for hot-cache hits.
+    pub passes: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for PlannerBenchConfig {
+    fn default() -> Self {
+        PlannerBenchConfig {
+            users: 4_000,
+            distinct_queries: 80,
+            passes: 5,
+            seed: 0x9AB,
+        }
+    }
+}
+
+impl PlannerBenchConfig {
+    /// Scales the dataset size by `factor` (clamped to a floor where the
+    /// generated graph still has interesting structure).
+    pub fn scaled_by(mut self, factor: f64) -> Self {
+        self.users = (((self.users as f64) * factor.max(0.001)) as usize).max(300);
+        self
+    }
+}
+
+/// One fixed-algorithm baseline over the distinct workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FixedBaseline {
+    /// Algorithm name (`EXH`, `SFA`, ...).
+    pub name: String,
+    /// Mean per-query latency, measured cold with a reused context.
+    pub mean: Duration,
+}
+
+impl FixedBaseline {
+    /// Queries/second implied by the mean latency.
+    pub fn qps(&self) -> f64 {
+        1.0 / self.mean.as_secs_f64().max(1e-12)
+    }
+}
+
+/// One planner benchmark run: the fixed baselines, the per-query oracle,
+/// and Auto's steady-state behaviour (choices, cache traffic, exactness).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannerMeasurement {
+    /// Users in the dataset.
+    pub users: usize,
+    /// Distinct query templates.
+    pub distinct_queries: usize,
+    /// Passes over the templates in the Auto run.
+    pub passes: usize,
+    /// Every fixed baseline, in [`PLANNER_FIXED_ALGORITHMS`] order.
+    pub fixed: Vec<FixedBaseline>,
+    /// Mean of the per-query minima over the fixed algorithms — the
+    /// latency of a clairvoyant per-query planner without a cache.
+    pub oracle_mean: Duration,
+    /// Mean Auto latency over the full repeated workload (cold + hot).
+    pub auto_mean: Duration,
+    /// Mean Auto latency of cache misses only.
+    pub cold_mean: Duration,
+    /// Mean latency of a hot-cache hit.
+    pub cache_hit_mean: Duration,
+    /// Hits served by the hot-result cache during the Auto run.
+    pub cache_hits: u64,
+    /// Cache lookups that missed (each one is a planner decision).
+    pub cache_misses: u64,
+    /// `(algorithm, reason, count)` of every planner decision.
+    pub choices: Vec<(String, String, u64)>,
+    /// Signal buckets the workload exercised.
+    pub buckets: usize,
+    /// Times the planner delegated to `EXH` (must be zero — exhaustive
+    /// scoring is never a candidate).
+    pub exhaustive_choices: u64,
+    /// Auto answers that disagreed with the stored exhaustive result of
+    /// the identical request (must be zero).
+    pub agreement_failures: usize,
+}
+
+impl PlannerMeasurement {
+    /// Total Auto queries executed.
+    pub fn total_auto_queries(&self) -> usize {
+        self.distinct_queries * self.passes
+    }
+
+    /// The slowest fixed baseline.
+    pub fn worst_fixed(&self) -> &FixedBaseline {
+        self.fixed
+            .iter()
+            .max_by(|a, b| a.mean.cmp(&b.mean))
+            .expect("at least one fixed baseline")
+    }
+
+    /// The fastest fixed baseline.
+    pub fn best_fixed(&self) -> &FixedBaseline {
+        self.fixed
+            .iter()
+            .min_by(|a, b| a.mean.cmp(&b.mean))
+            .expect("at least one fixed baseline")
+    }
+
+    /// Queries/second of the Auto run.
+    pub fn auto_qps(&self) -> f64 {
+        1.0 / self.auto_mean.as_secs_f64().max(1e-12)
+    }
+
+    /// The artifact body persisted as `BENCH_planner.json`.
+    pub fn to_json(&self) -> Json {
+        let micros = |d: Duration| Json::Num(d.as_secs_f64() * 1e6);
+        Json::Obj(vec![
+            ("experiment".into(), Json::str("planner")),
+            ("dataset".into(), Json::str("gowalla-like")),
+            ("users".into(), Json::num(self.users)),
+            ("distinct_queries".into(), Json::num(self.distinct_queries)),
+            ("passes".into(), Json::num(self.passes)),
+            (
+                "total_auto_queries".into(),
+                Json::num(self.total_auto_queries()),
+            ),
+            (
+                "fixed".into(),
+                Json::Arr(
+                    self.fixed
+                        .iter()
+                        .map(|b| {
+                            Json::Obj(vec![
+                                ("algorithm".into(), Json::str(b.name.clone())),
+                                ("mean_us".into(), micros(b.mean)),
+                                ("qps".into(), Json::Num(b.qps())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "worst_fixed".into(),
+                Json::str(self.worst_fixed().name.clone()),
+            ),
+            (
+                "best_fixed".into(),
+                Json::str(self.best_fixed().name.clone()),
+            ),
+            ("oracle_mean_us".into(), micros(self.oracle_mean)),
+            ("auto_mean_us".into(), micros(self.auto_mean)),
+            ("auto_qps".into(), Json::Num(self.auto_qps())),
+            ("cold_mean_us".into(), micros(self.cold_mean)),
+            ("cache_hit_mean_us".into(), micros(self.cache_hit_mean)),
+            ("cache_hits".into(), Json::Num(self.cache_hits as f64)),
+            ("cache_misses".into(), Json::Num(self.cache_misses as f64)),
+            (
+                "choices".into(),
+                Json::Arr(
+                    self.choices
+                        .iter()
+                        .map(|(algorithm, reason, count)| {
+                            Json::Obj(vec![
+                                ("algorithm".into(), Json::str(algorithm.clone())),
+                                ("reason".into(), Json::str(reason.clone())),
+                                ("count".into(), Json::Num(*count as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("buckets".into(), Json::num(self.buckets)),
+            (
+                "exhaustive_choices".into(),
+                Json::Num(self.exhaustive_choices as f64),
+            ),
+            (
+                "agreement_failures".into(),
+                Json::num(self.agreement_failures),
+            ),
+        ])
+    }
+}
+
+/// A mixed-shape request for workload slot `i`: the shapes cycle so the
+/// planner sees several signal buckets and every request mechanism
+/// (windows, thresholds, exclusions) is part of the race.
+fn mixed_request(i: usize, user: u32, user_count: u32) -> QueryRequest {
+    let base = QueryRequest::for_user(user).k(20).alpha(0.3);
+    match i % 5 {
+        0 => base.build(),
+        // A wide window (~20% of the unit square): spatial class "wide".
+        1 => base
+            .within(Rect::new(Point::new(0.2, 0.2), Point::new(0.65, 0.65)))
+            .build(),
+        // A selective window (4% of the unit square): class "selective".
+        2 => base
+            .within(Rect::new(Point::new(0.4, 0.4), Point::new(0.6, 0.6)))
+            .build(),
+        3 => base.max_score(0.7).build(),
+        _ => {
+            let a = (user + 1) % user_count;
+            let b = (user + 7) % user_count;
+            base.exclude([a, b].into_iter().filter(|&u| u != user))
+                .build()
+        }
+    }
+    .expect("benchmark parameters are valid")
+}
+
+/// Races `Algorithm::Auto` against every fixed index-free algorithm on a
+/// mixed workload repeated for `config.passes` passes.
+///
+/// Fixed baselines and the per-query oracle are measured cold (one reused
+/// context, no cache — fixed algorithms never touch the planner).  The
+/// Auto run uses a cloned engine, whose fresh planner starts with no
+/// feedback and an empty cache, so the measurement covers the full
+/// explore-then-converge trajectory plus steady-state cache hits.  Every
+/// Auto answer is checked against the stored exhaustive result.
+///
+/// # Panics
+///
+/// If the engine fails to build or any benchmark query fails — both mean
+/// the harness itself is broken.
+pub fn measure_planner(config: &PlannerBenchConfig) -> PlannerMeasurement {
+    assert!(config.distinct_queries > 0, "nothing to measure");
+    assert!(config.passes >= 2, "need repeats for the cache to matter");
+    let dataset = DatasetConfig::gowalla_like(config.users).generate();
+    let user_count = dataset.user_count() as u32;
+    let engine = GeoSocialEngine::builder(dataset)
+        .build()
+        .expect("benchmark engine builds");
+    let workload = QueryWorkload::generate(engine.dataset(), config.distinct_queries, config.seed);
+    let requests: Vec<QueryRequest> = workload
+        .users
+        .iter()
+        .enumerate()
+        .map(|(i, &user)| mixed_request(i, user, user_count))
+        .collect();
+
+    // Fixed baselines + the per-query oracle, all cold.
+    let mut ctx = engine.make_context();
+    let mut per_query_min = vec![Duration::MAX; requests.len()];
+    let mut oracle_results: Vec<QueryResult> = Vec::with_capacity(requests.len());
+    let mut fixed = Vec::new();
+    for algorithm in PLANNER_FIXED_ALGORITHMS {
+        let mut total = Duration::ZERO;
+        for (i, request) in requests.iter().enumerate() {
+            let result = engine
+                .run_with(&request.clone().with_algorithm(algorithm), &mut ctx)
+                .expect("fixed benchmark query succeeds");
+            total += result.stats.runtime;
+            per_query_min[i] = per_query_min[i].min(result.stats.runtime);
+            if algorithm == Algorithm::Exhaustive {
+                oracle_results.push(result);
+            }
+        }
+        fixed.push(FixedBaseline {
+            name: algorithm.name().to_owned(),
+            mean: total / requests.len() as u32,
+        });
+    }
+    let oracle_mean = per_query_min.iter().sum::<Duration>() / requests.len() as u32;
+
+    // The Auto run on a cloned engine: fresh planner, empty cache.
+    let auto_engine = engine.clone();
+    let auto_requests: Vec<QueryRequest> = requests
+        .iter()
+        .map(|r| r.clone().with_algorithm(Algorithm::Auto))
+        .collect();
+    let mut ctx = auto_engine.make_context();
+    let mut auto_total = Duration::ZERO;
+    let mut hit_total = Duration::ZERO;
+    let mut miss_total = Duration::ZERO;
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    let mut agreement_failures = 0usize;
+    for _pass in 0..config.passes {
+        for (i, request) in auto_requests.iter().enumerate() {
+            let result = auto_engine
+                .run_with(request, &mut ctx)
+                .expect("Auto benchmark query succeeds");
+            auto_total += result.stats.runtime;
+            // A hot-cache hit replaces the stats wholesale: exactly one
+            // recorded hit and no search work at all.
+            if result.stats.cache_hits == 1 && result.stats.vertex_pops == 0 {
+                hits += 1;
+                hit_total += result.stats.runtime;
+            } else {
+                misses += 1;
+                miss_total += result.stats.runtime;
+            }
+            if !result.same_users_and_scores(&oracle_results[i], 1e-9) {
+                agreement_failures += 1;
+            }
+        }
+    }
+    let snapshot = auto_engine.planner().snapshot();
+    let total_auto = (config.passes * requests.len()) as u32;
+
+    PlannerMeasurement {
+        users: config.users,
+        distinct_queries: requests.len(),
+        passes: config.passes,
+        fixed,
+        oracle_mean,
+        auto_mean: auto_total / total_auto,
+        cold_mean: miss_total / (misses.max(1) as u32),
+        cache_hit_mean: hit_total / (hits.max(1) as u32),
+        cache_hits: snapshot.cache_hits,
+        cache_misses: snapshot.cache_misses,
+        choices: snapshot
+            .choices
+            .iter()
+            .map(|(algorithm, reason, count)| (algorithm.clone(), (*reason).to_owned(), *count))
+            .collect(),
+        buckets: snapshot.buckets,
+        exhaustive_choices: snapshot.choices_for(Algorithm::Exhaustive),
+        agreement_failures,
+    }
+}
+
+/// Validates a re-parsed `BENCH_planner.json`: structural invariants
+/// (exactness, no exhaustive delegation, real cache traffic) and the three
+/// acceptance bars — Auto within 1.15x of the per-query oracle, at least
+/// 1.5x faster than the worst fixed algorithm, and cache hits under 10%
+/// of a cold query.
+///
+/// # Errors
+///
+/// A description of the first violated invariant.
+pub fn validate_planner_report(report: &Json) -> Result<(), String> {
+    if report.get("experiment").and_then(Json::as_str) != Some("planner") {
+        return Err("report is not a planner artifact".into());
+    }
+    let positive = |key: &str| -> Result<f64, String> {
+        let value = report
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or(format!("report lacks a numeric `{key}`"))?;
+        if !value.is_finite() || value <= 0.0 {
+            return Err(format!("`{key}` must be positive, got {value}"));
+        }
+        Ok(value)
+    };
+    let distinct = positive("distinct_queries")? as usize;
+    let passes = positive("passes")? as usize;
+    if passes < 2 {
+        return Err("a single pass never exercises the hot-result cache".into());
+    }
+    let total = positive("total_auto_queries")? as usize;
+    if total != distinct * passes {
+        return Err(format!(
+            "total_auto_queries {total} is not distinct_queries x passes ({distinct} x {passes})"
+        ));
+    }
+    positive("users")?;
+
+    let fixed = report
+        .get("fixed")
+        .and_then(Json::as_array)
+        .ok_or("report lacks a `fixed` baseline array")?;
+    if fixed.len() < 2 {
+        return Err("fewer than two fixed baselines — nothing to race".into());
+    }
+    let mut worst_fixed_us = 0.0f64;
+    let mut saw_exhaustive = false;
+    for baseline in fixed {
+        let name = baseline
+            .get("algorithm")
+            .and_then(Json::as_str)
+            .ok_or("a fixed baseline lacks its algorithm name")?;
+        let mean = baseline
+            .get("mean_us")
+            .and_then(Json::as_f64)
+            .ok_or(format!("baseline {name} lacks `mean_us`"))?;
+        if !mean.is_finite() || mean <= 0.0 {
+            return Err(format!("baseline {name} has non-positive mean {mean}"));
+        }
+        worst_fixed_us = worst_fixed_us.max(mean);
+        saw_exhaustive |= name == Algorithm::Exhaustive.name();
+    }
+    if !saw_exhaustive {
+        return Err("the fixed line-up must include the exhaustive baseline".into());
+    }
+
+    let oracle_us = positive("oracle_mean_us")?;
+    let auto_us = positive("auto_mean_us")?;
+    let cold_us = positive("cold_mean_us")?;
+    let hit_us = positive("cache_hit_mean_us")?;
+    let cache_hits = positive("cache_hits")? as u64;
+    // `(passes - 1) / passes` of the workload is repeats; require at least
+    // half of those to have been served hot, so the cache columns describe
+    // real traffic rather than a handful of lucky lookups.
+    if (cache_hits as usize) < (passes - 1) * distinct / 2 {
+        return Err(format!(
+            "only {cache_hits} cache hits for {} repeated requests",
+            (passes - 1) * distinct
+        ));
+    }
+    if report.get("agreement_failures").and_then(Json::as_usize) != Some(0) {
+        return Err("an Auto answer disagreed with the exhaustive oracle".into());
+    }
+    if report.get("exhaustive_choices").and_then(Json::as_usize) != Some(0) {
+        return Err("the planner delegated to exhaustive scoring".into());
+    }
+    let choices = report
+        .get("choices")
+        .and_then(Json::as_array)
+        .ok_or("report lacks a `choices` breakdown")?;
+    if choices.is_empty() {
+        return Err("the planner recorded no decisions".into());
+    }
+
+    if auto_us > 1.15 * oracle_us {
+        return Err(format!(
+            "Auto mean {auto_us:.1}us breaches 1.15x the per-query oracle ({oracle_us:.1}us)"
+        ));
+    }
+    if worst_fixed_us < 1.5 * auto_us {
+        return Err(format!(
+            "Auto mean {auto_us:.1}us is not 1.5x faster than the worst fixed \
+             algorithm ({worst_fixed_us:.1}us)"
+        ));
+    }
+    if hit_us >= 0.10 * cold_us {
+        return Err(format!(
+            "a cache hit ({hit_us:.1}us) costs 10% or more of a cold query ({cold_us:.1}us)"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_measurement() -> PlannerMeasurement {
+        PlannerMeasurement {
+            users: 1_000,
+            distinct_queries: 40,
+            passes: 5,
+            fixed: vec![
+                FixedBaseline {
+                    name: "EXH".into(),
+                    mean: Duration::from_micros(900),
+                },
+                FixedBaseline {
+                    name: "AIS".into(),
+                    mean: Duration::from_micros(120),
+                },
+            ],
+            oracle_mean: Duration::from_micros(100),
+            auto_mean: Duration::from_micros(60),
+            cold_mean: Duration::from_micros(210),
+            cache_hit_mean: Duration::from_micros(3),
+            cache_hits: 158,
+            cache_misses: 42,
+            choices: vec![
+                ("AIS".into(), "heuristic".into(), 6),
+                ("AIS".into(), "feedback".into(), 30),
+                ("SPA".into(), "explore".into(), 6),
+            ],
+            buckets: 6,
+            exhaustive_choices: 0,
+            agreement_failures: 0,
+        }
+    }
+
+    #[test]
+    fn a_measurement_renders_to_a_validating_report() {
+        let m = sample_measurement();
+        assert_eq!(m.worst_fixed().name, "EXH");
+        assert_eq!(m.best_fixed().name, "AIS");
+        assert_eq!(m.total_auto_queries(), 200);
+        let reparsed = Json::parse(&m.to_json().render()).expect("report re-parses");
+        validate_planner_report(&reparsed).expect("report validates");
+    }
+
+    #[test]
+    fn validation_enforces_the_acceptance_bars() {
+        fn report_with(patch: impl FnOnce(&mut PlannerMeasurement)) -> Json {
+            let mut m = sample_measurement();
+            patch(&mut m);
+            Json::parse(&m.to_json().render()).expect("report re-parses")
+        }
+
+        assert!(validate_planner_report(&Json::Obj(vec![])).is_err());
+
+        // Auto slower than 1.15x the oracle.
+        let slow = report_with(|m| m.auto_mean = Duration::from_micros(200));
+        let error = validate_planner_report(&slow).unwrap_err();
+        assert!(error.contains("1.15x"), "unexpected error: {error}");
+
+        // The worst fixed algorithm not beaten by 1.5x.
+        let close = report_with(|m| {
+            m.fixed[0].mean = Duration::from_micros(70);
+            m.fixed[1].mean = Duration::from_micros(70);
+        });
+        let error = validate_planner_report(&close).unwrap_err();
+        assert!(error.contains("1.5x"), "unexpected error: {error}");
+
+        // Cache hits as expensive as cold queries.
+        let heavy = report_with(|m| m.cache_hit_mean = Duration::from_micros(50));
+        let error = validate_planner_report(&heavy).unwrap_err();
+        assert!(error.contains("10%"), "unexpected error: {error}");
+
+        // Any disagreement with the oracle is fatal.
+        let wrong = report_with(|m| m.agreement_failures = 1);
+        let error = validate_planner_report(&wrong).unwrap_err();
+        assert!(error.contains("disagreed"), "unexpected error: {error}");
+
+        // The planner must never delegate to exhaustive scoring.
+        let exhaustive = report_with(|m| m.exhaustive_choices = 2);
+        let error = validate_planner_report(&exhaustive).unwrap_err();
+        assert!(error.contains("exhaustive"), "unexpected error: {error}");
+
+        // Too few hits means the cache columns are noise.
+        let idle = report_with(|m| m.cache_hits = 3);
+        let error = validate_planner_report(&idle).unwrap_err();
+        assert!(error.contains("cache hits"), "unexpected error: {error}");
+    }
+
+    #[test]
+    fn a_small_end_to_end_run_is_exact_and_serves_hits() {
+        let config = PlannerBenchConfig {
+            users: 400,
+            distinct_queries: 10,
+            passes: 3,
+            seed: 7,
+        };
+        let m = measure_planner(&config);
+        assert_eq!(m.distinct_queries, 10);
+        assert_eq!(m.fixed.len(), PLANNER_FIXED_ALGORITHMS.len());
+        assert_eq!(m.agreement_failures, 0);
+        assert_eq!(m.exhaustive_choices, 0);
+        assert!(m.cache_hits > 0, "repeated passes never hit the cache");
+        assert!(m.auto_mean > Duration::ZERO);
+        assert!(m.oracle_mean <= m.worst_fixed().mean);
+        // The artifact the run would persist must at least round-trip.
+        let reparsed = Json::parse(&m.to_json().render()).expect("artifact re-parses");
+        assert_eq!(
+            reparsed.get("experiment").and_then(Json::as_str),
+            Some("planner")
+        );
+    }
+
+    #[test]
+    fn scaling_keeps_a_usable_dataset_floor() {
+        let tiny = PlannerBenchConfig::default().scaled_by(0.0001);
+        assert_eq!(tiny.users, 300);
+        let double = PlannerBenchConfig::default().scaled_by(2.0);
+        assert_eq!(double.users, 8_000);
+    }
+}

@@ -1,5 +1,6 @@
 use crate::ais::AisIndex;
 use crate::algorithms::SocialNeighborCache;
+use crate::planner::{PlannerStrategy, QueryPlanner};
 use crate::strategy::AlgorithmStrategy;
 use crate::{
     CoreError, GeoSocialDataset, QueryContext, QueryRequest, QueryResult, QuerySession,
@@ -49,10 +50,20 @@ pub enum Algorithm {
     /// SFA over pre-computed social neighbour lists with AIS fallback
     /// (§5.4, "AIS-Cache" in Figure 11).
     SfaCached,
+    /// Adaptive planner choice: pick the concrete algorithm per query from
+    /// cheap signals plus online [`QueryStats`](crate::QueryStats) feedback,
+    /// and serve repeated queries from a churn-aware hot-result cache.  Not
+    /// a paper method (and therefore absent from [`Algorithm::ALL`]) — see
+    /// [`QueryPlanner`](crate::QueryPlanner).
+    Auto,
 }
 
 impl Algorithm {
-    /// Every algorithm variant, in the order they appear in the paper.
+    /// Every **paper** algorithm variant, in the order they appear in the
+    /// paper.  [`Algorithm::Auto`] is deliberately not listed: it is a
+    /// meta-strategy that delegates to one of these twelve, and every
+    /// exactness/agreement sweep iterating `ALL` should compare concrete
+    /// methods.
     pub const ALL: [Algorithm; 12] = [
         Algorithm::Exhaustive,
         Algorithm::Sfa,
@@ -84,7 +95,19 @@ impl Algorithm {
             Algorithm::SpaCh => "SPA-CH",
             Algorithm::TsaCh => "TSA-CH",
             Algorithm::SfaCached => "AIS-Cache",
+            Algorithm::Auto => "AUTO",
         }
+    }
+
+    /// Resolves a display name (as produced by [`Algorithm::name`]) back to
+    /// the variant — the lookup the wire protocol uses to decode built-in
+    /// algorithm specs, covering the twelve paper methods *and*
+    /// [`Algorithm::Auto`].
+    pub fn from_name(name: &str) -> Option<Algorithm> {
+        if name == Algorithm::Auto.name() {
+            return Some(Algorithm::Auto);
+        }
+        Algorithm::ALL.iter().copied().find(|a| a.name() == name)
     }
 
     /// Returns `true` when the algorithm needs a Contraction Hierarchies
@@ -496,6 +519,12 @@ impl EngineBuilder {
             (None, Some(slot)) => slot,
             (None, None) => Arc::new(OnceLock::new()),
         };
+        let planner = Arc::new(QueryPlanner::default());
+        let mut strategies = StrategyRegistry::with_builtins();
+        // Replace the detached built-in "AUTO" entry with a strategy wired
+        // to *this* engine's planner, so location updates invalidate its
+        // hot-result cache.
+        strategies.register(Arc::new(PlannerStrategy::new(Arc::clone(&planner))));
         let engine = GeoSocialEngine {
             dataset,
             params,
@@ -506,7 +535,8 @@ impl EngineBuilder {
             installed_ch: shared_ch,
             cache_plan,
             social_cache,
-            strategies: StrategyRegistry::with_builtins(),
+            strategies,
+            planner,
         };
         if engine.ch_mode == ChBuild::Eager {
             engine.require_contraction_hierarchy()?;
@@ -533,7 +563,7 @@ impl EngineBuilder {
 /// The location vector, the SPA/TSA grid and the AIS aggregate index depend
 /// on locations and stay per-engine (they are what
 /// [`GeoSocialEngine::update_location`] mutates).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct GeoSocialEngine {
     dataset: GeoSocialDataset,
     params: IndexParams,
@@ -550,6 +580,37 @@ pub struct GeoSocialEngine {
     /// one lazy build; see [`EngineBuilder::share_graph_artifacts_with`].
     social_cache: Arc<OnceLock<Arc<SocialNeighborCache>>>,
     strategies: StrategyRegistry,
+    /// The adaptive planner behind [`Algorithm::Auto`] — per-engine, like
+    /// every location-dependent structure (its hot-result cache is
+    /// invalidated by *this* engine's location updates).
+    planner: Arc<QueryPlanner>,
+}
+
+impl Clone for GeoSocialEngine {
+    /// Cloning shares the graph-only `Arc` artifacts but gives the clone a
+    /// **fresh planner** (and re-registers a fresh `"AUTO"` strategy over
+    /// it): the clones' location vectors diverge independently, and a
+    /// shared hot-result cache would let one clone serve answers computed
+    /// in the other's world.  Custom strategies registered by name are
+    /// carried over untouched.
+    fn clone(&self) -> GeoSocialEngine {
+        let planner = Arc::new(QueryPlanner::new(self.planner.config()));
+        let mut strategies = self.strategies.clone();
+        strategies.register(Arc::new(PlannerStrategy::new(Arc::clone(&planner))));
+        GeoSocialEngine {
+            dataset: self.dataset.clone(),
+            params: self.params,
+            landmarks: Arc::clone(&self.landmarks),
+            grid: self.grid.clone(),
+            ais: self.ais.clone(),
+            ch_mode: self.ch_mode,
+            installed_ch: self.installed_ch.clone(),
+            cache_plan: self.cache_plan.clone(),
+            social_cache: Arc::clone(&self.social_cache),
+            strategies,
+            planner,
+        }
+    }
 }
 
 // The engine holds no interior mutability beyond `OnceLock` (write-once
@@ -966,6 +1027,8 @@ impl GeoSocialEngine {
         // outside the original bounding box is still handled.
         self.grid.insert(user, location);
         self.ais.update_location(user, location, &self.landmarks)?;
+        self.planner
+            .note_location_change(user, Some(location), &self.dataset);
         Ok(())
     }
 
@@ -982,8 +1045,16 @@ impl GeoSocialEngine {
             self.dataset.set_location(user, None)?;
             self.grid.remove(user)?;
             self.ais.remove_user(user, &self.landmarks)?;
+            self.planner.note_location_change(user, None, &self.dataset);
         }
         Ok(())
+    }
+
+    /// The adaptive planner behind this engine's [`Algorithm::Auto`]
+    /// strategy: pin it for tests, resize its hot-result cache, or read its
+    /// decision/cache counters via [`QueryPlanner::snapshot`].
+    pub fn planner(&self) -> &Arc<QueryPlanner> {
+        &self.planner
     }
 }
 

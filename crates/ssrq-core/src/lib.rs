@@ -117,6 +117,7 @@ mod driver;
 mod engine;
 mod error;
 pub mod obs;
+mod planner;
 mod query;
 mod ranking;
 mod request;
@@ -133,6 +134,10 @@ pub use engine::{
     Algorithm, ChBuild, EngineBuilder, EngineMemory, GeoSocialEngine, IndexParams, SocialCachePlan,
 };
 pub use error::CoreError;
+pub use planner::{
+    ChoiceReason, PlannerConfig, PlannerSnapshot, PlannerStrategy, QueryPlanner, SignalBucket,
+    AUTO_STRATEGY_NAME,
+};
 pub use query::{QueryResult, RankedUser};
 pub use ranking::{combine, RankingContext};
 pub use request::{AlgorithmSpec, QueryRequest, QueryRequestBuilder};

@@ -40,6 +40,44 @@ pub fn record_query_metrics(algorithm: &str, stats: &QueryStats) {
     record_query_metrics_in(Registry::global(), algorithm, stats);
 }
 
+/// Records one planner decision into `registry`:
+/// `ssrq_planner_choices_total{algorithm,reason}` counts which concrete
+/// algorithm [`Algorithm::Auto`](crate::Algorithm::Auto) delegated to and
+/// why (`pinned` / `heuristic` / `explore` / `feedback`).
+pub fn record_planner_choice_in(registry: &Registry, algorithm: &str, reason: &str) {
+    registry
+        .counter(
+            "ssrq_planner_choices_total",
+            &[("algorithm", algorithm), ("reason", reason)],
+        )
+        .inc();
+}
+
+/// [`record_planner_choice_in`] against the process-wide
+/// [`Registry::global`].
+pub fn record_planner_choice(algorithm: &str, reason: &str) {
+    record_planner_choice_in(Registry::global(), algorithm, reason);
+}
+
+/// Records hot-result cache activity into `registry` as one of
+/// `ssrq_cache_hits_total`, `ssrq_cache_misses_total` or
+/// `ssrq_cache_invalidations_total` (`event` ∈ `hit` / `miss` /
+/// `invalidation`; `n` supports bulk invalidations).
+pub fn record_cache_event_in(registry: &Registry, event: &str, n: u64) {
+    let name = match event {
+        "hit" => "ssrq_cache_hits_total",
+        "miss" => "ssrq_cache_misses_total",
+        "invalidation" => "ssrq_cache_invalidations_total",
+        other => panic!("unknown cache event {other:?}"),
+    };
+    registry.counter(name, &[]).add(n);
+}
+
+/// [`record_cache_event_in`] against the process-wide [`Registry::global`].
+pub fn record_cache_event(event: &str, n: u64) {
+    record_cache_event_in(Registry::global(), event, n);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -63,5 +101,41 @@ mod tests {
         assert!(text.contains("ssrq_engine_query_ns_count{algorithm=\"ais\"} 2"));
         assert!(text.contains("ssrq_engine_steps_sum{algorithm=\"ais\"} 24"));
         assert!(text.contains("ssrq_engine_relaxed_edges_sum{algorithm=\"sfa\"} 34"));
+    }
+
+    #[test]
+    fn planner_choices_land_labelled_by_algorithm_and_reason() {
+        let registry = Registry::new();
+        record_planner_choice_in(&registry, "AIS", "heuristic");
+        record_planner_choice_in(&registry, "AIS", "feedback");
+        record_planner_choice_in(&registry, "AIS", "feedback");
+        record_planner_choice_in(&registry, "SPA", "explore");
+        let text = registry.render();
+        assert!(
+            text.contains("ssrq_planner_choices_total{algorithm=\"AIS\",reason=\"feedback\"} 2")
+        );
+        assert!(
+            text.contains("ssrq_planner_choices_total{algorithm=\"AIS\",reason=\"heuristic\"} 1")
+        );
+        assert!(text.contains("ssrq_planner_choices_total{algorithm=\"SPA\",reason=\"explore\"} 1"));
+    }
+
+    #[test]
+    fn cache_events_map_to_their_own_counters() {
+        let registry = Registry::new();
+        record_cache_event_in(&registry, "hit", 1);
+        record_cache_event_in(&registry, "hit", 1);
+        record_cache_event_in(&registry, "miss", 1);
+        record_cache_event_in(&registry, "invalidation", 5);
+        let text = registry.render();
+        assert!(text.contains("ssrq_cache_hits_total 2"));
+        assert!(text.contains("ssrq_cache_misses_total 1"));
+        assert!(text.contains("ssrq_cache_invalidations_total 5"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown cache event")]
+    fn unknown_cache_events_are_rejected() {
+        record_cache_event_in(&Registry::new(), "evict", 1);
     }
 }

@@ -1,0 +1,871 @@
+//! The adaptive query planner behind [`Algorithm::Auto`].
+//!
+//! The twelve paper algorithms return the exact same answer for the same
+//! request, but their costs swing 2–3.5× with `k`, filter selectivity,
+//! the query user's social neighbourhood and which auxiliary indexes are
+//! installed.  [`QueryPlanner`] exploits the exactness guarantee: since
+//! *any* algorithm is correct, choosing one per query is purely a
+//! performance decision, made from two inputs:
+//!
+//! 1. **Cheap signals**, folded into a coarse [`SignalBucket`]: the
+//!    requested `k`, the area of the spatial filter window relative to the
+//!    dataset bounds, and the query user's social degree.  The candidate
+//!    set itself is derived from which indexes are *already installed*
+//!    (Contraction Hierarchies, social neighbour cache) — the planner
+//!    never triggers a lazy index build — and the heuristic prior also
+//!    weighs `α` and the AIS grid occupancy.
+//! 2. **Online feedback**: a per-`(bucket, algorithm)` EWMA over the
+//!    [`QueryStats`] work counters (`runtime`, `relaxed_edges`,
+//!    `evaluated_users`) of completed queries, so the planner converges on
+//!    the empirically-fastest choice for the live workload.  Each bucket
+//!    first tries every candidate once (in prior order) and thereafter
+//!    re-probes the least-sampled candidate periodically, so a shifting
+//!    workload is re-learned.
+//!
+//! # Hot-result cache
+//!
+//! The planner layers a per-user hot-result cache over the choice logic:
+//! a repeated identical request (same user, `k`, `α`, origin and filters)
+//! is answered from the cache in microseconds.  Location churn invalidates
+//! **only the entries whose result could actually change**, using a
+//! score-delta admission test: when user `u` moves to point `q`, a cached
+//! entry with spatial origin `o`, preference `α` and top-k threshold `f_k`
+//! can only change if `u` was the (derived-origin) query user, appears in
+//! the cached result, or could newly enter it — and `u` can enter only if
+//! its spatial-only score lower bound `(1 − α) · d(o, q)` does not exceed
+//! the entry's admission bound (`f_k` for a full result, the `max_score`
+//! cutoff — or nothing — for a truncated one), and only if `q` lies inside
+//! the entry's filter window.  Social distances never change under
+//! location churn (the PR 4 staleness audit), so this test is exact up to
+//! conservativeness: the churn property test asserts a cached answer is
+//! never stale.
+//!
+//! The planner is engine-local state: cloning a [`GeoSocialEngine`] gives
+//! the clone a **fresh** planner, because clones' location vectors diverge
+//! independently and a shared cache could serve answers from the sibling's
+//! world.
+
+use crate::driver::{EagerDriver, QueryDriver, StepOutcome};
+use crate::{
+    Algorithm, AlgorithmStrategy, CoreError, GeoSocialDataset, GeoSocialEngine, IndexRequirements,
+    QueryContext, QueryRequest, QueryResult, QueryStats, RankedUser, UserId,
+};
+use ssrq_spatial::Point;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// The name the planner strategy is registered under — also
+/// [`Algorithm::Auto`]'s [`Algorithm::name`].
+pub const AUTO_STRATEGY_NAME: &str = "AUTO";
+
+/// Tuning knobs of a [`QueryPlanner`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannerConfig {
+    /// Weight of the newest observation in the per-`(bucket, algorithm)`
+    /// EWMA (`new = w · sample + (1 − w) · old`).
+    pub ewma_weight: f64,
+    /// After every candidate has at least one sample, every
+    /// `explore_period`-th decision in a bucket re-probes the
+    /// least-sampled candidate instead of the cheapest one, so the EWMA
+    /// tracks workload shifts.  `0` disables re-exploration.
+    pub explore_period: u64,
+    /// Maximum number of hot results kept (least-recently-used eviction);
+    /// `0` disables the cache entirely.
+    pub cache_capacity: usize,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            ewma_weight: 0.3,
+            explore_period: 32,
+            cache_capacity: 1024,
+        }
+    }
+}
+
+/// Why the planner picked an algorithm for one query — the `reason` label
+/// of the `ssrq_planner_choices_total` metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChoiceReason {
+    /// A test/operator pin forced the choice ([`QueryPlanner::pin`]).
+    Pinned,
+    /// Cold start: the signal-based prior picked, no feedback yet.
+    Heuristic,
+    /// Deliberate probe of an untried or under-sampled candidate.
+    Explore,
+    /// The per-bucket EWMA cost model picked the cheapest candidate.
+    Feedback,
+}
+
+impl ChoiceReason {
+    /// The metric-label spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ChoiceReason::Pinned => "pinned",
+            ChoiceReason::Heuristic => "heuristic",
+            ChoiceReason::Explore => "explore",
+            ChoiceReason::Feedback => "feedback",
+        }
+    }
+}
+
+/// Coarse signal bucket a query is classified into; the EWMA feedback is
+/// keyed per bucket so "cheapest algorithm" can differ between, say, tiny
+/// filtered queries and large unfiltered ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SignalBucket {
+    /// Result size class: 0 (`k ≤ 1`), 1 (`k ≤ 10`), 2 (`k ≤ 50`), 3.
+    pub k: u8,
+    /// Spatial filter class: 0 = no window, 1 = selective window
+    /// (≤ 5 % of the dataset bounds' area), 2 = wide window.
+    pub rect: u8,
+    /// Query-user social degree class: 0 (`deg ≤ 8`), 1 (`deg ≤ 64`), 2.
+    pub degree: u8,
+}
+
+impl SignalBucket {
+    fn classify(engine: &GeoSocialEngine, request: &QueryRequest) -> SignalBucket {
+        let k = match request.k() {
+            0..=1 => 0,
+            2..=10 => 1,
+            11..=50 => 2,
+            _ => 3,
+        };
+        let rect = match rect_area_ratio(engine, request) {
+            None => 0,
+            Some(ratio) if ratio <= 0.05 => 1,
+            Some(_) => 2,
+        };
+        let deg = engine.dataset().graph().degree(request.user());
+        let degree = match deg {
+            0..=8 => 0,
+            9..=64 => 1,
+            _ => 2,
+        };
+        SignalBucket { k, rect, degree }
+    }
+}
+
+/// Area of the request's filter window relative to the dataset bounds
+/// (`None` without a window; clamped to `[0, 1]`).
+fn rect_area_ratio(engine: &GeoSocialEngine, request: &QueryRequest) -> Option<f64> {
+    let rect = request.within()?;
+    let bounds_area = engine.dataset().bounds().area();
+    if bounds_area <= 0.0 {
+        return Some(1.0);
+    }
+    Some((rect.area() / bounds_area).clamp(0.0, 1.0))
+}
+
+/// EWMA over the work counters of one `(bucket, algorithm)` cell.
+#[derive(Debug, Clone, Copy, Default)]
+struct Ewma {
+    runtime_ns: f64,
+    relaxed_edges: f64,
+    evaluated_users: f64,
+    samples: u64,
+}
+
+impl Ewma {
+    fn observe(&mut self, weight: f64, stats: &QueryStats) {
+        let runtime = stats.runtime.as_nanos() as f64;
+        let relaxed = stats.relaxed_edges as f64;
+        let evaluated = stats.evaluated_users as f64;
+        if self.samples == 0 {
+            self.runtime_ns = runtime;
+            self.relaxed_edges = relaxed;
+            self.evaluated_users = evaluated;
+        } else {
+            self.runtime_ns += weight * (runtime - self.runtime_ns);
+            self.relaxed_edges += weight * (relaxed - self.relaxed_edges);
+            self.evaluated_users += weight * (evaluated - self.evaluated_users);
+        }
+        self.samples += 1;
+    }
+
+    /// Scalar cost the planner minimizes.  Wall time dominates; the work
+    /// counters act as a deterministic tie-break when the clock granularity
+    /// makes sub-microsecond candidates indistinguishable.
+    fn cost(&self) -> f64 {
+        self.runtime_ns + self.relaxed_edges + 4.0 * self.evaluated_users
+    }
+}
+
+#[derive(Debug, Default)]
+struct BucketState {
+    per_algorithm: HashMap<Algorithm, Ewma>,
+    decisions: u64,
+}
+
+#[derive(Debug, Default)]
+struct PlannerState {
+    buckets: HashMap<SignalBucket, BucketState>,
+    pinned: Option<Algorithm>,
+    choice_counts: HashMap<(Algorithm, ChoiceReason), u64>,
+}
+
+/// Identity of a request as a cache key: everything that determines the
+/// exact answer except the algorithm (all algorithms agree) — user, `k`,
+/// `α`, the explicit origin override and every admissibility filter.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    user: UserId,
+    k: usize,
+    alpha: u64,
+    origin: Option<(u64, u64)>,
+    within: Option<(u64, u64, u64, u64)>,
+    exclude: Vec<UserId>,
+    max_score: Option<u64>,
+}
+
+impl CacheKey {
+    fn of(request: &QueryRequest) -> CacheKey {
+        let mut exclude: Vec<UserId> = request.excluded().iter().copied().collect();
+        exclude.sort_unstable();
+        CacheKey {
+            user: request.user(),
+            k: request.k(),
+            alpha: request.alpha().to_bits(),
+            origin: request.origin().map(|p| (p.x.to_bits(), p.y.to_bits())),
+            within: request.within().map(|r| {
+                (
+                    r.min.x.to_bits(),
+                    r.min.y.to_bits(),
+                    r.max.x.to_bits(),
+                    r.max.y.to_bits(),
+                )
+            }),
+            exclude,
+            max_score: request.max_score().map(f64::to_bits),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    /// The request this entry answers (identity fields only matter).
+    request: QueryRequest,
+    /// The spatial origin the result was evaluated from, resolved at
+    /// admission time (explicit override, else the query user's stored
+    /// location — `None` when neither existed).
+    origin: Option<Point>,
+    result: QueryResult,
+    /// Score a new entrant must stay *under* to change the result: `f_k`
+    /// when the result is full, else the `max_score` cutoff (or `+∞`).
+    bound: f64,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct CacheState {
+    entries: HashMap<CacheKey, CacheEntry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+}
+
+/// Aggregated planner introspection, for tests and the bench harness.
+#[derive(Debug, Clone, Default)]
+pub struct PlannerSnapshot {
+    /// `(algorithm name, reason, count)` of every planner decision so far.
+    pub choices: Vec<(String, &'static str, u64)>,
+    /// Number of signal buckets with recorded feedback.
+    pub buckets: usize,
+    /// Hot-result cache hits served.
+    pub cache_hits: u64,
+    /// Cache lookups that missed.
+    pub cache_misses: u64,
+    /// Entries dropped by churn-aware invalidation.
+    pub cache_invalidations: u64,
+    /// Entries currently cached.
+    pub cache_len: usize,
+}
+
+impl PlannerSnapshot {
+    /// Total number of planner decisions recorded.
+    pub fn decisions(&self) -> u64 {
+        self.choices.iter().map(|(_, _, n)| n).sum()
+    }
+
+    /// Decisions that chose `algorithm`.
+    pub fn choices_for(&self, algorithm: Algorithm) -> u64 {
+        let name = algorithm.name();
+        self.choices
+            .iter()
+            .filter(|(a, _, _)| a == name)
+            .map(|(_, _, n)| n)
+            .sum()
+    }
+}
+
+/// The adaptive planner state: per-bucket EWMA cost model, choice
+/// counters, pin, and the churn-aware hot-result cache.  One instance per
+/// [`GeoSocialEngine`] (see [`GeoSocialEngine::planner`]); all methods
+/// take `&self` (interior mutability) so the planner serves the parallel
+/// batch path.
+#[derive(Debug)]
+pub struct QueryPlanner {
+    config: PlannerConfig,
+    /// Live cache capacity; starts at `config.cache_capacity` and is
+    /// adjustable at runtime via [`QueryPlanner::set_cache_capacity`].
+    effective_capacity: AtomicUsize,
+    state: Mutex<PlannerState>,
+    cache: Mutex<CacheState>,
+}
+
+impl Default for QueryPlanner {
+    fn default() -> Self {
+        QueryPlanner::new(PlannerConfig::default())
+    }
+}
+
+impl QueryPlanner {
+    /// A fresh planner with the given tuning knobs.
+    pub fn new(config: PlannerConfig) -> QueryPlanner {
+        QueryPlanner {
+            config,
+            effective_capacity: AtomicUsize::new(config.cache_capacity),
+            state: Mutex::new(PlannerState::default()),
+            cache: Mutex::new(CacheState::default()),
+        }
+    }
+
+    /// The planner's configuration.
+    pub fn config(&self) -> PlannerConfig {
+        self.config
+    }
+
+    /// Forces every subsequent decision to `algorithm` (`None` restores
+    /// adaptive choice).  The agreement tests use this to steer `Auto`
+    /// through each concrete candidate; a pinned choice bypasses the
+    /// candidate filter, so pinning an algorithm whose index is missing
+    /// surfaces the usual [`CoreError::MissingIndex`].
+    pub fn pin(&self, algorithm: Option<Algorithm>) {
+        self.state.lock().unwrap().pinned = algorithm;
+    }
+
+    /// Replaces the hot-result cache capacity (`0` disables caching) and
+    /// drops entries beyond the new bound.
+    pub fn set_cache_capacity(&self, capacity: usize) {
+        self.effective_capacity.store(capacity, Ordering::Relaxed);
+        let mut cache = self.cache.lock().unwrap();
+        while cache.entries.len() > capacity {
+            evict_lru(&mut cache.entries);
+        }
+    }
+
+    /// Number of currently cached hot results.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().unwrap().entries.len()
+    }
+
+    /// A copy of the planner's decision and cache counters.
+    pub fn snapshot(&self) -> PlannerSnapshot {
+        let state = self.state.lock().unwrap();
+        let cache = self.cache.lock().unwrap();
+        let mut choices: Vec<(String, &'static str, u64)> = state
+            .choice_counts
+            .iter()
+            .map(|(&(algorithm, reason), &n)| (algorithm.name().to_owned(), reason.as_str(), n))
+            .collect();
+        choices.sort();
+        PlannerSnapshot {
+            choices,
+            buckets: state.buckets.len(),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_invalidations: cache.invalidations,
+            cache_len: cache.entries.len(),
+        }
+    }
+
+    /// The concrete algorithms the planner may delegate to on `engine`:
+    /// the seven index-free methods, the `*-CH` trio when a Contraction
+    /// Hierarchies index is **already installed or built** (the planner
+    /// never triggers a lazy build), and the cached method when the social
+    /// neighbour cache exists.  The exhaustive oracle is excluded — it is
+    /// never competitive — but reachable through [`QueryPlanner::pin`].
+    pub fn candidates(engine: &GeoSocialEngine) -> Vec<Algorithm> {
+        let mut candidates = vec![
+            Algorithm::Ais,
+            Algorithm::AisMinus,
+            Algorithm::AisBid,
+            Algorithm::TsaQc,
+            Algorithm::Tsa,
+            Algorithm::Spa,
+            Algorithm::Sfa,
+        ];
+        if engine.contraction_hierarchy().is_some() {
+            candidates.extend([Algorithm::SfaCh, Algorithm::SpaCh, Algorithm::TsaCh]);
+        }
+        if engine.social_cache().is_some() {
+            candidates.push(Algorithm::SfaCached);
+        }
+        candidates
+    }
+
+    /// Picks the algorithm for one query and records the decision (and its
+    /// `ssrq_planner_choices_total{algorithm,reason}` metric sample).
+    pub fn choose(
+        &self,
+        engine: &GeoSocialEngine,
+        request: &QueryRequest,
+    ) -> (Algorithm, ChoiceReason, SignalBucket) {
+        let bucket = SignalBucket::classify(engine, request);
+        let mut state = self.state.lock().unwrap();
+        let (algorithm, reason) = if let Some(pinned) = state.pinned {
+            (pinned, ChoiceReason::Pinned)
+        } else {
+            let mut candidates = QueryPlanner::candidates(engine);
+            let occupancy = grid_occupancy(engine);
+            candidates.sort_by(|&a, &b| {
+                prior_rank(a, engine, request, occupancy)
+                    .total_cmp(&prior_rank(b, engine, request, occupancy))
+            });
+            let bucket_state = state.buckets.entry(bucket).or_default();
+            bucket_state.decisions += 1;
+            let samples =
+                |s: &BucketState, a: Algorithm| s.per_algorithm.get(&a).map_or(0, |e| e.samples);
+            if bucket_state.decisions == 1 {
+                // Cold start: the signal prior alone decides.
+                (candidates[0], ChoiceReason::Heuristic)
+            } else if let Some(&untried) =
+                candidates.iter().find(|&&a| samples(bucket_state, a) == 0)
+            {
+                // Give every candidate one sample, cheapest prior first.
+                (untried, ChoiceReason::Explore)
+            } else if self.config.explore_period > 0
+                && bucket_state
+                    .decisions
+                    .is_multiple_of(self.config.explore_period)
+            {
+                let least = candidates
+                    .iter()
+                    .copied()
+                    .min_by_key(|&a| samples(bucket_state, a))
+                    .expect("candidate set is never empty");
+                (least, ChoiceReason::Explore)
+            } else {
+                let best = candidates
+                    .iter()
+                    .copied()
+                    .min_by(|&a, &b| {
+                        let cost = |x: Algorithm| {
+                            bucket_state
+                                .per_algorithm
+                                .get(&x)
+                                .map_or(f64::INFINITY, Ewma::cost)
+                        };
+                        cost(a).total_cmp(&cost(b))
+                    })
+                    .expect("candidate set is never empty");
+                (best, ChoiceReason::Feedback)
+            }
+        };
+        *state.choice_counts.entry((algorithm, reason)).or_insert(0) += 1;
+        drop(state);
+        crate::obs::record_planner_choice(algorithm.name(), reason.as_str());
+        (algorithm, reason, bucket)
+    }
+
+    /// Feeds one completed query back into the `(bucket, algorithm)` EWMA.
+    pub fn record_feedback(&self, bucket: SignalBucket, algorithm: Algorithm, stats: &QueryStats) {
+        let mut state = self.state.lock().unwrap();
+        state
+            .buckets
+            .entry(bucket)
+            .or_default()
+            .per_algorithm
+            .entry(algorithm)
+            .or_default()
+            .observe(self.config.ewma_weight, stats);
+    }
+
+    /// Looks the request up in the hot-result cache, counting the hit or
+    /// miss.  A hit returns a clone of the cached result (its `stats` are
+    /// the original computation's; the serving strategy replaces them).
+    pub fn cache_lookup(&self, request: &QueryRequest) -> Option<QueryResult> {
+        if self.capacity() == 0 {
+            return None;
+        }
+        let key = CacheKey::of(request);
+        let mut cache = self.cache.lock().unwrap();
+        cache.tick += 1;
+        let tick = cache.tick;
+        match cache.entries.get_mut(&key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                let result = entry.result.clone();
+                cache.hits += 1;
+                drop(cache);
+                crate::obs::record_cache_event("hit", 1);
+                Some(result)
+            }
+            None => {
+                cache.misses += 1;
+                drop(cache);
+                crate::obs::record_cache_event("miss", 1);
+                None
+            }
+        }
+    }
+
+    /// Admits a freshly computed result.  Degraded results are never
+    /// cached (their identity depends on how far the stream was driven).
+    pub fn cache_admit(&self, request: &QueryRequest, origin: Option<Point>, result: &QueryResult) {
+        let capacity = self.capacity();
+        if capacity == 0 || result.degraded {
+            return;
+        }
+        let bound = if result.ranked.len() >= request.k() {
+            result.fk().unwrap_or(f64::INFINITY)
+        } else {
+            request.max_score().unwrap_or(f64::INFINITY)
+        };
+        let key = CacheKey::of(request);
+        let mut cache = self.cache.lock().unwrap();
+        cache.tick += 1;
+        let entry = CacheEntry {
+            request: request.clone(),
+            origin,
+            result: result.clone(),
+            bound,
+            last_used: cache.tick,
+        };
+        cache.entries.insert(key, entry);
+        while cache.entries.len() > capacity {
+            evict_lru(&mut cache.entries);
+        }
+    }
+
+    /// Churn hook: `user` moved to `location` (or lost its location when
+    /// `None`).  Drops exactly the entries whose result could change; see
+    /// the module docs for the admission test.  `dataset` provides the
+    /// spatial normalization so the score lower bound matches what the
+    /// algorithms would compute.
+    pub fn note_location_change(
+        &self,
+        user: UserId,
+        location: Option<Point>,
+        dataset: &GeoSocialDataset,
+    ) {
+        if self.capacity() == 0 {
+            return;
+        }
+        let mut cache = self.cache.lock().unwrap();
+        let before = cache.entries.len();
+        cache
+            .entries
+            .retain(|_, entry| entry_survives_churn(entry, user, location, dataset));
+        let dropped = (before - cache.entries.len()) as u64;
+        cache.invalidations += dropped;
+        drop(cache);
+        if dropped > 0 {
+            crate::obs::record_cache_event("invalidation", dropped);
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.effective_capacity.load(Ordering::Relaxed)
+    }
+}
+
+/// Returns `true` when the cached entry provably cannot change because
+/// `user` moved to `location` (`None` = location removed).
+fn entry_survives_churn(
+    entry: &CacheEntry,
+    user: UserId,
+    location: Option<Point>,
+    dataset: &GeoSocialDataset,
+) -> bool {
+    // The query user moved and the entry's origin was derived from their
+    // stored location: every spatial distance in the result changes.
+    if entry.request.user() == user && entry.request.origin().is_none() {
+        return false;
+    }
+    // The mover is in the cached result: its own score changed (or it left
+    // the spatial domain / the filter window).
+    if entry.result.ranked.iter().any(|r| r.user == user) {
+        return false;
+    }
+    // From here on the question is only whether the mover could *enter*
+    // the cached result.
+    if entry.request.user() == user {
+        // Explicit-origin entry of the mover's own query: the query user
+        // never appears in its own result and the origin is pinned.
+        return true;
+    }
+    if entry.request.excluded().contains(&user) {
+        return true;
+    }
+    let Some(location) = location else {
+        // Removal: the mover's spatial distance becomes infinite; a user
+        // that was not in the result cannot enter by disappearing.
+        return true;
+    };
+    if let Some(rect) = entry.request.within() {
+        if !rect.contains(location) {
+            return true;
+        }
+    }
+    let Some(origin) = entry.origin else {
+        // No origin at all: every candidate's spatial distance is infinite
+        // and every score is infinite — the mover's stays so too.
+        return true;
+    };
+    // Score lower bound of the mover at its new location: the social term
+    // is non-negative, so f ≥ (1 − α) · d.  Strictly above the entry's
+    // admission bound ⇒ the mover cannot displace anything; at or below it
+    // (including score ties, where the canonical answer could swap the
+    // tied user) ⇒ conservatively invalidate.
+    let spatial = dataset.normalize_spatial(origin.distance(location));
+    let lower_bound = (1.0 - entry.request.alpha()) * spatial;
+    lower_bound > entry.bound
+}
+
+fn evict_lru(entries: &mut HashMap<CacheKey, CacheEntry>) {
+    if let Some(key) = entries
+        .iter()
+        .min_by_key(|(_, e)| e.last_used)
+        .map(|(k, _)| k.clone())
+    {
+        entries.remove(&key);
+    }
+}
+
+/// Fraction of AIS grid nodes holding a materialized summary — a cheap
+/// proxy for how clustered the located users are.
+fn grid_occupancy(engine: &GeoSocialEngine) -> f64 {
+    let total = engine.ais_index().total_cells();
+    if total == 0 {
+        return 0.0;
+    }
+    engine.ais_index().occupied_cells() as f64 / total as f64
+}
+
+/// Signal-based prior rank (lower = preferred) used for the cold-start
+/// choice and the exploration order.  The baseline order follows the
+/// paper's evaluation (AIS and its variants dominate overall); the
+/// adjustments encode the situations where the evaluation shows other
+/// families winning.
+fn prior_rank(
+    algorithm: Algorithm,
+    engine: &GeoSocialEngine,
+    request: &QueryRequest,
+    occupancy: f64,
+) -> f64 {
+    let mut rank = match algorithm {
+        Algorithm::Ais => 0.0,
+        Algorithm::SfaCached => 1.0,
+        Algorithm::AisMinus => 2.0,
+        Algorithm::AisBid => 3.0,
+        Algorithm::TsaQc => 4.0,
+        Algorithm::Tsa => 5.0,
+        Algorithm::SpaCh => 6.0,
+        Algorithm::Spa => 7.0,
+        Algorithm::SfaCh => 8.0,
+        Algorithm::Sfa => 9.0,
+        Algorithm::TsaCh => 10.0,
+        Algorithm::Exhaustive | Algorithm::Auto => 1000.0,
+    };
+    let ratio = rect_area_ratio(engine, request);
+    if matches!(
+        algorithm,
+        Algorithm::Spa | Algorithm::SpaCh | Algorithm::Tsa | Algorithm::TsaQc | Algorithm::TsaCh
+    ) {
+        // A selective window (or a sparse, clustered grid) favours
+        // spatially-driven probing.
+        if ratio.is_some_and(|r| r <= 0.05) {
+            rank -= 6.0;
+        }
+        if occupancy > 0.0 && occupancy < 0.05 {
+            rank -= 0.5;
+        }
+    }
+    let alpha = request.alpha();
+    if alpha >= 0.75
+        && matches!(
+            algorithm,
+            Algorithm::Sfa | Algorithm::SfaCh | Algorithm::SfaCached
+        )
+    {
+        // Social-dominant preference: the social-first family terminates
+        // early.
+        rank -= 2.5;
+    }
+    if alpha <= 0.25 && matches!(algorithm, Algorithm::Spa | Algorithm::SpaCh) {
+        rank -= 2.5;
+    }
+    rank
+}
+
+/// The [`AlgorithmStrategy`] registered under `"AUTO"`: consult the
+/// planner (cache first, then the cost model) and delegate to the chosen
+/// built-in strategy, feeding the completed query's stats back.
+pub struct PlannerStrategy {
+    planner: Arc<QueryPlanner>,
+}
+
+impl PlannerStrategy {
+    /// A strategy dispatching through `planner` — the engine registers one
+    /// over its own planner at construction time.
+    pub fn new(planner: Arc<QueryPlanner>) -> PlannerStrategy {
+        PlannerStrategy { planner }
+    }
+
+    /// A self-contained strategy with a private planner whose hot-result
+    /// cache is **disabled** — the safe configuration for a strategy
+    /// object detached from any engine's churn hooks (served by
+    /// [`builtin_strategy`](crate::builtin_strategy) for
+    /// [`Algorithm::Auto`]).  Algorithm choice still adapts; only result
+    /// reuse is off.
+    pub fn detached() -> PlannerStrategy {
+        PlannerStrategy {
+            planner: Arc::new(QueryPlanner::new(PlannerConfig {
+                cache_capacity: 0,
+                ..PlannerConfig::default()
+            })),
+        }
+    }
+
+    /// The planner the strategy consults.
+    pub fn planner(&self) -> &Arc<QueryPlanner> {
+        &self.planner
+    }
+
+    fn resolve_choice<'e>(
+        &self,
+        engine: &'e GeoSocialEngine,
+        request: &QueryRequest,
+    ) -> Result<(Algorithm, SignalBucket, &'e Arc<dyn AlgorithmStrategy>), CoreError> {
+        let (algorithm, _reason, bucket) = self.planner.choose(engine, request);
+        let inner = engine.strategies().resolve(algorithm.name())?;
+        let requires = inner.requires();
+        if requires.contraction_hierarchy {
+            engine.require_contraction_hierarchy()?;
+        }
+        if requires.social_cache {
+            engine.require_social_cache()?;
+        }
+        Ok((algorithm, bucket, inner))
+    }
+}
+
+impl std::fmt::Debug for PlannerStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlannerStrategy")
+            .field("planner", &self.planner)
+            .finish()
+    }
+}
+
+impl AlgorithmStrategy for PlannerStrategy {
+    fn name(&self) -> &str {
+        AUTO_STRATEGY_NAME
+    }
+
+    fn requires(&self) -> IndexRequirements {
+        // The planner only delegates to algorithms whose indexes already
+        // exist (or builds them on demand for a pinned choice), so it has
+        // no up-front requirements of its own.
+        IndexRequirements::NONE
+    }
+
+    fn execute(
+        &self,
+        engine: &GeoSocialEngine,
+        request: &QueryRequest,
+        ctx: &mut QueryContext,
+    ) -> Result<QueryResult, CoreError> {
+        request.validate()?;
+        engine.dataset().check_user(request.user())?;
+        let started = Instant::now();
+        if let Some(mut result) = self.planner.cache_lookup(request) {
+            result.stats = QueryStats {
+                cache_hits: 1,
+                runtime: started.elapsed(),
+                ..QueryStats::default()
+            };
+            return Ok(result);
+        }
+        let (algorithm, bucket, inner) = self.resolve_choice(engine, request)?;
+        let result = inner.execute(engine, request, ctx)?;
+        self.planner
+            .record_feedback(bucket, algorithm, &result.stats);
+        self.planner
+            .cache_admit(request, request.resolved_origin(engine.dataset()), &result);
+        Ok(result)
+    }
+
+    fn begin_stream<'a>(
+        &'a self,
+        engine: &'a GeoSocialEngine,
+        request: &QueryRequest,
+        ctx: &'a mut QueryContext,
+    ) -> Result<Box<dyn QueryDriver + 'a>, CoreError> {
+        request.validate()?;
+        engine.dataset().check_user(request.user())?;
+        let started = Instant::now();
+        if let Some(mut result) = self.planner.cache_lookup(request) {
+            result.stats = QueryStats {
+                cache_hits: 1,
+                runtime: started.elapsed(),
+                ..QueryStats::default()
+            };
+            return Ok(Box::new(EagerDriver::new(result)));
+        }
+        let (algorithm, bucket, inner) = self.resolve_choice(engine, request)?;
+        let driver = inner.begin_stream(engine, request, ctx)?;
+        Ok(Box::new(PlannedDriver {
+            inner: driver,
+            planner: &self.planner,
+            request: request.clone(),
+            origin: request.resolved_origin(engine.dataset()),
+            algorithm,
+            bucket,
+        }))
+    }
+}
+
+/// Driver wrapper that feeds the planner (EWMA + cache admission) when a
+/// delegated stream completes and its result is taken.  Streams abandoned
+/// mid-search feed back nothing — their stats describe a truncated run.
+struct PlannedDriver<'a> {
+    inner: Box<dyn QueryDriver + 'a>,
+    planner: &'a QueryPlanner,
+    request: QueryRequest,
+    origin: Option<Point>,
+    algorithm: Algorithm,
+    bucket: SignalBucket,
+}
+
+impl QueryDriver for PlannedDriver<'_> {
+    fn step(&mut self) -> StepOutcome {
+        self.inner.step()
+    }
+
+    fn drain_finalized(&mut self, out: &mut Vec<RankedUser>) {
+        self.inner.drain_finalized(out)
+    }
+
+    fn is_complete(&self) -> bool {
+        self.inner.is_complete()
+    }
+
+    fn stats(&self) -> QueryStats {
+        self.inner.stats()
+    }
+
+    fn take_result(&mut self) -> Result<QueryResult, CoreError> {
+        let result = self.inner.take_result()?;
+        self.planner
+            .record_feedback(self.bucket, self.algorithm, &result.stats);
+        self.planner
+            .cache_admit(&self.request, self.origin, &result);
+        Ok(result)
+    }
+}

@@ -184,7 +184,19 @@ impl fmt::Debug for StrategyRegistry {
 }
 
 /// The built-in strategy object for `algorithm`.
+///
+/// [`Algorithm::Auto`] yields a *detached* [`PlannerStrategy`]: one with a
+/// private planner whose hot-result cache is disabled, because a
+/// free-standing strategy object is not wired into any engine's location
+/// churn hooks.  Engines register a cache-enabled planner strategy of
+/// their own at construction time, so this arm only serves callers that
+/// build registries by hand.
+///
+/// [`PlannerStrategy`]: crate::PlannerStrategy
 pub fn builtin_strategy(algorithm: Algorithm) -> Arc<dyn AlgorithmStrategy> {
+    if algorithm == Algorithm::Auto {
+        return Arc::new(crate::PlannerStrategy::detached());
+    }
     Arc::new(BuiltinStrategy { algorithm })
 }
 
@@ -312,6 +324,12 @@ impl AlgorithmStrategy for BuiltinStrategy {
                     )
                 })
             }
+            // `builtin_strategy` maps `Auto` to a `PlannerStrategy`; a
+            // hand-built `BuiltinStrategy { algorithm: Auto }` cannot exist
+            // outside this module, so this arm is defensive.
+            Algorithm::Auto => Err(CoreError::UnknownAlgorithm(
+                "AUTO has no built-in executor; use PlannerStrategy".to_owned(),
+            )),
         }
     }
 
@@ -420,6 +438,11 @@ impl AlgorithmStrategy for BuiltinStrategy {
                         )
                     }
                 })?)
+            }
+            Algorithm::Auto => {
+                return Err(CoreError::UnknownAlgorithm(
+                    "AUTO has no built-in executor; use PlannerStrategy".to_owned(),
+                ))
             }
         })
     }

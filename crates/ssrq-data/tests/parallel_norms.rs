@@ -1,0 +1,92 @@
+//! Norm-regression test for the parallel double-sweep.
+//!
+//! Dataset construction normalizes social distances by a pseudo-diameter
+//! estimated with a double Dijkstra sweep; large builds now run that sweep
+//! through the chunk-parallel `dijkstra_all_parallel`.  Every normalized
+//! score in the system depends on this constant, so the parallel sweep
+//! must be **bit-identical** to the sequential one — not approximately
+//! equal — at every thread count, on exactly the graphs the generator
+//! produces.
+
+use ssrq_data::DatasetConfig;
+use ssrq_graph::{dijkstra_all, dijkstra_all_parallel, pseudo_diameter, SocialGraph};
+
+/// The sequential double sweep the normalization constant was historically
+/// computed with, reproduced verbatim as the regression reference.
+fn sequential_double_sweep(graph: &SocialGraph) -> f64 {
+    if graph.node_count() == 0 {
+        return 1.0;
+    }
+    let start = graph.nodes().find(|&v| graph.degree(v) > 0).unwrap_or(0);
+    let farthest = |dist: &[f64]| {
+        let mut best = (0u32, 0.0f64);
+        for (v, &d) in dist.iter().enumerate() {
+            if d.is_finite() && d > best.1 {
+                best = (v as u32, d);
+            }
+        }
+        best
+    };
+    let (far, far_dist) = farthest(&dijkstra_all(graph, start));
+    if far_dist <= 0.0 {
+        return 1.0;
+    }
+    let (_, diameter) = farthest(&dijkstra_all(graph, far));
+    if diameter > 0.0 {
+        diameter
+    } else {
+        1.0
+    }
+}
+
+#[test]
+fn parallel_sweep_norms_are_bit_identical_on_generated_graphs() {
+    for (label, config) in [
+        ("gowalla", DatasetConfig::gowalla_like(1_500).with_seed(42)),
+        ("twitter", DatasetConfig::twitter_like(1_000).with_seed(7)),
+        ("tiny", DatasetConfig::gowalla_like(40).with_seed(3)),
+    ] {
+        let graph = config.generate_graph();
+        let reference = sequential_double_sweep(&graph);
+        for threads in [1usize, 2, 4, 8] {
+            let parallel = pseudo_diameter(&graph, threads);
+            assert_eq!(
+                parallel.to_bits(),
+                reference.to_bits(),
+                "{label}: pseudo_diameter with {threads} threads diverged \
+                 ({parallel} vs {reference})"
+            );
+        }
+    }
+}
+
+#[test]
+fn per_source_distance_vectors_are_bit_identical_on_generated_graphs() {
+    let graph = DatasetConfig::gowalla_like(800)
+        .with_seed(99)
+        .generate_graph();
+    for source in [0u32, 17, 799] {
+        let sequential = dijkstra_all(&graph, source);
+        for threads in [2usize, 5] {
+            let parallel = dijkstra_all_parallel(&graph, source, threads);
+            let seq_bits: Vec<u64> = sequential.iter().map(|d| d.to_bits()).collect();
+            let par_bits: Vec<u64> = parallel.iter().map(|d| d.to_bits()).collect();
+            assert_eq!(seq_bits, par_bits, "source {source}, {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn dataset_social_norm_matches_the_sequential_sweep() {
+    // End-to-end: the constant baked into a generated dataset equals the
+    // sequential double sweep of its own graph, regardless of how many
+    // cores the build machine has.
+    for config in [
+        DatasetConfig::gowalla_like(1_200).with_seed(5),
+        DatasetConfig::twitter_like(600).with_seed(13),
+    ] {
+        let dataset = config.generate();
+        let expected = sequential_double_sweep(dataset.graph()).max(f64::MIN_POSITIVE);
+        assert_eq!(dataset.social_norm().to_bits(), expected.to_bits());
+    }
+}

@@ -35,6 +35,7 @@ mod distance_engine;
 mod error;
 mod graph;
 mod landmarks;
+mod parallel;
 mod scratch;
 
 pub use builder::GraphBuilder;
@@ -44,6 +45,7 @@ pub use distance_engine::{DistanceEngineStats, GraphDistanceEngine, SharingMode}
 pub use error::GraphError;
 pub use graph::{CsrLayout, Edge, Neighbors, NodeId, SocialGraph};
 pub use landmarks::{LandmarkSelection, LandmarkSet};
+pub use parallel::{dijkstra_all_parallel, pseudo_diameter};
 pub use scratch::SearchScratch;
 
 /// Weight of a social edge; smaller weights denote stronger friendships

@@ -1,0 +1,264 @@
+//! Chunk-parallel single-source shortest paths.
+//!
+//! [`dijkstra_all_parallel`] computes the same dense distance vector as
+//! [`dijkstra_all`] with a double-buffered, frontier-gated Jacobi
+//! relaxation whose per-round recomputation is chunked across
+//! `std::thread::scope` workers.  It exists for the construction-time
+//! sweeps that dominate large dataset builds (the double-sweep
+//! pseudo-diameter normalization constant, see [`pseudo_diameter`]), where
+//! a full `O(|V|)` vector is wanted anyway and the heap of a sequential
+//! Dijkstra serializes everything.
+//!
+//! # Bit-identical to the sequential sweep
+//!
+//! The parallel result is not merely "close": it is **bit-identical** to
+//! [`dijkstra_all`], which the norm-regression tests of `ssrq-data` rely
+//! on.  The argument, with `fl` the rounding of one `f64` addition:
+//!
+//! * Both algorithms only ever produce vertex values of the form
+//!   `fl(fl(...) + w)` — a rounded prefix sum along some concrete path —
+//!   and both take plain `min`s over such candidates, which is
+//!   order-independent (comparisons do not round).
+//! * For non-negative weights `fl(a + w) ≥ a`, so Dijkstra's float
+//!   settle order is non-decreasing and its final vector `D` satisfies the
+//!   fixpoint equations `D[v] = min(D[v], min_u fl(D[u] + w(u,v)))`.
+//! * The Jacobi iteration started from `(0 at source, ∞ elsewhere)`
+//!   decreases monotonically, offers every tree-path candidate of `D`
+//!   within hop-count rounds (so it converges to a value `≤ D`), and every
+//!   value it produces is a rounded path sum, which `D` lower-bounds
+//!   (each Dijkstra entry is the min over *all* rounded path sums).
+//!   Hence the fixpoints coincide, `fl` ties and all.
+//!
+//! Termination needs at most `|V| − 1` rounds: extending a path never
+//! decreases its rounded sum, so only simple paths matter.
+
+use crate::{dijkstra_all, Distance, NodeId, SocialGraph};
+
+/// Single-source shortest paths over `threads` workers, bit-identical to
+/// [`dijkstra_all`] (see the module docs for why); `threads <= 1` falls
+/// back to the sequential sweep.
+///
+/// Each round recomputes only vertices with an *active* neighbour (one
+/// whose distance changed in the previous round), so the total work is
+/// proportional to the frontier the relaxation actually touches rather
+/// than `rounds × |E|`.
+///
+/// # Panics
+///
+/// Panics if `source` is not a vertex of `graph`.
+pub fn dijkstra_all_parallel(graph: &SocialGraph, source: NodeId, threads: usize) -> Vec<Distance> {
+    assert!(
+        graph.contains(source),
+        "source vertex {source} out of range"
+    );
+    let n = graph.node_count();
+    if threads <= 1 || n <= 1 {
+        return dijkstra_all(graph, source);
+    }
+    let threads = threads.min(n);
+    let chunk = n.div_ceil(threads);
+    let mut dist = vec![f64::INFINITY; n];
+    dist[source as usize] = 0.0;
+    let mut next = dist.clone();
+    let mut active = vec![false; n];
+    active[source as usize] = true;
+    let mut next_active = vec![false; n];
+    // `|V| - 1` rounds always suffice (simple-path argument above); the
+    // loop exits earlier the moment a round improves nothing.
+    for _ in 0..n {
+        let dist_ref: &[f64] = &dist;
+        let active_ref: &[bool] = &active;
+        let changed = std::thread::scope(|scope| {
+            let workers: Vec<_> = next
+                .chunks_mut(chunk)
+                .zip(next_active.chunks_mut(chunk))
+                .enumerate()
+                .map(|(idx, (next_chunk, flag_chunk))| {
+                    scope.spawn(move || {
+                        let base = idx * chunk;
+                        let mut changed = false;
+                        for (off, (slot, flag)) in
+                            next_chunk.iter_mut().zip(flag_chunk.iter_mut()).enumerate()
+                        {
+                            let v = base + off;
+                            let mut best = dist_ref[v];
+                            // A candidate through an *inactive* neighbour was
+                            // already offered (and rejected) in the round after
+                            // that neighbour last changed, so scanning active
+                            // neighbours preserves the fixpoint.
+                            for edge in graph.neighbors(v as NodeId) {
+                                if active_ref[edge.to as usize] {
+                                    let cand = dist_ref[edge.to as usize] + edge.weight;
+                                    if cand < best {
+                                        best = cand;
+                                    }
+                                }
+                            }
+                            let improved = best < dist_ref[v];
+                            *slot = best;
+                            *flag = improved;
+                            changed |= improved;
+                        }
+                        changed
+                    })
+                })
+                .collect();
+            workers.into_iter().fold(false, |any, w| {
+                w.join().expect("sssp worker panicked") | any
+            })
+        });
+        std::mem::swap(&mut dist, &mut next);
+        std::mem::swap(&mut active, &mut next_active);
+        if !changed {
+            break;
+        }
+    }
+    dist
+}
+
+/// Estimates the weighted diameter of the graph with the standard double
+/// sweep: run single-source shortest paths from an arbitrary vertex of
+/// positive degree, take the farthest reachable vertex, sweep again from
+/// there and return the largest finite distance found.  Returns `1.0` for
+/// graphs where the sweep finds no positive distance (empty or edgeless).
+///
+/// Both sweeps run through [`dijkstra_all_parallel`], so the estimate is
+/// **independent of `threads`** — `pseudo_diameter(g, 8)` is bit-identical
+/// to `pseudo_diameter(g, 1)` (the sequential double sweep `ssrq-core`
+/// normalization constants were historically computed with).
+pub fn pseudo_diameter(graph: &SocialGraph, threads: usize) -> f64 {
+    if graph.node_count() == 0 {
+        return 1.0;
+    }
+    // Prefer a vertex with at least one edge as the sweep start.
+    let start = graph
+        .nodes()
+        .find(|&v| graph.degree(v) > 0)
+        .unwrap_or(0 as NodeId);
+    let first = dijkstra_all_parallel(graph, start, threads);
+    let (far, far_dist) = farthest_finite(&first);
+    if far_dist <= 0.0 {
+        return 1.0;
+    }
+    let second = dijkstra_all_parallel(graph, far, threads);
+    let (_, diameter) = farthest_finite(&second);
+    if diameter > 0.0 {
+        diameter
+    } else {
+        1.0
+    }
+}
+
+/// The finite-distance vertex farthest from the sweep source (ties broken
+/// towards the lowest id, deterministically).
+fn farthest_finite(dist: &[f64]) -> (NodeId, f64) {
+    let mut best = (0 as NodeId, 0.0);
+    for (v, &d) in dist.iter().enumerate() {
+        if d.is_finite() && d > best.1 {
+            best = (v as NodeId, d);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn messy_graph(n: usize, seed: u64) -> SocialGraph {
+        // Deterministic pseudo-random graph with irrational-ish weights so
+        // float rounding actually matters.
+        let mut state = seed | 1;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut edges = Vec::new();
+        for v in 1..n as u32 {
+            // Connect to a previous vertex to keep most of the graph joined.
+            let to = rand() % v as u64;
+            let w = 0.1 + (rand() % 1000) as f64 / 297.0;
+            edges.push((v, to as u32, w));
+            if rand() % 3 == 0 {
+                let extra = rand() % n as u64;
+                if extra as u32 != v {
+                    let w2 = 0.05 + (rand() % 777) as f64 / 131.0;
+                    edges.push((v, extra as u32, w2));
+                }
+            }
+        }
+        GraphBuilder::from_edges(n, edges).unwrap()
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_dijkstra() {
+        for seed in [1u64, 7, 42] {
+            let g = messy_graph(200, seed);
+            for source in [0u32, 3, 199] {
+                let sequential = dijkstra_all(&g, source);
+                for threads in [2usize, 3, 4, 8] {
+                    let parallel = dijkstra_all_parallel(&g, source, threads);
+                    // Bit-level equality, not approximate equality.
+                    let seq_bits: Vec<u64> = sequential.iter().map(|d| d.to_bits()).collect();
+                    let par_bits: Vec<u64> = parallel.iter().map(|d| d.to_bits()).collect();
+                    assert_eq!(
+                        seq_bits, par_bits,
+                        "seed {seed} source {source} threads {threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_handles_disconnected_graphs() {
+        let g = GraphBuilder::from_edges(6, vec![(0, 1, 2.5), (1, 2, 0.75), (3, 4, 1.0)]).unwrap();
+        let sequential = dijkstra_all(&g, 0);
+        let parallel = dijkstra_all_parallel(&g, 0, 4);
+        assert_eq!(sequential, parallel);
+        assert!(parallel[3].is_infinite());
+        assert!(parallel[5].is_infinite());
+    }
+
+    #[test]
+    fn single_thread_falls_back_to_sequential() {
+        let g = messy_graph(50, 9);
+        assert_eq!(dijkstra_all_parallel(&g, 0, 1), dijkstra_all(&g, 0));
+        assert_eq!(dijkstra_all_parallel(&g, 0, 0), dijkstra_all(&g, 0));
+    }
+
+    #[test]
+    fn pseudo_diameter_is_thread_count_independent() {
+        for seed in [3u64, 11] {
+            let g = messy_graph(300, seed);
+            let reference = pseudo_diameter(&g, 1);
+            assert!(reference.is_finite() && reference > 0.0);
+            for threads in [2usize, 4, 7] {
+                assert_eq!(
+                    pseudo_diameter(&g, threads).to_bits(),
+                    reference.to_bits(),
+                    "seed {seed} threads {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pseudo_diameter_degenerate_graphs() {
+        let edgeless = GraphBuilder::from_edges(4, Vec::<(u32, u32, f64)>::new()).unwrap();
+        assert_eq!(pseudo_diameter(&edgeless, 4), 1.0);
+        let line =
+            GraphBuilder::from_edges(4, vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
+        assert_eq!(pseudo_diameter(&line, 4), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_source_panics_like_dijkstra() {
+        let g = messy_graph(10, 5);
+        dijkstra_all_parallel(&g, 99, 4);
+    }
+}

@@ -465,13 +465,13 @@ pub fn decode_request(r: &mut Reader<'_>) -> Result<QueryRequest, WireError> {
     let algorithm: AlgorithmSpec = match r.u8()? {
         0 => {
             let name = r.str()?;
-            let builtin = Algorithm::ALL
-                .iter()
-                .find(|a| a.name() == name)
-                .copied()
-                .ok_or_else(|| {
-                    WireError::Invalid(format!("unknown built-in algorithm {name:?}"))
-                })?;
+            // `from_name` covers the twelve paper methods plus the adaptive
+            // `AUTO` meta-algorithm, so planner-driven requests cross the
+            // wire as built-ins and the server resolves its own engine's
+            // planner strategy.
+            let builtin = Algorithm::from_name(&name).ok_or_else(|| {
+                WireError::Invalid(format!("unknown built-in algorithm {name:?}"))
+            })?;
             AlgorithmSpec::Builtin(builtin)
         }
         1 => AlgorithmSpec::Named(r.str()?),

